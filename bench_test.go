@@ -1,0 +1,304 @@
+package hetqr
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/chol"
+	"repro/internal/device"
+	"repro/internal/lapack"
+	"repro/internal/runtime"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/tiled"
+	"repro/internal/workload"
+)
+
+// Benchmarks that regenerate the paper's exhibits. Each benchmark runs the
+// corresponding sweep and reports the headline quantity of that table or
+// figure via b.ReportMetric, so `go test -bench=.` reproduces the whole
+// evaluation section. The printable row data comes from cmd/qrbench, which
+// shares the internal/bench generators used here.
+
+func reportCell(b *testing.B, tb bench.Table, row, col int, unit string) {
+	b.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(tb.Rows[row][col], "%"), 64)
+	if err != nil {
+		b.Fatalf("%s: %v", tb.ID, err)
+	}
+	b.ReportMetric(v, unit)
+}
+
+// BenchmarkTable1 regenerates Table I (tiles operated per step).
+func BenchmarkTable1(b *testing.B) {
+	var tb bench.Table
+	for i := 0; i < b.N; i++ {
+		tb = bench.Table1()
+	}
+	reportCell(b, tb, 2, 2, "UT-tiles-8x8") // M×(N−1) = 56
+}
+
+// BenchmarkFig4 regenerates Fig. 4 (per-step single-tile times per device).
+func BenchmarkFig4(b *testing.B) {
+	var tb bench.Table
+	for i := 0; i < b.N; i++ {
+		tb = bench.Fig4()
+	}
+	// GTX580 at b=16: rows are (device × tile size); row 3 is b=16.
+	reportCell(b, tb, 3, 2, "GTX580-T-us")
+}
+
+// BenchmarkFig5 regenerates Fig. 5 (calculation vs communication split).
+func BenchmarkFig5(b *testing.B) {
+	var tb bench.Table
+	for i := 0; i < b.N; i++ {
+		tb = bench.Fig5()
+	}
+	reportCell(b, tb, 0, 2, "comm-pct-160")
+	reportCell(b, tb, len(tb.Rows)-1, 2, "comm-pct-3840")
+}
+
+// BenchmarkFig6 regenerates Fig. 6 (time vs matrix size for 1–3 GPUs).
+func BenchmarkFig6(b *testing.B) {
+	var tb bench.Table
+	for i := 0; i < b.N; i++ {
+		tb = bench.Fig6()
+	}
+	last := len(tb.Rows) - 1
+	reportCell(b, tb, last, 1, "1G-ms-4000")
+	reportCell(b, tb, last, 3, "3G-ms-4000")
+}
+
+// BenchmarkFig8 regenerates Fig. 8 (scalability over device sets).
+func BenchmarkFig8(b *testing.B) {
+	var tb bench.Table
+	for i := 0; i < b.N; i++ {
+		tb = bench.Fig8()
+	}
+	last := len(tb.Rows) - 1
+	reportCell(b, tb, last, 1, "cpu-s-16000")
+	reportCell(b, tb, last, 4, "all-s-16000")
+}
+
+// BenchmarkFig9 regenerates Fig. 9 (main computing device selection).
+func BenchmarkFig9(b *testing.B) {
+	var tb bench.Table
+	for i := 0; i < b.N; i++ {
+		tb = bench.Fig9()
+	}
+	last := len(tb.Rows) - 1
+	reportCell(b, tb, last, 1, "gtx580-s-16000")
+	reportCell(b, tb, last, 4, "cpu-s-16000")
+}
+
+// BenchmarkFig10 regenerates Fig. 10 (tile distribution methods).
+func BenchmarkFig10(b *testing.B) {
+	var tb bench.Table
+	for i := 0; i < b.N; i++ {
+		tb = bench.Fig10()
+	}
+	last := len(tb.Rows) - 1
+	reportCell(b, tb, last, 1, "guide-s-16000")
+	reportCell(b, tb, last, 3, "even-s-16000")
+}
+
+// BenchmarkTable3 regenerates Table III (device-count optimization,
+// predicted vs actual).
+func BenchmarkTable3(b *testing.B) {
+	var tb bench.Table
+	agree := 0.0
+	for i := 0; i < b.N; i++ {
+		tb = bench.Table3()
+		agree = 0
+		for _, row := range tb.Rows {
+			if row[7] == "yes" {
+				agree++
+			}
+		}
+	}
+	b.ReportMetric(agree/float64(len(tb.Rows)), "pred-agreement")
+}
+
+// --- Real-computation benchmarks on the host runtime -----------------------
+
+func benchHostFactor(b *testing.B, n, tile, workers int, tree tiled.Tree) {
+	a := workload.Uniform(42, n, n)
+	b.SetBytes(int64(n) * int64(n) * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := runtime.Factor(a, runtime.Options{TileSize: tile, Workers: workers, Tree: tree}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHostFactor256 measures the real parallel tiled QR at n=256.
+func BenchmarkHostFactor256(b *testing.B) { benchHostFactor(b, 256, 16, 0, tiled.FlatTS{}) }
+
+// BenchmarkHostFactor512 measures the real parallel tiled QR at n=512.
+func BenchmarkHostFactor512(b *testing.B) { benchHostFactor(b, 512, 32, 0, tiled.FlatTS{}) }
+
+// BenchmarkHostFactorSerial is the single-worker baseline for the speedup
+// comparison.
+func BenchmarkHostFactorSerial(b *testing.B) { benchHostFactor(b, 256, 16, 1, tiled.FlatTS{}) }
+
+// --- Ablation benches for DESIGN.md's called-out choices -------------------
+
+// BenchmarkAblationTrees compares elimination trees on the host runtime —
+// the flat TS tree the paper uses versus the tree-shaped alternatives.
+func BenchmarkAblationTrees(b *testing.B) {
+	for _, name := range []string{"flat-ts", "flat-tt", "binary-tt", "greedy-tt"} {
+		tree, err := tiled.TreeByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) { benchHostFactor(b, 256, 16, 0, tree) })
+	}
+}
+
+// BenchmarkAblationTileSize sweeps the tile size on the host runtime (the
+// paper fixes b=16; Song et al. tune it — this bench quantifies the choice).
+func BenchmarkAblationTileSize(b *testing.B) {
+	for _, tile := range []int{8, 16, 32, 64} {
+		b.Run(strconv.Itoa(tile), func(b *testing.B) { benchHostFactor(b, 256, tile, 0, tiled.FlatTS{}) })
+	}
+}
+
+// BenchmarkAblationGuideArray compares the guide-array distribution against
+// exact proportional striping on the simulator: the guide array's cyclic
+// interleaving is the paper's contribution over naive proportional blocks.
+func BenchmarkAblationGuideArray(b *testing.B) {
+	pl := device.PaperPlatform()
+	prob := sched.NewProblem(6400, 6400, 16)
+	for i := 0; i < b.N; i++ {
+		guide := sim.Run(sim.Config{Platform: pl,
+			Plan: sched.PlanWith(pl, prob, 1, []int{1, 2, 3}, sched.DistGuide)})
+		even := sim.Run(sim.Config{Platform: pl,
+			Plan: sched.PlanWith(pl, prob, 1, []int{1, 2, 3}, sched.DistEven)})
+		b.ReportMetric(guide.Seconds(), "guide-s")
+		b.ReportMetric(even.Seconds()/guide.Seconds(), "even-slowdown-x")
+	}
+}
+
+// BenchmarkAblationPredictor compares the paper's first-iteration
+// extrapolated predictor against the full simulation it stands in for.
+func BenchmarkAblationPredictor(b *testing.B) {
+	pl := device.PaperPlatform()
+	prob := sched.NewProblem(3200, 3200, 16)
+	order := []int{1, 2, 3}
+	var pred, act float64
+	for i := 0; i < b.N; i++ {
+		pred = sim.Predict(pl, prob, order, 3)
+		act = sim.Run(sim.Config{Platform: pl,
+			Plan: sched.PlanWith(pl, prob, 1, order, sched.DistGuide)}).MakespanUS
+	}
+	b.ReportMetric(act/pred, "actual-over-predicted")
+}
+
+// BenchmarkSimulator16000 measures the simulator itself on the paper's
+// largest configuration (1000×1000 tiles).
+func BenchmarkSimulator16000(b *testing.B) {
+	pl := device.PaperPlatform()
+	prob := sched.NewProblem(16000, 16000, 16)
+	plan := sched.PlanWith(pl, prob, 1, []int{1, 2, 3, 0}, sched.DistGuide)
+	for i := 0; i < b.N; i++ {
+		sim.Run(sim.Config{Platform: pl, Plan: plan})
+	}
+}
+
+// BenchmarkSchedulePipeline measures the full Algorithm 2+3+4 decision
+// pipeline.
+func BenchmarkSchedulePipeline(b *testing.B) {
+	pl := device.PaperPlatform()
+	for i := 0; i < b.N; i++ {
+		Schedule(pl, 3200, 3200, 16)
+	}
+}
+
+// BenchmarkAblationDispatchPolicy compares the paper's FIFO manager against
+// critical-path-first dispatch on the real host runtime.
+func BenchmarkAblationDispatchPolicy(b *testing.B) {
+	for _, p := range []runtime.Priority{runtime.FIFO, runtime.CriticalPath} {
+		b.Run(p.String(), func(b *testing.B) {
+			a := workload.Uniform(42, 320, 320)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := runtime.Factor(a, runtime.Options{TileSize: 16, Priority: p}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBaselines compares the tiled algorithm against the dense
+// baselines it builds on: unblocked Householder (the paper's Algorithm 1),
+// blocked compact-WY, Givens rotations, and CholeskyQR.
+func BenchmarkBaselines(b *testing.B) {
+	const n = 256
+	a := workload.Uniform(7, n, n)
+	b.Run("tiled-parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := runtime.Factor(a, runtime.Options{TileSize: 32}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("householder-unblocked", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			lapack.QR2(a.Clone())
+		}
+	})
+	b.Run("householder-blocked", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			lapack.BlockedQR(a.Clone(), 32)
+		}
+	})
+	b.Run("givens", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			lapack.GivensQR(a)
+		}
+	})
+	b.Run("cholesky-qr", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := lapack.CholeskyQR(a); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cholesky-qr-tiled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := chol.QRFactor(a, 32, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("pivoted", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			lapack.QRP(a.Clone())
+		}
+	})
+}
+
+// BenchmarkParallelApplyQT measures the parallel Q application against the
+// sequential replay.
+func BenchmarkParallelApplyQT(b *testing.B) {
+	a := workload.Uniform(8, 512, 512)
+	f, err := runtime.Factor(a, runtime.Options{TileSize: 32})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := workload.Uniform(9, 512, 32)
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			f.ApplyQT(c.Clone())
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runtime.ApplyQT(f, c.Clone(), 0)
+		}
+	})
+}

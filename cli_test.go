@@ -1,0 +1,93 @@
+package hetqr
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// CLI smoke tests: each command builds and completes a minimal invocation
+// with sane output. Skipped under -short (they shell out to the Go tool).
+func runCLI(t *testing.T, args ...string) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("CLI smoke tests skipped in -short mode")
+	}
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run %v: %v\n%s", args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIQrfactor(t *testing.T) {
+	out := runCLI(t, "./cmd/qrfactor", "-n", "64", "-solve")
+	if !strings.Contains(out, "residual") || !strings.Contains(out, "solve error") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestCLIQrfactorOutOfCore(t *testing.T) {
+	out := runCLI(t, "./cmd/qrfactor", "-n", "64", "-ooc", "5")
+	if !strings.Contains(out, "out of core") || !strings.Contains(out, "cache") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestCLIQrfactorMatrixMarketRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "a.mtx")
+	if err := WriteMatrixMarketFile(in, RandomMatrix(5, 32, 32)); err != nil {
+		t.Fatal(err)
+	}
+	rOut := filepath.Join(dir, "r.mtx")
+	out := runCLI(t, "./cmd/qrfactor", "-in", in, "-out-r", rOut)
+	if !strings.Contains(out, "wrote R") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+	r, err := ReadMatrixMarketFile(rOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows != 32 || r.Cols != 32 {
+		t.Fatalf("R is %dx%d", r.Rows, r.Cols)
+	}
+}
+
+func TestCLIQrsim(t *testing.T) {
+	out := runCLI(t, "./cmd/qrsim", "-size", "640")
+	for _, want := range []string{"main device : GTX580", "makespan", "guide array"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIQrsimJSON(t *testing.T) {
+	out := runCLI(t, "./cmd/qrsim", "-size", "320", "-json")
+	if !strings.Contains(out, "\"plan\"") || !strings.Contains(out, "\"makespanUS\"") {
+		t.Fatalf("unexpected JSON:\n%s", out)
+	}
+}
+
+func TestCLIQrbench(t *testing.T) {
+	out := runCLI(t, "./cmd/qrbench", "-exp", "table1")
+	if !strings.Contains(out, "Triangulation") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+	list := runCLI(t, "./cmd/qrbench", "-list")
+	for _, id := range []string{"fig4", "fig10", "table3", "ext-fidelity"} {
+		if !strings.Contains(list, id) {
+			t.Fatalf("missing %s in -list:\n%s", id, list)
+		}
+	}
+}
+
+func TestCLIQrcalib(t *testing.T) {
+	out := runCLI(t, "./cmd/qrcalib", "-reps", "3")
+	if !strings.Contains(out, "fitted model") || !strings.Contains(out, "update throughput") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}

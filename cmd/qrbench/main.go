@@ -1,0 +1,87 @@
+// Command qrbench regenerates the tables and figures of the paper's
+// evaluation section (Tables I and III, Figures 4, 5, 6, 8, 9 and 10) from
+// the calibrated device models and the heterogeneous simulator.
+//
+// Usage:
+//
+//	qrbench             # print every paper exhibit
+//	qrbench -ext        # additionally run the extension experiments
+//	qrbench -exp fig6   # print one exhibit
+//	qrbench -list       # list exhibit IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/plot"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment ID to regenerate (default: all)")
+	ext := flag.Bool("ext", false, "also run the extension experiments")
+	doPlot := flag.Bool("plot", false, "render the exhibit as a text chart (-exp required)")
+	list := flag.Bool("list", false, "list experiment IDs")
+	flag.Parse()
+
+	if *list {
+		for _, t := range append(bench.All(), bench.Extended()...) {
+			fmt.Printf("%-13s %s\n", t.ID, t.Title)
+		}
+		return
+	}
+	if *exp != "" {
+		t, err := bench.ByID(*exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(t.Format())
+		if *doPlot {
+			fmt.Println()
+			fmt.Print(chart(t))
+		}
+		return
+	}
+	exhibits := bench.All()
+	if *ext {
+		exhibits = append(exhibits, bench.Extended()...)
+	}
+	for _, t := range exhibits {
+		fmt.Print(t.Format())
+		fmt.Println()
+	}
+}
+
+// chart renders a table's numeric series (columns 2..) against its first
+// column as a log-scale text chart; non-numeric columns are skipped.
+func chart(t bench.Table) string {
+	var xs []float64
+	series := make([]plot.Series, 0, len(t.Header)-1)
+	cols := make([][]float64, len(t.Header))
+	for _, row := range t.Rows {
+		x, err := strconv.ParseFloat(strings.TrimSuffix(row[0], "%"), 64)
+		if err != nil {
+			return ""
+		}
+		xs = append(xs, x)
+		for c := 1; c < len(row) && c < len(cols); c++ {
+			v, err := strconv.ParseFloat(strings.TrimSuffix(row[c], "%"), 64)
+			if err != nil {
+				cols[c] = nil
+				continue
+			}
+			cols[c] = append(cols[c], v)
+		}
+	}
+	for c := 1; c < len(t.Header); c++ {
+		if len(cols[c]) == len(xs) && len(xs) > 0 {
+			series = append(series, plot.Series{Name: t.Header[c], Ys: cols[c]})
+		}
+	}
+	return plot.Chart(t.Title, xs, series, 72, 18, true)
+}

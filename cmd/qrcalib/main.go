@@ -1,0 +1,123 @@
+// Command qrcalib measures this machine's tile kernels the way the paper's
+// Fig. 4 measures CUDA kernels — single-tile wall times per step class per
+// tile size — then fits the library's timing model to the measurements by
+// least squares (using the library's own QR solver) and prints a device
+// profile ready to drop into a Platform.
+//
+// Usage:
+//
+//	qrcalib                 # measure b ∈ {4..28}, fit, print the profile
+//	qrcalib -reps 9         # more repetitions per point (median taken)
+//	qrcalib -json           # machine-readable output
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/kernels"
+	"repro/internal/matrix"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("qrcalib: ")
+	reps := flag.Int("reps", 5, "repetitions per measurement (median taken)")
+	asJSON := flag.Bool("json", false, "emit the fitted profile as JSON")
+	flag.Parse()
+	if *reps < 1 {
+		log.Fatal("-reps must be ≥ 1")
+	}
+
+	sizes := []int{4, 8, 12, 16, 20, 24, 28}
+	var samples []device.Sample
+	if !*asJSON {
+		fmt.Printf("measuring tile kernels (%d repetitions, sizes %v)\n", *reps, sizes)
+		fmt.Println("tilesize  GEQRT(T)  TSQRT(E)  UNMQR(UT)  TSMQR(UE)   [µs]")
+	}
+	for _, b := range sizes {
+		row := measure(b, *reps)
+		if !*asJSON {
+			fmt.Printf("%8d  %8.1f  %8.1f  %9.1f  %9.1f\n",
+				b, row[device.ClassT], row[device.ClassE], row[device.ClassUT], row[device.ClassUE])
+		}
+		for c := device.Class(0); c < device.NumClasses; c++ {
+			samples = append(samples, device.Sample{Class: c, B: b, US: row[c]})
+		}
+	}
+
+	cores := runtime.NumCPU()
+	prof, err := device.FitProfile("host-go", "cpu", cores, cores, 1, false, 0, samples)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(prof); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	fmt.Printf("\nfitted model (launch + a·b³):\n")
+	fmt.Printf("  launch overhead: %.2f µs\n", prof.LaunchUS)
+	for c := device.Class(0); c < device.NumClasses; c++ {
+		fmt.Printf("  %-2v: a = %.6f µs/b³   (b=16 → %.1f µs)\n",
+			c, prof.Cube[c], prof.SingleTileUS(c, 16))
+	}
+	fmt.Printf("update throughput at b=16: %.3f tiles/µs over %d cores\n",
+		prof.UpdateTilesPerUS(16), cores)
+}
+
+// measure returns the median single-tile time per class at tile size b.
+func measure(b, reps int) [device.NumClasses]float64 {
+	median := func(f func()) float64 {
+		times := make([]float64, reps)
+		for i := range times {
+			start := time.Now()
+			f()
+			times[i] = float64(time.Since(start).Nanoseconds()) / 1000
+		}
+		sort.Float64s(times)
+		return times[reps/2]
+	}
+	var out [device.NumClasses]float64
+
+	src := workload.Normal(1, b, b)
+	a := matrix.New(b, b)
+	t := matrix.New(b, b)
+	out[device.ClassT] = median(func() {
+		a.CopyFrom(src)
+		kernels.GEQRT(a, t)
+	})
+
+	v := workload.Normal(2, b, b)
+	tv := matrix.New(b, b)
+	kernels.GEQRT(v, tv)
+	c := workload.Normal(3, b, b)
+	out[device.ClassUT] = median(func() { kernels.UNMQR(v, tv, c, true) })
+
+	r0 := matrix.UpperTriangular(workload.Normal(4, b, b))
+	a0 := workload.Normal(5, b, b)
+	r := matrix.New(b, b)
+	bb := matrix.New(b, b)
+	tt := matrix.New(b, b)
+	out[device.ClassE] = median(func() {
+		r.CopyFrom(r0)
+		bb.CopyFrom(a0)
+		kernels.TSQRT(r, bb, tt)
+	})
+
+	c1 := workload.Normal(6, b, b)
+	c2 := workload.Normal(7, b, b)
+	out[device.ClassUE] = median(func() { kernels.TSMQR(bb, tt, c1, c2, true) })
+	return out
+}

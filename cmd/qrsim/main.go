@@ -1,0 +1,176 @@
+// Command qrsim runs the paper's scheduling pipeline on the modelled
+// heterogeneous platform and simulates the resulting execution: it selects
+// the main computing device (Algorithm 2), optimizes the participating
+// device count (Algorithm 3), builds the distribution guide array
+// (Algorithm 4), then reports the simulated timing breakdown.
+//
+// Usage:
+//
+//	qrsim -size 3200                   # schedule + simulate a 3200² matrix
+//	qrsim -size 3200 -main GTX680      # force a different main device
+//	qrsim -size 3200 -dist even        # force a baseline distribution
+//	qrsim -size 3200 -gpus 2           # force the participant set
+//	qrsim -size 640 -gantt             # print a phase time-line
+//	qrsim -size 3200 -explain          # show the Algorithm 2 analysis
+//	qrsim -size 3200 -iters            # per-iteration CSV breakdown
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/device"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/tiled"
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("qrsim: ")
+	var (
+		size     = flag.Int("size", 3200, "matrix rows = columns")
+		b        = flag.Int("b", 16, "tile size")
+		mainName = flag.String("main", "", "force main device by name (default: Algorithm 2)")
+		distName = flag.String("dist", "guide", "distribution: guide|cores|even")
+		gpus     = flag.Int("gpus", 0, "force the number of GPUs (0 = Algorithm 3)")
+		noMain   = flag.Bool("nomain", false, "no specific main device (Fig. 9's None)")
+		gantt    = flag.Bool("gantt", false, "print a phase time-line")
+		explain  = flag.Bool("explain", false, "print the Algorithm 2 candidacy analysis")
+		iters    = flag.Bool("iters", false, "print a per-iteration CSV breakdown")
+		asJSON   = flag.Bool("json", false, "emit the plan and simulation result as JSON")
+		traceOut = flag.String("trace-out", "", "write a Chrome-tracing JSON time-line to this file")
+	)
+	flag.Parse()
+
+	pl := device.PaperPlatform()
+	probm := sched.NewProblem(*size, *size, *b)
+
+	var plan *sched.Plan
+	if *mainName == "" && *gpus == 0 && *distName == "guide" {
+		plan = sched.BuildPlan(pl, probm)
+		fmt.Println("scheduling decisions (Algorithms 2–4):")
+	} else {
+		mainIdx := sched.SelectMain(pl, probm)
+		if *mainName != "" {
+			prof, err := pl.DeviceByName(*mainName)
+			if err != nil {
+				log.Fatal(err)
+			}
+			mainIdx = pl.Index(prof)
+		}
+		parts := []int{mainIdx}
+		if *gpus > 0 {
+			parts = nil
+			for i, d := range pl.Devices {
+				if d.Kind == "gpu" && len(parts) < *gpus {
+					parts = append(parts, i)
+				}
+			}
+		} else {
+			for i := range pl.Devices {
+				if i != mainIdx {
+					parts = append(parts, i)
+				}
+			}
+		}
+		var dist sched.Distribution
+		switch *distName {
+		case "guide":
+			dist = sched.DistGuide
+		case "cores":
+			dist = sched.DistCores
+		case "even":
+			dist = sched.DistEven
+		default:
+			log.Fatalf("unknown distribution %q", *distName)
+		}
+		plan = sched.PlanWith(pl, probm, mainIdx, parts, dist)
+		fmt.Println("scheduling decisions (forced configuration):")
+	}
+
+	fmt.Printf("  main device : %s\n", pl.Devices[plan.Main].Name)
+	fmt.Printf("  participants: %d of %d —", plan.P, len(pl.Devices))
+	for _, idx := range plan.Participants() {
+		fmt.Printf(" %s", pl.Devices[idx].Name)
+	}
+	fmt.Println()
+	fmt.Printf("  ratios      : %v\n", plan.Ratios)
+	fmt.Printf("  guide array : %v\n", plan.Guide)
+	if len(plan.Predicted) > 0 {
+		fmt.Printf("  predicted   :")
+		for p, v := range plan.Predicted {
+			fmt.Printf(" %ddev=%.2fms", p+1, v/1000)
+		}
+		fmt.Println()
+	}
+
+	if *explain {
+		fmt.Println("\nAlgorithm 2 candidacy analysis:")
+		fmt.Print(sched.FormatExplanations(sched.ExplainMain(pl, probm)))
+	}
+
+	var rec *trace.Recorder
+	if *gantt || *traceOut != "" {
+		rec = trace.NewRecorder()
+	}
+	res := sim.Run(sim.Config{Platform: pl, Plan: plan, NoMain: *noMain,
+		Recorder: rec, CollectIterations: *iters})
+	if *asJSON {
+		out := map[string]any{
+			"plan": plan.MarshalSummary(pl),
+			"result": map[string]any{
+				"makespanUS": res.MakespanUS,
+				"calcUS":     res.CalcUS,
+				"commUS":     res.CommUS,
+				"perDevice":  res.PerDevice,
+			},
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	flops := tiled.FlopCount(tiled.NewLayout(*size, *size, *b), tiled.FlatTS{})["total"]
+	fmt.Printf("\nsimulated execution (%dx%d, tile %d):\n", *size, *size, *b)
+	fmt.Printf("  makespan    : %.3f s  (%.1f effective GFLOP/s)\n",
+		res.Seconds(), flops/res.MakespanUS/1000)
+	fmt.Printf("  calculation : %.3f s busy across devices\n", res.CalcUS/1e6)
+	fmt.Printf("  transfers   : %.3f s on PCIe (%.1f%% of calc+comm)\n",
+		res.CommUS/1e6, 100*res.CommFraction())
+	util := res.Utilization()
+	for i, d := range res.PerDevice {
+		fmt.Printf("  %-12s panel %8.3f s   updates %8.3f s   util %5.1f%%\n",
+			d.Name, d.PanelUS/1e6, d.UpdUS/1e6, 100*util[i])
+	}
+	if rec != nil {
+		fmt.Println("\nphase time-line (T=panel, U=update, X=transfer):")
+		fmt.Print(rec.Gantt(100))
+	}
+	if *traceOut != "" {
+		tf, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rec.WriteChromeTrace(tf); err != nil {
+			log.Fatal(err)
+		}
+		if err := tf.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote Chrome trace to %s (open in ui.perfetto.dev)\n", *traceOut)
+	}
+	if *iters {
+		fmt.Println("\nk,m,panel_us,bcast_us,upd_max_us,start_us,end_us")
+		for _, it := range res.Iterations {
+			fmt.Printf("%d,%d,%.1f,%.1f,%.1f,%.1f,%.1f\n",
+				it.K, it.M, it.PanelUS, it.BcastUS, it.UpdMaxUS, it.StartUS, it.EndUS)
+		}
+	}
+}

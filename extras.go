@@ -1,0 +1,93 @@
+package hetqr
+
+import (
+	"io"
+
+	"repro/internal/lapack"
+	"repro/internal/mtxio"
+	"repro/internal/ooc"
+	"repro/internal/tiled"
+)
+
+// This file exposes the library's supporting capabilities: rank-revealing
+// factorization, MatrixMarket interchange, and out-of-core execution for
+// matrices that do not fit in memory (the paper's stated future work).
+
+// PivotedQR is a rank-revealing Householder QR factorization A·P = Q·R.
+type PivotedQR struct {
+	factored *Matrix
+	tau      []float64
+	// Perm maps factored column positions to original column indices.
+	Perm []int
+}
+
+// FactorPivoted computes A·P = Q·R with column pivoting. Unlike the tiled
+// paths it is sequential and dense — pivoting needs global column norms,
+// which is exactly why the distributed tiled algorithm forgoes it — but it
+// reveals numerical rank, which the tiled factorization cannot.
+func FactorPivoted(a *Matrix) *PivotedQR {
+	work := a.Clone()
+	tau, perm := lapack.QRP(work)
+	return &PivotedQR{factored: work, tau: tau, Perm: perm}
+}
+
+// R returns the upper-triangular factor.
+func (p *PivotedQR) R() *Matrix { return lapack.ExtractR(p.factored) }
+
+// Q returns the thin explicit orthogonal factor.
+func (p *PivotedQR) Q() *Matrix { return lapack.FormQ(p.factored, p.tau) }
+
+// Rank estimates the numerical rank (tol ≤ 0 selects max(m,n)·ε).
+func (p *PivotedQR) Rank(tol float64) int {
+	return lapack.NumericalRank(p.factored, tol)
+}
+
+// PermutationMatrix returns P with A·P = Q·R.
+func (p *PivotedQR) PermutationMatrix() *Matrix {
+	return lapack.PermutationMatrix(p.Perm)
+}
+
+// SaveFactorization writes a completed factorization to w in the library's
+// binary format; LoadFactorization restores it. Expensive factorizations
+// can thus be computed once and reused for solves across processes.
+func SaveFactorization(w io.Writer, f *Factorization) error { return f.Save(w) }
+
+// LoadFactorization reads a factorization written by SaveFactorization.
+func LoadFactorization(r io.Reader) (*Factorization, error) { return tiled.Load(r) }
+
+// ReadMatrixMarket parses a dense or coordinate MatrixMarket stream.
+func ReadMatrixMarket(r io.Reader) (*Matrix, error) { return mtxio.Read(r) }
+
+// WriteMatrixMarket emits m in MatrixMarket dense array format.
+func WriteMatrixMarket(w io.Writer, m *Matrix) error { return mtxio.Write(w, m) }
+
+// ReadMatrixMarketFile reads a MatrixMarket file from disk.
+func ReadMatrixMarketFile(path string) (*Matrix, error) { return mtxio.ReadFile(path) }
+
+// WriteMatrixMarketFile writes m to a MatrixMarket file.
+func WriteMatrixMarketFile(path string, m *Matrix) error { return mtxio.WriteFile(path, m) }
+
+// OutOfCore is a completed disk-backed factorization.
+type OutOfCore = ooc.Factorization
+
+// FactorOutOfCore factors a matrix whose tiles may exceed memory: the data
+// is staged into a disk-backed tile store and factored through a cache of
+// cacheTiles resident tiles. Intended for matrices generated or ingested
+// incrementally; this convenience entry point takes a dense matrix and
+// handles the staging.
+func FactorOutOfCore(a *Matrix, tileSize, cacheTiles int) (*OutOfCore, error) {
+	l := tiled.NewLayout(a.Rows, a.Cols, tileSize)
+	store, err := ooc.NewDiskStore("", l.Mt, l.Nt, tileSize)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := ooc.LoadDense(store, a, tileSize); err != nil {
+		store.Close()
+		return nil, err
+	}
+	// The store stays open for the factorization's lifetime; the backing
+	// temp file is reclaimed when the process exits or Close is called via
+	// the store (the Factorization does not own it — callers doing serious
+	// out-of-core work should manage their own stores with internal/ooc).
+	return ooc.Factor(store, l, ooc.Options{CacheTiles: cacheTiles})
+}

@@ -1,0 +1,94 @@
+package hetqr
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+func TestFactorPivotedRankDetection(t *testing.T) {
+	// Build a rank-2 matrix from two outer products.
+	u := RandomMatrix(1, 12, 2)
+	v := RandomMatrix(2, 2, 9)
+	a := matrix.Mul(u, v)
+	p := FactorPivoted(a)
+	if rank := p.Rank(0); rank != 2 {
+		t.Fatalf("rank = %d, want 2", rank)
+	}
+	// A·P = Q·R reconstruction.
+	ap := matrix.Mul(a, p.PermutationMatrix())
+	qr := matrix.Mul(p.Q(), p.R())
+	if d := ap.MaxAbsDiff(qr); d > 1e-10 {
+		t.Fatalf("‖AP − QR‖ = %g", d)
+	}
+}
+
+func TestMatrixMarketRoundTripPublic(t *testing.T) {
+	m := RandomMatrix(3, 6, 4)
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(m) {
+		t.Fatal("round trip mismatch")
+	}
+	path := filepath.Join(t.TempDir(), "m.mtx")
+	if err := WriteMatrixMarketFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := ReadMatrixMarketFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got2.Equal(m) {
+		t.Fatal("file round trip mismatch")
+	}
+}
+
+func TestFactorOutOfCorePublic(t *testing.T) {
+	a := RandomMatrix(4, 96, 96)
+	f, err := FactorOutOfCore(a, 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// QᵀA == R end to end.
+	c := a.Clone()
+	if err := f.ApplyQT(c); err != nil {
+		t.Fatal(err)
+	}
+	r, err := f.R()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := c.MaxAbsDiff(r); d > 1e-10 {
+		t.Fatalf("QᵀA != R: %g", d)
+	}
+	if f.TileStats.Peak > 8 {
+		t.Fatalf("cache exceeded: peak %d", f.TileStats.Peak)
+	}
+}
+
+func TestSaveLoadFactorizationPublic(t *testing.T) {
+	a := RandomMatrix(11, 48, 48)
+	f, err := Factor(a, Options{TileSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveFactorization(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	g, err := LoadFactorization(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := g.Residual(a); res > 1e-10 {
+		t.Fatalf("loaded residual %g", res)
+	}
+}

@@ -1,0 +1,142 @@
+// Package hetqr is a tiled QR decomposition library for heterogeneous
+// CPU/GPU systems, reproducing Kim & Park, "Tiled QR Decomposition and Its
+// Optimization on CPU and GPU Computing System" (ICPP 2013).
+//
+// The library has two halves that share one algorithmic core:
+//
+//   - Numerics. Factor and Solve run the real tiled QR algorithm (GEQRT /
+//     UNMQR / TSQRT / TSMQR tile kernels with compact-WY block reflectors)
+//     in parallel on the host, with pluggable elimination trees. The
+//     resulting Factorization exposes R, implicit and explicit Q, and
+//     linear / least-squares solves.
+//
+//   - Scheduling. Schedule applies the paper's three optimizations — main
+//     computing device selection (Algorithm 2), device-count optimization
+//     via the Top+Tcomm tradeoff (Algorithm 3), and guide-array tile
+//     distribution (Algorithm 4) — to a modelled heterogeneous platform,
+//     and Simulate executes the resulting plan on a discrete-event
+//     simulator calibrated to the paper's measurements. PaperPlatform
+//     models the evaluation machine (i7-3820 + GTX580 + 2×GTX680).
+//
+// Quick start:
+//
+//	a := hetqr.RandomMatrix(1, 512, 512)
+//	f, err := hetqr.Factor(a, hetqr.Options{TileSize: 16})
+//	if err != nil { ... }
+//	x, err := f.Solve(b)       // A·x = b
+//	q := f.FormQ(false)        // thin explicit Q
+//
+//	plat := hetqr.PaperPlatform()
+//	plan := hetqr.Schedule(plat, 3200, 3200, 16)
+//	res := hetqr.Simulate(plat, plan)
+//	fmt.Printf("simulated %.2fs on %d device(s)\n", res.Seconds(), plan.P)
+package hetqr
+
+import (
+	"repro/internal/device"
+	"repro/internal/matrix"
+	"repro/internal/runtime"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/tiled"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Matrix is a dense row-major float64 matrix.
+type Matrix = matrix.Matrix
+
+// Factorization is a completed tiled QR decomposition: R in place,
+// Q implicit in the stored reflectors, with application and solve methods.
+type Factorization = tiled.Factorization
+
+// Options configures Factor; see the runtime package for field semantics.
+type Options = runtime.Options
+
+// Tree orders the eliminations within a panel.
+type Tree = tiled.Tree
+
+// Platform describes a heterogeneous machine: device models plus
+// interconnect.
+type Platform = device.Platform
+
+// DeviceProfile is one device's calibrated performance model.
+type DeviceProfile = device.Profile
+
+// Plan is a complete scheduling decision (main device, participant count,
+// guide array, column distribution).
+type Plan = sched.Plan
+
+// SimResult reports a simulated execution (makespan, calculation and
+// communication time, per-device figures).
+type SimResult = sim.Result
+
+// Recorder collects execution traces from Factor and Simulate.
+type Recorder = trace.Recorder
+
+// Updater maintains a QR factorization over a growing stack of observation
+// rows (recursive least squares by QR updating); see NewUpdater.
+type Updater = tiled.Updater
+
+// NewMatrix returns a zeroed r×c matrix.
+func NewMatrix(r, c int) *Matrix { return matrix.New(r, c) }
+
+// MatrixFromRows builds a matrix from row slices.
+func MatrixFromRows(rows [][]float64) *Matrix { return matrix.FromRows(rows) }
+
+// RandomMatrix returns an r×c matrix of uniform random entries in [-1, 1),
+// the paper's evaluation workload, generated reproducibly from seed.
+func RandomMatrix(seed int64, r, c int) *Matrix { return workload.Uniform(seed, r, c) }
+
+// Factor computes the tiled QR factorization of a on the host CPU runtime.
+// The input matrix is not modified.
+func Factor(a *Matrix, opts Options) (*Factorization, error) {
+	return runtime.Factor(a, opts)
+}
+
+// Solve factors a and solves the system A·x = b appropriate to its shape:
+// the exact solution for square A, the least-squares solution for tall A,
+// and the minimum-norm solution for wide A.
+func Solve(a *Matrix, b []float64, opts Options) ([]float64, error) {
+	if a.Rows < a.Cols {
+		if err := (&opts).Normalize(); err != nil {
+			return nil, err
+		}
+		return tiled.WideSolve(a, b, opts.TileSize, opts.Tree)
+	}
+	f, err := runtime.Factor(a, opts)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}
+
+// TreeByName resolves an elimination-tree name: "flat-ts" (the paper's
+// order, default), "flat-tt", "binary-tt" or "greedy-tt".
+func TreeByName(name string) (Tree, error) { return tiled.TreeByName(name) }
+
+// NewUpdater starts an empty streaming least-squares factorization with n
+// unknowns (tile size tunes the internal kernels; 16 is a good default).
+func NewUpdater(n, tile int) *Updater { return tiled.NewUpdater(n, tile) }
+
+// PaperPlatform returns the paper's evaluation machine (Table II): an
+// Intel i7-3820, one GTX580 and two GTX680s on PCI express.
+func PaperPlatform() *Platform { return device.PaperPlatform() }
+
+// Schedule runs the paper's full optimization pipeline for an m×n matrix
+// with tile size b on the platform: Algorithm 2 (main device), Algorithm 3
+// (device count) and Algorithm 4 (guide-array distribution).
+func Schedule(pl *Platform, m, n, b int) *Plan {
+	return sched.BuildPlan(pl, sched.NewProblem(m, n, b))
+}
+
+// Simulate executes a plan on the discrete-event simulator and reports the
+// resulting timing breakdown.
+func Simulate(pl *Platform, plan *Plan) SimResult {
+	return sim.Run(sim.Config{Platform: pl, Plan: plan})
+}
+
+// SimulateTraced is Simulate with phase-level trace recording.
+func SimulateTraced(pl *Platform, plan *Plan, rec *Recorder) SimResult {
+	return sim.Run(sim.Config{Platform: pl, Plan: plan, Recorder: rec})
+}

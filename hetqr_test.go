@@ -1,0 +1,143 @@
+package hetqr
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+func TestPublicFactorAndSolve(t *testing.T) {
+	a := RandomMatrix(1, 128, 128)
+	f, err := Factor(a, Options{TileSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := f.Residual(a); res > 1e-10 {
+		t.Fatalf("residual %g", res)
+	}
+
+	xWant := make([]float64, 128)
+	for i := range xWant {
+		xWant[i] = float64(i%7) - 3
+	}
+	xm := NewMatrix(128, 1)
+	xm.SetCol(0, xWant)
+	b := matrix.Mul(a, xm).Col(0)
+	x, err := Solve(a, b, Options{TileSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if math.Abs(x[i]-xWant[i]) > 1e-7 {
+			t.Fatalf("x[%d] = %v want %v", i, x[i], xWant[i])
+		}
+	}
+}
+
+func TestPublicSchedulePipeline(t *testing.T) {
+	pl := PaperPlatform()
+	plan := Schedule(pl, 3200, 3200, 16)
+	if pl.Devices[plan.Main].Name != "GTX580" {
+		t.Fatalf("main = %s, want GTX580", pl.Devices[plan.Main].Name)
+	}
+	res := Simulate(pl, plan)
+	if res.Seconds() <= 0 {
+		t.Fatal("zero makespan")
+	}
+	if res.CommFraction() <= 0 || res.CommFraction() >= 1 {
+		t.Fatalf("comm fraction %v out of range", res.CommFraction())
+	}
+}
+
+func TestPublicTreeByName(t *testing.T) {
+	if _, err := TreeByName("binary-tt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TreeByName("bogus"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestMatrixConstructors(t *testing.T) {
+	m := MatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	if m.At(1, 1) != 4 {
+		t.Fatal("MatrixFromRows wrong")
+	}
+	if r := RandomMatrix(5, 3, 4); r.Rows != 3 || r.Cols != 4 {
+		t.Fatal("RandomMatrix shape wrong")
+	}
+	// Reproducibility.
+	if !RandomMatrix(5, 3, 4).Equal(RandomMatrix(5, 3, 4)) {
+		t.Fatal("RandomMatrix must be deterministic per seed")
+	}
+}
+
+func TestSolveWideMinNorm(t *testing.T) {
+	m, n := 8, 24
+	a := RandomMatrix(9, m, n)
+	xAny := make([]float64, n)
+	for i := range xAny {
+		xAny[i] = float64(i%5) - 2
+	}
+	b := make([]float64, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			b[i] += a.At(i, j) * xAny[j]
+		}
+	}
+	x, err := Solve(a, b, Options{TileSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < m; i++ {
+		var s float64
+		for j := 0; j < n; j++ {
+			s += a.At(i, j) * x[j]
+		}
+		if math.Abs(s-b[i]) > 1e-9 {
+			t.Fatalf("row %d residual %g", i, s-b[i])
+		}
+	}
+	// Minimum norm: no longer than the constructed solution.
+	var nx, na float64
+	for j := 0; j < n; j++ {
+		nx += x[j] * x[j]
+		na += xAny[j] * xAny[j]
+	}
+	if nx > na+1e-9 {
+		t.Fatalf("‖x‖² = %v exceeds known solution %v", nx, na)
+	}
+}
+
+func TestSimulateTraced(t *testing.T) {
+	pl := PaperPlatform()
+	plan := Schedule(pl, 640, 640, 16)
+	rec := &Recorder{}
+	res := SimulateTraced(pl, plan, rec)
+	if res.Seconds() <= 0 {
+		t.Fatal("zero makespan")
+	}
+	if rec.Summarize().NumEvents == 0 {
+		t.Fatal("no trace events")
+	}
+}
+
+func TestPublicUpdater(t *testing.T) {
+	u := NewUpdater(4, 2)
+	w := MatrixFromRows([][]float64{
+		{1, 0, 0, 0}, {0, 1, 0, 0}, {0, 0, 1, 0}, {0, 0, 0, 1},
+	})
+	if err := u.Append(w, []float64{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	x, err := u.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []float64{1, 2, 3, 4} {
+		if math.Abs(x[i]-want) > 1e-12 {
+			t.Fatalf("x[%d] = %v", i, x[i])
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestAllExhibitsPresent(t *testing.T) {
+	want := []string{"table1", "fig4", "fig5", "fig6", "fig8", "fig9", "fig10", "table3"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("%d exhibits, want %d", len(all), len(want))
+	}
+	for i, id := range want {
+		if all[i].ID != id {
+			t.Fatalf("exhibit %d is %s, want %s", i, all[i].ID, id)
+		}
+		if len(all[i].Rows) == 0 || len(all[i].Header) == 0 {
+			t.Fatalf("%s is empty", id)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	tb, err := ByID("fig6")
+	if err != nil || tb.ID != "fig6" {
+		t.Fatalf("ByID(fig6) = %v, %v", tb.ID, err)
+	}
+	if _, err := ByID("fig999"); err == nil {
+		t.Fatal("expected error for unknown id")
+	}
+}
+
+func TestFormatAligned(t *testing.T) {
+	s := Table1().Format()
+	if !strings.Contains(s, "table1") || !strings.Contains(s, "Triangulation") {
+		t.Fatalf("format output wrong:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("too few lines:\n%s", s)
+	}
+}
+
+func cell(t *testing.T, tb Table, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(tb.Rows[row][col], "%"), 64)
+	if err != nil {
+		t.Fatalf("%s row %d col %d: %v", tb.ID, row, col, err)
+	}
+	return v
+}
+
+func TestTable1Counts(t *testing.T) {
+	tb := Table1()
+	// M=8, N=8 column: T=8, E=8, UT=UE=56.
+	if cell(t, tb, 0, 2) != 8 || cell(t, tb, 2, 2) != 56 {
+		t.Fatalf("table1 counts wrong: %v", tb.Rows)
+	}
+}
+
+func TestFig5RowsSumToOne(t *testing.T) {
+	tb := Fig5()
+	for i := range tb.Rows {
+		calc, comm := cell(t, tb, i, 1), cell(t, tb, i, 2)
+		if s := calc + comm; s < 99.9 || s > 100.1 {
+			t.Fatalf("row %d sums to %v%%", i, s)
+		}
+	}
+	// Decreasing communication share.
+	first, last := cell(t, tb, 0, 2), cell(t, tb, len(tb.Rows)-1, 2)
+	if !(first > 20 && last < 10) {
+		t.Fatalf("comm share: first %v%%, last %v%%", first, last)
+	}
+}
+
+func TestFig6CrossoverStructure(t *testing.T) {
+	tb := Fig6()
+	bestAtSize := map[int]string{}
+	for i := range tb.Rows {
+		size := int(cell(t, tb, i, 0))
+		bestAtSize[size] = tb.Rows[i][4]
+	}
+	if bestAtSize[160] != "1G" {
+		t.Fatalf("smallest size best = %s", bestAtSize[160])
+	}
+	if bestAtSize[4000] != "3G" {
+		t.Fatalf("largest size best = %s", bestAtSize[4000])
+	}
+	// The winner sequence must be monotone: 1G → 2G → 3G.
+	rank := map[string]int{"1G": 1, "2G": 2, "3G": 3}
+	prev := 0
+	for i := range tb.Rows {
+		r := rank[tb.Rows[i][4]]
+		if r < prev {
+			t.Fatalf("winner sequence regressed at row %d: %v", i, tb.Rows[i])
+		}
+		prev = r
+	}
+}
+
+func TestFig8MonotonePerRow(t *testing.T) {
+	tb := Fig8()
+	for i := range tb.Rows {
+		for c := 2; c <= 4; c++ {
+			if !(cell(t, tb, i, c) < cell(t, tb, i, c-1)) {
+				t.Fatalf("row %v not decreasing at col %d", tb.Rows[i], c)
+			}
+		}
+	}
+}
+
+func TestFig9Ordering(t *testing.T) {
+	tb := Fig9()
+	for i := range tb.Rows {
+		g580, g680, none, cpu := cell(t, tb, i, 1), cell(t, tb, i, 2), cell(t, tb, i, 3), cell(t, tb, i, 4)
+		if !(g580 < g680 && g680 < none && none < cpu) {
+			t.Fatalf("row %v: want GTX580 < GTX680 < none < CPU", tb.Rows[i])
+		}
+	}
+}
+
+func TestFig10Ordering(t *testing.T) {
+	tb := Fig10()
+	for i := range tb.Rows {
+		guide, cores, even := cell(t, tb, i, 1), cell(t, tb, i, 2), cell(t, tb, i, 3)
+		if !(guide <= cores && cores < even) {
+			t.Fatalf("row %v: want guide ≤ cores < even", tb.Rows[i])
+		}
+	}
+}
+
+func TestTable3NormalizedAndMostlyAgreeing(t *testing.T) {
+	tb := Table3()
+	agree := 0
+	for i := range tb.Rows {
+		// Each normalized triple must contain a 1.00.
+		foundPred, foundAct := false, false
+		for c := 1; c <= 3; c++ {
+			if tb.Rows[i][c] == "1.00" {
+				foundPred = true
+			}
+			if tb.Rows[i][c+3] == "1.00" {
+				foundAct = true
+			}
+		}
+		if !foundPred || !foundAct {
+			t.Fatalf("row %v lacks normalized minimum", tb.Rows[i])
+		}
+		if tb.Rows[i][7] == "yes" {
+			agree++
+		}
+	}
+	if agree*4 < len(tb.Rows)*3 {
+		t.Fatalf("prediction agreed on only %d of %d rows", agree, len(tb.Rows))
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	tb := Fig4()
+	// For every row T ≥ E ≥ U, strictly so once the cubic term dominates
+	// the launch overhead (the printed values are rounded to whole µs, so
+	// tiny tiles collapse to the launch cost).
+	for i := range tb.Rows {
+		size := int(cell(t, tb, i, 1))
+		tt, e, u := cell(t, tb, i, 2), cell(t, tb, i, 3), cell(t, tb, i, 4)
+		if !(tt >= e && e >= u) {
+			t.Fatalf("row %v: want T ≥ E ≥ U", tb.Rows[i])
+		}
+		if size >= 12 && !(tt > e && e > u) {
+			t.Fatalf("row %v: want strict T > E > U at b=%d", tb.Rows[i], size)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package bench
+
+import "testing"
+
+func TestExtendedExhibitsPresent(t *testing.T) {
+	want := []string{"ext-pipeline", "ext-phi", "ext-multinode", "ext-trees", "ext-tilesize",
+		"ext-placement", "ext-adaptive", "ext-fig4host", "ext-fidelity"}
+	ext := Extended()
+	if len(ext) != len(want) {
+		t.Fatalf("%d extension exhibits, want %d", len(ext), len(want))
+	}
+	for i, id := range want {
+		if ext[i].ID != id {
+			t.Fatalf("exhibit %d is %s, want %s", i, ext[i].ID, id)
+		}
+		if len(ext[i].Rows) == 0 {
+			t.Fatalf("%s is empty", id)
+		}
+		if _, err := ByID(id); err != nil {
+			t.Fatalf("ByID(%s): %v", id, err)
+		}
+	}
+}
+
+func TestExtPipelineAlwaysHelps(t *testing.T) {
+	tb := ExtPipeline()
+	for i := range tb.Rows {
+		bulk, pipe := cell(t, tb, i, 1), cell(t, tb, i, 2)
+		if pipe > bulk {
+			t.Fatalf("row %v: pipelining slowed things down", tb.Rows[i])
+		}
+	}
+}
+
+func TestExtPhiJoinsAtScaleAndHelps(t *testing.T) {
+	tb := ExtPhi()
+	usedAtLargest := tb.Rows[len(tb.Rows)-1][5]
+	if usedAtLargest != "yes" {
+		t.Fatal("the Phi must participate at the largest size")
+	}
+	// The main device stays the GTX580 — Algorithm 2 is not fooled by the
+	// extra accelerator.
+	for i := range tb.Rows {
+		if tb.Rows[i][3] != "GTX580" {
+			t.Fatalf("row %v: main changed", tb.Rows[i])
+		}
+	}
+	// When used, the Phi must not hurt.
+	last := len(tb.Rows) - 1
+	if cell(t, tb, last, 2) > cell(t, tb, last, 1)*1.001 {
+		t.Fatalf("row %v: adding the Phi hurt", tb.Rows[last])
+	}
+}
+
+func TestExtMultiNodeCrossover(t *testing.T) {
+	tb := ExtMultiNode()
+	if tb.Rows[0][3] != "1 node" {
+		t.Fatalf("smallest size: %v — slow network must not pay off", tb.Rows[0])
+	}
+	if tb.Rows[len(tb.Rows)-1][3] != "2 nodes" {
+		t.Fatalf("largest size: %v — the second node must pay off", tb.Rows[len(tb.Rows)-1])
+	}
+	// The winner sequence flips exactly once (same tradeoff structure as
+	// Algorithm 3, one level up).
+	flips := 0
+	for i := 1; i < len(tb.Rows); i++ {
+		if tb.Rows[i][3] != tb.Rows[i-1][3] {
+			flips++
+		}
+	}
+	if flips != 1 {
+		t.Fatalf("winner flipped %d times", flips)
+	}
+}
+
+func TestExtTreesLogVsLinear(t *testing.T) {
+	tb := ExtTrees()
+	last := len(tb.Rows) - 1 // 256 row tiles
+	flat := cell(t, tb, last, 1)
+	binary := cell(t, tb, last, 3)
+	if flat != 256 {
+		t.Fatalf("flat-ts critical path %v, want 256 (linear)", flat)
+	}
+	if binary > 20 {
+		t.Fatalf("binary-tt critical path %v, want O(log)", binary)
+	}
+}
+
+func TestExtTileSizeRows(t *testing.T) {
+	tb := ExtTileSize()
+	if len(tb.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for i := range tb.Rows {
+		best := tb.Rows[i][len(tb.Rows[i])-1]
+		if best == "" {
+			t.Fatalf("row %v lacks a best tile size", tb.Rows[i])
+		}
+	}
+}
+
+func TestExtPlacementVerifiedAndBalanced(t *testing.T) {
+	tb := ExtPlacement()
+	if len(tb.Rows) != 3 {
+		t.Fatalf("%d rows", len(tb.Rows))
+	}
+	for i := range tb.Rows {
+		if tb.Rows[i][6] != "yes" {
+			t.Fatalf("row %v: residual check failed", tb.Rows[i])
+		}
+		if cell(t, tb, i, 4) == 0 {
+			t.Fatalf("row %v: no transfers on a 3-device run", tb.Rows[i])
+		}
+	}
+	// The even distribution balances update op counts more evenly than the
+	// guide array balances time — op counts per 680 must match main's
+	// neighbourhood under "even".
+	evenRow := tb.Rows[2]
+	g1, g2 := evenRow[2], evenRow[3]
+	if g1 == "0" || g2 == "0" {
+		t.Fatalf("even distribution left a device idle: %v", evenRow)
+	}
+}
+
+func TestExtAdaptiveNeverMuchWorse(t *testing.T) {
+	tb := ExtAdaptive()
+	for i := range tb.Rows {
+		static, adaptive := cell(t, tb, i, 1), cell(t, tb, i, 2)
+		if adaptive > static*1.05 {
+			t.Fatalf("row %v: adaptive much worse than static", tb.Rows[i])
+		}
+	}
+}
+
+func TestExtFig4HostGrowsWithTileSize(t *testing.T) {
+	tb := ExtFig4Host()
+	if len(tb.Rows) != 4 {
+		t.Fatalf("%d rows", len(tb.Rows))
+	}
+	// At the largest tile size every kernel costs more than at the smallest
+	// (wall-clock medians; exact ordering between kernels is hardware-dependent).
+	for col := 1; col <= 4; col++ {
+		if !(cell(t, tb, 3, col) > cell(t, tb, 0, col)) {
+			t.Fatalf("column %d did not grow with tile size: %v vs %v",
+				col, tb.Rows[0], tb.Rows[3])
+		}
+	}
+}
+
+func TestExtFidelityBounds(t *testing.T) {
+	tb := ExtFidelity()
+	for i := range tb.Rows {
+		ratio := cell(t, tb, i, 4)
+		if ratio < 0.9 || ratio > 3.5 {
+			t.Fatalf("row %v: fidelity ratio out of bounds", tb.Rows[i])
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden exhibit files")
+
+// TestGoldenExhibits pins the exact rendered output of every deterministic
+// paper exhibit (the simulator and the device models are fully
+// deterministic, so any drift means the reproduction's numbers changed).
+// Regenerate intentionally with:
+//
+//	go test ./internal/bench -run TestGolden -update
+func TestGoldenExhibits(t *testing.T) {
+	for _, tb := range All() {
+		tb := tb
+		t.Run(tb.ID, func(t *testing.T) {
+			path := filepath.Join("testdata", tb.ID+".golden")
+			got := tb.Format()
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Fatalf("exhibit %s drifted from its golden output.\n--- got ---\n%s\n--- want ---\n%s",
+					tb.ID, got, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/kernels"
+	"repro/internal/matrix"
+	"repro/internal/workload"
+)
+
+// measureKernelRow times each kernel family on one b×b tile, reporting the
+// median of several runs to damp scheduler noise.
+func measureKernelRow(b int) []string {
+	median := func(f func()) float64 {
+		const runs = 5
+		samples := make([]float64, runs)
+		for i := range samples {
+			start := time.Now()
+			f()
+			samples[i] = float64(time.Since(start).Nanoseconds()) / 1000
+		}
+		sort.Float64s(samples)
+		return samples[runs/2]
+	}
+	src := workload.Normal(1, b, b)
+	a := matrix.New(b, b)
+	tm := matrix.New(b, b)
+	geqrt := median(func() {
+		a.CopyFrom(src)
+		kernels.GEQRT(a, tm)
+	})
+
+	v := workload.Normal(2, b, b)
+	tv := matrix.New(b, b)
+	kernels.GEQRT(v, tv)
+	c := workload.Normal(3, b, b)
+	unmqr := median(func() { kernels.UNMQR(v, tv, c, true) })
+
+	r0 := matrix.UpperTriangular(workload.Normal(4, b, b))
+	a0 := workload.Normal(5, b, b)
+	r := matrix.New(b, b)
+	bb := matrix.New(b, b)
+	tt := matrix.New(b, b)
+	tsqrt := median(func() {
+		r.CopyFrom(r0)
+		bb.CopyFrom(a0)
+		kernels.TSQRT(r, bb, tt)
+	})
+
+	c1 := workload.Normal(6, b, b)
+	c2 := workload.Normal(7, b, b)
+	tsmqr := median(func() { kernels.TSMQR(bb, tt, c1, c2, true) })
+
+	return []string{
+		fmt.Sprintf("%d", b),
+		fmt.Sprintf("%.1f", geqrt), fmt.Sprintf("%.1f", tsqrt),
+		fmt.Sprintf("%.1f", unmqr), fmt.Sprintf("%.1f", tsmqr),
+	}
+}

@@ -1,0 +1,194 @@
+package chol
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/lapack"
+	"repro/internal/matrix"
+	"repro/internal/workload"
+)
+
+const tol = 1e-9
+
+func TestBuildOpsCounts(t *testing.T) {
+	// nt=3: k=0: 1 POTRF + 2 TRSM + 2 SYRK + 1 GEMM; k=1: 1+1+1; k=2: 1.
+	ops := BuildOps(3)
+	counts := map[Kind]int{}
+	for _, op := range ops {
+		counts[op.Kind]++
+	}
+	if counts[KindPOTRF] != 3 || counts[KindTRSM] != 3 || counts[KindSYRK] != 3 || counts[KindGEMM] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestBuildDepsTopological(t *testing.T) {
+	ops := BuildOps(5)
+	deps, succs := buildDeps(ops)
+	for i, dd := range deps {
+		for _, p := range dd {
+			if p >= i {
+				t.Fatalf("op %d depends on later op %d", i, p)
+			}
+			found := false
+			for _, s := range succs[p] {
+				if s == i {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("succ list of %d missing %d", p, i)
+			}
+		}
+	}
+}
+
+func checkCholesky(t *testing.T, n, b, workers int) {
+	t.Helper()
+	a := workload.SPD(int64(n*10+b), n)
+	f, err := Factor(a, b, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := f.L()
+	llt := matrix.New(n, n)
+	matrix.GemmTB(1, l, l, 1, llt)
+	if d := llt.MaxAbsDiff(a); d > tol*float64(n) {
+		t.Fatalf("n=%d b=%d w=%d: ‖LLᵀ − A‖ = %g", n, b, workers, d)
+	}
+	// L is genuinely lower triangular.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if l.At(i, j) != 0 {
+				t.Fatalf("L(%d,%d) = %v above the diagonal", i, j, l.At(i, j))
+			}
+		}
+	}
+}
+
+func TestTiledCholeskySerial(t *testing.T) {
+	checkCholesky(t, 32, 8, 0)
+	checkCholesky(t, 48, 16, 1)
+	checkCholesky(t, 16, 16, 0) // single tile
+}
+
+func TestTiledCholeskyParallel(t *testing.T) {
+	checkCholesky(t, 64, 8, 4)
+	checkCholesky(t, 96, 16, 8)
+}
+
+func TestParallelMatchesSerialBitwise(t *testing.T) {
+	a := workload.SPD(7, 64)
+	fs, err := Factor(a, 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := Factor(a, 16, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fs.L().Equal(fp.L()) {
+		t.Fatal("parallel tiled Cholesky not bitwise identical to serial")
+	}
+}
+
+func TestMatchesDenseCholesky(t *testing.T) {
+	a := workload.SPD(9, 48)
+	f, err := Factor(a, 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := lapack.Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := f.L().MaxAbsDiff(u.T()); d > tol {
+		t.Fatalf("tiled L differs from dense Uᵀ by %g", d)
+	}
+}
+
+func TestCholeskySolve(t *testing.T) {
+	n := 48
+	a := workload.SPD(11, n)
+	f, err := Factor(a, 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xWant := workload.Vector(12, n)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			b[i] += a.At(i, j) * xWant[j]
+		}
+	}
+	x, err := f.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if math.Abs(x[i]-xWant[i]) > 1e-7 {
+			t.Fatalf("x[%d] = %v want %v", i, x[i], xWant[i])
+		}
+	}
+}
+
+func TestFactorErrors(t *testing.T) {
+	if _, err := Factor(workload.Normal(1, 4, 6), 2, 0); err == nil {
+		t.Fatal("non-square must error")
+	}
+	if _, err := Factor(workload.SPD(2, 10), 4, 0); err == nil {
+		t.Fatal("non-multiple tile must error")
+	}
+	// Indefinite matrix: POTRF must fail (serial and parallel paths).
+	bad := matrix.Identity(16)
+	bad.Set(0, 0, -1)
+	if _, err := Factor(bad, 8, 0); err == nil {
+		t.Fatal("indefinite must error (serial)")
+	}
+	if _, err := Factor(bad, 8, 4); err == nil {
+		t.Fatal("indefinite must error (parallel)")
+	}
+}
+
+func TestTiledCholeskyQR(t *testing.T) {
+	a := workload.Normal(21, 96, 32)
+	q, r, err := QRFactor(a, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := matrix.OrthogonalityError(q); e > 1e-8 {
+		t.Fatalf("Q orthogonality %g", e)
+	}
+	if e := matrix.StrictLowerMax(r); e != 0 {
+		t.Fatalf("R not upper triangular: %g", e)
+	}
+	qr := matrix.Mul(q, r)
+	if d := qr.MaxAbsDiff(a); d > 1e-9 {
+		t.Fatalf("‖A − QR‖ = %g", d)
+	}
+}
+
+func TestTiledCholeskyQRMatchesDense(t *testing.T) {
+	a := workload.Normal(23, 64, 16)
+	qt, rt, err := QRFactor(a, 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qd, rd, err := lapack.CholeskyQR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := qt.MaxAbsDiff(qd); d > 1e-8 {
+		t.Fatalf("Q differs from dense CholeskyQR by %g", d)
+	}
+	if d := rt.MaxAbsDiff(rd); d > 1e-8 {
+		t.Fatalf("R differs from dense CholeskyQR by %g", d)
+	}
+}
+
+func TestQRFactorWideErrors(t *testing.T) {
+	if _, _, err := QRFactor(workload.Normal(25, 8, 16), 8, 0); err == nil {
+		t.Fatal("wide input must error")
+	}
+}

@@ -1,0 +1,202 @@
+// Package core is the heterogeneous tiled-QR engine — the paper's system
+// in executable form. It factors real matrices by running the tiled-QR
+// operation DAG under a scheduling Plan (main-device selection, device
+// count, guide-array distribution from internal/sched): every operation is
+// placed on the device the paper's rules assign it to, executed by that
+// device's worker pool (host goroutines standing in for CPU cores and GPU
+// kernel slots), and every tile that crosses a device boundary is counted
+// as PCIe traffic.
+//
+// This engine is where the reproduction's two halves meet: the numerics
+// are bit-identical to the sequential reference (the DAG fixes the
+// floating-point reduction order), while the placement and communication
+// volumes are exactly what the discrete-event simulator (internal/sim)
+// prices — so the schedules the paper optimizes are exercised end-to-end
+// against real arithmetic.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/device"
+	"repro/internal/matrix"
+	"repro/internal/sched"
+	"repro/internal/tiled"
+)
+
+// PlacementStats reports where the work went and what crossed PCIe.
+type PlacementStats struct {
+	// OpsPerDevice counts executed tile operations per participant,
+	// indexed like Plan.Order[:P].
+	OpsPerDevice []int
+	// OpsPerStep counts operations per paper step class (T, E, UT, UE).
+	OpsPerStep map[string]int
+	// Transfers is the number of tiles that moved between devices because
+	// an operation consumed a tile last written on a different device.
+	Transfers int
+	// TransferBytes is the corresponding volume at the platform's element
+	// width.
+	TransferBytes int64
+}
+
+// Config configures a heterogeneous factorization.
+type Config struct {
+	Platform *device.Platform
+	Plan     *sched.Plan
+	// Tree selects the elimination order; nil uses the paper's flat TS.
+	Tree tiled.Tree
+	// WorkersPerDevice caps each device pool's host goroutines (0 = one
+	// per device slot, capped at 8 to stay reasonable on laptops).
+	WorkersPerDevice int
+	// WorkStealing lets idle devices execute ready update operations that
+	// belong to other devices' columns — the dynamic tile-migration policy
+	// of the paper's related work [11] (Agullo et al.), in contrast to the
+	// paper's static guide-array placement. Stolen operations move their
+	// tiles, which the transfer accounting charges.
+	WorkStealing bool
+}
+
+// placement returns the participant position that must execute op,
+// following the paper's rules: panel steps (T, E) run on the main
+// computing device; update steps run on the owner of the column they
+// modify. For TT trees the panel triangulations of non-diagonal rows are
+// still panel work and stay on the main device.
+func placement(plan *sched.Plan, op tiled.Op) int {
+	if op.Kind.IsUpdate() {
+		if op.Col < len(plan.ColumnOwner) {
+			if o := plan.ColumnOwner[op.Col]; o >= 0 && o < plan.P {
+				return o
+			}
+		}
+	}
+	return 0 // main computing device position
+}
+
+// Factor computes the tiled QR factorization of a under the plan's
+// placement and returns the factorization with placement statistics.
+// The input matrix is not modified.
+func Factor(a *matrix.Matrix, cfg Config) (*tiled.Factorization, PlacementStats, error) {
+	if cfg.Platform == nil || cfg.Plan == nil {
+		return nil, PlacementStats{}, fmt.Errorf("core: platform and plan are required")
+	}
+	tree := cfg.Tree
+	if tree == nil {
+		tree = tiled.FlatTS{}
+	}
+	plan := cfg.Plan
+	b := plan.Problem.B
+	l := tiled.NewLayout(a.Rows, a.Cols, b)
+	if l.Mt != plan.Problem.Mt || l.Nt != plan.Problem.Nt {
+		return nil, PlacementStats{}, fmt.Errorf(
+			"core: plan is for a %dx%d tile grid, matrix needs %dx%d",
+			plan.Problem.Mt, plan.Problem.Nt, l.Mt, l.Nt)
+	}
+	dag := tiled.BuildDAG(l, tree)
+	f := tiled.NewFactorization(tiled.FromDense(a, b), tree)
+
+	stats := PlacementStats{
+		OpsPerDevice: make([]int, plan.P),
+		OpsPerStep:   map[string]int{},
+	}
+	// Tile residency for transfer accounting: the device that last wrote
+	// each tile. Tiles start wherever their column lives (the manager
+	// distributes columns up front, Section V).
+	where := make(map[[2]int]int, l.Mt*l.Nt)
+	for i := 0; i < l.Mt; i++ {
+		for j := 0; j < l.Nt; j++ {
+			owner := 0
+			if j < len(plan.ColumnOwner) && plan.ColumnOwner[j] < plan.P {
+				owner = plan.ColumnOwner[j]
+			}
+			where[[2]int{i, j}] = owner
+		}
+	}
+	tileBytes := int64(b) * int64(b) * int64(cfg.Platform.ElemBytes)
+
+	// Account transfers by walking the schedule order (the DAG's sequential
+	// order is a valid execution; transfer volume is order-independent
+	// because residency only changes at writes). Work stealing balances
+	// update ops round-robin across participants instead of honouring
+	// column ownership.
+	placements := make([]int, len(dag.Ops))
+	steal := 0
+	for idx, op := range dag.Ops {
+		dev := placement(plan, op)
+		if cfg.WorkStealing && op.Kind.IsUpdate() {
+			dev = steal % plan.P
+			steal++
+		}
+		placements[idx] = dev
+		for _, tl := range op.Tiles() {
+			if where[tl] != dev {
+				stats.Transfers++
+				stats.TransferBytes += tileBytes
+				where[tl] = dev
+			}
+		}
+		stats.OpsPerDevice[dev]++
+		stats.OpsPerStep[op.Kind.Step()]++
+	}
+
+	execute(dag, f, plan, placements, cfg.Platform, cfg.WorkersPerDevice)
+	return f, stats, nil
+}
+
+// execute runs the DAG with one worker pool per participating device, each
+// pulling only the operations placed on it.
+func execute(dag *tiled.DAG, f *tiled.Factorization, plan *sched.Plan,
+	placements []int, plat *device.Platform, perDevice int) {
+	n := len(dag.Ops)
+	if n == 0 {
+		return
+	}
+	queues := make([]chan int, plan.P)
+	for i := range queues {
+		queues[i] = make(chan int, n)
+	}
+	done := make(chan int, n)
+	var wg sync.WaitGroup
+	for pos, idx := range plan.Participants() {
+		workers := perDevice
+		if workers <= 0 {
+			workers = plat.Devices[idx].Slots
+			if workers > 8 {
+				workers = 8
+			}
+		}
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(q chan int) {
+				defer wg.Done()
+				for opID := range q {
+					f.ApplyOp(dag.Ops[opID])
+					done <- opID
+				}
+			}(queues[pos])
+		}
+	}
+
+	remaining := make([]int, n)
+	for i := range dag.Deps {
+		remaining[i] = len(dag.Deps[i])
+	}
+	for i, r := range remaining {
+		if r == 0 {
+			queues[placements[i]] <- i
+		}
+	}
+	for completed := 0; completed < n; completed++ {
+		id := <-done
+		for _, s := range dag.Succs[id] {
+			remaining[s]--
+			if remaining[s] == 0 {
+				queues[placements[s]] <- s
+			}
+		}
+	}
+	for _, q := range queues {
+		close(q)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,96 @@
+package device
+
+import (
+	"fmt"
+
+	"repro/internal/lapack"
+	"repro/internal/matrix"
+)
+
+// Sample is one Fig. 4-style measurement: the wall time of a single tile
+// operation of one class at one tile size.
+type Sample struct {
+	Class Class
+	B     int
+	US    float64
+}
+
+// FitProfile builds a device profile from measured samples by solving the
+// least-squares system implied by the timing model
+//
+//	t(class, b) = LaunchUS + Cube[class]·b³
+//
+// — one shared launch intercept plus a cubic slope per operation class.
+// The solve runs on this library's own QR machinery (lapack.SolveQR), so
+// the calibration procedure the paper performed by hand is reproducible
+// from raw measurements. At least one sample per class and more samples
+// than unknowns (1 + NumClasses) are required; name, cores, slots and the
+// bulk/panel parameters describe the device's execution structure and are
+// passed through.
+func FitProfile(name, kind string, cores, slots int, bulkScale float64,
+	panelFused bool, panelChainScale float64, samples []Sample) (*Profile, error) {
+	unknowns := 1 + int(NumClasses)
+	if len(samples) < unknowns {
+		return nil, fmt.Errorf("device: %d samples for %d unknowns", len(samples), unknowns)
+	}
+	seen := [NumClasses]bool{}
+	design := matrix.New(len(samples), unknowns)
+	rhs := make([]float64, len(samples))
+	for i, s := range samples {
+		if s.Class >= NumClasses {
+			return nil, fmt.Errorf("device: sample %d has invalid class %d", i, s.Class)
+		}
+		if s.B < 1 || s.US <= 0 {
+			return nil, fmt.Errorf("device: sample %d is degenerate (b=%d, t=%v)", i, s.B, s.US)
+		}
+		seen[s.Class] = true
+		design.Set(i, 0, 1) // launch intercept
+		bb := float64(s.B)
+		design.Set(i, 1+int(s.Class), bb*bb*bb)
+		rhs[i] = s.US
+	}
+	for c := Class(0); c < NumClasses; c++ {
+		if !seen[c] {
+			return nil, fmt.Errorf("device: no samples for class %v", c)
+		}
+	}
+	coef, err := lapack.SolveQR(design, rhs)
+	if err != nil {
+		return nil, fmt.Errorf("device: calibration solve: %w", err)
+	}
+	p := &Profile{
+		Name: name, Kind: kind, Cores: cores, Slots: slots,
+		LaunchUS: coef[0], BulkScale: bulkScale,
+		PanelFused: panelFused, PanelChainScale: panelChainScale,
+	}
+	for c := Class(0); c < NumClasses; c++ {
+		p.Cube[c] = coef[1+int(c)]
+	}
+	// Noisy measurements can push fitted floors slightly negative; clamp to
+	// harmless minima rather than rejecting the calibration (LAPACK-style
+	// robustness: the model must stay usable, and Validate still guards the
+	// structural fields).
+	if p.LaunchUS < 0 {
+		p.LaunchUS = 0
+	}
+	const minCube = 1e-9
+	for c := Class(0); c < NumClasses; c++ {
+		if p.Cube[c] < minCube {
+			p.Cube[c] = minCube
+		}
+	}
+	return p, p.Validate()
+}
+
+// SampleProfile generates Fig. 4-style samples from an existing profile —
+// the round-trip used to validate the calibration fit and to build
+// synthetic measurement sets for new devices.
+func SampleProfile(p *Profile, sizes []int) []Sample {
+	var out []Sample
+	for c := Class(0); c < NumClasses; c++ {
+		for _, b := range sizes {
+			out = append(out, Sample{Class: c, B: b, US: p.SingleTileUS(c, b)})
+		}
+	}
+	return out
+}

@@ -1,0 +1,116 @@
+package device
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFitProfileRoundTrip(t *testing.T) {
+	// Samples generated from a known profile must recover it exactly
+	// (the model is linear in the unknowns and the data is noise-free).
+	want := GTX580()
+	samples := SampleProfile(want, []int{4, 8, 12, 16, 20, 24, 28})
+	got, err := FitProfile(want.Name, want.Kind, want.Cores, want.Slots,
+		want.BulkScale, want.PanelFused, want.PanelChainScale, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.LaunchUS-want.LaunchUS) > 1e-8 {
+		t.Fatalf("launch %v, want %v", got.LaunchUS, want.LaunchUS)
+	}
+	for c := Class(0); c < NumClasses; c++ {
+		if math.Abs(got.Cube[c]-want.Cube[c]) > 1e-12 {
+			t.Fatalf("%v coefficient %v, want %v", c, got.Cube[c], want.Cube[c])
+		}
+	}
+}
+
+func TestFitProfileWithNoise(t *testing.T) {
+	// 2% multiplicative noise: the fit must still land within a few percent
+	// of the true coefficients at the anchor size.
+	want := GTX680()
+	rng := rand.New(rand.NewSource(5))
+	samples := SampleProfile(want, []int{4, 8, 12, 16, 20, 24, 28})
+	for i := range samples {
+		samples[i].US *= 1 + 0.02*rng.NormFloat64()
+	}
+	got, err := FitProfile(want.Name, want.Kind, want.Cores, want.Slots,
+		want.BulkScale, want.PanelFused, want.PanelChainScale, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := Class(0); c < NumClasses; c++ {
+		wantT := want.SingleTileUS(c, 16)
+		gotT := got.SingleTileUS(c, 16)
+		if math.Abs(gotT-wantT)/wantT > 0.10 {
+			t.Fatalf("%v at b=16: fitted %v vs true %v", c, gotT, wantT)
+		}
+	}
+}
+
+func TestFitProfileErrors(t *testing.T) {
+	if _, err := FitProfile("x", "gpu", 512, 32, 1, false, 0, nil); err == nil {
+		t.Fatal("too few samples must error")
+	}
+	// Missing class.
+	partial := SampleProfile(GTX580(), []int{8, 16})
+	var noUE []Sample
+	for _, s := range partial {
+		if s.Class != ClassUE {
+			noUE = append(noUE, s)
+		}
+	}
+	if _, err := FitProfile("x", "gpu", 512, 32, 1, false, 0, noUE); err == nil {
+		t.Fatal("missing class must error")
+	}
+	bad := SampleProfile(GTX580(), []int{8, 16})
+	bad[0].US = -1
+	if _, err := FitProfile("x", "gpu", 512, 32, 1, false, 0, bad); err == nil {
+		t.Fatal("degenerate sample must error")
+	}
+	bad2 := SampleProfile(GTX580(), []int{8, 16})
+	bad2[0].Class = NumClasses
+	if _, err := FitProfile("x", "gpu", 512, 32, 1, false, 0, bad2); err == nil {
+		t.Fatal("invalid class must error")
+	}
+}
+
+func TestFitProfileUsableInScheduling(t *testing.T) {
+	// A fitted profile must drop into the platform and produce the same
+	// scheduling decisions as the original.
+	orig := GTX580()
+	fit, err := FitProfile(orig.Name, orig.Kind, orig.Cores, orig.Slots,
+		orig.BulkScale, orig.PanelFused, orig.PanelChainScale,
+		SampleProfile(orig, []int{8, 16, 24, 28}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.UpdateTilesPerUS(16)-orig.UpdateTilesPerUS(16)) > 1e-9 {
+		t.Fatal("fitted update throughput differs")
+	}
+	if math.Abs(fit.PanelUS(16, 100)-orig.PanelUS(16, 100)) > 1e-6 {
+		t.Fatal("fitted panel time differs")
+	}
+}
+
+func TestFitProfileClampsNoisyFloors(t *testing.T) {
+	// Construct samples where one class's cubic term fits negative (a flat,
+	// noisy series): the fit must clamp, not fail.
+	var samples []Sample
+	for _, b := range []int{4, 8, 12, 16} {
+		samples = append(samples,
+			Sample{Class: ClassT, B: b, US: 10 + float64(b*b*b)/1000},
+			Sample{Class: ClassE, B: b, US: 10 + float64(b*b*b)/1000},
+			Sample{Class: ClassUT, B: b, US: 10}, // flat: cubic term ~0 or below
+			Sample{Class: ClassUE, B: b, US: 10 + float64(b*b*b)/1000},
+		)
+	}
+	p, err := FitProfile("noisy", "cpu", 4, 4, 1, false, 0, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Cube[ClassUT] <= 0 {
+		t.Fatalf("UT coefficient %v not clamped", p.Cube[ClassUT])
+	}
+}

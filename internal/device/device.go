@@ -1,0 +1,301 @@
+// Package device models the heterogeneous computing devices of the paper's
+// evaluation platform: an Intel i7-3820 CPU (4 cores), one NVIDIA GTX580
+// (512 cores) and two GTX680s (1536 cores each), joined by PCI-express.
+//
+// Go has no CUDA substrate, so these are calibrated performance models, not
+// drivers: each profile reports how long a device takes to run a batch of
+// tile kernels of a given class and tile size, following the measurements in
+// the paper's Fig. 4 (single-tile times) and its communication accounting
+// (Section IV-B). The simulator (internal/sim) and the scheduler
+// (internal/sched) consume only these quantities — exactly the inputs the
+// paper's optimization algorithms require.
+package device
+
+import (
+	"fmt"
+
+	"repro/internal/tiled"
+)
+
+// Class is the paper's four-step classification of tile operations.
+type Class uint8
+
+const (
+	// ClassT is triangulation (GEQRT).
+	ClassT Class = iota
+	// ClassE is elimination (TSQRT/TTQRT).
+	ClassE
+	// ClassUT is update-for-triangulation (UNMQR).
+	ClassUT
+	// ClassUE is update-for-elimination (TSMQR/TTMQR).
+	ClassUE
+	// NumClasses is the number of operation classes.
+	NumClasses
+)
+
+// String returns the paper's abbreviation for the class.
+func (c Class) String() string {
+	switch c {
+	case ClassT:
+		return "T"
+	case ClassE:
+		return "E"
+	case ClassUT:
+		return "UT"
+	case ClassUE:
+		return "UE"
+	default:
+		return fmt.Sprintf("Class(%d)", uint8(c))
+	}
+}
+
+// ClassOf maps a tiled-QR operation kind to its class.
+func ClassOf(k tiled.Kind) Class {
+	switch k {
+	case tiled.KindGEQRT:
+		return ClassT
+	case tiled.KindTSQRT, tiled.KindTTQRT:
+		return ClassE
+	case tiled.KindUNMQR:
+		return ClassUT
+	default:
+		return ClassUE
+	}
+}
+
+// Profile is a device performance model.
+//
+// A single tile operation of class c on tile size b costs
+//
+//	LaunchUS + Cube[c]·b³   microseconds,
+//
+// matching the shape of the paper's Fig. 4 curves (a fixed kernel-dispatch
+// overhead plus a cubic compute term). Those single-op latencies include
+// per-launch effects that amortize away in production phases, so bulk
+// execution is governed by two further parameters:
+//
+//   - a batch of t independent tile operations issued together shares one
+//     launch, runs Slots tiles at a time, and streams each tile at
+//     BulkScale of its single-op compute cost:
+//     LaunchUS + ceil(t/Slots)·Cube[c]·b³·BulkScale;
+//   - the panel (the dependent triangulate-and-eliminate chain down one
+//     column) either runs as one fused launch whose chained eliminations
+//     cost PanelChainScale of a full elimination each (PanelFused — the
+//     custom GPU column kernel), or as a serial per-tile chain at full
+//     single-op cost (the CPU's task-based path; this is what makes the
+//     CPU catastrophic as a main computing device, Section VI-B).
+//
+// Slots captures the device's usable tile-level parallelism (the paper's
+// "number of parallel cores" normalised by the threads one b=16 tile kernel
+// occupies); it is what makes a 1536-core GTX680 the better update engine
+// even though its per-tile latency is worse than the GTX580's.
+type Profile struct {
+	Name     string
+	Kind     string // "cpu" or "gpu"
+	Cores    int
+	Slots    int
+	LaunchUS float64
+	Cube     [NumClasses]float64 // µs per b³ per tile, by class
+	// BulkScale is the sustained-throughput discount for batched tiles
+	// relative to the single-op compute cost (0 < BulkScale ≤ 1).
+	BulkScale float64
+	// PanelFused selects the fused column-kernel panel model; when false
+	// the panel is a serial chain of single-tile operations.
+	PanelFused bool
+	// PanelChainScale is the per-elimination cost fraction inside a fused
+	// panel kernel.
+	PanelChainScale float64
+}
+
+// SingleTileUS returns the time for one isolated tile operation — the
+// quantity the paper plots in Fig. 4.
+func (p *Profile) SingleTileUS(c Class, b int) float64 {
+	return p.LaunchUS + p.computeUS(c, b)
+}
+
+func (p *Profile) computeUS(c Class, b int) float64 {
+	bb := float64(b)
+	return p.Cube[c] * bb * bb * bb
+}
+
+// bulkUS returns the sustained per-tile compute cost in a batch.
+func (p *Profile) bulkUS(c Class, b int) float64 {
+	return p.computeUS(c, b) * p.BulkScale
+}
+
+// BatchUS returns the time for a batch of `tiles` independent tile
+// operations of one class issued as a single launch.
+func (p *Profile) BatchUS(c Class, b, tiles int) float64 {
+	if tiles <= 0 {
+		return 0
+	}
+	rounds := (tiles + p.Slots - 1) / p.Slots
+	return p.LaunchUS + float64(rounds)*p.bulkUS(c, b)
+}
+
+// UpdateTilesPerUS returns the device's steady-state update throughput in
+// tiles per microsecond (UT and UE averaged), the quantity Algorithm 4's
+// ratio construction ("the number of tiles that can be updated in a unit
+// time") is built from.
+func (p *Profile) UpdateTilesPerUS(b int) float64 {
+	per := (p.bulkUS(ClassUT, b) + p.bulkUS(ClassUE, b)) / 2
+	if per == 0 {
+		return 0
+	}
+	return float64(p.Slots) / per
+}
+
+// UpdatePairUS returns the throughput-adjusted time to push one tile through
+// both update steps (UT + UE), used by the Eq. 10 operation-time model.
+func (p *Profile) UpdatePairUS(b int) float64 {
+	return (p.bulkUS(ClassUT, b) + p.bulkUS(ClassUE, b)) / float64(p.Slots)
+}
+
+// PanelUS returns the time for the panel factorization of one column of m
+// tiles on this device (the paper's Table I panel: M tiles triangulated, M
+// eliminated). Fused devices run it as one launch with chain-discounted
+// eliminations; unfused devices walk the dependent chain at full single-op
+// cost — the model that reproduces the paper's measured CPU-as-main times.
+func (p *Profile) PanelUS(b, m int) float64 {
+	if m <= 0 {
+		return 0
+	}
+	if p.PanelFused {
+		return p.LaunchUS + p.computeUS(ClassT, b) +
+			float64(m-1)*p.computeUS(ClassE, b)*p.PanelChainScale
+	}
+	return float64(m)*p.SingleTileUS(ClassT, b) +
+		float64(m-1)*p.SingleTileUS(ClassE, b)
+}
+
+// Link models one PCI-express path. A transfer is one batched DMA: a fixed
+// setup cost followed by the payload streaming at the link bandwidth —
+// matching the paper's Eq. 11, which prices communication purely by volume
+// over link speed. speed(x, x) = ∞ in Eq. 11 is represented by the caller
+// skipping same-device transfers. Each device owns one link, so concurrent
+// outgoing transfers from the same source serialize (the simulator models
+// this); that contention is what makes every additional participating
+// device cost real broadcast time.
+type Link struct {
+	SetupUS    float64 // per-transfer DMA setup cost
+	BytesPerUS float64 // sustained bandwidth
+}
+
+// TransferUS returns the time to move one batched transfer of `bytes` bytes
+// across the link.
+func (l Link) TransferUS(bytes float64) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return l.SetupUS + bytes/l.BytesPerUS
+}
+
+// Platform is a full machine description: the device set, the interconnect,
+// and the element width used by the paper's communication accounting.
+//
+// NodeOf and Network extend the single-node model of the paper toward its
+// stated future work ("expanding ... into a multi node environment"):
+// when two devices live on different nodes, their transfers use the Network
+// link instead of the intra-node PCIe link. A nil NodeOf means everything
+// shares one node.
+type Platform struct {
+	Devices   []*Profile
+	Link      Link
+	ElemBytes int
+	// NodeOf[i] is the node hosting device i; nil = single node.
+	NodeOf []int
+	// Network is the inter-node interconnect, used when NodeOf differs.
+	Network Link
+}
+
+// LinkBetween returns the link used for transfers between two devices
+// (by platform index): intra-node PCIe, or the inter-node network.
+func (pl *Platform) LinkBetween(a, b int) Link {
+	if pl.NodeOf == nil || a == b {
+		return pl.Link
+	}
+	if a < len(pl.NodeOf) && b < len(pl.NodeOf) && pl.NodeOf[a] != pl.NodeOf[b] {
+		return pl.Network
+	}
+	return pl.Link
+}
+
+// TileBytes returns the size of one b×b tile on the wire.
+func (pl *Platform) TileBytes(b int) float64 {
+	return float64(b) * float64(b) * float64(pl.ElemBytes)
+}
+
+// DeviceByName returns the profile with the given name.
+func (pl *Platform) DeviceByName(name string) (*Profile, error) {
+	for _, d := range pl.Devices {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return nil, fmt.Errorf("device: no device named %q", name)
+}
+
+// Index returns the position of the profile in the platform's device list,
+// or -1 if absent.
+func (pl *Platform) Index(p *Profile) int {
+	for i, d := range pl.Devices {
+		if d == p {
+			return i
+		}
+	}
+	return -1
+}
+
+// Validate checks that a profile is internally consistent: positive core,
+// slot and scale figures and non-negative timing coefficients.
+func (p *Profile) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("device: profile without a name")
+	}
+	if p.Cores < 1 || p.Slots < 1 {
+		return fmt.Errorf("device: %s has cores=%d slots=%d", p.Name, p.Cores, p.Slots)
+	}
+	if p.LaunchUS < 0 {
+		return fmt.Errorf("device: %s has negative launch overhead", p.Name)
+	}
+	if p.BulkScale <= 0 || p.BulkScale > 1 {
+		return fmt.Errorf("device: %s has bulk scale %v outside (0, 1]", p.Name, p.BulkScale)
+	}
+	if p.PanelFused && (p.PanelChainScale <= 0 || p.PanelChainScale > 1) {
+		return fmt.Errorf("device: %s has panel chain scale %v outside (0, 1]", p.Name, p.PanelChainScale)
+	}
+	for c := Class(0); c < NumClasses; c++ {
+		if p.Cube[c] <= 0 {
+			return fmt.Errorf("device: %s has non-positive %v coefficient", p.Name, c)
+		}
+	}
+	return nil
+}
+
+// Validate checks the platform: at least one device, all devices valid,
+// a usable link, and a consistent node map.
+func (pl *Platform) Validate() error {
+	if len(pl.Devices) == 0 {
+		return fmt.Errorf("device: empty platform")
+	}
+	for _, d := range pl.Devices {
+		if err := d.Validate(); err != nil {
+			return err
+		}
+	}
+	if pl.Link.BytesPerUS <= 0 {
+		return fmt.Errorf("device: link bandwidth %v", pl.Link.BytesPerUS)
+	}
+	if pl.ElemBytes < 1 {
+		return fmt.Errorf("device: element size %d", pl.ElemBytes)
+	}
+	if pl.NodeOf != nil {
+		if len(pl.NodeOf) != len(pl.Devices) {
+			return fmt.Errorf("device: %d node entries for %d devices", len(pl.NodeOf), len(pl.Devices))
+		}
+		if pl.Network.BytesPerUS <= 0 {
+			return fmt.Errorf("device: multi-node platform without a network")
+		}
+	}
+	return nil
+}

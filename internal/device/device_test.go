@@ -1,0 +1,297 @@
+package device
+
+import (
+	"testing"
+
+	"repro/internal/tiled"
+)
+
+func TestClassOf(t *testing.T) {
+	cases := map[tiled.Kind]Class{
+		tiled.KindGEQRT: ClassT,
+		tiled.KindUNMQR: ClassUT,
+		tiled.KindTSQRT: ClassE,
+		tiled.KindTTQRT: ClassE,
+		tiled.KindTSMQR: ClassUE,
+		tiled.KindTTMQR: ClassUE,
+	}
+	for kind, want := range cases {
+		if got := ClassOf(kind); got != want {
+			t.Errorf("ClassOf(%v) = %v, want %v", kind, got, want)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if ClassT.String() != "T" || ClassUE.String() != "UE" {
+		t.Fatal("class names wrong")
+	}
+}
+
+// TestFig4Shape verifies the calibrated profiles reproduce the qualitative
+// content of the paper's Fig. 4: single-tile times grow with tile size, the
+// ordering T > E > UT/UE holds on every device, and the CPU is the slowest
+// device per tile while the GTX580 beats the GTX680 per tile.
+func TestFig4Shape(t *testing.T) {
+	devs := []*Profile{GTX580(), GTX680(), CPUi7()}
+	for _, d := range devs {
+		prev := 0.0
+		for b := 4; b <= 28; b += 4 {
+			tt := d.SingleTileUS(ClassT, b)
+			if tt <= prev {
+				t.Fatalf("%s: T time not increasing at b=%d", d.Name, b)
+			}
+			prev = tt
+			if !(d.SingleTileUS(ClassT, b) > d.SingleTileUS(ClassE, b)) {
+				t.Fatalf("%s: T ≤ E at b=%d", d.Name, b)
+			}
+			if !(d.SingleTileUS(ClassE, b) > d.SingleTileUS(ClassUE, b)) {
+				t.Fatalf("%s: E ≤ UE at b=%d", d.Name, b)
+			}
+		}
+	}
+	for _, c := range []Class{ClassT, ClassE, ClassUT, ClassUE} {
+		if !(CPUi7().SingleTileUS(c, 16) > GTX680().SingleTileUS(c, 16)) {
+			t.Fatalf("CPU must be slowest per tile for %v", c)
+		}
+		if !(GTX680().SingleTileUS(c, 16) > GTX580().SingleTileUS(c, 16)) {
+			t.Fatalf("GTX680 must be per-tile slower than GTX580 for %v", c)
+		}
+	}
+}
+
+func TestFig4CalibrationAnchors(t *testing.T) {
+	// The b=28 anchors must reproduce the Fig. 4 readings exactly.
+	anchors := []struct {
+		dev  *Profile
+		c    Class
+		want float64
+	}{
+		{GTX580(), ClassT, 450}, {GTX580(), ClassE, 300}, {GTX580(), ClassUE, 120},
+		{GTX680(), ClassT, 650}, {GTX680(), ClassE, 430}, {GTX680(), ClassUE, 150},
+		{CPUi7(), ClassT, 2900}, {CPUi7(), ClassE, 2000}, {CPUi7(), ClassUE, 700},
+	}
+	for _, a := range anchors {
+		got := a.dev.SingleTileUS(a.c, 28)
+		if got < a.want-0.5 || got > a.want+0.5 {
+			t.Errorf("%s %v at b=28: %.1f, want %.0f", a.dev.Name, a.c, got, a.want)
+		}
+	}
+}
+
+func TestBatchAmortizesLaunch(t *testing.T) {
+	d := GTX680()
+	single := d.SingleTileUS(ClassUE, 16)
+	batch := d.BatchUS(ClassUE, 16, d.Slots)
+	if batch >= single*float64(d.Slots) {
+		t.Fatalf("batch of %d tiles (%.1f) must beat %d singles (%.1f)",
+			d.Slots, batch, d.Slots, single*float64(d.Slots))
+	}
+	// Slots+1 tiles need a second round.
+	if d.BatchUS(ClassUE, 16, d.Slots+1) <= d.BatchUS(ClassUE, 16, d.Slots) {
+		t.Fatal("extra round must cost extra time")
+	}
+	if d.BatchUS(ClassUE, 16, 0) != 0 {
+		t.Fatal("empty batch must cost 0")
+	}
+}
+
+func TestUpdateThroughputOrdering(t *testing.T) {
+	// The structural fact behind the paper's device roles: the GTX680 has
+	// the highest update throughput, the CPU by far the lowest.
+	b := 16
+	cpu, g580, g680 := CPUi7(), GTX580(), GTX680()
+	if !(g680.UpdateTilesPerUS(b) > g580.UpdateTilesPerUS(b)) {
+		t.Fatal("GTX680 must out-update GTX580")
+	}
+	if !(g580.UpdateTilesPerUS(b) > 5*cpu.UpdateTilesPerUS(b)) {
+		t.Fatal("GPUs must dominate the CPU on updates")
+	}
+}
+
+func TestPanelTime(t *testing.T) {
+	d := GTX580()
+	if d.PanelUS(16, 0) != 0 {
+		t.Fatal("empty panel must cost 0")
+	}
+	one := d.PanelUS(16, 1)
+	if one != d.SingleTileUS(ClassT, 16) {
+		t.Fatal("single-tile fused panel is one triangulation launch")
+	}
+	if !(d.PanelUS(16, 64) > d.PanelUS(16, 8)) {
+		t.Fatal("panel time must grow with column height")
+	}
+}
+
+func TestLinkTransfer(t *testing.T) {
+	l := PCIe()
+	if l.TransferUS(0) != 0 {
+		t.Fatal("empty transfer must cost 0")
+	}
+	one := l.TransferUS(1024)
+	ten := l.TransferUS(10240)
+	if one <= l.SetupUS {
+		t.Fatal("transfer must include setup plus payload time")
+	}
+	// Batched DMA: 10 tiles in one transfer pay the setup once.
+	if got, want := ten-one, 9*1024/l.BytesPerUS; got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("marginal payload cost %.3f, want %.3f (setup must amortize)", got, want)
+	}
+}
+
+func TestPanelModelRoles(t *testing.T) {
+	// The panel model must reproduce the Fig. 9 structure: the GTX580 has
+	// the fastest panel, the GTX680 is moderately slower, and the CPU's
+	// unfused serial chain is catastrophically slower.
+	const b, m = 16, 200
+	g580, g680, cpu := GTX580().PanelUS(b, m), GTX680().PanelUS(b, m), CPUi7().PanelUS(b, m)
+	if !(g580 < g680) {
+		t.Fatalf("GTX580 panel (%.0f) must beat GTX680 (%.0f)", g580, g680)
+	}
+	if !(cpu > 10*g680) {
+		t.Fatalf("CPU panel (%.0f) must be far slower than GPU panels (%.0f)", cpu, g680)
+	}
+}
+
+func TestPaperPlatform(t *testing.T) {
+	pl := PaperPlatform()
+	if len(pl.Devices) != 4 {
+		t.Fatalf("platform has %d devices", len(pl.Devices))
+	}
+	if _, err := pl.DeviceByName("GTX580"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pl.DeviceByName("nope"); err == nil {
+		t.Fatal("expected lookup error")
+	}
+	if pl.TileBytes(16) != 1024 {
+		t.Fatalf("tile bytes = %v", pl.TileBytes(16))
+	}
+	totalCores := 0
+	for _, d := range pl.Devices {
+		totalCores += d.Cores
+	}
+	if totalCores != 4+512+1536+1536 { // the paper's 3,588 parallel cores
+		t.Fatalf("total cores = %d", totalCores)
+	}
+	if idx := pl.Index(pl.Devices[2]); idx != 2 {
+		t.Fatalf("Index = %d", idx)
+	}
+	if idx := pl.Index(GTX580()); idx != -1 {
+		t.Fatalf("foreign profile Index = %d", idx)
+	}
+}
+
+func TestXeonPhiBetweenCPUAndGPUs(t *testing.T) {
+	phi := XeonPhi()
+	cpu, g680 := CPUi7(), GTX680()
+	b := 16
+	if !(phi.UpdateTilesPerUS(b) > cpu.UpdateTilesPerUS(b)) {
+		t.Fatal("Phi must out-update the CPU")
+	}
+	if !(phi.UpdateTilesPerUS(b) < g680.UpdateTilesPerUS(b)) {
+		t.Fatal("Phi must not out-update the GTX680")
+	}
+	if phi.PanelFused {
+		t.Fatal("Phi panel is not a fused column kernel")
+	}
+}
+
+func TestPhiPlatform(t *testing.T) {
+	pl := PhiPlatform()
+	if len(pl.Devices) != 5 {
+		t.Fatalf("%d devices", len(pl.Devices))
+	}
+	if _, err := pl.DeviceByName("XeonPhi-5110P"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinkBetweenNodes(t *testing.T) {
+	pl := MultiNodePlatform(2)
+	if len(pl.Devices) != 8 || len(pl.NodeOf) != 8 {
+		t.Fatalf("%d devices, %d node entries", len(pl.Devices), len(pl.NodeOf))
+	}
+	// Same node → PCIe; cross node → network.
+	same := pl.LinkBetween(1, 2)
+	cross := pl.LinkBetween(1, 5)
+	if same != pl.Link {
+		t.Fatal("intra-node link must be PCIe")
+	}
+	if cross != pl.Network {
+		t.Fatal("inter-node link must be the network")
+	}
+	if !(cross.TransferUS(1e6) > same.TransferUS(1e6)) {
+		t.Fatal("network must be slower than PCIe")
+	}
+	// Single-node platform: LinkBetween is always PCIe.
+	solo := PaperPlatform()
+	if solo.LinkBetween(0, 3) != solo.Link {
+		t.Fatal("nil NodeOf must mean one node")
+	}
+}
+
+func TestMultiNodePlatformClampsNodes(t *testing.T) {
+	pl := MultiNodePlatform(0)
+	if len(pl.Devices) != 4 {
+		t.Fatalf("%d devices for clamped single node", len(pl.Devices))
+	}
+}
+
+func TestProfilesValidate(t *testing.T) {
+	for _, p := range []*Profile{GTX580(), GTX680(), CPUi7(), XeonPhi()} {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+	}
+	for _, pl := range []*Platform{PaperPlatform(), PhiPlatform(), MultiNodePlatform(2)} {
+		if err := pl.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestValidateCatchesBadProfiles(t *testing.T) {
+	bad := GTX580()
+	bad.Slots = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero slots must fail")
+	}
+	bad2 := GTX580()
+	bad2.BulkScale = 0
+	if bad2.Validate() == nil {
+		t.Fatal("zero bulk scale must fail")
+	}
+	badPl := PaperPlatform()
+	badPl.Link.BytesPerUS = 0
+	if badPl.Validate() == nil {
+		t.Fatal("zero bandwidth must fail")
+	}
+	badNodes := MultiNodePlatform(2)
+	badNodes.NodeOf = badNodes.NodeOf[:3]
+	if badNodes.Validate() == nil {
+		t.Fatal("node map mismatch must fail")
+	}
+}
+
+func TestClassStringAllBranches(t *testing.T) {
+	names := map[Class]string{ClassT: "T", ClassE: "E", ClassUT: "UT", ClassUE: "UE"}
+	for c, want := range names {
+		if c.String() != want {
+			t.Fatalf("%d: %s", c, c.String())
+		}
+	}
+	if Class(42).String() == "" {
+		t.Fatal("unknown class must stringify")
+	}
+}
+
+func TestUpdatePairUSConsistent(t *testing.T) {
+	d := GTX680()
+	pair := d.UpdatePairUS(16)
+	// One tile through UT+UE at throughput speed equals 2/throughput.
+	want := 2 / d.UpdateTilesPerUS(16)
+	if diff := pair - want; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("UpdatePairUS %v vs 2/throughput %v", pair, want)
+	}
+}

@@ -1,0 +1,173 @@
+package device
+
+// Calibration provenance.
+//
+// The cubic coefficients below are two-point fits of the paper's Fig. 4
+// single-tile measurements, t(b) = LaunchUS + Cube·b³, anchored at
+// b = 16 (the paper's production tile size) and b = 28 (the largest point
+// plotted). Fig. 4 reports, approximately:
+//
+//	GTX580 (Fig. 4a):  T ≈ 450 µs, E ≈ 300 µs, UT/UE ≈ 120 µs at b = 28
+//	GTX680 (Fig. 4b):  T ≈ 650 µs, E ≈ 430 µs, UT/UE ≈ 150 µs at b = 28
+//	CPU    (Fig. 4c):  T ≈ 2900 µs, E ≈ 2000 µs, UT/UE ≈ 700 µs at b = 28
+//
+// Launch overheads are the near-constant floor of the small-tile end of the
+// curves (CUDA kernel dispatch for the GPUs, PLASMA task overhead for the
+// CPU). Slots is the number of b=16 tile kernels the device executes
+// concurrently: one per CPU core; cores/16 for the GPUs (a 16-wide thread
+// block per tile), which reproduces the paper's observation that the GTX680
+// is per-tile slower but in aggregate the stronger update device.
+//
+// These constants reproduce the paper's qualitative landscape (who wins
+// each role, where the device-count tradeoff crosses over); they are not —
+// and cannot be — bit-accurate timings of 2013 hardware.
+
+const cube28 = 28.0 * 28.0 * 28.0 // 21952
+
+func fit(t28, launch float64) float64 { return (t28 - launch) / cube28 }
+
+// GTX580 models the NVIDIA GTX580 (512 cores): the per-tile fastest GPU and
+// the paper's choice of main computing device.
+func GTX580() *Profile {
+	const launch = 30
+	return &Profile{
+		Name:            "GTX580",
+		Kind:            "gpu",
+		Cores:           512,
+		Slots:           512 / 16,
+		LaunchUS:        launch,
+		BulkScale:       1.0 / 3,
+		PanelFused:      true,
+		PanelChainScale: 0.1,
+		Cube: [NumClasses]float64{
+			ClassT:  fit(450, launch),
+			ClassE:  fit(300, launch),
+			ClassUT: fit(120, launch),
+			ClassUE: fit(120, launch),
+		},
+	}
+}
+
+// GTX680 models the NVIDIA GTX680 (1536 cores): per-tile slower than the
+// GTX580 but with twice the usable parallel slots (Kepler's wider SMX units
+// sustain fewer concurrent small tile kernels per core than Fermi, so slots
+// scale sub-linearly with the core count), making it the preferred update
+// device (paper Section VI-B).
+func GTX680() *Profile {
+	const launch = 35
+	return &Profile{
+		Name:            "GTX680",
+		Kind:            "gpu",
+		Cores:           1536,
+		Slots:           64,
+		LaunchUS:        launch,
+		BulkScale:       1.0 / 3,
+		PanelFused:      true,
+		PanelChainScale: 0.1,
+		Cube: [NumClasses]float64{
+			ClassT:  fit(650, launch),
+			ClassE:  fit(430, launch),
+			ClassUT: fit(150, launch),
+			ClassUE: fit(150, launch),
+		},
+	}
+}
+
+// CPUi7 models the Intel i7-3820 quad-core CPU running the PLASMA kernels
+// (paper Fig. 4c). Its per-tile times make it unsuitable as the main
+// computing device — the paper measures a 60×+ slowdown when it is forced
+// into that role (Section VI-B).
+func CPUi7() *Profile {
+	const launch = 2
+	return &Profile{
+		Name:      "CPU-i7-3820",
+		Kind:      "cpu",
+		Cores:     4,
+		Slots:     4,
+		LaunchUS:  launch,
+		BulkScale: 0.04,
+		Cube: [NumClasses]float64{
+			ClassT:  fit(2900, launch),
+			ClassE:  fit(2000, launch),
+			ClassUT: fit(700, launch),
+			ClassUE: fit(700, launch),
+		},
+	}
+}
+
+// PCIe models the evaluation machine's PCI-express fabric: a fixed DMA
+// setup cost per batched transfer plus streaming at an effective 5 GB/s.
+func PCIe() Link {
+	return Link{SetupUS: 40, BytesPerUS: 5000}
+}
+
+// PaperPlatform returns the full evaluation machine of Table II:
+// one i7-3820 CPU, one GTX580 and two GTX680s on PCI-express, with the
+// 4-byte elements the paper's communication model counts.
+func PaperPlatform() *Platform {
+	return &Platform{
+		Devices:   []*Profile{CPUi7(), GTX580(), GTX680(), GTX680()},
+		Link:      PCIe(),
+		ElemBytes: 4,
+	}
+}
+
+// XeonPhi models an Intel Xeon Phi 5110P coprocessor (60 cores), the other
+// accelerator the paper's introduction names and its conclusion leaves as
+// future work. The model places it between the CPU and the GPUs: many
+// moderately fast cores make it a capable update engine, while the offload
+// round-trip and the lack of a fused column kernel keep it a mediocre main
+// computing device. Constants are plausible-scale estimates (there is no
+// Fig. 4 measurement to calibrate against) and are exercised by the
+// extension experiments only.
+func XeonPhi() *Profile {
+	const launch = 40 // offload dispatch round-trip
+	return &Profile{
+		Name:      "XeonPhi-5110P",
+		Kind:      "phi",
+		Cores:     60,
+		Slots:     60,
+		LaunchUS:  launch,
+		BulkScale: 1.0 / 3,
+		Cube: [NumClasses]float64{
+			ClassT:  fit(1300, launch),
+			ClassE:  fit(900, launch),
+			ClassUT: fit(330, launch),
+			ClassUE: fit(330, launch),
+		},
+	}
+}
+
+// PhiPlatform returns the paper platform extended with a Xeon Phi — the
+// "other computing devices" scenario of the paper's conclusion.
+func PhiPlatform() *Platform {
+	return &Platform{
+		Devices:   []*Profile{CPUi7(), GTX580(), GTX680(), GTX680(), XeonPhi()},
+		Link:      PCIe(),
+		ElemBytes: 4,
+	}
+}
+
+// Ethernet10G models a 10-gigabit inter-node network: a millisecond-scale
+// software round-trip plus ~1.25 GB/s of streaming bandwidth.
+func Ethernet10G() Link {
+	return Link{SetupUS: 300, BytesPerUS: 1250}
+}
+
+// MultiNodePlatform replicates the paper machine across `nodes` nodes
+// joined by 10 GbE — the paper's "multi node environment" future work.
+// Device order is node-major (node 0's CPU, GTX580, GTX680, GTX680, then
+// node 1's, …).
+func MultiNodePlatform(nodes int) *Platform {
+	if nodes < 1 {
+		nodes = 1
+	}
+	pl := &Platform{Link: PCIe(), ElemBytes: 4, Network: Ethernet10G()}
+	for n := 0; n < nodes; n++ {
+		for _, d := range []*Profile{CPUi7(), GTX580(), GTX680(), GTX680()} {
+			pl.Devices = append(pl.Devices, d)
+			pl.NodeOf = append(pl.NodeOf, n)
+		}
+	}
+	return pl
+}

@@ -1,0 +1,133 @@
+package kernels
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/matrix"
+	"repro/internal/workload"
+)
+
+// Kernel microbenchmarks: per-tile costs of the four operation families —
+// the Go-native analogue of the paper's Fig. 4 measurements, and the
+// substrate for the TS-vs-TT "same amount of arithmetic" claim
+// (Section II-B).
+
+func benchSizes() []int { return []int{8, 16, 32} }
+
+func BenchmarkGEQRT(b *testing.B) {
+	for _, n := range benchSizes() {
+		b.Run(fmt.Sprintf("b%d", n), func(b *testing.B) {
+			src := workload.Normal(1, n, n)
+			a := matrix.New(n, n)
+			t := matrix.New(n, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a.CopyFrom(src)
+				GEQRT(a, t)
+			}
+		})
+	}
+}
+
+func BenchmarkUNMQR(b *testing.B) {
+	for _, n := range benchSizes() {
+		b.Run(fmt.Sprintf("b%d", n), func(b *testing.B) {
+			v := workload.Normal(2, n, n)
+			t := matrix.New(n, n)
+			GEQRT(v, t)
+			c := workload.Normal(3, n, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				UNMQR(v, t, c, true)
+			}
+		})
+	}
+}
+
+func BenchmarkTSQRT(b *testing.B) {
+	for _, n := range benchSizes() {
+		b.Run(fmt.Sprintf("b%d", n), func(b *testing.B) {
+			r0 := matrix.UpperTriangular(workload.Normal(4, n, n))
+			a0 := workload.Normal(5, n, n)
+			r := matrix.New(n, n)
+			a := matrix.New(n, n)
+			t := matrix.New(n, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.CopyFrom(r0)
+				a.CopyFrom(a0)
+				TSQRT(r, a, t)
+			}
+		})
+	}
+}
+
+func BenchmarkTSMQR(b *testing.B) {
+	for _, n := range benchSizes() {
+		b.Run(fmt.Sprintf("b%d", n), func(b *testing.B) {
+			r := matrix.UpperTriangular(workload.Normal(6, n, n))
+			v := workload.Normal(7, n, n)
+			t := matrix.New(n, n)
+			TSQRT(r, v, t)
+			c1 := workload.Normal(8, n, n)
+			c2 := workload.Normal(9, n, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				TSMQR(v, t, c1, c2, true)
+			}
+		})
+	}
+}
+
+// BenchmarkTTQRTvsTSQRT quantifies the paper's "both cases have same amount
+// of arithmetic operation" claim: the TT kernel exploits the triangular
+// structure of its bottom tile, so per pair it is cheaper; the extra GEQRT
+// that produced the triangle makes up the difference.
+func BenchmarkTTQRTvsTSQRT(b *testing.B) {
+	const n = 16
+	b.Run("TSQRT", func(b *testing.B) {
+		r0 := matrix.UpperTriangular(workload.Normal(10, n, n))
+		a0 := workload.Normal(11, n, n)
+		r := matrix.New(n, n)
+		a := matrix.New(n, n)
+		t := matrix.New(n, n)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.CopyFrom(r0)
+			a.CopyFrom(a0)
+			TSQRT(r, a, t)
+		}
+	})
+	b.Run("TTQRT", func(b *testing.B) {
+		r1o := matrix.UpperTriangular(workload.Normal(12, n, n))
+		r2o := matrix.UpperTriangular(workload.Normal(13, n, n))
+		r1 := matrix.New(n, n)
+		r2 := matrix.New(n, n)
+		v2 := matrix.New(n, n)
+		t := matrix.New(n, n)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r1.CopyFrom(r1o)
+			r2.CopyFrom(r2o)
+			TTQRT(r1, r2, v2, t)
+		}
+	})
+	b.Run("GEQRT+TTQRT", func(b *testing.B) {
+		r1o := matrix.UpperTriangular(workload.Normal(14, n, n))
+		a0 := workload.Normal(15, n, n)
+		r1 := matrix.New(n, n)
+		a := matrix.New(n, n)
+		tg := matrix.New(n, n)
+		v2 := matrix.New(n, n)
+		t := matrix.New(n, n)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r1.CopyFrom(r1o)
+			a.CopyFrom(a0)
+			GEQRT(a, tg)
+			r2 := matrix.UpperTriangular(a)
+			TTQRT(r1, r2, v2, t)
+		}
+	})
+}

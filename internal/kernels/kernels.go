@@ -1,0 +1,346 @@
+// Package kernels implements the four tile-operation families of the tiled
+// QR algorithm (paper Section II-B):
+//
+//	GEQRT  — triangulation (T): QR of one tile, producing V, R and the
+//	         compact-WY block factor T.
+//	UNMQR  — update-for-triangulation (UT): apply the GEQRT reflectors to a
+//	         tile on the right of the diagonal.
+//	TSQRT  — triangle-on-top-of-square elimination (E/TS): annihilate a full
+//	         tile below a triangulated diagonal tile.
+//	TSMQR  — update-for-elimination (UE/TS): apply TSQRT reflectors to the
+//	         tile pair on the right.
+//	TTQRT  — triangle-on-top-of-triangle elimination (E/TT): annihilate an
+//	         already-triangulated tile, exploiting its upper-triangular
+//	         structure (used by tree-based elimination orders).
+//	TTMQR  — update-for-elimination (UE/TT).
+//
+// All kernels support rectangular edge tiles. Storage conventions match
+// PLASMA: GEQRT leaves R on/above the diagonal and the reflector tails below
+// it (unit diagonal implicit); TSQRT/TTQRT leave the annihilated tile holding
+// the reflector tails (the eliminated R entries are implicitly zero).
+// The T factors are produced into caller-supplied matrices so the runtime
+// can own their placement.
+package kernels
+
+import (
+	"fmt"
+
+	"repro/internal/lapack"
+	"repro/internal/matrix"
+)
+
+// GEQRT performs the triangulation step on tile a (m×n) in place and fills
+// t, the k×k upper-triangular block factor with k = min(m, n):
+// on return, Q = I − V·T·Vᵀ where V is a's unit-lower reflector storage,
+// and the upper triangle of a holds R.
+func GEQRT(a, t *matrix.Matrix) {
+	k := min(a.Rows, a.Cols)
+	if t.Rows != k || t.Cols != k {
+		panic(fmt.Sprintf("kernels: GEQRT T is %dx%d, want %dx%d", t.Rows, t.Cols, k, k))
+	}
+	tau := lapack.QR2(a)
+	if k == 0 {
+		return
+	}
+	v := a.SubMatrix(0, 0, a.Rows, k)
+	t.CopyFrom(lapack.LarfT(v, tau))
+}
+
+// UNMQR performs the update-for-triangulation step: it applies the
+// orthogonal factor held in the factored tile v (with block factor t) to
+// tile c from the left.
+//
+//	c ← Qᵀ·c  if trans (the factorization direction)
+//	c ← Q·c   otherwise (used when forming Q explicitly).
+func UNMQR(v, t, c *matrix.Matrix, trans bool) {
+	k := t.Rows
+	if k == 0 || c.IsEmpty() {
+		return
+	}
+	if v.Rows != c.Rows {
+		panic(fmt.Sprintf("kernels: UNMQR V has %d rows, C has %d", v.Rows, c.Rows))
+	}
+	lapack.LarfB(v.SubMatrix(0, 0, v.Rows, k), t, c, trans)
+}
+
+// TSQRT performs the triangle-on-top-of-square elimination step. It couples
+// the R factor held in the upper triangle of the diagonal tile r (whose
+// reflector storage below the diagonal is preserved untouched) with the full
+// tile a below it, zeroing a:
+//
+//	[ R ]      [ R' ]
+//	[ A ]  →   [ 0  ]   with the reflector tails stored in a.
+//
+// r must have at least a.Cols rows (true for every non-final diagonal tile);
+// a may have any positive row count. t (a.Cols × a.Cols) receives the block
+// factor. Because every reflector's "top" component is a single diagonal
+// element of R, only the rows 0..a.Cols−1 of r at columns ≥ j are modified.
+func TSQRT(r, a, t *matrix.Matrix) {
+	n := a.Cols
+	if r.Cols != n {
+		panic(fmt.Sprintf("kernels: TSQRT column mismatch R %d, A %d", r.Cols, n))
+	}
+	if r.Rows < n {
+		panic(fmt.Sprintf("kernels: TSQRT R has %d rows, need ≥ %d", r.Rows, n))
+	}
+	if t.Rows != n || t.Cols != n {
+		panic(fmt.Sprintf("kernels: TSQRT T is %dx%d, want %dx%d", t.Rows, t.Cols, n, n))
+	}
+	t.Zero()
+	m := a.Rows
+	x := make([]float64, m+1)
+	w := make([]float64, n)
+	for j := 0; j < n; j++ {
+		// Householder of [R[j,j]; A[:,j]].
+		x[0] = r.At(j, j)
+		for i := 0; i < m; i++ {
+			x[1+i] = a.At(i, j)
+		}
+		tauJ, _ := lapack.GenHouseholder(x[:m+1])
+		r.Set(j, j, x[0])
+		for i := 0; i < m; i++ {
+			a.Set(i, j, x[1+i])
+		}
+		rj := r.Row(j)
+		// Update trailing columns: only row j of R participates on top.
+		// All loops stream A's rows (row-major storage): first accumulate
+		// w[jj] = R[j,jj] + Σ_i v_i·A[i,jj], then apply the rank-1 update.
+		if j+1 < n {
+			wt := w[j+1 : n]
+			copy(wt, rj[j+1:n])
+			for i := 0; i < m; i++ {
+				ai := a.Row(i)
+				vi := ai[j]
+				if vi == 0 {
+					continue
+				}
+				for q, av := range ai[j+1 : n] {
+					wt[q] += vi * av
+				}
+			}
+			for q := range wt {
+				wt[q] *= tauJ
+				rj[j+1+q] -= wt[q]
+			}
+			for i := 0; i < m; i++ {
+				ai := a.Row(i)
+				vi := ai[j]
+				if vi == 0 {
+					continue
+				}
+				for q, wv := range wt {
+					ai[j+1+q] -= wv * vi
+				}
+			}
+		}
+		// Block factor column: tops are orthogonal unit vectors, so only the
+		// bottom tails contribute: w[p] = A[:,p]ᵀ·A[:,j] for p < j — again
+		// accumulated row-wise.
+		t.Set(j, j, tauJ)
+		if j > 0 && tauJ != 0 {
+			wp := w[:j]
+			for q := range wp {
+				wp[q] = 0
+			}
+			for i := 0; i < m; i++ {
+				ai := a.Row(i)
+				vi := ai[j]
+				if vi == 0 {
+					continue
+				}
+				for q, av := range ai[:j] {
+					wp[q] += av * vi
+				}
+			}
+			for p := 0; p < j; p++ {
+				var s float64
+				for q := p; q < j; q++ {
+					s += t.At(p, q) * wp[q]
+				}
+				t.Set(p, j, -tauJ*s)
+			}
+		}
+	}
+}
+
+// TSMQR performs the update-for-elimination step for a TS elimination: it
+// applies the orthogonal factor produced by TSQRT (reflector tails in v,
+// block factor t) to the tile pair [c1; c2]:
+//
+//	[c1; c2] ← Qᵀ·[c1; c2]  if trans, else Q·[c1; c2].
+//
+// v is the (rows of c2)×k tail storage; only the first k rows of c1
+// participate (k = v.Cols), matching the e_j structure of the reflector tops.
+func TSMQR(v, t, c1, c2 *matrix.Matrix, trans bool) {
+	k := v.Cols
+	if k == 0 || c1.IsEmpty() {
+		return
+	}
+	if v.Rows != c2.Rows {
+		panic(fmt.Sprintf("kernels: TSMQR V has %d rows, C2 has %d", v.Rows, c2.Rows))
+	}
+	if c1.Rows < k {
+		panic(fmt.Sprintf("kernels: TSMQR C1 has %d rows, need ≥ %d", c1.Rows, k))
+	}
+	if c1.Cols != c2.Cols {
+		panic(fmt.Sprintf("kernels: TSMQR column mismatch C1 %d, C2 %d", c1.Cols, c2.Cols))
+	}
+	// W = C1[0:k] + VᵀC2  (k × cols)
+	w := matrix.New(k, c1.Cols)
+	w.CopyFrom(c1.SubMatrix(0, 0, k, c1.Cols))
+	matrix.GemmTA(1, v, c2, 1, w)
+	if trans {
+		matrix.TrmmUpperTransLeft(t, w)
+	} else {
+		matrix.TrmmUpperLeft(t, w)
+	}
+	// C1[0:k] −= W;  C2 −= V·W.
+	c1.SubMatrix(0, 0, k, c1.Cols).Sub(w)
+	matrix.Gemm(-1, v, w, 1, c2)
+}
+
+// TTQRT performs the triangle-on-top-of-triangle elimination step: both the
+// diagonal tile r1 and the tile r2 below hold R factors in their upper
+// triangles (r2 from its own GEQRT). The kernel zeroes r2's R, writing the
+// upper-triangular reflector tails into v2 (which must be a.Cols×a.Cols,
+// caller-allocated, so r2's own GEQRT reflector storage is preserved) and
+// the block factor into t.
+//
+// Reflector j has top component e_j and a bottom tail of length
+// min(j+1, r2.Rows) — the triangular structure that makes TT eliminations
+// cheaper in flops yet "the same amount of arithmetic" as TS for full tiles
+// in the paper's accounting (both process one tile pair).
+func TTQRT(r1, r2, v2, t *matrix.Matrix) {
+	n := r1.Cols
+	if r2.Cols != n {
+		panic(fmt.Sprintf("kernels: TTQRT column mismatch R1 %d, R2 %d", n, r2.Cols))
+	}
+	if r1.Rows < n {
+		panic(fmt.Sprintf("kernels: TTQRT R1 has %d rows, need ≥ %d", r1.Rows, n))
+	}
+	if v2.Rows != r2.Rows || v2.Cols != n {
+		panic(fmt.Sprintf("kernels: TTQRT V2 is %dx%d, want %dx%d", v2.Rows, v2.Cols, r2.Rows, n))
+	}
+	if t.Rows != n || t.Cols != n {
+		panic(fmt.Sprintf("kernels: TTQRT T is %dx%d, want %dx%d", t.Rows, t.Cols, n, n))
+	}
+	v2.Zero()
+	t.Zero()
+	m := r2.Rows
+	x := make([]float64, m+1)
+	w := make([]float64, n)
+	for j := 0; j < n; j++ {
+		lj := j + 1 // bottom tail length: rows 0..j of the triangular tile
+		if lj > m {
+			lj = m
+		}
+		x[0] = r1.At(j, j)
+		for i := 0; i < lj; i++ {
+			x[1+i] = r2.At(i, j)
+		}
+		tauJ, _ := lapack.GenHouseholder(x[:lj+1])
+		r1.Set(j, j, x[0])
+		for i := 0; i < lj; i++ {
+			v2.Set(i, j, x[1+i])
+			r2.Set(i, j, 0) // annihilated
+		}
+		// Update trailing columns, streaming r2's rows: accumulate
+		// w[jj] = R1[j,jj] + Σ_i V2[i,j]·R2[i,jj], then apply.
+		r1j := r1.Row(j)
+		if j+1 < n {
+			wt := w[j+1 : n]
+			copy(wt, r1j[j+1:n])
+			for i := 0; i < lj; i++ {
+				vi := v2.Row(i)[j]
+				if vi == 0 {
+					continue
+				}
+				for q, rv := range r2.Row(i)[j+1 : n] {
+					wt[q] += vi * rv
+				}
+			}
+			for q := range wt {
+				wt[q] *= tauJ
+				r1j[j+1+q] -= wt[q]
+			}
+			for i := 0; i < lj; i++ {
+				vi := v2.Row(i)[j]
+				if vi == 0 {
+					continue
+				}
+				ri := r2.Row(i)
+				for q, wv := range wt {
+					ri[j+1+q] -= wv * vi
+				}
+			}
+		}
+		// Block factor column (tops orthogonal, bottoms overlap on rows
+		// 0..min(lp,lj)−1), accumulated row-wise over V2.
+		t.Set(j, j, tauJ)
+		if j > 0 && tauJ != 0 {
+			wp := w[:j]
+			for q := range wp {
+				wp[q] = 0
+			}
+			for i := 0; i < lj; i++ {
+				v2i := v2.Row(i)
+				vi := v2i[j]
+				if vi == 0 {
+					continue
+				}
+				for q, vv := range v2i[:j] {
+					wp[q] += vv * vi
+				}
+			}
+			for p := 0; p < j; p++ {
+				var s float64
+				for q := p; q < j; q++ {
+					s += t.At(p, q) * wp[q]
+				}
+				t.Set(p, j, -tauJ*s)
+			}
+		}
+	}
+}
+
+// TTMQR performs the update-for-elimination step for a TT elimination,
+// applying the factor produced by TTQRT (tails in v2, block factor t) to the
+// tile pair [c1; c2]:
+//
+//	[c1; c2] ← Qᵀ·[c1; c2]  if trans, else Q·[c1; c2].
+//
+// Only the first k rows of c1 and the first v2.Rows rows of c2 participate.
+func TTMQR(v2, t, c1, c2 *matrix.Matrix, trans bool) {
+	k := v2.Cols
+	if k == 0 || c1.IsEmpty() {
+		return
+	}
+	if c1.Rows < k {
+		panic(fmt.Sprintf("kernels: TTMQR C1 has %d rows, need ≥ %d", c1.Rows, k))
+	}
+	if v2.Rows > c2.Rows {
+		panic(fmt.Sprintf("kernels: TTMQR V2 has %d rows, C2 has %d", v2.Rows, c2.Rows))
+	}
+	if c1.Cols != c2.Cols {
+		panic(fmt.Sprintf("kernels: TTMQR column mismatch C1 %d, C2 %d", c1.Cols, c2.Cols))
+	}
+	mv := v2.Rows
+	c2top := c2.SubMatrix(0, 0, mv, c2.Cols)
+	w := matrix.New(k, c1.Cols)
+	w.CopyFrom(c1.SubMatrix(0, 0, k, c1.Cols))
+	matrix.GemmTA(1, v2, c2top, 1, w)
+	if trans {
+		matrix.TrmmUpperTransLeft(t, w)
+	} else {
+		matrix.TrmmUpperLeft(t, w)
+	}
+	c1.SubMatrix(0, 0, k, c1.Cols).Sub(w)
+	matrix.Gemm(-1, v2, w, 1, c2top)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,374 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/lapack"
+	"repro/internal/matrix"
+	"repro/internal/workload"
+)
+
+const tol = 1e-11
+
+// explicitTS builds the explicit (n+m)×(n+m) orthogonal matrix implied by a
+// TSQRT factorization (v: m×n tails, t: n×n block factor), where n is the
+// number of reflectors and m the bottom-tile row count.
+func explicitTS(v, t *matrix.Matrix) *matrix.Matrix {
+	n, m := v.Cols, v.Rows
+	c1 := matrix.New(n, n+m)
+	c2 := matrix.New(m, n+m)
+	for i := 0; i < n; i++ {
+		c1.Set(i, i, 1)
+	}
+	for i := 0; i < m; i++ {
+		c2.Set(i, n+i, 1)
+	}
+	TSMQR(v, t, c1, c2, false)
+	q := matrix.New(n+m, n+m)
+	q.SubMatrix(0, 0, n, n+m).CopyFrom(c1)
+	q.SubMatrix(n, 0, m, n+m).CopyFrom(c2)
+	return q
+}
+
+// explicitTT is the TT analogue of explicitTS.
+func explicitTT(v2, t *matrix.Matrix) *matrix.Matrix {
+	n, m := v2.Cols, v2.Rows
+	c1 := matrix.New(n, n+m)
+	c2 := matrix.New(m, n+m)
+	for i := 0; i < n; i++ {
+		c1.Set(i, i, 1)
+	}
+	for i := 0; i < m; i++ {
+		c2.Set(i, n+i, 1)
+	}
+	TTMQR(v2, t, c1, c2, false)
+	q := matrix.New(n+m, n+m)
+	q.SubMatrix(0, 0, n, n+m).CopyFrom(c1)
+	q.SubMatrix(n, 0, m, n+m).CopyFrom(c2)
+	return q
+}
+
+func TestGEQRTFactorsTile(t *testing.T) {
+	for _, dims := range [][2]int{{8, 8}, {8, 5}, {5, 8}, {1, 1}, {16, 16}} {
+		m, n := dims[0], dims[1]
+		a := workload.Normal(int64(m*100+n), m, n)
+		work := a.Clone()
+		k := dims[0]
+		if dims[1] < k {
+			k = dims[1]
+		}
+		tm := matrix.New(k, k)
+		GEQRT(work, tm)
+		// Rebuild Q via UNMQR(no-trans) on an identity and check A = Q·R.
+		q := matrix.Identity(m)
+		UNMQR(work, tm, q, false)
+		r := lapack.ExtractR(work)
+		qk := q.SubMatrix(0, 0, m, k).Clone()
+		if e := matrix.OrthogonalityError(qk); e > tol {
+			t.Fatalf("%dx%d: Q orthogonality %g", m, n, e)
+		}
+		qr := matrix.Mul(qk, r)
+		if d := qr.MaxAbsDiff(a); d > tol {
+			t.Fatalf("%dx%d: ‖A − QR‖ = %g", m, n, d)
+		}
+	}
+}
+
+func TestGEQRTWrongTSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	GEQRT(matrix.New(4, 4), matrix.New(3, 3))
+}
+
+func TestUNMQRTransMatchesExplicit(t *testing.T) {
+	m, n := 9, 6
+	a := workload.Normal(1, m, n)
+	work := a.Clone()
+	tm := matrix.New(n, n)
+	GEQRT(work, tm)
+	q := matrix.Identity(m)
+	UNMQR(work, tm, q, false)
+
+	c := workload.Normal(2, m, 4)
+	got := c.Clone()
+	UNMQR(work, tm, got, true)
+	want := matrix.New(m, 4)
+	matrix.GemmTA(1, q, c, 0, want)
+	if d := got.MaxAbsDiff(want); d > tol {
+		t.Fatalf("UNMQR trans vs explicit: %g", d)
+	}
+}
+
+func TestUNMQRRoundTrip(t *testing.T) {
+	m, n := 7, 7
+	work := workload.Normal(3, m, n)
+	tm := matrix.New(n, n)
+	GEQRT(work, tm)
+	c := workload.Normal(4, m, 3)
+	got := c.Clone()
+	UNMQR(work, tm, got, true)
+	UNMQR(work, tm, got, false)
+	if d := got.MaxAbsDiff(c); d > tol {
+		t.Fatalf("Q·Qᵀ·C != C: %g", d)
+	}
+}
+
+func tsSetup(t *testing.T, seed int64, n, m int) (r0, a0, r, a, tm *matrix.Matrix) {
+	t.Helper()
+	r0 = matrix.UpperTriangular(workload.Normal(seed, n, n))
+	a0 = workload.Normal(seed+1, m, n)
+	r = r0.Clone()
+	a = a0.Clone()
+	tm = matrix.New(n, n)
+	return
+}
+
+func TestTSQRTAnnihilatesAndReconstructs(t *testing.T) {
+	for _, dims := range [][2]int{{6, 6}, {6, 3}, {3, 6}, {1, 1}, {16, 16}, {4, 1}} {
+		n, m := dims[0], dims[1]
+		r0, a0, r, a, tm := tsSetup(t, int64(n*100+m), n, m)
+		TSQRT(r, a, tm)
+
+		q := explicitTS(a, tm)
+		if e := matrix.OrthogonalityError(q); e > tol {
+			t.Fatalf("n=%d m=%d: Q orthogonality %g", n, m, e)
+		}
+		// Reconstruct: [R0; A0] must equal Q·[R'; 0].
+		stacked := matrix.New(n+m, n)
+		stacked.SubMatrix(0, 0, n, n).CopyFrom(matrix.UpperTriangular(r))
+		recon := matrix.Mul(q, stacked)
+		orig := matrix.New(n+m, n)
+		orig.SubMatrix(0, 0, n, n).CopyFrom(r0)
+		orig.SubMatrix(n, 0, m, n).CopyFrom(a0)
+		if d := recon.MaxAbsDiff(orig); d > tol {
+			t.Fatalf("n=%d m=%d: reconstruction error %g", n, m, d)
+		}
+	}
+}
+
+func TestTSQRTMatchesDenseQR(t *testing.T) {
+	// The R produced by TSQRT must match (up to row signs) the R of a dense
+	// QR of the stacked [R0; A0].
+	n, m := 8, 8
+	r0, a0, r, a, tm := tsSetup(t, 42, n, m)
+	TSQRT(r, a, tm)
+	stacked := matrix.New(n+m, n)
+	stacked.SubMatrix(0, 0, n, n).CopyFrom(r0)
+	stacked.SubMatrix(n, 0, m, n).CopyFrom(a0)
+	lapack.QR2(stacked)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			if math.Abs(math.Abs(stacked.At(i, j))-math.Abs(r.At(i, j))) > tol {
+				t.Fatalf("(%d,%d): |R| %v vs dense %v", i, j, r.At(i, j), stacked.At(i, j))
+			}
+		}
+	}
+}
+
+func TestTSQRTPreservesSubDiagonalOfR(t *testing.T) {
+	// In the tiled algorithm the diagonal tile's sub-diagonal area stores the
+	// GEQRT reflectors; TSQRT must not touch it.
+	n, m := 5, 5
+	_, _, r, a, tm := tsSetup(t, 7, n, m)
+	const sentinel = 123.456
+	rFull := matrix.New(n+3, n) // taller top tile, extra rows hold V storage
+	rFull.SubMatrix(0, 0, n, n).CopyFrom(r)
+	for i := 0; i < rFull.Rows; i++ {
+		for j := 0; j < n && j < i; j++ {
+			rFull.Set(i, j, sentinel)
+		}
+	}
+	TSQRT(rFull, a, tm)
+	for i := 0; i < rFull.Rows; i++ {
+		for j := 0; j < n && j < i; j++ {
+			if rFull.At(i, j) != sentinel {
+				t.Fatalf("sub-diagonal (%d,%d) was modified", i, j)
+			}
+		}
+	}
+}
+
+func TestTSMQRRoundTrip(t *testing.T) {
+	n, m := 6, 9
+	_, _, r, a, tm := tsSetup(t, 11, n, m)
+	TSQRT(r, a, tm)
+	c1 := workload.Normal(12, n+2, 4) // taller C1: extra rows must be untouched
+	c2 := workload.Normal(13, m, 4)
+	c1o, c2o := c1.Clone(), c2.Clone()
+	TSMQR(a, tm, c1, c2, true)
+	// Rows ≥ n of C1 are outside the reflector span.
+	if d := c1.SubMatrix(n, 0, 2, 4).MaxAbsDiff(c1o.SubMatrix(n, 0, 2, 4)); d != 0 {
+		t.Fatalf("TSMQR touched rows ≥ k of C1: %g", d)
+	}
+	TSMQR(a, tm, c1, c2, false)
+	if d := c1.MaxAbsDiff(c1o); d > tol {
+		t.Fatalf("C1 round trip: %g", d)
+	}
+	if d := c2.MaxAbsDiff(c2o); d > tol {
+		t.Fatalf("C2 round trip: %g", d)
+	}
+}
+
+func ttSetup(t *testing.T, seed int64, n, m int) (r1o, r2o, r1, r2, v2, tm *matrix.Matrix) {
+	t.Helper()
+	r1o = matrix.UpperTriangular(workload.Normal(seed, n, n))
+	r2full := matrix.UpperTriangular(workload.Normal(seed+1, m, n))
+	r2o = r2full
+	r1 = r1o.Clone()
+	r2 = r2o.Clone()
+	v2 = matrix.New(m, n)
+	tm = matrix.New(n, n)
+	return
+}
+
+func TestTTQRTAnnihilatesAndReconstructs(t *testing.T) {
+	for _, dims := range [][2]int{{6, 6}, {6, 3}, {3, 6}, {1, 1}, {16, 16}} {
+		n, m := dims[0], dims[1]
+		r1o, r2o, r1, r2, v2, tm := ttSetup(t, int64(n*10+m), n, m)
+		TTQRT(r1, r2, v2, tm)
+
+		// r2's live triangle must be fully annihilated.
+		for i := 0; i < m; i++ {
+			for j := i; j < n; j++ {
+				if r2.At(i, j) != 0 {
+					t.Fatalf("n=%d m=%d: r2(%d,%d) = %v not annihilated", n, m, i, j, r2.At(i, j))
+				}
+			}
+		}
+		q := explicitTT(v2, tm)
+		if e := matrix.OrthogonalityError(q); e > tol {
+			t.Fatalf("n=%d m=%d: Q orthogonality %g", n, m, e)
+		}
+		stacked := matrix.New(n+m, n)
+		stacked.SubMatrix(0, 0, n, n).CopyFrom(matrix.UpperTriangular(r1))
+		recon := matrix.Mul(q, stacked)
+		orig := matrix.New(n+m, n)
+		orig.SubMatrix(0, 0, n, n).CopyFrom(r1o)
+		orig.SubMatrix(n, 0, m, n).CopyFrom(r2o)
+		if d := recon.MaxAbsDiff(orig); d > tol {
+			t.Fatalf("n=%d m=%d: reconstruction error %g", n, m, d)
+		}
+	}
+}
+
+func TestTTQRTV2IsUpperTriangular(t *testing.T) {
+	n, m := 7, 7
+	_, _, r1, r2, v2, tm := ttSetup(t, 20, n, m)
+	TTQRT(r1, r2, v2, tm)
+	if e := matrix.StrictLowerMax(v2); e != 0 {
+		t.Fatalf("V2 not upper triangular: %g", e)
+	}
+}
+
+func TestTTMQRRoundTrip(t *testing.T) {
+	n, m := 5, 5
+	_, _, r1, r2, v2, tm := ttSetup(t, 21, n, m)
+	TTQRT(r1, r2, v2, tm)
+	c1 := workload.Normal(22, n, 3)
+	c2 := workload.Normal(23, m+2, 3) // taller C2: rows ≥ v2.Rows untouched
+	c1o, c2o := c1.Clone(), c2.Clone()
+	TTMQR(v2, tm, c1, c2, true)
+	if d := c2.SubMatrix(m, 0, 2, 3).MaxAbsDiff(c2o.SubMatrix(m, 0, 2, 3)); d != 0 {
+		t.Fatalf("TTMQR touched rows ≥ v2.Rows of C2: %g", d)
+	}
+	TTMQR(v2, tm, c1, c2, false)
+	if d := c1.MaxAbsDiff(c1o); d > tol {
+		t.Fatalf("C1 round trip: %g", d)
+	}
+	if d := c2.MaxAbsDiff(c2o); d > tol {
+		t.Fatalf("C2 round trip: %g", d)
+	}
+}
+
+func TestTSAndTTProduceSameR(t *testing.T) {
+	// Eliminating a triangulated tile with TT must give the same |R| as
+	// eliminating the equivalent full tile with TS after accounting for the
+	// bottom tile's own GEQRT.
+	n := 6
+	r0 := matrix.UpperTriangular(workload.Normal(31, n, n))
+	b0 := workload.Normal(32, n, n) // full bottom tile
+
+	// Path 1: TS directly on [R0; B0].
+	rTS := r0.Clone()
+	bTS := b0.Clone()
+	tm1 := matrix.New(n, n)
+	TSQRT(rTS, bTS, tm1)
+
+	// Path 2: GEQRT(B0) then TT on [R0; R(B0)].
+	bGE := b0.Clone()
+	tg := matrix.New(n, n)
+	GEQRT(bGE, tg)
+	rTT := r0.Clone()
+	r2 := matrix.UpperTriangular(bGE)
+	v2 := matrix.New(n, n)
+	tm2 := matrix.New(n, n)
+	TTQRT(rTT, r2, v2, tm2)
+
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			if math.Abs(math.Abs(rTS.At(i, j))-math.Abs(rTT.At(i, j))) > tol {
+				t.Fatalf("(%d,%d): TS %v vs TT %v", i, j, rTS.At(i, j), rTT.At(i, j))
+			}
+		}
+	}
+}
+
+func TestKernelsShortBottomTile(t *testing.T) {
+	// Edge tiles: bottom tile with fewer rows than columns.
+	n, m := 6, 2
+	r0, a0, r, a, tm := tsSetup(t, 41, n, m)
+	TSQRT(r, a, tm)
+	q := explicitTS(a, tm)
+	if e := matrix.OrthogonalityError(q); e > tol {
+		t.Fatalf("orthogonality %g", e)
+	}
+	stacked := matrix.New(n+m, n)
+	stacked.SubMatrix(0, 0, n, n).CopyFrom(matrix.UpperTriangular(r))
+	recon := matrix.Mul(q, stacked)
+	orig := matrix.New(n+m, n)
+	orig.SubMatrix(0, 0, n, n).CopyFrom(r0)
+	orig.SubMatrix(n, 0, m, n).CopyFrom(a0)
+	if d := recon.MaxAbsDiff(orig); d > tol {
+		t.Fatalf("reconstruction %g", d)
+	}
+}
+
+func TestTSQRTShapePanics(t *testing.T) {
+	cases := []struct {
+		name    string
+		r, a, t *matrix.Matrix
+	}{
+		{"colMismatch", matrix.New(4, 4), matrix.New(4, 3), matrix.New(3, 3)},
+		{"shortR", matrix.New(3, 4), matrix.New(4, 4), matrix.New(4, 4)},
+		{"badT", matrix.New(4, 4), matrix.New(4, 4), matrix.New(3, 3)},
+	}
+	for _, tc := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", tc.name)
+				}
+			}()
+			TSQRT(tc.r, tc.a, tc.t)
+		}()
+	}
+}
+
+func TestZeroColumnKernelsNoOp(t *testing.T) {
+	// k = 0 updates must be no-ops, not panics.
+	v := matrix.New(3, 0)
+	tm := matrix.New(0, 0)
+	c1 := workload.Normal(51, 3, 2)
+	c2 := workload.Normal(52, 3, 2)
+	c1o, c2o := c1.Clone(), c2.Clone()
+	TSMQR(v, tm, c1, c2, true)
+	TTMQR(v, tm, c1, c2, true)
+	UNMQR(matrix.New(3, 0), tm, c1, true)
+	if !c1.Equal(c1o) || !c2.Equal(c2o) {
+		t.Fatal("zero-width kernels must not modify operands")
+	}
+}

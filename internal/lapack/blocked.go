@@ -1,0 +1,153 @@
+package lapack
+
+import (
+	"fmt"
+
+	"repro/internal/matrix"
+)
+
+// LarfT builds the upper-triangular block factor T (LAPACK dlarft, forward
+// columnwise) such that H_0·H_1···H_{k-1} = I − V·T·Vᵀ, where column j of the
+// m×k matrix v holds reflector j with the implicit unit at row j and zeros
+// above it.
+//
+// The recurrence is T[0:j, j] = −τ_j · T[0:j, 0:j] · (V[:, 0:j]ᵀ · v_j),
+// T[j][j] = τ_j.
+func LarfT(v *matrix.Matrix, tau []float64) *matrix.Matrix {
+	k := len(tau)
+	if v.Cols != k {
+		panic(fmt.Sprintf("lapack: LarfT V has %d cols, %d taus", v.Cols, k))
+	}
+	t := matrix.New(k, k)
+	w := make([]float64, k)
+	for j := 0; j < k; j++ {
+		tj := tau[j]
+		t.Set(j, j, tj)
+		if j == 0 || tj == 0 {
+			continue
+		}
+		// w[0:j] = V[:, 0:j]ᵀ · v_j, exploiting the unit-lower structure:
+		// v_j has implicit 1 at row j and zeros above.
+		for i := 0; i < j; i++ {
+			// Row j of V contributes V[j][i]·1; rows j+1.. contribute fully.
+			w[i] = v.At(j, i)
+		}
+		for r := j + 1; r < v.Rows; r++ {
+			vr := v.Row(r)
+			vj := vr[j]
+			if vj == 0 {
+				continue
+			}
+			for i := 0; i < j; i++ {
+				w[i] += vr[i] * vj
+			}
+		}
+		// T[0:j, j] = −τ_j · T[0:j, 0:j] · w  (T block is upper triangular).
+		for i := 0; i < j; i++ {
+			var s float64
+			for p := i; p < j; p++ {
+				s += t.At(i, p) * w[p]
+			}
+			t.Set(i, j, -tj*s)
+		}
+	}
+	return t
+}
+
+// LarfB applies the block reflector (I − V·T·Vᵀ) or its transpose to C from
+// the left (LAPACK dlarfb, forward columnwise, unit-lower V):
+//
+//	C ← (I − V·Tᵀ·Vᵀ)·C   if trans,   i.e. QᵀC with Q = I − V·T·Vᵀ
+//	C ← (I − V·T·Vᵀ)·C    otherwise.
+//
+// V is m×k with implicit unit diagonal and zeros above it; C is m×n.
+func LarfB(v, t *matrix.Matrix, c *matrix.Matrix, trans bool) {
+	m, k := v.Rows, v.Cols
+	if c.Rows != m {
+		panic(fmt.Sprintf("lapack: LarfB C has %d rows, V has %d", c.Rows, m))
+	}
+	if k == 0 || c.IsEmpty() {
+		return
+	}
+	// W = Vᵀ·C, with the unit-lower structure of V handled explicitly:
+	// W[j] = C[j] + Σ_{r>j} V[r][j]·C[r]  … computed densely via the split
+	// V = [V1 (unit lower k×k); V2 (dense (m−k)×k)].
+	w := matrix.New(k, c.Cols)
+	// W = V1ᵀ·C1 where V1 unit lower triangular.
+	for j := 0; j < k; j++ {
+		wj := w.Row(j)
+		copy(wj, c.Row(j))
+		for r := j + 1; r < k; r++ {
+			matrix.Axpy(v.At(r, j), c.Row(r), wj)
+		}
+	}
+	// W += V2ᵀ·C2.
+	if m > k {
+		v2 := v.SubMatrix(k, 0, m-k, k)
+		c2 := c.SubMatrix(k, 0, m-k, c.Cols)
+		matrix.GemmTA(1, v2, c2, 1, w)
+	}
+	// W ← Tᵀ·W or T·W.
+	if trans {
+		matrix.TrmmUpperTransLeft(t, w)
+	} else {
+		matrix.TrmmUpperLeft(t, w)
+	}
+	// C ← C − V·W, again split into the unit-lower part and the dense part.
+	for r := 0; r < k; r++ {
+		cr := c.Row(r)
+		matrix.Axpy(-1, w.Row(r), cr)
+		vr := v.Row(r)
+		for j := 0; j < r; j++ {
+			if vr[j] != 0 {
+				matrix.Axpy(-vr[j], w.Row(j), cr)
+			}
+		}
+	}
+	if m > k {
+		v2 := v.SubMatrix(k, 0, m-k, k)
+		c2 := c.SubMatrix(k, 0, m-k, c.Cols)
+		matrix.Gemm(-1, v2, w, 1, c2)
+	}
+}
+
+// BlockedQR computes a blocked compact-WY Householder QR of a in place with
+// panel width nb (LAPACK dgeqrf shape). It returns the reflector scalars.
+// The storage convention is identical to QR2, so FormQ/ApplyQT/ExtractR work
+// on the result unchanged.
+func BlockedQR(a *matrix.Matrix, nb int) (tau []float64) {
+	if nb < 1 {
+		panic(fmt.Sprintf("lapack: BlockedQR nb = %d", nb))
+	}
+	k := min(a.Rows, a.Cols)
+	tau = make([]float64, k)
+	for j := 0; j < k; j += nb {
+		jb := min(nb, k-j)
+		panel := a.SubMatrix(j, j, a.Rows-j, jb)
+		ptau := QR2(panel)
+		copy(tau[j:j+jb], ptau)
+		if j+jb < a.Cols {
+			t := LarfT(panel, ptau)
+			trailing := a.SubMatrix(j, j+jb, a.Rows-j, a.Cols-j-jb)
+			LarfB(panel, t, trailing, true)
+		}
+	}
+	return tau
+}
+
+// ApplyQTBlocked computes B ← Qᵀ·B using compact-WY block applications of
+// width nb over a factorization produced by QR2/BlockedQR — the blocked
+// counterpart of ApplyQT (LAPACK dormqr shape), trading LarfT setup for
+// matrix-matrix arithmetic.
+func ApplyQTBlocked(a *matrix.Matrix, tau []float64, b *matrix.Matrix, nb int) {
+	if nb < 1 {
+		panic(fmt.Sprintf("lapack: ApplyQTBlocked nb = %d", nb))
+	}
+	k := len(tau)
+	for j := 0; j < k; j += nb {
+		jb := min(nb, k-j)
+		panel := a.SubMatrix(j, j, a.Rows-j, jb)
+		t := LarfT(panel, tau[j:j+jb])
+		LarfB(panel, t, b.SubMatrix(j, 0, b.Rows-j, b.Cols), true)
+	}
+}

@@ -1,0 +1,171 @@
+// Package lapack implements the reference dense factorization algorithms the
+// tiled library is validated against: unblocked Householder QR (Algorithm 1
+// of the paper), blocked compact-WY QR, explicit Q formation and application,
+// triangular and least-squares solves, and the Cholesky-QR and Givens-QR
+// baselines.
+//
+// Conventions follow LAPACK: a Householder reflector is H = I − τ·v·vᵀ with
+// v[0] = 1 implicit, and a factorization stores the reflectors below the
+// diagonal of the factored matrix with R on and above it.
+package lapack
+
+import (
+	"math"
+
+	"repro/internal/matrix"
+)
+
+// GenHouseholder computes a Householder reflector for the vector x:
+// it returns tau and beta, and overwrites x[1:] with the reflector tail v[1:]
+// (v[0] = 1 is implicit), such that (I − τ·v·vᵀ)·x = (β, 0, …, 0)ᵀ.
+//
+// For a zero (or length-1 zero-tail) input, tau is 0 and H = I.
+// The sign of β is chosen opposite to x[0] to avoid cancellation, matching
+// the αₖ = −sgn(aₖₖ)‖aₖ‖ choice in the paper's Algorithm 1.
+func GenHouseholder(x []float64) (tau, beta float64) {
+	if len(x) == 0 {
+		return 0, 0
+	}
+	alpha := x[0]
+	tailNorm := matrix.Nrm2(x[1:])
+	if tailNorm == 0 {
+		// Already in (α, 0, …) form; H = I keeps it (LAPACK dlarfg does the
+		// same and leaves a possibly negative β — callers must not assume a
+		// sign on the diagonal of R).
+		return 0, alpha
+	}
+	norm := math.Hypot(alpha, tailNorm)
+	if alpha >= 0 {
+		beta = -norm
+	} else {
+		beta = norm
+	}
+	tau = (beta - alpha) / beta
+	scale := 1 / (alpha - beta)
+	for i := 1; i < len(x); i++ {
+		x[i] *= scale
+	}
+	x[0] = beta
+	return tau, beta
+}
+
+// applyHouseholderLeft applies H = I − τ·v·vᵀ to A (A ← H·A) where v has the
+// implicit leading 1 and its tail is supplied in vTail (length A.Rows−1).
+func applyHouseholderLeft(tau float64, vTail []float64, a *matrix.Matrix) {
+	if tau == 0 || a.IsEmpty() {
+		return
+	}
+	// w = vᵀ·A (row vector), then A ← A − τ·v·w.
+	w := make([]float64, a.Cols)
+	copy(w, a.Row(0))
+	for i := 1; i < a.Rows; i++ {
+		matrix.Axpy(vTail[i-1], a.Row(i), w)
+	}
+	matrix.Axpy(-tau, w, a.Row(0))
+	for i := 1; i < a.Rows; i++ {
+		matrix.Axpy(-tau*vTail[i-1], w, a.Row(i))
+	}
+}
+
+// QR2 computes an unblocked Householder QR factorization of the m×n matrix a
+// in place (LAPACK dgeqr2): on return the upper triangle of a holds R, the
+// strict lower triangle holds the reflector tails, and tau holds the
+// min(m,n) scalar factors.
+//
+// This is the paper's Algorithm 1 in its productised form: the explicit
+// Householder matrices Qₖ are never materialised; each reflector is applied
+// to the trailing submatrix directly.
+func QR2(a *matrix.Matrix) (tau []float64) {
+	k := min(a.Rows, a.Cols)
+	tau = make([]float64, k)
+	col := make([]float64, a.Rows)
+	for j := 0; j < k; j++ {
+		h := a.Rows - j
+		x := col[:h]
+		for i := 0; i < h; i++ {
+			x[i] = a.At(j+i, j)
+		}
+		t, _ := GenHouseholder(x)
+		tau[j] = t
+		for i := 0; i < h; i++ {
+			a.Set(j+i, j, x[i])
+		}
+		if j+1 < a.Cols {
+			trailing := a.SubMatrix(j, j+1, h, a.Cols-j-1)
+			applyHouseholderLeft(t, x[1:], trailing)
+		}
+	}
+	return tau
+}
+
+// FormQ builds the explicit m×k orthogonal factor Q (k = min(m, n)) from a
+// factorization produced by QR2 (LAPACK dorg2r). The input a is not modified.
+func FormQ(a *matrix.Matrix, tau []float64) *matrix.Matrix {
+	m := a.Rows
+	k := len(tau)
+	q := matrix.New(m, k)
+	for i := 0; i < k; i++ {
+		q.Set(i, i, 1)
+	}
+	// Apply H_{k-1}···H_0 to I from the left in reverse order: Q = H_0···H_{k-1}·I.
+	vTail := make([]float64, m)
+	for j := k - 1; j >= 0; j-- {
+		h := m - j
+		for i := 1; i < h; i++ {
+			vTail[i-1] = a.At(j+i, j)
+		}
+		sub := q.SubMatrix(j, j, h, k-j)
+		applyHouseholderLeft(tau[j], vTail[:h-1], sub)
+	}
+	return q
+}
+
+// ApplyQT computes B ← Qᵀ·B where Q is the implicit factor from QR2 on a.
+// B must have a.Rows rows.
+func ApplyQT(a *matrix.Matrix, tau []float64, b *matrix.Matrix) {
+	m := a.Rows
+	vTail := make([]float64, m)
+	// Qᵀ = H_{k-1}···H_0, applied in forward order.
+	for j := 0; j < len(tau); j++ {
+		h := m - j
+		for i := 1; i < h; i++ {
+			vTail[i-1] = a.At(j+i, j)
+		}
+		sub := b.SubMatrix(j, 0, h, b.Cols)
+		applyHouseholderLeft(tau[j], vTail[:h-1], sub)
+	}
+}
+
+// ApplyQ computes B ← Q·B where Q is the implicit factor from QR2 on a.
+func ApplyQ(a *matrix.Matrix, tau []float64, b *matrix.Matrix) {
+	m := a.Rows
+	vTail := make([]float64, m)
+	for j := len(tau) - 1; j >= 0; j-- {
+		h := m - j
+		for i := 1; i < h; i++ {
+			vTail[i-1] = a.At(j+i, j)
+		}
+		sub := b.SubMatrix(j, 0, h, b.Cols)
+		applyHouseholderLeft(tau[j], vTail[:h-1], sub)
+	}
+}
+
+// ExtractR returns the min(m,n)×n upper-triangular factor R from a
+// factorization held in a (as left by QR2 or BlockedQR).
+func ExtractR(a *matrix.Matrix) *matrix.Matrix {
+	k := min(a.Rows, a.Cols)
+	r := matrix.New(k, a.Cols)
+	for i := 0; i < k; i++ {
+		for j := i; j < a.Cols; j++ {
+			r.Set(i, j, a.At(i, j))
+		}
+	}
+	return r
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

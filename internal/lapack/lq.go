@@ -1,0 +1,121 @@
+package lapack
+
+import (
+	"fmt"
+
+	"repro/internal/matrix"
+)
+
+// LQ computes an LQ factorization A = L·Q of a in place (LAPACK dgelq2):
+// on return the lower triangle of a holds L, and the rows above/right of
+// the diagonal hold the reflector tails (applied from the right). It is the
+// transpose-dual of QR2 and the natural factorization for wide matrices,
+// completing the solver story: QR handles m ≥ n, LQ handles m < n.
+func LQ(a *matrix.Matrix) (tau []float64) {
+	k := min(a.Rows, a.Cols)
+	tau = make([]float64, k)
+	row := make([]float64, a.Cols)
+	for i := 0; i < k; i++ {
+		w := a.Cols - i
+		x := row[:w]
+		copy(x, a.Row(i)[i:])
+		t, _ := GenHouseholder(x)
+		tau[i] = t
+		copy(a.Row(i)[i:], x)
+		if i+1 < a.Rows {
+			trailing := a.SubMatrix(i+1, i, a.Rows-i-1, w)
+			applyHouseholderRight(t, x[1:], trailing)
+		}
+	}
+	return tau
+}
+
+// applyHouseholderRight applies H = I − τ·v·vᵀ to A from the right
+// (A ← A·H), with v's implicit leading 1 and tail vTail (length A.Cols−1).
+func applyHouseholderRight(tau float64, vTail []float64, a *matrix.Matrix) {
+	if tau == 0 || a.IsEmpty() {
+		return
+	}
+	for i := 0; i < a.Rows; i++ {
+		r := a.Row(i)
+		w := r[0] + matrix.Dot(vTail, r[1:])
+		w *= tau
+		r[0] -= w
+		matrix.Axpy(-w, vTail, r[1:])
+	}
+}
+
+// ExtractL returns the m×k lower-triangular factor L from an LQ
+// factorization held in a (k = min(m, n)).
+func ExtractL(a *matrix.Matrix) *matrix.Matrix {
+	k := min(a.Rows, a.Cols)
+	l := matrix.New(a.Rows, k)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j <= i && j < k; j++ {
+			l.Set(i, j, a.At(i, j))
+		}
+	}
+	return l
+}
+
+// FormQLQ builds the explicit k×n row-orthonormal factor Q of an LQ
+// factorization (k = min(m, n)): A = L·Q with Q·Qᵀ = I.
+func FormQLQ(a *matrix.Matrix, tau []float64) *matrix.Matrix {
+	n := a.Cols
+	k := len(tau)
+	q := matrix.New(k, n)
+	for i := 0; i < k; i++ {
+		q.Set(i, i, 1)
+	}
+	vTail := make([]float64, n)
+	for i := k - 1; i >= 0; i-- {
+		w := n - i
+		copy(vTail[:w-1], a.Row(i)[i+1:])
+		sub := q.SubMatrix(i, i, k-i, w)
+		applyHouseholderRight(tau[i], vTail[:w-1], sub)
+	}
+	return q
+}
+
+// SolveMinNorm solves the underdetermined system A·x = b (m < n, full row
+// rank) for the minimum-norm solution x = Qᵀ·L⁻¹·b via an LQ factorization.
+// A is not modified.
+func SolveMinNorm(a *matrix.Matrix, b []float64) ([]float64, error) {
+	m, n := a.Rows, a.Cols
+	if m > n {
+		panic(fmt.Sprintf("lapack: SolveMinNorm needs rows ≤ cols, got %dx%d", m, n))
+	}
+	if len(b) != m {
+		panic(fmt.Sprintf("lapack: SolveMinNorm b length %d, want %d", len(b), m))
+	}
+	work := a.Clone()
+	tau := LQ(work)
+	// Forward-substitute L·y = b.
+	y := make([]float64, m)
+	copy(y, b)
+	for i := 0; i < m; i++ {
+		ri := work.Row(i)
+		for j := 0; j < i; j++ {
+			y[i] -= ri[j] * y[j]
+		}
+		if ri[i] == 0 {
+			return nil, ErrSingular
+		}
+		y[i] /= ri[i]
+	}
+	// x = Qᵀ·y: apply the reflectors to the padded vector from the left...
+	// Q is k×n with Q = H_{k-1}···H_0 acting on row space; x = Qᵀ·y means
+	// x starts as (y, 0, …, 0) and each H_i (symmetric) is applied in
+	// reverse order: x ← H_0·(H_1·(…·(H_{k-1}·x))).
+	x := make([]float64, n)
+	copy(x, y)
+	for i := m - 1; i >= 0; i-- {
+		w := n - i
+		vTail := work.Row(i)[i+1:]
+		s := x[i] + matrix.Dot(vTail, x[i+1:i+w])
+		s *= tau[i]
+		x[i] -= s
+		matrix.Axpy(-s, vTail, x[i+1:i+w])
+	}
+	return x, nil
+}

@@ -1,0 +1,137 @@
+package lapack
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/matrix"
+	"repro/internal/workload"
+)
+
+func checkLQ(t *testing.T, a *matrix.Matrix) {
+	t.Helper()
+	work := a.Clone()
+	tau := LQ(work)
+	l := ExtractL(work)
+	q := FormQLQ(work, tau)
+	// Q has orthonormal rows: Q·Qᵀ = I.
+	qqt := matrix.New(q.Rows, q.Rows)
+	matrix.GemmTB(1, q, q, 0, qqt)
+	for i := 0; i < q.Rows; i++ {
+		for j := 0; j < q.Rows; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(qqt.At(i, j)-want) > tol {
+				t.Fatalf("QQᵀ(%d,%d) = %v", i, j, qqt.At(i, j))
+			}
+		}
+	}
+	lq := matrix.Mul(l, q)
+	if d := lq.MaxAbsDiff(a); d > tol {
+		t.Fatalf("%dx%d: ‖A − LQ‖ = %g", a.Rows, a.Cols, d)
+	}
+}
+
+func TestLQShapes(t *testing.T) {
+	for _, dims := range [][2]int{{4, 9}, {9, 4}, {6, 6}, {1, 7}, {7, 1}, {1, 1}} {
+		checkLQ(t, workload.Normal(int64(dims[0]*19+dims[1]), dims[0], dims[1]))
+	}
+}
+
+func TestLQIsQRTransposeDual(t *testing.T) {
+	// LQ(A) relates to QR(Aᵀ): L = Rᵀ up to row/column signs.
+	a := workload.Normal(7, 5, 11)
+	lw := a.Clone()
+	LQ(lw)
+	qw := a.T()
+	QR2(qw)
+	for i := 0; i < 5; i++ {
+		for j := 0; j <= i; j++ {
+			if math.Abs(math.Abs(lw.At(i, j))-math.Abs(qw.At(j, i))) > tol {
+				t.Fatalf("(%d,%d): |L| %v vs |Rᵀ| %v", i, j, lw.At(i, j), qw.At(j, i))
+			}
+		}
+	}
+}
+
+func TestSolveMinNorm(t *testing.T) {
+	m, n := 6, 15
+	a := workload.Normal(8, m, n)
+	xAny := workload.Vector(9, n)
+	b := make([]float64, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			b[i] += a.At(i, j) * xAny[j]
+		}
+	}
+	x, err := SolveMinNorm(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// x solves the system…
+	for i := 0; i < m; i++ {
+		var s float64
+		for j := 0; j < n; j++ {
+			s += a.At(i, j) * x[j]
+		}
+		if math.Abs(s-b[i]) > 1e-9 {
+			t.Fatalf("residual row %d: %g", i, s-b[i])
+		}
+	}
+	// …and is the minimum-norm one: x ⟂ null(A), i.e. x lies in the row
+	// space, so ‖x‖ ≤ ‖x_any‖ for every other solution.
+	if matrix.Nrm2(x) > matrix.Nrm2(xAny)+1e-9 {
+		t.Fatalf("‖x‖ = %v exceeds a known solution's %v", matrix.Nrm2(x), matrix.Nrm2(xAny))
+	}
+	// Stronger: x must be orthogonal to null-space vectors. Build one via
+	// the LQ factorization: any vector of the form (I − QᵀQ)·w.
+	work := a.Clone()
+	tau := LQ(work)
+	q := FormQLQ(work, tau)
+	w := workload.Vector(10, n)
+	null := make([]float64, n)
+	copy(null, w)
+	// null = w − Qᵀ(Q·w)
+	qw := make([]float64, m)
+	for i := 0; i < m; i++ {
+		qw[i] = matrix.Dot(q.Row(i), w)
+	}
+	for j := 0; j < n; j++ {
+		var s float64
+		for i := 0; i < m; i++ {
+			s += q.At(i, j) * qw[i]
+		}
+		null[j] -= s
+	}
+	if dot := matrix.Dot(x, null); math.Abs(dot) > 1e-8 {
+		t.Fatalf("x not orthogonal to null space: %g", dot)
+	}
+}
+
+func TestSolveMinNormSquareMatchesQR(t *testing.T) {
+	n := 10
+	a := workload.Normal(11, n, n)
+	b := workload.Vector(12, n)
+	x1, err := SolveMinNorm(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x2, err := SolveQR(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x1 {
+		if math.Abs(x1[i]-x2[i]) > 1e-8 {
+			t.Fatalf("x[%d]: LQ %v vs QR %v", i, x1[i], x2[i])
+		}
+	}
+}
+
+func TestSolveMinNormSingular(t *testing.T) {
+	a := matrix.New(2, 4) // zero rows → singular L
+	if _, err := SolveMinNorm(a, []float64{1, 1}); err != ErrSingular {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}

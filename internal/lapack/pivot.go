@@ -1,0 +1,143 @@
+package lapack
+
+import (
+	"math"
+
+	"repro/internal/matrix"
+)
+
+// QRP computes a Householder QR factorization with column pivoting
+// (LAPACK dgeqpf shape): A·P = Q·R, where at every step the remaining
+// column of largest Euclidean norm is swapped to the pivot position. On
+// return a holds R and the reflector tails exactly as QR2 leaves them (so
+// FormQ/ApplyQT apply unchanged), and perm maps factored positions to
+// original column indices: column j of the factorization is original
+// column perm[j].
+//
+// Pivoting makes the factorization rank-revealing: |R[0][0]| ≥ |R[1][1]| ≥ …,
+// and for a matrix of numerical rank r the trailing diagonal entries
+// collapse to roundoff. This is the robustness extension the plain tiled
+// algorithm (which cannot pivot across distributed columns) gives up.
+func QRP(a *matrix.Matrix) (tau []float64, perm []int) {
+	m, n := a.Rows, a.Cols
+	k := min(m, n)
+	tau = make([]float64, k)
+	perm = make([]int, n)
+	for j := range perm {
+		perm[j] = j
+	}
+	// Partial column norms, updated after each reflector with the classic
+	// downdate formula and recomputed when cancellation makes it unsafe.
+	norms := make([]float64, n)
+	exact := make([]float64, n)
+	for j := 0; j < n; j++ {
+		norms[j] = matrix.Nrm2(a.Col(j))
+		exact[j] = norms[j]
+	}
+	col := make([]float64, m)
+
+	for j := 0; j < k; j++ {
+		// Pivot: the remaining column with the largest partial norm.
+		p := j
+		for q := j + 1; q < n; q++ {
+			if norms[q] > norms[p] {
+				p = q
+			}
+		}
+		if p != j {
+			swapCols(a, p, j)
+			perm[p], perm[j] = perm[j], perm[p]
+			norms[p], norms[j] = norms[j], norms[p]
+			exact[p], exact[j] = exact[j], exact[p]
+		}
+
+		h := m - j
+		x := col[:h]
+		for i := 0; i < h; i++ {
+			x[i] = a.At(j+i, j)
+		}
+		t, _ := GenHouseholder(x)
+		tau[j] = t
+		for i := 0; i < h; i++ {
+			a.Set(j+i, j, x[i])
+		}
+		if j+1 < n {
+			trailing := a.SubMatrix(j, j+1, h, n-j-1)
+			applyHouseholderLeft(t, x[1:], trailing)
+		}
+
+		// Downdate the partial norms of the trailing columns.
+		for q := j + 1; q < n; q++ {
+			if norms[q] == 0 {
+				continue
+			}
+			r := math.Abs(a.At(j, q)) / norms[q]
+			update := 1 - r*r
+			if update < 0 {
+				update = 0
+			}
+			// dgeqpf's safeguard: if the downdate lost too much accuracy,
+			// recompute the norm from scratch.
+			rel := norms[q] / exact[q]
+			if update*rel*rel <= 1e-14 {
+				tail := make([]float64, m-j-1)
+				for i := j + 1; i < m; i++ {
+					tail[i-j-1] = a.At(i, q)
+				}
+				norms[q] = matrix.Nrm2(tail)
+				exact[q] = norms[q]
+			} else {
+				norms[q] *= math.Sqrt(update)
+			}
+		}
+	}
+	return tau, perm
+}
+
+func swapCols(a *matrix.Matrix, p, q int) {
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		row[p], row[q] = row[q], row[p]
+	}
+}
+
+// NumericalRank estimates the rank of a matrix factored by QRP: the number
+// of diagonal entries of R larger than tol·|R[0][0]|. tol ≤ 0 selects the
+// conventional max(m,n)·ε.
+func NumericalRank(a *matrix.Matrix, tol float64) int {
+	k := min(a.Rows, a.Cols)
+	if k == 0 {
+		return 0
+	}
+	if tol <= 0 {
+		dim := a.Rows
+		if a.Cols > dim {
+			dim = a.Cols
+		}
+		tol = float64(dim) * 2.220446049250313e-16
+	}
+	lead := math.Abs(a.At(0, 0))
+	if lead == 0 {
+		return 0
+	}
+	rank := 0
+	for i := 0; i < k; i++ {
+		if math.Abs(a.At(i, i)) > tol*lead {
+			rank++
+		} else {
+			break
+		}
+	}
+	return rank
+}
+
+// PermutationMatrix materialises perm (as returned by QRP) into an n×n
+// permutation matrix P with A·P = QR: P[perm[j]][j] = 1.
+func PermutationMatrix(perm []int) *matrix.Matrix {
+	n := len(perm)
+	p := matrix.New(n, n)
+	for j, orig := range perm {
+		p.Set(orig, j, 1)
+	}
+	return p
+}

@@ -1,0 +1,125 @@
+package lapack
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/matrix"
+	"repro/internal/workload"
+)
+
+func TestQRPReconstruction(t *testing.T) {
+	for _, dims := range [][2]int{{8, 8}, {12, 6}, {6, 12}, {1, 5}, {20, 20}} {
+		m, n := dims[0], dims[1]
+		a := workload.Normal(int64(m*37+n), m, n)
+		work := a.Clone()
+		tau, perm := QRP(work)
+		q := FormQ(work, tau)
+		r := ExtractR(work)
+		// A·P = Q·R.
+		ap := matrix.Mul(a, PermutationMatrix(perm))
+		qr := matrix.Mul(q, r)
+		if d := ap.MaxAbsDiff(qr); d > tol {
+			t.Fatalf("%dx%d: ‖AP − QR‖ = %g", m, n, d)
+		}
+		if e := matrix.OrthogonalityError(q); e > tol {
+			t.Fatalf("%dx%d: Q orthogonality %g", m, n, e)
+		}
+	}
+}
+
+func TestQRPDiagonalNonIncreasing(t *testing.T) {
+	a := workload.Graded(5, 30, 12, 6)
+	work := a.Clone()
+	QRP(work)
+	prev := math.Inf(1)
+	for i := 0; i < 12; i++ {
+		d := math.Abs(work.At(i, i))
+		if d > prev*(1+1e-12) {
+			t.Fatalf("|R[%d][%d]| = %g exceeds previous %g", i, i, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestQRPRankRevealing(t *testing.T) {
+	for _, rank := range []int{1, 3, 5} {
+		a := workload.RankDeficient(int64(rank), 16, 10, rank)
+		work := a.Clone()
+		QRP(work)
+		if got := NumericalRank(work, 0); got != rank {
+			t.Fatalf("rank %d matrix: NumericalRank = %d", rank, got)
+		}
+	}
+}
+
+func TestQRPFullRank(t *testing.T) {
+	a := workload.Normal(9, 10, 10)
+	work := a.Clone()
+	QRP(work)
+	if got := NumericalRank(work, 0); got != 10 {
+		t.Fatalf("full-rank: NumericalRank = %d", got)
+	}
+}
+
+func TestNumericalRankEdgeCases(t *testing.T) {
+	z := matrix.New(4, 4)
+	QRP(z)
+	if got := NumericalRank(z, 0); got != 0 {
+		t.Fatalf("zero matrix rank = %d", got)
+	}
+	if got := NumericalRank(matrix.New(0, 0), 0); got != 0 {
+		t.Fatalf("empty matrix rank = %d", got)
+	}
+}
+
+func TestQRPPermIsPermutation(t *testing.T) {
+	a := workload.Normal(11, 9, 9)
+	_, perm := QRP(a.Clone())
+	seen := make([]bool, 9)
+	for _, p := range perm {
+		if p < 0 || p >= 9 || seen[p] {
+			t.Fatalf("perm %v is not a permutation", perm)
+		}
+		seen[p] = true
+	}
+}
+
+func TestQRPMatchesQR2OnIdentityPivoting(t *testing.T) {
+	// A matrix whose columns already have strictly decreasing norms keeps
+	// the identity permutation, making QRP ≡ QR2.
+	a := workload.Normal(13, 8, 8)
+	for j := 0; j < 8; j++ {
+		scale := math.Pow(16, float64(-j))
+		for i := 0; i < 8; i++ {
+			a.Set(i, j, a.At(i, j)*scale)
+		}
+	}
+	w1, w2 := a.Clone(), a.Clone()
+	tau1, perm := QRP(w1)
+	tau2 := QR2(w2)
+	for j, p := range perm {
+		if p != j {
+			t.Fatalf("unexpected pivoting: %v", perm)
+		}
+	}
+	if d := w1.MaxAbsDiff(w2); d > tol {
+		t.Fatalf("QRP with identity pivoting differs from QR2 by %g", d)
+	}
+	for i := range tau1 {
+		if math.Abs(tau1[i]-tau2[i]) > tol {
+			t.Fatalf("tau[%d] differs", i)
+		}
+	}
+}
+
+func TestPermutationMatrixOrthogonal(t *testing.T) {
+	p := PermutationMatrix([]int{2, 0, 1})
+	if e := matrix.OrthogonalityError(p); e != 0 {
+		t.Fatalf("permutation not orthogonal: %g", e)
+	}
+	// Column j has its 1 at row perm[j].
+	if p.At(2, 0) != 1 || p.At(0, 1) != 1 || p.At(1, 2) != 1 {
+		t.Fatalf("placement wrong: %v", p)
+	}
+}

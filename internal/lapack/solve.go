@@ -1,0 +1,162 @@
+package lapack
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/matrix"
+)
+
+// ErrSingular is returned when a triangular factor has a (near-)zero pivot.
+var ErrSingular = errors.New("lapack: matrix is singular to working precision")
+
+// ErrNotSPD is returned by Cholesky when the input is not symmetric
+// positive definite.
+var ErrNotSPD = errors.New("lapack: matrix is not symmetric positive definite")
+
+// SolveUpper solves R·x = b for upper-triangular R by back substitution.
+// It returns ErrSingular if a diagonal entry is exactly zero.
+func SolveUpper(r *matrix.Matrix, b []float64) ([]float64, error) {
+	n := r.Rows
+	if r.Cols < n || len(b) != n {
+		panic(fmt.Sprintf("lapack: SolveUpper R %dx%d, b %d", r.Rows, r.Cols, len(b)))
+	}
+	x := make([]float64, n)
+	copy(x, b)
+	for i := n - 1; i >= 0; i-- {
+		ri := r.Row(i)
+		for j := i + 1; j < n; j++ {
+			x[i] -= ri[j] * x[j]
+		}
+		if ri[i] == 0 {
+			return nil, ErrSingular
+		}
+		x[i] /= ri[i]
+	}
+	return x, nil
+}
+
+// SolveQR solves the square system A·x = b (or the least-squares problem
+// min ‖A·x − b‖₂ for tall A) via an unblocked Householder QR: x = R⁻¹·Qᵀb.
+// A is consumed as workspace (it is cloned internally).
+func SolveQR(a *matrix.Matrix, b []float64) ([]float64, error) {
+	if a.Rows < a.Cols {
+		panic(fmt.Sprintf("lapack: SolveQR needs rows >= cols, got %dx%d", a.Rows, a.Cols))
+	}
+	if len(b) != a.Rows {
+		panic(fmt.Sprintf("lapack: SolveQR b length %d, want %d", len(b), a.Rows))
+	}
+	work := a.Clone()
+	tau := QR2(work)
+	bm := matrix.New(a.Rows, 1)
+	bm.SetCol(0, b)
+	ApplyQT(work, tau, bm)
+	r := work.SubMatrix(0, 0, a.Cols, a.Cols)
+	return SolveUpper(r, bm.Col(0)[:a.Cols])
+}
+
+// Cholesky computes the upper-triangular factor U with A = Uᵀ·U for a
+// symmetric positive-definite matrix (LAPACK dpotrf, upper). Only the upper
+// triangle of a is read. Returns ErrNotSPD on a non-positive pivot.
+func Cholesky(a *matrix.Matrix) (*matrix.Matrix, error) {
+	if a.Rows != a.Cols {
+		panic(fmt.Sprintf("lapack: Cholesky of %dx%d", a.Rows, a.Cols))
+	}
+	n := a.Rows
+	u := matrix.UpperTriangular(a)
+	for k := 0; k < n; k++ {
+		d := u.At(k, k)
+		if d <= 0 || math.IsNaN(d) {
+			return nil, ErrNotSPD
+		}
+		d = math.Sqrt(d)
+		u.Set(k, k, d)
+		uk := u.Row(k)
+		for j := k + 1; j < n; j++ {
+			uk[j] /= d
+		}
+		for i := k + 1; i < n; i++ {
+			ui := u.Row(i)
+			s := uk[i]
+			if s == 0 {
+				continue
+			}
+			for j := i; j < n; j++ {
+				ui[j] -= s * uk[j]
+			}
+		}
+	}
+	return u, nil
+}
+
+// CholeskyQR computes a QR factorization of a tall matrix A via the
+// Cholesky-QR method: R = chol(AᵀA), Q = A·R⁻¹. It is the "Cholesky method"
+// baseline the paper contrasts with Householder QR — cheaper and more
+// parallel, but numerically unstable for ill-conditioned A (the computed Q
+// loses orthogonality like κ(A)²·ε).
+func CholeskyQR(a *matrix.Matrix) (q, r *matrix.Matrix, err error) {
+	if a.Rows < a.Cols {
+		panic(fmt.Sprintf("lapack: CholeskyQR needs rows >= cols, got %dx%d", a.Rows, a.Cols))
+	}
+	ata := matrix.New(a.Cols, a.Cols)
+	matrix.GemmTA(1, a, a, 0, ata)
+	r, err = Cholesky(ata)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Q = A·R⁻¹  ⇔  solve Xᵀ·Rᵀ = Aᵀ... computed row-wise: for each row of A,
+	// solve Rᵀ·qᵀ = aᵀ? Simpler: Q = (R⁻ᵀ·Aᵀ)ᵀ via a lower-triangular solve.
+	qt := a.T()
+	matrix.TrsmLowerLeft(r.T(), qt)
+	return qt.T(), r, nil
+}
+
+// GivensQR computes a QR factorization by Givens rotations, the classic
+// alternative to Householder reflections. It returns explicit Q (m×m) and
+// R (m×n). Numerically robust but asymptotically ~50% more flops than
+// Householder; included as a cross-validation baseline.
+func GivensQR(a *matrix.Matrix) (q, r *matrix.Matrix) {
+	m, n := a.Rows, a.Cols
+	r = a.Clone()
+	q = matrix.Identity(m)
+	for j := 0; j < n && j < m; j++ {
+		for i := m - 1; i > j; i-- {
+			// Rotate rows (i-1, i) to zero r[i][j].
+			f, g := r.At(i-1, j), r.At(i, j)
+			if g == 0 {
+				continue
+			}
+			c, s := givens(f, g)
+			rotateRows(r, i-1, i, c, s, j)
+			rotateRows(q, i-1, i, c, s, 0)
+		}
+	}
+	// Q was accumulated as Gᵀ···Gᵀ applied to I from the left in transposed
+	// sense; we built Q such that Qᵀ·A = R ⇒ the accumulated matrix is Qᵀ.
+	return q.T(), r
+}
+
+// givens returns (c, s) with c·f + s·g = r and −s·f + c·g = 0.
+func givens(f, g float64) (c, s float64) {
+	if g == 0 {
+		return 1, 0
+	}
+	if f == 0 {
+		return 0, 1
+	}
+	r := math.Hypot(f, g)
+	return f / r, g / r
+}
+
+// rotateRows applies the rotation [c s; −s c] to rows (i1, i2) of m for
+// columns ≥ from.
+func rotateRows(m *matrix.Matrix, i1, i2 int, c, s float64, from int) {
+	r1 := m.Row(i1)
+	r2 := m.Row(i2)
+	for j := from; j < m.Cols; j++ {
+		v1, v2 := r1[j], r2[j]
+		r1[j] = c*v1 + s*v2
+		r2[j] = -s*v1 + c*v2
+	}
+}

@@ -1,0 +1,342 @@
+package matrix
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mul computes C = A·B into a new matrix. It panics if the inner dimensions
+// do not conform.
+func Mul(a, b *Matrix) *Matrix {
+	c := New(a.Rows, b.Cols)
+	Gemm(1, a, b, 0, c)
+	return c
+}
+
+// Gemm computes C = alpha·A·B + beta·C in place.
+//
+// The loop order (i, k, j) streams both B and C rows, which is the
+// cache-friendly order for row-major storage.
+func Gemm(alpha float64, a, b *Matrix, beta float64, c *Matrix) {
+	if a.Cols != b.Rows || a.Rows != c.Rows || b.Cols != c.Cols {
+		panic(fmt.Sprintf("matrix: Gemm %dx%d · %dx%d -> %dx%d", a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+	if beta != 1 {
+		if beta == 0 {
+			c.Zero()
+		} else {
+			c.Scale(beta)
+		}
+	}
+	if alpha == 0 {
+		return
+	}
+	for i := 0; i < a.Rows; i++ {
+		ar := a.Data[i*a.Stride : i*a.Stride+a.Cols]
+		cr := c.Data[i*c.Stride : i*c.Stride+c.Cols]
+		for k, av := range ar {
+			if av == 0 {
+				continue
+			}
+			s := alpha * av
+			br := b.Data[k*b.Stride : k*b.Stride+b.Cols]
+			for j, bv := range br {
+				cr[j] += s * bv
+			}
+		}
+	}
+}
+
+// GemmTA computes C = alpha·Aᵀ·B + beta·C in place (A is used transposed).
+func GemmTA(alpha float64, a, b *Matrix, beta float64, c *Matrix) {
+	if a.Rows != b.Rows || a.Cols != c.Rows || b.Cols != c.Cols {
+		panic(fmt.Sprintf("matrix: GemmTA %dx%dᵀ · %dx%d -> %dx%d", a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+	if beta != 1 {
+		if beta == 0 {
+			c.Zero()
+		} else {
+			c.Scale(beta)
+		}
+	}
+	if alpha == 0 {
+		return
+	}
+	// C[i][j] += alpha * sum_k A[k][i] * B[k][j]; stream rows of A and B.
+	for k := 0; k < a.Rows; k++ {
+		ar := a.Data[k*a.Stride : k*a.Stride+a.Cols]
+		br := b.Data[k*b.Stride : k*b.Stride+b.Cols]
+		for i, av := range ar {
+			if av == 0 {
+				continue
+			}
+			s := alpha * av
+			cr := c.Data[i*c.Stride : i*c.Stride+c.Cols]
+			for j, bv := range br {
+				cr[j] += s * bv
+			}
+		}
+	}
+}
+
+// GemmTB computes C = alpha·A·Bᵀ + beta·C in place (B is used transposed).
+func GemmTB(alpha float64, a, b *Matrix, beta float64, c *Matrix) {
+	if a.Cols != b.Cols || a.Rows != c.Rows || b.Rows != c.Cols {
+		panic(fmt.Sprintf("matrix: GemmTB %dx%d · %dx%dᵀ -> %dx%d", a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+	if beta != 1 {
+		if beta == 0 {
+			c.Zero()
+		} else {
+			c.Scale(beta)
+		}
+	}
+	if alpha == 0 {
+		return
+	}
+	for i := 0; i < a.Rows; i++ {
+		ar := a.Data[i*a.Stride : i*a.Stride+a.Cols]
+		cr := c.Data[i*c.Stride : i*c.Stride+c.Cols]
+		for j := 0; j < b.Rows; j++ {
+			br := b.Data[j*b.Stride : j*b.Stride+b.Cols]
+			var dot float64
+			for k, av := range ar {
+				dot += av * br[k]
+			}
+			cr[j] += alpha * dot
+		}
+	}
+}
+
+// TrmmUpperLeft computes B = T·B in place where T is upper triangular
+// (including its diagonal). T must be square with T.Rows == B.Rows.
+func TrmmUpperLeft(t, b *Matrix) {
+	if t.Rows != t.Cols || t.Rows != b.Rows {
+		panic(fmt.Sprintf("matrix: TrmmUpperLeft T %dx%d, B %dx%d", t.Rows, t.Cols, b.Rows, b.Cols))
+	}
+	n := t.Rows
+	for i := 0; i < n; i++ {
+		tr := t.Data[i*t.Stride : i*t.Stride+n]
+		bi := b.Data[i*b.Stride : i*b.Stride+b.Cols]
+		// B[i] = sum_{k>=i} T[i][k] * B[k]; row i is consumed before
+		// being overwritten because k starts at i.
+		for j := range bi {
+			bi[j] *= tr[i]
+		}
+		for k := i + 1; k < n; k++ {
+			tv := tr[k]
+			if tv == 0 {
+				continue
+			}
+			bk := b.Data[k*b.Stride : k*b.Stride+b.Cols]
+			for j := range bi {
+				bi[j] += tv * bk[j]
+			}
+		}
+	}
+}
+
+// TrmmUpperTransLeft computes B = Tᵀ·B in place where T is upper triangular.
+func TrmmUpperTransLeft(t, b *Matrix) {
+	if t.Rows != t.Cols || t.Rows != b.Rows {
+		panic(fmt.Sprintf("matrix: TrmmUpperTransLeft T %dx%d, B %dx%d", t.Rows, t.Cols, b.Rows, b.Cols))
+	}
+	n := t.Rows
+	// (TᵀB)[i] = sum_{k<=i} T[k][i] * B[k]; process rows bottom-up so each
+	// B[k] for k < i is still the original value when row i is formed.
+	for i := n - 1; i >= 0; i-- {
+		bi := b.Data[i*b.Stride : i*b.Stride+b.Cols]
+		for j := range bi {
+			bi[j] *= t.Data[i*t.Stride+i]
+		}
+		for k := 0; k < i; k++ {
+			tv := t.Data[k*t.Stride+i]
+			if tv == 0 {
+				continue
+			}
+			bk := b.Data[k*b.Stride : k*b.Stride+b.Cols]
+			for j := range bi {
+				bi[j] += tv * bk[j]
+			}
+		}
+	}
+}
+
+// TrsmUpperLeft solves T·X = B for X in place of B, where T is upper
+// triangular with non-zero diagonal.
+func TrsmUpperLeft(t, b *Matrix) {
+	if t.Rows != t.Cols || t.Rows != b.Rows {
+		panic(fmt.Sprintf("matrix: TrsmUpperLeft T %dx%d, B %dx%d", t.Rows, t.Cols, b.Rows, b.Cols))
+	}
+	n := t.Rows
+	for i := n - 1; i >= 0; i-- {
+		bi := b.Data[i*b.Stride : i*b.Stride+b.Cols]
+		tr := t.Data[i*t.Stride : i*t.Stride+n]
+		for k := i + 1; k < n; k++ {
+			tv := tr[k]
+			if tv == 0 {
+				continue
+			}
+			bk := b.Data[k*b.Stride : k*b.Stride+b.Cols]
+			for j := range bi {
+				bi[j] -= tv * bk[j]
+			}
+		}
+		d := tr[i]
+		for j := range bi {
+			bi[j] /= d
+		}
+	}
+}
+
+// TrsmLowerLeft solves L·X = B for X in place of B, where L is lower
+// triangular with non-zero diagonal.
+func TrsmLowerLeft(l, b *Matrix) {
+	if l.Rows != l.Cols || l.Rows != b.Rows {
+		panic(fmt.Sprintf("matrix: TrsmLowerLeft L %dx%d, B %dx%d", l.Rows, l.Cols, b.Rows, b.Cols))
+	}
+	n := l.Rows
+	for i := 0; i < n; i++ {
+		bi := b.Data[i*b.Stride : i*b.Stride+b.Cols]
+		lr := l.Data[i*l.Stride : i*l.Stride+n]
+		for k := 0; k < i; k++ {
+			lv := lr[k]
+			if lv == 0 {
+				continue
+			}
+			bk := b.Data[k*b.Stride : k*b.Stride+b.Cols]
+			for j := range bi {
+				bi[j] -= lv * bk[j]
+			}
+		}
+		d := lr[i]
+		for j := range bi {
+			bi[j] /= d
+		}
+	}
+}
+
+// FrobeniusNorm returns ‖m‖_F.
+func FrobeniusNorm(m *Matrix) float64 {
+	// Scaled accumulation guards against overflow for large entries.
+	var scale, ssq float64 = 0, 1
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Stride : i*m.Stride+m.Cols]
+		for _, v := range row {
+			if v == 0 {
+				continue
+			}
+			av := math.Abs(v)
+			if scale < av {
+				r := scale / av
+				ssq = 1 + ssq*r*r
+				scale = av
+			} else {
+				r := av / scale
+				ssq += r * r
+			}
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// MaxAbs returns max_{ij} |m_ij| (zero for an empty matrix; NaN if any
+// element is NaN, so downstream quality checks see poisoned data).
+func MaxAbs(m *Matrix) float64 {
+	var d float64
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Stride : i*m.Stride+m.Cols]
+		for _, v := range row {
+			a := math.Abs(v)
+			if math.IsNaN(a) {
+				return a
+			}
+			if a > d {
+				d = a
+			}
+		}
+	}
+	return d
+}
+
+// OneNorm returns the maximum absolute column sum of m.
+func OneNorm(m *Matrix) float64 {
+	if m.IsEmpty() {
+		return 0
+	}
+	sums := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Stride : i*m.Stride+m.Cols]
+		for j, v := range row {
+			sums[j] += math.Abs(v)
+		}
+	}
+	best := sums[0]
+	for _, s := range sums[1:] {
+		if s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// InfNorm returns the maximum absolute row sum of m.
+func InfNorm(m *Matrix) float64 {
+	var best float64
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Stride : i*m.Stride+m.Cols]
+		var s float64
+		for _, v := range row {
+			s += math.Abs(v)
+		}
+		if s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// Dot returns the inner product of x and y, which must have equal length.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("matrix: Dot length %d vs %d", len(x), len(y)))
+	}
+	var s float64
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// Axpy computes y += alpha·x element-wise.
+func Axpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("matrix: Axpy length %d vs %d", len(x), len(y)))
+	}
+	if alpha == 0 {
+		return
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// Nrm2 returns the Euclidean norm of x with overflow-safe scaling.
+func Nrm2(x []float64) float64 {
+	var scale, ssq float64 = 0, 1
+	for _, v := range x {
+		if v == 0 {
+			continue
+		}
+		av := math.Abs(v)
+		if scale < av {
+			r := scale / av
+			ssq = 1 + ssq*r*r
+			scale = av
+		} else {
+			r := av / scale
+			ssq += r * r
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}

@@ -1,0 +1,82 @@
+package matrix
+
+import "math"
+
+// UpperTriangular returns a copy of m with everything strictly below the
+// main diagonal zeroed.
+func UpperTriangular(m *Matrix) *Matrix {
+	out := m.Clone()
+	for i := 1; i < out.Rows; i++ {
+		row := out.Data[i*out.Stride : i*out.Stride+out.Cols]
+		for j := 0; j < i && j < out.Cols; j++ {
+			row[j] = 0
+		}
+	}
+	return out
+}
+
+// LowerTriangular returns a copy of m with everything strictly above the
+// main diagonal zeroed.
+func LowerTriangular(m *Matrix) *Matrix {
+	out := m.Clone()
+	for i := 0; i < out.Rows; i++ {
+		row := out.Data[i*out.Stride : i*out.Stride+out.Cols]
+		for j := i + 1; j < out.Cols; j++ {
+			row[j] = 0
+		}
+	}
+	return out
+}
+
+// StrictLowerMax returns max |m_ij| over the strictly lower triangle; it
+// measures how far m is from upper-triangular form.
+func StrictLowerMax(m *Matrix) float64 {
+	var d float64
+	for i := 1; i < m.Rows; i++ {
+		row := m.Data[i*m.Stride : i*m.Stride+m.Cols]
+		for j := 0; j < i && j < m.Cols; j++ {
+			if a := math.Abs(row[j]); a > d {
+				d = a
+			}
+		}
+	}
+	return d
+}
+
+// IsUpperTriangular reports whether every strictly-lower element of m has
+// absolute value at most tol.
+func IsUpperTriangular(m *Matrix, tol float64) bool {
+	return StrictLowerMax(m) <= tol
+}
+
+// OrthogonalityError returns ‖QᵀQ − I‖_max for the given matrix, measuring
+// the loss of orthonormality of Q's columns.
+func OrthogonalityError(q *Matrix) float64 {
+	qtq := New(q.Cols, q.Cols)
+	GemmTA(1, q, q, 0, qtq)
+	var d float64
+	for i := 0; i < qtq.Rows; i++ {
+		row := qtq.Data[i*qtq.Stride : i*qtq.Stride+qtq.Cols]
+		for j, v := range row {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if a := math.Abs(v - want); a > d {
+				d = a
+			}
+		}
+	}
+	return d
+}
+
+// ResidualQR returns ‖A − Q·R‖_max / max(1, ‖A‖_max): the scaled
+// reconstruction error of a QR factorization.
+func ResidualQR(a, q, r *Matrix) float64 {
+	qr := Mul(q, r)
+	denom := MaxAbs(a)
+	if denom < 1 {
+		denom = 1
+	}
+	return a.MaxAbsDiff(qr) / denom
+}

@@ -1,0 +1,302 @@
+// Package matrix provides the dense linear-algebra substrate used by the
+// tiled QR library: a row-major float64 matrix type, vectors, and the
+// BLAS-like primitives (multiply, triangular solve, norms, transforms) that
+// the reference algorithms and tile kernels are written against.
+//
+// The package is deliberately dependency-free and allocation-conscious:
+// every mutating operation works in place on caller-owned storage, and all
+// views (SubMatrix, Row, Col) alias the parent's backing slice.
+package matrix
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ErrShape is returned (or wrapped) when operand dimensions do not conform.
+var ErrShape = errors.New("matrix: dimension mismatch")
+
+// Matrix is a dense row-major matrix of float64 values.
+//
+// Element (i, j) lives at Data[i*Stride+j]. Stride may exceed Cols for
+// sub-matrix views; it is never smaller than Cols for a non-empty matrix.
+type Matrix struct {
+	Rows   int
+	Cols   int
+	Stride int
+	Data   []float64
+}
+
+// New returns a zero-initialised r×c matrix with a fresh backing slice.
+func New(r, c int) *Matrix {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("matrix: negative dimensions %dx%d", r, c))
+	}
+	return &Matrix{Rows: r, Cols: c, Stride: c, Data: make([]float64, r*c)}
+}
+
+// FromRows builds a matrix from row slices. All rows must share one length.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return New(0, 0)
+	}
+	c := len(rows[0])
+	m := New(len(rows), c)
+	for i, row := range rows {
+		if len(row) != c {
+			panic(fmt.Sprintf("matrix: ragged row %d: got %d want %d", i, len(row), c))
+		}
+		copy(m.Data[i*m.Stride:i*m.Stride+c], row)
+	}
+	return m
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Data[i*m.Stride+i] = 1
+	}
+	return m
+}
+
+// At returns element (i, j). Bounds are checked by the slice access.
+func (m *Matrix) At(i, j int) float64 {
+	m.check(i, j)
+	return m.Data[i*m.Stride+j]
+}
+
+// Set stores v at element (i, j).
+func (m *Matrix) Set(i, j int, v float64) {
+	m.check(i, j)
+	m.Data[i*m.Stride+j] = v
+}
+
+func (m *Matrix) check(i, j int) {
+	if i < 0 || i >= m.Rows || j < 0 || j >= m.Cols {
+		panic(fmt.Sprintf("matrix: index (%d,%d) out of range %dx%d", i, j, m.Rows, m.Cols))
+	}
+}
+
+// IsEmpty reports whether the matrix has no elements.
+func (m *Matrix) IsEmpty() bool { return m.Rows == 0 || m.Cols == 0 }
+
+// Clone returns a deep copy with compact stride.
+func (m *Matrix) Clone() *Matrix {
+	out := New(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		copy(out.Data[i*out.Stride:i*out.Stride+m.Cols], m.Data[i*m.Stride:i*m.Stride+m.Cols])
+	}
+	return out
+}
+
+// CopyFrom copies src into m. Shapes must match exactly.
+func (m *Matrix) CopyFrom(src *Matrix) {
+	if m.Rows != src.Rows || m.Cols != src.Cols {
+		panic(fmt.Sprintf("matrix: CopyFrom %dx%d into %dx%d", src.Rows, src.Cols, m.Rows, m.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		copy(m.Data[i*m.Stride:i*m.Stride+m.Cols], src.Data[i*src.Stride:i*src.Stride+m.Cols])
+	}
+}
+
+// SubMatrix returns a view of the r×c block whose top-left corner is (i, j).
+// The view shares storage with m.
+func (m *Matrix) SubMatrix(i, j, r, c int) *Matrix {
+	if i < 0 || j < 0 || r < 0 || c < 0 || i+r > m.Rows || j+c > m.Cols {
+		panic(fmt.Sprintf("matrix: SubMatrix(%d,%d,%d,%d) of %dx%d out of range", i, j, r, c, m.Rows, m.Cols))
+	}
+	if r == 0 || c == 0 {
+		return &Matrix{Rows: r, Cols: c, Stride: m.Stride}
+	}
+	off := i*m.Stride + j
+	// The backing slice must reach the last element of the view.
+	end := off + (r-1)*m.Stride + c
+	return &Matrix{Rows: r, Cols: c, Stride: m.Stride, Data: m.Data[off:end]}
+}
+
+// Row returns row i as a slice aliasing m's storage.
+func (m *Matrix) Row(i int) []float64 {
+	if i < 0 || i >= m.Rows {
+		panic(fmt.Sprintf("matrix: row %d out of range %d", i, m.Rows))
+	}
+	return m.Data[i*m.Stride : i*m.Stride+m.Cols]
+}
+
+// Col copies column j into a fresh slice.
+func (m *Matrix) Col(j int) []float64 {
+	if j < 0 || j >= m.Cols {
+		panic(fmt.Sprintf("matrix: col %d out of range %d", j, m.Cols))
+	}
+	out := make([]float64, m.Rows)
+	for i := range out {
+		out[i] = m.Data[i*m.Stride+j]
+	}
+	return out
+}
+
+// SetCol overwrites column j with v (len(v) must equal Rows).
+func (m *Matrix) SetCol(j int, v []float64) {
+	if len(v) != m.Rows {
+		panic(fmt.Sprintf("matrix: SetCol length %d want %d", len(v), m.Rows))
+	}
+	for i, x := range v {
+		m.Data[i*m.Stride+j] = x
+	}
+}
+
+// Zero sets every element to 0, honouring the view's stride.
+func (m *Matrix) Zero() {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Stride : i*m.Stride+m.Cols]
+		for j := range row {
+			row[j] = 0
+		}
+	}
+}
+
+// Fill sets every element to v.
+func (m *Matrix) Fill(v float64) {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Stride : i*m.Stride+m.Cols]
+		for j := range row {
+			row[j] = v
+		}
+	}
+}
+
+// Scale multiplies every element by s.
+func (m *Matrix) Scale(s float64) {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Stride : i*m.Stride+m.Cols]
+		for j := range row {
+			row[j] *= s
+		}
+	}
+}
+
+// Add accumulates a into m (m += a). Shapes must match.
+func (m *Matrix) Add(a *Matrix) {
+	if m.Rows != a.Rows || m.Cols != a.Cols {
+		panic(fmt.Sprintf("matrix: Add %dx%d += %dx%d", m.Rows, m.Cols, a.Rows, a.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		mr := m.Data[i*m.Stride : i*m.Stride+m.Cols]
+		ar := a.Data[i*a.Stride : i*a.Stride+m.Cols]
+		for j := range mr {
+			mr[j] += ar[j]
+		}
+	}
+}
+
+// Sub subtracts a from m (m -= a). Shapes must match.
+func (m *Matrix) Sub(a *Matrix) {
+	if m.Rows != a.Rows || m.Cols != a.Cols {
+		panic(fmt.Sprintf("matrix: Sub %dx%d -= %dx%d", m.Rows, m.Cols, a.Rows, a.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		mr := m.Data[i*m.Stride : i*m.Stride+m.Cols]
+		ar := a.Data[i*a.Stride : i*a.Stride+m.Cols]
+		for j := range mr {
+			mr[j] -= ar[j]
+		}
+	}
+}
+
+// T returns a newly allocated transpose of m.
+func (m *Matrix) T() *Matrix {
+	out := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Stride : i*m.Stride+m.Cols]
+		for j, v := range row {
+			out.Data[j*out.Stride+i] = v
+		}
+	}
+	return out
+}
+
+// Equal reports exact element-wise equality of shape and values.
+func (m *Matrix) Equal(a *Matrix) bool {
+	if m.Rows != a.Rows || m.Cols != a.Cols {
+		return false
+	}
+	for i := 0; i < m.Rows; i++ {
+		mr := m.Data[i*m.Stride : i*m.Stride+m.Cols]
+		ar := a.Data[i*a.Stride : i*a.Stride+m.Cols]
+		for j := range mr {
+			if mr[j] != ar[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// EqualApprox reports element-wise equality within absolute tolerance tol.
+func (m *Matrix) EqualApprox(a *Matrix, tol float64) bool {
+	if m.Rows != a.Rows || m.Cols != a.Cols {
+		return false
+	}
+	for i := 0; i < m.Rows; i++ {
+		mr := m.Data[i*m.Stride : i*m.Stride+m.Cols]
+		ar := a.Data[i*a.Stride : i*a.Stride+m.Cols]
+		for j := range mr {
+			if math.Abs(mr[j]-ar[j]) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MaxAbsDiff returns max_{ij} |m_ij - a_ij|. Shapes must match. A NaN in
+// either operand yields NaN, so quality checks cannot silently pass over
+// poisoned data.
+func (m *Matrix) MaxAbsDiff(a *Matrix) float64 {
+	if m.Rows != a.Rows || m.Cols != a.Cols {
+		panic(fmt.Sprintf("matrix: MaxAbsDiff %dx%d vs %dx%d", m.Rows, m.Cols, a.Rows, a.Cols))
+	}
+	d := 0.0
+	for i := 0; i < m.Rows; i++ {
+		mr := m.Data[i*m.Stride : i*m.Stride+m.Cols]
+		ar := a.Data[i*a.Stride : i*a.Stride+m.Cols]
+		for j := range mr {
+			v := math.Abs(mr[j] - ar[j])
+			if math.IsNaN(v) {
+				return v
+			}
+			if v > d {
+				d = v
+			}
+		}
+	}
+	return d
+}
+
+// String renders the matrix for debugging; large matrices are elided.
+func (m *Matrix) String() string {
+	const maxShow = 8
+	var b strings.Builder
+	fmt.Fprintf(&b, "%dx%d[", m.Rows, m.Cols)
+	for i := 0; i < m.Rows && i < maxShow; i++ {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		for j := 0; j < m.Cols && j < maxShow; j++ {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%.4g", m.Data[i*m.Stride+j])
+		}
+		if m.Cols > maxShow {
+			b.WriteString(" …")
+		}
+	}
+	if m.Rows > maxShow {
+		b.WriteString("; …")
+	}
+	b.WriteByte(']')
+	return b.String()
+}

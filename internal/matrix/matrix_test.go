@@ -1,0 +1,645 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func randMat(rng *rand.Rand, r, c int) *Matrix {
+	m := New(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func TestNewShape(t *testing.T) {
+	m := New(3, 5)
+	if m.Rows != 3 || m.Cols != 5 || m.Stride != 5 || len(m.Data) != 15 {
+		t.Fatalf("unexpected shape: %+v", m)
+	}
+	for _, v := range m.Data {
+		if v != 0 {
+			t.Fatal("New must zero-initialise")
+		}
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative dims")
+		}
+	}()
+	New(-1, 2)
+}
+
+func TestAtSet(t *testing.T) {
+	m := New(2, 3)
+	m.Set(1, 2, 7.5)
+	if got := m.At(1, 2); got != 7.5 {
+		t.Fatalf("At(1,2) = %v, want 7.5", got)
+	}
+	if got := m.At(0, 0); got != 0 {
+		t.Fatalf("At(0,0) = %v, want 0", got)
+	}
+}
+
+func TestAtOutOfRangePanics(t *testing.T) {
+	m := New(2, 2)
+	for _, idx := range [][2]int{{-1, 0}, {0, -1}, {2, 0}, {0, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for index %v", idx)
+				}
+			}()
+			m.At(idx[0], idx[1])
+		}()
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if m.Rows != 3 || m.Cols != 2 {
+		t.Fatalf("shape %dx%d", m.Rows, m.Cols)
+	}
+	if m.At(2, 1) != 6 || m.At(0, 0) != 1 {
+		t.Fatal("wrong values")
+	}
+}
+
+func TestFromRowsEmpty(t *testing.T) {
+	m := FromRows(nil)
+	if !m.IsEmpty() {
+		t.Fatal("expected empty")
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for ragged rows")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestIdentity(t *testing.T) {
+	m := Identity(4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if m.At(i, j) != want {
+				t.Fatalf("I(%d,%d) = %v", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestSubMatrixAliases(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}})
+	s := m.SubMatrix(1, 1, 2, 2)
+	if s.At(0, 0) != 5 || s.At(1, 1) != 9 {
+		t.Fatalf("view values wrong: %v", s)
+	}
+	s.Set(0, 0, 50)
+	if m.At(1, 1) != 50 {
+		t.Fatal("SubMatrix must alias parent storage")
+	}
+}
+
+func TestSubMatrixZeroSized(t *testing.T) {
+	m := New(3, 3)
+	s := m.SubMatrix(1, 1, 0, 2)
+	if !s.IsEmpty() {
+		t.Fatal("expected empty view")
+	}
+	s2 := m.SubMatrix(3, 3, 0, 0) // corner, zero-sized: allowed
+	if !s2.IsEmpty() {
+		t.Fatal("expected empty corner view")
+	}
+}
+
+func TestSubMatrixOutOfRangePanics(t *testing.T) {
+	m := New(3, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.SubMatrix(2, 2, 2, 2)
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone must not alias")
+	}
+}
+
+func TestCloneOfView(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}})
+	v := m.SubMatrix(0, 1, 2, 2)
+	c := v.Clone()
+	if c.Stride != 2 || c.At(0, 0) != 2 || c.At(1, 1) != 6 {
+		t.Fatalf("clone of view wrong: %v", c)
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	m := New(2, 2)
+	src := FromRows([][]float64{{1, 2}, {3, 4}})
+	m.CopyFrom(src)
+	if !m.Equal(src) {
+		t.Fatal("CopyFrom mismatch")
+	}
+}
+
+func TestCopyFromShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2, 2).CopyFrom(New(2, 3))
+}
+
+func TestRowColSetCol(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	if r := m.Row(1); r[0] != 3 || r[1] != 4 {
+		t.Fatalf("Row = %v", r)
+	}
+	m.Row(1)[0] = 30 // aliasing
+	if m.At(1, 0) != 30 {
+		t.Fatal("Row must alias")
+	}
+	if c := m.Col(1); c[0] != 2 || c[1] != 4 {
+		t.Fatalf("Col = %v", c)
+	}
+	m.SetCol(0, []float64{10, 20})
+	if m.At(0, 0) != 10 || m.At(1, 0) != 20 {
+		t.Fatal("SetCol wrong")
+	}
+}
+
+func TestZeroFillScaleOnView(t *testing.T) {
+	m := FromRows([][]float64{{1, 1, 1}, {1, 1, 1}, {1, 1, 1}})
+	v := m.SubMatrix(0, 0, 2, 2)
+	v.Zero()
+	if m.At(0, 2) != 1 || m.At(2, 0) != 1 {
+		t.Fatal("Zero leaked outside the view")
+	}
+	if m.At(0, 0) != 0 || m.At(1, 1) != 0 {
+		t.Fatal("Zero did not clear the view")
+	}
+	v.Fill(3)
+	if m.At(1, 1) != 3 || m.At(2, 2) != 1 {
+		t.Fatal("Fill wrong")
+	}
+	v.Scale(2)
+	if m.At(0, 0) != 6 || m.At(0, 2) != 1 {
+		t.Fatal("Scale wrong")
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{10, 20}, {30, 40}})
+	b.Add(a)
+	if b.At(1, 1) != 44 {
+		t.Fatalf("Add: %v", b)
+	}
+	b.Sub(a)
+	if b.At(1, 1) != 40 {
+		t.Fatalf("Sub: %v", b)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	at := a.T()
+	if at.Rows != 3 || at.Cols != 2 || at.At(2, 0) != 3 || at.At(0, 1) != 4 {
+		t.Fatalf("T wrong: %v", at)
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randMat(rng, 1+rng.Intn(10), 1+rng.Intn(10))
+		return m.T().T().Equal(m)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEqualApprox(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}})
+	b := FromRows([][]float64{{1.0005, 2}})
+	if !a.EqualApprox(b, 1e-3) {
+		t.Fatal("should be approx equal")
+	}
+	if a.EqualApprox(b, 1e-5) {
+		t.Fatal("should not be approx equal")
+	}
+	if a.EqualApprox(New(1, 3), 1) {
+		t.Fatal("shape mismatch must be unequal")
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	a := FromRows([][]float64{{1, -5}})
+	b := FromRows([][]float64{{2, -1}})
+	if d := a.MaxAbsDiff(b); d != 4 {
+		t.Fatalf("MaxAbsDiff = %v", d)
+	}
+}
+
+func TestStringElides(t *testing.T) {
+	m := New(20, 20)
+	s := m.String()
+	if !strings.Contains(s, "20x20") || !strings.Contains(s, "…") {
+		t.Fatalf("String: %s", s)
+	}
+}
+
+func TestGemmAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 30; iter++ {
+		m, k, n := 1+rng.Intn(12), 1+rng.Intn(12), 1+rng.Intn(12)
+		a, b := randMat(rng, m, k), randMat(rng, k, n)
+		c := randMat(rng, m, n)
+		alpha, beta := rng.NormFloat64(), rng.NormFloat64()
+		want := New(m, n)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				var s float64
+				for p := 0; p < k; p++ {
+					s += a.At(i, p) * b.At(p, j)
+				}
+				want.Set(i, j, alpha*s+beta*c.At(i, j))
+			}
+		}
+		Gemm(alpha, a, b, beta, c)
+		if c.MaxAbsDiff(want) > 1e-12 {
+			t.Fatalf("iter %d: Gemm diff %g", iter, c.MaxAbsDiff(want))
+		}
+	}
+}
+
+func TestGemmTAMatchesExplicitTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for iter := 0; iter < 20; iter++ {
+		m, k, n := 1+rng.Intn(10), 1+rng.Intn(10), 1+rng.Intn(10)
+		a, b := randMat(rng, k, m), randMat(rng, k, n)
+		c1, c2 := New(m, n), New(m, n)
+		GemmTA(1, a, b, 0, c1)
+		Gemm(1, a.T(), b, 0, c2)
+		if c1.MaxAbsDiff(c2) > 1e-12 {
+			t.Fatalf("GemmTA diff %g", c1.MaxAbsDiff(c2))
+		}
+	}
+}
+
+func TestGemmTBMatchesExplicitTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 20; iter++ {
+		m, k, n := 1+rng.Intn(10), 1+rng.Intn(10), 1+rng.Intn(10)
+		a, b := randMat(rng, m, k), randMat(rng, n, k)
+		c1, c2 := New(m, n), New(m, n)
+		GemmTB(1, a, b, 0, c1)
+		Gemm(1, a, b.T(), 0, c2)
+		if c1.MaxAbsDiff(c2) > 1e-12 {
+			t.Fatalf("GemmTB diff %g", c1.MaxAbsDiff(c2))
+		}
+	}
+}
+
+func TestGemmBetaSemantics(t *testing.T) {
+	a := Identity(2)
+	b := FromRows([][]float64{{1, 2}, {3, 4}})
+	c := FromRows([][]float64{{10, 10}, {10, 10}})
+	Gemm(1, a, b, 1, c) // C = A·B + C
+	if c.At(0, 0) != 11 || c.At(1, 1) != 14 {
+		t.Fatalf("beta=1 wrong: %v", c)
+	}
+	Gemm(0, a, b, 0.5, c) // C = 0.5·C
+	if c.At(0, 0) != 5.5 {
+		t.Fatalf("alpha=0 beta=0.5 wrong: %v", c)
+	}
+}
+
+func TestGemmShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Gemm(1, New(2, 3), New(2, 3), 0, New(2, 3))
+}
+
+func TestMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randMat(rng, 5, 5)
+	if d := Mul(Identity(5), a).MaxAbsDiff(a); d != 0 {
+		t.Fatalf("I·A != A (%g)", d)
+	}
+	if d := Mul(a, Identity(5)).MaxAbsDiff(a); d != 0 {
+		t.Fatalf("A·I != A (%g)", d)
+	}
+}
+
+func TestTrmmUpperLeft(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 20; iter++ {
+		n, c := 1+rng.Intn(8), 1+rng.Intn(8)
+		tm := UpperTriangular(randMat(rng, n, n))
+		b := randMat(rng, n, c)
+		want := Mul(tm, b)
+		TrmmUpperLeft(tm, b)
+		if b.MaxAbsDiff(want) > 1e-12 {
+			t.Fatalf("TrmmUpperLeft diff %g", b.MaxAbsDiff(want))
+		}
+	}
+}
+
+func TestTrmmUpperTransLeft(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for iter := 0; iter < 20; iter++ {
+		n, c := 1+rng.Intn(8), 1+rng.Intn(8)
+		tm := UpperTriangular(randMat(rng, n, n))
+		b := randMat(rng, n, c)
+		want := Mul(tm.T(), b)
+		TrmmUpperTransLeft(tm, b)
+		if b.MaxAbsDiff(want) > 1e-12 {
+			t.Fatalf("TrmmUpperTransLeft diff %g", b.MaxAbsDiff(want))
+		}
+	}
+}
+
+func wellConditionedTriangular(rng *rand.Rand, n int, upper bool) *Matrix {
+	m := randMat(rng, n, n)
+	var tri *Matrix
+	if upper {
+		tri = UpperTriangular(m)
+	} else {
+		tri = LowerTriangular(m)
+	}
+	for i := 0; i < n; i++ {
+		tri.Set(i, i, 2+math.Abs(tri.At(i, i)))
+	}
+	return tri
+}
+
+func TestTrsmUpperLeft(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 20; iter++ {
+		n, c := 1+rng.Intn(8), 1+rng.Intn(8)
+		u := wellConditionedTriangular(rng, n, true)
+		x := randMat(rng, n, c)
+		b := Mul(u, x)
+		TrsmUpperLeft(u, b)
+		if b.MaxAbsDiff(x) > 1e-10 {
+			t.Fatalf("TrsmUpperLeft diff %g", b.MaxAbsDiff(x))
+		}
+	}
+}
+
+func TestTrsmLowerLeft(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for iter := 0; iter < 20; iter++ {
+		n, c := 1+rng.Intn(8), 1+rng.Intn(8)
+		l := wellConditionedTriangular(rng, n, false)
+		x := randMat(rng, n, c)
+		b := Mul(l, x)
+		TrsmLowerLeft(l, b)
+		if b.MaxAbsDiff(x) > 1e-10 {
+			t.Fatalf("TrsmLowerLeft diff %g", b.MaxAbsDiff(x))
+		}
+	}
+}
+
+func TestNorms(t *testing.T) {
+	m := FromRows([][]float64{{3, -4}, {0, 0}})
+	if got := FrobeniusNorm(m); math.Abs(got-5) > 1e-14 {
+		t.Fatalf("Frobenius = %v", got)
+	}
+	if got := MaxAbs(m); got != 4 {
+		t.Fatalf("MaxAbs = %v", got)
+	}
+	if got := OneNorm(m); got != 4 {
+		t.Fatalf("OneNorm = %v", got)
+	}
+	if got := InfNorm(m); got != 7 {
+		t.Fatalf("InfNorm = %v", got)
+	}
+}
+
+func TestNormsEmpty(t *testing.T) {
+	m := New(0, 0)
+	if FrobeniusNorm(m) != 0 || MaxAbs(m) != 0 || OneNorm(m) != 0 || InfNorm(m) != 0 {
+		t.Fatal("norms of empty matrix must be 0")
+	}
+}
+
+func TestFrobeniusOverflowSafe(t *testing.T) {
+	m := FromRows([][]float64{{1e200, 1e200}})
+	got := FrobeniusNorm(m)
+	want := 1e200 * math.Sqrt2
+	if math.IsInf(got, 0) || math.Abs(got-want)/want > 1e-14 {
+		t.Fatalf("Frobenius overflow: %v", got)
+	}
+}
+
+func TestNrm2OverflowSafe(t *testing.T) {
+	got := Nrm2([]float64{3e200, 4e200})
+	if math.IsInf(got, 0) || math.Abs(got-5e200)/5e200 > 1e-14 {
+		t.Fatalf("Nrm2 = %v", got)
+	}
+}
+
+func TestDotAxpy(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{4, 5, 6}
+	if got := Dot(x, y); got != 32 {
+		t.Fatalf("Dot = %v", got)
+	}
+	Axpy(2, x, y)
+	if y[0] != 6 || y[2] != 12 {
+		t.Fatalf("Axpy = %v", y)
+	}
+	Axpy(0, x, y) // no-op path
+	if y[0] != 6 {
+		t.Fatal("Axpy alpha=0 must be a no-op")
+	}
+}
+
+func TestTriangularExtractors(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}})
+	u := UpperTriangular(m)
+	if u.At(1, 0) != 0 || u.At(2, 1) != 0 || u.At(0, 2) != 3 || u.At(1, 1) != 5 {
+		t.Fatalf("UpperTriangular: %v", u)
+	}
+	l := LowerTriangular(m)
+	if l.At(0, 1) != 0 || l.At(1, 2) != 0 || l.At(2, 0) != 7 {
+		t.Fatalf("LowerTriangular: %v", l)
+	}
+	if !IsUpperTriangular(u, 0) {
+		t.Fatal("u must be upper triangular")
+	}
+	if IsUpperTriangular(m, 0.5) {
+		t.Fatal("m is not upper triangular")
+	}
+}
+
+func TestOrthogonalityError(t *testing.T) {
+	if e := OrthogonalityError(Identity(5)); e != 0 {
+		t.Fatalf("I orthogonality = %v", e)
+	}
+	// A rotation is orthogonal.
+	th := 0.7
+	rot := FromRows([][]float64{{math.Cos(th), -math.Sin(th)}, {math.Sin(th), math.Cos(th)}})
+	if e := OrthogonalityError(rot); e > 1e-15 {
+		t.Fatalf("rotation orthogonality = %v", e)
+	}
+	if e := OrthogonalityError(FromRows([][]float64{{2, 0}, {0, 1}})); math.Abs(e-3) > 1e-15 {
+		t.Fatalf("scaled orthogonality = %v", e)
+	}
+}
+
+func TestResidualQR(t *testing.T) {
+	a := FromRows([][]float64{{2, 0}, {0, 2}})
+	if r := ResidualQR(a, Identity(2), a); r != 0 {
+		t.Fatalf("residual = %v", r)
+	}
+	if r := ResidualQR(a, Identity(2), Identity(2)); math.Abs(r-0.5) > 1e-15 {
+		t.Fatalf("residual = %v", r)
+	}
+}
+
+// Property: Gemm is linear in alpha.
+func TestGemmAlphaLinearity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		a, b := randMat(rng, n, n), randMat(rng, n, n)
+		c1, c2 := New(n, n), New(n, n)
+		Gemm(2, a, b, 0, c1)
+		Gemm(1, a, b, 0, c2)
+		c2.Scale(2)
+		return c1.MaxAbsDiff(c2) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: (A·B)ᵀ = Bᵀ·Aᵀ.
+func TestMulTransposeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k, n := 1+rng.Intn(6), 1+rng.Intn(6), 1+rng.Intn(6)
+		a, b := randMat(rng, m, k), randMat(rng, k, n)
+		left := Mul(a, b).T()
+		right := Mul(b.T(), a.T())
+		return left.MaxAbsDiff(right) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGemmOnStridedViews(t *testing.T) {
+	// BLAS ops must honour views into larger parents (stride > cols).
+	rng := rand.New(rand.NewSource(9))
+	parent := randMat(rng, 12, 12)
+	a := parent.SubMatrix(1, 2, 4, 5)
+	b := parent.SubMatrix(6, 1, 5, 3)
+	cParent := New(10, 10)
+	c := cParent.SubMatrix(2, 3, 4, 3)
+	want := Mul(a.Clone(), b.Clone())
+	Gemm(1, a, b, 0, c)
+	if d := c.Clone().MaxAbsDiff(want); d > 1e-12 {
+		t.Fatalf("Gemm on views diff %g", d)
+	}
+	// Elements outside the view untouched.
+	if cParent.At(0, 0) != 0 || cParent.At(9, 9) != 0 {
+		t.Fatal("Gemm leaked outside the view")
+	}
+}
+
+func TestTrmmTrsmOnViews(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	parent := randMat(rng, 10, 10)
+	tri := UpperTriangular(parent.SubMatrix(0, 0, 4, 4).Clone())
+	for i := 0; i < 4; i++ {
+		tri.Set(i, i, 2+math.Abs(tri.At(i, i)))
+	}
+	bParent := randMat(rng, 8, 8)
+	b := bParent.SubMatrix(2, 2, 4, 4)
+	orig := b.Clone()
+	TrmmUpperLeft(tri, b)
+	TrsmUpperLeft(tri, b)
+	if d := b.Clone().MaxAbsDiff(orig); d > 1e-10 {
+		t.Fatalf("Trmm∘Trsm on views diff %g", d)
+	}
+}
+
+func TestTransposeOfView(t *testing.T) {
+	parent := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}})
+	v := parent.SubMatrix(0, 1, 2, 2) // [[2,3],[5,6]]
+	vt := v.T()
+	if vt.At(0, 0) != 2 || vt.At(1, 0) != 3 || vt.At(0, 1) != 5 {
+		t.Fatalf("view transpose wrong: %v", vt)
+	}
+}
+
+func TestGemmParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for _, workers := range []int{0, 1, 2, 4, 7} {
+		a, b := randMat(rng, 33, 21), randMat(rng, 21, 17)
+		c := randMat(rng, 33, 17)
+		want := c.Clone()
+		Gemm(1.5, a, b, 0.5, want)
+		GemmParallel(1.5, a, b, 0.5, c, workers)
+		if !c.Equal(want) {
+			t.Fatalf("workers=%d: parallel Gemm not bitwise identical", workers)
+		}
+	}
+}
+
+func TestGemmTAParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	a, b := randMat(rng, 40, 24), randMat(rng, 40, 12)
+	c := New(24, 12)
+	want := New(24, 12)
+	GemmTA(1, a, b, 0, want)
+	GemmTAParallel(1, a, b, 0, c, 4)
+	if !c.Equal(want) {
+		t.Fatal("parallel GemmTA not bitwise identical")
+	}
+	// Tiny matrices fall back to serial.
+	c2 := New(2, 2)
+	GemmTAParallel(1, randMat(rng, 3, 2), randMat(rng, 3, 2), 0, c2, 8)
+}
+
+func TestMaxAbsDiffPropagatesNaN(t *testing.T) {
+	a := FromRows([][]float64{{1, math.NaN()}})
+	b := FromRows([][]float64{{1, math.NaN()}})
+	if !math.IsNaN(a.MaxAbsDiff(b)) {
+		t.Fatal("NaN difference must propagate")
+	}
+	if !math.IsNaN(MaxAbs(a)) {
+		t.Fatal("MaxAbs must propagate NaN")
+	}
+}

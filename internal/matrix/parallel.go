@@ -1,0 +1,63 @@
+package matrix
+
+import "sync"
+
+// GemmParallel computes C = alpha·A·B + beta·C with the rows of C split
+// across `workers` goroutines (0 = serial). Row blocks of C are disjoint,
+// so no synchronization beyond the final join is needed, and the result is
+// bitwise identical to Gemm (each row's accumulation order is unchanged).
+func GemmParallel(alpha float64, a, b *Matrix, beta float64, c *Matrix, workers int) {
+	if workers <= 1 || c.Rows < 2*workers {
+		Gemm(alpha, a, b, beta, c)
+		return
+	}
+	var wg sync.WaitGroup
+	rowsPer := (c.Rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * rowsPer
+		if lo >= c.Rows {
+			break
+		}
+		hi := lo + rowsPer
+		if hi > c.Rows {
+			hi = c.Rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			Gemm(alpha, a.SubMatrix(lo, 0, hi-lo, a.Cols), b, beta,
+				c.SubMatrix(lo, 0, hi-lo, c.Cols))
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// GemmTAParallel computes C = alpha·Aᵀ·B + beta·C with the rows of C (the
+// columns of A) split across `workers` goroutines. Used for Gram matrices
+// (AᵀA) in the CholeskyQR baseline.
+func GemmTAParallel(alpha float64, a, b *Matrix, beta float64, c *Matrix, workers int) {
+	if workers <= 1 || c.Rows < 2*workers {
+		GemmTA(alpha, a, b, beta, c)
+		return
+	}
+	var wg sync.WaitGroup
+	rowsPer := (c.Rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * rowsPer
+		if lo >= c.Rows {
+			break
+		}
+		hi := lo + rowsPer
+		if hi > c.Rows {
+			hi = c.Rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			// Rows lo..hi of C come from columns lo..hi of A.
+			GemmTA(alpha, a.SubMatrix(0, lo, a.Rows, hi-lo), b, beta,
+				c.SubMatrix(lo, 0, hi-lo, c.Cols))
+		}(lo, hi)
+	}
+	wg.Wait()
+}

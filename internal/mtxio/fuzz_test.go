@@ -1,0 +1,36 @@
+package mtxio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead exercises the parser against arbitrary input: it must never
+// panic, and anything it accepts must round-trip through Write/Read
+// unchanged.
+func FuzzRead(f *testing.F) {
+	f.Add("%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 5\n")
+	f.Add("%%MatrixMarket matrix array real symmetric\n2 2\n1\n5\n2\n")
+	f.Add("%%MatrixMarket matrix array real general\n0 0\n")
+	f.Add("")
+	f.Add("%%MatrixMarket matrix array real general\n1 1\nNaN\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		m, err := Read(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, m); err != nil {
+			t.Fatalf("accepted matrix failed to write: %v", err)
+		}
+		again, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("own output rejected: %v", err)
+		}
+		if again.Rows != m.Rows || again.Cols != m.Cols {
+			t.Fatalf("round-trip shape changed: %dx%d vs %dx%d", m.Rows, m.Cols, again.Rows, again.Cols)
+		}
+	})
+}

@@ -1,0 +1,189 @@
+// Package mtxio reads and writes dense matrices in the MatrixMarket
+// exchange format (array and coordinate variants), so the command-line
+// tools can factor user-supplied data and results can round-trip to other
+// numerical software.
+//
+// Format reference: https://math.nist.gov/MatrixMarket/formats.html
+// Array data is stored column-major, one value per line; coordinate data
+// is 1-indexed (i, j, value) triples materialised into a dense matrix.
+package mtxio
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/matrix"
+)
+
+// ErrFormat wraps all malformed-input errors from this package.
+var ErrFormat = errors.New("mtxio: malformed MatrixMarket input")
+
+func formatErr(msg string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrFormat, fmt.Sprintf(msg, args...))
+}
+
+// Read parses a MatrixMarket stream into a dense matrix. Supported headers
+// are "matrix array real general", "matrix array integer general" and the
+// coordinate equivalents (plus "symmetric", which is mirrored).
+func Read(r io.Reader) (*matrix.Matrix, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+
+	if !sc.Scan() {
+		return nil, formatErr("empty input")
+	}
+	header := strings.Fields(strings.ToLower(sc.Text()))
+	if len(header) != 5 || header[0] != "%%matrixmarket" || header[1] != "matrix" {
+		return nil, formatErr("bad header %q", sc.Text())
+	}
+	layout, valType, symmetry := header[2], header[3], header[4]
+	if layout != "array" && layout != "coordinate" {
+		return nil, formatErr("unsupported layout %q", layout)
+	}
+	if valType != "real" && valType != "integer" {
+		return nil, formatErr("unsupported value type %q", valType)
+	}
+	if symmetry != "general" && symmetry != "symmetric" {
+		return nil, formatErr("unsupported symmetry %q", symmetry)
+	}
+
+	// Skip comments; read the size line.
+	var sizeLine string
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		sizeLine = line
+		break
+	}
+	if sizeLine == "" {
+		return nil, formatErr("missing size line")
+	}
+	sizes := strings.Fields(sizeLine)
+
+	next := func() (string, bool) {
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "%") {
+				continue
+			}
+			return line, true
+		}
+		return "", false
+	}
+
+	if layout == "array" {
+		if len(sizes) != 2 {
+			return nil, formatErr("array size line %q", sizeLine)
+		}
+		rows, err1 := strconv.Atoi(sizes[0])
+		cols, err2 := strconv.Atoi(sizes[1])
+		if err1 != nil || err2 != nil || rows < 0 || cols < 0 {
+			return nil, formatErr("array dimensions %q", sizeLine)
+		}
+		m := matrix.New(rows, cols)
+		// Column-major order; symmetric files carry the lower triangle only.
+		for j := 0; j < cols; j++ {
+			iStart := 0
+			if symmetry == "symmetric" {
+				iStart = j
+			}
+			for i := iStart; i < rows; i++ {
+				line, ok := next()
+				if !ok {
+					return nil, formatErr("short array data at column %d", j)
+				}
+				v, err := strconv.ParseFloat(line, 64)
+				if err != nil {
+					return nil, formatErr("bad value %q", line)
+				}
+				m.Set(i, j, v)
+				if symmetry == "symmetric" && i != j {
+					m.Set(j, i, v)
+				}
+			}
+		}
+		return m, nil
+	}
+
+	// Coordinate layout.
+	if len(sizes) != 3 {
+		return nil, formatErr("coordinate size line %q", sizeLine)
+	}
+	rows, err1 := strconv.Atoi(sizes[0])
+	cols, err2 := strconv.Atoi(sizes[1])
+	nnz, err3 := strconv.Atoi(sizes[2])
+	if err1 != nil || err2 != nil || err3 != nil || rows < 0 || cols < 0 || nnz < 0 {
+		return nil, formatErr("coordinate dimensions %q", sizeLine)
+	}
+	m := matrix.New(rows, cols)
+	for e := 0; e < nnz; e++ {
+		line, ok := next()
+		if !ok {
+			return nil, formatErr("short coordinate data: %d of %d entries", e, nnz)
+		}
+		f := strings.Fields(line)
+		if len(f) != 3 {
+			return nil, formatErr("bad coordinate entry %q", line)
+		}
+		i, err1 := strconv.Atoi(f[0])
+		j, err2 := strconv.Atoi(f[1])
+		v, err3 := strconv.ParseFloat(f[2], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, formatErr("bad coordinate entry %q", line)
+		}
+		if i < 1 || i > rows || j < 1 || j > cols {
+			return nil, formatErr("coordinate (%d,%d) out of %dx%d", i, j, rows, cols)
+		}
+		m.Set(i-1, j-1, v)
+		if symmetry == "symmetric" && i != j {
+			m.Set(j-1, i-1, v)
+		}
+	}
+	return m, nil
+}
+
+// Write emits m in MatrixMarket dense array format (real, general).
+func Write(w io.Writer, m *matrix.Matrix) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix array real general\n%d %d\n", m.Rows, m.Cols); err != nil {
+		return err
+	}
+	for j := 0; j < m.Cols; j++ {
+		for i := 0; i < m.Rows; i++ {
+			if _, err := fmt.Fprintf(bw, "%.17g\n", m.At(i, j)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFile reads a MatrixMarket file from disk.
+func ReadFile(path string) (*matrix.Matrix, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// WriteFile writes m to disk in MatrixMarket array format.
+func WriteFile(path string, m *matrix.Matrix) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, m); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,149 @@
+package mtxio
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestArrayRoundTrip(t *testing.T) {
+	m := workload.Normal(1, 7, 5)
+	var buf bytes.Buffer
+	if err := Write(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(m) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.mtx")
+	m := workload.Uniform(2, 4, 6)
+	if err := WriteFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(m) {
+		t.Fatal("file round trip mismatch")
+	}
+}
+
+func TestReadCoordinate(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real general
+% a comment
+3 4 3
+1 1 2.5
+3 4 -1
+2 2 7
+`
+	m, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 3 || m.Cols != 4 {
+		t.Fatalf("shape %dx%d", m.Rows, m.Cols)
+	}
+	if m.At(0, 0) != 2.5 || m.At(2, 3) != -1 || m.At(1, 1) != 7 || m.At(0, 1) != 0 {
+		t.Fatalf("values wrong: %v", m)
+	}
+}
+
+func TestReadSymmetricArray(t *testing.T) {
+	// 2x2 symmetric array: lower triangle column-major = a11, a21, a22.
+	in := `%%MatrixMarket matrix array real symmetric
+2 2
+1
+5
+2
+`
+	m, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 1) != 5 || m.At(1, 0) != 5 || m.At(0, 0) != 1 || m.At(1, 1) != 2 {
+		t.Fatalf("symmetric fill wrong: %v", m)
+	}
+}
+
+func TestReadSymmetricCoordinate(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate integer symmetric
+2 2 2
+1 1 3
+2 1 4
+`
+	m, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 1) != 4 || m.At(1, 0) != 4 {
+		t.Fatalf("mirror wrong: %v", m)
+	}
+}
+
+func TestReadArrayColumnMajor(t *testing.T) {
+	in := `%%MatrixMarket matrix array real general
+2 2
+1
+2
+3
+4
+`
+	m, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Column-major: (0,0)=1 (1,0)=2 (0,1)=3 (1,1)=4.
+	if m.At(1, 0) != 2 || m.At(0, 1) != 3 {
+		t.Fatalf("column-major order wrong: %v", m)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":         "",
+		"badHeader":     "hello\n1 1\n1\n",
+		"badLayout":     "%%MatrixMarket matrix picture real general\n1 1\n1\n",
+		"badType":       "%%MatrixMarket matrix array complex general\n1 1\n1\n",
+		"badSymmetry":   "%%MatrixMarket matrix array real hermitian\n1 1\n1\n",
+		"noSize":        "%%MatrixMarket matrix array real general\n",
+		"badSize":       "%%MatrixMarket matrix array real general\nx y\n",
+		"shortData":     "%%MatrixMarket matrix array real general\n2 2\n1\n2\n",
+		"badValue":      "%%MatrixMarket matrix array real general\n1 1\nnope\n",
+		"coordOOB":      "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1\n",
+		"coordShort":    "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1\n",
+		"coordBadEntry": "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n",
+	}
+	for name, in := range cases {
+		if _, err := Read(strings.NewReader(in)); !errors.Is(err, ErrFormat) {
+			t.Errorf("%s: err = %v, want ErrFormat", name, err)
+		}
+	}
+}
+
+func TestWritePrecision(t *testing.T) {
+	m := workload.Normal(3, 3, 3)
+	var buf bytes.Buffer
+	if err := Write(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// %.17g is lossless for float64.
+	if !got.Equal(m) {
+		t.Fatal("precision loss in write")
+	}
+}

@@ -1,0 +1,126 @@
+package ooc
+
+import (
+	"container/list"
+	"fmt"
+
+	"repro/internal/matrix"
+)
+
+// CacheStats reports cache activity over a run.
+type CacheStats struct {
+	Hits      int
+	Misses    int // loads from the backing store
+	Evictions int // clean + dirty evictions
+	WriteBack int // dirty tiles written back on eviction or flush
+	Peak      int // maximum resident tiles
+}
+
+// tileCache is a write-back LRU cache of tiles over a TileStore. Entries
+// can be pinned while a kernel operates on them; pinned entries are never
+// evicted.
+type tileCache struct {
+	store    TileStore
+	capacity int
+	shape    func(i, j int) (rows, cols int)
+	entries  map[[2]int]*cacheEntry
+	lru      *list.List // front = most recently used
+	stats    CacheStats
+}
+
+type cacheEntry struct {
+	key   [2]int
+	tile  *matrix.Matrix
+	dirty bool
+	pins  int
+	elem  *list.Element
+}
+
+// newTileCache builds a cache holding at most capacity tiles; shape reports
+// each tile's dimensions (edge tiles may be smaller).
+func newTileCache(store TileStore, capacity int, shape func(i, j int) (int, int)) *tileCache {
+	return &tileCache{
+		store: store, capacity: capacity, shape: shape,
+		entries: map[[2]int]*cacheEntry{}, lru: list.New(),
+	}
+}
+
+// pin returns the cached tile (loading it on a miss) with its pin count
+// incremented. The caller must unpin it when the kernel completes.
+func (c *tileCache) pin(i, j int) (*matrix.Matrix, error) {
+	key := [2]int{i, j}
+	if e, ok := c.entries[key]; ok {
+		c.stats.Hits++
+		c.lru.MoveToFront(e.elem)
+		e.pins++
+		return e.tile, nil
+	}
+	if err := c.makeRoom(); err != nil {
+		return nil, err
+	}
+	r, cols := c.shape(i, j)
+	tile := matrix.New(r, cols)
+	if err := c.store.Load(i, j, tile); err != nil {
+		return nil, err
+	}
+	c.stats.Misses++
+	e := &cacheEntry{key: key, tile: tile, pins: 1}
+	e.elem = c.lru.PushFront(e)
+	c.entries[key] = e
+	if n := len(c.entries); n > c.stats.Peak {
+		c.stats.Peak = n
+	}
+	return tile, nil
+}
+
+// unpin releases a pin; dirty marks the tile as modified so eviction will
+// write it back.
+func (c *tileCache) unpin(i, j int, dirty bool) {
+	e, ok := c.entries[[2]int{i, j}]
+	if !ok || e.pins == 0 {
+		panic(fmt.Sprintf("ooc: unpin of unpinned tile (%d,%d)", i, j))
+	}
+	e.pins--
+	if dirty {
+		e.dirty = true
+	}
+}
+
+// makeRoom evicts the least recently used unpinned entry if the cache is at
+// capacity.
+func (c *tileCache) makeRoom() error {
+	if len(c.entries) < c.capacity {
+		return nil
+	}
+	for el := c.lru.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*cacheEntry)
+		if e.pins > 0 {
+			continue
+		}
+		if e.dirty {
+			if err := c.store.Store(e.key[0], e.key[1], e.tile); err != nil {
+				return err
+			}
+			c.stats.WriteBack++
+		}
+		c.lru.Remove(el)
+		delete(c.entries, e.key)
+		c.stats.Evictions++
+		return nil
+	}
+	return fmt.Errorf("ooc: cache capacity %d exhausted by pinned tiles", c.capacity)
+}
+
+// flush writes every dirty entry back to the store (entries stay cached).
+func (c *tileCache) flush() error {
+	for _, e := range c.entries {
+		if e.dirty {
+			if err := c.store.Store(e.key[0], e.key[1], e.tile); err != nil {
+				return err
+			}
+			e.dirty = false
+			c.stats.WriteBack++
+		}
+	}
+	return nil
+}

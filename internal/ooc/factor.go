@@ -1,0 +1,250 @@
+package ooc
+
+import (
+	"fmt"
+
+	"repro/internal/kernels"
+	"repro/internal/matrix"
+	"repro/internal/tiled"
+)
+
+// Options configures an out-of-core factorization.
+type Options struct {
+	// CacheTiles bounds the resident matrix tiles (≥ 4: the widest kernel
+	// pins three tiles and eviction needs one unpinned victim).
+	CacheTiles int
+	// TCacheTiles bounds the resident block factors (≥ 2; default 8).
+	TCacheTiles int
+	// TStore holds the block factors; nil uses an in-memory store.
+	TStore TileStore
+}
+
+// Factorization is a completed out-of-core tiled QR. Tiles (R and the
+// reflector storage) live in the backing store; the block factors in the
+// T store. The flat-TS elimination order is used — it has the smallest
+// working set, which is the point of going out of core.
+type Factorization struct {
+	Layout  tiled.Layout
+	Journal []tiled.Op
+	// TileStats and TStats report cache behaviour for the matrix tiles and
+	// the block factors respectively.
+	TileStats CacheStats
+	TStats    CacheStats
+
+	tiles *tileCache
+	ts    *tileCache
+}
+
+// Factor runs the tiled QR schedule against the tiles in store, staging
+// them through a bounded cache. On return the store holds the factored
+// tiles (flushed), and the returned Factorization can apply Qᵀ and extract
+// R by re-staging tiles on demand.
+func Factor(store TileStore, l tiled.Layout, opts Options) (*Factorization, error) {
+	if opts.CacheTiles < 4 {
+		return nil, fmt.Errorf("ooc: cache of %d tiles is below the minimum of 4", opts.CacheTiles)
+	}
+	if opts.TCacheTiles == 0 {
+		opts.TCacheTiles = 8
+	}
+	if opts.TCacheTiles < 2 {
+		return nil, fmt.Errorf("ooc: T cache of %d tiles is below the minimum of 2", opts.TCacheTiles)
+	}
+	tstore := opts.TStore
+	if tstore == nil {
+		tstore = NewMemStore()
+	}
+	f := &Factorization{
+		Layout:  l,
+		Journal: tiled.BuildOps(l, tiled.FlatTS{}),
+		tiles: newTileCache(store, opts.CacheTiles, func(i, j int) (int, int) {
+			return l.TileRows(i), l.TileCols(j)
+		}),
+		ts: newTileCache(tstore, opts.TCacheTiles, func(i, j int) (int, int) {
+			k := l.TileCols(j)
+			if i == j && l.TileRows(i) < k {
+				k = l.TileRows(i)
+			}
+			return k, k
+		}),
+	}
+	for _, op := range f.Journal {
+		if err := f.apply(op); err != nil {
+			return nil, err
+		}
+	}
+	if err := f.tiles.flush(); err != nil {
+		return nil, err
+	}
+	if err := f.ts.flush(); err != nil {
+		return nil, err
+	}
+	f.TileStats = f.tiles.stats
+	f.TStats = f.ts.stats
+	return f, nil
+}
+
+// apply stages one operation's tiles and runs the kernel.
+func (f *Factorization) apply(op tiled.Op) (err error) {
+	pin := func(i, j int) *matrix.Matrix {
+		if err != nil {
+			return nil
+		}
+		var t *matrix.Matrix
+		t, err = f.tiles.pin(i, j)
+		return t
+	}
+	pinT := func(i, j int) *matrix.Matrix {
+		if err != nil {
+			return nil
+		}
+		var t *matrix.Matrix
+		t, err = f.ts.pin(i, j)
+		return t
+	}
+	switch op.Kind {
+	case tiled.KindGEQRT:
+		a := pin(op.Row, op.K)
+		t := pinT(op.Row, op.K)
+		if err != nil {
+			return err
+		}
+		kernels.GEQRT(a, t)
+		f.tiles.unpin(op.Row, op.K, true)
+		f.ts.unpin(op.Row, op.K, true)
+	case tiled.KindUNMQR:
+		v := pin(op.Row, op.K)
+		t := pinT(op.Row, op.K)
+		c := pin(op.Row, op.Col)
+		if err != nil {
+			return err
+		}
+		kernels.UNMQR(v, t, c, true)
+		f.tiles.unpin(op.Row, op.K, false)
+		f.ts.unpin(op.Row, op.K, false)
+		f.tiles.unpin(op.Row, op.Col, true)
+	case tiled.KindTSQRT:
+		r := pin(op.Top, op.K)
+		a := pin(op.Row, op.K)
+		t := pinT(op.Row, op.K)
+		if err != nil {
+			return err
+		}
+		kernels.TSQRT(r, a, t)
+		f.tiles.unpin(op.Top, op.K, true)
+		f.tiles.unpin(op.Row, op.K, true)
+		f.ts.unpin(op.Row, op.K, true)
+	case tiled.KindTSMQR:
+		v := pin(op.Row, op.K)
+		t := pinT(op.Row, op.K)
+		c1 := pin(op.Top, op.Col)
+		c2 := pin(op.Row, op.Col)
+		if err != nil {
+			return err
+		}
+		kernels.TSMQR(v, t, c1, c2, true)
+		f.tiles.unpin(op.Row, op.K, false)
+		f.ts.unpin(op.Row, op.K, false)
+		f.tiles.unpin(op.Top, op.Col, true)
+		f.tiles.unpin(op.Row, op.Col, true)
+	default:
+		return fmt.Errorf("ooc: unsupported op %v (flat-TS schedule only)", op)
+	}
+	return err
+}
+
+// ToDense assembles the full factored tile content (R plus reflector
+// storage) — only sensible for matrices that do fit in memory, i.e. tests.
+func (f *Factorization) ToDense() (*matrix.Matrix, error) {
+	l := f.Layout
+	out := matrix.New(l.M, l.N)
+	for i := 0; i < l.Mt; i++ {
+		for j := 0; j < l.Nt; j++ {
+			t, err := f.tiles.pin(i, j)
+			if err != nil {
+				return nil, err
+			}
+			out.SubMatrix(i*l.B, j*l.B, l.TileRows(i), l.TileCols(j)).CopyFrom(t)
+			f.tiles.unpin(i, j, false)
+		}
+	}
+	return out, nil
+}
+
+// R extracts the upper-triangular factor as a dense matrix, staging tiles
+// through the cache.
+func (f *Factorization) R() (*matrix.Matrix, error) {
+	l := f.Layout
+	out := matrix.New(l.M, l.N)
+	for i := 0; i < l.Mt; i++ {
+		for j := i; j < l.Nt; j++ {
+			t, err := f.tiles.pin(i, j)
+			if err != nil {
+				return nil, err
+			}
+			dst := out.SubMatrix(i*l.B, j*l.B, l.TileRows(i), l.TileCols(j))
+			if i == j {
+				dst.CopyFrom(matrix.UpperTriangular(t))
+			} else {
+				dst.CopyFrom(t)
+			}
+			f.tiles.unpin(i, j, false)
+		}
+	}
+	return out, nil
+}
+
+// ApplyQT overwrites c (with Layout.M rows) with Qᵀ·c, replaying the
+// journal and staging reflector tiles and block factors on demand.
+func (f *Factorization) ApplyQT(c *matrix.Matrix) error {
+	l := f.Layout
+	if c.Rows != l.M {
+		return fmt.Errorf("ooc: ApplyQT needs %d rows, got %d", l.M, c.Rows)
+	}
+	block := func(i int) *matrix.Matrix {
+		return c.SubMatrix(i*l.B, 0, l.TileRows(i), c.Cols)
+	}
+	for _, op := range f.Journal {
+		switch op.Kind {
+		case tiled.KindGEQRT:
+			v, err := f.tiles.pin(op.Row, op.K)
+			if err != nil {
+				return err
+			}
+			t, err := f.ts.pin(op.Row, op.K)
+			if err != nil {
+				return err
+			}
+			kernels.UNMQR(v, t, block(op.Row), true)
+			f.tiles.unpin(op.Row, op.K, false)
+			f.ts.unpin(op.Row, op.K, false)
+		case tiled.KindTSQRT:
+			v, err := f.tiles.pin(op.Row, op.K)
+			if err != nil {
+				return err
+			}
+			t, err := f.ts.pin(op.Row, op.K)
+			if err != nil {
+				return err
+			}
+			kernels.TSMQR(v, t, block(op.Top), block(op.Row), true)
+			f.tiles.unpin(op.Row, op.K, false)
+			f.ts.unpin(op.Row, op.K, false)
+		}
+	}
+	return nil
+}
+
+// LoadDense writes a dense matrix into a tile store (the ingest path for
+// tests and for matrices that are generated in memory).
+func LoadDense(store TileStore, a *matrix.Matrix, b int) (tiled.Layout, error) {
+	l := tiled.NewLayout(a.Rows, a.Cols, b)
+	for i := 0; i < l.Mt; i++ {
+		for j := 0; j < l.Nt; j++ {
+			view := a.SubMatrix(i*b, j*b, l.TileRows(i), l.TileCols(j))
+			if err := store.Store(i, j, view); err != nil {
+				return l, err
+			}
+		}
+	}
+	return l, nil
+}

@@ -1,0 +1,266 @@
+package ooc
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/matrix"
+	"repro/internal/tiled"
+	"repro/internal/workload"
+)
+
+const tol = 1e-10
+
+func TestMemStoreRoundTrip(t *testing.T) {
+	s := NewMemStore()
+	src := workload.Normal(1, 5, 7)
+	if err := s.Store(2, 3, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := matrix.New(5, 7)
+	if err := s.Load(2, 3, dst); err != nil {
+		t.Fatal(err)
+	}
+	if !dst.Equal(src) {
+		t.Fatal("round trip mismatch")
+	}
+	// Never-stored tile loads as zero.
+	z := matrix.New(4, 4)
+	z.Fill(9)
+	if err := s.Load(0, 0, z); err != nil {
+		t.Fatal(err)
+	}
+	if matrix.MaxAbs(z) != 0 {
+		t.Fatal("missing tile must load as zero")
+	}
+}
+
+func TestDiskStoreRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tiles.bin")
+	s, err := NewDiskStore(path, 3, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	full := workload.Normal(2, 8, 8)
+	edge := workload.Normal(3, 5, 8) // short edge tile
+	if err := s.Store(0, 0, full); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Store(2, 1, edge); err != nil {
+		t.Fatal(err)
+	}
+	got := matrix.New(8, 8)
+	if err := s.Load(0, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(full) {
+		t.Fatal("full tile mismatch")
+	}
+	gotEdge := matrix.New(5, 8)
+	if err := s.Load(2, 1, gotEdge); err != nil {
+		t.Fatal(err)
+	}
+	if !gotEdge.Equal(edge) {
+		t.Fatal("edge tile mismatch")
+	}
+}
+
+func TestDiskStoreTempFileCleanedUp(t *testing.T) {
+	s, err := NewDiskStore("", 2, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiskStoreOversizeTileRejected(t *testing.T) {
+	s, err := NewDiskStore("", 2, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Store(0, 0, matrix.New(5, 5)); err == nil {
+		t.Fatal("oversize store must fail")
+	}
+	if err := s.Load(0, 0, matrix.New(5, 5)); err == nil {
+		t.Fatal("oversize load must fail")
+	}
+}
+
+func factorBoth(t *testing.T, store TileStore, m, n, b, cache int) (*Factorization, *tiled.Factorization, *matrix.Matrix) {
+	t.Helper()
+	a := workload.Uniform(int64(m*1000+n), m, n)
+	l, err := LoadDense(store, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Factor(store, l, Options{CacheTiles: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := tiled.Factor(a, b, tiled.FlatTS{})
+	return f, ref, a
+}
+
+func TestOOCMatchesInMemoryBitwise(t *testing.T) {
+	f, ref, _ := factorBoth(t, NewMemStore(), 64, 64, 16, 4)
+	got, err := f.ToDense()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(ref.A.ToDense()) {
+		t.Fatal("out-of-core factorization must be bitwise identical (same kernels, same order)")
+	}
+}
+
+func TestOOCOnDiskMatches(t *testing.T) {
+	store, err := NewDiskStore("", 5, 5, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	f, ref, _ := factorBoth(t, store, 76, 76, 16, 4) // ragged edges too
+	got, err := f.ToDense()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(ref.A.ToDense()) {
+		t.Fatal("disk-backed factorization differs")
+	}
+	if f.TileStats.Evictions == 0 || f.TileStats.WriteBack == 0 {
+		t.Fatalf("a 25-tile problem through a 4-tile cache must evict: %+v", f.TileStats)
+	}
+	if f.TileStats.Peak > 4 {
+		t.Fatalf("peak residency %d exceeds capacity", f.TileStats.Peak)
+	}
+}
+
+func TestOOCApplyQTAndR(t *testing.T) {
+	store := NewMemStore()
+	f, _, a := factorBoth(t, store, 48, 48, 16, 4)
+	// QᵀA must equal R.
+	c := a.Clone()
+	if err := f.ApplyQT(c); err != nil {
+		t.Fatal(err)
+	}
+	r, err := f.R()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := c.MaxAbsDiff(r); d > tol {
+		t.Fatalf("QᵀA != R: %g", d)
+	}
+	if e := matrix.StrictLowerMax(r); e > tol {
+		t.Fatalf("R not triangular: %g", e)
+	}
+}
+
+func TestOOCSolveViaQT(t *testing.T) {
+	store := NewMemStore()
+	n := 48
+	a := workload.Normal(9, n, n)
+	l, err := LoadDense(store, a, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Factor(store, l, Options{CacheTiles: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xWant := workload.Vector(10, n)
+	xm := matrix.New(n, 1)
+	xm.SetCol(0, xWant)
+	b := matrix.Mul(a, xm)
+	if err := f.ApplyQT(b); err != nil {
+		t.Fatal(err)
+	}
+	r, err := f.R()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Back substitution on R.
+	x := b.Col(0)
+	for i := n - 1; i >= 0; i-- {
+		for j := i + 1; j < n; j++ {
+			x[i] -= r.At(i, j) * x[j]
+		}
+		x[i] /= r.At(i, i)
+	}
+	for i := range xWant {
+		if math.Abs(x[i]-xWant[i]) > 1e-8 {
+			t.Fatalf("x[%d] = %v want %v", i, x[i], xWant[i])
+		}
+	}
+}
+
+func TestOOCCacheTooSmall(t *testing.T) {
+	store := NewMemStore()
+	a := workload.Uniform(11, 32, 32)
+	l, err := LoadDense(store, a, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Factor(store, l, Options{CacheTiles: 3}); err == nil {
+		t.Fatal("cache below minimum must be rejected")
+	}
+	if _, err := Factor(store, l, Options{CacheTiles: 4, TCacheTiles: 1}); err == nil {
+		t.Fatal("T cache below minimum must be rejected")
+	}
+}
+
+func TestOOCCacheStatsImproveWithCapacity(t *testing.T) {
+	missesAt := func(cache int) int {
+		store := NewMemStore()
+		a := workload.Uniform(12, 96, 96)
+		l, err := LoadDense(store, a, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := Factor(store, l, Options{CacheTiles: cache})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f.TileStats.Misses
+	}
+	small, large := missesAt(4), missesAt(36)
+	if !(large < small) {
+		t.Fatalf("bigger cache must miss less: %d vs %d", large, small)
+	}
+	// A cache holding the whole 6×6 grid loads each tile exactly once.
+	if large != 36 {
+		t.Fatalf("full-capacity misses = %d, want 36", large)
+	}
+}
+
+func TestLoadDenseShape(t *testing.T) {
+	store := NewMemStore()
+	a := workload.Uniform(13, 10, 7)
+	l, err := LoadDense(store, a, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Mt != 3 || l.Nt != 2 {
+		t.Fatalf("layout %dx%d", l.Mt, l.Nt)
+	}
+	got := matrix.New(2, 3) // last row tile, last col tile
+	if err := store.Load(2, 1, got); err != nil {
+		t.Fatal(err)
+	}
+	if got.At(1, 2) != a.At(9, 6) {
+		t.Fatal("edge tile content wrong")
+	}
+}
+
+func TestMemStoreClose(t *testing.T) {
+	s := NewMemStore()
+	if err := s.Store(0, 0, matrix.New(2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,169 @@
+// Package ooc implements out-of-core tiled QR decomposition — the first
+// item of the paper's future work: "QR decomposition of very large matrix
+// can be considered. Our current work assumes that there is no problem
+// about memory size, while a lack of memory problem can occur for very
+// large matrix sizes."
+//
+// Tiles live in a TileStore (in memory or on disk) and are staged through a
+// fixed-capacity write-back LRU cache while the tiled-QR schedule executes,
+// so the working set is bounded by the cache capacity instead of the matrix
+// size. The auxiliary block factors (T matrices) stream through a second
+// store the same way. The arithmetic is the same tile-kernel code the
+// in-memory paths use, so the factorization is bit-identical to
+// tiled.Factor's.
+package ooc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/matrix"
+)
+
+// TileStore is random-access storage for the tiles of one tiled matrix.
+// Implementations must tolerate Load of a tile that was never stored by
+// returning a zero tile of the right shape.
+type TileStore interface {
+	// Load reads tile (i, j) into dst, which arrives pre-shaped.
+	Load(i, j int, dst *matrix.Matrix) error
+	// Store writes tile (i, j) from src.
+	Store(i, j int, src *matrix.Matrix) error
+	// Close releases underlying resources.
+	Close() error
+}
+
+// MemStore is a map-backed TileStore, useful for tests and as the fast path
+// when the matrix fits after all.
+type MemStore struct {
+	tiles map[[2]int][]float64
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{tiles: map[[2]int][]float64{}}
+}
+
+// Load implements TileStore.
+func (s *MemStore) Load(i, j int, dst *matrix.Matrix) error {
+	data, ok := s.tiles[[2]int{i, j}]
+	if !ok {
+		dst.Zero()
+		return nil
+	}
+	if len(data) != dst.Rows*dst.Cols {
+		return fmt.Errorf("ooc: tile (%d,%d) has %d elements, want %d", i, j, len(data), dst.Rows*dst.Cols)
+	}
+	for r := 0; r < dst.Rows; r++ {
+		copy(dst.Data[r*dst.Stride:r*dst.Stride+dst.Cols], data[r*dst.Cols:(r+1)*dst.Cols])
+	}
+	return nil
+}
+
+// Store implements TileStore.
+func (s *MemStore) Store(i, j int, src *matrix.Matrix) error {
+	data := make([]float64, src.Rows*src.Cols)
+	for r := 0; r < src.Rows; r++ {
+		copy(data[r*src.Cols:(r+1)*src.Cols], src.Data[r*src.Stride:r*src.Stride+src.Cols])
+	}
+	s.tiles[[2]int{i, j}] = data
+	return nil
+}
+
+// Close implements TileStore.
+func (s *MemStore) Close() error {
+	s.tiles = nil
+	return nil
+}
+
+// DiskStore keeps tiles in a single file of fixed-size slots (row-major
+// tile order, slotElems float64 values per slot, little endian). Edge tiles
+// occupy the leading portion of their slot.
+type DiskStore struct {
+	f         *os.File
+	path      string
+	nt        int
+	slotElems int
+	buf       []byte
+	remove    bool
+}
+
+// NewDiskStore creates (truncating) a disk store at path for an mt×nt tile
+// grid with tiles of at most b×b elements. If path is empty a temporary
+// file is used and removed on Close.
+func NewDiskStore(path string, mt, nt, b int) (*DiskStore, error) {
+	if mt < 1 || nt < 1 || b < 1 {
+		return nil, fmt.Errorf("ooc: invalid grid %dx%d tile %d", mt, nt, b)
+	}
+	var f *os.File
+	var err error
+	remove := false
+	if path == "" {
+		f, err = os.CreateTemp("", "ooc-tiles-*.bin")
+		remove = true
+	} else {
+		f, err = os.Create(path)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("ooc: create store: %w", err)
+	}
+	slotElems := b * b
+	s := &DiskStore{f: f, path: f.Name(), nt: nt, slotElems: slotElems,
+		buf: make([]byte, slotElems*8), remove: remove}
+	// Pre-size the file so slots are addressable without tracking holes.
+	if err := f.Truncate(int64(mt) * int64(nt) * int64(slotElems) * 8); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("ooc: size store: %w", err)
+	}
+	return s, nil
+}
+
+func (s *DiskStore) offset(i, j int) int64 {
+	return (int64(i)*int64(s.nt) + int64(j)) * int64(s.slotElems) * 8
+}
+
+// Load implements TileStore.
+func (s *DiskStore) Load(i, j int, dst *matrix.Matrix) error {
+	n := dst.Rows * dst.Cols
+	if n > s.slotElems {
+		return fmt.Errorf("ooc: tile (%d,%d) larger than slot", i, j)
+	}
+	buf := s.buf[:n*8]
+	if _, err := s.f.ReadAt(buf, s.offset(i, j)); err != nil {
+		return fmt.Errorf("ooc: read tile (%d,%d): %w", i, j, err)
+	}
+	for k := 0; k < n; k++ {
+		v := math.Float64frombits(binary.LittleEndian.Uint64(buf[k*8:]))
+		dst.Data[(k/dst.Cols)*dst.Stride+k%dst.Cols] = v
+	}
+	return nil
+}
+
+// Store implements TileStore.
+func (s *DiskStore) Store(i, j int, src *matrix.Matrix) error {
+	n := src.Rows * src.Cols
+	if n > s.slotElems {
+		return fmt.Errorf("ooc: tile (%d,%d) larger than slot", i, j)
+	}
+	buf := s.buf[:n*8]
+	for k := 0; k < n; k++ {
+		v := src.Data[(k/src.Cols)*src.Stride+k%src.Cols]
+		binary.LittleEndian.PutUint64(buf[k*8:], math.Float64bits(v))
+	}
+	if _, err := s.f.WriteAt(buf, s.offset(i, j)); err != nil {
+		return fmt.Errorf("ooc: write tile (%d,%d): %w", i, j, err)
+	}
+	return nil
+}
+
+// Close implements TileStore.
+func (s *DiskStore) Close() error {
+	err := s.f.Close()
+	if s.remove {
+		if rmErr := os.Remove(s.path); err == nil {
+			err = rmErr
+		}
+	}
+	return err
+}

@@ -1,0 +1,124 @@
+// Package plot renders simple XY charts as text, so cmd/qrbench can show
+// the paper's figures as figures — not just tables — in a terminal.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named line of (x, y) points; xs are shared across series.
+type Series struct {
+	Name string
+	Ys   []float64
+}
+
+// Chart renders the series over shared xs into a width×height character
+// grid with left/bottom axes. logY plots log10(y) (non-positive values are
+// clamped to the smallest positive y). Each series is drawn with its own
+// mark (1, 2, 3, …); a legend follows the grid.
+func Chart(title string, xs []float64, series []Series, width, height int, logY bool) string {
+	if len(xs) == 0 || len(series) == 0 || width < 8 || height < 3 {
+		return ""
+	}
+	transform := func(v float64) float64 { return v }
+	if logY {
+		minPos := math.Inf(1)
+		for _, s := range series {
+			for _, y := range s.Ys {
+				if y > 0 && y < minPos {
+					minPos = y
+				}
+			}
+		}
+		if math.IsInf(minPos, 1) {
+			minPos = 1
+		}
+		transform = func(v float64) float64 {
+			if v < minPos {
+				v = minPos
+			}
+			return math.Log10(v)
+		}
+	}
+
+	loX, hiX := xs[0], xs[0]
+	for _, x := range xs {
+		loX = math.Min(loX, x)
+		hiX = math.Max(hiX, x)
+	}
+	loY, hiY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, y := range s.Ys {
+			t := transform(y)
+			loY = math.Min(loY, t)
+			hiY = math.Max(hiY, t)
+		}
+	}
+	if hiX == loX {
+		hiX = loX + 1
+	}
+	if hiY == loY {
+		hiY = loY + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		mark := byte('1' + si)
+		if si >= 9 {
+			mark = byte('a' + si - 9)
+		}
+		n := len(s.Ys)
+		if n > len(xs) {
+			n = len(xs)
+		}
+		for i := 0; i < n; i++ {
+			cx := int((xs[i] - loX) / (hiX - loX) * float64(width-1))
+			cy := int((transform(s.Ys[i]) - loY) / (hiY - loY) * float64(height-1))
+			row := height - 1 - cy
+			grid[row][cx] = mark
+		}
+	}
+
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	yLabel := func(frac float64) string {
+		v := loY + frac*(hiY-loY)
+		if logY {
+			v = math.Pow(10, v)
+		}
+		return fmt.Sprintf("%9.3g", v)
+	}
+	for r, row := range grid {
+		label := strings.Repeat(" ", 9)
+		switch r {
+		case 0:
+			label = yLabel(1)
+		case height - 1:
+			label = yLabel(0)
+		case (height - 1) / 2:
+			label = yLabel(0.5)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", 9), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s  %-*.4g%*.4g\n", strings.Repeat(" ", 9), width/2, loX, width-width/2, hiX)
+	legend := make([]string, 0, len(series))
+	for si, s := range series {
+		mark := byte('1' + si)
+		if si >= 9 {
+			mark = byte('a' + si - 9)
+		}
+		legend = append(legend, fmt.Sprintf("%c=%s", mark, s.Name))
+	}
+	sort.Strings(legend)
+	fmt.Fprintf(&b, "%s  %s\n", strings.Repeat(" ", 9), strings.Join(legend, "  "))
+	return b.String()
+}

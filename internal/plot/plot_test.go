@@ -1,0 +1,60 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartBasic(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	s := Chart("test", xs, []Series{
+		{Name: "up", Ys: []float64{1, 2, 3, 4}},
+		{Name: "down", Ys: []float64{4, 3, 2, 1}},
+	}, 40, 10, false)
+	if !strings.Contains(s, "test") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(s, "1=up") || !strings.Contains(s, "2=down") {
+		t.Fatalf("missing legend:\n%s", s)
+	}
+	if !strings.Contains(s, "1") || !strings.Contains(s, "2") {
+		t.Fatal("missing marks")
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 1+10+2+1 { // title + grid + axis + xlabels + legend
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), s)
+	}
+}
+
+func TestChartLogY(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	s := Chart("", xs, []Series{{Name: "exp", Ys: []float64{1, 100, 10000}}}, 30, 9, true)
+	if s == "" {
+		t.Fatal("empty chart")
+	}
+	// In log space the three points are evenly spaced: top row and bottom
+	// row both carry a mark.
+	lines := strings.Split(s, "\n")
+	if !strings.Contains(lines[0], "1") || !strings.Contains(lines[8], "1") {
+		t.Fatalf("log spacing wrong:\n%s", s)
+	}
+}
+
+func TestChartDegenerateInputs(t *testing.T) {
+	if Chart("t", nil, []Series{{Name: "a", Ys: []float64{1}}}, 40, 10, false) != "" {
+		t.Fatal("no xs must yield empty chart")
+	}
+	if Chart("t", []float64{1}, nil, 40, 10, false) != "" {
+		t.Fatal("no series must yield empty chart")
+	}
+	if Chart("t", []float64{1}, []Series{{Name: "a", Ys: []float64{1}}}, 4, 1, false) != "" {
+		t.Fatal("tiny canvas must yield empty chart")
+	}
+	// Constant series and single point must not divide by zero.
+	if Chart("t", []float64{5}, []Series{{Name: "a", Ys: []float64{2}}}, 20, 5, false) == "" {
+		t.Fatal("single point must render")
+	}
+	if Chart("t", []float64{1, 2}, []Series{{Name: "a", Ys: []float64{0, 0}}}, 20, 5, true) == "" {
+		t.Fatal("all-zero logY must render")
+	}
+}

@@ -1,0 +1,70 @@
+package runtime
+
+import (
+	"container/heap"
+
+	"repro/internal/tiled"
+)
+
+// Priority selects how the manager orders ready operations.
+type Priority int
+
+const (
+	// FIFO dispatches ready operations in discovery order — the behaviour
+	// of the paper's manager thread.
+	FIFO Priority = iota
+	// CriticalPath dispatches the ready operation with the longest
+	// remaining dependency chain first. On tiled QR this favours the panel
+	// chain (GEQRT/TSQRT), pulling the next panel forward exactly the way
+	// dynamic runtimes (the paper's related work [11]) do, at the cost of
+	// the manager maintaining a heap.
+	CriticalPath
+)
+
+// String names the policy.
+func (p Priority) String() string {
+	if p == CriticalPath {
+		return "critical-path"
+	}
+	return "fifo"
+}
+
+// remainingDepth computes, for every op, the length of the longest chain of
+// successors hanging off it (inclusive). Processing ops in reverse index
+// order is valid because dependencies always point backwards.
+func remainingDepth(dag *tiled.DAG) []int {
+	depth := make([]int, len(dag.Ops))
+	for i := len(dag.Ops) - 1; i >= 0; i-- {
+		best := 0
+		for _, s := range dag.Succs[i] {
+			if depth[s] > best {
+				best = depth[s]
+			}
+		}
+		depth[i] = best + 1
+	}
+	return depth
+}
+
+// opHeap is a max-heap of op IDs ordered by remaining depth (ties broken by
+// schedule order, keeping the heap deterministic).
+type opHeap struct {
+	ids   []int
+	depth []int
+}
+
+func (h *opHeap) Len() int { return len(h.ids) }
+func (h *opHeap) Less(i, j int) bool {
+	a, b := h.ids[i], h.ids[j]
+	if h.depth[a] != h.depth[b] {
+		return h.depth[a] > h.depth[b]
+	}
+	return a < b
+}
+func (h *opHeap) Swap(i, j int) { h.ids[i], h.ids[j] = h.ids[j], h.ids[i] }
+func (h *opHeap) Push(x any)    { h.ids = append(h.ids, x.(int)) }
+func (h *opHeap) Pop() any      { x := h.ids[len(h.ids)-1]; h.ids = h.ids[:len(h.ids)-1]; return x }
+func (h *opHeap) pushID(id int) { heap.Push(h, id) }
+func (h *opHeap) popID() int    { return heap.Pop(h).(int) }
+
+var _ heap.Interface = (*opHeap)(nil)

@@ -1,0 +1,207 @@
+// Package runtime executes the tiled QR operation DAG in parallel on the
+// host CPU. Its structure mirrors the paper's implementation (Section V,
+// Fig. 7): a manager goroutine tracks dependencies and dispatches ready
+// operations; computing worker goroutines apply the tile kernels.
+//
+// On a CUDA machine the computing threads would drive GPUs; here every
+// worker is a host goroutine, which is exactly the configuration the paper
+// uses for its CPU (PLASMA-based) device. The heterogeneous multi-device
+// behaviour is reproduced by internal/sim on top of calibrated device
+// models.
+package runtime
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/matrix"
+	"repro/internal/tiled"
+	"repro/internal/trace"
+)
+
+// Options configures a parallel factorization.
+type Options struct {
+	// TileSize is the square tile edge; the paper uses 16. Must be ≥ 1.
+	TileSize int
+	// Workers is the number of computing goroutines; 0 selects GOMAXPROCS.
+	Workers int
+	// Tree selects the elimination order; nil selects the paper's flat TS.
+	Tree tiled.Tree
+	// Recorder, when non-nil, receives one event per executed operation.
+	Recorder *trace.Recorder
+	// Priority selects the manager's dispatch order (FIFO default, or
+	// CriticalPath to favour the panel chain).
+	Priority Priority
+}
+
+// Normalize validates the options and fills defaults in place; Factor
+// calls it automatically.
+func (o *Options) Normalize() error {
+	if o.TileSize < 1 {
+		return fmt.Errorf("runtime: tile size %d out of range", o.TileSize)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("runtime: negative worker count %d", o.Workers)
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Tree == nil {
+		o.Tree = tiled.FlatTS{}
+	}
+	return nil
+}
+
+// Factor computes the tiled QR factorization of a in parallel. The input is
+// not modified; the returned factorization exposes R, Q application, and
+// solves exactly as the sequential engine does.
+func Factor(a *matrix.Matrix, opts Options) (*tiled.Factorization, error) {
+	if err := opts.Normalize(); err != nil {
+		return nil, err
+	}
+	l := tiled.NewLayout(a.Rows, a.Cols, opts.TileSize)
+	dag := tiled.BuildDAG(l, opts.Tree)
+	f := tiled.NewFactorization(tiled.FromDense(a, opts.TileSize), opts.Tree)
+	if opts.Priority == CriticalPath {
+		ExecutePriority(dag, f, opts.Workers, opts.Recorder)
+	} else {
+		Execute(dag, f, opts.Workers, opts.Recorder)
+	}
+	return f, nil
+}
+
+// Execute runs an already-built DAG against a factorization using n worker
+// goroutines. It is exported so callers that pre-tile their data (or reuse
+// DAGs across matrices of identical shape) can skip the conversion in
+// Factor.
+func Execute(dag *tiled.DAG, f *tiled.Factorization, workers int, rec *trace.Recorder) {
+	n := len(dag.Ops)
+	if n == 0 {
+		return
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+
+	// The manager/computing-thread protocol: ready ops flow to workers over
+	// `ready`; completions flow back over `done`. Both channels are buffered
+	// to capacity so neither side ever blocks the other spuriously.
+	ready := make(chan int, n)
+	done := make(chan int, n)
+
+	for w := 0; w < workers; w++ {
+		go func(id int) {
+			name := fmt.Sprintf("worker-%d", id)
+			for opID := range ready {
+				start := rec.Now()
+				f.ApplyOp(dag.Ops[opID])
+				if rec != nil {
+					op := dag.Ops[opID]
+					rec.Add(trace.Event{
+						Label: op.String(), Step: op.Kind.Step(),
+						Worker: name, Start: start, End: rec.Now(),
+					})
+				}
+				done <- opID
+			}
+		}(w)
+	}
+
+	// Manager: dependency counting with a ready push model.
+	remaining := make([]int, n)
+	for i := range dag.Deps {
+		remaining[i] = len(dag.Deps[i])
+	}
+	inFlight := 0
+	for i, r := range remaining {
+		if r == 0 {
+			ready <- i
+			inFlight++
+		}
+	}
+	completed := 0
+	for completed < n {
+		id := <-done
+		completed++
+		for _, s := range dag.Succs[id] {
+			remaining[s]--
+			if remaining[s] == 0 {
+				ready <- s
+			}
+		}
+	}
+	close(ready)
+}
+
+// ExecutePriority runs the DAG like Execute but dispatches ready operations
+// in critical-path order: the manager keeps ready ops in a max-heap keyed
+// by remaining chain depth and hands workers at most one op each at a time,
+// so deeper chains (the panel) always pre-empt bulk updates in the queue.
+func ExecutePriority(dag *tiled.DAG, f *tiled.Factorization, workers int, rec *trace.Recorder) {
+	n := len(dag.Ops)
+	if n == 0 {
+		return
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+
+	// Unbuffered-ish dispatch: capacity 1 keeps at most one queued op per
+	// idle worker, so heap order governs execution order.
+	ready := make(chan int)
+	done := make(chan int, n)
+	for w := 0; w < workers; w++ {
+		go func(id int) {
+			name := fmt.Sprintf("worker-%d", id)
+			for opID := range ready {
+				start := rec.Now()
+				f.ApplyOp(dag.Ops[opID])
+				if rec != nil {
+					op := dag.Ops[opID]
+					rec.Add(trace.Event{
+						Label: op.String(), Step: op.Kind.Step(),
+						Worker: name, Start: start, End: rec.Now(),
+					})
+				}
+				done <- opID
+			}
+		}(w)
+	}
+
+	remaining := make([]int, n)
+	for i := range dag.Deps {
+		remaining[i] = len(dag.Deps[i])
+	}
+	h := &opHeap{depth: remainingDepth(dag)}
+	for i, r := range remaining {
+		if r == 0 {
+			h.pushID(i)
+		}
+	}
+	inFlight := 0
+	completed := 0
+	for completed < n {
+		// Dispatch as many ready ops as there are idle workers; block on a
+		// completion when either resource is exhausted.
+		for inFlight < workers && h.Len() > 0 {
+			ready <- h.popID()
+			inFlight++
+		}
+		id := <-done
+		completed++
+		inFlight--
+		for _, s := range dag.Succs[id] {
+			remaining[s]--
+			if remaining[s] == 0 {
+				h.pushID(s)
+			}
+		}
+	}
+	close(ready)
+}

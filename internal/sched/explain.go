@@ -1,0 +1,83 @@
+package sched
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/device"
+)
+
+// MainExplanation is the per-device candidacy analysis behind Algorithm 2:
+// the times that decide whether a device can hide the panel under the other
+// devices' update work.
+type MainExplanation struct {
+	Device string
+	// TTimeUS is the device's batched time for the panel's M triangulations.
+	TTimeUS float64
+	// ETimeUS is the device's time for the panel's eliminations.
+	ETimeUS float64
+	// OthersUpdateUS is the time the remaining devices need for the first
+	// iteration's update tiles at their pooled throughput.
+	OthersUpdateUS float64
+	// UpdateSpeed is the device's own update throughput (tiles/µs) — the
+	// tie-breaker among candidates (minimum speed wins).
+	UpdateSpeed float64
+	// Candidate reports whether both panel phases fit under the others'
+	// update window.
+	Candidate bool
+	// Selected marks Algorithm 2's final choice.
+	Selected bool
+}
+
+// ExplainMain reruns Algorithm 2 and reports the decision trail for every
+// device — the data behind Section VI-B's "because the triangulation and
+// elimination speed of the CPU is too slow compared to other devices'
+// update speed, it is not good to use the CPU as the main computing
+// device".
+func ExplainMain(pl *device.Platform, prob Problem) []MainExplanation {
+	selected := SelectMain(pl, prob)
+	out := make([]MainExplanation, len(pl.Devices))
+	for i, d := range pl.Devices {
+		tTime := d.BatchUS(device.ClassT, prob.B, prob.Mt)
+		eTime := d.PanelUS(prob.B, prob.Mt) - tTime
+		var others float64
+		for j, o := range pl.Devices {
+			if j != i {
+				others += o.UpdateTilesPerUS(prob.B)
+			}
+		}
+		updTime := 0.0
+		if others > 0 {
+			updTime = float64(prob.updateTiles()) / others
+		}
+		out[i] = MainExplanation{
+			Device:         d.Name,
+			TTimeUS:        tTime,
+			ETimeUS:        eTime,
+			OthersUpdateUS: updTime,
+			UpdateSpeed:    d.UpdateTilesPerUS(prob.B),
+			Candidate:      others > 0 && tTime <= updTime && eTime <= updTime,
+			Selected:       i == selected,
+		}
+	}
+	return out
+}
+
+// FormatExplanations renders the analysis as an aligned table.
+func FormatExplanations(exps []MainExplanation) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %12s %12s %14s %10s %-9s %s\n",
+		"device", "T time (µs)", "E time (µs)", "others UE (µs)", "upd t/µs", "candidate", "selected")
+	for _, e := range exps {
+		cand, sel := "no", ""
+		if e.Candidate {
+			cand = "yes"
+		}
+		if e.Selected {
+			sel = "« main"
+		}
+		fmt.Fprintf(&b, "%-14s %12.0f %12.0f %14.0f %10.2f %-9s %s\n",
+			e.Device, e.TTimeUS, e.ETimeUS, e.OthersUpdateUS, e.UpdateSpeed, cand, sel)
+	}
+	return b.String()
+}

@@ -1,0 +1,182 @@
+package sched
+
+import "fmt"
+
+// IntegerRatios converts real-valued update speeds into the small integer
+// ratio Algorithm 4 builds its guide array from ("get_integer_ratio").
+//
+// Speeds are normalized by the slowest participating device and scaled by
+// the smallest integer multiplier 1..maxRatio whose rounding keeps every
+// device within 3% of its true proportion (so the distribution is accurate
+// without inflating the array), then reduced by the GCD and capped at
+// maxRatio. The paper's example {8, 12, 4} tiles-per-unit-time becomes
+// {2, 3, 1} exactly.
+func IntegerRatios(speeds []float64, maxRatio int) []int {
+	if len(speeds) == 0 {
+		return nil
+	}
+	if maxRatio < 1 {
+		maxRatio = 1
+	}
+	minSpeed := 0.0
+	for _, s := range speeds {
+		if s > 0 && (minSpeed == 0 || s < minSpeed) {
+			minSpeed = s
+		}
+	}
+	ratios := make([]int, len(speeds))
+	if minSpeed == 0 {
+		for i := range ratios {
+			ratios[i] = 1
+		}
+		return ratios
+	}
+	norm := make([]float64, len(speeds))
+	for i, s := range speeds {
+		norm[i] = s / minSpeed
+	}
+	bestF, bestErr := 1, -1.0
+	for f := 1; f <= maxRatio; f++ {
+		worst := 0.0
+		over := false
+		for _, n := range norm {
+			scaled := n * float64(f)
+			if scaled > float64(maxRatio)+0.5 {
+				over = true
+				break
+			}
+			r := float64(int(scaled + 0.5))
+			if r < 1 {
+				r = 1
+			}
+			e := (r - scaled) / scaled
+			if e < 0 {
+				e = -e
+			}
+			if e > worst {
+				worst = e
+			}
+		}
+		if over {
+			break
+		}
+		if bestErr < 0 || worst < bestErr-1e-12 {
+			bestF, bestErr = f, worst
+		}
+		if worst <= 0.03 {
+			bestF = f
+			break
+		}
+	}
+	for i, n := range norm {
+		r := int(n*float64(bestF) + 0.5)
+		if r < 1 {
+			r = 1
+		}
+		if r > maxRatio {
+			r = maxRatio
+		}
+		ratios[i] = r
+	}
+	g := ratios[0]
+	for _, r := range ratios[1:] {
+		g = gcd(g, r)
+	}
+	if g > 1 {
+		for i := range ratios {
+			ratios[i] /= g
+		}
+	}
+	return ratios
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// GuideArray implements Algorithm 4's GENERATE_ARRAY: the array has length
+// Σratios; at each position the device with the maximum remaining ratio is
+// inserted and its ratio decremented (ties resolve to the lower index,
+// which reproduces the paper's worked example: ratios 2:3:1 yield
+// {1, 0, 1, 0, 1, 2}).
+func GuideArray(ratios []int) []int {
+	remaining := make([]int, len(ratios))
+	total := 0
+	for i, r := range ratios {
+		if r < 0 {
+			panic(fmt.Sprintf("sched: negative ratio %d", r))
+		}
+		remaining[i] = r
+		total += r
+	}
+	guide := make([]int, 0, total)
+	for len(guide) < total {
+		best := -1
+		for i, r := range remaining {
+			if r > 0 && (best == -1 || r > remaining[best]) {
+				best = i
+			}
+		}
+		guide = append(guide, best)
+		remaining[best]--
+	}
+	return guide
+}
+
+// DistributeColumns maps every tile column to a participant position using
+// Eq. 12: column 0 goes to the main computing device (position 0) because
+// its only operations are triangulation and elimination; column i goes to
+// guide[i mod len(guide)].
+func DistributeColumns(nt int, guide []int) []int {
+	owner := make([]int, nt)
+	if nt == 0 {
+		return owner
+	}
+	owner[0] = 0
+	if len(guide) == 0 {
+		return owner
+	}
+	for i := 1; i < nt; i++ {
+		owner[i] = guide[i%len(guide)]
+	}
+	return owner
+}
+
+// DistributeEven assigns columns round-robin across p participants — the
+// "Even" baseline of Fig. 10 (equal tile counts regardless of speed).
+func DistributeEven(nt, p int) []int {
+	owner := make([]int, nt)
+	if p <= 1 {
+		return owner
+	}
+	for i := 1; i < nt; i++ {
+		owner[i] = (i - 1) % p
+	}
+	return owner
+}
+
+// DistributeByCores assigns columns with a guide array whose ratios follow
+// raw core counts instead of measured update throughput — the "Depending
+// on the number of cores" baseline of Fig. 10.
+func DistributeByCores(nt int, cores []int) []int {
+	speeds := make([]float64, len(cores))
+	for i, c := range cores {
+		speeds[i] = float64(c)
+	}
+	return DistributeColumns(nt, GuideArray(IntegerRatios(speeds, 32)))
+}
+
+// OwnedColumns returns, for each participant, how many of the nt columns it
+// owns under the given distribution.
+func OwnedColumns(owner []int, p int) []int {
+	counts := make([]int, p)
+	for _, o := range owner {
+		if o >= 0 && o < p {
+			counts[o]++
+		}
+	}
+	return counts
+}

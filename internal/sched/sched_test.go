@@ -1,0 +1,393 @@
+package sched
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/device"
+)
+
+func paperProblem(size int) Problem { return NewProblem(size, size, 16) }
+
+func TestIntegerRatiosPaperExample(t *testing.T) {
+	// The paper's worked example: devices processing 8, 12 and 4 tiles per
+	// unit time have ratio 2 : 3 : 1.
+	got := IntegerRatios([]float64{8, 12, 4}, 32)
+	if !reflect.DeepEqual(got, []int{2, 3, 1}) {
+		t.Fatalf("ratios = %v, want [2 3 1]", got)
+	}
+}
+
+func TestIntegerRatiosEdgeCases(t *testing.T) {
+	if got := IntegerRatios(nil, 32); got != nil {
+		t.Fatalf("nil speeds: %v", got)
+	}
+	if got := IntegerRatios([]float64{5}, 32); !reflect.DeepEqual(got, []int{1}) {
+		t.Fatalf("single device: %v", got)
+	}
+	// All-zero speeds degrade to an even split.
+	if got := IntegerRatios([]float64{0, 0}, 32); !reflect.DeepEqual(got, []int{1, 1}) {
+		t.Fatalf("zero speeds: %v", got)
+	}
+	// Extreme ratios are capped.
+	got := IntegerRatios([]float64{1000, 1}, 8)
+	if got[0] > 8 {
+		t.Fatalf("cap ignored: %v", got)
+	}
+}
+
+func TestGuideArrayPaperExample(t *testing.T) {
+	// Ratio 2:3:1 must produce {1, 0, 1, 0, 1, 2} (paper Section IV-C).
+	got := GuideArray([]int{2, 3, 1})
+	if !reflect.DeepEqual(got, []int{1, 0, 1, 0, 1, 2}) {
+		t.Fatalf("guide = %v, want [1 0 1 0 1 2]", got)
+	}
+}
+
+func TestGuideArrayCounts(t *testing.T) {
+	ratios := []int{3, 1, 5, 2}
+	guide := GuideArray(ratios)
+	if len(guide) != 11 {
+		t.Fatalf("length %d, want 11", len(guide))
+	}
+	counts := make([]int, 4)
+	for _, g := range guide {
+		counts[g]++
+	}
+	if !reflect.DeepEqual(counts, ratios) {
+		t.Fatalf("counts %v, want %v", counts, ratios)
+	}
+	// Larger-ratio devices appear first.
+	if guide[0] != 2 {
+		t.Fatalf("guide[0] = %d, want the largest-ratio device", guide[0])
+	}
+}
+
+func TestGuideArrayNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	GuideArray([]int{1, -1})
+}
+
+func TestDistributeColumns(t *testing.T) {
+	guide := []int{1, 0, 1, 0, 1, 2}
+	owner := DistributeColumns(8, guide)
+	if owner[0] != 0 {
+		t.Fatal("column 0 must go to the main device")
+	}
+	// Columns 1.. follow guide[i % 6].
+	want := []int{0, 0, 1, 0, 1, 2, 1, 0}
+	if !reflect.DeepEqual(owner, want) {
+		t.Fatalf("owner = %v, want %v", owner, want)
+	}
+}
+
+func TestDistributeEven(t *testing.T) {
+	owner := DistributeEven(7, 3)
+	if owner[0] != 0 {
+		t.Fatal("column 0 must stay on main")
+	}
+	counts := OwnedColumns(owner, 3)
+	for i, c := range counts {
+		if c < 2 || c > 3 {
+			t.Fatalf("participant %d owns %d of 7 columns", i, c)
+		}
+	}
+}
+
+func TestDistributeByCores(t *testing.T) {
+	owner := DistributeByCores(100, []int{512, 1536, 1536})
+	counts := OwnedColumns(owner, 3)
+	// 512:1536:1536 reduces to 1:3:3 — the 680s get ~3× the columns.
+	if !(counts[1] > 2*counts[0] && counts[2] > 2*counts[0]) {
+		t.Fatalf("cores-based counts = %v", counts)
+	}
+}
+
+func TestSelectMainPicksGTX580(t *testing.T) {
+	// Paper Section VI-B: GTX580 is the right main computing device —
+	// fast per tile, while the 680s' superior update throughput is better
+	// spent on updates and the CPU panel is hopeless.
+	pl := device.PaperPlatform()
+	for _, size := range []int{1600, 3200, 6400, 16000} {
+		main := SelectMain(pl, paperProblem(size))
+		if pl.Devices[main].Name != "GTX580" {
+			t.Fatalf("size %d: main = %s, want GTX580", size, pl.Devices[main].Name)
+		}
+	}
+}
+
+func TestSelectMainNeverCPUOnPaperPlatform(t *testing.T) {
+	pl := device.PaperPlatform()
+	for _, size := range []int{160, 320, 640, 1280, 2560} {
+		main := SelectMain(pl, paperProblem(size))
+		if pl.Devices[main].Kind == "cpu" {
+			t.Fatalf("size %d: CPU selected as main", size)
+		}
+	}
+}
+
+func TestSelectMainSingleDevice(t *testing.T) {
+	pl := &device.Platform{Devices: []*device.Profile{device.CPUi7()}, Link: device.PCIe(), ElemBytes: 4}
+	if main := SelectMain(pl, paperProblem(640)); main != 0 {
+		t.Fatalf("main = %d", main)
+	}
+}
+
+func TestOrderDevicesMainFirstThenUpdateSpeed(t *testing.T) {
+	pl := device.PaperPlatform() // CPU, GTX580, GTX680, GTX680
+	prob := paperProblem(3200)
+	main := SelectMain(pl, prob)
+	order := OrderDevices(pl, prob, main)
+	if order[0] != main {
+		t.Fatal("main must head the list")
+	}
+	names := make([]string, len(order))
+	for i, idx := range order {
+		names[i] = pl.Devices[idx].Name
+	}
+	want := []string{"GTX580", "GTX680", "GTX680", "CPU-i7-3820"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("order = %v, want %v", names, want)
+	}
+}
+
+func TestTcommZeroForSingleDevice(t *testing.T) {
+	pl := device.PaperPlatform()
+	prob := paperProblem(1600)
+	order := OrderDevices(pl, prob, SelectMain(pl, prob))
+	if c := Tcomm(pl, prob, order, 1); c != 0 {
+		t.Fatalf("Tcomm(1) = %v, want 0 (speed(x,x) = ∞)", c)
+	}
+	if c := Tcomm(pl, prob, order, 2); c <= 0 {
+		t.Fatal("Tcomm(2) must be positive")
+	}
+	if !(Tcomm(pl, prob, order, 3) > Tcomm(pl, prob, order, 2)) {
+		t.Fatal("Tcomm must grow with p")
+	}
+}
+
+func TestTopDecreasesWithDevicesForLargeMatrices(t *testing.T) {
+	pl := device.PaperPlatform()
+	prob := paperProblem(6400)
+	order := OrderDevices(pl, prob, SelectMain(pl, prob))
+	t1 := Top(pl, prob, order, 1)
+	t2 := Top(pl, prob, order, 2)
+	t3 := Top(pl, prob, order, 3)
+	if !(t1 > t2 && t2 > t3) {
+		t.Fatalf("Top not decreasing: %v %v %v", t1, t2, t3)
+	}
+}
+
+func TestSelectNumDevicesTradeoffMonotone(t *testing.T) {
+	// The paper's Table III structure: the optimal GPU count is
+	// non-decreasing in matrix size, small sizes prefer fewer devices, and
+	// the largest sizes use all three GPUs.
+	pl := device.PaperPlatform()
+	prev := 0
+	largest := 0
+	for _, size := range []int{160, 320, 640, 1280, 2560, 4000, 8000, 16000} {
+		prob := paperProblem(size)
+		order := OrderDevices(pl, prob, SelectMain(pl, prob))
+		order = order[:3] // GPUs only, as in Table III
+		p, pred := SelectNumDevices(pl, prob, order)
+		if len(pred) != 3 {
+			t.Fatalf("size %d: %d predictions", size, len(pred))
+		}
+		if p < prev {
+			t.Fatalf("size %d: optimal p dropped from %d to %d", size, prev, p)
+		}
+		prev, largest = p, p
+	}
+	if largest != 3 {
+		t.Fatalf("largest size should use all 3 GPUs, got %d", largest)
+	}
+	// And the smallest size must not.
+	probSmall := paperProblem(160)
+	order := OrderDevices(pl, probSmall, SelectMain(pl, probSmall))[:3]
+	if p, _ := SelectNumDevices(pl, probSmall, order); p != 1 {
+		t.Fatalf("size 160: p = %d, want 1", p)
+	}
+}
+
+func TestUpdateSharesSumAndProportionality(t *testing.T) {
+	pl := device.PaperPlatform()
+	prob := paperProblem(1600) // Mt = Nt = 100
+	order := OrderDevices(pl, prob, SelectMain(pl, prob))
+	shares := UpdateShares(pl, prob, order[:3])
+	sum := 0.0
+	for _, s := range shares {
+		sum += s
+	}
+	want := float64(prob.Mt * (prob.Nt - 1))
+	if diff := sum - want; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("shares sum %v, want %v", sum, want)
+	}
+	// GTX680 (order[1]) out-updates GTX580 (order[0]).
+	if !(shares[1] > shares[0]) {
+		t.Fatalf("shares = %v: faster updater must get more tiles", shares)
+	}
+}
+
+func TestBuildPlanEndToEnd(t *testing.T) {
+	pl := device.PaperPlatform()
+	plan := BuildPlan(pl, paperProblem(3200))
+	if pl.Devices[plan.Main].Name != "GTX580" {
+		t.Fatalf("main = %s", pl.Devices[plan.Main].Name)
+	}
+	if plan.P < 1 || plan.P > len(pl.Devices) {
+		t.Fatalf("p = %d", plan.P)
+	}
+	if len(plan.ColumnOwner) != plan.Problem.Nt {
+		t.Fatalf("distributed %d of %d columns", len(plan.ColumnOwner), plan.Problem.Nt)
+	}
+	if plan.ColumnOwner[0] != 0 {
+		t.Fatal("column 0 must be on main")
+	}
+	for _, o := range plan.ColumnOwner {
+		if o < 0 || o >= plan.P {
+			t.Fatalf("column owner %d out of range p=%d", o, plan.P)
+		}
+	}
+	if plan.Describe(pl) == "" {
+		t.Fatal("empty description")
+	}
+}
+
+func TestProblemUpdateTiles(t *testing.T) {
+	prob := NewProblem(64, 64, 16) // 4×4 tiles
+	if got := prob.updateTiles(); got != 4*3 {
+		t.Fatalf("updateTiles = %d, want 12 (Table I: M×(N−1))", got)
+	}
+	single := NewProblem(16, 16, 16)
+	if got := single.updateTiles(); got != 0 {
+		t.Fatalf("single-column updateTiles = %d", got)
+	}
+}
+
+func TestExplainMain(t *testing.T) {
+	pl := device.PaperPlatform()
+	exps := ExplainMain(pl, paperProblem(3200))
+	if len(exps) != 4 {
+		t.Fatalf("%d explanations", len(exps))
+	}
+	selected := 0
+	for _, e := range exps {
+		if e.Selected {
+			selected++
+			if e.Device != "GTX580" {
+				t.Fatalf("selected %s", e.Device)
+			}
+			if !e.Candidate {
+				t.Fatal("selected device must be a candidate at this size")
+			}
+		}
+		if e.Device == "CPU-i7-3820" && e.Candidate {
+			t.Fatal("the CPU must not be a candidate (panel too slow)")
+		}
+	}
+	if selected != 1 {
+		t.Fatalf("%d devices selected", selected)
+	}
+	if out := FormatExplanations(exps); len(out) == 0 || out[0] == 0 {
+		t.Fatal("empty formatting")
+	}
+}
+
+// Property tests over the Algorithm 4 machinery.
+func TestPropertyGuideArrayInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		speeds := make([]float64, n)
+		for i := range speeds {
+			speeds[i] = rng.Float64()*20 + 0.1
+		}
+		ratios := IntegerRatios(speeds, 32)
+		if len(ratios) != n {
+			return false
+		}
+		total := 0
+		for _, r := range ratios {
+			if r < 1 || r > 32 {
+				return false
+			}
+			total += r
+		}
+		guide := GuideArray(ratios)
+		if len(guide) != total {
+			return false
+		}
+		counts := make([]int, n)
+		for _, g := range guide {
+			if g < 0 || g >= n {
+				return false
+			}
+			counts[g]++
+		}
+		for i := range counts {
+			if counts[i] != ratios[i] {
+				return false
+			}
+		}
+		// Distribution keeps owners in range and column 0 on main.
+		owner := DistributeColumns(1+rng.Intn(50), guide)
+		if owner[0] != 0 {
+			return false
+		}
+		for _, o := range owner {
+			if o < 0 || o >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ratios approximate the speed proportions within the documented
+// 3% when no cap binds and speeds are well-separated from zero.
+func TestPropertyRatioAccuracy(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(3)
+		speeds := make([]float64, n)
+		for i := range speeds {
+			speeds[i] = 1 + 9*rng.Float64() // within a decade: cap never binds
+		}
+		ratios := IntegerRatios(speeds, 32)
+		// Compare pairwise proportions.
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want := speeds[i] / speeds[j]
+				got := float64(ratios[i]) / float64(ratios[j])
+				if got/want > 1.15 || want/got > 1.15 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMarshalSummary(t *testing.T) {
+	pl := device.PaperPlatform()
+	plan := BuildPlan(pl, paperProblem(640))
+	m := plan.MarshalSummary(pl)
+	if m["main"] != "GTX580" {
+		t.Fatalf("main = %v", m["main"])
+	}
+	if names, ok := m["participants"].([]string); !ok || len(names) != plan.P {
+		t.Fatalf("participants = %v", m["participants"])
+	}
+}

@@ -1,0 +1,77 @@
+package sched
+
+import "repro/internal/device"
+
+// Distribution selects a tile-distribution strategy for the participating
+// devices — the three methods compared in the paper's Fig. 10.
+type Distribution int
+
+const (
+	// DistGuide is the paper's method: a guide array built from integer
+	// update-throughput ratios.
+	DistGuide Distribution = iota
+	// DistCores builds the guide array from raw core counts.
+	DistCores
+	// DistEven assigns the same number of columns to every participant.
+	DistEven
+)
+
+// String names the strategy as in Fig. 10's legend.
+func (d Distribution) String() string {
+	switch d {
+	case DistGuide:
+		return "guide-array"
+	case DistCores:
+		return "by-cores"
+	case DistEven:
+		return "even"
+	default:
+		return "unknown"
+	}
+}
+
+// PlanWith builds a Plan with an explicitly chosen main device, participant
+// set and distribution strategy, bypassing Algorithms 2 and 3. It is the
+// entry point for the paper's baseline configurations (Fig. 9's alternative
+// main devices, Fig. 10's distribution methods, Fig. 6/8's forced device
+// counts). participants must contain main; main is moved to the head.
+func PlanWith(plat *device.Platform, prob Problem, main int, participants []int, dist Distribution) *Plan {
+	order := []int{main}
+	for _, p := range participants {
+		if p != main {
+			order = append(order, p)
+		}
+	}
+	p := len(order)
+
+	var ratios []int
+	switch dist {
+	case DistGuide:
+		speeds := make([]float64, p)
+		for i, idx := range order {
+			speeds[i] = plat.Devices[idx].UpdateTilesPerUS(prob.B)
+		}
+		ratios = IntegerRatios(speeds, 32)
+	case DistCores:
+		speeds := make([]float64, p)
+		for i, idx := range order {
+			speeds[i] = float64(plat.Devices[idx].Cores)
+		}
+		ratios = IntegerRatios(speeds, 32)
+	case DistEven:
+		ratios = make([]int, p)
+		for i := range ratios {
+			ratios[i] = 1
+		}
+	}
+	guide := GuideArray(ratios)
+	return &Plan{
+		Problem:     prob,
+		Main:        main,
+		Order:       order,
+		P:           p,
+		Ratios:      ratios,
+		Guide:       guide,
+		ColumnOwner: DistributeColumns(prob.Nt, guide),
+	}
+}

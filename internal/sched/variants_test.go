@@ -1,0 +1,58 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/device"
+)
+
+func TestDistributionString(t *testing.T) {
+	if DistGuide.String() != "guide-array" || DistCores.String() != "by-cores" ||
+		DistEven.String() != "even" || Distribution(9).String() != "unknown" {
+		t.Fatal("distribution names wrong")
+	}
+}
+
+func TestPlanWithMovesMainToHead(t *testing.T) {
+	pl := device.PaperPlatform()
+	prob := paperProblem(640)
+	plan := PlanWith(pl, prob, 2, []int{1, 2, 3}, DistGuide)
+	if plan.Order[0] != 2 {
+		t.Fatalf("order = %v, main must lead", plan.Order)
+	}
+	if plan.P != 3 {
+		t.Fatalf("p = %d", plan.P)
+	}
+	if got := plan.Participants(); len(got) != 3 || got[0] != 2 {
+		t.Fatalf("participants = %v", got)
+	}
+}
+
+func TestPlanWithDistributions(t *testing.T) {
+	pl := device.PaperPlatform()
+	prob := paperProblem(1600)
+	for _, dist := range []Distribution{DistGuide, DistCores, DistEven} {
+		plan := PlanWith(pl, prob, 1, []int{1, 2, 3}, dist)
+		if len(plan.ColumnOwner) != prob.Nt {
+			t.Fatalf("%v: %d owners", dist, len(plan.ColumnOwner))
+		}
+		if plan.ColumnOwner[0] != 0 {
+			t.Fatalf("%v: column 0 not on main", dist)
+		}
+		counts := OwnedColumns(plan.ColumnOwner, plan.P)
+		for i, c := range counts {
+			if c == 0 {
+				t.Fatalf("%v: participant %d owns nothing", dist, i)
+			}
+		}
+	}
+	// Even: counts within 1 of each other.
+	even := PlanWith(pl, prob, 1, []int{1, 2, 3}, DistEven)
+	counts := OwnedColumns(even.ColumnOwner, 3)
+	for _, c := range counts[1:] {
+		d := counts[0] - c
+		if d < -2 || d > 2 {
+			t.Fatalf("even counts unbalanced: %v", counts)
+		}
+	}
+}

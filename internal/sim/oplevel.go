@@ -1,0 +1,198 @@
+package sim
+
+import (
+	"container/heap"
+
+	"repro/internal/device"
+	"repro/internal/tiled"
+)
+
+// Operation-level simulator: a second, finer fidelity level that executes
+// the actual tiled-QR DAG (every GEQRT/UNMQR/TSQRT/TSMQR as its own event)
+// against the same device models and placement rules as the phase-level
+// simulator in Run. It exists to cross-validate the phase simulator — the
+// two make independent structural approximations (bulk-synchronous phases
+// vs op-granular slot scheduling), so agreement between them is evidence
+// the calibrated shapes are not artifacts of either — and to simulate
+// schedules the phase model cannot express (arbitrary trees).
+//
+// Cost model: an op of class c on tile size b occupies one of its device's
+// Slots for LaunchUS + Cube[c]·b³·BulkScale (panel ops pay chain-discounted
+// elimination costs on fused devices so the two fidelity levels price the
+// same arithmetic consistently). A dependency crossing devices inserts a
+// transfer of the produced tiles on the producer's link.
+
+// RunOpLevel simulates the full operation DAG under the plan's placement.
+// Complexity is O(#ops · log #ops); sizes up to ~2000 (125³ ops) simulate
+// in well under a second.
+func RunOpLevel(cfg Config, tree tiled.Tree) Result {
+	if tree == nil {
+		tree = tiled.FlatTS{}
+	}
+	plan := cfg.Plan
+	plat := cfg.Platform
+	prob := plan.Problem
+	parts := plan.Participants()
+	p := len(parts)
+	b := prob.B
+	tileBytes := plat.TileBytes(b)
+
+	l := tiled.Layout{M: prob.Mt * b, N: prob.Nt * b, B: b, Mt: prob.Mt, Nt: prob.Nt}
+	dag := tiled.BuildDAG(l, tree)
+	n := len(dag.Ops)
+
+	// Placement: panel ops on main, updates on the column owner (the same
+	// rule internal/core uses for real execution).
+	place := make([]int, n)
+	for i, op := range dag.Ops {
+		dev := 0
+		if op.Kind.IsUpdate() && op.Col < len(plan.ColumnOwner) {
+			if o := plan.ColumnOwner[op.Col]; o >= 0 && o < p {
+				dev = o
+			}
+		}
+		place[i] = dev
+	}
+
+	// Per-op pricing consistent with the phase model's asymptotics:
+	// triangulations are single launches at full compute (the per-panel
+	// GEQRT of PanelUS), fused eliminations are chain-discounted stages,
+	// updates stream at bulk throughput with the launch amortized across
+	// the device's slots.
+	opDur := func(op tiled.Op, dev int) float64 {
+		prof := plat.Devices[parts[dev]]
+		c := device.ClassOf(op.Kind)
+		cube := prof.Cube[c] * float64(b*b*b)
+		switch {
+		case c == device.ClassT:
+			// Full single-op compute; the launch amortizes across the slot
+			// array so tree schedules that batch many GEQRTs are not
+			// charged a dispatch per tile.
+			return prof.LaunchUS/float64(prof.Slots) + cube
+		case c == device.ClassE && prof.PanelFused:
+			return cube * prof.PanelChainScale
+		case c == device.ClassE:
+			return prof.LaunchUS + cube
+		default:
+			return prof.LaunchUS/float64(prof.Slots) + cube*prof.BulkScale
+		}
+	}
+
+	// Event-driven loop: ready ops enter their device's queue; each device
+	// has Slots concurrent contexts; finishing an op releases successors,
+	// possibly after a cross-device transfer delay.
+	pq := &evHeap{}
+	remaining := make([]int, n)
+	readyAt := make([]float64, n) // data-availability time (transfers included)
+	for i := range dag.Deps {
+		remaining[i] = len(dag.Deps[i])
+	}
+	slotFree := make([][]float64, p) // per device: next-free time per slot
+	for i, idx := range parts {
+		slotFree[i] = make([]float64, plat.Devices[idx].Slots)
+	}
+	linkFree := make([]float64, p)
+	// A produced tile set travels to a given destination once, whoever
+	// consumes it there (the op-level analogue of the phase broadcast);
+	// back-to-back messages on a busy link pipeline and skip the DMA setup.
+	shipped := map[[2]int]float64{}
+
+	res := Result{PerDevice: make([]DeviceStats, p)}
+	for i, idx := range parts {
+		res.PerDevice[i].Name = plat.Devices[idx].Name
+	}
+
+	schedule := func(op int) {
+		dev := place[op]
+		// Earliest slot on the device.
+		best := 0
+		for s := 1; s < len(slotFree[dev]); s++ {
+			if slotFree[dev][s] < slotFree[dev][best] {
+				best = s
+			}
+		}
+		start := slotFree[dev][best]
+		if readyAt[op] > start {
+			start = readyAt[op]
+		}
+		dur := opDur(dag.Ops[op], dev)
+		end := start + dur
+		slotFree[dev][best] = end
+		st := &res.PerDevice[dev]
+		st.BusyUS += dur
+		if dag.Ops[op].Kind.IsUpdate() {
+			st.UpdUS += dur
+		} else {
+			st.PanelUS += dur
+		}
+		heap.Push(pq, evItem{at: end, op: op, dev: dev})
+	}
+	for i, r := range remaining {
+		if r == 0 {
+			schedule(i)
+		}
+	}
+	makespan := 0.0
+	for pq.Len() > 0 {
+		e := heap.Pop(pq).(evItem)
+		if e.at > makespan {
+			makespan = e.at
+		}
+		for _, s := range dag.Succs[e.op] {
+			avail := e.at
+			if dst := place[s]; dst != e.dev {
+				key := [2]int{e.op, dst}
+				if at, ok := shipped[key]; ok {
+					avail = at
+				} else {
+					tiles := len(dag.Ops[e.op].Tiles())
+					link := plat.LinkBetween(parts[e.dev], parts[dst])
+					x := float64(tiles) * tileBytes / link.BytesPerUS
+					start := e.at
+					if linkFree[e.dev] > start {
+						start = linkFree[e.dev] // pipelined burst: no new setup
+					} else {
+						x += link.SetupUS
+					}
+					linkFree[e.dev] = start + x
+					avail = start + x
+					res.CommUS += x
+					shipped[key] = avail
+				}
+			}
+			if avail > readyAt[s] {
+				readyAt[s] = avail
+			}
+			remaining[s]--
+			if remaining[s] == 0 {
+				schedule(s)
+			}
+		}
+	}
+	res.MakespanUS = makespan
+	for i := range res.PerDevice {
+		res.CalcUS += res.PerDevice[i].BusyUS
+	}
+	return res
+}
+
+// evItem is one op-completion event.
+type evItem struct {
+	at  float64
+	op  int
+	dev int
+}
+
+type evHeap []evItem
+
+func (h evHeap) Len() int           { return len(h) }
+func (h evHeap) Less(i, j int) bool { return h[i].at < h[j].at }
+func (h evHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *evHeap) Push(x any)        { *h = append(*h, x.(evItem)) }
+func (h *evHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,323 @@
+// Package sim is the discrete-event simulator of the heterogeneous CPU/GPU
+// node. It executes a scheduled tiled-QR decomposition against the device
+// performance models of internal/device, reproducing the mechanism behind
+// every timing experiment in the paper's evaluation:
+//
+//   - per-panel progression (Section IV-D): the main computing device
+//     triangulates and eliminates the panel; the resulting Q matrices are
+//     broadcast over PCIe (3MT² elements per non-main participant per
+//     iteration); participants apply their update batches; the owner of the
+//     next panel column returns its (M−1)T² elements to the main device;
+//   - device-level resource contention: each device runs one phase at a
+//     time at its slot-limited batch throughput;
+//   - pipelining: iteration k+1's panel may start as soon as the next
+//     column has been updated and migrated, even while other devices are
+//     still applying iteration k's updates.
+//
+// The simulation is phase-granular (panel / broadcast / update / column
+// migration), which keeps 1000×1000-tile problems (the paper's 16000×16000
+// matrices) simulable in microseconds while preserving the quantities the
+// paper's optimizations trade off.
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// Config describes one simulated decomposition.
+type Config struct {
+	Platform *device.Platform
+	Plan     *sched.Plan
+	// NoMain makes every participant run the panel phase for the columns it
+	// owns (the "None" configuration of Fig. 9) instead of routing all
+	// panels through the main computing device.
+	NoMain bool
+	// Pipelined models a dynamic-DAG runtime (the paper's related work
+	// [11], Agullo et al.): the next panel may start as soon as its column's
+	// own updates complete, rather than after the owner's whole update
+	// phase. The paper's system is bulk-synchronous per iteration
+	// (Section IV-D), which is the default.
+	Pipelined bool
+	// Recorder, when non-nil, receives one event per simulated phase.
+	Recorder *trace.Recorder
+	// CollectIterations fills Result.Iterations with a per-panel breakdown
+	// (useful for analysing where time goes as the trailing matrix shrinks).
+	CollectIterations bool
+	// Adaptive re-runs the Algorithm 3 device-count optimization for the
+	// remaining problem at every iteration and drops devices once their
+	// communication cost outweighs their update contribution — an extension
+	// beyond the paper's static whole-run decision. Dropping a device
+	// charges a one-time migration of its remaining columns back to the
+	// survivors.
+	Adaptive bool
+}
+
+// IterationStat is the timing breakdown of one panel iteration.
+type IterationStat struct {
+	K        int     // panel index
+	M        int     // remaining row tiles
+	PanelUS  float64 // panel factorization time
+	BcastUS  float64 // total broadcast transfer time this iteration
+	UpdMaxUS float64 // slowest participant's update phase
+	StartUS  float64 // panel start (simulated clock)
+	EndUS    float64 // latest event of the iteration
+}
+
+// DeviceStats aggregates one device's simulated activity.
+type DeviceStats struct {
+	Name    string
+	BusyUS  float64
+	PanelUS float64
+	UpdUS   float64
+}
+
+// Result summarises a simulated run.
+type Result struct {
+	// MakespanUS is the simulated wall-clock of the full decomposition.
+	MakespanUS float64
+	// CalcUS is the total device busy time (panel + update phases).
+	CalcUS float64
+	// CommUS is the total PCIe transfer time (broadcasts + column returns).
+	CommUS float64
+	// PerDevice holds per-participant aggregates, indexed like Plan.Order.
+	PerDevice []DeviceStats
+	// Iterations holds per-panel breakdowns when requested via
+	// Config.CollectIterations.
+	Iterations []IterationStat
+}
+
+// Utilization returns each participant's busy time divided by the
+// makespan, indexed like PerDevice.
+func (r Result) Utilization() []float64 {
+	out := make([]float64, len(r.PerDevice))
+	if r.MakespanUS == 0 {
+		return out
+	}
+	for i, d := range r.PerDevice {
+		out[i] = d.BusyUS / r.MakespanUS
+	}
+	return out
+}
+
+// CommFraction returns communication time as a fraction of the combined
+// calculation + communication time — the quantity plotted in Fig. 5.
+func (r Result) CommFraction() float64 {
+	total := r.CalcUS + r.CommUS
+	if total == 0 {
+		return 0
+	}
+	return r.CommUS / total
+}
+
+// Seconds converts the simulated makespan into seconds, the unit of the
+// paper's figures.
+func (r Result) Seconds() float64 { return r.MakespanUS / 1e6 }
+
+// Run simulates the decomposition described by cfg.
+func Run(cfg Config) Result {
+	plan := cfg.Plan
+	plat := cfg.Platform
+	prob := plan.Problem
+	parts := plan.Participants()
+	p := len(parts)
+	b := prob.B
+	tileBytes := plat.TileBytes(b)
+
+	devFree := make([]float64, p)
+	stats := make([]DeviceStats, p)
+	for i, idx := range parts {
+		stats[i].Name = plat.Devices[idx].Name
+	}
+	res := Result{}
+	record := func(step, label string, dev int, start, end float64) {
+		if cfg.Recorder == nil || end <= start {
+			return
+		}
+		cfg.Recorder.Add(trace.Event{
+			Label: label, Step: step, Worker: stats[dev].Name,
+			Start: time.Duration(start * float64(time.Microsecond)),
+			End:   time.Duration(end * float64(time.Microsecond)),
+		})
+	}
+
+	// The plan's column ownership is private to this run (Adaptive mutates
+	// it as devices retire).
+	owner := make([]int, len(plan.ColumnOwner))
+	copy(owner, plan.ColumnOwner)
+	plan = &sched.Plan{Problem: plan.Problem, Main: plan.Main, Order: plan.Order,
+		P: plan.P, Ratios: plan.Ratios, Guide: plan.Guide, ColumnOwner: owner}
+
+	// ownerOf maps a column to a participant position; columns past the
+	// distribution (or with out-of-range owners) fall back to main.
+	ownerOf := func(col int) int {
+		if col < len(plan.ColumnOwner) {
+			if o := plan.ColumnOwner[col]; o >= 0 && o < p {
+				return o
+			}
+		}
+		return 0
+	}
+	panelDevOf := func(k int) int {
+		if cfg.NoMain {
+			return ownerOf(k)
+		}
+		return 0
+	}
+
+	kt := prob.Mt
+	if prob.Nt < kt {
+		kt = prob.Nt
+	}
+	colReady := 0.0 // when the panel column is updated & resident on its panel device
+	makespan := 0.0
+	active := p // participants currently enlisted (prefix of the order)
+	for k := 0; k < kt; k++ {
+		m := prob.Mt - k
+		var iter IterationStat
+		if cfg.Adaptive && active > 1 {
+			rem := sched.Problem{Mt: prob.Mt - k, Nt: prob.Nt - k, B: b}
+			order := make([]int, active)
+			for i := 0; i < active; i++ {
+				order[i] = parts[i]
+			}
+			want, _ := sched.SelectNumDevices(plat, rem, order)
+			if want < active {
+				// Migrate the dropped devices' remaining columns to main and
+				// hand their ownership over.
+				moved := 0
+				for j := k + 1; j < prob.Nt; j++ {
+					if o := ownerOf(j); o >= want {
+						moved += m
+						plan.ColumnOwner[j] = 0
+					}
+				}
+				if moved > 0 {
+					x := plat.Link.TransferUS(float64(moved) * tileBytes)
+					res.CommUS += x
+					colReady += x
+				}
+				active = want
+			}
+		}
+		panelDev := panelDevOf(k)
+		panelProf := plat.Devices[parts[panelDev]]
+
+		panelStart := devFree[panelDev]
+		if colReady > panelStart {
+			panelStart = colReady
+		}
+		panelDur := panelProf.PanelUS(b, m)
+		panelEnd := panelStart + panelDur
+		devFree[panelDev] = panelEnd
+		stats[panelDev].PanelUS += panelDur
+		iter.K, iter.M, iter.PanelUS, iter.StartUS = k, m, panelDur, panelStart
+		record("T", fmt.Sprintf("panel k=%d (m=%d)", k, m), panelDev, panelStart, panelEnd)
+		if panelEnd > makespan {
+			makespan = panelEnd
+		}
+
+		// Broadcast the panel's Q matrices (3MT² elements, paper Eq. 11) to
+		// every other participant that has updates to do. The legs leave the
+		// panel device over its single PCIe link, so they serialize — the
+		// physical cost of inviting one more device to the party.
+		arrive := make([]float64, p)
+		linkFree := panelEnd
+		for i := 0; i < p; i++ {
+			arrive[i] = panelEnd
+			if i != panelDev && prob.Nt-k > 1 {
+				x := plat.LinkBetween(parts[panelDev], parts[i]).TransferUS(3 * float64(m) * tileBytes)
+				arrive[i] = linkFree + x
+				linkFree = arrive[i]
+				res.CommUS += x
+				iter.BcastUS += x
+				record("X", fmt.Sprintf("bcast k=%d → %s", k, stats[i].Name), i, arrive[i]-x, arrive[i])
+			}
+		}
+
+		// Update phases: each participant sweeps the trailing tiles of the
+		// columns it owns (one UT tile and m−1 UE tiles per column).
+		updStart := make([]float64, p)
+		cols := make([]int, p)
+		for j := k + 1; j < prob.Nt; j++ {
+			cols[ownerOf(j)]++
+		}
+		for i := 0; i < p; i++ {
+			if cols[i] == 0 {
+				continue
+			}
+			prof := plat.Devices[parts[i]]
+			start := devFree[i]
+			if arrive[i] > start {
+				start = arrive[i]
+			}
+			updStart[i] = start
+			dur := prof.BatchUS(device.ClassUT, b, cols[i]) +
+				prof.BatchUS(device.ClassUE, b, (m-1)*cols[i])
+			devFree[i] = start + dur
+			stats[i].UpdUS += dur
+			if dur > iter.UpdMaxUS {
+				iter.UpdMaxUS = dur
+			}
+			record("U", fmt.Sprintf("update k=%d (%d cols)", k, cols[i]), i, start, devFree[i])
+			if devFree[i] > makespan {
+				makespan = devFree[i]
+			}
+		}
+
+		// Next panel column: available once its owner's update phase
+		// completes, then migrated to the next panel device. This matches
+		// the paper's per-iteration progression (Section IV-D), where the
+		// next triangulation begins after the update-for-elimination of the
+		// following column — there is no finer-grained column priority.
+		if k+1 < kt {
+			owner := ownerOf(k + 1)
+			nextPanelDev := panelDevOf(k + 1)
+			colDone := devFree[owner]
+			if colDone < updStart[owner] {
+				colDone = updStart[owner]
+			}
+			if cfg.Pipelined && cols[owner] > 0 {
+				prof := plat.Devices[parts[owner]]
+				prefix := prof.BatchUS(device.ClassUT, b, 1) +
+					prof.BatchUS(device.ClassUE, b, m-1)
+				if early := updStart[owner] + prefix; early < colDone {
+					colDone = early
+				}
+			}
+			if owner != nextPanelDev {
+				x := plat.LinkBetween(parts[owner], parts[nextPanelDev]).TransferUS(float64(m-1) * tileBytes)
+				colDone += x
+				res.CommUS += x
+				record("X", fmt.Sprintf("column %d → %s", k+1, stats[nextPanelDev].Name),
+					owner, colDone-x, colDone)
+			}
+			colReady = colDone
+			if colReady > makespan {
+				makespan = colReady
+			}
+		}
+		if cfg.CollectIterations {
+			iter.EndUS = makespan
+			res.Iterations = append(res.Iterations, iter)
+		}
+	}
+	res.MakespanUS = makespan
+	for i := range stats {
+		stats[i].BusyUS = stats[i].PanelUS + stats[i].UpdUS
+		res.CalcUS += stats[i].BusyUS
+	}
+	res.PerDevice = stats
+	return res
+}
+
+// Predict evaluates the paper's first-iteration analytic model
+// (Top + Tcomm, Algorithm 3) for p participants of the plan's device order;
+// it is the "Predicted" column generator of Table III.
+func Predict(plat *device.Platform, prob sched.Problem, order []int, p int) float64 {
+	return sched.Top(plat, prob, order, p) + sched.Tcomm(plat, prob, order, p)
+}

@@ -1,0 +1,579 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/sched"
+	"repro/internal/tiled"
+	"repro/internal/trace"
+)
+
+func paperProblem(size int) sched.Problem { return sched.NewProblem(size, size, 16) }
+
+// gpuPlan builds a plan with the GTX580 as main and the first nGPU GPUs of
+// the paper platform participating.
+func gpuPlan(pl *device.Platform, size, nGPU int) *sched.Plan {
+	parts := []int{1, 2, 3}[:nGPU]
+	return sched.PlanWith(pl, paperProblem(size), 1, parts, sched.DistGuide)
+}
+
+func run(pl *device.Platform, plan *sched.Plan) Result {
+	return Run(Config{Platform: pl, Plan: plan})
+}
+
+func TestRunBasicSanity(t *testing.T) {
+	pl := device.PaperPlatform()
+	r := run(pl, gpuPlan(pl, 640, 2))
+	if r.MakespanUS <= 0 || r.CalcUS <= 0 {
+		t.Fatalf("degenerate result: %+v", r)
+	}
+	if r.CommUS <= 0 {
+		t.Fatal("two devices must communicate")
+	}
+	if r.MakespanUS < r.CalcUS/10 {
+		t.Fatal("makespan implausibly small vs busy time")
+	}
+	if len(r.PerDevice) != 2 {
+		t.Fatalf("%d device stats", len(r.PerDevice))
+	}
+	for _, d := range r.PerDevice {
+		if d.BusyUS <= 0 {
+			t.Fatalf("device %s never busy", d.Name)
+		}
+	}
+}
+
+func TestRunSingleDeviceNoComm(t *testing.T) {
+	pl := device.PaperPlatform()
+	r := run(pl, gpuPlan(pl, 640, 1))
+	if r.CommUS != 0 {
+		t.Fatalf("single device commUS = %v, want 0 (speed(x,x) = ∞)", r.CommUS)
+	}
+	if r.CommFraction() != 0 {
+		t.Fatal("single-device comm fraction must be 0")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	pl := device.PaperPlatform()
+	a := run(pl, gpuPlan(pl, 1280, 3))
+	b := run(pl, gpuPlan(pl, 1280, 3))
+	if a.MakespanUS != b.MakespanUS || a.CalcUS != b.CalcUS || a.CommUS != b.CommUS {
+		t.Fatal("simulation must be deterministic")
+	}
+}
+
+func TestMakespanGrowsWithSize(t *testing.T) {
+	pl := device.PaperPlatform()
+	prev := 0.0
+	for _, size := range []int{320, 640, 1280, 2560, 5120} {
+		r := run(pl, gpuPlan(pl, size, 3))
+		if r.MakespanUS <= prev {
+			t.Fatalf("size %d: makespan %v not increasing", size, r.MakespanUS)
+		}
+		prev = r.MakespanUS
+	}
+}
+
+// TestFig6Crossovers checks the device-count tradeoff of Fig. 6 and
+// Table III: one GPU wins for small matrices, two GPUs take over at
+// intermediate sizes, and all three GPUs win for large matrices.
+func TestFig6Crossovers(t *testing.T) {
+	pl := device.PaperPlatform()
+	times := func(size int) (t1, t2, t3 float64) {
+		return run(pl, gpuPlan(pl, size, 1)).MakespanUS,
+			run(pl, gpuPlan(pl, size, 2)).MakespanUS,
+			run(pl, gpuPlan(pl, size, 3)).MakespanUS
+	}
+	// Small: a single GPU is fastest.
+	t1, t2, t3 := times(320)
+	if !(t1 < t2 && t1 < t3) {
+		t.Fatalf("size 320: want 1 GPU fastest, got %v %v %v", t1, t2, t3)
+	}
+	// Intermediate: two GPUs beat one.
+	t1, t2, _ = times(960)
+	if !(t2 < t1) {
+		t.Fatalf("size 960: want 2 GPUs to beat 1, got %v vs %v", t2, t1)
+	}
+	// Large: three GPUs fastest.
+	t1, t2, t3 = times(3200)
+	if !(t3 < t2 && t2 < t1) {
+		t.Fatalf("size 3200: want 3 < 2 < 1 GPUs, got %v %v %v", t1, t2, t3)
+	}
+}
+
+// TestTable3PredictedMatchesActual verifies the heart of Table III: the
+// device count minimizing the analytic prediction Top + Tcomm also
+// minimizes the simulated time, across the size sweep (boundary sizes may
+// disagree by one device as the curves touch — the paper's own Table III
+// rows differ by ~1% near crossovers — so we require agreement on at least
+// three quarters of the sweep and never a 2-device disagreement).
+func TestTable3PredictedMatchesActual(t *testing.T) {
+	pl := device.PaperPlatform()
+	order := []int{1, 2, 3}
+	sizes := []int{160, 320, 480, 640, 960, 1280, 1600, 1920, 2240, 2560,
+		2880, 3200, 3520, 3840, 4000}
+	agree := 0
+	for _, size := range sizes {
+		prob := paperProblem(size)
+		bestAct, bestPred := 0, 0
+		var actMin, predMin float64
+		for p := 1; p <= 3; p++ {
+			act := run(pl, gpuPlan(pl, size, p)).MakespanUS
+			pred := Predict(pl, prob, order, p)
+			if bestAct == 0 || act < actMin {
+				bestAct, actMin = p, act
+			}
+			if bestPred == 0 || pred < predMin {
+				bestPred, predMin = p, pred
+			}
+		}
+		if bestAct == bestPred {
+			agree++
+		} else if diff := bestAct - bestPred; diff > 1 || diff < -1 {
+			t.Fatalf("size %d: predicted %dG vs actual %dG (≥2 apart)", size, bestPred, bestAct)
+		}
+	}
+	if agree*4 < len(sizes)*3 {
+		t.Fatalf("prediction agreed on only %d of %d sizes", agree, len(sizes))
+	}
+}
+
+// TestFig5CommFraction checks the communication-share trend of Fig. 5:
+// over 20%% for the smallest matrices, under 10%% for the largest, and
+// monotonically non-increasing in between.
+func TestFig5CommFraction(t *testing.T) {
+	pl := device.PaperPlatform()
+	all := []int{1, 2, 3, 0} // CPU + 3 GPUs, as in the paper's Fig. 5 setup
+	prev := 1.0
+	fractions := map[int]float64{}
+	for _, size := range []int{160, 320, 640, 1280, 1920, 2560, 3200, 3840} {
+		plan := sched.PlanWith(pl, paperProblem(size), 1, all, sched.DistGuide)
+		f := run(pl, plan).CommFraction()
+		if f > prev+1e-9 {
+			t.Fatalf("size %d: comm fraction %.3f increased (prev %.3f)", size, f, prev)
+		}
+		prev = f
+		fractions[size] = f
+	}
+	if fractions[160] < 0.20 {
+		t.Fatalf("size 160: comm fraction %.3f, want > 20%%", fractions[160])
+	}
+	if fractions[3840] > 0.10 {
+		t.Fatalf("size 3840: comm fraction %.3f, want < 10%%", fractions[3840])
+	}
+}
+
+// TestFig8Scalability checks Fig. 8: for every large matrix size, adding
+// devices (CPU → +GTX580 → +GTX680 → +GTX680) strictly reduces the total
+// decomposition time.
+func TestFig8Scalability(t *testing.T) {
+	pl := device.PaperPlatform()
+	configs := []struct {
+		main  int
+		parts []int
+	}{
+		{0, []int{0}},          // CPU only (4 cores)
+		{1, []int{1, 0}},       // + GTX580 (516 cores)
+		{1, []int{1, 2, 0}},    // + GTX680 (2052 cores)
+		{1, []int{1, 2, 3, 0}}, // + GTX680 (3588 cores)
+	}
+	for _, size := range []int{3200, 6400, 9600, 12800, 16000} {
+		prev := 0.0
+		for i, cfg := range configs {
+			plan := sched.PlanWith(pl, paperProblem(size), cfg.main, cfg.parts, sched.DistGuide)
+			got := run(pl, plan).MakespanUS
+			if i > 0 && got >= prev {
+				t.Fatalf("size %d: config %d (%v) not faster: %v vs %v",
+					size, i, cfg.parts, got, prev)
+			}
+			prev = got
+		}
+	}
+}
+
+// TestFig9MainDeviceSelection checks Fig. 9's ordering: GTX580 as main is
+// fastest; GTX680 as main is mildly slower; no specific main device is
+// slower still; and the CPU as main is catastrophic (the paper measures
+// 430.6 s vs 6.87 s at 16000).
+func TestFig9MainDeviceSelection(t *testing.T) {
+	pl := device.PaperPlatform()
+	all := []int{0, 1, 2, 3}
+	for _, size := range []int{3200, 9600, 16000} {
+		prob := paperProblem(size)
+		g580 := run(pl, sched.PlanWith(pl, prob, 1, all, sched.DistGuide)).MakespanUS
+		g680 := run(pl, sched.PlanWith(pl, prob, 2, all, sched.DistGuide)).MakespanUS
+		none := Run(Config{Platform: pl,
+			Plan: sched.PlanWith(pl, prob, 1, all, sched.DistGuide), NoMain: true}).MakespanUS
+		cpu := run(pl, sched.PlanWith(pl, prob, 0, all, sched.DistGuide)).MakespanUS
+		if !(g580 < g680) {
+			t.Fatalf("size %d: GTX580 main (%v) must beat GTX680 main (%v)", size, g580, g680)
+		}
+		if !(g680 < none) {
+			t.Fatalf("size %d: GTX680 main (%v) must beat no-main (%v)", size, g680, none)
+		}
+		if !(cpu > 10*g580) {
+			t.Fatalf("size %d: CPU main (%v) must be ≫ GTX580 main (%v)", size, cpu, g580)
+		}
+	}
+}
+
+// TestFig10Distribution checks Fig. 10's ordering at large sizes: the guide
+// array beats the cores-proportional distribution, which beats the even
+// distribution; and the margins at 16000 are in the paper's ballpark
+// (~10% over cores-based, ~21% over even).
+func TestFig10Distribution(t *testing.T) {
+	pl := device.PaperPlatform()
+	parts := []int{1, 2, 3}
+	for _, size := range []int{6400, 9600, 16000} {
+		prob := paperProblem(size)
+		guide := run(pl, sched.PlanWith(pl, prob, 1, parts, sched.DistGuide)).MakespanUS
+		cores := run(pl, sched.PlanWith(pl, prob, 1, parts, sched.DistCores)).MakespanUS
+		even := run(pl, sched.PlanWith(pl, prob, 1, parts, sched.DistEven)).MakespanUS
+		if !(guide < cores && cores < even) {
+			t.Fatalf("size %d: want guide < cores < even, got %v %v %v",
+				size, guide, cores, even)
+		}
+	}
+	prob := paperProblem(16000)
+	guide := run(pl, sched.PlanWith(pl, prob, 1, parts, sched.DistGuide)).MakespanUS
+	cores := run(pl, sched.PlanWith(pl, prob, 1, parts, sched.DistCores)).MakespanUS
+	even := run(pl, sched.PlanWith(pl, prob, 1, parts, sched.DistEven)).MakespanUS
+	if gain := cores/guide - 1; gain < 0.02 || gain > 0.35 {
+		t.Fatalf("guide vs cores gain %.1f%%, want a few percent (paper: ~10%%)", 100*gain)
+	}
+	if gain := even/guide - 1; gain < 0.10 || gain > 0.60 {
+		t.Fatalf("guide vs even gain %.1f%%, want tens of percent (paper: ~21%%)", 100*gain)
+	}
+}
+
+func TestDeviceStatsAccounting(t *testing.T) {
+	pl := device.PaperPlatform()
+	r := run(pl, gpuPlan(pl, 1280, 3))
+	var busy float64
+	for _, d := range r.PerDevice {
+		if d.PanelUS+d.UpdUS != d.BusyUS {
+			t.Fatalf("%s: panel %v + upd %v != busy %v", d.Name, d.PanelUS, d.UpdUS, d.BusyUS)
+		}
+		busy += d.BusyUS
+	}
+	if busy != r.CalcUS {
+		t.Fatalf("Σ busy %v != CalcUS %v", busy, r.CalcUS)
+	}
+	// Only the main device runs panels.
+	if r.PerDevice[1].PanelUS != 0 || r.PerDevice[2].PanelUS != 0 {
+		t.Fatal("non-main devices must not run panels in main mode")
+	}
+}
+
+func TestNoMainSpreadsPanels(t *testing.T) {
+	pl := device.PaperPlatform()
+	plan := gpuPlan(pl, 1280, 3)
+	r := Run(Config{Platform: pl, Plan: plan, NoMain: true})
+	panelDevices := 0
+	for _, d := range r.PerDevice {
+		if d.PanelUS > 0 {
+			panelDevices++
+		}
+	}
+	if panelDevices < 2 {
+		t.Fatalf("no-main mode ran panels on %d devices", panelDevices)
+	}
+}
+
+func TestTraceEventsEmitted(t *testing.T) {
+	pl := device.PaperPlatform()
+	rec := trace.NewRecorder()
+	Run(Config{Platform: pl, Plan: gpuPlan(pl, 320, 2), Recorder: rec})
+	stats := rec.Summarize()
+	if stats.NumEvents == 0 {
+		t.Fatal("no events recorded")
+	}
+	if stats.ByStep["T"] == 0 || stats.ByStep["U"] == 0 || stats.ByStep["X"] == 0 {
+		t.Fatalf("missing step classes: %v", stats.ByStep)
+	}
+}
+
+func TestSingleColumnMatrix(t *testing.T) {
+	// A single tile column has no updates and no communication.
+	pl := device.PaperPlatform()
+	plan := sched.PlanWith(pl, sched.NewProblem(160, 16, 16), 1, []int{1, 2}, sched.DistGuide)
+	r := run(pl, plan)
+	if r.CommUS != 0 {
+		t.Fatalf("single-column comm = %v", r.CommUS)
+	}
+	if r.MakespanUS <= 0 {
+		t.Fatal("zero makespan")
+	}
+}
+
+func TestPredictMonotoneInSize(t *testing.T) {
+	pl := device.PaperPlatform()
+	order := []int{1, 2, 3}
+	prev := 0.0
+	for _, size := range []int{320, 640, 1280, 2560} {
+		got := Predict(pl, paperProblem(size), order, 3)
+		if got <= prev {
+			t.Fatalf("size %d: prediction %v not increasing", size, got)
+		}
+		prev = got
+	}
+}
+
+func TestPipelinedNeverSlower(t *testing.T) {
+	pl := device.PaperPlatform()
+	for _, size := range []int{640, 1600, 3200} {
+		plan := gpuPlan(pl, size, 3)
+		bulk := Run(Config{Platform: pl, Plan: plan}).MakespanUS
+		pipe := Run(Config{Platform: pl, Plan: plan, Pipelined: true}).MakespanUS
+		if pipe > bulk+1e-9 {
+			t.Fatalf("size %d: pipelined %v slower than bulk %v", size, pipe, bulk)
+		}
+	}
+}
+
+func TestPipelinedHelpsMainMode(t *testing.T) {
+	// With a dedicated main device, the early column hand-off lets the next
+	// panel overlap the owners' remaining updates — a measurable win.
+	pl := device.PaperPlatform()
+	plan := gpuPlan(pl, 3200, 3)
+	bulk := Run(Config{Platform: pl, Plan: plan}).MakespanUS
+	pipe := Run(Config{Platform: pl, Plan: plan, Pipelined: true}).MakespanUS
+	if !(pipe < bulk*0.99) {
+		t.Fatalf("pipelining won too little: %v vs %v", pipe, bulk)
+	}
+}
+
+func TestPipelinedIsNoOpWithoutMainDevice(t *testing.T) {
+	// Structural property: in no-main mode the next panel runs on the very
+	// device that owns the next column, so it cannot start before that
+	// device finishes its update phase — there is nothing to pipeline into.
+	// This is another face of why the paper dedicates a main device.
+	pl := device.PaperPlatform()
+	plan := sched.PlanWith(pl, paperProblem(6400), 1, []int{0, 1, 2, 3}, sched.DistGuide)
+	bulk := Run(Config{Platform: pl, Plan: plan, NoMain: true}).MakespanUS
+	pipe := Run(Config{Platform: pl, Plan: plan, NoMain: true, Pipelined: true}).MakespanUS
+	if bulk != pipe {
+		t.Fatalf("no-main pipelining changed the makespan: %v vs %v", pipe, bulk)
+	}
+}
+
+func TestMultiNodeTransfersUseNetwork(t *testing.T) {
+	two := device.MultiNodePlatform(2)
+	prob := paperProblem(3200)
+	// Same participant count: 3 GPUs on one node vs spread across nodes.
+	local := sched.PlanWith(two, prob, 1, []int{1, 2, 3}, sched.DistGuide)
+	spread := sched.PlanWith(two, prob, 1, []int{1, 2, 5}, sched.DistGuide)
+	lr := Run(Config{Platform: two, Plan: local})
+	sr := Run(Config{Platform: two, Plan: spread})
+	if !(sr.CommUS > lr.CommUS) {
+		t.Fatalf("cross-node comm %v must exceed local %v", sr.CommUS, lr.CommUS)
+	}
+	if !(sr.MakespanUS > lr.MakespanUS) {
+		t.Fatalf("cross-node makespan %v must exceed local %v", sr.MakespanUS, lr.MakespanUS)
+	}
+}
+
+func TestMultiNodePaysOffAtScale(t *testing.T) {
+	one := device.MultiNodePlatform(1)
+	two := device.MultiNodePlatform(2)
+	oneParts := []int{1, 2, 3}
+	twoParts := []int{1, 2, 3, 5, 6, 7}
+	small := paperProblem(1600)
+	large := paperProblem(25600)
+	oneSmall := Run(Config{Platform: one, Plan: sched.PlanWith(one, small, 1, oneParts, sched.DistGuide)}).MakespanUS
+	twoSmall := Run(Config{Platform: two, Plan: sched.PlanWith(two, small, 1, twoParts, sched.DistGuide)}).MakespanUS
+	if !(oneSmall < twoSmall) {
+		t.Fatalf("small: one node %v must beat two nodes %v", oneSmall, twoSmall)
+	}
+	oneLarge := Run(Config{Platform: one, Plan: sched.PlanWith(one, large, 1, oneParts, sched.DistGuide)}).MakespanUS
+	twoLarge := Run(Config{Platform: two, Plan: sched.PlanWith(two, large, 1, twoParts, sched.DistGuide)}).MakespanUS
+	if !(twoLarge < oneLarge) {
+		t.Fatalf("large: two nodes %v must beat one node %v", twoLarge, oneLarge)
+	}
+}
+
+func TestIterationStatsCollected(t *testing.T) {
+	pl := device.PaperPlatform()
+	plan := gpuPlan(pl, 640, 3)
+	r := Run(Config{Platform: pl, Plan: plan, CollectIterations: true})
+	if len(r.Iterations) != 40 { // 640/16 panels
+		t.Fatalf("%d iteration stats", len(r.Iterations))
+	}
+	var panelSum float64
+	for i, it := range r.Iterations {
+		if it.K != i || it.M != 40-i {
+			t.Fatalf("iteration %d mislabelled: %+v", i, it)
+		}
+		if it.PanelUS <= 0 {
+			t.Fatalf("iteration %d: no panel time", i)
+		}
+		panelSum += it.PanelUS
+	}
+	// Panel time per iteration sums to the main device's panel total.
+	if d := panelSum - r.PerDevice[0].PanelUS; d > 1e-6 || d < -1e-6 {
+		t.Fatalf("panel sum %v != device panel total %v", panelSum, r.PerDevice[0].PanelUS)
+	}
+	// Without the flag, no allocations.
+	r2 := Run(Config{Platform: pl, Plan: plan})
+	if r2.Iterations != nil {
+		t.Fatal("iterations collected without the flag")
+	}
+}
+
+func TestAdaptiveDeviceRetirement(t *testing.T) {
+	pl := device.PaperPlatform()
+	// At a size just past the 3-GPU crossover, the tail of the
+	// decomposition is small enough that Algorithm 3 on the remaining
+	// problem retires devices; adaptive mode must not be slower than static
+	// by more than a migration's worth, and must win near the crossover.
+	for _, size := range []int{1280, 1600, 2560} {
+		plan := gpuPlan(pl, size, 3)
+		static := Run(Config{Platform: pl, Plan: plan}).MakespanUS
+		adaptive := Run(Config{Platform: pl, Plan: gpuPlan(pl, size, 3), Adaptive: true}).MakespanUS
+		if adaptive > static*1.05 {
+			t.Fatalf("size %d: adaptive %v much slower than static %v", size, adaptive, static)
+		}
+	}
+}
+
+func TestAdaptiveDoesNotMutateCallerPlan(t *testing.T) {
+	pl := device.PaperPlatform()
+	plan := gpuPlan(pl, 1280, 3)
+	before := make([]int, len(plan.ColumnOwner))
+	copy(before, plan.ColumnOwner)
+	Run(Config{Platform: pl, Plan: plan, Adaptive: true})
+	for i := range before {
+		if plan.ColumnOwner[i] != before[i] {
+			t.Fatal("Run mutated the caller's plan")
+		}
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	pl := device.PaperPlatform()
+	r := run(pl, gpuPlan(pl, 1600, 3))
+	util := r.Utilization()
+	if len(util) != 3 {
+		t.Fatalf("%d utilizations", len(util))
+	}
+	for i, u := range util {
+		if u <= 0 || u > 1 {
+			t.Fatalf("device %d utilization %v out of (0, 1]", i, u)
+		}
+	}
+	var zero Result
+	if got := zero.Utilization(); len(got) != 0 {
+		t.Fatal("zero result utilization must be empty")
+	}
+}
+
+func TestOpLevelBasic(t *testing.T) {
+	pl := device.PaperPlatform()
+	plan := gpuPlan(pl, 640, 3)
+	r := RunOpLevel(Config{Platform: pl, Plan: plan}, nil)
+	if r.MakespanUS <= 0 || r.CalcUS <= 0 || r.CommUS <= 0 {
+		t.Fatalf("degenerate result: %+v", r)
+	}
+	// Deterministic.
+	r2 := RunOpLevel(Config{Platform: pl, Plan: plan}, nil)
+	if r.MakespanUS != r2.MakespanUS {
+		t.Fatal("op-level sim not deterministic")
+	}
+	// Busy time splits into panel and update work on the right devices.
+	if r.PerDevice[0].PanelUS <= 0 {
+		t.Fatal("main device ran no panel ops")
+	}
+	if r.PerDevice[1].PanelUS != 0 || r.PerDevice[2].PanelUS != 0 {
+		t.Fatal("non-main devices ran panel ops")
+	}
+}
+
+// TestOpLevelCrossValidatesPhaseSim is the fidelity check: the two
+// simulators make independent approximations, so their makespans must stay
+// within a small factor and agree on the device-count winner at the
+// extremes of the sweep.
+func TestOpLevelCrossValidatesPhaseSim(t *testing.T) {
+	pl := device.PaperPlatform()
+	for _, size := range []int{320, 640, 1280} {
+		for p := 1; p <= 3; p++ {
+			plan := gpuPlan(pl, size, p)
+			phase := Run(Config{Platform: pl, Plan: plan}).MakespanUS
+			op := RunOpLevel(Config{Platform: pl, Plan: plan}, nil).MakespanUS
+			// Bulk synchronization makes the phase model the pessimistic
+			// one; both must stay within a small factor.
+			ratio := phase / op
+			if ratio < 0.9 || ratio > 3.5 {
+				t.Fatalf("size %d p=%d: fidelity gap %.2fx (phase %v vs op %v)",
+					size, p, ratio, phase, op)
+			}
+		}
+	}
+	// Winner agreement at the extremes: 1 GPU at 160, 3 GPUs at 3200.
+	winner := func(size int) int {
+		best, bestT := 0, 0.0
+		for p := 1; p <= 3; p++ {
+			got := RunOpLevel(Config{Platform: pl, Plan: gpuPlan(pl, size, p)}, nil).MakespanUS
+			if best == 0 || got < bestT {
+				best, bestT = p, got
+			}
+		}
+		return best
+	}
+	if w := winner(160); w != 1 {
+		t.Fatalf("op-level winner at 160 = %dG, want 1G", w)
+	}
+	if w := winner(3200); w != 3 {
+		t.Fatalf("op-level winner at 3200 = %dG, want 3G", w)
+	}
+}
+
+func TestOpLevelTreesChangeCriticalPath(t *testing.T) {
+	// On a single-column panel the elimination chain is the whole critical
+	// path, so the binary tree's log depth must beat the flat tree's linear
+	// chain. (With trailing columns present the flat tree can pipeline its
+	// chain under the update work and the advantage disappears — which the
+	// second assertion documents.)
+	pl := device.PaperPlatform()
+	single := sched.Problem{Mt: 64, Nt: 1, B: 16}
+	plan := sched.PlanWith(pl, single, 1, []int{1}, sched.DistGuide)
+	flat := RunOpLevel(Config{Platform: pl, Plan: plan}, tiled.FlatTS{}).MakespanUS
+	bin := RunOpLevel(Config{Platform: pl, Plan: plan}, tiled.BinaryTT{}).MakespanUS
+	if !(bin < flat) {
+		t.Fatalf("binary tree (%v) must beat flat (%v) on a single column", bin, flat)
+	}
+	// With trailing updates the flat tree stays competitive on one wide
+	// device — the tree pays 64 full triangulations of compute.
+	wide := sched.Problem{Mt: 64, Nt: 4, B: 16}
+	planW := sched.PlanWith(pl, wide, 1, []int{1}, sched.DistGuide)
+	flatW := RunOpLevel(Config{Platform: pl, Plan: planW}, tiled.FlatTS{}).MakespanUS
+	binW := RunOpLevel(Config{Platform: pl, Plan: planW}, tiled.BinaryTT{}).MakespanUS
+	if flatW > 2*binW {
+		t.Fatalf("flat (%v) unexpectedly collapsed vs binary (%v) with updates", flatW, binW)
+	}
+}
+
+func TestNonSquareProblems(t *testing.T) {
+	pl := device.PaperPlatform()
+	// Tall: more row tiles than columns — still kt = Nt panels.
+	tall := sched.PlanWith(pl, sched.Problem{Mt: 80, Nt: 20, B: 16}, 1, []int{1, 2}, sched.DistGuide)
+	rt := Run(Config{Platform: pl, Plan: tall})
+	if rt.MakespanUS <= 0 {
+		t.Fatal("tall makespan zero")
+	}
+	// Wide: fewer row tiles — kt = Mt panels, trailing columns all update.
+	wide := sched.PlanWith(pl, sched.Problem{Mt: 20, Nt: 80, B: 16}, 1, []int{1, 2}, sched.DistGuide)
+	rw := Run(Config{Platform: pl, Plan: wide})
+	if rw.MakespanUS <= 0 {
+		t.Fatal("wide makespan zero")
+	}
+	// Structural contrast: the tall problem is panel-bound (long columns to
+	// eliminate, few trailing columns), the wide one update-bound. The main
+	// device's panel share must reflect that.
+	tallPanelShare := rt.PerDevice[0].PanelUS / rt.CalcUS
+	widePanelShare := rw.PerDevice[0].PanelUS / rw.CalcUS
+	if !(tallPanelShare > widePanelShare) {
+		t.Fatalf("panel share tall %.3f should exceed wide %.3f", tallPanelShare, widePanelShare)
+	}
+}

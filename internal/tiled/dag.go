@@ -1,0 +1,168 @@
+package tiled
+
+import "fmt"
+
+// DAG is the dependency graph of a tiled QR factorization. Ops is a valid
+// sequential schedule (executing ops in index order is always legal);
+// Deps/Succs encode the partial order for parallel and simulated execution.
+//
+// Dependencies are derived from tile access: every op read-modifies-writes
+// the tiles it touches (reflector-storage reads are read-only), so op b
+// depends on op a exactly when a is the latest previous writer of one of
+// b's tiles, or the latest writer of a tile b reads.
+type DAG struct {
+	Layout Layout
+	Tree   string
+	Ops    []Op
+	Deps   [][]int // Deps[i]: op indices that must complete before op i
+	Succs  [][]int // Succs[i]: op indices unblocked by op i
+}
+
+// BuildOps generates the sequential operation schedule for the given layout
+// and elimination tree, following the paper's Section II-B progression:
+// per panel k — triangulate, update-for-triangulation, then the tree's
+// eliminations each followed by their update-for-elimination row sweep.
+func BuildOps(l Layout, tree Tree) []Op {
+	var ops []Op
+	kt := l.Kt()
+	for k := 0; k < kt; k++ {
+		steps := tree.Steps(k, l.Mt)
+		if err := ValidateSteps(k, l.Mt, steps); err != nil {
+			panic(err) // program error in the Tree implementation
+		}
+		// Triangulation: the diagonal tile always; all panel tiles for TT
+		// trees. Each triangulated row is then updated across the columns.
+		triRows := []int{k}
+		if tree.TriangulatesAll() {
+			triRows = triRows[:0]
+			for i := k; i < l.Mt; i++ {
+				triRows = append(triRows, i)
+			}
+		}
+		for _, i := range triRows {
+			ops = append(ops, Op{Kind: KindGEQRT, K: k, Row: i})
+			for j := k + 1; j < l.Nt; j++ {
+				ops = append(ops, Op{Kind: KindUNMQR, K: k, Row: i, Col: j})
+			}
+		}
+		for _, s := range steps {
+			ek, uk := KindTSQRT, KindTSMQR
+			if s.TT {
+				ek, uk = KindTTQRT, KindTTMQR
+			}
+			ops = append(ops, Op{Kind: ek, K: k, Top: s.Top, Row: s.Row})
+			for j := k + 1; j < l.Nt; j++ {
+				ops = append(ops, Op{Kind: uk, K: k, Top: s.Top, Row: s.Row, Col: j})
+			}
+		}
+	}
+	return ops
+}
+
+// BuildDAG generates the schedule and its dependency structure.
+func BuildDAG(l Layout, tree Tree) *DAG {
+	ops := BuildOps(l, tree)
+	deps := make([][]int, len(ops))
+	succs := make([][]int, len(ops))
+	lastWrite := make(map[[2]int]int, l.Mt*l.Nt)
+	for idx, op := range ops {
+		seen := map[int]bool{}
+		addDep := func(tile [2]int) {
+			if w, ok := lastWrite[tile]; ok && !seen[w] {
+				seen[w] = true
+				deps[idx] = append(deps[idx], w)
+				succs[w] = append(succs[w], idx)
+			}
+		}
+		for _, tile := range op.writesTiles() {
+			addDep(tile)
+		}
+		for _, tile := range op.readsTiles() {
+			addDep(tile)
+		}
+		for _, tile := range op.writesTiles() {
+			lastWrite[tile] = idx
+		}
+	}
+	return &DAG{Layout: l, Tree: tree.Name(), Ops: ops, Deps: deps, Succs: succs}
+}
+
+// CriticalPathLen returns the length (in ops) of the longest dependency
+// chain in the DAG — the parallelism-limited lower bound on schedule length
+// when every op costs one unit.
+func (d *DAG) CriticalPathLen() int {
+	depth := make([]int, len(d.Ops))
+	best := 0
+	for i := range d.Ops {
+		dep := 0
+		for _, p := range d.Deps[i] {
+			if depth[p] > dep {
+				dep = depth[p]
+			}
+		}
+		depth[i] = dep + 1
+		if depth[i] > best {
+			best = depth[i]
+		}
+	}
+	return best
+}
+
+// StepCounts tallies ops by the paper's four-step classification for panel
+// k. With the flat TS tree on a remaining M×N-tile problem this reproduces
+// Table I: T: 1 per panel plus the M−1 eliminations... — see CountsTable1.
+func (d *DAG) StepCounts(k int) map[string]int {
+	counts := map[string]int{}
+	for _, op := range d.Ops {
+		if op.K == k {
+			counts[op.Kind.Step()]++
+		}
+	}
+	return counts
+}
+
+// Table1Row reports, for the remaining part of the matrix at panel k
+// (M = Mt−k row tiles, N = Nt−k column tiles), the number of tiles operated
+// on by each step, matching the accounting of the paper's Table I:
+//
+//	Triangulation             M     (the diagonal tile plus one tile per
+//	                                 elimination acquires an R factor)
+//	Elimination               M     (M−1 pair eliminations touch M tiles)
+//	Update for triangulation  M×(N−1)
+//	Update for elimination    M×(N−1)
+//
+// The paper counts the diagonal chain as M triangulated and M eliminated
+// tiles; updates touch every remaining tile of each non-panel column once.
+func Table1Row(mRemaining, nRemaining int) map[string]int {
+	m, n := mRemaining, nRemaining
+	return map[string]int{
+		"T":  m,
+		"E":  m,
+		"UT": m * (n - 1),
+		"UE": m * (n - 1),
+	}
+}
+
+// Validate checks internal consistency of the DAG: every dependency points
+// backwards (the sequential order is a topological order) and successor
+// lists mirror dependency lists.
+func (d *DAG) Validate() error {
+	for i, dep := range d.Deps {
+		for _, p := range dep {
+			if p >= i {
+				return fmt.Errorf("tiled: op %d depends on later op %d", i, p)
+			}
+			found := false
+			for _, s := range d.Succs[p] {
+				if s == i {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("tiled: succ list of %d missing %d", p, i)
+			}
+		}
+	}
+	return nil
+}

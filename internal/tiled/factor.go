@@ -1,0 +1,129 @@
+package tiled
+
+import (
+	"fmt"
+
+	"repro/internal/kernels"
+	"repro/internal/matrix"
+)
+
+// Factorization holds the output of a tiled QR decomposition: the tiled
+// matrix (R in the upper tiles/triangles, Householder reflector tails
+// elsewhere), the per-operation compact-WY block factors, and the operation
+// journal needed to replay the implicit Q.
+//
+// All auxiliary storage is allocated up front by NewFactorization, so
+// ApplyOp is safe to call concurrently for operations that are independent
+// in the DAG (they touch disjoint tiles and disjoint block factors).
+type Factorization struct {
+	A    *TiledMatrix
+	Tree string
+	// Journal is the sequential operation schedule that produced (or will
+	// produce) the factorization.
+	Journal []Op
+
+	// tGeqrt[(i,k)] is the block factor of GEQRT on tile (i, k).
+	tGeqrt map[[2]int]*matrix.Matrix
+	// tElim[(i,k)] is the block factor of the elimination that annihilated
+	// row tile i in panel k (each row is eliminated at most once per panel).
+	tElim map[[2]int]*matrix.Matrix
+	// v2[(i,k)] holds TTQRT reflector tails; TT eliminations cannot reuse
+	// the tile because its sub-diagonal still stores the GEQRT reflectors.
+	v2 map[[2]int]*matrix.Matrix
+}
+
+// NewFactorization wraps an already-tiled matrix and pre-allocates every
+// block factor the schedule will need. The tiled matrix is factored in
+// place as ops are applied.
+func NewFactorization(a *TiledMatrix, tree Tree) *Factorization {
+	ops := BuildOps(a.Layout, tree)
+	f := &Factorization{
+		A:       a,
+		Tree:    tree.Name(),
+		Journal: ops,
+		tGeqrt:  map[[2]int]*matrix.Matrix{},
+		tElim:   map[[2]int]*matrix.Matrix{},
+		v2:      map[[2]int]*matrix.Matrix{},
+	}
+	for _, op := range ops {
+		switch op.Kind {
+		case KindGEQRT:
+			r, c := a.TileRows(op.Row), a.TileCols(op.K)
+			k := min(r, c)
+			f.tGeqrt[[2]int{op.Row, op.K}] = matrix.New(k, k)
+		case KindTSQRT:
+			c := a.TileCols(op.K)
+			f.tElim[[2]int{op.Row, op.K}] = matrix.New(c, c)
+		case KindTTQRT:
+			c := a.TileCols(op.K)
+			f.tElim[[2]int{op.Row, op.K}] = matrix.New(c, c)
+			f.v2[[2]int{op.Row, op.K}] = matrix.New(a.TileRows(op.Row), c)
+		}
+	}
+	return f
+}
+
+// ApplyOp executes one operation of the schedule against the tiled matrix.
+// Operations that are independent in the DAG may be applied concurrently.
+func (f *Factorization) ApplyOp(op Op) {
+	a := f.A
+	switch op.Kind {
+	case KindGEQRT:
+		kernels.GEQRT(a.Tile(op.Row, op.K), f.tGeqrt[[2]int{op.Row, op.K}])
+	case KindUNMQR:
+		kernels.UNMQR(a.Tile(op.Row, op.K), f.tGeqrt[[2]int{op.Row, op.K}],
+			a.Tile(op.Row, op.Col), true)
+	case KindTSQRT:
+		kernels.TSQRT(a.Tile(op.Top, op.K), a.Tile(op.Row, op.K),
+			f.tElim[[2]int{op.Row, op.K}])
+	case KindTSMQR:
+		kernels.TSMQR(a.Tile(op.Row, op.K), f.tElim[[2]int{op.Row, op.K}],
+			a.Tile(op.Top, op.Col), a.Tile(op.Row, op.Col), true)
+	case KindTTQRT:
+		kernels.TTQRT(a.Tile(op.Top, op.K), a.Tile(op.Row, op.K),
+			f.v2[[2]int{op.Row, op.K}], f.tElim[[2]int{op.Row, op.K}])
+	case KindTTMQR:
+		kernels.TTMQR(f.v2[[2]int{op.Row, op.K}], f.tElim[[2]int{op.Row, op.K}],
+			a.Tile(op.Top, op.Col), a.Tile(op.Row, op.Col), true)
+	default:
+		panic(fmt.Sprintf("tiled: unknown op %v", op))
+	}
+}
+
+// Factor computes the tiled QR decomposition of a dense matrix with tile
+// size b and the given elimination tree, executing the schedule
+// sequentially. The input matrix is not modified.
+func Factor(a *matrix.Matrix, b int, tree Tree) *Factorization {
+	f := NewFactorization(FromDense(a, b), tree)
+	for _, op := range f.Journal {
+		f.ApplyOp(op)
+	}
+	return f
+}
+
+// R extracts the upper-triangular factor as a dense M×N matrix. Tiles below
+// the diagonal hold reflector storage and are implicitly zero; the diagonal
+// tiles contribute only their upper triangles.
+func (f *Factorization) R() *matrix.Matrix {
+	a := f.A
+	out := matrix.New(a.M, a.N)
+	for i := 0; i < a.Mt; i++ {
+		for j := i; j < a.Nt; j++ {
+			src := a.Tile(i, j)
+			dst := out.SubMatrix(i*a.B, j*a.B, a.TileRows(i), a.TileCols(j))
+			if i == j {
+				dst.CopyFrom(matrix.UpperTriangular(src))
+			} else {
+				dst.CopyFrom(src)
+			}
+		}
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

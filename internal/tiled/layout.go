@@ -1,0 +1,129 @@
+// Package tiled implements the tiled QR decomposition algorithm of the
+// paper: the tile layout, the four-step operation DAG (triangulation,
+// update-for-triangulation, elimination, update-for-elimination), pluggable
+// elimination trees, the sequential factorization engine, and the
+// application of the implicit Q factor (Qᵀ·B, Q·B, explicit Q, solves).
+//
+// The execution order of operations is separated from their semantics: a
+// Factorization plus its operation journal is enough to replay or verify the
+// factorization, and the DAG form drives both the real parallel runtime
+// (internal/runtime) and the heterogeneous simulator (internal/sim).
+package tiled
+
+import (
+	"fmt"
+
+	"repro/internal/matrix"
+)
+
+// Layout describes how an M×N matrix is cut into B×B tiles (edge tiles may
+// be smaller). The paper uses square tiles of equal size on all devices
+// (Section IV), with B = 16 in its evaluation.
+type Layout struct {
+	M, N int // matrix dimensions
+	B    int // tile size
+	Mt   int // number of row tiles:    ceil(M/B)
+	Nt   int // number of column tiles: ceil(N/B)
+}
+
+// NewLayout validates and builds a layout.
+func NewLayout(m, n, b int) Layout {
+	if m <= 0 || n <= 0 || b <= 0 {
+		panic(fmt.Sprintf("tiled: invalid layout %dx%d tile %d", m, n, b))
+	}
+	return Layout{M: m, N: n, B: b, Mt: (m + b - 1) / b, Nt: (n + b - 1) / b}
+}
+
+// TileRows returns the row count of tiles in tile-row i.
+func (l Layout) TileRows(i int) int {
+	if i < 0 || i >= l.Mt {
+		panic(fmt.Sprintf("tiled: tile row %d out of range %d", i, l.Mt))
+	}
+	if i == l.Mt-1 {
+		return l.M - (l.Mt-1)*l.B
+	}
+	return l.B
+}
+
+// TileCols returns the column count of tiles in tile-column j.
+func (l Layout) TileCols(j int) int {
+	if j < 0 || j >= l.Nt {
+		panic(fmt.Sprintf("tiled: tile col %d out of range %d", j, l.Nt))
+	}
+	if j == l.Nt-1 {
+		return l.N - (l.Nt-1)*l.B
+	}
+	return l.B
+}
+
+// Kt returns the number of panel iterations, min(Mt, Nt).
+func (l Layout) Kt() int {
+	if l.Mt < l.Nt {
+		return l.Mt
+	}
+	return l.Nt
+}
+
+// A TiledMatrix stores an M×N matrix as independently-allocated tiles so
+// tiles can be operated on (and, in the heterogeneous setting, shipped
+// between devices) without false sharing.
+type TiledMatrix struct {
+	Layout
+	tiles []*matrix.Matrix // row-major tile order
+}
+
+// NewTiled allocates an all-zero tiled matrix with the given layout.
+func NewTiled(l Layout) *TiledMatrix {
+	tm := &TiledMatrix{Layout: l, tiles: make([]*matrix.Matrix, l.Mt*l.Nt)}
+	for i := 0; i < l.Mt; i++ {
+		for j := 0; j < l.Nt; j++ {
+			tm.tiles[i*l.Nt+j] = matrix.New(l.TileRows(i), l.TileCols(j))
+		}
+	}
+	return tm
+}
+
+// FromDense converts a dense matrix into tiled storage with tile size b.
+func FromDense(a *matrix.Matrix, b int) *TiledMatrix {
+	l := NewLayout(a.Rows, a.Cols, b)
+	tm := NewTiled(l)
+	for i := 0; i < l.Mt; i++ {
+		for j := 0; j < l.Nt; j++ {
+			tm.Tile(i, j).CopyFrom(a.SubMatrix(i*b, j*b, l.TileRows(i), l.TileCols(j)))
+		}
+	}
+	return tm
+}
+
+// Tile returns the (i, j) tile. The returned matrix aliases internal
+// storage: mutating it mutates the tiled matrix.
+func (t *TiledMatrix) Tile(i, j int) *matrix.Matrix {
+	if i < 0 || i >= t.Mt || j < 0 || j >= t.Nt {
+		panic(fmt.Sprintf("tiled: tile (%d,%d) out of range %dx%d", i, j, t.Mt, t.Nt))
+	}
+	return t.tiles[i*t.Nt+j]
+}
+
+// ToDense assembles the tiles back into a dense matrix.
+func (t *TiledMatrix) ToDense() *matrix.Matrix {
+	out := matrix.New(t.M, t.N)
+	for i := 0; i < t.Mt; i++ {
+		for j := 0; j < t.Nt; j++ {
+			out.SubMatrix(i*t.B, j*t.B, t.TileRows(i), t.TileCols(j)).CopyFrom(t.Tile(i, j))
+		}
+	}
+	return out
+}
+
+// Clone deep-copies the tiled matrix.
+func (t *TiledMatrix) Clone() *TiledMatrix {
+	out := &TiledMatrix{Layout: t.Layout, tiles: make([]*matrix.Matrix, len(t.tiles))}
+	for i, tile := range t.tiles {
+		out.tiles[i] = tile.Clone()
+	}
+	return out
+}
+
+// rowOffsets returns the starting dense-row index of each tile row,
+// used when applying tile operations to dense right-hand sides.
+func (l Layout) rowOffset(i int) int { return i * l.B }

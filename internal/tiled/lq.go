@@ -1,0 +1,52 @@
+package tiled
+
+import (
+	"fmt"
+
+	"repro/internal/lapack"
+	"repro/internal/matrix"
+)
+
+// WideSolve solves the underdetermined system A·x = b (rows < cols, full
+// row rank) for the minimum-norm solution using the tiled machinery on the
+// transpose: factoring Aᵀ = Q·R gives A = Rᵀ·Qᵀ, so
+//
+//	x = Q · R⁻ᵀ · b,
+//
+// with the triangular solve on Rᵀ (forward substitution) and the Q
+// application replayed from the tiled factorization of Aᵀ. This closes the
+// shape gap of Factorization.Solve, which requires rows ≥ cols.
+func WideSolve(a *matrix.Matrix, b []float64, tile int, tree Tree) ([]float64, error) {
+	m, n := a.Rows, a.Cols
+	if m > n {
+		return nil, fmt.Errorf("tiled: WideSolve needs rows ≤ cols, have %dx%d", m, n)
+	}
+	if len(b) != m {
+		return nil, fmt.Errorf("tiled: WideSolve rhs length %d, want %d", len(b), m)
+	}
+	if tree == nil {
+		tree = FlatTS{}
+	}
+	f := Factor(a.T(), tile, tree) // Aᵀ = Q·R, R is n×m upper → A = Rᵀ·Qᵀ
+	r := f.R().SubMatrix(0, 0, m, m)
+
+	// Forward-substitute Rᵀ·y = b (Rᵀ is lower triangular).
+	y := make([]float64, m)
+	copy(y, b)
+	for i := 0; i < m; i++ {
+		for j := 0; j < i; j++ {
+			y[i] -= r.At(j, i) * y[j]
+		}
+		d := r.At(i, i)
+		if d == 0 {
+			return nil, lapack.ErrSingular
+		}
+		y[i] /= d
+	}
+
+	// x = Q·(y padded to length n).
+	c := matrix.New(n, 1)
+	c.SetCol(0, append(y, make([]float64, n-m)...))
+	f.ApplyQ(c)
+	return c.Col(0), nil
+}

@@ -1,0 +1,147 @@
+package tiled
+
+import "fmt"
+
+// Kind identifies one of the tiled-QR operation families. The short names
+// in the paper's Figures 2–3 are T, UT, E and UE; E/UE each come in a TS
+// (triangle-on-square) and TT (triangle-on-triangle) flavour.
+type Kind uint8
+
+const (
+	// KindGEQRT is triangulation (T): QR-factor tile (Row, K).
+	KindGEQRT Kind = iota
+	// KindUNMQR is update-for-triangulation (UT): apply the reflectors of
+	// GEQRT(Row, K) to tile (Row, Col).
+	KindUNMQR
+	// KindTSQRT is TS elimination (E): annihilate full tile (Row, K)
+	// against the R factor in tile (Top, K).
+	KindTSQRT
+	// KindTSMQR is update-for-TS-elimination (UE): apply TSQRT(Top, Row, K)
+	// reflectors to the tile pair (Top, Col), (Row, Col).
+	KindTSMQR
+	// KindTTQRT is TT elimination (E): annihilate the triangulated tile
+	// (Row, K) against the R factor in tile (Top, K).
+	KindTTQRT
+	// KindTTMQR is update-for-TT-elimination (UE) on the pair
+	// (Top, Col), (Row, Col).
+	KindTTMQR
+	numKinds
+)
+
+// String returns the LAPACK-style kernel name.
+func (k Kind) String() string {
+	switch k {
+	case KindGEQRT:
+		return "GEQRT"
+	case KindUNMQR:
+		return "UNMQR"
+	case KindTSQRT:
+		return "TSQRT"
+	case KindTSMQR:
+		return "TSMQR"
+	case KindTTQRT:
+		return "TTQRT"
+	case KindTTMQR:
+		return "TTMQR"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Step returns the paper's four-step classification of the kind:
+// "T" (triangulation), "UT", "E" (elimination), or "UE".
+func (k Kind) Step() string {
+	switch k {
+	case KindGEQRT:
+		return "T"
+	case KindUNMQR:
+		return "UT"
+	case KindTSQRT, KindTTQRT:
+		return "E"
+	case KindTSMQR, KindTTMQR:
+		return "UE"
+	default:
+		return "?"
+	}
+}
+
+// IsUpdate reports whether the kind is one of the two high-parallelism
+// update steps (UT/UE) as opposed to the factorization steps (T/E).
+func (k Kind) IsUpdate() bool {
+	return k == KindUNMQR || k == KindTSMQR || k == KindTTMQR
+}
+
+// Op is one tiled-QR operation. Field usage by kind:
+//
+//	GEQRT: K, Row          (Row == K for the flat tree's diagonal tile)
+//	UNMQR: K, Row, Col
+//	TSQRT: K, Top, Row
+//	TSMQR: K, Top, Row, Col
+//	TTQRT: K, Top, Row
+//	TTMQR: K, Top, Row, Col
+type Op struct {
+	Kind Kind
+	K    int // panel index
+	Top  int // paired (already triangulated) row tile for E/UE
+	Row  int // primary row tile
+	Col  int // updated column tile for UT/UE
+}
+
+// String formats the op compactly, e.g. "TSMQR(k=1, top=1, row=3, col=2)".
+func (o Op) String() string {
+	switch o.Kind {
+	case KindGEQRT:
+		return fmt.Sprintf("GEQRT(k=%d, row=%d)", o.K, o.Row)
+	case KindUNMQR:
+		return fmt.Sprintf("UNMQR(k=%d, row=%d, col=%d)", o.K, o.Row, o.Col)
+	case KindTSQRT, KindTTQRT:
+		return fmt.Sprintf("%s(k=%d, top=%d, row=%d)", o.Kind, o.K, o.Top, o.Row)
+	default:
+		return fmt.Sprintf("%s(k=%d, top=%d, row=%d, col=%d)", o.Kind, o.K, o.Top, o.Row, o.Col)
+	}
+}
+
+// Tiles returns the tile coordinates the op reads and writes (all tiled-QR
+// ops are read-modify-write on every tile they touch). This drives both
+// dependency construction and device-placement decisions.
+func (o Op) Tiles() [][2]int {
+	switch o.Kind {
+	case KindGEQRT:
+		return [][2]int{{o.Row, o.K}}
+	case KindUNMQR:
+		return [][2]int{{o.Row, o.Col}, {o.Row, o.K}}
+	case KindTSQRT, KindTTQRT:
+		return [][2]int{{o.Top, o.K}, {o.Row, o.K}}
+	case KindTSMQR, KindTTMQR:
+		return [][2]int{{o.Top, o.Col}, {o.Row, o.Col}, {o.Row, o.K}}
+	default:
+		panic("tiled: unknown op kind")
+	}
+}
+
+// writesTiles returns only the coordinates the op mutates (for UNMQR and the
+// UE kernels the panel tile (Row, K) is read-only reflector storage).
+func (o Op) writesTiles() [][2]int {
+	switch o.Kind {
+	case KindGEQRT:
+		return [][2]int{{o.Row, o.K}}
+	case KindUNMQR:
+		return [][2]int{{o.Row, o.Col}}
+	case KindTSQRT, KindTTQRT:
+		return [][2]int{{o.Top, o.K}, {o.Row, o.K}}
+	case KindTSMQR, KindTTMQR:
+		return [][2]int{{o.Top, o.Col}, {o.Row, o.Col}}
+	default:
+		panic("tiled: unknown op kind")
+	}
+}
+
+// readsTiles returns coordinates the op reads without mutating.
+func (o Op) readsTiles() [][2]int {
+	switch o.Kind {
+	case KindUNMQR, KindTSMQR, KindTTMQR:
+		return [][2]int{{o.Row, o.K}}
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,149 @@
+package tiled
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/matrix"
+	"repro/internal/workload"
+)
+
+// Property-based tests over randomized shapes, tile sizes and trees: the
+// invariants every tiled QR factorization must satisfy regardless of
+// configuration.
+
+func randomConfig(seed int64) (a *matrix.Matrix, b int, tree Tree) {
+	rng := rand.New(rand.NewSource(seed))
+	m := 1 + rng.Intn(40)
+	n := 1 + rng.Intn(40)
+	b = 1 + rng.Intn(12)
+	trees := []Tree{FlatTS{}, FlatTT{}, BinaryTT{}, GreedyTT{}}
+	tree = trees[rng.Intn(len(trees))]
+	return workload.Normal(seed, m, n), b, tree
+}
+
+func TestPropertyResidualAlwaysSmall(t *testing.T) {
+	f := func(seed int64) bool {
+		a, b, tree := randomConfig(seed)
+		fact := Factor(a, b, tree)
+		return fact.Residual(a) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyQOrthogonal(t *testing.T) {
+	f := func(seed int64) bool {
+		a, b, tree := randomConfig(seed)
+		fact := Factor(a, b, tree)
+		return matrix.OrthogonalityError(fact.FormQ(true)) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyRUpperTriangular(t *testing.T) {
+	f := func(seed int64) bool {
+		a, b, tree := randomConfig(seed)
+		fact := Factor(a, b, tree)
+		return matrix.StrictLowerMax(fact.R()) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyQTPreservesNorms(t *testing.T) {
+	// Orthogonal transforms preserve column norms: ‖Qᵀc‖ = ‖c‖.
+	f := func(seed int64) bool {
+		a, b, tree := randomConfig(seed)
+		fact := Factor(a, b, tree)
+		c := workload.Normal(seed+1, a.Rows, 2)
+		before := matrix.FrobeniusNorm(c)
+		fact.ApplyQT(c)
+		after := matrix.FrobeniusNorm(c)
+		diff := before - after
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= 1e-10*(1+before)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyDAGCountsIndependentOfTree(t *testing.T) {
+	// Every tree annihilates the same tiles: the E-op count per panel is
+	// always Mt−k−1, and factorization ops (T+E) never outnumber
+	// Mt−k + Mt−k−1 for TT trees.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mt := 1 + rng.Intn(12)
+		nt := 1 + rng.Intn(12)
+		l := Layout{M: mt * 4, N: nt * 4, B: 4, Mt: mt, Nt: nt}
+		for _, tree := range []Tree{FlatTS{}, FlatTT{}, BinaryTT{}, GreedyTT{}} {
+			counts := map[string]int{}
+			for _, op := range BuildOps(l, tree) {
+				if op.K == 0 {
+					counts[op.Kind.Step()]++
+				}
+			}
+			if counts["E"] != mt-1 {
+				return false
+			}
+			wantT := 1
+			if tree.TriangulatesAll() {
+				wantT = mt
+			}
+			if counts["T"] != wantT {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertySolveResidualOrthogonal(t *testing.T) {
+	// For tall systems, the least-squares residual is orthogonal to the
+	// column space: Aᵀ(b − Ax) ≈ 0.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		m := n + rng.Intn(20)
+		b := 1 + rng.Intn(8)
+		a := workload.Normal(seed, m, n)
+		fact := Factor(a, b, FlatTS{})
+		rhs := workload.Vector(seed+2, m)
+		x, err := fact.Solve(rhs)
+		if err != nil {
+			return false
+		}
+		res := make([]float64, m)
+		copy(res, rhs)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				res[i] -= a.At(i, j) * x[j]
+			}
+		}
+		for j := 0; j < n; j++ {
+			var s float64
+			for i := 0; i < m; i++ {
+				s += a.At(i, j) * res[i]
+			}
+			if s > 1e-8 || s < -1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,98 @@
+package tiled
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	for _, tree := range allTrees {
+		a := workload.Normal(81, 33, 27) // ragged edges included
+		f := Factor(a, 8, tree)
+		var buf bytes.Buffer
+		if err := f.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		g, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", tree.Name(), err)
+		}
+		// The loaded factorization behaves identically: residual, R, solve.
+		if !g.A.ToDense().Equal(f.A.ToDense()) {
+			t.Fatalf("%s: tile payload differs", tree.Name())
+		}
+		if res := g.Residual(a); res > tol {
+			t.Fatalf("%s: loaded residual %g", tree.Name(), res)
+		}
+		if !g.R().Equal(f.R()) {
+			t.Fatalf("%s: R differs", tree.Name())
+		}
+	}
+}
+
+func TestSaveLoadSolveEquivalence(t *testing.T) {
+	n := 24
+	a := workload.Normal(83, n, n)
+	f := Factor(a, 7, FlatTS{})
+	b := workload.Vector(84, n)
+	want, err := f.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := g.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-14 {
+			t.Fatalf("x[%d] differs after reload", i)
+		}
+	}
+}
+
+func TestLoadRejectsCorruptStreams(t *testing.T) {
+	f := Factor(workload.Normal(85, 16, 16), 4, FlatTS{})
+	var buf bytes.Buffer
+	if err := f.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	cases := map[string][]byte{
+		"empty":      {},
+		"badMagic":   append([]byte("NOPE"), full[4:]...),
+		"truncHdr":   full[:10],
+		"truncTiles": full[:len(full)/2],
+		"badVersion": append(append([]byte("HQRF"), 0xFF, 0, 0, 0), full[8:]...),
+	}
+	for name, data := range cases {
+		if _, err := Load(bytes.NewReader(data)); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCorrupt", name, err)
+		}
+	}
+}
+
+func TestLoadRejectsImplausibleHeader(t *testing.T) {
+	// Header claiming absurd dimensions must be rejected before allocation.
+	var buf bytes.Buffer
+	buf.WriteString("HQRF")
+	for _, v := range []uint32{1, 1 << 30, 4, 4, 7} {
+		buf.Write([]byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)})
+	}
+	buf.WriteString("flat-ts")
+	if _, err := Load(&buf); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v", err)
+	}
+}

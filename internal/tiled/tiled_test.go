@@ -1,0 +1,828 @@
+package tiled
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/lapack"
+	"repro/internal/matrix"
+	"repro/internal/workload"
+)
+
+const tol = 1e-10
+
+var allTrees = []Tree{FlatTS{}, FlatTT{}, BinaryTT{}, GreedyTT{}}
+
+func TestLayoutTileSizes(t *testing.T) {
+	l := NewLayout(10, 7, 4) // Mt=3 (4,4,2), Nt=2 (4,3)
+	if l.Mt != 3 || l.Nt != 2 {
+		t.Fatalf("Mt=%d Nt=%d", l.Mt, l.Nt)
+	}
+	if l.TileRows(0) != 4 || l.TileRows(2) != 2 {
+		t.Fatal("row sizes wrong")
+	}
+	if l.TileCols(0) != 4 || l.TileCols(1) != 3 {
+		t.Fatal("col sizes wrong")
+	}
+	if l.Kt() != 2 {
+		t.Fatalf("Kt = %d", l.Kt())
+	}
+}
+
+func TestLayoutExactMultiple(t *testing.T) {
+	l := NewLayout(8, 8, 4)
+	if l.Mt != 2 || l.TileRows(1) != 4 {
+		t.Fatal("exact multiple layout wrong")
+	}
+}
+
+func TestLayoutInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewLayout(0, 4, 2)
+}
+
+func TestDenseRoundTrip(t *testing.T) {
+	for _, dims := range [][3]int{{8, 8, 4}, {10, 7, 4}, {5, 5, 8}, {9, 3, 2}, {1, 1, 16}} {
+		a := workload.Normal(int64(dims[0]), dims[0], dims[1])
+		tm := FromDense(a, dims[2])
+		if d := tm.ToDense().MaxAbsDiff(a); d != 0 {
+			t.Fatalf("%v: round trip diff %g", dims, d)
+		}
+	}
+}
+
+func TestTileAliasing(t *testing.T) {
+	a := workload.Normal(1, 6, 6)
+	tm := FromDense(a, 3)
+	tm.Tile(1, 1).Set(0, 0, 42)
+	if tm.ToDense().At(3, 3) != 42 {
+		t.Fatal("Tile must alias storage")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	tm := FromDense(workload.Normal(2, 4, 4), 2)
+	c := tm.Clone()
+	c.Tile(0, 0).Set(0, 0, 99)
+	if tm.Tile(0, 0).At(0, 0) == 99 {
+		t.Fatal("Clone must not alias")
+	}
+}
+
+func TestTreeStepsValid(t *testing.T) {
+	for _, tree := range allTrees {
+		for mt := 1; mt <= 9; mt++ {
+			for k := 0; k < mt; k++ {
+				steps := tree.Steps(k, mt)
+				if err := ValidateSteps(k, mt, steps); err != nil {
+					t.Fatalf("%s mt=%d k=%d: %v", tree.Name(), mt, k, err)
+				}
+			}
+		}
+	}
+}
+
+func TestValidateStepsRejectsBadOrders(t *testing.T) {
+	cases := []struct {
+		name  string
+		steps []ElimStep
+	}{
+		{"missingRow", []ElimStep{{Top: 0, Row: 1}}},
+		{"reElim", []ElimStep{{Top: 0, Row: 1}, {Top: 0, Row: 1}, {Top: 0, Row: 2}}},
+		{"topAfterElim", []ElimStep{{Top: 0, Row: 1}, {Top: 1, Row: 2}}},
+		{"topNotBelow", []ElimStep{{Top: 1, Row: 1}, {Top: 0, Row: 2}}},
+		{"outOfRange", []ElimStep{{Top: 0, Row: 3}}},
+	}
+	for _, tc := range cases {
+		if err := ValidateSteps(0, 3, tc.steps); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestBinaryTreeCriticalPathShorter(t *testing.T) {
+	// For a tall-skinny matrix the binary tree's log-depth eliminations must
+	// beat the flat tree's linear chain.
+	l := NewLayout(64*16, 16, 16) // 64 row tiles, 1 column
+	flat := BuildDAG(l, FlatTS{}).CriticalPathLen()
+	bin := BuildDAG(l, BinaryTT{}).CriticalPathLen()
+	if bin >= flat {
+		t.Fatalf("binary critical path %d not shorter than flat %d", bin, flat)
+	}
+}
+
+func TestDAGValidate(t *testing.T) {
+	for _, tree := range allTrees {
+		d := BuildDAG(NewLayout(20, 20, 4), tree)
+		if err := d.Validate(); err != nil {
+			t.Fatalf("%s: %v", tree.Name(), err)
+		}
+	}
+}
+
+func TestDAGStepCountsFlatTreeMatchTable1(t *testing.T) {
+	// Paper Table I: for the remaining M×N tile problem at panel k, the
+	// flat tree performs M triangulation-step tile visits (1 GEQRT + M−1
+	// eliminated tiles... the paper counts M for T and M for E) and
+	// M×(N−1) visits for each update step. Our op counts per panel are:
+	//   GEQRT: 1, TSQRT: M−1, UNMQR: N−1, TSMQR: (M−1)(N−1)
+	// Tile visits: T touches 1 tile, E touches 2 tiles per op but
+	// annihilates M−1; UT touches N−1 tiles in row k; UE touches the
+	// remaining (M−1)(N−1) tiles. The Table I totals count every tile of
+	// the remaining panel column under T∪E (M tiles) and every remaining
+	// off-panel tile under UT∪UE (M×(N−1)).
+	l := NewLayout(6*4, 5*4, 4)
+	d := BuildDAG(l, FlatTS{})
+	for k := 0; k < l.Kt(); k++ {
+		m := l.Mt - k
+		n := l.Nt - k
+		counts := d.StepCounts(k)
+		if counts["T"] != 1 {
+			t.Fatalf("k=%d: T ops = %d", k, counts["T"])
+		}
+		if counts["E"] != m-1 {
+			t.Fatalf("k=%d: E ops = %d, want %d", k, counts["E"], m-1)
+		}
+		if counts["UT"] != n-1 {
+			t.Fatalf("k=%d: UT ops = %d, want %d", k, counts["UT"], n-1)
+		}
+		if counts["UE"] != (m-1)*(n-1) {
+			t.Fatalf("k=%d: UE ops = %d, want %d", k, counts["UE"], (m-1)*(n-1))
+		}
+		// Tile-visit accounting reproduces Table I.
+		row := Table1Row(m, n)
+		tileVisitsTE := counts["T"] + counts["E"]*2 - (m - 1) // each E revisits the diag tile
+		if tileVisitsTE != row["T"] && m > 0 {
+			// T∪E panel-column visits: 1 + (m−1) = m distinct tiles.
+			t.Fatalf("k=%d: panel tiles %d, Table I %d", k, tileVisitsTE, row["T"])
+		}
+		if got := counts["UT"] + counts["UE"]; got != row["UT"]+row["UE"]-m*(n-1) {
+			// UT+UE ops touch each off-panel tile once per panel sweep:
+			// (N−1) + (M−1)(N−1) = M(N−1) — exactly Table I's per-step count.
+			if got != m*(n-1) {
+				t.Fatalf("k=%d: update ops %d, want %d", k, got, m*(n-1))
+			}
+		}
+	}
+}
+
+func TestBuildOpsSequentialOrderIsExecutable(t *testing.T) {
+	// Dependencies must always point backwards in the generated order.
+	for _, tree := range allTrees {
+		d := BuildDAG(NewLayout(30, 30, 7), tree)
+		for i, deps := range d.Deps {
+			for _, p := range deps {
+				if p >= i {
+					t.Fatalf("%s: op %d depends on op %d", tree.Name(), i, p)
+				}
+			}
+		}
+	}
+}
+
+func checkFactorization(t *testing.T, a *matrix.Matrix, b int, tree Tree) {
+	t.Helper()
+	f := Factor(a, b, tree)
+	if res := f.Residual(a); res > tol {
+		t.Fatalf("%s %dx%d b=%d: residual %g", tree.Name(), a.Rows, a.Cols, b, res)
+	}
+	q := f.FormQ(true)
+	if e := matrix.OrthogonalityError(q); e > tol {
+		t.Fatalf("%s %dx%d b=%d: orthogonality %g", tree.Name(), a.Rows, a.Cols, b, e)
+	}
+	r := f.R()
+	if e := matrix.StrictLowerMax(r); e > tol {
+		t.Fatalf("%s %dx%d b=%d: R not triangular %g", tree.Name(), a.Rows, a.Cols, b, e)
+	}
+}
+
+func TestFactorSquareAllTrees(t *testing.T) {
+	a := workload.Uniform(10, 24, 24)
+	for _, tree := range allTrees {
+		checkFactorization(t, a, 8, tree)
+	}
+}
+
+func TestFactorTallAllTrees(t *testing.T) {
+	a := workload.Uniform(11, 40, 12)
+	for _, tree := range allTrees {
+		checkFactorization(t, a, 8, tree)
+	}
+}
+
+func TestFactorWideAllTrees(t *testing.T) {
+	a := workload.Uniform(12, 12, 40)
+	for _, tree := range allTrees {
+		checkFactorization(t, a, 8, tree)
+	}
+}
+
+func TestFactorRaggedEdges(t *testing.T) {
+	// Dimensions that are not multiples of the tile size stress the
+	// rectangular-tile paths of every kernel.
+	for _, dims := range [][3]int{{25, 25, 8}, {26, 19, 8}, {19, 26, 8}, {17, 17, 16}, {33, 9, 5}} {
+		a := workload.Uniform(int64(dims[0]*dims[1]), dims[0], dims[1])
+		for _, tree := range allTrees {
+			checkFactorization(t, a, dims[2], tree)
+		}
+	}
+}
+
+func TestFactorDegenerateShapes(t *testing.T) {
+	for _, tree := range allTrees {
+		checkFactorization(t, workload.Uniform(13, 1, 1), 4, tree)
+		checkFactorization(t, workload.Uniform(14, 1, 9), 4, tree)
+		checkFactorization(t, workload.Uniform(15, 9, 1), 4, tree)
+		checkFactorization(t, workload.Uniform(16, 6, 6), 1, tree) // 1×1 tiles
+		checkFactorization(t, workload.Uniform(17, 6, 6), 64, tree)
+	}
+}
+
+func TestFactorPaperTileSize(t *testing.T) {
+	// The paper's configuration: 16×16 tiles.
+	checkFactorization(t, workload.Uniform(18, 64, 64), 16, FlatTS{})
+}
+
+func TestFactorMatchesReferenceR(t *testing.T) {
+	// R is unique up to row signs for a full-rank matrix.
+	a := workload.Normal(20, 20, 20)
+	f := Factor(a, 6, FlatTS{})
+	rt := f.R()
+	ref := a.Clone()
+	lapack.QR2(ref)
+	for i := 0; i < 20; i++ {
+		for j := i; j < 20; j++ {
+			if math.Abs(math.Abs(rt.At(i, j))-math.Abs(ref.At(i, j))) > tol {
+				t.Fatalf("(%d,%d): tiled %v vs reference %v", i, j, rt.At(i, j), ref.At(i, j))
+			}
+		}
+	}
+}
+
+func TestTreesAgreeOnR(t *testing.T) {
+	a := workload.Normal(21, 30, 18)
+	var rs []*matrix.Matrix
+	for _, tree := range allTrees {
+		rs = append(rs, Factor(a, 5, tree).R())
+	}
+	for i := 1; i < len(rs); i++ {
+		for r := 0; r < rs[0].Rows; r++ {
+			for c := r; c < rs[0].Cols; c++ {
+				if math.Abs(math.Abs(rs[0].At(r, c))-math.Abs(rs[i].At(r, c))) > tol {
+					t.Fatalf("tree %s: |R| differs at (%d,%d)", allTrees[i].Name(), r, c)
+				}
+			}
+		}
+	}
+}
+
+func TestApplyQTApplyQInverse(t *testing.T) {
+	a := workload.Normal(22, 22, 22)
+	f := Factor(a, 6, FlatTS{})
+	c := workload.Normal(23, 22, 4)
+	got := c.Clone()
+	f.ApplyQT(got)
+	f.ApplyQ(got)
+	if d := got.MaxAbsDiff(c); d > tol {
+		t.Fatalf("Q·Qᵀ·C != C: %g", d)
+	}
+}
+
+func TestApplyQTTransformsAtoR(t *testing.T) {
+	a := workload.Normal(24, 18, 12)
+	f := Factor(a, 5, BinaryTT{})
+	c := a.Clone()
+	f.ApplyQT(c) // Qᵀ·A must equal R
+	if d := c.MaxAbsDiff(f.R()); d > tol {
+		t.Fatalf("QᵀA != R: %g", d)
+	}
+}
+
+func TestFormQThin(t *testing.T) {
+	a := workload.Normal(25, 30, 10)
+	f := Factor(a, 8, FlatTS{})
+	q := f.FormQ(false)
+	if q.Rows != 30 || q.Cols != 10 {
+		t.Fatalf("thin Q is %dx%d", q.Rows, q.Cols)
+	}
+	if e := matrix.OrthogonalityError(q); e > tol {
+		t.Fatalf("thin Q orthogonality %g", e)
+	}
+	r := f.R().SubMatrix(0, 0, 10, 10)
+	qr := matrix.Mul(q, r)
+	if d := qr.MaxAbsDiff(a); d > tol {
+		t.Fatalf("thin reconstruction %g", d)
+	}
+}
+
+func TestSolveSquare(t *testing.T) {
+	n := 24
+	a := workload.Normal(26, n, n)
+	xWant := workload.Vector(27, n)
+	xm := matrix.New(n, 1)
+	xm.SetCol(0, xWant)
+	b := matrix.Mul(a, xm).Col(0)
+	f := Factor(a, 7, FlatTS{})
+	x, err := f.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xWant {
+		if math.Abs(x[i]-xWant[i]) > 1e-8 {
+			t.Fatalf("x[%d] = %v want %v", i, x[i], xWant[i])
+		}
+	}
+}
+
+func TestSolveLeastSquares(t *testing.T) {
+	m, n := 40, 8
+	a := workload.Normal(28, m, n)
+	b := workload.Vector(29, m)
+	f := Factor(a, 8, GreedyTT{})
+	x, err := f.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := lapack.SolveQR(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-8 {
+			t.Fatalf("x[%d] = %v want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestSolveErrors(t *testing.T) {
+	f := Factor(workload.Normal(30, 4, 8), 4, FlatTS{})
+	if _, err := f.Solve(make([]float64, 4)); err == nil {
+		t.Fatal("wide solve must fail")
+	}
+	f2 := Factor(workload.Normal(31, 8, 4), 4, FlatTS{})
+	if _, err := f2.Solve(make([]float64, 5)); err == nil {
+		t.Fatal("bad rhs length must fail")
+	}
+}
+
+// TestOutOfOrderExecutionRespectingDAG simulates a parallel executor: it
+// applies ops in a random order that respects DAG dependencies and verifies
+// the result is identical to sequential execution. This is the correctness
+// contract the runtime and simulator rely on.
+func TestOutOfOrderExecutionRespectingDAG(t *testing.T) {
+	a := workload.Normal(32, 28, 28)
+	for _, tree := range allTrees {
+		seq := Factor(a, 6, tree)
+
+		d := BuildDAG(NewLayout(28, 28, 6), tree)
+		f := NewFactorization(FromDense(a, 6), tree)
+		rng := rand.New(rand.NewSource(99))
+		remaining := make([]int, len(d.Ops))
+		for i := range d.Deps {
+			remaining[i] = len(d.Deps[i])
+		}
+		var ready []int
+		for i, r := range remaining {
+			if r == 0 {
+				ready = append(ready, i)
+			}
+		}
+		done := 0
+		for len(ready) > 0 {
+			pick := rng.Intn(len(ready))
+			id := ready[pick]
+			ready[pick] = ready[len(ready)-1]
+			ready = ready[:len(ready)-1]
+			f.ApplyOp(d.Ops[id])
+			done++
+			for _, s := range d.Succs[id] {
+				remaining[s]--
+				if remaining[s] == 0 {
+					ready = append(ready, s)
+				}
+			}
+		}
+		if done != len(d.Ops) {
+			t.Fatalf("%s: executed %d of %d ops (cycle?)", tree.Name(), done, len(d.Ops))
+		}
+		if diff := f.A.ToDense().MaxAbsDiff(seq.A.ToDense()); diff > tol {
+			t.Fatalf("%s: out-of-order result differs by %g", tree.Name(), diff)
+		}
+	}
+}
+
+func TestJournalMatchesDAGOps(t *testing.T) {
+	l := NewLayout(20, 16, 4)
+	for _, tree := range allTrees {
+		f := NewFactorization(NewTiled(l), tree)
+		d := BuildDAG(l, tree)
+		if len(f.Journal) != len(d.Ops) {
+			t.Fatalf("%s: journal %d vs dag %d", tree.Name(), len(f.Journal), len(d.Ops))
+		}
+		for i := range d.Ops {
+			if f.Journal[i] != d.Ops[i] {
+				t.Fatalf("%s: op %d differs: %v vs %v", tree.Name(), i, f.Journal[i], d.Ops[i])
+			}
+		}
+	}
+}
+
+func TestResidualDetectsCorruption(t *testing.T) {
+	a := workload.Normal(33, 16, 16)
+	f := Factor(a, 4, FlatTS{})
+	f.A.Tile(0, 1).Set(0, 0, f.A.Tile(0, 1).At(0, 0)+1)
+	if res := f.Residual(a); res < 1e-3 {
+		t.Fatalf("residual %g failed to detect corruption", res)
+	}
+}
+
+func TestWideSolveMinNorm(t *testing.T) {
+	m, n := 10, 30
+	a := workload.Normal(41, m, n)
+	xAny := workload.Vector(42, n)
+	b := make([]float64, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			b[i] += a.At(i, j) * xAny[j]
+		}
+	}
+	x, err := WideSolve(a, b, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Solves the system.
+	for i := 0; i < m; i++ {
+		var s float64
+		for j := 0; j < n; j++ {
+			s += a.At(i, j) * x[j]
+		}
+		if math.Abs(s-b[i]) > 1e-9 {
+			t.Fatalf("row %d residual %g", i, s-b[i])
+		}
+	}
+	// Minimum norm: matches the dense LQ reference.
+	want, err := lapack.SolveMinNorm(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range x {
+		if math.Abs(x[j]-want[j]) > 1e-8 {
+			t.Fatalf("x[%d] = %v, dense reference %v", j, x[j], want[j])
+		}
+	}
+}
+
+func TestWideSolveSquareMatchesSolve(t *testing.T) {
+	n := 20
+	a := workload.Normal(43, n, n)
+	b := workload.Vector(44, n)
+	x1, err := WideSolve(a, b, 6, BinaryTT{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := Factor(a, 6, FlatTS{})
+	x2, err := f.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x1 {
+		if math.Abs(x1[i]-x2[i]) > 1e-8 {
+			t.Fatalf("x[%d]: wide %v vs tall %v", i, x1[i], x2[i])
+		}
+	}
+}
+
+func TestWideSolveErrors(t *testing.T) {
+	a := workload.Normal(45, 10, 5) // tall: wrong shape
+	if _, err := WideSolve(a, make([]float64, 10), 4, nil); err == nil {
+		t.Fatal("tall input must error")
+	}
+	w := workload.Normal(46, 4, 8)
+	if _, err := WideSolve(w, make([]float64, 3), 4, nil); err == nil {
+		t.Fatal("bad rhs length must error")
+	}
+	z := matrix.New(3, 6) // rank deficient
+	if _, err := WideSolve(z, make([]float64, 3), 2, nil); err == nil {
+		t.Fatal("singular system must error")
+	}
+}
+
+func TestFlopCountScalesAsCube(t *testing.T) {
+	small := FlopCount(NewLayout(64, 64, 16), FlatTS{})["total"]
+	big := FlopCount(NewLayout(128, 128, 16), FlatTS{})["total"]
+	ratio := big / small
+	if ratio < 6 || ratio > 10 {
+		t.Fatalf("doubling n scaled flops by %.2f, want ~8", ratio)
+	}
+}
+
+func TestFlopCountVsLAPACK(t *testing.T) {
+	// Tiled QR does more arithmetic than LAPACK's (4/3)n³ but bounded-so:
+	// with the flat tree the total sits between 1× and 2× of 2n³·(2/3).
+	n := 256.0
+	total := FlopCount(NewLayout(256, 256, 16), FlatTS{})["total"]
+	lapackFlops := 4.0 / 3 * n * n * n
+	if total < lapackFlops {
+		t.Fatalf("tiled flops %.3g below LAPACK %.3g", total, lapackFlops)
+	}
+	if total > 2.5*lapackFlops {
+		t.Fatalf("tiled flops %.3g implausibly above LAPACK %.3g", total, lapackFlops)
+	}
+	// Every step class contributes.
+	fc := FlopCount(NewLayout(256, 256, 16), FlatTS{})
+	for _, step := range []string{"T", "E", "UT", "UE"} {
+		if fc[step] <= 0 {
+			t.Fatalf("step %s has no flops", step)
+		}
+	}
+}
+
+func TestFlopCountTreesComparable(t *testing.T) {
+	// All trees factor the same matrix; totals agree within 40% (TT trees
+	// pay extra GEQRTs but cheaper eliminations).
+	l := NewLayout(192, 192, 16)
+	base := FlopCount(l, FlatTS{})["total"]
+	for _, tree := range allTrees {
+		total := FlopCount(l, tree)["total"]
+		if total < base*0.6 || total > base*1.4 {
+			t.Fatalf("%s: %.3g vs flat %.3g", tree.Name(), total, base)
+		}
+	}
+}
+
+func TestSolveMatrixMultipleRHS(t *testing.T) {
+	n, rhs := 24, 5
+	a := workload.Normal(51, n, n)
+	xWant := workload.Normal(52, n, rhs)
+	b := matrix.Mul(a, xWant)
+	f := Factor(a, 7, FlatTS{})
+	x, err := f.SolveMatrix(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := x.MaxAbsDiff(xWant); d > 1e-8 {
+		t.Fatalf("multi-RHS solve diff %g", d)
+	}
+	// Column-by-column agreement with the vector path.
+	x0, err := f.Solve(b.Col(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x0 {
+		if math.Abs(x0[i]-x.At(i, 0)) > 1e-10 {
+			t.Fatalf("column 0 differs from vector solve at %d", i)
+		}
+	}
+}
+
+func TestSolveMatrixErrors(t *testing.T) {
+	f := Factor(workload.Normal(53, 8, 4), 4, FlatTS{})
+	if _, err := f.SolveMatrix(matrix.New(5, 2)); err == nil {
+		t.Fatal("bad rhs rows must error")
+	}
+	wide := Factor(workload.Normal(54, 4, 8), 4, FlatTS{})
+	if _, err := wide.SolveMatrix(matrix.New(4, 2)); err == nil {
+		t.Fatal("wide solve must error")
+	}
+	sing := Factor(matrix.New(8, 8), 4, FlatTS{}) // zero matrix
+	if _, err := sing.SolveMatrix(matrix.New(8, 1)); err == nil {
+		t.Fatal("singular must error")
+	}
+}
+
+func TestKindStringsAndSteps(t *testing.T) {
+	cases := []struct {
+		k    Kind
+		name string
+		step string
+		upd  bool
+	}{
+		{KindGEQRT, "GEQRT", "T", false},
+		{KindUNMQR, "UNMQR", "UT", true},
+		{KindTSQRT, "TSQRT", "E", false},
+		{KindTSMQR, "TSMQR", "UE", true},
+		{KindTTQRT, "TTQRT", "E", false},
+		{KindTTMQR, "TTMQR", "UE", true},
+	}
+	for _, c := range cases {
+		if c.k.String() != c.name || c.k.Step() != c.step || c.k.IsUpdate() != c.upd {
+			t.Fatalf("%v: got %s/%s/%v", c.k, c.k.String(), c.k.Step(), c.k.IsUpdate())
+		}
+	}
+	if Kind(99).String() == "" || Kind(99).Step() != "?" {
+		t.Fatal("unknown kind must still stringify")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	cases := map[string]Op{
+		"GEQRT(k=1, row=2)":               {Kind: KindGEQRT, K: 1, Row: 2},
+		"UNMQR(k=0, row=0, col=3)":        {Kind: KindUNMQR, Col: 3},
+		"TSQRT(k=1, top=1, row=4)":        {Kind: KindTSQRT, K: 1, Top: 1, Row: 4},
+		"TTMQR(k=0, top=0, row=2, col=1)": {Kind: KindTTMQR, Row: 2, Col: 1},
+	}
+	for want, op := range cases {
+		if got := op.String(); got != want {
+			t.Fatalf("String = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestOpTiles(t *testing.T) {
+	op := Op{Kind: KindTSMQR, K: 0, Top: 0, Row: 2, Col: 3}
+	tiles := op.Tiles()
+	if len(tiles) != 3 {
+		t.Fatalf("TSMQR touches %d tiles", len(tiles))
+	}
+	if tiles[0] != [2]int{0, 3} || tiles[1] != [2]int{2, 3} || tiles[2] != [2]int{2, 0} {
+		t.Fatalf("tiles = %v", tiles)
+	}
+	if got := (Op{Kind: KindGEQRT, K: 1, Row: 1}).Tiles(); len(got) != 1 || got[0] != [2]int{1, 1} {
+		t.Fatalf("GEQRT tiles = %v", got)
+	}
+}
+
+func TestTreeByNameInPackage(t *testing.T) {
+	for _, name := range []string{"", "flat-ts", "flat-tt", "binary-tt", "greedy-tt"} {
+		if _, err := TreeByName(name); err != nil {
+			t.Fatalf("%q: %v", name, err)
+		}
+	}
+	if _, err := TreeByName("nope"); err == nil {
+		t.Fatal("unknown name must error")
+	}
+}
+
+func TestApplyFactorOpToDirect(t *testing.T) {
+	a := workload.Normal(61, 12, 12)
+	f := Factor(a, 4, FlatTS{})
+	c := a.Clone()
+	for _, op := range f.Journal {
+		f.ApplyFactorOpTo(op, c, true)
+	}
+	if d := c.MaxAbsDiff(f.R()); d > tol {
+		t.Fatalf("manual replay: QᵀA != R (%g)", d)
+	}
+}
+
+func TestUpdaterMatchesBatchSolve(t *testing.T) {
+	// Stream a tall system in blocks; the final solution must match the
+	// batch least-squares solve over the full stack.
+	m, n := 90, 12
+	a := workload.Normal(71, m, n)
+	b := workload.Vector(72, m)
+
+	u := NewUpdater(n, 5)
+	for lo := 0; lo < m; lo += 17 { // deliberately not tile-aligned
+		hi := lo + 17
+		if hi > m {
+			hi = m
+		}
+		if err := u.Append(a.SubMatrix(lo, 0, hi-lo, n), b[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if u.Rows() != m {
+		t.Fatalf("absorbed %d rows", u.Rows())
+	}
+	got, err := u.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := lapack.SolveQR(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-8 {
+			t.Fatalf("x[%d] = %v, batch %v", i, got[i], want[i])
+		}
+	}
+	// Residual norm matches ‖b − Ax‖ computed directly.
+	res := 0.0
+	for i := 0; i < m; i++ {
+		s := b[i]
+		for j := 0; j < n; j++ {
+			s -= a.At(i, j) * got[j]
+		}
+		res += s * s
+	}
+	if math.Abs(u.ResidualNorm()-math.Sqrt(res)) > 1e-8 {
+		t.Fatalf("residual %v, direct %v", u.ResidualNorm(), math.Sqrt(res))
+	}
+}
+
+func TestUpdaterRMatchesBatchR(t *testing.T) {
+	m, n := 40, 10
+	a := workload.Normal(73, m, n)
+	u := NewUpdater(n, 4)
+	if err := u.Append(a, make([]float64, m)); err != nil {
+		t.Fatal(err)
+	}
+	ref := a.Clone()
+	lapack.QR2(ref)
+	r := u.R()
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			if math.Abs(math.Abs(r.At(i, j))-math.Abs(ref.At(i, j))) > 1e-9 {
+				t.Fatalf("(%d,%d): |R| %v vs batch %v", i, j, r.At(i, j), ref.At(i, j))
+			}
+		}
+	}
+}
+
+func TestUpdaterSolutionTracksNewData(t *testing.T) {
+	// With consistent data the solution converges to the generator even as
+	// blocks arrive one row at a time.
+	n := 6
+	xTrue := workload.Vector(74, n)
+	u := NewUpdater(n, 3)
+	rng := rand.New(rand.NewSource(75))
+	for i := 0; i < 50; i++ {
+		row := matrix.New(1, n)
+		var y float64
+		for j := 0; j < n; j++ {
+			v := rng.NormFloat64()
+			row.Set(0, j, v)
+			y += v * xTrue[j]
+		}
+		if err := u.Append(row, []float64{y}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	x, err := u.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if math.Abs(x[i]-xTrue[i]) > 1e-8 {
+			t.Fatalf("x[%d] = %v, want %v", i, x[i], xTrue[i])
+		}
+	}
+	if u.ResidualNorm() > 1e-8 {
+		t.Fatalf("consistent data must have ~zero residual, got %v", u.ResidualNorm())
+	}
+}
+
+func TestUpdaterErrors(t *testing.T) {
+	u := NewUpdater(4, 2)
+	if _, err := u.Solve(); err == nil {
+		t.Fatal("premature solve must error")
+	}
+	if err := u.Append(matrix.New(2, 3), make([]float64, 2)); err == nil {
+		t.Fatal("wrong width must error")
+	}
+	if err := u.Append(matrix.New(2, 4), make([]float64, 3)); err == nil {
+		t.Fatal("wrong rhs length must error")
+	}
+}
+
+func TestFactorExtremeScales(t *testing.T) {
+	// The Householder machinery is scale-safe (hypot + scaled norms), so
+	// matrices near the float64 range limits factor with full relative
+	// accuracy — no overflow to Inf, no underflow to zero R.
+	base := workload.Normal(91, 20, 20)
+	for _, scale := range []float64{1e150, 1e-150, 1e300, 1e-300} {
+		a := base.Clone()
+		a.Scale(scale)
+		f := Factor(a, 6, FlatTS{})
+		if res := f.Residual(a); res > tol || math.IsNaN(res) {
+			t.Fatalf("scale %g: residual %v", scale, res)
+		}
+		r := f.R()
+		if matrix.MaxAbs(r) == 0 || math.IsInf(matrix.MaxAbs(r), 0) {
+			t.Fatalf("scale %g: R degenerate (max %v)", scale, matrix.MaxAbs(r))
+		}
+	}
+}
+
+func TestFactorNaNPropagatesWithoutHanging(t *testing.T) {
+	// Garbage in, garbage out — but never a hang or panic, and the quality
+	// check reports the damage.
+	a := workload.Normal(93, 16, 16)
+	a.Set(3, 7, math.NaN())
+	f := Factor(a, 4, FlatTS{})
+	res := f.Residual(a)
+	if !math.IsNaN(res) && res < 1 {
+		t.Fatalf("NaN input produced a clean residual %v", res)
+	}
+}
+
+func TestConditionEstimate(t *testing.T) {
+	good := workload.Normal(97, 24, 24)
+	f := Factor(good, 8, FlatTS{})
+	kGood := f.ConditionEstimate(good)
+	if kGood < 1 || kGood > 1e6 {
+		t.Fatalf("random matrix κ estimate %g implausible", kGood)
+	}
+	bad := workload.Graded(98, 24, 24, 8)
+	fb := Factor(bad, 8, FlatTS{})
+	if kBad := fb.ConditionEstimate(bad); kBad < 1e6 {
+		t.Fatalf("graded matrix κ estimate %g too small", kBad)
+	}
+}

@@ -1,0 +1,174 @@
+package tiled
+
+import "fmt"
+
+// ElimStep is one elimination in a panel: annihilate row-tile Row against
+// the R factor held in row-tile Top. TT selects the triangle-on-triangle
+// kernel (Row must itself have been triangulated first); otherwise the
+// triangle-on-square kernel consumes the full tile.
+type ElimStep struct {
+	Top int
+	Row int
+	TT  bool
+}
+
+// Tree defines an elimination order for the sub-diagonal tiles of a panel.
+// The paper's algorithm (Section II-B, Fig. 2) uses the flat TS tree, where
+// every tile in the column is folded into the diagonal tile one after
+// another. Tree-shaped orders (Bouwmeester et al., the paper's reference
+// [6]) trade a shorter critical path for the extra GEQRTs TT kernels need.
+type Tree interface {
+	// Name identifies the tree for reporting.
+	Name() string
+	// Steps returns the ordered elimination steps for panel k of a matrix
+	// with mt row tiles. Steps must reference rows in (k, mt) only and the
+	// listed order must be a valid sequential schedule.
+	Steps(k, mt int) []ElimStep
+	// TriangulatesAll reports whether the tree requires every row tile of
+	// the panel to be GEQRT-triangulated before elimination (TT trees).
+	TriangulatesAll() bool
+}
+
+// FlatTS is the paper's elimination order: TSQRT(k, i) for i = k+1 … mt−1,
+// each step folding a full tile directly into the diagonal tile. Minimal
+// total work, sequential critical path within the panel.
+type FlatTS struct{}
+
+// Name implements Tree.
+func (FlatTS) Name() string { return "flat-ts" }
+
+// TriangulatesAll implements Tree.
+func (FlatTS) TriangulatesAll() bool { return false }
+
+// Steps implements Tree.
+func (FlatTS) Steps(k, mt int) []ElimStep {
+	steps := make([]ElimStep, 0, mt-k-1)
+	for i := k + 1; i < mt; i++ {
+		steps = append(steps, ElimStep{Top: k, Row: i})
+	}
+	return steps
+}
+
+// FlatTT triangulates every tile of the panel and then folds the resulting
+// triangles into the diagonal tile sequentially with TT kernels. Same
+// dependency chain length as FlatTS but the expensive GEQRTs are all
+// independent — the shape used when eliminations are cheap but panel
+// triangulations dominate.
+type FlatTT struct{}
+
+// Name implements Tree.
+func (FlatTT) Name() string { return "flat-tt" }
+
+// TriangulatesAll implements Tree.
+func (FlatTT) TriangulatesAll() bool { return true }
+
+// Steps implements Tree.
+func (FlatTT) Steps(k, mt int) []ElimStep {
+	steps := make([]ElimStep, 0, mt-k-1)
+	for i := k + 1; i < mt; i++ {
+		steps = append(steps, ElimStep{Top: k, Row: i, TT: true})
+	}
+	return steps
+}
+
+// BinaryTT is the communication-avoiding binary reduction tree (the paper's
+// references [12], [13]): all panel tiles are triangulated independently,
+// then pairs are merged at doubling distances, giving an O(log mt) critical
+// path per panel.
+type BinaryTT struct{}
+
+// Name implements Tree.
+func (BinaryTT) Name() string { return "binary-tt" }
+
+// TriangulatesAll implements Tree.
+func (BinaryTT) TriangulatesAll() bool { return true }
+
+// Steps implements Tree.
+func (BinaryTT) Steps(k, mt int) []ElimStep {
+	var steps []ElimStep
+	for d := 1; k+d < mt; d *= 2 {
+		for i := k; i+d < mt; i += 2 * d {
+			steps = append(steps, ElimStep{Top: i, Row: i + d, TT: true})
+		}
+	}
+	return steps
+}
+
+// GreedyTT eliminates as many rows as possible at every round: in each
+// round the surviving triangulated rows are paired bottom-up. Equivalent
+// critical path to BinaryTT for power-of-two panels, slightly better
+// pipelining otherwise (PLASMA's GREEDY ordering, simplified).
+type GreedyTT struct{}
+
+// Name implements Tree.
+func (GreedyTT) Name() string { return "greedy-tt" }
+
+// TriangulatesAll implements Tree.
+func (GreedyTT) TriangulatesAll() bool { return true }
+
+// Steps implements Tree.
+func (GreedyTT) Steps(k, mt int) []ElimStep {
+	alive := make([]int, 0, mt-k)
+	for i := k; i < mt; i++ {
+		alive = append(alive, i)
+	}
+	var steps []ElimStep
+	for len(alive) > 1 {
+		next := make([]int, 0, (len(alive)+1)/2)
+		for p := 0; p < len(alive); p += 2 {
+			if p+1 < len(alive) {
+				steps = append(steps, ElimStep{Top: alive[p], Row: alive[p+1], TT: true})
+			}
+			next = append(next, alive[p])
+		}
+		alive = next
+	}
+	return steps
+}
+
+// TreeByName returns the tree registered under name. Valid names are
+// "flat-ts" (default), "flat-tt", "binary-tt" and "greedy-tt".
+func TreeByName(name string) (Tree, error) {
+	switch name {
+	case "", "flat-ts":
+		return FlatTS{}, nil
+	case "flat-tt":
+		return FlatTT{}, nil
+	case "binary-tt":
+		return BinaryTT{}, nil
+	case "greedy-tt":
+		return GreedyTT{}, nil
+	default:
+		return nil, fmt.Errorf("tiled: unknown elimination tree %q", name)
+	}
+}
+
+// ValidateSteps checks that a step list is a legal elimination order for
+// panel k of an mt-row matrix: every row in (k, mt) is eliminated exactly
+// once, tops are never rows that were already eliminated, Top < Row for
+// every step, and TT bottoms reference triangulated rows only when the tree
+// triangulates all (checked by the DAG builder, not here).
+func ValidateSteps(k, mt int, steps []ElimStep) error {
+	eliminated := make(map[int]bool, mt-k)
+	for idx, s := range steps {
+		if s.Top < k || s.Top >= mt || s.Row <= k || s.Row >= mt {
+			return fmt.Errorf("tiled: step %d (%+v) out of range for panel %d, mt %d", idx, s, k, mt)
+		}
+		if s.Top >= s.Row {
+			return fmt.Errorf("tiled: step %d (%+v) must have Top < Row", idx, s)
+		}
+		if eliminated[s.Top] {
+			return fmt.Errorf("tiled: step %d (%+v) uses eliminated top %d", idx, s, s.Top)
+		}
+		if eliminated[s.Row] {
+			return fmt.Errorf("tiled: step %d (%+v) re-eliminates row %d", idx, s, s.Row)
+		}
+		eliminated[s.Row] = true
+	}
+	for i := k + 1; i < mt; i++ {
+		if !eliminated[i] {
+			return fmt.Errorf("tiled: row %d never eliminated in panel %d", i, k)
+		}
+	}
+	return nil
+}

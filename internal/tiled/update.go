@@ -1,0 +1,134 @@
+package tiled
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/kernels"
+	"repro/internal/lapack"
+	"repro/internal/matrix"
+)
+
+// Updater maintains the QR factorization of a growing stack of row blocks —
+// recursive least squares by QR updating. Each appended block of rows is
+// annihilated against the current R with exactly the paper's TS elimination
+// kernels (TSQRT/TSMQR), and the same reflectors are applied to the
+// right-hand side, so at any moment Solve returns the least-squares
+// solution over every row seen so far without storing them.
+//
+// This is the streaming workload the tiled kernels make cheap: appending k
+// rows costs O(k·n²) regardless of how many rows came before.
+type Updater struct {
+	n    int
+	tile int
+	// r holds the current upper-triangular factor, tile-wise (n×n).
+	r *TiledMatrix
+	// z = Qᵀb restricted to the top n entries.
+	z *matrix.Matrix
+	// rss accumulates the squared residual norm (the discarded reflector
+	// energy of each appended block).
+	rss  float64
+	rows int
+}
+
+// NewUpdater creates an empty updater for systems with n unknowns, using
+// the given tile size internally.
+func NewUpdater(n, tile int) *Updater {
+	if n < 1 || tile < 1 {
+		panic(fmt.Sprintf("tiled: NewUpdater(%d, %d)", n, tile))
+	}
+	l := NewLayout(n, n, tile)
+	return &Updater{n: n, tile: tile, r: NewTiled(l), z: matrix.New(n, 1)}
+}
+
+// Rows returns the number of observation rows absorbed so far.
+func (u *Updater) Rows() int { return u.rows }
+
+// Append absorbs a block of observations: w is k×n (k ≥ 1 rows of the
+// design matrix), rhs the matching k right-hand-side values.
+func (u *Updater) Append(w *matrix.Matrix, rhs []float64) error {
+	if w.Cols != u.n {
+		return fmt.Errorf("tiled: Append block has %d cols, want %d", w.Cols, u.n)
+	}
+	if len(rhs) != w.Rows {
+		return fmt.Errorf("tiled: Append rhs length %d, want %d", len(rhs), w.Rows)
+	}
+	// Work on tiled copies of the block; process `tile` rows at a time so
+	// the TS kernels see bounded tiles.
+	for lo := 0; lo < w.Rows; lo += u.tile {
+		hi := lo + u.tile
+		if hi > w.Rows {
+			hi = w.Rows
+		}
+		u.appendBlock(w.SubMatrix(lo, 0, hi-lo, w.Cols).Clone(), rhs[lo:hi])
+	}
+	u.rows += w.Rows
+	return nil
+}
+
+// appendBlock eliminates one ≤tile-row block against R, updating z and the
+// residual energy.
+func (u *Updater) appendBlock(w *matrix.Matrix, rhs []float64) {
+	k := w.Rows
+	l := u.r.Layout
+	c2 := matrix.New(k, 1)
+	c2.SetCol(0, rhs)
+	t := matrix.New(u.tile, u.tile)
+	for c := 0; c < l.Nt; c++ {
+		cols := l.TileCols(c)
+		wPanel := w.SubMatrix(0, c*u.tile, k, cols)
+		tv := t.SubMatrix(0, 0, cols, cols)
+		// Annihilate the block's panel against the diagonal R tile. The
+		// diagonal tile is square (cols×cols) except possibly the last.
+		kernels.TSQRT(u.r.Tile(c, c), wPanel, tv)
+		// Apply to the trailing R row and block columns …
+		for cc := c + 1; cc < l.Nt; cc++ {
+			kernels.TSMQR(wPanel, tv,
+				u.r.Tile(c, cc),
+				w.SubMatrix(0, cc*u.tile, k, l.TileCols(cc)), true)
+		}
+		// … and to the right-hand side pair [z_c; c2].
+		zc := u.z.SubMatrix(c*u.tile, 0, cols, 1)
+		kernels.TSMQR(wPanel, tv, zc, c2, true)
+	}
+	// The block's remaining rhs energy is residual.
+	for _, v := range c2.Col(0) {
+		u.rss += v * v
+	}
+}
+
+// Solve returns the current least-squares solution (requires at least n
+// rows of full column rank absorbed).
+func (u *Updater) Solve() ([]float64, error) {
+	if u.rows < u.n {
+		return nil, fmt.Errorf("tiled: %d rows absorbed, need ≥ %d", u.rows, u.n)
+	}
+	r := u.rDense()
+	return lapack.SolveUpper(r, u.z.Col(0))
+}
+
+// R returns the current dense upper-triangular factor.
+func (u *Updater) R() *matrix.Matrix { return u.rDense() }
+
+// ResidualNorm returns ‖b − A·x‖₂ over all absorbed rows at the current
+// solution — accumulated incrementally, without revisiting old rows.
+func (u *Updater) ResidualNorm() float64 {
+	return math.Sqrt(u.rss)
+}
+
+func (u *Updater) rDense() *matrix.Matrix {
+	l := u.r.Layout
+	out := matrix.New(u.n, u.n)
+	for i := 0; i < l.Mt; i++ {
+		for j := i; j < l.Nt; j++ {
+			src := u.r.Tile(i, j)
+			dst := out.SubMatrix(i*u.tile, j*u.tile, l.TileRows(i), l.TileCols(j))
+			if i == j {
+				dst.CopyFrom(matrix.UpperTriangular(src))
+			} else {
+				dst.CopyFrom(src)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,178 @@
+// Package trace records execution time-lines for the parallel runtime and
+// the heterogeneous simulator: which worker/device ran which operation when,
+// plus aggregate statistics (per-step time, busy/idle fractions) used by the
+// experiment harness.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Event is one completed unit of work on a worker or simulated device.
+type Event struct {
+	Label  string        // operation description, e.g. "GEQRT(k=0, row=0)"
+	Step   string        // the paper's step class: T, UT, E, UE, or "xfer"
+	Worker string        // worker/device identifier
+	Start  time.Duration // offset from recorder start
+	End    time.Duration
+}
+
+// Duration returns the event length.
+func (e Event) Duration() time.Duration { return e.End - e.Start }
+
+// Recorder accumulates events. It is safe for concurrent use. The zero
+// value records relative to the first Add; NewRecorder pins the origin.
+type Recorder struct {
+	mu     sync.Mutex
+	origin time.Time
+	events []Event
+}
+
+// NewRecorder returns a recorder whose time origin is now.
+func NewRecorder() *Recorder {
+	return &Recorder{origin: time.Now()}
+}
+
+// Now returns the current offset from the recorder origin. A nil recorder
+// reports zero, so disabled tracing needs no branches at call sites.
+func (r *Recorder) Now() time.Duration {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.origin.IsZero() {
+		r.origin = time.Now()
+	}
+	return time.Since(r.origin)
+}
+
+// Add records an event. Nil recorders are permitted and ignore the call so
+// callers do not need to branch on tracing being enabled.
+func (r *Recorder) Add(e Event) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, e)
+}
+
+// Events returns a copy of all recorded events sorted by start time.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Stats are aggregate figures over a set of events.
+type Stats struct {
+	Makespan  time.Duration            // max End over all events
+	ByStep    map[string]time.Duration // total busy time per step class
+	ByWorker  map[string]time.Duration // total busy time per worker
+	NumEvents int
+}
+
+// Summarize aggregates the recorded events.
+func (r *Recorder) Summarize() Stats {
+	events := r.Events()
+	s := Stats{ByStep: map[string]time.Duration{}, ByWorker: map[string]time.Duration{}}
+	for _, e := range events {
+		if e.End > s.Makespan {
+			s.Makespan = e.End
+		}
+		s.ByStep[e.Step] += e.Duration()
+		s.ByWorker[e.Worker] += e.Duration()
+	}
+	s.NumEvents = len(events)
+	return s
+}
+
+// Gantt renders a coarse per-worker text time-line (one row per worker,
+// one column per time bucket) for debugging schedules.
+func (r *Recorder) Gantt(buckets int) string {
+	events := r.Events()
+	if len(events) == 0 || buckets <= 0 {
+		return ""
+	}
+	stats := r.Summarize()
+	if stats.Makespan == 0 {
+		return ""
+	}
+	workers := make([]string, 0, len(stats.ByWorker))
+	for w := range stats.ByWorker {
+		workers = append(workers, w)
+	}
+	sort.Strings(workers)
+	var b strings.Builder
+	for _, w := range workers {
+		row := make([]byte, buckets)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, e := range events {
+			if e.Worker != w {
+				continue
+			}
+			lo := int(int64(e.Start) * int64(buckets) / int64(stats.Makespan))
+			hi := int(int64(e.End) * int64(buckets) / int64(stats.Makespan))
+			if hi >= buckets {
+				hi = buckets - 1
+			}
+			mark := byte('#')
+			if len(e.Step) > 0 {
+				mark = e.Step[0]
+			}
+			for i := lo; i <= hi; i++ {
+				row[i] = mark
+			}
+		}
+		fmt.Fprintf(&b, "%-12s |%s|\n", w, row)
+	}
+	return b.String()
+}
+
+// chromeEvent is one entry of the Chrome tracing ("catapult") JSON array
+// format, renderable in chrome://tracing or https://ui.perfetto.dev.
+type chromeEvent struct {
+	Name  string `json:"name"`
+	Cat   string `json:"cat"`
+	Phase string `json:"ph"`
+	TS    int64  `json:"ts"`  // microseconds
+	Dur   int64  `json:"dur"` // microseconds
+	PID   int    `json:"pid"`
+	TID   string `json:"tid"`
+}
+
+// WriteChromeTrace emits the recorded events in Chrome tracing JSON format
+// (one complete-event per recorded event, workers as threads), so runtime
+// and simulator time-lines can be inspected in a real trace viewer.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	events := r.Events()
+	out := make([]chromeEvent, 0, len(events))
+	for _, e := range events {
+		out = append(out, chromeEvent{
+			Name:  e.Label,
+			Cat:   e.Step,
+			Phase: "X",
+			TS:    e.Start.Microseconds(),
+			Dur:   e.Duration().Microseconds(),
+			PID:   1,
+			TID:   e.Worker,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -1,0 +1,144 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Add(Event{Label: "x"}) // must not panic
+	if r.Now() != 0 {
+		t.Fatal("nil recorder Now must be 0")
+	}
+	if got := r.Events(); got != nil {
+		t.Fatalf("nil recorder events: %v", got)
+	}
+}
+
+func TestAddAndSummarize(t *testing.T) {
+	r := NewRecorder()
+	r.Add(Event{Label: "a", Step: "T", Worker: "w0", Start: 0, End: 10 * time.Millisecond})
+	r.Add(Event{Label: "b", Step: "UE", Worker: "w1", Start: 5 * time.Millisecond, End: 25 * time.Millisecond})
+	r.Add(Event{Label: "c", Step: "T", Worker: "w0", Start: 12 * time.Millisecond, End: 14 * time.Millisecond})
+	s := r.Summarize()
+	if s.NumEvents != 3 {
+		t.Fatalf("NumEvents = %d", s.NumEvents)
+	}
+	if s.Makespan != 25*time.Millisecond {
+		t.Fatalf("Makespan = %v", s.Makespan)
+	}
+	if s.ByStep["T"] != 12*time.Millisecond {
+		t.Fatalf("ByStep[T] = %v", s.ByStep["T"])
+	}
+	if s.ByWorker["w1"] != 20*time.Millisecond {
+		t.Fatalf("ByWorker[w1] = %v", s.ByWorker["w1"])
+	}
+}
+
+func TestEventsSortedByStart(t *testing.T) {
+	r := NewRecorder()
+	r.Add(Event{Label: "late", Start: 10, End: 20})
+	r.Add(Event{Label: "early", Start: 1, End: 2})
+	ev := r.Events()
+	if ev[0].Label != "early" || ev[1].Label != "late" {
+		t.Fatalf("events not sorted: %v", ev)
+	}
+}
+
+func TestEventDuration(t *testing.T) {
+	e := Event{Start: 3 * time.Second, End: 5 * time.Second}
+	if e.Duration() != 2*time.Second {
+		t.Fatalf("Duration = %v", e.Duration())
+	}
+}
+
+func TestGantt(t *testing.T) {
+	r := NewRecorder()
+	r.Add(Event{Label: "p", Step: "T", Worker: "dev0", Start: 0, End: 50 * time.Millisecond})
+	r.Add(Event{Label: "u", Step: "U", Worker: "dev1", Start: 50 * time.Millisecond, End: 100 * time.Millisecond})
+	g := r.Gantt(20)
+	if !strings.Contains(g, "dev0") || !strings.Contains(g, "dev1") {
+		t.Fatalf("gantt missing workers:\n%s", g)
+	}
+	lines := strings.Split(strings.TrimSpace(g), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("gantt rows: %d", len(lines))
+	}
+	if !strings.Contains(lines[0], "T") || !strings.Contains(lines[1], "U") {
+		t.Fatalf("gantt marks wrong:\n%s", g)
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	r := NewRecorder()
+	if g := r.Gantt(10); g != "" {
+		t.Fatalf("empty gantt: %q", g)
+	}
+	r.Add(Event{Worker: "w"}) // zero makespan
+	if g := r.Gantt(10); g != "" {
+		t.Fatalf("zero-makespan gantt: %q", g)
+	}
+	if g := r.Gantt(0); g != "" {
+		t.Fatalf("zero buckets: %q", g)
+	}
+}
+
+func TestConcurrentAdd(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				start := r.Now()
+				r.Add(Event{Label: "op", Step: "T", Worker: "w", Start: start, End: start + 1})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(r.Events()); got != 800 {
+		t.Fatalf("%d events, want 800", got)
+	}
+}
+
+func TestZeroValueRecorderUsable(t *testing.T) {
+	var r Recorder
+	if r.Now() < 0 {
+		t.Fatal("Now must be non-negative")
+	}
+	r.Add(Event{Label: "x", Start: 1, End: 2})
+	if len(r.Events()) != 1 {
+		t.Fatal("zero-value recorder must record")
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	r := NewRecorder()
+	r.Add(Event{Label: "GEQRT(k=0, row=0)", Step: "T", Worker: "worker-0",
+		Start: 10 * time.Microsecond, End: 40 * time.Microsecond})
+	r.Add(Event{Label: "bcast", Step: "X", Worker: "GTX680",
+		Start: 40 * time.Microsecond, End: 90 * time.Microsecond})
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(parsed) != 2 {
+		t.Fatalf("%d events", len(parsed))
+	}
+	if parsed[0]["ph"] != "X" || parsed[0]["tid"] != "worker-0" {
+		t.Fatalf("event 0: %v", parsed[0])
+	}
+	if parsed[0]["dur"].(float64) != 30 {
+		t.Fatalf("dur = %v", parsed[0]["dur"])
+	}
+}

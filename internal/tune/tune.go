@@ -1,0 +1,87 @@
+// Package tune implements auto-tuning of the tile size over the simulated
+// platform — the knob the paper deliberately fixes at 16×16 (Section IV:
+// "we use equal tile sizes for all devices … load balancing is done
+// depending on the number of distributed tiles, rather than the size of
+// each tile") and that Song et al., the paper's related work [7], tune
+// automatically. This package quantifies that design choice: it reruns the
+// full scheduling pipeline (Algorithms 2–4) and the simulator for each
+// candidate tile size and reports the tradeoff.
+//
+// The tradeoff is real in the cost model: per-tile kernel times grow as b³
+// while tile counts shrink as 1/b², so raw flops are b-invariant, but
+// launch overheads and per-iteration communication setups fall with larger
+// tiles while panel chains and load-balance granularity favour smaller
+// ones.
+package tune
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/device"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// Candidate is one evaluated tile size.
+type Candidate struct {
+	TileSize   int
+	MakespanUS float64
+	Plan       *sched.Plan
+}
+
+// Result is the outcome of a tile-size search.
+type Result struct {
+	// Best is the fastest candidate.
+	Best Candidate
+	// All lists every candidate, sorted by tile size.
+	All []Candidate
+}
+
+// DefaultCandidates are the power-of-two tile sizes bracketing the paper's
+// choice.
+func DefaultCandidates() []int { return []int{8, 16, 24, 32, 48, 64} }
+
+// TileSize searches the candidate tile sizes for an m×n matrix on the
+// platform, running the full optimization pipeline and the simulator for
+// each. Candidates larger than the matrix are skipped; at least one
+// candidate must remain.
+func TileSize(pl *device.Platform, m, n int, candidates []int) (Result, error) {
+	if len(candidates) == 0 {
+		candidates = DefaultCandidates()
+	}
+	var res Result
+	for _, b := range candidates {
+		if b < 1 || b > m || b > n {
+			continue
+		}
+		plan := sched.BuildPlan(pl, sched.NewProblem(m, n, b))
+		r := sim.Run(sim.Config{Platform: pl, Plan: plan})
+		res.All = append(res.All, Candidate{TileSize: b, MakespanUS: r.MakespanUS, Plan: plan})
+	}
+	if len(res.All) == 0 {
+		return res, fmt.Errorf("tune: no viable tile size among %v for %dx%d", candidates, m, n)
+	}
+	sort.Slice(res.All, func(i, j int) bool { return res.All[i].TileSize < res.All[j].TileSize })
+	res.Best = res.All[0]
+	for _, c := range res.All[1:] {
+		if c.MakespanUS < res.Best.MakespanUS {
+			res.Best = c
+		}
+	}
+	return res, nil
+}
+
+// Speedup reports how much faster the tuned tile size is than the given
+// reference size (e.g. the paper's fixed 16), as a ratio ≥ close-to-1.
+func (r Result) Speedup(referenceTile int) float64 {
+	for _, c := range r.All {
+		if c.TileSize == referenceTile {
+			if r.Best.MakespanUS == 0 {
+				return 1
+			}
+			return c.MakespanUS / r.Best.MakespanUS
+		}
+	}
+	return 1
+}

@@ -1,0 +1,81 @@
+package tune
+
+import (
+	"testing"
+
+	"repro/internal/device"
+)
+
+func TestTileSizeSearch(t *testing.T) {
+	pl := device.PaperPlatform()
+	res, err := TileSize(pl, 3200, 3200, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.All) != len(DefaultCandidates()) {
+		t.Fatalf("evaluated %d candidates", len(res.All))
+	}
+	// The best candidate is the minimum of the evaluated set.
+	for _, c := range res.All {
+		if c.MakespanUS < res.Best.MakespanUS {
+			t.Fatalf("best %d (%v) is not minimal: %d has %v",
+				res.Best.TileSize, res.Best.MakespanUS, c.TileSize, c.MakespanUS)
+		}
+	}
+	// Every candidate carries a complete plan.
+	for _, c := range res.All {
+		if c.Plan == nil || len(c.Plan.ColumnOwner) == 0 {
+			t.Fatalf("candidate %d lacks a plan", c.TileSize)
+		}
+	}
+}
+
+func TestTileSizeDeterministic(t *testing.T) {
+	pl := device.PaperPlatform()
+	a, err := TileSize(pl, 1600, 1600, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TileSize(pl, 1600, 1600, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Best.TileSize != b.Best.TileSize || a.Best.MakespanUS != b.Best.MakespanUS {
+		t.Fatal("search must be deterministic")
+	}
+}
+
+func TestTileSizeSkipsOversize(t *testing.T) {
+	pl := device.PaperPlatform()
+	res, err := TileSize(pl, 20, 20, []int{8, 16, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.All {
+		if c.TileSize > 20 {
+			t.Fatalf("oversize candidate %d evaluated", c.TileSize)
+		}
+	}
+}
+
+func TestTileSizeNoViable(t *testing.T) {
+	pl := device.PaperPlatform()
+	if _, err := TileSize(pl, 4, 4, []int{8, 16}); err == nil {
+		t.Fatal("expected error with no viable candidates")
+	}
+}
+
+func TestSpeedupReference(t *testing.T) {
+	pl := device.PaperPlatform()
+	res, err := TileSize(pl, 3200, 3200, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Speedup(16)
+	if s < 1 {
+		t.Fatalf("speedup vs the best must be ≥ 1, got %v", s)
+	}
+	if res.Speedup(999) != 1 {
+		t.Fatal("missing reference must report 1")
+	}
+}

@@ -1,0 +1,99 @@
+// Package workload generates the input matrices used by tests, examples and
+// the benchmark harness. The paper evaluates on matrices of "random floating
+// point numbers"; this package reproduces that workload plus structured and
+// adversarial variants used to stress the numerics.
+//
+// All generators take an explicit seed so experiments are reproducible.
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/matrix"
+)
+
+// Uniform returns an r×c matrix with entries drawn uniformly from [-1, 1),
+// the paper's evaluation workload.
+func Uniform(seed int64, r, c int) *matrix.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := matrix.New(r, c)
+	for i := range m.Data {
+		m.Data[i] = 2*rng.Float64() - 1
+	}
+	return m
+}
+
+// Normal returns an r×c matrix with standard normal entries.
+func Normal(seed int64, r, c int) *matrix.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := matrix.New(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+// SPD returns an n×n symmetric positive-definite matrix, built as
+// Aᵀ·A + n·I from a random A (the shift guarantees definiteness).
+func SPD(seed int64, n int) *matrix.Matrix {
+	a := Normal(seed, n, n)
+	spd := matrix.New(n, n)
+	matrix.GemmTA(1, a, a, 0, spd)
+	for i := 0; i < n; i++ {
+		spd.Set(i, i, spd.At(i, i)+float64(n))
+	}
+	return spd
+}
+
+// Graded returns an r×c random matrix whose columns are scaled by a
+// geometric progression spanning `decades` orders of magnitude, producing a
+// controllably ill-conditioned input. decades = 0 yields Normal.
+func Graded(seed int64, r, c int, decades float64) *matrix.Matrix {
+	m := Normal(seed, r, c)
+	if c > 1 && decades != 0 {
+		for j := 0; j < c; j++ {
+			s := math.Pow(10, -decades*float64(j)/float64(c-1))
+			for i := 0; i < r; i++ {
+				m.Set(i, j, m.At(i, j)*s)
+			}
+		}
+	}
+	return m
+}
+
+// Hilbert returns the n×n Hilbert matrix H[i][j] = 1/(i+j+1), a classically
+// ill-conditioned test matrix.
+func Hilbert(n int) *matrix.Matrix {
+	m := matrix.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.Set(i, j, 1/float64(i+j+1))
+		}
+	}
+	return m
+}
+
+// RankDeficient returns an r×c matrix of rank exactly `rank` (rank ≤
+// min(r,c)), built as the product of random r×rank and rank×c factors.
+func RankDeficient(seed int64, r, c, rank int) *matrix.Matrix {
+	if rank > r || rank > c {
+		panic("workload: rank exceeds dimensions")
+	}
+	if rank == 0 {
+		return matrix.New(r, c)
+	}
+	left := Normal(seed, r, rank)
+	right := Normal(seed+1, rank, c)
+	return matrix.Mul(left, right)
+}
+
+// Vector returns a length-n vector with standard normal entries.
+func Vector(seed int64, n int) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}

@@ -1,0 +1,127 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/lapack"
+	"repro/internal/matrix"
+)
+
+func TestUniformRangeAndDeterminism(t *testing.T) {
+	a := Uniform(1, 20, 30)
+	if a.Rows != 20 || a.Cols != 30 {
+		t.Fatalf("shape %dx%d", a.Rows, a.Cols)
+	}
+	for _, v := range a.Data {
+		if v < -1 || v >= 1 {
+			t.Fatalf("value %v out of [-1, 1)", v)
+		}
+	}
+	if !a.Equal(Uniform(1, 20, 30)) {
+		t.Fatal("same seed must reproduce")
+	}
+	if a.Equal(Uniform(2, 20, 30)) {
+		t.Fatal("different seeds must differ")
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	a := Normal(3, 100, 100)
+	var sum, sumSq float64
+	for _, v := range a.Data {
+		sum += v
+		sumSq += v * v
+	}
+	n := float64(len(a.Data))
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Fatalf("mean %v", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Fatalf("variance %v", variance)
+	}
+}
+
+func TestSPDIsSPD(t *testing.T) {
+	a := SPD(5, 20)
+	// Symmetric.
+	if d := a.MaxAbsDiff(a.T()); d > 1e-12 {
+		t.Fatalf("not symmetric: %g", d)
+	}
+	// Positive definite ⇔ Cholesky succeeds.
+	if _, err := lapack.Cholesky(a); err != nil {
+		t.Fatalf("not positive definite: %v", err)
+	}
+}
+
+func TestGradedColumnScales(t *testing.T) {
+	a := Graded(7, 50, 5, 4) // 4 decades over 5 columns
+	norm := func(j int) float64 {
+		return matrix.Nrm2(a.Col(j))
+	}
+	first, last := norm(0), norm(4)
+	ratio := first / last
+	if ratio < 1e3 || ratio > 1e5 {
+		t.Fatalf("column norm ratio %g, want ~1e4", ratio)
+	}
+	// decades = 0 leaves columns unscaled relative to each other.
+	b := Graded(7, 50, 5, 0)
+	if !b.Equal(Normal(7, 50, 5)) {
+		t.Fatal("zero decades must equal Normal")
+	}
+}
+
+func TestHilbert(t *testing.T) {
+	h := Hilbert(4)
+	if h.At(0, 0) != 1 || h.At(1, 2) != 0.25 {
+		t.Fatalf("hilbert values wrong: %v", h)
+	}
+	if d := h.MaxAbsDiff(h.T()); d != 0 {
+		t.Fatal("hilbert must be symmetric")
+	}
+}
+
+func TestRankDeficient(t *testing.T) {
+	a := RankDeficient(9, 12, 10, 3)
+	// Rank ≤ 3: the 4th singular value is 0, which shows as |R[3][3..]| ≈ 0
+	// after QR with column pivoting... cheaper: QR's R has at most 3
+	// numerically non-zero diagonal entries beyond tolerance? Plain QR of a
+	// rank-3 matrix gives R with rows 3.. essentially zero.
+	work := a.Clone()
+	lapack.QR2(work)
+	for i := 3; i < 10; i++ {
+		for j := i; j < 10; j++ {
+			if math.Abs(work.At(i, j)) > 1e-10 {
+				t.Fatalf("R(%d,%d) = %g, rank exceeds 3", i, j, work.At(i, j))
+			}
+		}
+	}
+}
+
+func TestRankDeficientEdges(t *testing.T) {
+	z := RankDeficient(1, 4, 4, 0)
+	if matrix.MaxAbs(z) != 0 {
+		t.Fatal("rank 0 must be the zero matrix")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for rank > dims")
+		}
+	}()
+	RankDeficient(1, 2, 2, 3)
+}
+
+func TestVector(t *testing.T) {
+	v := Vector(11, 64)
+	if len(v) != 64 {
+		t.Fatalf("length %d", len(v))
+	}
+	w := Vector(11, 64)
+	for i := range v {
+		if v[i] != w[i] {
+			t.Fatal("same seed must reproduce")
+		}
+	}
+}
