@@ -1,10 +1,16 @@
 package hetqr
 
 import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // CLI smoke tests: each command builds and completes a minimal invocation
@@ -89,5 +95,153 @@ func TestCLIQrcalib(t *testing.T) {
 	out := runCLI(t, "./cmd/qrcalib", "-reps", "3")
 	if !strings.Contains(out, "fitted model") || !strings.Contains(out, "update throughput") {
 		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestCLIQrfactorMetrics(t *testing.T) {
+	out := runCLI(t, "./cmd/qrfactor", "-n", "64", "-metrics")
+	for _, want := range []string{
+		"metrics snapshot",
+		"runtime.ops{step=T}",
+		"runtime.ops{step=UE}",
+		"runtime.op_us{step=UE}",
+		"runtime.worker_busy_us{worker=worker-0}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// 64² at tile 16 is a 4×4 grid; the flat-TS DAG has Σ_k 1 + 2(M−k−1)
+	// + (M−k−1)² = 16 + 9 + 4 + 1 = 30 kernels, echoed both by the "ops"
+	// line and the metrics op-count cross-check.
+	if !strings.Contains(out, "ops         30 tile kernels") ||
+		!strings.Contains(out, "metrics snapshot (30 tile kernels") {
+		t.Fatalf("op-count cross-check missing:\n%s", out)
+	}
+}
+
+func TestCLIQrsimMetricsAndCSV(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "events.csv")
+	out := runCLI(t, "./cmd/qrsim", "-size", "640", "-metrics", "-csv-out", csvPath)
+	for _, want := range []string{"sim.runs", "sched.plans", "sim.top_us", "sim.tcomm_us", "wrote event CSV"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "label,step,worker,start_us,dur_us\n") {
+		t.Fatalf("bad CSV header:\n%.100s", data)
+	}
+}
+
+func TestCLIQrmon(t *testing.T) {
+	out := runCLI(t, "./cmd/qrmon", "-mode", "both", "-n", "64", "-size", "640")
+	for _, want := range []string{
+		"runtime.ops{step=T}", // from the factor half
+		"sim.runs",            // from the sim half
+		"sched.plans",         // from the scheduling decision
+		"histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	js := runCLI(t, "./cmd/qrmon", "-mode", "sim", "-size", "320", "-json")
+	if !strings.Contains(js, "\"counters\"") || !strings.Contains(js, "\"sim.runs\": 1") {
+		t.Fatalf("unexpected JSON:\n%s", js)
+	}
+}
+
+// TestCLIQrmonServes boots the HTTP surface on an ephemeral port and
+// checks that the same registry is reachable as JSON (/metrics), through
+// expvar (/debug/vars) and via the liveness probe.
+func TestCLIQrmonServes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke tests skipped in -short mode")
+	}
+	cmd := exec.Command("go", "run", "./cmd/qrmon", "-mode", "sim", "-size", "320", "-http", "127.0.0.1:0")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if cmd.Process != nil {
+			_ = cmd.Process.Kill()
+		}
+		_ = cmd.Wait()
+	}()
+
+	// Scan stdout for the resolved listen address.
+	var base string
+	sc := bufio.NewScanner(stdout)
+	deadline := time.After(60 * time.Second)
+	found := make(chan string, 1)
+	go func() {
+		for sc.Scan() {
+			line := sc.Text()
+			if strings.Contains(line, "serving on http://") {
+				addr := strings.TrimPrefix(line, "serving on ")
+				found <- strings.Fields(addr)[0]
+				return
+			}
+		}
+	}()
+	select {
+	case base = <-found:
+	case <-deadline:
+		t.Fatal("qrmon never reported its listen address")
+	}
+
+	get := func(path string) string {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+	if got := get("/healthz"); !strings.Contains(got, "ok") {
+		t.Fatalf("healthz: %q", got)
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal([]byte(get("/metrics")), &snap); err != nil {
+		t.Fatalf("/metrics is not snapshot JSON: %v", err)
+	}
+	if snap.Counters["sim.runs"] != 1 {
+		t.Fatalf("/metrics sim.runs = %d", snap.Counters["sim.runs"])
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(get("/debug/vars")), &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	hq, ok := vars["hetqr"]
+	if !ok {
+		t.Fatal("/debug/vars missing hetqr registry")
+	}
+	var viaExpvar struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(hq, &viaExpvar); err != nil {
+		t.Fatalf("expvar hetqr entry: %v", err)
+	}
+	if viaExpvar.Counters["sim.runs"] != snap.Counters["sim.runs"] {
+		t.Fatal("expvar and /metrics disagree on the same registry")
+	}
+	if got := get("/metrics?format=table"); !strings.Contains(got, "sim.runs") {
+		t.Fatalf("table format: %q", got)
 	}
 }

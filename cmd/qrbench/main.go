@@ -18,7 +18,9 @@ import (
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/metrics"
 	"repro/internal/plot"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -26,7 +28,22 @@ func main() {
 	ext := flag.Bool("ext", false, "also run the extension experiments")
 	doPlot := flag.Bool("plot", false, "render the exhibit as a text chart (-exp required)")
 	list := flag.Bool("list", false, "list experiment IDs")
+	withMet := flag.Bool("metrics", false, "collect simulator metrics across all exhibits and print a snapshot table")
 	flag.Parse()
+
+	var reg *metrics.Registry
+	if *withMet {
+		reg = metrics.NewRegistry()
+		sim.DefaultMetrics = reg
+	}
+	defer func() {
+		if reg != nil {
+			fmt.Println("\nsimulator metrics across the run:")
+			if err := reg.WriteTable(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}
+	}()
 
 	if *list {
 		for _, t := range append(bench.All(), bench.Extended()...) {

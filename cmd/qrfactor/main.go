@@ -20,7 +20,10 @@ import (
 	"math"
 	"time"
 
+	"os"
+
 	"repro/internal/matrix"
+	"repro/internal/metrics"
 	"repro/internal/mtxio"
 	"repro/internal/ooc"
 	"repro/internal/runtime"
@@ -44,6 +47,7 @@ func main() {
 		outR     = flag.String("out-r", "", "write the R factor to a MatrixMarket file")
 		outQ     = flag.String("out-q", "", "write the thin Q factor to a MatrixMarket file")
 		oocCache = flag.Int("ooc", 0, "factor out of core through a cache of this many tiles (≥ 4)")
+		withMet  = flag.Bool("metrics", false, "collect runtime metrics and print a snapshot table")
 	)
 	flag.Parse()
 	if *m == 0 {
@@ -73,8 +77,12 @@ func main() {
 	}
 	fmt.Printf("factoring %dx%d (tile %d, tree %s, workers %d)\n", *m, *n, *b, tree.Name(), *w)
 
+	var reg *metrics.Registry
+	if *withMet {
+		reg = metrics.NewRegistry()
+	}
 	start := time.Now()
-	f, err := runtime.Factor(a, runtime.Options{TileSize: *b, Workers: *w, Tree: tree})
+	f, err := runtime.Factor(a, runtime.Options{TileSize: *b, Workers: *w, Tree: tree, Metrics: reg})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -127,6 +135,14 @@ func main() {
 			}
 		}
 		fmt.Printf("solve error %.3e   (max |x − x*|)\n", worst)
+	}
+	if reg != nil {
+		snap := reg.Snapshot()
+		fmt.Printf("\nmetrics snapshot (%d tile kernels counted across T/UT/E/UE):\n",
+			snap.SumCounters(runtime.MetricOps+"{"))
+		if err := snap.WriteTable(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
 	}
 }
 

@@ -1,0 +1,129 @@
+// Command qrmon is the observability surface of the repository: it runs a
+// real host factorization and/or a scheduled heterogeneous simulation with
+// full metrics instrumentation, then dumps the metrics registry (text
+// table or JSON) and optionally serves it live over HTTP.
+//
+// Endpoints when serving:
+//
+//	/metrics                 registry snapshot as JSON
+//	/metrics?format=table    the same as a human-readable table
+//	/debug/vars              standard expvar (includes the registry under "hetqr")
+//	/healthz                 liveness probe
+//
+// Usage:
+//
+//	qrmon                                  # factor 512² + simulate 3200², print table
+//	qrmon -mode factor -n 1024 -w 4        # just the host runtime, 4 workers
+//	qrmon -mode sim -size 6400             # just the scheduler + simulator
+//	qrmon -json                            # JSON snapshot instead of the table
+//	qrmon -repeat 5                        # run the workload 5 times (histograms fill up)
+//	qrmon -http 127.0.0.1:8080             # serve the registry after the first run
+//	qrmon -http :8080 -interval 30s        # keep re-running while serving (live numbers)
+package main
+
+import (
+	"expvar"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/metrics"
+	"repro/internal/runtime"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/tiled"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("qrmon: ")
+	var (
+		mode     = flag.String("mode", "both", "workload: factor|sim|both")
+		n        = flag.Int("n", 512, "factor: matrix rows = columns")
+		b        = flag.Int("b", 16, "tile size (factor and sim)")
+		w        = flag.Int("w", 0, "factor: worker goroutines (0 = all cores)")
+		treeName = flag.String("tree", "flat-ts", "factor: elimination tree")
+		seed     = flag.Int64("seed", 1, "factor: workload seed")
+		size     = flag.Int("size", 3200, "sim: matrix rows = columns")
+		repeat   = flag.Int("repeat", 1, "run the workload this many times")
+		asJSON   = flag.Bool("json", false, "dump the registry as JSON instead of a table")
+		httpAddr = flag.String("http", "", "serve the registry over HTTP on this address")
+		interval = flag.Duration("interval", 0, "with -http: re-run the workload at this period")
+	)
+	flag.Parse()
+
+	tree, err := tiled.TreeByName(*treeName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	runOnce := func() error {
+		if *mode == "factor" || *mode == "both" {
+			a := workload.Uniform(*seed, *n, *n)
+			if _, err := runtime.Factor(a, runtime.Options{
+				TileSize: *b, Workers: *w, Tree: tree, Metrics: reg,
+			}); err != nil {
+				return err
+			}
+		}
+		if *mode == "sim" || *mode == "both" {
+			pl := device.PaperPlatform()
+			plan := sched.BuildPlanObserved(pl, sched.NewProblem(*size, *size, *b), reg)
+			sim.Run(sim.Config{Platform: pl, Plan: plan, Metrics: reg})
+		}
+		if *mode != "factor" && *mode != "sim" && *mode != "both" {
+			return fmt.Errorf("unknown mode %q (want factor, sim or both)", *mode)
+		}
+		return nil
+	}
+
+	for i := 0; i < *repeat; i++ {
+		if err := runOnce(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if *asJSON {
+		if err := reg.WriteJSON(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		if err := reg.WriteTable(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if *httpAddr == "" {
+		return
+	}
+	reg.PublishExpvar("hetqr")
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", metrics.Handler(reg))
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	ln, err := net.Listen("tcp", *httpAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The resolved address (not the flag value) so `-http 127.0.0.1:0`
+	// callers — tests, scripts probing for a free port — can find us.
+	fmt.Printf("serving on http://%s (/metrics, /debug/vars, /healthz)\n", ln.Addr())
+	if *interval > 0 {
+		go func() {
+			for range time.Tick(*interval) {
+				if err := runOnce(); err != nil {
+					log.Print(err)
+				}
+			}
+		}()
+	}
+	log.Fatal(http.Serve(ln, mux))
+}

@@ -23,6 +23,7 @@ import (
 	"os"
 
 	"repro/internal/device"
+	"repro/internal/metrics"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/tiled"
@@ -44,15 +45,21 @@ func main() {
 		iters    = flag.Bool("iters", false, "print a per-iteration CSV breakdown")
 		asJSON   = flag.Bool("json", false, "emit the plan and simulation result as JSON")
 		traceOut = flag.String("trace-out", "", "write a Chrome-tracing JSON time-line to this file")
+		csvOut   = flag.String("csv-out", "", "write the event time-line as CSV to this file")
+		withMet  = flag.Bool("metrics", false, "collect scheduler + simulator metrics and print a snapshot table")
 	)
 	flag.Parse()
 
 	pl := device.PaperPlatform()
 	probm := sched.NewProblem(*size, *size, *b)
 
+	var reg *metrics.Registry
+	if *withMet {
+		reg = metrics.NewRegistry()
+	}
 	var plan *sched.Plan
 	if *mainName == "" && *gpus == 0 && *distName == "guide" {
-		plan = sched.BuildPlan(pl, probm)
+		plan = sched.BuildPlanObserved(pl, probm, reg)
 		fmt.Println("scheduling decisions (Algorithms 2–4):")
 	} else {
 		mainIdx := sched.SelectMain(pl, probm)
@@ -115,11 +122,11 @@ func main() {
 	}
 
 	var rec *trace.Recorder
-	if *gantt || *traceOut != "" {
+	if *gantt || *traceOut != "" || *csvOut != "" {
 		rec = trace.NewRecorder()
 	}
 	res := sim.Run(sim.Config{Platform: pl, Plan: plan, NoMain: *noMain,
-		Recorder: rec, CollectIterations: *iters})
+		Recorder: rec, CollectIterations: *iters, Metrics: reg})
 	if *asJSON {
 		out := map[string]any{
 			"plan": plan.MarshalSummary(pl),
@@ -165,6 +172,25 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("\nwrote Chrome trace to %s (open in ui.perfetto.dev)\n", *traceOut)
+	}
+	if *csvOut != "" {
+		cf, err := os.Create(*csvOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rec.WriteCSV(cf); err != nil {
+			log.Fatal(err)
+		}
+		if err := cf.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote event CSV to %s\n", *csvOut)
+	}
+	if reg != nil {
+		fmt.Println("\nscheduler + simulator metrics:")
+		if err := reg.WriteTable(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
 	}
 	if *iters {
 		fmt.Println("\nk,m,panel_us,bcast_us,upd_max_us,start_us,end_us")

@@ -33,8 +33,11 @@
 package hetqr
 
 import (
+	"net/http"
+
 	"repro/internal/device"
 	"repro/internal/matrix"
+	"repro/internal/metrics"
 	"repro/internal/runtime"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -73,6 +76,17 @@ type SimResult = sim.Result
 
 // Recorder collects execution traces from Factor and Simulate.
 type Recorder = trace.Recorder
+
+// Metrics is a concurrency-safe metrics registry (counters, gauges,
+// latency histograms). Pass one in Options.Metrics or to the *Observed
+// functions to instrument the runtime, scheduler and simulator; a nil
+// registry disables all instrumentation. See cmd/qrmon for the companion
+// inspection tool.
+type Metrics = metrics.Registry
+
+// MetricsSnapshot is a point-in-time copy of a registry, serializable as
+// JSON or a text table.
+type MetricsSnapshot = metrics.Snapshot
 
 // Updater maintains a QR factorization over a growing stack of observation
 // rows (recursive least squares by QR updating); see NewUpdater.
@@ -139,4 +153,26 @@ func Simulate(pl *Platform, plan *Plan) SimResult {
 // SimulateTraced is Simulate with phase-level trace recording.
 func SimulateTraced(pl *Platform, plan *Plan, rec *Recorder) SimResult {
 	return sim.Run(sim.Config{Platform: pl, Plan: plan, Recorder: rec})
+}
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return metrics.NewRegistry() }
+
+// MetricsHandler returns an http.Handler serving the registry's snapshot
+// as JSON (or a text table with ?format=table) — the /metrics endpoint of
+// cmd/qrmon, reusable in any server embedding the library.
+func MetricsHandler(reg *Metrics) http.Handler { return metrics.Handler(reg) }
+
+// ScheduleObserved is Schedule with decision metrics: the registry
+// receives the sched.* metrics recording why Algorithms 2–4 chose the
+// main device, the device count and the guide ratios.
+func ScheduleObserved(pl *Platform, m, n, b int, reg *Metrics) *Plan {
+	return sched.BuildPlanObserved(pl, sched.NewProblem(m, n, b), reg)
+}
+
+// SimulateObserved is Simulate with metrics instrumentation: the registry
+// receives the sim.* metrics (per-device busy/communication time,
+// transfer counts, makespan distribution).
+func SimulateObserved(pl *Platform, plan *Plan, reg *Metrics) SimResult {
+	return sim.Run(sim.Config{Platform: pl, Plan: plan, Metrics: reg})
 }

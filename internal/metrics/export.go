@@ -1,0 +1,116 @@
+package metrics
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+)
+
+// WriteJSON writes the registry's current snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	return r.Snapshot().WriteJSON(w)
+}
+
+// WriteJSON serializes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteTable writes the registry's current snapshot as a text table.
+func (r *Registry) WriteTable(w io.Writer) error {
+	return r.Snapshot().WriteTable(w)
+}
+
+// WriteTable renders the snapshot as a human-readable table: counters and
+// gauges first, then one row per histogram with count/mean/min/max and the
+// three tracked quantiles. Names are sorted, so output is deterministic.
+func (s Snapshot) WriteTable(w io.Writer) error {
+	names := make([]string, 0, len(s.Counters))
+	for k := range s.Counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		if _, err := fmt.Fprintf(w, "%-46s %12d\n", k, s.Counters[k]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for k := range s.Gauges {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		if _, err := fmt.Fprintf(w, "%-46s %12.1f\n", k, s.Gauges[k]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for k := range s.Histograms {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	if len(names) > 0 {
+		if _, err := fmt.Fprintf(w, "%-46s %8s %10s %10s %10s %10s %10s %10s\n",
+			"histogram", "count", "mean", "min", "max", "p50", "p95", "p99"); err != nil {
+			return err
+		}
+	}
+	for _, k := range names {
+		h := s.Histograms[k]
+		if _, err := fmt.Fprintf(w, "%-46s %8d %10.1f %10.1f %10.1f %10.1f %10.1f %10.1f\n",
+			k, h.Count, h.Mean, h.Min, h.Max, h.P50, h.P95, h.P99); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handler returns an http.Handler that serves the registry's snapshot.
+// `?format=table` (or an Accept header preferring text/plain) selects the
+// text table; the default is indented JSON. This is the `/metrics` endpoint
+// of cmd/qrmon.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		s := r.Snapshot()
+		if req.URL.Query().Get("format") == "table" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_ = s.WriteTable(w)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = s.WriteJSON(w)
+	})
+}
+
+// expvarPublished guards expvar.Publish, which panics on duplicate names;
+// re-publishing the same registry name is a harmless no-op instead.
+var (
+	expvarMu        sync.Mutex
+	expvarPublished = map[string]bool{}
+)
+
+// PublishExpvar exposes the registry under the given name in the process's
+// expvar tree, so the standard `/debug/vars` endpoint (expvar.Handler)
+// includes a live snapshot. Publishing the same name twice is a no-op; two
+// different registries must use different names (the last one published
+// under a name wins is NOT supported — the first registration sticks, which
+// keeps expvar's no-replacement contract).
+func (r *Registry) PublishExpvar(name string) {
+	if r == nil {
+		return
+	}
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if expvarPublished[name] {
+		return
+	}
+	expvarPublished[name] = true
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

@@ -1,0 +1,492 @@
+// Package metrics is a dependency-free, concurrency-safe metrics registry
+// for the runtime, the simulator and the scheduler: atomic counters, float
+// gauges, log-scaled latency histograms with quantile estimation, and
+// labelled timer helpers, plus JSON / expvar / text-table export (see
+// export.go).
+//
+// Design points, in the spirit of trace.Recorder:
+//
+//   - A nil *Registry is fully usable: every accessor returns a nil metric
+//     whose methods are no-ops, so instrumented code needs no branches on
+//     observability being enabled and pays only a nil check when it is off.
+//   - Metric handles are stable: Counter/Gauge/Histogram get-or-create by
+//     name, so hot paths can resolve a handle once and then update it with
+//     a single atomic operation.
+//   - Histograms are log-scaled (8 buckets per octave, ≤ ~4.5% relative
+//     resolution) so microsecond kernels and second-long factorizations
+//     share one fixed-size, allocation-free structure.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry holds named metrics. The zero value is NOT usable; call
+// NewRegistry. A nil *Registry is safe everywhere and records nothing.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+	}
+}
+
+// With renders a labelled metric name in the fixed `base{k1=v1,k2=v2}` form
+// used throughout the instrumentation, from alternating key, value pairs.
+// Labels are part of the name, which keeps the registry a flat map and the
+// exports trivially greppable.
+func With(base string, kv ...string) string {
+	if len(kv) == 0 {
+		return base
+	}
+	var b strings.Builder
+	b.WriteString(base)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteByte('=')
+		b.WriteString(kv[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Counter returns the named monotonically-increasing counter, creating it
+// on first use. Nil registries return a nil (no-op) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named float gauge, creating it on first use. Nil
+// registries return a nil (no-op) gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use. Nil
+// registries return a nil (no-op) histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.histograms[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.histograms[name]; h == nil {
+		h = NewHistogram()
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// StartTimer starts a labelled timer: the returned stop function observes
+// the elapsed time, in microseconds, into the named histogram. Usable on a
+// nil registry (the stop function is then a no-op).
+func (r *Registry) StartTimer(name string) func() {
+	if r == nil {
+		return func() {}
+	}
+	h := r.Histogram(name)
+	start := time.Now()
+	return func() { h.Observe(float64(time.Since(start)) / float64(time.Microsecond)) }
+}
+
+// Time runs f and records its duration, in microseconds, into the named
+// histogram.
+func (r *Registry) Time(name string, f func()) {
+	stop := r.StartTimer(name)
+	f()
+	stop()
+}
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (negative n is ignored; counters are monotone).
+func (c *Counter) Add(n int64) {
+	if c == nil || n < 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomically updatable float64 value (set, add, max).
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add atomically adds d.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// SetMax raises the gauge to v if v exceeds the current value — a
+// high-water-mark helper (e.g. peak queue depth).
+func (g *Gauge) SetMax(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram bucket layout: bucket 0 holds values ≤ 1; bucket i (i ≥ 1)
+// holds values in (growth^(i-1), growth^i] with growth = 2^(1/8), i.e.
+// 8 buckets per power of two. 512 buckets reach growth^511 ≈ 1.5e19, far
+// past any duration in microseconds, so observations never saturate in
+// practice (the last bucket clamps if they somehow do).
+const (
+	histBuckets = 512
+	histOctave  = 8
+)
+
+var (
+	histGrowth    = math.Pow(2, 1.0/histOctave)
+	invLogGrowth  = 1 / math.Log(histGrowth)
+	histUpper     [histBuckets]float64
+	histUpperOnce sync.Once
+)
+
+func bucketOf(v float64) int {
+	if v <= 1 {
+		return 0
+	}
+	i := int(math.Ceil(math.Log(v) * invLogGrowth))
+	if i < 1 {
+		i = 1
+	}
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	return i
+}
+
+// bucketUpperBound returns the inclusive upper edge of bucket i.
+func bucketUpperBound(i int) float64 {
+	histUpperOnce.Do(func() {
+		for j := range histUpper {
+			histUpper[j] = math.Pow(histGrowth, float64(j))
+		}
+	})
+	return histUpper[i]
+}
+
+// Histogram is a log-scaled distribution of non-negative observations
+// (canonically: microseconds). All updates are lock-free. Use NewHistogram
+// (or Registry.Histogram); the zero value mis-tracks the minimum.
+type Histogram struct {
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 sum, CAS-updated
+	minBits atomic.Uint64 // float64 running min, seeded +Inf
+	maxBits atomic.Uint64 // float64 running max, seeded -Inf
+	buckets [histBuckets]atomic.Int64
+}
+
+// NewHistogram returns an empty histogram ready for concurrent Observe.
+func NewHistogram() *Histogram {
+	h := &Histogram{}
+	h.minBits.Store(math.Float64bits(math.Inf(1)))
+	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
+	return h
+}
+
+// Observe records one value; negative values clamp to zero.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	if v < 0 || math.IsNaN(v) {
+		v = 0
+	}
+	h.buckets[bucketOf(v)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			break
+		}
+	}
+	for {
+		old := h.minBits.Load()
+		if math.Float64frombits(old) <= v || h.minBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+	for {
+		old := h.maxBits.Load()
+		if math.Float64frombits(old) >= v || h.maxBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bucket counts.
+// The estimate is the upper edge of the bucket containing the rank, so it
+// is exact to one bucket (≈ 9% relative). Returns 0 with no observations.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	snap := make([]int64, histBuckets)
+	var total int64
+	for i := range h.buckets {
+		snap[i] = h.buckets[i].Load()
+		total += snap[i]
+	}
+	return quantileFromBuckets(snap, total, q)
+}
+
+func quantileFromBuckets(buckets []int64, total int64, q float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, n := range buckets {
+		cum += n
+		if cum >= rank {
+			return bucketUpperBound(i)
+		}
+	}
+	return bucketUpperBound(len(buckets) - 1)
+}
+
+// HistogramStat is a point-in-time summary of one histogram.
+type HistogramStat struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// snapshot summarises the histogram with one pass over the buckets so the
+// three quantiles agree on a single consistent view.
+func (h *Histogram) snapshot() HistogramStat {
+	var s HistogramStat
+	if h == nil {
+		return s
+	}
+	snap := make([]int64, histBuckets)
+	var total int64
+	for i := range h.buckets {
+		snap[i] = h.buckets[i].Load()
+		total += snap[i]
+	}
+	s.Count = total
+	s.Sum = math.Float64frombits(h.sumBits.Load())
+	if total == 0 {
+		return s
+	}
+	s.Mean = s.Sum / float64(total)
+	s.Min = math.Float64frombits(h.minBits.Load())
+	s.Max = math.Float64frombits(h.maxBits.Load())
+	s.P50 = quantileFromBuckets(snap, total, 0.50)
+	s.P95 = quantileFromBuckets(snap, total, 0.95)
+	s.P99 = quantileFromBuckets(snap, total, 0.99)
+	return s
+}
+
+// Snapshot is a consistent-enough point-in-time copy of a registry: each
+// metric is read atomically (the set of metrics is read under the registry
+// lock), so it can be serialized long after the fact.
+type Snapshot struct {
+	Counters   map[string]int64         `json:"counters"`
+	Gauges     map[string]float64       `json:"gauges"`
+	Histograms map[string]HistogramStat `json:"histograms"`
+}
+
+// Snapshot captures every metric currently in the registry. Nil registries
+// return an empty (but non-nil-mapped) snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramStat{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.histograms))
+	for k, v := range r.histograms {
+		hists[k] = v
+	}
+	r.mu.RUnlock()
+	for k, v := range counters {
+		s.Counters[k] = v.Value()
+	}
+	for k, v := range gauges {
+		s.Gauges[k] = v.Value()
+	}
+	for k, v := range hists {
+		s.Histograms[k] = v.snapshot()
+	}
+	return s
+}
+
+// Names returns all metric names in the snapshot, sorted, prefixed with
+// their type (for quick inspection in tests and tooling).
+func (s Snapshot) Names() []string {
+	out := make([]string, 0, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+	for k := range s.Counters {
+		out = append(out, "counter:"+k)
+	}
+	for k := range s.Gauges {
+		out = append(out, "gauge:"+k)
+	}
+	for k := range s.Histograms {
+		out = append(out, "histogram:"+k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SumCounters totals every counter whose name starts with prefix — the
+// aggregation helper behind "per-step op counts must equal the DAG size".
+func (s Snapshot) SumCounters(prefix string) int64 {
+	var total int64
+	for k, v := range s.Counters {
+		if strings.HasPrefix(k, prefix) {
+			total += v
+		}
+	}
+	return total
+}
+
+// String renders the snapshot as the human-readable table of WriteTable.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	if err := s.WriteTable(&b); err != nil {
+		return fmt.Sprintf("metrics: %v", err)
+	}
+	return b.String()
+}

@@ -1,0 +1,306 @@
+package metrics
+
+import (
+	"encoding/json"
+	"expvar"
+	"math"
+	"math/rand"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilRegistrySafe(t *testing.T) {
+	var r *Registry
+	r.Counter("c").Inc()
+	r.Gauge("g").Set(3)
+	r.Gauge("g").Add(1)
+	r.Gauge("g").SetMax(9)
+	r.Histogram("h").Observe(1)
+	r.Time("t", func() {})
+	stop := r.StartTimer("t2")
+	stop()
+	r.PublishExpvar("nil-registry")
+	s := r.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", s)
+	}
+	if r.Counter("c").Value() != 0 || r.Gauge("g").Value() != 0 || r.Histogram("h").Count() != 0 {
+		t.Fatal("nil metric values must read zero")
+	}
+}
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops")
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored: counters are monotone
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("ops") != c {
+		t.Fatal("counter handle not stable")
+	}
+	g := r.Gauge("depth")
+	g.Set(2.5)
+	g.Add(1.5)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %v, want 4", got)
+	}
+	g.SetMax(3) // below current: no change
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge after SetMax(3) = %v, want 4", got)
+	}
+	g.SetMax(7)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge after SetMax(7) = %v, want 7", got)
+	}
+}
+
+func TestWith(t *testing.T) {
+	if got := With("runtime.ops"); got != "runtime.ops" {
+		t.Fatalf("With no labels = %q", got)
+	}
+	if got := With("runtime.ops", "step", "T"); got != "runtime.ops{step=T}" {
+		t.Fatalf("With one label = %q", got)
+	}
+	if got := With("x", "a", "1", "b", "2"); got != "x{a=1,b=2}" {
+		t.Fatalf("With two labels = %q", got)
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	for _, v := range []float64{1, 10, 100} {
+		h.Observe(v)
+	}
+	s := r.Snapshot().Histograms["lat"]
+	if s.Count != 3 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Sum != 111 {
+		t.Fatalf("sum = %v", s.Sum)
+	}
+	if s.Min != 1 || s.Max != 100 {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+	if s.Mean != 37 {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+}
+
+// TestHistogramQuantilesAgainstBruteForce drives the log-bucketed quantile
+// estimate against an exact sorted-slice reference over a wide dynamic
+// range. The histogram guarantees one-bucket resolution, i.e. the estimate
+// must be ≥ the true value and within one growth factor above it (plus the
+// ≤1 floor of bucket zero).
+func TestHistogramQuantilesAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	h := NewHistogram()
+	var values []float64
+	for i := 0; i < 20000; i++ {
+		// Log-uniform over [0.1, 1e7): exercises bucket 0 through octave 23.
+		v := math.Pow(10, -1+8*rng.Float64())
+		values = append(values, v)
+		h.Observe(v)
+	}
+	sort.Float64s(values)
+	exact := func(q float64) float64 {
+		rank := int(math.Ceil(q*float64(len(values)))) - 1
+		if rank < 0 {
+			rank = 0
+		}
+		return values[rank]
+	}
+	for _, q := range []float64{0.01, 0.25, 0.50, 0.90, 0.95, 0.99, 0.999} {
+		got := h.Quantile(q)
+		want := exact(q)
+		upper := math.Max(want, 1) * histGrowth // one-bucket resolution + the ≤1 floor
+		if got < want || got > upper {
+			t.Errorf("q=%v: estimate %v outside [%v, %v]", q, got, want, upper)
+		}
+	}
+}
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	h := NewHistogram()
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile must be 0")
+	}
+	h.Observe(-5) // clamps to 0
+	if got := h.Quantile(1); got != 1 {
+		t.Fatalf("single clamped observation p100 = %v, want bucket-0 edge 1", got)
+	}
+	s := h.snapshot()
+	if s.Min != 0 || s.Max != 0 {
+		t.Fatalf("clamped min/max = %v/%v", s.Min, s.Max)
+	}
+}
+
+// TestConcurrentRegistry hammers one registry from many goroutines doing
+// increments, observations, gauge updates and snapshots; run under -race
+// this is the concurrency-safety certificate for the package.
+func TestConcurrentRegistry(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const iters = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				r.Counter("shared").Inc()
+				r.Counter(With("labelled", "w", string(rune('a'+id)))).Inc()
+				r.Gauge("depth").Set(float64(i))
+				r.Gauge("peak").SetMax(float64(i))
+				r.Histogram("lat").Observe(float64(i % 100))
+				if i%100 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	// A dedicated reader snapshotting while writers run.
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				_ = r.Snapshot()
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	s := r.Snapshot()
+	if s.Counters["shared"] != workers*iters {
+		t.Fatalf("shared counter = %d, want %d", s.Counters["shared"], workers*iters)
+	}
+	if s.Histograms["lat"].Count != workers*iters {
+		t.Fatalf("histogram count = %d, want %d", s.Histograms["lat"].Count, workers*iters)
+	}
+	if s.Gauges["peak"] != iters-1 {
+		t.Fatalf("peak gauge = %v, want %d", s.Gauges["peak"], iters-1)
+	}
+	if got := s.SumCounters("labelled{"); got != workers*iters {
+		t.Fatalf("SumCounters(labelled) = %d, want %d", got, workers*iters)
+	}
+}
+
+func TestTimers(t *testing.T) {
+	r := NewRegistry()
+	r.Time("op_us", func() { time.Sleep(time.Millisecond) })
+	stop := r.StartTimer("op_us")
+	time.Sleep(time.Millisecond)
+	stop()
+	s := r.Snapshot().Histograms["op_us"]
+	if s.Count != 2 {
+		t.Fatalf("timer count = %d", s.Count)
+	}
+	if s.Min < 900 { // ≥ ~1ms in µs
+		t.Fatalf("timer min = %vµs, want ≥ 900", s.Min)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(7)
+	r.Gauge("g").Set(1.5)
+	r.Histogram("h").Observe(42)
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var parsed Snapshot
+	if err := json.Unmarshal([]byte(b.String()), &parsed); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if parsed.Counters["c"] != 7 || parsed.Gauges["g"] != 1.5 || parsed.Histograms["h"].Count != 1 {
+		t.Fatalf("round trip lost data: %+v", parsed)
+	}
+}
+
+func TestWriteTableDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.ops").Inc()
+	r.Counter("a.ops").Inc()
+	r.Gauge("z.depth").Set(2)
+	r.Histogram("m.lat").Observe(10)
+	var t1, t2 strings.Builder
+	if err := r.WriteTable(&t1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteTable(&t2); err != nil {
+		t.Fatal(err)
+	}
+	if t1.String() != t2.String() {
+		t.Fatal("table output not deterministic")
+	}
+	out := t1.String()
+	if strings.Index(out, "a.ops") > strings.Index(out, "b.ops") {
+		t.Fatalf("counters not sorted:\n%s", out)
+	}
+	for _, want := range []string{"a.ops", "z.depth", "m.lat", "p95"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHTTPHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits").Add(3)
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var s Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Counters["hits"] != 3 {
+		t.Fatalf("served counter = %d", s.Counters["hits"])
+	}
+
+	resp2, err := srv.Client().Get(srv.URL + "?format=table")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if ct := resp2.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("table content type %q", ct)
+	}
+}
+
+func TestPublishExpvar(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("published").Add(11)
+	r.PublishExpvar("metrics-test")
+	r.PublishExpvar("metrics-test") // duplicate must not panic
+	v := expvar.Get("metrics-test")
+	if v == nil {
+		t.Fatal("expvar not published")
+	}
+	var s Snapshot
+	if err := json.Unmarshal([]byte(v.String()), &s); err != nil {
+		t.Fatalf("expvar value not snapshot JSON: %v", err)
+	}
+	if s.Counters["published"] != 11 {
+		t.Fatalf("expvar counter = %d", s.Counters["published"])
+	}
+}

@@ -1,0 +1,112 @@
+package runtime
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/tiled"
+	"repro/internal/workload"
+)
+
+// TestFactorMetricsOpCounts is the bookkeeping invariant of the
+// instrumentation: after Factor, the per-step operation counters
+// (T + UT + E + UE) must total exactly len(dag.Ops), and each step's count
+// must match the DAG's own composition — under both dispatch policies.
+func TestFactorMetricsOpCounts(t *testing.T) {
+	for _, prio := range []Priority{FIFO, CriticalPath} {
+		t.Run(prio.String(), func(t *testing.T) {
+			reg := metrics.NewRegistry()
+			a := workload.Uniform(3, 96, 96)
+			opts := Options{TileSize: 16, Workers: 3, Priority: prio, Metrics: reg}
+			if _, err := Factor(a, opts); err != nil {
+				t.Fatal(err)
+			}
+			dag := tiled.BuildDAG(tiled.NewLayout(96, 96, 16), tiled.FlatTS{})
+			wantBySteps := map[string]int64{}
+			for _, op := range dag.Ops {
+				wantBySteps[op.Kind.Step()]++
+			}
+			snap := reg.Snapshot()
+			var total int64
+			for step, want := range wantBySteps {
+				got := snap.Counters[metrics.With(MetricOps, "step", step)]
+				if got != want {
+					t.Errorf("ops{step=%s} = %d, want %d", step, got, want)
+				}
+				total += got
+			}
+			if total != int64(len(dag.Ops)) {
+				t.Fatalf("T+UT+E+UE = %d, want len(dag.Ops) = %d", total, len(dag.Ops))
+			}
+			if got := snap.SumCounters(MetricOps + "{"); got != int64(len(dag.Ops)) {
+				t.Fatalf("SumCounters = %d, want %d", got, len(dag.Ops))
+			}
+			for step := range wantBySteps {
+				h := snap.Histograms[metrics.With(MetricOpUS, "step", step)]
+				if h.Count != wantBySteps[step] {
+					t.Errorf("op_us{step=%s} count = %d, want %d", step, h.Count, wantBySteps[step])
+				}
+				if h.Count > 0 && h.P95 < h.P50 {
+					t.Errorf("op_us{step=%s} quantiles inverted: p50=%v p95=%v", step, h.P50, h.P95)
+				}
+			}
+		})
+	}
+}
+
+// TestFactorMetricsWorkersAndQueue checks the execution-wide figures: the
+// configured worker count, per-worker busy/idle gauges for every worker,
+// and the manager's queue-depth high-water mark.
+func TestFactorMetricsWorkersAndQueue(t *testing.T) {
+	reg := metrics.NewRegistry()
+	a := workload.Uniform(7, 128, 128)
+	if _, err := Factor(a, Options{TileSize: 16, Workers: 4, Metrics: reg}); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Gauges[MetricWorkers]; got != 4 {
+		t.Fatalf("workers gauge = %v", got)
+	}
+	dagOps := snap.Gauges[MetricDagOps]
+	if dagOps <= 0 {
+		t.Fatalf("dag_ops gauge = %v", dagOps)
+	}
+	wall := snap.Histograms[MetricWallUS]
+	if wall.Count != 1 || wall.Sum <= 0 {
+		t.Fatalf("wall_us = %+v", wall)
+	}
+	for w := 0; w < 4; w++ {
+		busy, ok := snap.Gauges[metrics.With(MetricWorkerBusyUS, "worker", workerName(w))]
+		if !ok {
+			t.Fatalf("missing busy gauge for worker %d", w)
+		}
+		idle, ok := snap.Gauges[metrics.With(MetricWorkerIdleUS, "worker", workerName(w))]
+		if !ok {
+			t.Fatalf("missing idle gauge for worker %d", w)
+		}
+		if busy < 0 || idle < 0 {
+			t.Fatalf("worker %d busy/idle = %v/%v", w, busy, idle)
+		}
+	}
+	// 8×8 tiles of trailing updates: the ready queue must have backed up
+	// at some point on 4 workers.
+	if peak := snap.Gauges[MetricQueuePeak]; peak <= 0 {
+		t.Fatalf("queue peak = %v", peak)
+	}
+	if snap.Counters[MetricFactors] != 1 {
+		t.Fatalf("factors counter = %d", snap.Counters[MetricFactors])
+	}
+}
+
+// TestFactorNilMetricsUnchanged guards the fast path: a nil registry must
+// not panic anywhere and the factorization must stay correct.
+func TestFactorNilMetricsUnchanged(t *testing.T) {
+	a := workload.Uniform(11, 64, 64)
+	f, err := Factor(a, Options{TileSize: 16, Workers: 2, Metrics: nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := f.Residual(a); r > 1e-12 {
+		t.Fatalf("residual %v", r)
+	}
+}

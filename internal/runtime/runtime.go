@@ -8,6 +8,12 @@
 // uses for its CPU (PLASMA-based) device. The heterogeneous multi-device
 // behaviour is reproduced by internal/sim on top of calibrated device
 // models.
+//
+// Observability: pass a metrics.Registry in Options.Metrics to get
+// per-kernel-class operation counts and latency histograms, per-worker
+// busy/idle accounting, manager queue-depth gauges, and pprof labels
+// (qr_worker, qr_step) on every kernel so CPU profiles attribute samples
+// to kernel classes. See instrument.go for the metric names.
 package runtime
 
 import (
@@ -15,6 +21,7 @@ import (
 	"runtime"
 
 	"repro/internal/matrix"
+	"repro/internal/metrics"
 	"repro/internal/tiled"
 	"repro/internal/trace"
 )
@@ -32,6 +39,9 @@ type Options struct {
 	// Priority selects the manager's dispatch order (FIFO default, or
 	// CriticalPath to favour the panel chain).
 	Priority Priority
+	// Metrics, when non-nil, receives the runtime.* metrics and enables
+	// pprof kernel labels. Nil disables all instrumentation.
+	Metrics *metrics.Registry
 }
 
 // Normalize validates the options and fills defaults in place; Factor
@@ -59,14 +69,17 @@ func Factor(a *matrix.Matrix, opts Options) (*tiled.Factorization, error) {
 	if err := opts.Normalize(); err != nil {
 		return nil, err
 	}
+	stop := opts.Metrics.StartTimer(MetricFactorUS)
+	opts.Metrics.Counter(MetricFactors).Inc()
 	l := tiled.NewLayout(a.Rows, a.Cols, opts.TileSize)
 	dag := tiled.BuildDAG(l, opts.Tree)
 	f := tiled.NewFactorization(tiled.FromDense(a, opts.TileSize), opts.Tree)
 	if opts.Priority == CriticalPath {
-		ExecutePriority(dag, f, opts.Workers, opts.Recorder)
+		ExecutePriorityObserved(dag, f, opts.Workers, opts.Recorder, opts.Metrics)
 	} else {
-		Execute(dag, f, opts.Workers, opts.Recorder)
+		ExecuteObserved(dag, f, opts.Workers, opts.Recorder, opts.Metrics)
 	}
+	stop()
 	return f, nil
 }
 
@@ -75,6 +88,12 @@ func Factor(a *matrix.Matrix, opts Options) (*tiled.Factorization, error) {
 // DAGs across matrices of identical shape) can skip the conversion in
 // Factor.
 func Execute(dag *tiled.DAG, f *tiled.Factorization, workers int, rec *trace.Recorder) {
+	ExecuteObserved(dag, f, workers, rec, nil)
+}
+
+// ExecuteObserved is Execute with metrics instrumentation (nil reg is
+// equivalent to Execute).
+func ExecuteObserved(dag *tiled.DAG, f *tiled.Factorization, workers int, rec *trace.Recorder, reg *metrics.Registry) {
 	n := len(dag.Ops)
 	if n == 0 {
 		return
@@ -85,6 +104,7 @@ func Execute(dag *tiled.DAG, f *tiled.Factorization, workers int, rec *trace.Rec
 	if workers > n {
 		workers = n
 	}
+	in := newInstr(reg, workers)
 
 	// The manager/computing-thread protocol: ready ops flow to workers over
 	// `ready`; completions flow back over `done`. Both channels are buffered
@@ -94,10 +114,10 @@ func Execute(dag *tiled.DAG, f *tiled.Factorization, workers int, rec *trace.Rec
 
 	for w := 0; w < workers; w++ {
 		go func(id int) {
-			name := fmt.Sprintf("worker-%d", id)
+			name := workerName(id)
 			for opID := range ready {
 				start := rec.Now()
-				f.ApplyOp(dag.Ops[opID])
+				in.applyOp(f, dag.Ops[opID], id)
 				if rec != nil {
 					op := dag.Ops[opID]
 					rec.Add(trace.Event{
@@ -122,6 +142,7 @@ func Execute(dag *tiled.DAG, f *tiled.Factorization, workers int, rec *trace.Rec
 			inFlight++
 		}
 	}
+	in.queueDepth(len(ready))
 	completed := 0
 	for completed < n {
 		id := <-done
@@ -132,8 +153,10 @@ func Execute(dag *tiled.DAG, f *tiled.Factorization, workers int, rec *trace.Rec
 				ready <- s
 			}
 		}
+		in.queueDepth(len(ready))
 	}
 	close(ready)
+	in.finish(workers, n)
 }
 
 // ExecutePriority runs the DAG like Execute but dispatches ready operations
@@ -141,6 +164,12 @@ func Execute(dag *tiled.DAG, f *tiled.Factorization, workers int, rec *trace.Rec
 // by remaining chain depth and hands workers at most one op each at a time,
 // so deeper chains (the panel) always pre-empt bulk updates in the queue.
 func ExecutePriority(dag *tiled.DAG, f *tiled.Factorization, workers int, rec *trace.Recorder) {
+	ExecutePriorityObserved(dag, f, workers, rec, nil)
+}
+
+// ExecutePriorityObserved is ExecutePriority with metrics instrumentation
+// (nil reg is equivalent to ExecutePriority).
+func ExecutePriorityObserved(dag *tiled.DAG, f *tiled.Factorization, workers int, rec *trace.Recorder, reg *metrics.Registry) {
 	n := len(dag.Ops)
 	if n == 0 {
 		return
@@ -151,6 +180,7 @@ func ExecutePriority(dag *tiled.DAG, f *tiled.Factorization, workers int, rec *t
 	if workers > n {
 		workers = n
 	}
+	in := newInstr(reg, workers)
 
 	// Unbuffered-ish dispatch: capacity 1 keeps at most one queued op per
 	// idle worker, so heap order governs execution order.
@@ -158,10 +188,10 @@ func ExecutePriority(dag *tiled.DAG, f *tiled.Factorization, workers int, rec *t
 	done := make(chan int, n)
 	for w := 0; w < workers; w++ {
 		go func(id int) {
-			name := fmt.Sprintf("worker-%d", id)
+			name := workerName(id)
 			for opID := range ready {
 				start := rec.Now()
-				f.ApplyOp(dag.Ops[opID])
+				in.applyOp(f, dag.Ops[opID], id)
 				if rec != nil {
 					op := dag.Ops[opID]
 					rec.Add(trace.Event{
@@ -193,6 +223,7 @@ func ExecutePriority(dag *tiled.DAG, f *tiled.Factorization, workers int, rec *t
 			ready <- h.popID()
 			inFlight++
 		}
+		in.queueDepth(h.Len())
 		id := <-done
 		completed++
 		inFlight--
@@ -204,4 +235,5 @@ func ExecutePriority(dag *tiled.DAG, f *tiled.Factorization, workers int, rec *t
 		}
 	}
 	close(ready)
+	in.finish(workers, n)
 }

@@ -1,0 +1,76 @@
+package sched
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/metrics"
+)
+
+// TestBuildPlanObservedMetrics checks the decision trail recorded for a
+// paper-platform plan: which device Algorithm 2 selected, the Algorithm 3
+// prediction series and chosen p, and the Algorithm 4 ratios.
+func TestBuildPlanObservedMetrics(t *testing.T) {
+	pl := device.PaperPlatform()
+	prob := paperProblem(3200)
+	reg := metrics.NewRegistry()
+	plan := BuildPlanObserved(pl, prob, reg)
+	snap := reg.Snapshot()
+
+	if snap.Counters[MetricPlans] != 1 {
+		t.Fatalf("plans = %d", snap.Counters[MetricPlans])
+	}
+	mainName := pl.Devices[plan.Main].Name
+	if got := snap.Counters[metrics.With(MetricMainSelected, "dev", mainName)]; got != 1 {
+		t.Fatalf("main_selected{%s} = %d", mainName, got)
+	}
+	if got := snap.Gauges[MetricP]; got != float64(plan.P) {
+		t.Fatalf("p gauge = %v, plan.P = %d", got, plan.P)
+	}
+	if got := snap.Counters[metrics.With(MetricPChosen, "p", strconv.Itoa(plan.P))]; got != 1 {
+		t.Fatalf("p_chosen = %d", got)
+	}
+	for i, want := range plan.Predicted {
+		got := snap.Gauges[metrics.With(MetricPredictedUS, "p", strconv.Itoa(i+1))]
+		if got != want {
+			t.Fatalf("predicted_us{p=%d} = %v, want %v", i+1, got, want)
+		}
+	}
+	if got := snap.Gauges[MetricGuideLen]; got != float64(len(plan.Guide)) {
+		t.Fatalf("guide_len = %v, want %d", got, len(plan.Guide))
+	}
+	for i, idx := range plan.Participants() {
+		got := snap.Gauges[metrics.With(MetricRatio, "dev", pl.Devices[idx].Name)]
+		if got != float64(plan.Ratios[i]) {
+			t.Fatalf("ratio{%s} = %v, want %d", pl.Devices[idx].Name, got, plan.Ratios[i])
+		}
+	}
+	// On the paper platform at 3200² Algorithm 2 has real candidates, so
+	// the fallback path must not have fired.
+	if snap.Counters[MetricMainFallback] != 0 {
+		t.Fatalf("main_fallback = %d", snap.Counters[MetricMainFallback])
+	}
+	if snap.Gauges[MetricMainCandidates] < 1 {
+		t.Fatalf("main_candidates = %v", snap.Gauges[MetricMainCandidates])
+	}
+}
+
+// TestBuildPlanObservedNilRegistry pins that BuildPlan and the observed
+// variant with a nil registry produce identical plans (instrumentation is
+// strictly read-only).
+func TestBuildPlanObservedNilRegistry(t *testing.T) {
+	pl := device.PaperPlatform()
+	prob := paperProblem(1600)
+	a := BuildPlan(pl, prob)
+	b := BuildPlanObserved(pl, prob, nil)
+	c := BuildPlanObserved(pl, prob, metrics.NewRegistry())
+	if a.Main != b.Main || a.P != b.P || a.Main != c.Main || a.P != c.P {
+		t.Fatalf("plans differ: %+v / %+v / %+v", a, b, c)
+	}
+	for i := range a.ColumnOwner {
+		if a.ColumnOwner[i] != c.ColumnOwner[i] {
+			t.Fatalf("column owner differs at %d", i)
+		}
+	}
+}

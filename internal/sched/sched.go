@@ -15,8 +15,41 @@ package sched
 import (
 	"fmt"
 	"sort"
+	"strconv"
 
 	"repro/internal/device"
+	"repro/internal/metrics"
+)
+
+// Metric names exported by the scheduler: the decision trail of
+// Algorithms 2–4 for the most recent plans built through
+// BuildPlanObserved.
+const (
+	// MetricPlans counts plans built.
+	MetricPlans = "sched.plans"
+	// MetricMainSelected counts selections per device name
+	// (`sched.main_selected{dev=GTX580}`), recording *which* device
+	// Algorithm 2 chose; MetricMainFallback counts the runs where no
+	// device could hide the panel under the others' updates and the
+	// fastest-panel fallback fired instead.
+	MetricMainSelected = "sched.main_selected"
+	MetricMainFallback = "sched.main_fallback"
+	// MetricMainCandidates is the number of Algorithm 2 candidates in the
+	// latest plan (gauge).
+	MetricMainCandidates = "sched.main_candidates"
+	// MetricP is the latest chosen device count (gauge);
+	// MetricPChosen counts choices per value (`sched.p_chosen{p=3}`).
+	MetricP       = "sched.p"
+	MetricPChosen = "sched.p_chosen"
+	// MetricPredictedUS records the latest T(p) = Top(p) + Tcomm(p) model
+	// value per prefix size (`sched.predicted_us{p=2}`, gauge), the
+	// evidence Algorithm 3 weighed.
+	MetricPredictedUS = "sched.predicted_us"
+	// MetricGuideLen is the latest guide-array length (gauge);
+	// MetricRatio the latest integer update-speed ratio per participant
+	// (`sched.ratio{dev=...}`, gauge) behind it.
+	MetricGuideLen = "sched.guide_len"
+	MetricRatio    = "sched.ratio"
 )
 
 // Problem describes a tiled QR instance to schedule: the tile grid and tile
@@ -280,6 +313,14 @@ func (pl *Plan) Describe(plat *device.Platform) string {
 // BuildPlan runs the full pipeline: main selection, device-count
 // optimization, guide-array construction and column distribution.
 func BuildPlan(plat *device.Platform, prob Problem) *Plan {
+	return BuildPlanObserved(plat, prob, nil)
+}
+
+// BuildPlanObserved is BuildPlan plus decision metrics: when reg is
+// non-nil it records why Algorithm 2 chose the main device (candidate
+// count, fallback use, chosen name), the Algorithm 3 per-prefix
+// predictions and chosen p, and the Algorithm 4 ratios and guide length.
+func BuildPlanObserved(plat *device.Platform, prob Problem, reg *metrics.Registry) *Plan {
 	main := SelectMain(plat, prob)
 	order := OrderDevices(plat, prob, main)
 	p, pred := SelectNumDevices(plat, prob, order)
@@ -289,7 +330,7 @@ func BuildPlan(plat *device.Platform, prob Problem) *Plan {
 	}
 	ratios := IntegerRatios(speeds, 32)
 	guide := GuideArray(ratios)
-	return &Plan{
+	plan := &Plan{
 		Problem:     prob,
 		Main:        main,
 		Order:       order,
@@ -299,4 +340,28 @@ func BuildPlan(plat *device.Platform, prob Problem) *Plan {
 		Guide:       guide,
 		ColumnOwner: DistributeColumns(prob.Nt, guide),
 	}
+	if reg != nil {
+		reg.Counter(MetricPlans).Inc()
+		candidates := 0
+		for i := range plat.Devices {
+			if canFinishPanelBeforeUpdates(plat, prob, i) {
+				candidates++
+			}
+		}
+		reg.Gauge(MetricMainCandidates).Set(float64(candidates))
+		if candidates == 0 {
+			reg.Counter(MetricMainFallback).Inc()
+		}
+		reg.Counter(metrics.With(MetricMainSelected, "dev", plat.Devices[main].Name)).Inc()
+		reg.Gauge(MetricP).Set(float64(p))
+		reg.Counter(metrics.With(MetricPChosen, "p", strconv.Itoa(p))).Inc()
+		for i, t := range pred {
+			reg.Gauge(metrics.With(MetricPredictedUS, "p", strconv.Itoa(i+1))).Set(t)
+		}
+		reg.Gauge(MetricGuideLen).Set(float64(len(guide)))
+		for i, idx := range order[:p] {
+			reg.Gauge(metrics.With(MetricRatio, "dev", plat.Devices[idx].Name)).Set(float64(ratios[i]))
+		}
+	}
+	return plan
 }

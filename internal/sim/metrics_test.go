@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+)
+
+// TestRunMetricsMatchResult cross-checks the metrics against the Result
+// the same run returns: the Eq. 10 side (sim.top_us) must equal CalcUS,
+// the Eq. 11 side (sim.tcomm_us) must equal CommUS, per-device busy
+// gauges must sum to CalcUS, and the structural counters must match the
+// problem shape.
+func TestRunMetricsMatchResult(t *testing.T) {
+	pl := device.PaperPlatform()
+	prob := paperProblem(1600)
+	plan := sched.BuildPlan(pl, prob)
+	reg := metrics.NewRegistry()
+	res := Run(Config{Platform: pl, Plan: plan, Metrics: reg})
+	snap := reg.Snapshot()
+
+	if snap.Counters[MetricRuns] != 1 {
+		t.Fatalf("runs = %d", snap.Counters[MetricRuns])
+	}
+	kt := prob.Mt
+	if prob.Nt < kt {
+		kt = prob.Nt
+	}
+	if got := snap.Counters[MetricIterations]; got != int64(kt) {
+		t.Fatalf("iterations = %d, want %d", got, kt)
+	}
+	// All panels run on the main device in the default configuration.
+	mainName := pl.Devices[plan.Main].Name
+	if got := snap.Counters[metrics.With(MetricPanelOps, "dev", mainName)]; got != int64(kt) {
+		t.Fatalf("panel_ops{%s} = %d, want %d", mainName, got, kt)
+	}
+	approx := func(a, b float64) bool {
+		return math.Abs(a-b) <= 1e-6*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	}
+	if !approx(snap.Gauges[MetricTopUS], res.CalcUS) {
+		t.Fatalf("top_us = %v, CalcUS = %v", snap.Gauges[MetricTopUS], res.CalcUS)
+	}
+	if !approx(snap.Gauges[MetricTcommUS], res.CommUS) {
+		t.Fatalf("tcomm_us = %v, CommUS = %v", snap.Gauges[MetricTcommUS], res.CommUS)
+	}
+	var busy, comm float64
+	for k, v := range snap.Gauges {
+		if len(k) > len(MetricBusyUS) && k[:len(MetricBusyUS)] == MetricBusyUS {
+			busy += v
+		}
+		if len(k) > len(MetricCommUS) && k[:len(MetricCommUS)] == MetricCommUS {
+			comm += v
+		}
+	}
+	if !approx(busy, res.CalcUS) {
+		t.Fatalf("Σ busy_us{dev} = %v, CalcUS = %v", busy, res.CalcUS)
+	}
+	if !approx(comm, res.CommUS) {
+		t.Fatalf("Σ comm_us{dev} = %v, CommUS = %v", comm, res.CommUS)
+	}
+	if plan.P > 1 && snap.Counters[metrics.With(MetricTransfers, "kind", "bcast")] == 0 {
+		t.Fatal("multi-device run recorded no broadcasts")
+	}
+	mk := snap.Histograms[MetricMakespanUS]
+	if mk.Count != 1 || !approx(mk.Sum, res.MakespanUS) {
+		t.Fatalf("makespan histogram = %+v, MakespanUS = %v", mk, res.MakespanUS)
+	}
+}
+
+// TestRunDefaultMetricsFallback exercises the DefaultMetrics hook used by
+// qrbench -metrics: runs whose Config carries no registry report into the
+// package default when one is installed.
+func TestRunDefaultMetricsFallback(t *testing.T) {
+	reg := metrics.NewRegistry()
+	DefaultMetrics = reg
+	defer func() { DefaultMetrics = nil }()
+	pl := device.PaperPlatform()
+	plan := sched.BuildPlan(pl, paperProblem(640))
+	Run(Config{Platform: pl, Plan: plan})
+	if got := reg.Snapshot().Counters[MetricRuns]; got != 1 {
+		t.Fatalf("default registry runs = %d", got)
+	}
+}
+
+// TestRunMetricsUnaffectedResult pins that instrumentation does not change
+// the simulation outcome.
+func TestRunMetricsUnaffectedResult(t *testing.T) {
+	pl := device.PaperPlatform()
+	plan := sched.BuildPlan(pl, paperProblem(960))
+	bare := Run(Config{Platform: pl, Plan: plan})
+	observed := Run(Config{Platform: pl, Plan: plan, Metrics: metrics.NewRegistry()})
+	if bare.MakespanUS != observed.MakespanUS || bare.CalcUS != observed.CalcUS || bare.CommUS != observed.CommUS {
+		t.Fatalf("metrics changed the result: %+v vs %+v", bare, observed)
+	}
+}

@@ -25,9 +25,52 @@ import (
 	"time"
 
 	"repro/internal/device"
+	"repro/internal/metrics"
 	"repro/internal/sched"
 	"repro/internal/trace"
 )
+
+// Metric names exported by the simulator. Device-labelled metrics use the
+// platform device name as the `dev` label; transfer metrics use the
+// transfer kind (`bcast`, `column`, `migrate`) as the `kind` label.
+const (
+	// MetricRuns counts Run calls; MetricIterations counts simulated panel
+	// iterations.
+	MetricRuns       = "sim.runs"
+	MetricIterations = "sim.iterations"
+	// MetricPanelOps counts panel factorizations per device;
+	// MetricUpdatePhases counts update phases and MetricUpdateCols the
+	// trailing columns swept by them.
+	MetricPanelOps     = "sim.panel_ops"
+	MetricUpdatePhases = "sim.update_phases"
+	MetricUpdateCols   = "sim.update_cols"
+	// MetricBusyUS accumulates per-device simulated busy time (panel +
+	// update, µs) — the realized Eq. 10 (Top) contributions.
+	MetricBusyUS = "sim.busy_us"
+	// MetricCommUS accumulates per-device simulated transfer time (µs),
+	// attributed to the receiving device — the realized Eq. 11 (Tcomm)
+	// contributions.
+	MetricCommUS = "sim.comm_us"
+	// MetricTopUS / MetricTcommUS accumulate the run-level totals of the
+	// two sides of the paper's T(p) = Top(p) + Tcomm(p) tradeoff, so the
+	// Eq. 10 vs Eq. 11 split is directly queryable.
+	MetricTopUS   = "sim.top_us"
+	MetricTcommUS = "sim.tcomm_us"
+	// MetricTransfers counts individual PCIe transfers per kind;
+	// MetricTransferUS accumulates their simulated duration (µs).
+	MetricTransfers  = "sim.transfers"
+	MetricTransferUS = "sim.transfer_us"
+	// MetricMakespanUS is the distribution of simulated makespans (µs).
+	MetricMakespanUS = "sim.makespan_us"
+	// MetricDevicesDropped counts devices retired by adaptive re-planning.
+	MetricDevicesDropped = "sim.devices_dropped"
+)
+
+// DefaultMetrics, when non-nil, receives the sim.* metrics for every Run
+// whose Config.Metrics is nil. It exists for tooling (qrbench -metrics)
+// that drives simulations through layers which do not thread a registry;
+// set it once at startup before any simulation runs.
+var DefaultMetrics *metrics.Registry
 
 // Config describes one simulated decomposition.
 type Config struct {
@@ -55,6 +98,9 @@ type Config struct {
 	// charges a one-time migration of its remaining columns back to the
 	// survivors.
 	Adaptive bool
+	// Metrics, when non-nil, receives the sim.* metrics for this run
+	// (falling back to DefaultMetrics when nil).
+	Metrics *metrics.Registry
 }
 
 // IterationStat is the timing breakdown of one panel iteration.
@@ -133,6 +179,20 @@ func Run(cfg Config) Result {
 	for i, idx := range parts {
 		stats[i].Name = plat.Devices[idx].Name
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = DefaultMetrics // possibly still nil: all metric calls no-op
+	}
+	reg.Counter(MetricRuns).Inc()
+	transfer := func(kind string, dev int, us float64) {
+		if reg == nil {
+			return
+		}
+		reg.Counter(metrics.With(MetricTransfers, "kind", kind)).Inc()
+		reg.Gauge(metrics.With(MetricTransferUS, "kind", kind)).Add(us)
+		reg.Gauge(metrics.With(MetricCommUS, "dev", stats[dev].Name)).Add(us)
+	}
+
 	res := Result{}
 	record := func(step, label string, dev int, start, end float64) {
 		if cfg.Recorder == nil || end <= start {
@@ -200,7 +260,9 @@ func Run(cfg Config) Result {
 					x := plat.Link.TransferUS(float64(moved) * tileBytes)
 					res.CommUS += x
 					colReady += x
+					transfer("migrate", 0, x)
 				}
+				reg.Counter(MetricDevicesDropped).Add(int64(active - want))
 				active = want
 			}
 		}
@@ -216,6 +278,9 @@ func Run(cfg Config) Result {
 		devFree[panelDev] = panelEnd
 		stats[panelDev].PanelUS += panelDur
 		iter.K, iter.M, iter.PanelUS, iter.StartUS = k, m, panelDur, panelStart
+		if reg != nil {
+			reg.Counter(metrics.With(MetricPanelOps, "dev", stats[panelDev].Name)).Inc()
+		}
 		record("T", fmt.Sprintf("panel k=%d (m=%d)", k, m), panelDev, panelStart, panelEnd)
 		if panelEnd > makespan {
 			makespan = panelEnd
@@ -235,6 +300,7 @@ func Run(cfg Config) Result {
 				linkFree = arrive[i]
 				res.CommUS += x
 				iter.BcastUS += x
+				transfer("bcast", i, x)
 				record("X", fmt.Sprintf("bcast k=%d → %s", k, stats[i].Name), i, arrive[i]-x, arrive[i])
 			}
 		}
@@ -260,6 +326,10 @@ func Run(cfg Config) Result {
 				prof.BatchUS(device.ClassUE, b, (m-1)*cols[i])
 			devFree[i] = start + dur
 			stats[i].UpdUS += dur
+			if reg != nil {
+				reg.Counter(metrics.With(MetricUpdatePhases, "dev", stats[i].Name)).Inc()
+				reg.Counter(metrics.With(MetricUpdateCols, "dev", stats[i].Name)).Add(int64(cols[i]))
+			}
 			if dur > iter.UpdMaxUS {
 				iter.UpdMaxUS = dur
 			}
@@ -293,6 +363,7 @@ func Run(cfg Config) Result {
 				x := plat.LinkBetween(parts[owner], parts[nextPanelDev]).TransferUS(float64(m-1) * tileBytes)
 				colDone += x
 				res.CommUS += x
+				transfer("column", nextPanelDev, x)
 				record("X", fmt.Sprintf("column %d → %s", k+1, stats[nextPanelDev].Name),
 					owner, colDone-x, colDone)
 			}
@@ -312,6 +383,15 @@ func Run(cfg Config) Result {
 		res.CalcUS += stats[i].BusyUS
 	}
 	res.PerDevice = stats
+	if reg != nil {
+		reg.Counter(MetricIterations).Add(int64(kt))
+		reg.Histogram(MetricMakespanUS).Observe(res.MakespanUS)
+		for i := range stats {
+			reg.Gauge(metrics.With(MetricBusyUS, "dev", stats[i].Name)).Add(stats[i].BusyUS)
+		}
+		reg.Gauge(MetricTopUS).Add(res.CalcUS)
+		reg.Gauge(MetricTcommUS).Add(res.CommUS)
+	}
 	return res
 }
 

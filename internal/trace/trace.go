@@ -5,10 +5,12 @@
 package trace
 
 import (
+	"encoding/csv"
 	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -64,7 +66,10 @@ func (r *Recorder) Add(e Event) {
 	r.events = append(r.events, e)
 }
 
-// Events returns a copy of all recorded events sorted by start time.
+// Events returns a copy of all recorded events in a stable order: by
+// Start, then Worker, then Label. Breaking start-time ties (common in the
+// simulator, where phases are scheduled at identical clock values) keeps
+// the Gantt, Chrome-trace and CSV exports deterministic across runs.
 func (r *Recorder) Events() []Event {
 	if r == nil {
 		return nil
@@ -73,7 +78,15 @@ func (r *Recorder) Events() []Event {
 	defer r.mu.Unlock()
 	out := make([]Event, len(r.events))
 	copy(out, r.events)
-	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		if out[i].Worker != out[j].Worker {
+			return out[i].Worker < out[j].Worker
+		}
+		return out[i].Label < out[j].Label
+	})
 	return out
 }
 
@@ -147,23 +160,36 @@ func (r *Recorder) Gantt(buckets int) string {
 // chromeEvent is one entry of the Chrome tracing ("catapult") JSON array
 // format, renderable in chrome://tracing or https://ui.perfetto.dev.
 type chromeEvent struct {
-	Name  string `json:"name"`
-	Cat   string `json:"cat"`
-	Phase string `json:"ph"`
-	TS    int64  `json:"ts"`  // microseconds
-	Dur   int64  `json:"dur"` // microseconds
-	PID   int    `json:"pid"`
-	TID   string `json:"tid"`
+	Name  string            `json:"name"`
+	Cat   string            `json:"cat"`
+	Phase string            `json:"ph"`
+	TS    int64             `json:"ts"`  // microseconds
+	Dur   int64             `json:"dur"` // microseconds
+	PID   int               `json:"pid"`
+	TID   string            `json:"tid"`
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object flavour of the format: a traceEvents
+// array plus top-level metadata. displayTimeUnit makes Perfetto render the
+// microsecond timestamps sensibly by default.
+type chromeTrace struct {
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []chromeEvent `json:"traceEvents"`
 }
 
 // WriteChromeTrace emits the recorded events in Chrome tracing JSON format
 // (one complete-event per recorded event, workers as threads), so runtime
-// and simulator time-lines can be inspected in a real trace viewer.
+// and simulator time-lines can be inspected in a real trace viewer. The
+// output is the object form — a displayTimeUnit wrapper around
+// traceEvents — and every event carries its step class in args, so
+// Perfetto can group and filter by step. ReadChromeTrace accepts both this
+// and the older bare-array output.
 func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 	events := r.Events()
-	out := make([]chromeEvent, 0, len(events))
+	out := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: make([]chromeEvent, 0, len(events))}
 	for _, e := range events {
-		out = append(out, chromeEvent{
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
 			Name:  e.Label,
 			Cat:   e.Step,
 			Phase: "X",
@@ -171,8 +197,72 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 			Dur:   e.Duration().Microseconds(),
 			PID:   1,
 			TID:   e.Worker,
+			Args:  map[string]string{"step": e.Step},
 		})
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(out)
+}
+
+// ReadChromeTrace parses Chrome-tracing JSON written by WriteChromeTrace —
+// either the current displayTimeUnit/traceEvents object or the historical
+// bare event array — back into events, so existing trace files keep
+// loading after the format change.
+func ReadChromeTrace(rd io.Reader) ([]Event, error) {
+	data, err := io.ReadAll(rd)
+	if err != nil {
+		return nil, err
+	}
+	var raw []chromeEvent
+	trimmed := strings.TrimLeftFunc(string(data), func(r rune) bool { return r == ' ' || r == '\t' || r == '\n' || r == '\r' })
+	if strings.HasPrefix(trimmed, "[") {
+		if err := json.Unmarshal(data, &raw); err != nil {
+			return nil, fmt.Errorf("trace: bad chrome trace array: %w", err)
+		}
+	} else {
+		var obj chromeTrace
+		if err := json.Unmarshal(data, &obj); err != nil {
+			return nil, fmt.Errorf("trace: bad chrome trace object: %w", err)
+		}
+		raw = obj.TraceEvents
+	}
+	out := make([]Event, 0, len(raw))
+	for _, c := range raw {
+		step := c.Cat
+		if s, ok := c.Args["step"]; ok {
+			step = s
+		}
+		out = append(out, Event{
+			Label:  c.Name,
+			Step:   step,
+			Worker: c.TID,
+			Start:  time.Duration(c.TS) * time.Microsecond,
+			End:    time.Duration(c.TS+c.Dur) * time.Microsecond,
+		})
+	}
+	return out, nil
+}
+
+// WriteCSV exports the recorded events as CSV with the header
+// `label,step,worker,start_us,dur_us`, for offline analysis (spreadsheets,
+// pandas) of runtime and simulator time-lines.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"label", "step", "worker", "start_us", "dur_us"}); err != nil {
+		return err
+	}
+	for _, e := range r.Events() {
+		rec := []string{
+			e.Label,
+			e.Step,
+			e.Worker,
+			strconv.FormatInt(e.Start.Microseconds(), 10),
+			strconv.FormatInt(e.Duration().Microseconds(), 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
 }

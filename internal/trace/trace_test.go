@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"encoding/csv"
 	"encoding/json"
 	"strings"
 	"sync"
@@ -128,17 +129,137 @@ func TestWriteChromeTrace(t *testing.T) {
 	if err := r.WriteChromeTrace(&buf); err != nil {
 		t.Fatal(err)
 	}
-	var parsed []map[string]any
+	var parsed struct {
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+		TraceEvents     []map[string]any `json:"traceEvents"`
+	}
 	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
 		t.Fatalf("invalid JSON: %v", err)
 	}
-	if len(parsed) != 2 {
-		t.Fatalf("%d events", len(parsed))
+	if parsed.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", parsed.DisplayTimeUnit)
 	}
-	if parsed[0]["ph"] != "X" || parsed[0]["tid"] != "worker-0" {
-		t.Fatalf("event 0: %v", parsed[0])
+	if len(parsed.TraceEvents) != 2 {
+		t.Fatalf("%d events", len(parsed.TraceEvents))
 	}
-	if parsed[0]["dur"].(float64) != 30 {
-		t.Fatalf("dur = %v", parsed[0]["dur"])
+	ev := parsed.TraceEvents[0]
+	if ev["ph"] != "X" || ev["tid"] != "worker-0" {
+		t.Fatalf("event 0: %v", ev)
+	}
+	if ev["dur"].(float64) != 30 {
+		t.Fatalf("dur = %v", ev["dur"])
+	}
+	args, ok := ev["args"].(map[string]any)
+	if !ok || args["step"] != "T" {
+		t.Fatalf("args = %v", ev["args"])
+	}
+}
+
+func TestReadChromeTraceRoundTrip(t *testing.T) {
+	r := NewRecorder()
+	want := []Event{
+		{Label: "GEQRT(k=0, row=0)", Step: "T", Worker: "worker-0",
+			Start: 10 * time.Microsecond, End: 40 * time.Microsecond},
+		{Label: "bcast", Step: "X", Worker: "GTX680",
+			Start: 40 * time.Microsecond, End: 90 * time.Microsecond},
+	}
+	for _, e := range want {
+		r.Add(e)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadChromeTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestReadChromeTraceOldFormat pins backwards compatibility: the bare
+// JSON-array output written before the displayTimeUnit wrapper must keep
+// parsing.
+func TestReadChromeTraceOldFormat(t *testing.T) {
+	old := `[{"name":"panel k=0 (m=4)","cat":"T","ph":"X","ts":5,"dur":20,"pid":1,"tid":"GTX580"}]`
+	got, err := ReadChromeTrace(strings.NewReader(old))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("%d events", len(got))
+	}
+	e := got[0]
+	if e.Label != "panel k=0 (m=4)" || e.Step != "T" || e.Worker != "GTX580" {
+		t.Fatalf("event: %+v", e)
+	}
+	if e.Start != 5*time.Microsecond || e.End != 25*time.Microsecond {
+		t.Fatalf("times: %+v", e)
+	}
+}
+
+// TestEventsStableTieOrder pins the deterministic ordering of events that
+// share a start time: Worker then Label break the tie regardless of Add
+// order.
+func TestEventsStableTieOrder(t *testing.T) {
+	add := func(r *Recorder, labels ...string) {
+		for _, l := range labels {
+			worker := "w1"
+			if strings.HasPrefix(l, "a") {
+				worker = "w0"
+			}
+			r.Add(Event{Label: l, Worker: worker, Start: 10, End: 20})
+		}
+	}
+	r1, r2 := NewRecorder(), NewRecorder()
+	add(r1, "a2", "b1", "a1")
+	add(r2, "a1", "a2", "b1") // different insertion order, same events
+	ev1, ev2 := r1.Events(), r2.Events()
+	for i := range ev1 {
+		if ev1[i] != ev2[i] {
+			t.Fatalf("order differs at %d: %+v vs %+v", i, ev1[i], ev2[i])
+		}
+	}
+	if ev1[0].Label != "a1" || ev1[1].Label != "a2" || ev1[2].Label != "b1" {
+		t.Fatalf("tie order wrong: %+v", ev1)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := NewRecorder()
+	r.Add(Event{Label: "TSMQR(k=1, top=1, row=3, col=2)", Step: "UE", Worker: "worker-1",
+		Start: 100 * time.Microsecond, End: 350 * time.Microsecond})
+	r.Add(Event{Label: "GEQRT(k=0, row=0)", Step: "T", Worker: "worker-0",
+		Start: 0, End: 30 * time.Microsecond})
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("output is not valid CSV (labels contain commas and must be quoted): %v", err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	wantHeader := []string{"label", "step", "worker", "start_us", "dur_us"}
+	for i, h := range wantHeader {
+		if rows[0][i] != h {
+			t.Fatalf("header = %v", rows[0])
+		}
+	}
+	// Events are sorted by start: GEQRT first.
+	if rows[1][0] != "GEQRT(k=0, row=0)" || rows[1][3] != "0" || rows[1][4] != "30" {
+		t.Fatalf("row 1 = %v", rows[1])
+	}
+	if rows[2][1] != "UE" || rows[2][3] != "100" || rows[2][4] != "250" {
+		t.Fatalf("row 2 = %v", rows[2])
 	}
 }
