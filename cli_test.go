@@ -245,3 +245,60 @@ func TestCLIQrmonServes(t *testing.T) {
 		t.Fatalf("table format: %q", got)
 	}
 }
+
+// runCLIExpectError runs a command expecting a non-zero exit, returning
+// the combined output for hint assertions.
+func runCLIExpectError(t *testing.T, args ...string) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("CLI smoke tests skipped in -short mode")
+	}
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go run %v: expected a non-zero exit, got:\n%s", args, out)
+	}
+	return string(out)
+}
+
+// TestCLIUsageHints: unknown enum-flag values exit non-zero with a
+// one-line hint listing the valid values, instead of a panic or a silent
+// fallback to the default.
+func TestCLIUsageHints(t *testing.T) {
+	out := runCLIExpectError(t, "./cmd/qrfactor", "-n", "32", "-tree", "bogus")
+	if !strings.Contains(out, "unknown elimination tree") || !strings.Contains(out, "flat-ts") {
+		t.Fatalf("qrfactor -tree hint missing:\n%s", out)
+	}
+	out = runCLIExpectError(t, "./cmd/qrsim", "-size", "320", "-dist", "bogus")
+	if !strings.Contains(out, "unknown -dist") || !strings.Contains(out, "guide, cores, even") {
+		t.Fatalf("qrsim -dist hint missing:\n%s", out)
+	}
+	out = runCLIExpectError(t, "./cmd/qrsim", "-size", "320", "-main", "bogus")
+	if !strings.Contains(out, "no device named") || !strings.Contains(out, "GTX580") {
+		t.Fatalf("qrsim -main hint missing:\n%s", out)
+	}
+	out = runCLIExpectError(t, "./cmd/qrsim", "-size", "320", "-gpus", "7")
+	if !strings.Contains(out, "exceeds the platform") {
+		t.Fatalf("qrsim -gpus hint missing:\n%s", out)
+	}
+	out = runCLIExpectError(t, "./cmd/qrmon", "-mode", "bogus")
+	if !strings.Contains(out, "unknown -mode") || !strings.Contains(out, "factor, sim, both") {
+		t.Fatalf("qrmon -mode hint missing:\n%s", out)
+	}
+}
+
+// TestCLIQrserveSelftest runs the full ≥200-job closed-loop acceptance
+// gate: batching (mean batch size > 1), admission control (≥1 rejection
+// under the saturating burst), a deadline-exceeded job, a lossless drain,
+// and bit-identical results versus direct Factor.
+func TestCLIQrserveSelftest(t *testing.T) {
+	out := runCLI(t, "./cmd/qrserve", "-selftest", "-jobs", "200", "-clients", "8")
+	if !strings.Contains(out, "selftest ok") {
+		t.Fatalf("selftest did not pass:\n%s", out)
+	}
+	for _, want := range []string{"closed loop   200 jobs", "0 mismatches", "deadline      exceeded as expected: true", "0 lost"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -56,7 +56,7 @@ func main() {
 
 	tree, err := tiled.TreeByName(*treeName)
 	if err != nil {
-		log.Fatal(err)
+		log.Fatalf("%v (valid -tree values: flat-ts, flat-tt, binary-tt, greedy-tt)", err)
 	}
 	var a *matrix.Matrix
 	if *inPath != "" {

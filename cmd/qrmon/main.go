@@ -22,7 +22,6 @@
 package main
 
 import (
-	"expvar"
 	"flag"
 	"fmt"
 	"log"
@@ -58,9 +57,12 @@ func main() {
 	)
 	flag.Parse()
 
+	if *mode != "factor" && *mode != "sim" && *mode != "both" {
+		log.Fatalf("unknown -mode %q (valid: factor, sim, both)", *mode)
+	}
 	tree, err := tiled.TreeByName(*treeName)
 	if err != nil {
-		log.Fatal(err)
+		log.Fatalf("%v (valid: flat-ts, flat-tt, binary-tt, greedy-tt)", err)
 	}
 	reg := metrics.NewRegistry()
 	runOnce := func() error {
@@ -76,9 +78,6 @@ func main() {
 			pl := device.PaperPlatform()
 			plan := sched.BuildPlanObserved(pl, sched.NewProblem(*size, *size, *b), reg)
 			sim.Run(sim.Config{Platform: pl, Plan: plan, Metrics: reg})
-		}
-		if *mode != "factor" && *mode != "sim" && *mode != "both" {
-			return fmt.Errorf("unknown mode %q (want factor, sim or both)", *mode)
 		}
 		return nil
 	}
@@ -102,13 +101,7 @@ func main() {
 	if *httpAddr == "" {
 		return
 	}
-	reg.PublishExpvar("hetqr")
-	mux := http.NewServeMux()
-	mux.Handle("/metrics", metrics.Handler(reg))
-	mux.Handle("/debug/vars", expvar.Handler())
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
+	mux := metrics.NewServeMux(reg, "hetqr")
 	ln, err := net.Listen("tcp", *httpAddr)
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,110 @@
+// Command qrserve runs the batching QR job service (internal/serve) as an
+// HTTP server, or as a closed-loop load generator that drives the service
+// in-process and verifies the serving invariants.
+//
+// Endpoints when serving:
+//
+//	POST /jobs               submit a factorization; 202 with the job id,
+//	                         429 (+Retry-After) when the admission queue is full
+//	GET  /jobs/{id}          job status (queued|running|done|failed)
+//	GET  /jobs/{id}/result   the R factor of a completed job
+//	/metrics, /debug/vars, /healthz   shared observability endpoints (as qrmon)
+//
+// Usage:
+//
+//	qrserve -http :8080                    # serve until SIGINT/SIGTERM, then drain
+//	qrserve -http :8080 -queue 256 -executors 4
+//	qrserve -selftest                      # 200-job closed-loop run + invariant checks
+//	qrserve -selftest -jobs 1000 -clients 16
+//
+// Submit example:
+//
+//	curl -s localhost:8080/jobs -d '{"rows":512,"cols":512,"seed":1}'
+//	curl -s localhost:8080/jobs/1
+//	curl -s localhost:8080/jobs/1/result | jq .rows
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("qrserve: ")
+	var (
+		httpAddr  = flag.String("http", ":8080", "serve the job API on this address")
+		queue     = flag.Int("queue", 64, "admission queue capacity (jobs beyond it get 429)")
+		executors = flag.Int("executors", 2, "concurrent batch executors")
+		maxBatch  = flag.Int("max-batch", 8, "max jobs per micro-batch (1 disables batching)")
+		window    = flag.Duration("window", 2*time.Millisecond, "micro-batch gathering window")
+		small     = flag.Int("small", 128, "batching eligibility: max tile-grid size (Mt*Nt)")
+		workers   = flag.Int("workers", 0, "kernel workers per batch (0 = per-class plan, Algorithm 3)")
+		tile      = flag.Int("b", 16, "default tile size for submissions that omit one")
+		retain    = flag.Int("retain", 1024, "finished jobs kept queryable by id")
+		selftest  = flag.Bool("selftest", false, "run the closed-loop load generator instead of serving")
+		jobs      = flag.Int("jobs", 200, "selftest: closed-loop job count")
+		clients   = flag.Int("clients", 8, "selftest: concurrent closed-loop clients")
+		verify    = flag.Int("verify", 1, "selftest: verify every Nth result against direct Factor")
+	)
+	flag.Parse()
+
+	cfg := serve.Config{
+		QueueCapacity:   *queue,
+		Executors:       *executors,
+		MaxBatch:        *maxBatch,
+		BatchWindow:     *window,
+		SmallTiles:      *small,
+		Workers:         *workers,
+		DefaultTileSize: *tile,
+		Retain:          *retain,
+		Metrics:         metrics.NewRegistry(),
+	}
+
+	if *selftest {
+		rep, err := serve.RunSelftest(serve.SelftestOptions{
+			Jobs: *jobs, Clients: *clients, Verify: *verify, Config: cfg,
+		})
+		rep.Write(os.Stdout)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("selftest ok")
+		return
+	}
+
+	s := serve.New(cfg)
+	ln, err := net.Listen("tcp", *httpAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: s.Handler("hetqr")}
+	// The resolved address (not the flag value) so `-http 127.0.0.1:0`
+	// callers — tests, scripts probing for a free port — can find us.
+	fmt.Printf("serving on http://%s (POST /jobs, /metrics, /healthz) — queue %d, %d executor(s)\n",
+		ln.Addr(), *queue, *executors)
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		log.Fatal(err)
+	case got := <-sig:
+		fmt.Printf("\n%s: draining accepted jobs...\n", got)
+		_ = srv.Close() // stop admissions at the HTTP layer first
+		s.Close()       // then drain the service: every accepted job completes
+		fmt.Println("drained, bye")
+	}
+}

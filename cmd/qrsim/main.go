@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"repro/internal/device"
 	"repro/internal/metrics"
@@ -66,7 +67,11 @@ func main() {
 		if *mainName != "" {
 			prof, err := pl.DeviceByName(*mainName)
 			if err != nil {
-				log.Fatal(err)
+				names := make([]string, 0, len(pl.Devices))
+				for _, d := range pl.Devices {
+					names = append(names, d.Name)
+				}
+				log.Fatalf("%v (valid -main values: %s)", err, strings.Join(names, ", "))
 			}
 			mainIdx = pl.Index(prof)
 		}
@@ -77,6 +82,9 @@ func main() {
 				if d.Kind == "gpu" && len(parts) < *gpus {
 					parts = append(parts, i)
 				}
+			}
+			if len(parts) < *gpus {
+				log.Fatalf("-gpus %d exceeds the platform's %d GPU(s)", *gpus, len(parts))
 			}
 		} else {
 			for i := range pl.Devices {
@@ -94,7 +102,7 @@ func main() {
 		case "even":
 			dist = sched.DistEven
 		default:
-			log.Fatalf("unknown distribution %q", *distName)
+			log.Fatalf("unknown -dist %q (valid: guide, cores, even)", *distName)
 		}
 		plan = sched.PlanWith(pl, probm, mainIdx, parts, dist)
 		fmt.Println("scheduling decisions (forced configuration):")

@@ -33,6 +33,7 @@
 package hetqr
 
 import (
+	"context"
 	"net/http"
 
 	"repro/internal/device"
@@ -106,6 +107,15 @@ func RandomMatrix(seed int64, r, c int) *Matrix { return workload.Uniform(seed, 
 // The input matrix is not modified.
 func Factor(a *Matrix, opts Options) (*Factorization, error) {
 	return runtime.Factor(a, opts)
+}
+
+// FactorContext is Factor with cancellation and deadlines: the runtime
+// checks ctx at every task-dispatch point and, once it has fired, stops
+// dispatching kernels and returns an error wrapping ctx.Err() (test with
+// errors.Is against context.Canceled or context.DeadlineExceeded). Factor
+// is FactorContext with context.Background().
+func FactorContext(ctx context.Context, a *Matrix, opts Options) (*Factorization, error) {
+	return runtime.FactorContext(ctx, a, opts)
 }
 
 // Solve factors a and solves the system A·x = b appropriate to its shape:

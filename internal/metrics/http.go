@@ -1,0 +1,32 @@
+package metrics
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+)
+
+// NewServeMux builds the standard observability mux shared by cmd/qrmon
+// and cmd/qrserve:
+//
+//	/metrics                 registry snapshot as JSON
+//	/metrics?format=table    the same as a human-readable table
+//	/debug/vars              standard expvar
+//	/healthz                 liveness probe
+//
+// When expvarName is non-empty the registry is also published under that
+// name in the process expvar tree (so /debug/vars includes a live
+// snapshot); publishing the same name twice is a no-op, per PublishExpvar.
+// Callers are free to register further routes on the returned mux.
+func NewServeMux(reg *Registry, expvarName string) *http.ServeMux {
+	if expvarName != "" {
+		reg.PublishExpvar(expvarName)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(reg))
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}

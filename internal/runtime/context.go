@@ -1,0 +1,242 @@
+package runtime
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/matrix"
+	"repro/internal/metrics"
+	"repro/internal/tiled"
+	"repro/internal/trace"
+)
+
+// FactorContext is Factor with cancellation: the manager checks ctx at
+// every task-dispatch point, so a cancelled or deadline-expired context
+// stops the factorization after at most the kernels already in flight.
+// The returned error wraps ctx.Err() (errors.Is against context.Canceled
+// or context.DeadlineExceeded works); the partial factorization is
+// discarded. A nil or never-cancelled context (context.Background()) takes
+// the exact Factor fast path with no per-dispatch overhead.
+func FactorContext(ctx context.Context, a *matrix.Matrix, opts Options) (*tiled.Factorization, error) {
+	if err := opts.Normalize(); err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	stop := opts.Metrics.StartTimer(MetricFactorUS)
+	opts.Metrics.Counter(MetricFactors).Inc()
+	l := tiled.NewLayout(a.Rows, a.Cols, opts.TileSize)
+	dag := tiled.BuildDAG(l, opts.Tree)
+	f := tiled.NewFactorization(tiled.FromDense(a, opts.TileSize), opts.Tree)
+	if ctx.Done() == nil {
+		// Not cancellable: run the plain executors, which dispatch without
+		// polling a context.
+		if opts.Priority == CriticalPath {
+			ExecutePriorityObserved(dag, f, opts.Workers, opts.Recorder, opts.Metrics)
+		} else {
+			ExecuteObserved(dag, f, opts.Workers, opts.Recorder, opts.Metrics)
+		}
+		stop()
+		return f, nil
+	}
+	errs := executeBatch(dag, []batchJob{{ctx: ctx, f: f}}, opts.Workers, opts.Priority, opts.Recorder, opts.Metrics)
+	stop()
+	if errs[0] != nil {
+		return nil, errs[0]
+	}
+	return f, nil
+}
+
+// BatchItem is one factorization in an ExecuteBatch call: a pre-tiled
+// factorization plus its (optional) cancellation context.
+type BatchItem struct {
+	// Ctx cancels this item only; nil means never cancelled.
+	Ctx context.Context
+	// F is the factorization the DAG's operations are applied to. Its
+	// layout must match the DAG's.
+	F *tiled.Factorization
+}
+
+// ExecuteBatch runs one dependency DAG over several same-shape
+// factorizations in a single manager loop: all items' operations share one
+// ready pool and one worker set, so a batch of small matrices fills the
+// workers the way one large matrix would. This is the micro-batching
+// engine behind internal/serve.
+//
+// The returned slice has one entry per item: nil on success, or an error
+// wrapping the item's ctx.Err() if its context fired before the item's
+// last operation was dispatched (remaining operations of a cancelled item
+// are skipped, other items are unaffected). Operations of one item execute
+// in a DAG-legal order with deterministic kernels, so each successful
+// item's result is bit-identical to a direct Factor of the same input.
+func ExecuteBatch(dag *tiled.DAG, items []BatchItem, workers int, reg *metrics.Registry) []error {
+	jobs := make([]batchJob, len(items))
+	for i, it := range items {
+		jobs[i] = batchJob{ctx: it.Ctx, f: it.F}
+	}
+	return executeBatch(dag, jobs, workers, FIFO, nil, reg)
+}
+
+type batchJob struct {
+	ctx context.Context
+	f   *tiled.Factorization
+}
+
+// dispatchQueue orders ready operations: a FIFO ring by default, or a
+// critical-path max-heap when the caller asked for priority dispatch.
+type dispatchQueue interface {
+	push(id int)
+	pop() int
+	size() int
+}
+
+type fifoQueue struct {
+	ids  []int
+	head int
+}
+
+func (q *fifoQueue) push(id int) { q.ids = append(q.ids, id) }
+func (q *fifoQueue) pop() int {
+	id := q.ids[q.head]
+	q.head++
+	if q.head == len(q.ids) {
+		q.ids = q.ids[:0]
+		q.head = 0
+	}
+	return id
+}
+func (q *fifoQueue) size() int { return len(q.ids) - q.head }
+
+type heapQueue struct{ h *opHeap }
+
+func (q *heapQueue) push(id int) { q.h.pushID(id) }
+func (q *heapQueue) pop() int    { return q.h.popID() }
+func (q *heapQueue) size() int   { return q.h.Len() }
+
+// executeBatch is the context-aware manager loop shared by FactorContext
+// and ExecuteBatch. Global operation id g = item*len(dag.Ops) + localOp;
+// dependency structure is replicated per item, state is tracked flat.
+//
+// Dispatch is gated (at most one queued op per idle worker) so a
+// cancellation takes effect after the kernels currently in flight, not
+// after everything already pushed to a buffered channel.
+func executeBatch(dag *tiled.DAG, items []batchJob, workers int, prio Priority, rec *trace.Recorder, reg *metrics.Registry) []error {
+	n := len(dag.Ops)
+	k := len(items)
+	errs := make([]error, k)
+	total := n * k
+	if total == 0 {
+		return errs
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > total {
+		workers = total
+	}
+	in := newInstr(reg, workers)
+
+	ready := make(chan int)
+	done := make(chan int, total)
+	for w := 0; w < workers; w++ {
+		go func(id int) {
+			name := workerName(id)
+			for gid := range ready {
+				op := dag.Ops[gid%n]
+				start := rec.Now()
+				in.applyOp(items[gid/n].f, op, id)
+				if rec != nil {
+					rec.Add(trace.Event{
+						Label: op.String(), Step: op.Kind.Step(),
+						Worker: name, Start: start, End: rec.Now(),
+					})
+				}
+				done <- gid
+			}
+		}(w)
+	}
+
+	remaining := make([]int, total)
+	for j := 0; j < k; j++ {
+		base := j * n
+		for i := range dag.Deps {
+			remaining[base+i] = len(dag.Deps[i])
+		}
+	}
+	var q dispatchQueue
+	if prio == CriticalPath {
+		depth := remainingDepth(dag)
+		all := make([]int, total)
+		for g := range all {
+			all[g] = depth[g%n]
+		}
+		q = &heapQueue{h: &opHeap{depth: all}}
+	} else {
+		q = &fifoQueue{}
+	}
+	for g, r := range remaining {
+		if r == 0 {
+			q.push(g)
+		}
+	}
+
+	// aborted reports (and latches) whether item j's context has fired.
+	// This is the task-dispatch-point context check: it runs once per
+	// operation, before the operation is handed to a worker.
+	executed := make([]int, k)
+	aborted := func(j int) bool {
+		if errs[j] != nil {
+			return true
+		}
+		ctx := items[j].ctx
+		if ctx == nil {
+			return false
+		}
+		if err := ctx.Err(); err != nil {
+			errs[j] = fmt.Errorf("runtime: factorization aborted after %d of %d ops: %w", executed[j], n, err)
+			return true
+		}
+		return false
+	}
+	// release marks gid complete and unblocks its successors (same item).
+	release := func(gid int) {
+		base := gid - gid%n
+		for _, s := range dag.Succs[gid%n] {
+			g := base + s
+			remaining[g]--
+			if remaining[g] == 0 {
+				q.push(g)
+			}
+		}
+	}
+
+	inFlight, completed := 0, 0
+	for completed < total {
+		for inFlight < workers && q.size() > 0 {
+			gid := q.pop()
+			if aborted(gid / n) {
+				// Skip the kernel but keep the bookkeeping: successors are
+				// released so the loop still terminates and other items in
+				// the batch proceed undisturbed.
+				completed++
+				release(gid)
+				continue
+			}
+			executed[gid/n]++
+			ready <- gid
+			inFlight++
+		}
+		if completed == total {
+			break
+		}
+		in.queueDepth(q.size())
+		gid := <-done
+		completed++
+		inFlight--
+		release(gid)
+	}
+	close(ready)
+	in.finish(workers, total)
+	return errs
+}

@@ -17,6 +17,7 @@
 package runtime
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 
@@ -64,23 +65,10 @@ func (o *Options) Normalize() error {
 
 // Factor computes the tiled QR factorization of a in parallel. The input is
 // not modified; the returned factorization exposes R, Q application, and
-// solves exactly as the sequential engine does.
+// solves exactly as the sequential engine does. Factor is FactorContext
+// with context.Background(): it cannot be cancelled.
 func Factor(a *matrix.Matrix, opts Options) (*tiled.Factorization, error) {
-	if err := opts.Normalize(); err != nil {
-		return nil, err
-	}
-	stop := opts.Metrics.StartTimer(MetricFactorUS)
-	opts.Metrics.Counter(MetricFactors).Inc()
-	l := tiled.NewLayout(a.Rows, a.Cols, opts.TileSize)
-	dag := tiled.BuildDAG(l, opts.Tree)
-	f := tiled.NewFactorization(tiled.FromDense(a, opts.TileSize), opts.Tree)
-	if opts.Priority == CriticalPath {
-		ExecutePriorityObserved(dag, f, opts.Workers, opts.Recorder, opts.Metrics)
-	} else {
-		ExecuteObserved(dag, f, opts.Workers, opts.Recorder, opts.Metrics)
-	}
-	stop()
-	return f, nil
+	return FactorContext(context.Background(), a, opts)
 }
 
 // Execute runs an already-built DAG against a factorization using n worker

@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"fmt"
+	gort "runtime"
+	"sync"
+
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/tiled"
+)
+
+// class is a size class: every job with the same (rows, cols, tile, tree)
+// shares one cached operation DAG and one cached scheduling plan, so the
+// paper's Algorithms 2–4 and the DAG construction run once per shape, not
+// once per job.
+type class struct {
+	key  string
+	m, n int
+	tile int
+	tree tiled.Tree
+	// dag is the shared read-only dependency graph replicated across the
+	// jobs of a batch by runtime.ExecuteBatch.
+	dag *tiled.DAG
+	// plan is the class's scheduling decision on the modelled platform;
+	// workers is the batch parallelism derived from it (Algorithm 3's
+	// device count p, clamped to the host's cores) unless Config.Workers
+	// forces a value.
+	plan    *sched.Plan
+	workers int
+	// small marks the class as batching-eligible (tile grid within
+	// Config.SmallTiles).
+	small   bool
+	latency *metrics.Histogram
+}
+
+// classCache builds classes on first use and returns them by key.
+type classCache struct {
+	cfg *Config
+	mu  sync.Mutex
+	m   map[string]*class
+}
+
+func (c *classCache) init(cfg *Config) {
+	c.cfg = cfg
+	c.m = map[string]*class{}
+}
+
+func classKey(m, n, tile int, tree tiled.Tree) string {
+	return fmt.Sprintf("%dx%d/b%d/%s", m, n, tile, tree.Name())
+}
+
+// get returns the class for the given shape, building (and instrumenting)
+// it on first sight. Plan construction is observed through reg, so the
+// sched.* decision metrics describe every class the server has routed.
+func (c *classCache) get(m, n, tile int, tree tiled.Tree, reg *metrics.Registry) (*class, error) {
+	if tile < 1 {
+		return nil, fmt.Errorf("serve: tile size %d out of range", tile)
+	}
+	key := classKey(m, n, tile, tree)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cls, ok := c.m[key]; ok {
+		return cls, nil
+	}
+	l := tiled.NewLayout(m, n, tile)
+	plan := sched.BuildPlanObserved(c.cfg.Platform, sched.NewProblem(m, n, tile), reg)
+	workers := c.cfg.Workers
+	if workers <= 0 {
+		// Scheduler-driven placement: one host worker stands in for each
+		// of the plan's participating devices, bounded by the cores we
+		// actually have.
+		workers = plan.P
+		if max := gort.GOMAXPROCS(0); workers > max {
+			workers = max
+		}
+		if workers < 1 {
+			workers = 1
+		}
+	}
+	cls := &class{
+		key:     key,
+		m:       m,
+		n:       n,
+		tile:    tile,
+		tree:    tree,
+		dag:     tiled.BuildDAG(l, tree),
+		plan:    plan,
+		workers: workers,
+		small:   l.Mt*l.Nt <= c.cfg.SmallTiles,
+		latency: reg.Histogram(metrics.With(MetricJobUS, "class", key)),
+	}
+	c.m[key] = cls
+	reg.Gauge(MetricClasses).Set(float64(len(c.m)))
+	reg.Gauge(metrics.With(MetricPlanP, "class", key)).Set(float64(plan.P))
+	return cls, nil
+}

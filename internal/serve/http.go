@@ -1,0 +1,177 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/matrix"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// Handler builds the server's HTTP API on top of the shared observability
+// mux (/metrics, /debug/vars, /healthz — see metrics.NewServeMux):
+//
+//	POST /jobs             submit a factorization (202, or 429 when overloaded)
+//	GET  /jobs/{id}        job status
+//	GET  /jobs/{id}/result the R factor of a completed job
+//
+// Submissions describe the matrix either inline ("data", row-major) or as
+// a reproducible workload ("seed"); see jobRequest. Jobs outlive their
+// submitting request — status is polled by ID.
+func (s *Server) Handler(expvarName string) http.Handler {
+	mux := metrics.NewServeMux(s.reg, expvarName)
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	return mux
+}
+
+// jobRequest is the POST /jobs body.
+type jobRequest struct {
+	Rows int `json:"rows"`
+	Cols int `json:"cols"`
+	// Tile and Tree default to the server's tile size and flat-ts.
+	Tile int    `json:"tile,omitempty"`
+	Tree string `json:"tree,omitempty"`
+	// Data, when present, is the row-major matrix (len rows*cols);
+	// otherwise the matrix is generated from Seed as hetqr.RandomMatrix
+	// does.
+	Data []float64 `json:"data,omitempty"`
+	Seed int64     `json:"seed,omitempty"`
+	// TimeoutMS imposes a per-job deadline from admission.
+	TimeoutMS int `json:"timeoutMS,omitempty"`
+}
+
+// jobStatus is the status/submit response body.
+type jobStatus struct {
+	ID        string  `json:"id"`
+	Status    string  `json:"status"`
+	Class     string  `json:"class"`
+	Error     string  `json:"error,omitempty"`
+	ElapsedMS float64 `json:"elapsedMS"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func statusOf(j *Job) jobStatus {
+	st := jobStatus{
+		ID:     strconv.FormatUint(j.ID(), 10),
+		Status: j.State().String(),
+		Class:  j.Class(),
+	}
+	switch j.State() {
+	case StateDone, StateFailed:
+		st.ElapsedMS = float64(j.fin.Sub(j.enq)) / float64(time.Millisecond)
+		if _, err := j.Result(); err != nil {
+			st.Error = err.Error()
+		}
+	default:
+		st.ElapsedMS = float64(time.Since(j.enq)) / float64(time.Millisecond)
+	}
+	return st
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req jobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if req.Rows <= 0 || req.Cols <= 0 {
+		writeError(w, http.StatusBadRequest, errors.New("rows and cols must be positive"))
+		return
+	}
+	var a *matrix.Matrix
+	if len(req.Data) > 0 {
+		if len(req.Data) != req.Rows*req.Cols {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("data length %d != rows*cols = %d", len(req.Data), req.Rows*req.Cols))
+			return
+		}
+		a = matrix.New(req.Rows, req.Cols)
+		copy(a.Data, req.Data)
+	} else {
+		a = workload.Uniform(req.Seed, req.Rows, req.Cols)
+	}
+	// The job's context is deliberately NOT the request context: the job
+	// outlives this HTTP exchange and is cancelled only by its own
+	// deadline (or server drain).
+	j, err := s.Submit(nil, a, SubmitOptions{
+		TileSize: req.Tile,
+		Tree:     req.Tree,
+		Timeout:  time.Duration(req.TimeoutMS) * time.Millisecond,
+	})
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, statusOf(j))
+}
+
+func (s *Server) lookupFromPath(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad job id: %w", err))
+		return nil, false
+	}
+	j, ok := s.Lookup(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job %d (finished jobs are retained up to %d deep)", id, s.cfg.Retain))
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.lookupFromPath(w, r); ok {
+		writeJSON(w, http.StatusOK, statusOf(j))
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookupFromPath(w, r)
+	if !ok {
+		return
+	}
+	f, err := j.Result()
+	if err != nil {
+		code := http.StatusConflict // still queued/running
+		if j.State() == StateFailed {
+			code = http.StatusUnprocessableEntity
+		}
+		writeError(w, code, err)
+		return
+	}
+	rFac := f.R()
+	rows := make([][]float64, rFac.Rows)
+	for i := range rows {
+		rows[i] = rFac.Row(i)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":   strconv.FormatUint(j.ID(), 10),
+		"rows": rFac.Rows,
+		"cols": rFac.Cols,
+		"r":    rows,
+	})
+}

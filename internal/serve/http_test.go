@@ -1,0 +1,225 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/runtime"
+	"repro/internal/workload"
+)
+
+func postJob(t *testing.T, ts *httptest.Server, body string) (*http.Response, jobStatus) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st jobStatus
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp.Body.Close()
+	return resp, st
+}
+
+func getJSON(t *testing.T, url string, v any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestHTTPSubmitStatusResult(t *testing.T) {
+	reg := metrics.NewRegistry()
+	s := New(Config{Metrics: reg})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler(""))
+	defer ts.Close()
+
+	resp, st := postJob(t, ts, `{"rows":64,"cols":48,"seed":7}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d", resp.StatusCode)
+	}
+	if st.Class != "64x48/b16/flat-ts" {
+		t.Fatalf("class = %q", st.Class)
+	}
+
+	// Poll until done, then fetch the R factor and compare to a direct
+	// factorization of the same (seed-reproducible) workload.
+	var got jobStatus
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if code := getJSON(t, ts.URL+"/jobs/"+st.ID, &got); code != http.StatusOK {
+			t.Fatalf("status code = %d", code)
+		}
+		if got.Status == "done" || got.Status == "failed" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %q", got.Status)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got.Status != "done" {
+		t.Fatalf("job failed: %s", got.Error)
+	}
+	var result struct {
+		Rows int         `json:"rows"`
+		Cols int         `json:"cols"`
+		R    [][]float64 `json:"r"`
+	}
+	if code := getJSON(t, ts.URL+"/jobs/"+st.ID+"/result", &result); code != http.StatusOK {
+		t.Fatalf("result code = %d", code)
+	}
+	direct, err := runtime.Factor(workload.Uniform(7, 64, 48), runtime.Options{TileSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := direct.R()
+	if result.Rows != r.Rows || result.Cols != r.Cols {
+		t.Fatalf("result shape %dx%d, want %dx%d", result.Rows, result.Cols, r.Rows, r.Cols)
+	}
+	for i := 0; i < r.Rows; i++ {
+		for j := 0; j < r.Cols; j++ {
+			if result.R[i][j] != r.At(i, j) {
+				t.Fatalf("R[%d][%d] = %g, want %g", i, j, result.R[i][j], r.At(i, j))
+			}
+		}
+	}
+}
+
+func TestHTTPSaturationReturns429(t *testing.T) {
+	reg := metrics.NewRegistry()
+	// Workers: 1 keeps the executor's factorization on a single core so the
+	// HTTP client is never starved of CPU — the posts below land in
+	// milliseconds while the first job runs for hundreds.
+	s := New(Config{Metrics: reg, QueueCapacity: 1, Executors: 1, Workers: 1,
+		BatchWindow: 5 * time.Millisecond})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler(""))
+	defer ts.Close()
+
+	// Large jobs (32×32 tile grid > SmallTiles) are never batched, so each
+	// occupies the single executor for hundreds of milliseconds. The
+	// pipeline can absorb at most executor + batches chan + in-flight flush
+	// + queue = 4 of them before the next POST must bounce — no timing luck
+	// needed.
+	saw429 := 0
+	for i := 0; i < 12; i++ {
+		resp, err := http.Post(ts.URL+"/jobs", "application/json",
+			strings.NewReader(fmt.Sprintf(`{"rows":512,"cols":512,"seed":%d}`, i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusTooManyRequests:
+			if resp.Header.Get("Retry-After") == "" {
+				t.Fatal("429 without Retry-After")
+			}
+			saw429++
+		case http.StatusAccepted:
+		default:
+			t.Fatalf("unexpected status %d", resp.StatusCode)
+		}
+	}
+	if saw429 == 0 {
+		t.Fatal("no 429 under saturation")
+	}
+	if got := reg.Snapshot().Counters[MetricRejects]; got != int64(saw429) {
+		t.Fatalf("admission_rejects = %d, want %d", got, saw429)
+	}
+}
+
+func TestHTTPValidationAndLookupErrors(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler(""))
+	defer ts.Close()
+
+	for _, body := range []string{
+		`{`,
+		`{"rows":0,"cols":4}`,
+		`{"rows":4,"cols":4,"data":[1,2,3]}`,
+		`{"rows":4,"cols":4,"tree":"bogus"}`,
+	} {
+		resp, _ := postJob(t, ts, body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("body %q: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+	if code := getJSON(t, ts.URL+"/jobs/999999", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown job: %d, want 404", code)
+	}
+	if code := getJSON(t, ts.URL+"/jobs/notanumber", nil); code != http.StatusBadRequest {
+		t.Fatalf("bad id: %d, want 400", code)
+	}
+}
+
+func TestHTTPInlineDataMatrix(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler(""))
+	defer ts.Close()
+
+	data := make([]float64, 32*32)
+	for i := range data {
+		data[i] = float64(i%7) - 3
+	}
+	buf, _ := json.Marshal(map[string]any{"rows": 32, "cols": 32, "data": data})
+	resp, st := postJob(t, ts, string(bytes.TrimSpace(buf)))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d", resp.StatusCode)
+	}
+	j, ok := s.Lookup(mustID(t, st.ID))
+	if !ok {
+		t.Fatal("job not retained")
+	}
+	if _, err := j.Wait(waitCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHTTPSharedObservabilityEndpoints(t *testing.T) {
+	s := New(Config{Metrics: metrics.NewRegistry()})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler(""))
+	defer ts.Close()
+
+	if code := getJSON(t, ts.URL+"/healthz", nil); code != http.StatusOK {
+		t.Fatalf("healthz = %d", code)
+	}
+	var snap map[string]any
+	if code := getJSON(t, ts.URL+"/metrics", &snap); code != http.StatusOK {
+		t.Fatalf("metrics = %d", code)
+	}
+	if _, ok := snap["counters"]; !ok {
+		t.Fatal("metrics snapshot missing counters")
+	}
+}
+
+func mustID(t *testing.T, s string) uint64 {
+	t.Helper()
+	var id uint64
+	if _, err := fmt.Sscan(s, &id); err != nil {
+		t.Fatal(err)
+	}
+	return id
+}

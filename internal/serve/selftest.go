@@ -1,0 +1,298 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/matrix"
+	"repro/internal/metrics"
+	"repro/internal/runtime"
+	"repro/internal/tiled"
+	"repro/internal/workload"
+)
+
+// SelftestOptions configure the closed-loop load generator.
+type SelftestOptions struct {
+	// Jobs is the closed-loop job count (default 200).
+	Jobs int
+	// Clients is the number of concurrent closed-loop clients (default 8).
+	Clients int
+	// Burst is the open-loop submission count of the saturation phase
+	// (default 6× the queue capacity).
+	Burst int
+	// Verify checks every 1-in-N closed-loop result against a direct
+	// runtime.Factor of the same input (default 1: every job).
+	Verify int
+	// Config overrides the server configuration; zero fields get selftest
+	// defaults tuned to exercise batching and admission control.
+	Config Config
+}
+
+// SelftestReport is the outcome of one selftest run.
+type SelftestReport struct {
+	Jobs       int // closed-loop jobs completed
+	Verified   int // results compared against direct Factor
+	Mismatches int // results differing from direct Factor (must be 0)
+
+	WallMS     float64 // closed-loop phase wall clock
+	Throughput float64 // closed-loop jobs per second
+	P50MS      float64 // closed-loop job latency percentiles
+	P95MS      float64
+	P99MS      float64
+
+	Batches   int64   // batches executed (all phases)
+	MeanBatch float64 // mean jobs per batch (must be > 1)
+
+	BurstSubmitted int // saturation phase submissions
+	BurstAccepted  int
+	BurstRejected  int   // must be ≥ 1
+	RejectsMetric  int64 // serve.admission_rejects at the end
+
+	DeadlineOK bool // the deadline job failed with DeadlineExceeded
+
+	DrainSubmitted int // jobs accepted just before Close
+	DrainLost      int // accepted jobs with no outcome after drain (must be 0)
+}
+
+// check returns the first violated invariant, or nil.
+func (r *SelftestReport) check(wantJobs int) error {
+	switch {
+	case r.Jobs < wantJobs:
+		return fmt.Errorf("selftest: completed %d closed-loop jobs, want ≥ %d", r.Jobs, wantJobs)
+	case r.Mismatches > 0:
+		return fmt.Errorf("selftest: %d results differ from direct Factor", r.Mismatches)
+	case r.MeanBatch <= 1:
+		return fmt.Errorf("selftest: mean batch size %.2f, want > 1", r.MeanBatch)
+	case r.BurstRejected < 1 || r.RejectsMetric < 1:
+		return fmt.Errorf("selftest: no admission rejections under saturation (rejected=%d, metric=%d)",
+			r.BurstRejected, r.RejectsMetric)
+	case !r.DeadlineOK:
+		return errors.New("selftest: deadline job did not fail with DeadlineExceeded")
+	case r.DrainLost > 0:
+		return fmt.Errorf("selftest: %d accepted jobs lost on drain", r.DrainLost)
+	default:
+		return nil
+	}
+}
+
+// Write renders the report as the qrserve -selftest summary.
+func (r *SelftestReport) Write(w io.Writer) {
+	fmt.Fprintf(w, "closed loop   %d jobs in %.0f ms — %.0f jobs/s\n", r.Jobs, r.WallMS, r.Throughput)
+	fmt.Fprintf(w, "latency       p50 %.2f ms   p95 %.2f ms   p99 %.2f ms\n", r.P50MS, r.P95MS, r.P99MS)
+	fmt.Fprintf(w, "batching      %d batches, mean size %.2f\n", r.Batches, r.MeanBatch)
+	fmt.Fprintf(w, "verification  %d of %d results checked against direct Factor, %d mismatches\n",
+		r.Verified, r.Jobs, r.Mismatches)
+	fmt.Fprintf(w, "saturation    %d submitted → %d accepted, %d rejected (admission_rejects=%d)\n",
+		r.BurstSubmitted, r.BurstAccepted, r.BurstRejected, r.RejectsMetric)
+	fmt.Fprintf(w, "deadline      exceeded as expected: %v\n", r.DeadlineOK)
+	fmt.Fprintf(w, "drain         %d accepted at shutdown, %d lost\n", r.DrainSubmitted, r.DrainLost)
+}
+
+// selftestShapes are the closed-loop job shapes: two small size classes so
+// the batcher has same-class company to merge, exercising class routing at
+// the same time.
+var selftestShapes = [...]struct{ rows, cols int }{
+	{64, 64},
+	{80, 48},
+}
+
+// RunSelftest drives the service through a closed-loop load phase, a
+// saturating burst, a deadline-exceeded job and a graceful drain, then
+// verifies the serving invariants (see SelftestReport). It returns the
+// report and the first violated invariant, if any — cmd/qrserve turns
+// that into a non-zero exit.
+func RunSelftest(opt SelftestOptions) (*SelftestReport, error) {
+	if opt.Jobs <= 0 {
+		opt.Jobs = 200
+	}
+	if opt.Clients <= 0 {
+		opt.Clients = 8
+	}
+	if opt.Verify <= 0 {
+		opt.Verify = 1
+	}
+	cfg := opt.Config
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
+	if cfg.QueueCapacity <= 0 {
+		cfg.QueueCapacity = 16
+	}
+	if cfg.Executors <= 0 {
+		// One executor keeps the service busy enough that closed-loop
+		// clients pile up in the batcher — the condition batching needs.
+		cfg.Executors = 1
+	}
+	if cfg.BatchWindow <= 0 {
+		cfg.BatchWindow = 2 * time.Millisecond
+	}
+	if opt.Burst <= 0 {
+		opt.Burst = 6 * cfg.QueueCapacity
+	}
+	reg := cfg.Metrics
+	s := New(cfg)
+	rep := &SelftestReport{}
+
+	// Phase 1: closed loop. Each client submits, waits, verifies, repeats.
+	var (
+		mu        sync.Mutex
+		latencies []float64
+		wg        sync.WaitGroup
+	)
+	next := make(chan int64, opt.Jobs)
+	for i := 0; i < opt.Jobs; i++ {
+		next <- int64(i)
+	}
+	close(next)
+	start := time.Now()
+	for c := 0; c < opt.Clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				shape := selftestShapes[i%int64(len(selftestShapes))]
+				a := workload.Uniform(1000+i, shape.rows, shape.cols)
+				t0 := time.Now()
+				var j *Job
+				for {
+					var err error
+					j, err = s.Submit(context.Background(), a, SubmitOptions{})
+					if err == nil {
+						break
+					}
+					if !errors.Is(err, ErrOverloaded) {
+						mu.Lock()
+						rep.Mismatches++ // unexpected failure counts against the run
+						mu.Unlock()
+						return
+					}
+					time.Sleep(200 * time.Microsecond) // closed-loop backoff
+				}
+				f, err := j.Wait(context.Background())
+				lat := float64(time.Since(t0)) / float64(time.Millisecond)
+				mu.Lock()
+				latencies = append(latencies, lat)
+				verify := err == nil && int(i)%opt.Verify == 0
+				if verify {
+					rep.Verified++
+				}
+				mu.Unlock()
+				if err != nil {
+					mu.Lock()
+					rep.Mismatches++
+					mu.Unlock()
+					continue
+				}
+				if verify {
+					if d := directDiff(a, f, s.cfg.DefaultTileSize); d != 0 {
+						mu.Lock()
+						rep.Mismatches++
+						mu.Unlock()
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	rep.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
+	rep.Jobs = len(latencies)
+	if rep.WallMS > 0 {
+		rep.Throughput = float64(rep.Jobs) / (rep.WallMS / 1000)
+	}
+	sort.Float64s(latencies)
+	rep.P50MS = percentile(latencies, 0.50)
+	rep.P95MS = percentile(latencies, 0.95)
+	rep.P99MS = percentile(latencies, 0.99)
+
+	// Phase 2: saturating open-loop burst. Submissions are fired without
+	// waiting; with a single executor and a bounded queue, a burst several
+	// times the queue capacity must trip admission control.
+	var burstJobs []*Job
+	for i := 0; i < opt.Burst; i++ {
+		a := workload.Uniform(5000+int64(i), 96, 96)
+		j, err := s.Submit(context.Background(), a, SubmitOptions{})
+		rep.BurstSubmitted++
+		switch {
+		case err == nil:
+			rep.BurstAccepted++
+			burstJobs = append(burstJobs, j)
+		case errors.Is(err, ErrOverloaded):
+			rep.BurstRejected++
+		default:
+			return rep, fmt.Errorf("selftest: burst submit: %w", err)
+		}
+	}
+	for _, j := range burstJobs {
+		if _, err := j.Wait(context.Background()); err != nil {
+			return rep, fmt.Errorf("selftest: burst job %d: %w", j.ID(), err)
+		}
+	}
+
+	// Phase 3: a job whose deadline has no chance.
+	dj, err := s.Submit(context.Background(), workload.Uniform(9000, 128, 128), SubmitOptions{Timeout: time.Nanosecond})
+	if err != nil {
+		return rep, fmt.Errorf("selftest: deadline submit: %w", err)
+	}
+	if _, err := dj.Wait(context.Background()); errors.Is(err, context.DeadlineExceeded) {
+		rep.DeadlineOK = true
+	}
+
+	// Phase 4: graceful drain. Accept a final wave, close immediately, and
+	// require every accepted job to have an outcome.
+	var drainJobs []*Job
+	for i := 0; i < 12; i++ {
+		a := workload.Uniform(7000+int64(i), 64, 64)
+		if j, err := s.Submit(context.Background(), a, SubmitOptions{}); err == nil {
+			drainJobs = append(drainJobs, j)
+		}
+	}
+	rep.DrainSubmitted = len(drainJobs)
+	s.Close()
+	for _, j := range drainJobs {
+		select {
+		case <-j.Done():
+			if _, err := j.Result(); err != nil {
+				rep.DrainLost++ // drained jobs had no deadline: any error is a loss
+			}
+		default:
+			rep.DrainLost++
+		}
+	}
+	if _, err := s.Submit(context.Background(), workload.Uniform(1, 32, 32), SubmitOptions{}); !errors.Is(err, ErrClosed) {
+		return rep, fmt.Errorf("selftest: post-close submit returned %v, want ErrClosed", err)
+	}
+
+	snap := reg.Snapshot()
+	rep.RejectsMetric = snap.Counters[MetricRejects]
+	if bs, ok := snap.Histograms[MetricBatchSize]; ok && bs.Count > 0 {
+		rep.Batches = bs.Count
+		rep.MeanBatch = bs.Mean
+	}
+	return rep, rep.check(opt.Jobs)
+}
+
+// directDiff compares the service's R factor against a direct
+// runtime.Factor of the same input; zero means bit-identical.
+func directDiff(a *matrix.Matrix, f *tiled.Factorization, tile int) float64 {
+	direct, err := runtime.Factor(a, runtime.Options{TileSize: tile})
+	if err != nil {
+		return 1
+	}
+	return f.R().MaxAbsDiff(direct.R())
+}
+
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

@@ -1,0 +1,541 @@
+// Package serve is a long-running QR factorization job service on top of
+// the runtime and the paper's scheduler: the serving skeleton of the
+// repository.
+//
+// Requests enter a bounded admission queue (Submit rejects with
+// ErrOverloaded when it is full — backpressure instead of unbounded
+// buffering), are routed to a size class keyed by (rows, cols, tile,
+// tree), and are micro-batched: small same-class jobs that arrive within
+// one batching window execute as a single tiled run in one manager loop
+// (runtime.ExecuteBatch), filling the workers the way one large matrix
+// would. Each size class resolves the paper's scheduling pipeline exactly
+// once: Algorithms 2–4 (main device selection, device-count optimization,
+// guide-array distribution) run against the modelled platform and the
+// resulting sched.Plan is cached, with the chosen device count p driving
+// the worker parallelism of that class's batches — scheduler-driven
+// placement for an online service.
+//
+// Every job carries a context.Context: cancellation and deadlines
+// propagate into the runtime's task-dispatch loop, so an expired job
+// stops consuming CPU after at most the kernels in flight. Close drains
+// gracefully: accepted jobs finish, new submissions are refused.
+//
+// Observability: pass a metrics.Registry in Config.Metrics to get the
+// serve.* metrics (queue depth and peak, admission rejects, batch size
+// distribution, per-class latency histograms) alongside the runtime.* and
+// sched.* metrics of the underlying layers. See cmd/qrserve for the HTTP
+// front end and the closed-loop load generator.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/matrix"
+	"repro/internal/metrics"
+	"repro/internal/runtime"
+	"repro/internal/tiled"
+)
+
+// Typed admission errors. Submit returns ErrOverloaded when the admission
+// queue is full and ErrClosed once Close has begun; both are sentinel
+// values for errors.Is.
+var (
+	ErrOverloaded = errors.New("serve: overloaded, admission queue full")
+	ErrClosed     = errors.New("serve: server closed")
+)
+
+// Metric names exported by the service.
+const (
+	// MetricSubmitted counts Submit calls; MetricAccepted the ones that
+	// entered the queue; MetricRejects the ones refused with ErrOverloaded.
+	MetricSubmitted = "serve.submitted"
+	MetricAccepted  = "serve.accepted"
+	MetricRejects   = "serve.admission_rejects"
+	// MetricQueueDepth is the admission-queue depth sampled at every
+	// enqueue/dequeue; MetricQueuePeak its high-water mark.
+	MetricQueueDepth = "serve.queue_depth"
+	MetricQueuePeak  = "serve.queue_peak"
+	// MetricBatches counts executed batches; MetricBatchSize is the
+	// distribution of jobs per batch (mean > 1 means batching is working).
+	MetricBatches   = "serve.batches"
+	MetricBatchSize = "serve.batch_size"
+	// MetricJobsDone / MetricJobsFailed count completed jobs by outcome
+	// (failed = cancelled, deadline-exceeded, or execution error).
+	MetricJobsDone   = "serve.jobs_done"
+	MetricJobsFailed = "serve.jobs_failed"
+	// MetricJobUS is the per-class end-to-end job latency histogram
+	// (`serve.job_us{class=64x64/b16/flat-ts}`, µs, admission to result);
+	// MetricQueueWaitUS the admission-to-execution wait histogram.
+	MetricJobUS       = "serve.job_us"
+	MetricQueueWaitUS = "serve.queue_wait_us"
+	// MetricClasses is the number of distinct size classes seen (gauge);
+	// MetricPlanP records each class's Algorithm 3 device count
+	// (`serve.plan_p{class=...}`, gauge) — the placement decision driving
+	// that class's batch parallelism.
+	MetricClasses = "serve.classes"
+	MetricPlanP   = "serve.plan_p"
+)
+
+// Config configures a Server. The zero value is usable: every field has a
+// serving-oriented default.
+type Config struct {
+	// QueueCapacity bounds the admission queue; Submit rejects with
+	// ErrOverloaded beyond it. Default 64.
+	QueueCapacity int
+	// Executors is the number of concurrent batch executors. Default 2.
+	Executors int
+	// MaxBatch caps the jobs per micro-batch. Default 8; 1 disables
+	// batching.
+	MaxBatch int
+	// BatchWindow is how long an under-full batch waits for same-class
+	// company before executing anyway. Default 2ms.
+	BatchWindow time.Duration
+	// SmallTiles is the batching-eligibility threshold: jobs whose tile
+	// grid (Mt×Nt) exceeds it run as singleton batches immediately.
+	// Default 128 tiles.
+	SmallTiles int
+	// Workers forces the kernel-worker count per batch run; 0 derives it
+	// from each class's cached plan (Algorithm 3's device count p).
+	Workers int
+	// DefaultTileSize applies when a submission leaves TileSize zero.
+	// Default 16 (the paper's tile size).
+	DefaultTileSize int
+	// Platform is the modelled platform the per-class scheduling pipeline
+	// runs against. Default hetqr's PaperPlatform.
+	Platform *device.Platform
+	// Metrics receives the serve.*, runtime.* and sched.* metrics; nil
+	// disables instrumentation.
+	Metrics *metrics.Registry
+	// Retain bounds how many finished jobs stay queryable by ID (for the
+	// HTTP status endpoints). Default 1024.
+	Retain int
+}
+
+func (c *Config) normalize() {
+	if c.QueueCapacity <= 0 {
+		c.QueueCapacity = 64
+	}
+	if c.Executors <= 0 {
+		c.Executors = 2
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	if c.BatchWindow <= 0 {
+		c.BatchWindow = 2 * time.Millisecond
+	}
+	if c.SmallTiles <= 0 {
+		c.SmallTiles = 128
+	}
+	if c.DefaultTileSize <= 0 {
+		c.DefaultTileSize = 16
+	}
+	if c.Platform == nil {
+		c.Platform = device.PaperPlatform()
+	}
+	if c.Retain <= 0 {
+		c.Retain = 1024
+	}
+}
+
+// State is a job's lifecycle position.
+type State int32
+
+const (
+	// StateQueued: accepted, waiting for a batch slot.
+	StateQueued State = iota
+	// StateRunning: executing in a batch.
+	StateRunning
+	// StateDone: completed successfully; Result returns the factorization.
+	StateDone
+	// StateFailed: cancelled, past deadline, or failed; Result returns the
+	// error.
+	StateFailed
+)
+
+// String names the state for reports and the HTTP API.
+func (s State) String() string {
+	switch s {
+	case StateQueued:
+		return "queued"
+	case StateRunning:
+		return "running"
+	case StateDone:
+		return "done"
+	case StateFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("state(%d)", int32(s))
+	}
+}
+
+// Job is one accepted factorization request. Wait (or Done + Result)
+// delivers the outcome.
+type Job struct {
+	id     uint64
+	cls    *class
+	a      *matrix.Matrix
+	ctx    context.Context
+	cancel context.CancelFunc
+	enq    time.Time
+
+	state atomic.Int32
+	done  chan struct{}
+	f     *tiled.Factorization
+	err   error
+	fin   time.Time
+}
+
+// ID is the server-assigned job identifier.
+func (j *Job) ID() uint64 { return j.id }
+
+// State reports the job's current lifecycle position.
+func (j *Job) State() State { return State(j.state.Load()) }
+
+// Class is the job's size-class key, e.g. "512x512/b16/flat-ts".
+func (j *Job) Class() string { return j.cls.key }
+
+// Done is closed when the job has finished (either way).
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Result returns the outcome; it must only be called after Done is closed
+// (Wait does this for you).
+func (j *Job) Result() (*tiled.Factorization, error) {
+	select {
+	case <-j.done:
+		return j.f, j.err
+	default:
+		return nil, fmt.Errorf("serve: job %d still %s", j.id, j.State())
+	}
+}
+
+// Wait blocks until the job finishes or ctx fires, returning the
+// factorization or the job's error.
+func (j *Job) Wait(ctx context.Context) (*tiled.Factorization, error) {
+	select {
+	case <-j.done:
+		return j.f, j.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// finish publishes the outcome exactly once.
+func (j *Job) finish(f *tiled.Factorization, err error) {
+	j.f, j.err = f, err
+	j.fin = time.Now()
+	if err != nil {
+		j.state.Store(int32(StateFailed))
+	} else {
+		j.state.Store(int32(StateDone))
+	}
+	if j.cancel != nil {
+		j.cancel()
+	}
+	close(j.done)
+}
+
+// SubmitOptions tune one submission.
+type SubmitOptions struct {
+	// TileSize for the tiled factorization; 0 uses the server default.
+	TileSize int
+	// Tree names the elimination tree ("" = flat-ts).
+	Tree string
+	// Timeout, when positive, imposes a per-job deadline measured from
+	// admission (layered on top of whatever deadline ctx already carries).
+	Timeout time.Duration
+}
+
+// batch is a group of same-class jobs executed as one tiled run.
+type batch struct {
+	cls  *class
+	jobs []*Job
+}
+
+// Server is the batching QR job service. Create with New, stop with Close.
+type Server struct {
+	cfg Config
+	reg *metrics.Registry
+
+	mu     sync.RWMutex // guards closed vs. queue sends
+	closed bool
+
+	queue       chan *Job
+	batches     chan *batch
+	batcherDone chan struct{}
+	execWG      sync.WaitGroup
+
+	classes classCache
+
+	nextID atomic.Uint64
+	jobsMu sync.Mutex
+	jobs   map[uint64]*Job
+	order  []uint64 // insertion order, for retention pruning
+
+	mSubmitted *metrics.Counter
+	mAccepted  *metrics.Counter
+	mRejects   *metrics.Counter
+	mDepth     *metrics.Gauge
+	mPeak      *metrics.Gauge
+	mBatches   *metrics.Counter
+	mBatchSize *metrics.Histogram
+	mDone      *metrics.Counter
+	mFailed    *metrics.Counter
+	mQueueWait *metrics.Histogram
+}
+
+// New starts a server: one batcher goroutine plus cfg.Executors batch
+// executors.
+func New(cfg Config) *Server {
+	cfg.normalize()
+	reg := cfg.Metrics
+	s := &Server{
+		cfg:         cfg,
+		reg:         reg,
+		queue:       make(chan *Job, cfg.QueueCapacity),
+		batches:     make(chan *batch, cfg.Executors),
+		batcherDone: make(chan struct{}),
+		jobs:        map[uint64]*Job{},
+		mSubmitted:  reg.Counter(MetricSubmitted),
+		mAccepted:   reg.Counter(MetricAccepted),
+		mRejects:    reg.Counter(MetricRejects),
+		mDepth:      reg.Gauge(MetricQueueDepth),
+		mPeak:       reg.Gauge(MetricQueuePeak),
+		mBatches:    reg.Counter(MetricBatches),
+		mBatchSize:  reg.Histogram(MetricBatchSize),
+		mDone:       reg.Counter(MetricJobsDone),
+		mFailed:     reg.Counter(MetricJobsFailed),
+		mQueueWait:  reg.Histogram(MetricQueueWaitUS),
+	}
+	s.classes.init(&s.cfg)
+	go s.batcher()
+	for i := 0; i < cfg.Executors; i++ {
+		s.execWG.Add(1)
+		go s.executor()
+	}
+	return s
+}
+
+// Submit validates and admits one factorization request. It never blocks:
+// when the admission queue is full it returns ErrOverloaded immediately
+// (callers translate that to HTTP 429 or retry with backoff). ctx governs
+// the job's whole lifetime — cancelling it abandons the job even after
+// admission, and opts.Timeout layers a deadline on top. The input matrix
+// must not be mutated until the job finishes.
+func (s *Server) Submit(ctx context.Context, a *matrix.Matrix, opts SubmitOptions) (*Job, error) {
+	s.mSubmitted.Inc()
+	if a == nil || a.Rows == 0 || a.Cols == 0 {
+		return nil, errors.New("serve: empty matrix")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	tile := opts.TileSize
+	if tile <= 0 {
+		tile = s.cfg.DefaultTileSize
+	}
+	tree, err := tiled.TreeByName(opts.Tree)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	cls, err := s.classes.get(a.Rows, a.Cols, tile, tree, s.reg)
+	if err != nil {
+		return nil, err
+	}
+	j := &Job{
+		id:   s.nextID.Add(1),
+		cls:  cls,
+		a:    a,
+		enq:  time.Now(),
+		done: make(chan struct{}),
+	}
+	if opts.Timeout > 0 {
+		j.ctx, j.cancel = context.WithTimeout(ctx, opts.Timeout)
+	} else {
+		j.ctx = ctx
+	}
+
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		if j.cancel != nil {
+			j.cancel()
+		}
+		return nil, ErrClosed
+	}
+	select {
+	case s.queue <- j:
+		s.mAccepted.Inc()
+		depth := float64(len(s.queue))
+		s.mDepth.Set(depth)
+		s.mPeak.SetMax(depth)
+		s.remember(j)
+		return j, nil
+	default:
+		s.mRejects.Inc()
+		if j.cancel != nil {
+			j.cancel()
+		}
+		return nil, ErrOverloaded
+	}
+}
+
+// remember indexes the job for ID lookups, pruning the oldest finished
+// jobs beyond the retention bound.
+func (s *Server) remember(j *Job) {
+	s.jobsMu.Lock()
+	defer s.jobsMu.Unlock()
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	for len(s.jobs) > s.cfg.Retain && len(s.order) > 0 {
+		oldest, ok := s.jobs[s.order[0]]
+		if ok && oldest.State() < StateDone {
+			break // never forget a live job
+		}
+		delete(s.jobs, s.order[0])
+		s.order = s.order[1:]
+	}
+}
+
+// Lookup returns the job with the given ID, if still retained.
+func (s *Server) Lookup(id uint64) (*Job, bool) {
+	s.jobsMu.Lock()
+	defer s.jobsMu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Close drains the service gracefully: no new admissions, every already
+// accepted job runs to completion (or to its deadline), then the executors
+// exit. Safe to call more than once.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.batcherDone
+		s.execWG.Wait()
+		return
+	}
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+	<-s.batcherDone
+	s.execWG.Wait()
+}
+
+// batcher is the single routing goroutine: it groups queued jobs by size
+// class and flushes a class to the executors when it reaches MaxBatch
+// jobs, when its window expires, or (large jobs) immediately.
+func (s *Server) batcher() {
+	defer close(s.batcherDone)
+	pending := map[*class][]*Job{}
+	var order []*class // classes with pending jobs, oldest window first
+	windows := map[*class]time.Time{}
+
+	flush := func(cls *class) {
+		jobs := pending[cls]
+		delete(pending, cls)
+		delete(windows, cls)
+		for i, c := range order {
+			if c == cls {
+				order = append(order[:i], order[i+1:]...)
+				break
+			}
+		}
+		if len(jobs) > 0 {
+			s.batches <- &batch{cls: cls, jobs: jobs}
+		}
+	}
+
+	for {
+		var windowC <-chan time.Time
+		var window *time.Timer
+		if len(order) > 0 {
+			window = time.NewTimer(time.Until(windows[order[0]]))
+			windowC = window.C
+		}
+		select {
+		case j, ok := <-s.queue:
+			if window != nil {
+				window.Stop()
+			}
+			if !ok {
+				for len(order) > 0 {
+					flush(order[0])
+				}
+				close(s.batches)
+				return
+			}
+			s.mDepth.Set(float64(len(s.queue)))
+			cls := j.cls
+			if !cls.small || s.cfg.MaxBatch <= 1 {
+				s.batches <- &batch{cls: cls, jobs: []*Job{j}}
+				continue
+			}
+			if _, ok := pending[cls]; !ok {
+				order = append(order, cls)
+				windows[cls] = time.Now().Add(s.cfg.BatchWindow)
+			}
+			pending[cls] = append(pending[cls], j)
+			if len(pending[cls]) >= s.cfg.MaxBatch {
+				flush(cls)
+			}
+		case <-windowC:
+			flush(order[0])
+		}
+	}
+}
+
+// executor runs batches until the batcher closes the channel.
+func (s *Server) executor() {
+	defer s.execWG.Done()
+	for b := range s.batches {
+		s.runBatch(b)
+	}
+}
+
+// runBatch executes one micro-batch as a single tiled run: every job's
+// operation DAG (one cached DAG, replicated per job) shares one manager
+// loop and one worker set sized by the class's cached plan.
+func (s *Server) runBatch(b *batch) {
+	cls := b.cls
+	s.mBatches.Inc()
+	s.mBatchSize.Observe(float64(len(b.jobs)))
+	now := time.Now()
+	var live []*Job
+	var items []runtime.BatchItem
+	for _, j := range b.jobs {
+		s.mQueueWait.Observe(float64(now.Sub(j.enq)) / float64(time.Microsecond))
+		// A job whose context fired while it queued is finished without
+		// paying for tiling: its deadline budget covered the queue too.
+		if err := j.ctx.Err(); err != nil {
+			j.finish(nil, fmt.Errorf("serve: job %d expired in queue: %w", j.id, err))
+			s.mFailed.Inc()
+			cls.latency.Observe(float64(j.fin.Sub(j.enq)) / float64(time.Microsecond))
+			continue
+		}
+		j.state.Store(int32(StateRunning))
+		live = append(live, j)
+		items = append(items, runtime.BatchItem{
+			Ctx: j.ctx,
+			F:   tiled.NewFactorization(tiled.FromDense(j.a, cls.tile), cls.tree),
+		})
+	}
+	errs := runtime.ExecuteBatch(cls.dag, items, cls.workers, s.reg)
+	for i, j := range live {
+		if errs[i] != nil {
+			j.finish(nil, errs[i])
+			s.mFailed.Inc()
+		} else {
+			j.finish(items[i].F, nil)
+			s.mDone.Inc()
+		}
+		cls.latency.Observe(float64(j.fin.Sub(j.enq)) / float64(time.Microsecond))
+	}
+}

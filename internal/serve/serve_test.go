@@ -1,0 +1,219 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/runtime"
+	"repro/internal/workload"
+)
+
+func waitCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestServerConcurrentClientsMatchDirectFactor(t *testing.T) {
+	reg := metrics.NewRegistry()
+	s := New(Config{Metrics: reg, QueueCapacity: 64, Executors: 2, BatchWindow: time.Millisecond})
+	defer s.Close()
+
+	const clients, perClient = 6, 8
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients*perClient)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				seed := int64(c*100 + i)
+				a := workload.Uniform(seed, 64, 48)
+				var j *Job
+				for {
+					var err error
+					j, err = s.Submit(context.Background(), a, SubmitOptions{})
+					if err == nil {
+						break
+					}
+					if !errors.Is(err, ErrOverloaded) {
+						errCh <- err
+						return
+					}
+					time.Sleep(100 * time.Microsecond)
+				}
+				f, err := j.Wait(waitCtx(t))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				direct, err := runtime.Factor(a, runtime.Options{TileSize: 16})
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if d := f.R().MaxAbsDiff(direct.R()); d != 0 {
+					errCh <- errors.New("service R differs from direct Factor")
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters[MetricJobsDone]; got != clients*perClient {
+		t.Fatalf("jobs_done = %d, want %d", got, clients*perClient)
+	}
+	if bs := snap.Histograms[MetricBatchSize]; bs.Count == 0 {
+		t.Fatal("no batches recorded")
+	}
+}
+
+func TestServerSaturationRejects(t *testing.T) {
+	reg := metrics.NewRegistry()
+	s := New(Config{Metrics: reg, QueueCapacity: 4, Executors: 1, BatchWindow: 5 * time.Millisecond})
+	defer s.Close()
+
+	var accepted []*Job
+	rejected := 0
+	for i := 0; i < 64; i++ {
+		a := workload.Uniform(int64(i), 96, 96)
+		j, err := s.Submit(context.Background(), a, SubmitOptions{})
+		switch {
+		case err == nil:
+			accepted = append(accepted, j)
+		case errors.Is(err, ErrOverloaded):
+			rejected++
+		default:
+			t.Fatalf("submit: %v", err)
+		}
+	}
+	if rejected == 0 {
+		t.Fatal("64 open-loop submissions into a 4-deep queue produced no rejections")
+	}
+	for _, j := range accepted {
+		if _, err := j.Wait(waitCtx(t)); err != nil {
+			t.Fatalf("accepted job %d: %v", j.ID(), err)
+		}
+	}
+	if got := reg.Snapshot().Counters[MetricRejects]; got != int64(rejected) {
+		t.Fatalf("admission_rejects = %d, want %d", got, rejected)
+	}
+}
+
+func TestServerDeadlineExceeded(t *testing.T) {
+	s := New(Config{QueueCapacity: 8, Executors: 1})
+	defer s.Close()
+	j, err := s.Submit(context.Background(), workload.Uniform(1, 128, 128), SubmitOptions{Timeout: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Wait(waitCtx(t)); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want wrapped DeadlineExceeded, got %v", err)
+	}
+	if j.State() != StateFailed {
+		t.Fatalf("state = %v, want failed", j.State())
+	}
+}
+
+func TestServerSubmitCtxCancellation(t *testing.T) {
+	s := New(Config{QueueCapacity: 8, Executors: 1})
+	defer s.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	j, err := s.Submit(ctx, workload.Uniform(2, 64, 64), SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Wait(waitCtx(t)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want wrapped Canceled, got %v", err)
+	}
+}
+
+func TestServerGracefulDrainLosesNothing(t *testing.T) {
+	reg := metrics.NewRegistry()
+	s := New(Config{Metrics: reg, QueueCapacity: 32, Executors: 2, BatchWindow: 2 * time.Millisecond})
+
+	var jobs []*Job
+	for i := 0; i < 20; i++ {
+		j, err := s.Submit(context.Background(), workload.Uniform(int64(i), 64, 64), SubmitOptions{})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		jobs = append(jobs, j)
+	}
+	s.Close() // must flush pending batches and finish every accepted job
+	for _, j := range jobs {
+		select {
+		case <-j.Done():
+		default:
+			t.Fatalf("job %d lost on drain (state %v)", j.ID(), j.State())
+		}
+		if _, err := j.Result(); err != nil {
+			t.Fatalf("job %d failed on drain: %v", j.ID(), err)
+		}
+	}
+	if _, err := s.Submit(context.Background(), workload.Uniform(99, 32, 32), SubmitOptions{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close submit: %v, want ErrClosed", err)
+	}
+	if got := reg.Snapshot().Counters[MetricJobsDone]; got != int64(len(jobs)) {
+		t.Fatalf("jobs_done = %d, want %d", got, len(jobs))
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	s := New(Config{})
+	s.Close()
+	s.Close()
+}
+
+func TestServerLargeJobRunsSolo(t *testing.T) {
+	reg := metrics.NewRegistry()
+	// SmallTiles 4: a 64×64/b16 job has 16 tiles and must bypass batching.
+	s := New(Config{Metrics: reg, SmallTiles: 4, Executors: 1})
+	defer s.Close()
+	j, err := s.Submit(context.Background(), workload.Uniform(3, 64, 64), SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Wait(waitCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+	bs := reg.Snapshot().Histograms[MetricBatchSize]
+	if bs.Count != 1 || bs.Max != 1 {
+		t.Fatalf("solo job batch histogram = %+v, want one singleton", bs)
+	}
+}
+
+func TestServerBadSubmissions(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	if _, err := s.Submit(context.Background(), nil, SubmitOptions{}); err == nil {
+		t.Fatal("nil matrix accepted")
+	}
+	if _, err := s.Submit(context.Background(), workload.Uniform(1, 8, 8), SubmitOptions{Tree: "bogus"}); err == nil {
+		t.Fatal("bogus tree accepted")
+	}
+}
+
+func TestSelftestSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("selftest is a multi-phase load run")
+	}
+	rep, err := RunSelftest(SelftestOptions{Jobs: 48, Clients: 6, Verify: 4})
+	if err != nil {
+		t.Fatalf("selftest failed: %v\nreport: %+v", err, rep)
+	}
+	if rep.MeanBatch <= 1 {
+		t.Fatalf("mean batch size %.2f, want > 1", rep.MeanBatch)
+	}
+}
