@@ -16,6 +16,14 @@
 //	qrserve -http :8080 -queue 256 -executors 4
 //	qrserve -selftest                      # 200-job closed-loop run + invariant checks
 //	qrserve -selftest -jobs 1000 -clients 16
+//	qrserve -selftest -chaos               # the same run under injected faults:
+//	                                       # panics, transients, latency spikes and a
+//	                                       # device drop must all heal (zero lost jobs,
+//	                                       # bit-identical results, a recorded replan)
+//
+// On SIGINT/SIGTERM the server drains gracefully: admissions stop, every
+// accepted job completes, and the final metrics snapshot is flushed to
+// stdout. A second signal force-exits without waiting.
 //
 // Submit example:
 //
@@ -56,8 +64,13 @@ func main() {
 		jobs      = flag.Int("jobs", 200, "selftest: closed-loop job count")
 		clients   = flag.Int("clients", 8, "selftest: concurrent closed-loop clients")
 		verify    = flag.Int("verify", 1, "selftest: verify every Nth result against direct Factor")
+		chaos     = flag.Bool("chaos", false, "selftest: run under deterministic fault injection")
+		chaosSeed = flag.Int64("chaos-seed", 1, "selftest: fault injection seed")
 	)
 	flag.Parse()
+	if *chaos && !*selftest {
+		log.Fatal("-chaos requires -selftest")
+	}
 
 	cfg := serve.Config{
 		QueueCapacity:   *queue,
@@ -74,12 +87,17 @@ func main() {
 	if *selftest {
 		rep, err := serve.RunSelftest(serve.SelftestOptions{
 			Jobs: *jobs, Clients: *clients, Verify: *verify, Config: cfg,
+			Chaos: *chaos, ChaosSeed: *chaosSeed,
 		})
 		rep.Write(os.Stdout)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Println("selftest ok")
+		if *chaos {
+			fmt.Println("selftest ok (chaos)")
+		} else {
+			fmt.Println("selftest ok")
+		}
 		return
 	}
 
@@ -103,8 +121,17 @@ func main() {
 		log.Fatal(err)
 	case got := <-sig:
 		fmt.Printf("\n%s: draining accepted jobs...\n", got)
+		// A second signal during the drain force-exits: an operator hammering
+		// ctrl-C must not be held hostage by a long job.
+		go func() {
+			force := <-sig
+			fmt.Printf("%s again: force exit without drain\n", force)
+			os.Exit(1)
+		}()
 		_ = srv.Close() // stop admissions at the HTTP layer first
 		s.Close()       // then drain the service: every accepted job completes
+		fmt.Println("final metrics:")
+		_ = cfg.Metrics.WriteTable(os.Stdout)
 		fmt.Println("drained, bye")
 	}
 }

@@ -13,6 +13,9 @@
 //	qrsim -size 640 -gantt             # print a phase time-line
 //	qrsim -size 3200 -explain          # show the Algorithm 2 analysis
 //	qrsim -size 3200 -iters            # per-iteration CSV breakdown
+//	qrsim -size 3200 -drop-dev 2 -drop-iter 10   # lose participant 2 at
+//	                                   # iteration 10 and report the makespan
+//	                                   # degradation vs the fault-free run
 package main
 
 import (
@@ -24,6 +27,7 @@ import (
 	"strings"
 
 	"repro/internal/device"
+	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -48,6 +52,8 @@ func main() {
 		traceOut = flag.String("trace-out", "", "write a Chrome-tracing JSON time-line to this file")
 		csvOut   = flag.String("csv-out", "", "write the event time-line as CSV to this file")
 		withMet  = flag.Bool("metrics", false, "collect scheduler + simulator metrics and print a snapshot table")
+		dropDev  = flag.Int("drop-dev", -1, "inject a device drop: participant position to lose (clamped to non-main; -1 = off)")
+		dropIter = flag.Int("drop-iter", 1, "panel iteration the injected drop fires at (with -drop-dev)")
 	)
 	flag.Parse()
 
@@ -133,16 +139,25 @@ func main() {
 	if *gantt || *traceOut != "" || *csvOut != "" {
 		rec = trace.NewRecorder()
 	}
+	var inj *fault.Injector
+	if *dropDev >= 0 {
+		after := *dropIter
+		if after < 1 {
+			after = 1
+		}
+		inj = fault.New(fault.Config{Seed: 1, DropWorker: *dropDev, DropAfter: after})
+	}
 	res := sim.Run(sim.Config{Platform: pl, Plan: plan, NoMain: *noMain,
-		Recorder: rec, CollectIterations: *iters, Metrics: reg})
+		Recorder: rec, CollectIterations: *iters, Metrics: reg, Faults: inj})
 	if *asJSON {
 		out := map[string]any{
 			"plan": plan.MarshalSummary(pl),
 			"result": map[string]any{
-				"makespanUS": res.MakespanUS,
-				"calcUS":     res.CalcUS,
-				"commUS":     res.CommUS,
-				"perDevice":  res.PerDevice,
+				"makespanUS":  res.MakespanUS,
+				"calcUS":      res.CalcUS,
+				"commUS":      res.CommUS,
+				"perDevice":   res.PerDevice,
+				"devicesLost": res.DevicesLost,
 			},
 		}
 		enc := json.NewEncoder(os.Stdout)
@@ -163,6 +178,15 @@ func main() {
 	for i, d := range res.PerDevice {
 		fmt.Printf("  %-12s panel %8.3f s   updates %8.3f s   util %5.1f%%\n",
 			d.Name, d.PanelUS/1e6, d.UpdUS/1e6, 100*util[i])
+	}
+	if inj != nil {
+		base := sim.Run(sim.Config{Platform: pl, Plan: plan, NoMain: *noMain})
+		fmt.Printf("\nfault injection: %d device(s) lost (drop at iteration %d)\n", res.DevicesLost, *dropIter)
+		fmt.Printf("  fault-free  : %.3f s\n", base.Seconds())
+		if base.MakespanUS > 0 {
+			fmt.Printf("  degraded    : %.3f s  (+%.1f%%)\n",
+				res.Seconds(), 100*(res.MakespanUS-base.MakespanUS)/base.MakespanUS)
+		}
 	}
 	if rec != nil {
 		fmt.Println("\nphase time-line (T=panel, U=update, X=transfer):")

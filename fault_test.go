@@ -1,0 +1,60 @@
+package hetqr
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+// The public fault surface: a seeded injector threaded through Factor must
+// heal non-corrupting faults into a bit-identical result, and the typed
+// errors must be reachable through the re-exports alone.
+func TestPublicFaultInjection(t *testing.T) {
+	a := RandomMatrix(3, 96, 96)
+	want, err := Factor(a, Options{TileSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := NewFaultInjector(FaultConfig{Seed: 2, TransientRate: 0.1, PanicRate: 0.05})
+	got, err := Factor(a, Options{
+		TileSize: 16, Workers: 4,
+		Faults: inj,
+		Retry:  RetryPolicy{MaxAttempts: 6, BaseDelay: 10 * time.Microsecond, MaxDelay: time.Millisecond, Budget: 128},
+	})
+	if err != nil {
+		t.Fatalf("factor under faults: %v", err)
+	}
+	if d := got.R().MaxAbsDiff(want.R()); d != 0 {
+		t.Fatalf("R differs from fault-free run by %g", d)
+	}
+	if inj.InjectedTotal() == 0 {
+		t.Fatal("no faults injected — test vacuous")
+	}
+}
+
+func TestPublicNonFiniteRejection(t *testing.T) {
+	a := RandomMatrix(4, 64, 64)
+	a.Set(1, 2, math.NaN())
+	if _, err := Factor(a, Options{TileSize: 16}); !errors.Is(err, ErrNonFinite) {
+		t.Fatalf("want ErrNonFinite, got %v", err)
+	}
+}
+
+func TestPublicRetryability(t *testing.T) {
+	_, err := Factor(RandomMatrix(5, 64, 64), Options{
+		TileSize: 16,
+		Faults:   NewFaultInjector(FaultConfig{Seed: 6, TransientRate: 1}),
+		Retry:    RetryPolicy{MaxAttempts: 2, BaseDelay: time.Microsecond, MaxDelay: 10 * time.Microsecond, Budget: 2},
+	})
+	if err == nil {
+		t.Fatal("certain transient failure factored successfully")
+	}
+	if !IsRetryable(err) {
+		t.Fatalf("exhausted budget not retryable: %v", err)
+	}
+	var pe *KernelPanicError
+	if errors.As(err, &pe) {
+		t.Fatalf("budget exhaustion mis-typed as kernel panic: %v", err)
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"net/http"
 
 	"repro/internal/device"
+	"repro/internal/fault"
 	"repro/internal/matrix"
 	"repro/internal/metrics"
 	"repro/internal/runtime"
@@ -92,6 +93,38 @@ type MetricsSnapshot = metrics.Snapshot
 // Updater maintains a QR factorization over a growing stack of observation
 // rows (recursive least squares by QR updating); see NewUpdater.
 type Updater = tiled.Updater
+
+// ErrNonFinite marks a NaN or Inf where finite data was required: Factor
+// pre-scans its input and fails fast with an error wrapping this sentinel,
+// and the Options.Verify post-check uses it for corrupted outputs. Test
+// with errors.Is.
+var ErrNonFinite = runtime.ErrNonFinite
+
+// FaultInjector is a deterministic (seeded) fault injector: pass one in
+// Options.Faults to exercise the runtime's self-healing — contained kernel
+// panics, retried transients, latency spikes and worker drops. See
+// NewFaultInjector.
+type FaultInjector = fault.Injector
+
+// FaultConfig configures a FaultInjector; the zero value injects nothing.
+type FaultConfig = fault.Config
+
+// KernelPanicError is the typed error a panicking kernel is contained
+// into, carrying the operation, step and worker identity.
+type KernelPanicError = fault.KernelPanicError
+
+// RetryPolicy bounds the runtime's task-level retries of injected
+// transient faults (Options.Retry): capped exponential backoff with
+// jitter, per-operation attempt cap, per-factorization budget.
+type RetryPolicy = fault.RetryPolicy
+
+// NewFaultInjector builds a deterministic fault injector from cfg.
+func NewFaultInjector(cfg FaultConfig) *FaultInjector { return fault.New(cfg) }
+
+// IsRetryable reports whether an error is a fault-layer failure worth
+// retrying at the job level (transient, contained panic, lost device,
+// exhausted retry budget).
+func IsRetryable(err error) bool { return fault.IsRetryable(err) }
 
 // NewMatrix returns a zeroed r×c matrix.
 func NewMatrix(r, c int) *Matrix { return matrix.New(r, c) }

@@ -1,0 +1,177 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// KernelPanicError is a kernel panic contained by the runtime's recover
+// barrier: the worker goroutine survived, the panic became this error, and
+// the factorization it belonged to failed (or was retried) instead of the
+// process crashing.
+type KernelPanicError struct {
+	// Op and Step identify the panicking kernel (e.g. "TSMQR(3,1;2)" and
+	// its paper step class).
+	Op   string
+	Step string
+	// Worker is the runtime worker id that contained the panic.
+	Worker int
+	// Value is the recovered panic value.
+	Value any
+	// Injected is true when the panic came from the fault injector, which
+	// fires before the kernel touches any tile — those panics are safe to
+	// retry. A real kernel panic may have left partial tile state, so it
+	// fails the task outright (the whole factorization is still safely
+	// retryable from the original input).
+	Injected bool
+}
+
+func (e *KernelPanicError) Error() string {
+	return fmt.Sprintf("fault: kernel panic in %s (step %s, worker %d): %v", e.Op, e.Step, e.Worker, e.Value)
+}
+
+// TransientError is an injected transient kernel failure; always
+// task-retryable.
+type TransientError struct {
+	Op     string
+	Worker int
+}
+
+func (e *TransientError) Error() string {
+	return fmt.Sprintf("fault: transient failure in %s (worker %d)", e.Op, e.Worker)
+}
+
+// DeviceLostError reports a device (runtime worker or simulated device)
+// that dropped out mid-run. The work it was carrying is replanned onto the
+// survivors; the error surfaces only when no survivors remain or in
+// reports.
+type DeviceLostError struct {
+	Worker int
+}
+
+func (e *DeviceLostError) Error() string {
+	return fmt.Sprintf("fault: device %d lost", e.Worker)
+}
+
+// BudgetExhaustedError wraps the last failure of an operation whose
+// retries ran out — either the per-operation attempt cap or the
+// per-factorization retry budget. It is job-retryable: resubmitting the
+// factorization starts a fresh budget.
+type BudgetExhaustedError struct {
+	// Op identifies the operation that gave up.
+	Op string
+	// Retries is how many retries were spent on this operation.
+	Retries int
+	// Err is the final underlying failure.
+	Err error
+}
+
+func (e *BudgetExhaustedError) Error() string {
+	return fmt.Sprintf("fault: retry budget exhausted for %s after %d retries: %v", e.Op, e.Retries, e.Err)
+}
+
+func (e *BudgetExhaustedError) Unwrap() error { return e.Err }
+
+// TaskRetryable reports whether a single failed operation may be re-run in
+// place, on the same tiles. Only failures injected before the kernel
+// touched its tiles qualify: transient faults and injected panics. A real
+// (non-injected) panic may have mutated tiles, so re-running the kernel on
+// them is unsound — the whole factorization must restart instead.
+func TaskRetryable(err error) bool {
+	// An exhausted budget wraps its (often transient) cause, but the whole
+	// point of the budget is that the task stops retrying.
+	var be *BudgetExhaustedError
+	if errors.As(err, &be) {
+		return false
+	}
+	var te *TransientError
+	if errors.As(err, &te) {
+		return true
+	}
+	var pe *KernelPanicError
+	return errors.As(err, &pe) && pe.Injected
+}
+
+// IsRetryable reports whether resubmitting the whole factorization from
+// its original input could succeed — true for every fault-layer failure
+// (panic, transient, device loss, exhausted budget), since the input is
+// untouched and injection/load conditions change between runs. Context
+// cancellation and validation errors are not retryable.
+func IsRetryable(err error) bool {
+	if TaskRetryable(err) {
+		return true
+	}
+	var pe *KernelPanicError
+	var de *DeviceLostError
+	var be *BudgetExhaustedError
+	return errors.As(err, &pe) || errors.As(err, &de) || errors.As(err, &be)
+}
+
+// RetryPolicy bounds task-level retries: per-operation attempts with
+// capped exponential backoff and deterministic jitter, plus a shared
+// per-factorization budget so a pathological run fails fast instead of
+// retrying forever.
+type RetryPolicy struct {
+	// MaxAttempts is the total tries per operation, first try included
+	// (≤ 1 disables retries).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; each further retry
+	// doubles it, capped at MaxDelay.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Budget is the total retries allowed across one factorization (0
+	// disables retries).
+	Budget int
+}
+
+// DefaultRetryPolicy is the policy layers use when faults are enabled but
+// no policy was given.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: 3,
+		BaseDelay:   100 * time.Microsecond,
+		MaxDelay:    10 * time.Millisecond,
+		Budget:      32,
+	}
+}
+
+// normalize fills zero fields from the default policy.
+func (p RetryPolicy) normalize() RetryPolicy {
+	d := DefaultRetryPolicy()
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = d.MaxAttempts
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = d.BaseDelay
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = d.MaxDelay
+	}
+	return p
+}
+
+// Enabled reports whether the policy allows any retries at all.
+func (p RetryPolicy) Enabled() bool { return p.MaxAttempts > 1 && p.Budget > 0 }
+
+// Backoff returns the delay before retry number `retry` (1 for the first
+// retry) of the operation with global id gid: BaseDelay·2^(retry-1) capped
+// at MaxDelay, with ±25% deterministic jitter keyed on (gid, retry) so
+// colliding retries of different operations spread out but a given run is
+// reproducible.
+func (p RetryPolicy) Backoff(gid, retry int) time.Duration {
+	p = p.normalize()
+	if retry < 1 {
+		retry = 1
+	}
+	d := p.BaseDelay
+	for i := 1; i < retry && d < p.MaxDelay; i++ {
+		d *= 2
+	}
+	if d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	// jitter in [-25%, +25%) of d
+	u := float64(mix(uint64(gid)*0x9e3779b97f4a7c15+uint64(retry))>>11) / (1 << 53)
+	return d + time.Duration((u-0.5)*0.5*float64(d))
+}

@@ -1,0 +1,290 @@
+// Package fault is a deterministic, seeded fault-injection layer for the
+// tiled-QR stack: it decides — reproducibly, from a seed and the identity
+// of the injection site — whether a given kernel execution panics, fails
+// transiently, stalls, corrupts its output with NaN, or whether a whole
+// device drops out of the run.
+//
+// The package is pure decision logic: it never touches the runtime, the
+// simulator or the service. Those layers thread an *Injector through their
+// execution loops (runtime.Options.Faults, sim.Config.Faults,
+// serve.Config.Faults) and ask it, per site, what should go wrong. Keying
+// every decision on (seed, site identity, attempt) instead of a shared
+// mutable RNG keeps injections independent of goroutine scheduling: the
+// same seed faults the same logical operations no matter how the execution
+// interleaves, and a retried operation gets a fresh, independent draw per
+// attempt (so transient faults clear with overwhelming probability within
+// a small retry budget).
+//
+// A nil *Injector is fully usable and injects nothing, so instrumented
+// code needs no branches on chaos being enabled.
+package fault
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Kind enumerates the injectable fault kinds.
+type Kind uint8
+
+const (
+	// KindNone: no fault at this site.
+	KindNone Kind = iota
+	// KindPanic: the kernel panics before touching its tiles. The runtime
+	// contains it (recover → *KernelPanicError) and retries it like a
+	// transient fault, which is sound exactly because injection happens
+	// before any mutation.
+	KindPanic
+	// KindTransient: the kernel fails with a *TransientError before
+	// touching its tiles; retryable.
+	KindTransient
+	// KindLatency: the kernel runs correctly but only after an injected
+	// stall (runtime) or at a stretched duration (simulator) — a slow
+	// device, not a wrong one.
+	KindLatency
+	// KindNaN: the kernel runs and then its first output tile is corrupted
+	// with NaN — a data fault that only a post-factorization verify pass
+	// (Options.Verify) can catch. The one corrupting kind.
+	KindNaN
+	// KindDrop: the device executing the operation leaves the run for
+	// good; its pending work must be replanned onto the survivors.
+	KindDrop
+)
+
+// String names the kind for metric labels and reports.
+func (k Kind) String() string {
+	switch k {
+	case KindNone:
+		return "none"
+	case KindPanic:
+		return "panic"
+	case KindTransient:
+		return "transient"
+	case KindLatency:
+		return "latency"
+	case KindNaN:
+		return "nan"
+	case KindDrop:
+		return "drop"
+	default:
+		return "unknown"
+	}
+}
+
+// Metric names recorded by the layers that consume an Injector.
+const (
+	// MetricInjected counts injected faults per kind
+	// (`fault.injected{kind=panic}` etc.).
+	MetricInjected = "fault.injected"
+	// MetricRecovered counts operations that failed at least once and then
+	// completed within their retry budget.
+	MetricRecovered = "fault.recovered"
+	// MetricReplans counts recoveries that required replanning work onto a
+	// reduced device set (runtime worker-pool shrink, simulator
+	// guide-array redistribution, serve class replan).
+	MetricReplans = "fault.replans"
+	// MetricRetryWaitUS is the distribution of backoff delays slept before
+	// retries (µs).
+	MetricRetryWaitUS = "fault.retry_wait_us"
+	// MetricExhausted counts operations whose retry budget ran out.
+	MetricExhausted = "fault.budget_exhausted"
+)
+
+// Config describes what an Injector may break. The zero value injects
+// nothing. Rates are per-site probabilities in [0, 1]; a site is one
+// (operation, attempt) pair for kernel faults, or one (device, iteration)
+// pair for simulator latency.
+type Config struct {
+	// Seed drives every decision; two injectors with the same Config make
+	// identical decisions.
+	Seed int64
+
+	// PanicRate is the probability a kernel execution panics.
+	PanicRate float64
+	// TransientRate is the probability a kernel execution fails
+	// transiently.
+	TransientRate float64
+	// LatencyRate is the probability of an injected stall; Latency is the
+	// runtime sleep per stall and LatencyFactor the simulator phase
+	// stretch (default 2×).
+	LatencyRate   float64
+	Latency       time.Duration
+	LatencyFactor float64
+	// NaNRate is the probability a kernel's output tile is corrupted with
+	// NaN after it runs.
+	NaNRate float64
+
+	// DropWorker and DropAfter arm a single whole-device drop. In the
+	// runtime, whichever worker completes the DropAfter-th kernel
+	// (counted across the pool) drops — counting globally rather than
+	// per-worker guarantees the drop fires at a deterministic point in
+	// the run on any machine, however the scheduler spreads work across
+	// workers. In the simulator, participant position DropWorker drops at
+	// iteration DropAfter. DropAfter ≤ 0 disables the drop (so the zero
+	// Config drops nothing); each injector fires its runtime drop and its
+	// simulator drop at most once.
+	DropWorker int
+	DropAfter  int
+
+	// MaxInjections caps the total number of injected kernel faults
+	// (panic/transient/latency/NaN combined); 0 means unlimited. The cap
+	// is a safety valve for long chaos runs, counted atomically, so the
+	// set of sites it admits can depend on execution order.
+	MaxInjections int64
+}
+
+// Injector makes seeded fault decisions. Create with New; a nil *Injector
+// injects nothing.
+type Injector struct {
+	cfg Config
+
+	injected    [KindDrop + 1]atomic.Int64
+	kernels     atomic.Int64
+	workerDrops atomic.Bool
+	simDrops    atomic.Bool
+}
+
+// New returns an injector for the given config, normalizing defaults
+// (LatencyFactor 2, Latency 100µs when a latency rate is set).
+func New(cfg Config) *Injector {
+	if cfg.LatencyFactor <= 1 {
+		cfg.LatencyFactor = 2
+	}
+	if cfg.Latency <= 0 {
+		cfg.Latency = 100 * time.Microsecond
+	}
+	return &Injector{cfg: cfg}
+}
+
+// Decision is the outcome of one kernel-site query.
+type Decision struct {
+	Kind  Kind
+	Sleep time.Duration // for KindLatency in the runtime
+}
+
+// Kernel decides what happens to one kernel execution, identified by the
+// batch item, the operation index within the DAG, and the attempt number
+// (0 for the first try). Decisions are independent across attempts, so a
+// faulted operation's retry draws fresh.
+func (in *Injector) Kernel(item, op, attempt int) Decision {
+	if in == nil {
+		return Decision{}
+	}
+	c := &in.cfg
+	u := in.draw(1, uint64(item), uint64(op), uint64(attempt))
+	cum := c.PanicRate
+	switch {
+	case u < cum:
+		return in.take(Decision{Kind: KindPanic})
+	case u < cum+c.TransientRate:
+		return in.take(Decision{Kind: KindTransient})
+	case u < cum+c.TransientRate+c.LatencyRate:
+		return in.take(Decision{Kind: KindLatency, Sleep: c.Latency})
+	case u < cum+c.TransientRate+c.LatencyRate+c.NaNRate:
+		return in.take(Decision{Kind: KindNaN})
+	}
+	return Decision{}
+}
+
+// take counts an injection, downgrading it to none past MaxInjections.
+func (in *Injector) take(d Decision) Decision {
+	if in.cfg.MaxInjections > 0 {
+		var total int64
+		for k := range in.injected {
+			total += in.injected[k].Load()
+		}
+		if total >= in.cfg.MaxInjections {
+			return Decision{}
+		}
+	}
+	in.injected[d.Kind].Add(1)
+	return d
+}
+
+// KernelDrop records one completed kernel and reports whether the worker
+// that completed it drops now. The drop fires — at most once per injector
+// — on whichever worker completes the DropAfter-th kernel across the
+// pool, so an armed drop is guaranteed to fire at a deterministic point
+// regardless of how the scheduler spreads work (on a single-CPU machine
+// one worker may execute every kernel).
+func (in *Injector) KernelDrop() bool {
+	if in == nil || in.cfg.DropAfter <= 0 {
+		return false
+	}
+	if in.kernels.Add(1) < int64(in.cfg.DropAfter) {
+		return false
+	}
+	if !in.workerDrops.CompareAndSwap(false, true) {
+		return false
+	}
+	in.injected[KindDrop].Add(1)
+	return true
+}
+
+// SimDrop reports the participant position dropping at the given simulated
+// iteration, if any. Like DropWorker it fires at most once per injector.
+func (in *Injector) SimDrop(iter int) (int, bool) {
+	if in == nil || in.cfg.DropAfter <= 0 || iter < in.cfg.DropAfter {
+		return 0, false
+	}
+	if !in.simDrops.CompareAndSwap(false, true) {
+		return 0, false
+	}
+	in.injected[KindDrop].Add(1)
+	return in.cfg.DropWorker, true
+}
+
+// Stretch returns the duration multiplier for one simulated phase of a
+// device at an iteration, and whether a latency fault was injected.
+func (in *Injector) Stretch(dev, iter int) (float64, bool) {
+	if in == nil || in.cfg.LatencyRate <= 0 {
+		return 1, false
+	}
+	if in.draw(2, uint64(dev), uint64(iter)) >= in.cfg.LatencyRate {
+		return 1, false
+	}
+	d := in.take(Decision{Kind: KindLatency})
+	if d.Kind == KindNone {
+		return 1, false
+	}
+	return in.cfg.LatencyFactor, true
+}
+
+// Injected returns how many faults of the kind have been injected so far.
+func (in *Injector) Injected(k Kind) int64 {
+	if in == nil || int(k) >= len(in.injected) {
+		return 0
+	}
+	return in.injected[k].Load()
+}
+
+// InjectedTotal returns the total injected fault count across all kinds.
+func (in *Injector) InjectedTotal() int64 {
+	if in == nil {
+		return 0
+	}
+	var total int64
+	for k := range in.injected {
+		total += in.injected[k].Load()
+	}
+	return total
+}
+
+// draw produces a uniform value in [0, 1) from the seed and the site tags.
+func (in *Injector) draw(tags ...uint64) float64 {
+	h := mix(uint64(in.cfg.Seed) ^ 0x9e3779b97f4a7c15)
+	for _, t := range tags {
+		h = mix(h ^ (t+1)*0xbf58476d1ce4e5b9)
+	}
+	return float64(h>>11) / (1 << 53)
+}
+
+// mix is the splitmix64 finalizer: a cheap, well-distributed 64-bit hash.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,236 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// Two injectors with the same seed must make identical decisions at every
+// site; a different seed must disagree somewhere.
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Seed: 7, PanicRate: 0.05, TransientRate: 0.1, LatencyRate: 0.05, NaNRate: 0.02}
+	a, b := New(cfg), New(cfg)
+	cfg.Seed = 8
+	c := New(cfg)
+	differ := false
+	for item := 0; item < 4; item++ {
+		for op := 0; op < 100; op++ {
+			for att := 0; att < 3; att++ {
+				da, db := a.Kernel(item, op, att), b.Kernel(item, op, att)
+				if da != db {
+					t.Fatalf("same seed disagrees at (%d,%d,%d): %v vs %v", item, op, att, da, db)
+				}
+				if da != c.Kernel(item, op, att) {
+					differ = true
+				}
+			}
+		}
+	}
+	if !differ {
+		t.Fatal("different seeds made identical decisions at 1200 sites")
+	}
+}
+
+// Retries must draw independently: an op that faults on attempt 0 should,
+// with high probability across many ops, pass on a later attempt.
+func TestAttemptIndependence(t *testing.T) {
+	in := New(Config{Seed: 3, TransientRate: 0.5})
+	recovered := 0
+	for op := 0; op < 200; op++ {
+		if in.Kernel(0, op, 0).Kind != KindTransient {
+			continue
+		}
+		for att := 1; att < 4; att++ {
+			if in.Kernel(0, op, att).Kind == KindNone {
+				recovered++
+				break
+			}
+		}
+	}
+	if recovered == 0 {
+		t.Fatal("no faulted op recovered within 3 extra attempts at rate 0.5")
+	}
+}
+
+// Empirical injection rates must track configured rates, and the bands
+// must be disjoint (a site yields exactly one kind).
+func TestRateBands(t *testing.T) {
+	cfg := Config{Seed: 11, PanicRate: 0.1, TransientRate: 0.2, LatencyRate: 0.1, NaNRate: 0.1}
+	in := New(cfg)
+	const trials = 20000
+	counts := map[Kind]int{}
+	for op := 0; op < trials; op++ {
+		counts[in.Kernel(0, op, 0).Kind]++
+	}
+	for kind, want := range map[Kind]float64{
+		KindPanic: cfg.PanicRate, KindTransient: cfg.TransientRate,
+		KindLatency: cfg.LatencyRate, KindNaN: cfg.NaNRate,
+		KindNone: 1 - cfg.PanicRate - cfg.TransientRate - cfg.LatencyRate - cfg.NaNRate,
+	} {
+		got := float64(counts[kind]) / trials
+		if got < want-0.02 || got > want+0.02 {
+			t.Errorf("kind %v: empirical rate %.3f, want %.3f ± 0.02", kind, got, want)
+		}
+	}
+	if in.InjectedTotal() != int64(trials-counts[KindNone]) {
+		t.Errorf("InjectedTotal %d, want %d", in.InjectedTotal(), trials-counts[KindNone])
+	}
+}
+
+// A zero config and a nil injector must inject nothing.
+func TestZeroAndNil(t *testing.T) {
+	var nilIn *Injector
+	zero := New(Config{})
+	for op := 0; op < 500; op++ {
+		if d := zero.Kernel(0, op, 0); d.Kind != KindNone {
+			t.Fatalf("zero config injected %v at op %d", d.Kind, op)
+		}
+		if d := nilIn.Kernel(0, op, 0); d.Kind != KindNone {
+			t.Fatalf("nil injector injected %v", d.Kind)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		if zero.KernelDrop() || nilIn.KernelDrop() {
+			t.Fatal("disarmed drop fired")
+		}
+	}
+	if _, ok := zero.SimDrop(100); ok {
+		t.Fatal("disarmed sim drop fired")
+	}
+	if m, ok := nilIn.Stretch(0, 0); ok || m != 1 {
+		t.Fatalf("nil Stretch = (%v, %v), want (1, false)", m, ok)
+	}
+	if nilIn.InjectedTotal() != 0 || nilIn.Injected(KindPanic) != 0 {
+		t.Fatal("nil injector reports injections")
+	}
+}
+
+// The armed device drop must fire exactly once, exactly at the
+// DropAfter-th completed kernel.
+func TestDropLatch(t *testing.T) {
+	in := New(Config{Seed: 1, DropWorker: 2, DropAfter: 10})
+	for i := 1; i < 10; i++ {
+		if in.KernelDrop() {
+			t.Fatalf("drop fired at kernel %d, below threshold 10", i)
+		}
+	}
+	if !in.KernelDrop() {
+		t.Fatal("drop did not fire at the 10th kernel")
+	}
+	for i := 0; i < 20; i++ {
+		if in.KernelDrop() {
+			t.Fatal("drop fired twice")
+		}
+	}
+	if in.Injected(KindDrop) != 1 {
+		t.Fatalf("drop count %d, want 1", in.Injected(KindDrop))
+	}
+
+	// The sim-side latch is independent of the runtime-side latch.
+	dev, ok := in.SimDrop(10)
+	if !ok || dev != 2 {
+		t.Fatalf("SimDrop = (%d, %v), want (2, true)", dev, ok)
+	}
+	if _, ok := in.SimDrop(11); ok {
+		t.Fatal("sim drop fired twice")
+	}
+}
+
+// MaxInjections must cap total kernel injections.
+func TestMaxInjections(t *testing.T) {
+	in := New(Config{Seed: 5, TransientRate: 1, MaxInjections: 7})
+	n := 0
+	for op := 0; op < 100; op++ {
+		if in.Kernel(0, op, 0).Kind != KindNone {
+			n++
+		}
+	}
+	if n != 7 {
+		t.Fatalf("injected %d faults with cap 7", n)
+	}
+}
+
+// Backoff must grow exponentially from BaseDelay, cap at MaxDelay, stay
+// within the ±25% jitter band, and be deterministic.
+func TestBackoff(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 5, BaseDelay: 100 * time.Microsecond, MaxDelay: 1 * time.Millisecond, Budget: 32}
+	for gid := 0; gid < 50; gid++ {
+		for retry := 1; retry <= 6; retry++ {
+			want := p.BaseDelay << (retry - 1)
+			if want > p.MaxDelay {
+				want = p.MaxDelay
+			}
+			d := p.Backoff(gid, retry)
+			lo, hi := want-want/4, want+want/4
+			if d < lo || d > hi {
+				t.Fatalf("Backoff(%d,%d) = %v, want in [%v, %v]", gid, retry, d, lo, hi)
+			}
+			if d != p.Backoff(gid, retry) {
+				t.Fatalf("Backoff(%d,%d) not deterministic", gid, retry)
+			}
+		}
+	}
+}
+
+func TestRetryPolicyEnabled(t *testing.T) {
+	if (RetryPolicy{}).Enabled() {
+		t.Fatal("zero policy reports enabled")
+	}
+	if !DefaultRetryPolicy().Enabled() {
+		t.Fatal("default policy reports disabled")
+	}
+	if (RetryPolicy{MaxAttempts: 5}).Enabled() {
+		t.Fatal("zero budget reports enabled")
+	}
+}
+
+// Typed errors must cooperate with errors.As/Is and the retryability
+// predicates must honor the injected-vs-real panic distinction.
+func TestErrorsAndRetryability(t *testing.T) {
+	inj := &KernelPanicError{Op: "GEQRT(0)", Step: "T", Worker: 1, Value: "boom", Injected: true}
+	real := &KernelPanicError{Op: "TSQRT(1,0)", Step: "T", Worker: 0, Value: "index out of range"}
+	tr := &TransientError{Op: "TSMQR(1,2;0)", Worker: 3}
+	dl := &DeviceLostError{Worker: 2}
+	be := &BudgetExhaustedError{Op: "GEQRT(0)", Retries: 3, Err: tr}
+
+	if !TaskRetryable(inj) || !TaskRetryable(tr) {
+		t.Fatal("injected panic / transient not task-retryable")
+	}
+	if TaskRetryable(real) {
+		t.Fatal("real panic is task-retryable — unsound, tiles may be partial")
+	}
+	if TaskRetryable(dl) || TaskRetryable(be) {
+		t.Fatal("device loss / exhausted budget task-retryable")
+	}
+	for _, err := range []error{inj, real, tr, dl, be} {
+		if !IsRetryable(err) {
+			t.Fatalf("%T not job-retryable", err)
+		}
+	}
+	if IsRetryable(errors.New("plain")) || IsRetryable(nil) {
+		t.Fatal("non-fault error reported retryable")
+	}
+
+	wrapped := fmt.Errorf("item 3: %w", be)
+	var got *BudgetExhaustedError
+	if !errors.As(wrapped, &got) || got.Retries != 3 {
+		t.Fatal("BudgetExhaustedError lost through wrapping")
+	}
+	var gotTr *TransientError
+	if !errors.As(wrapped, &gotTr) {
+		t.Fatal("BudgetExhaustedError does not unwrap to its cause")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for kind, want := range map[Kind]string{
+		KindNone: "none", KindPanic: "panic", KindTransient: "transient",
+		KindLatency: "latency", KindNaN: "nan", KindDrop: "drop", Kind(42): "unknown",
+	} {
+		if kind.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", kind, kind.String(), want)
+		}
+	}
+}

@@ -252,6 +252,23 @@ func (m *Matrix) EqualApprox(a *Matrix, tol float64) bool {
 }
 
 // MaxAbsDiff returns max_{ij} |m_ij - a_ij|. Shapes must match. A NaN in
+// FindNonFinite returns the position of the first NaN or Inf element and
+// whether one exists. It scans row slices directly, so callers can afford
+// to run it on every input (the fast pre-scan behind hetqr's ErrNonFinite).
+func (m *Matrix) FindNonFinite() (int, int, bool) {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Stride : i*m.Stride+m.Cols]
+		for j, v := range row {
+			// v-v is 0 for finite v and NaN for NaN/±Inf: one comparison
+			// instead of two math-package calls per element.
+			if v-v != 0 {
+				return i, j, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
 // either operand yields NaN, so quality checks cannot silently pass over
 // poisoned data.
 func (m *Matrix) MaxAbsDiff(a *Matrix) float64 {

@@ -3,20 +3,35 @@ package runtime
 import (
 	"context"
 	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
 
+	"repro/internal/fault"
 	"repro/internal/matrix"
 	"repro/internal/metrics"
 	"repro/internal/tiled"
 	"repro/internal/trace"
 )
 
-// FactorContext is Factor with cancellation: the manager checks ctx at
-// every task-dispatch point, so a cancelled or deadline-expired context
-// stops the factorization after at most the kernels already in flight.
-// The returned error wraps ctx.Err() (errors.Is against context.Canceled
-// or context.DeadlineExceeded works); the partial factorization is
-// discarded. A nil or never-cancelled context (context.Background()) takes
-// the exact Factor fast path with no per-dispatch overhead.
+// FactorContext is Factor with cancellation and containment: the manager
+// checks ctx at every task-dispatch point, so a cancelled or
+// deadline-expired context stops the factorization after at most the
+// kernels already in flight, and every kernel runs behind a recover
+// barrier, so a panicking kernel fails the factorization with a typed
+// *fault.KernelPanicError instead of crashing the process. The returned
+// error wraps ctx.Err() on cancellation (errors.Is against
+// context.Canceled or context.DeadlineExceeded works); the partial
+// factorization is discarded.
+//
+// Inputs are pre-scanned: a NaN or Inf element fails fast with an error
+// wrapping ErrNonFinite rather than silently factoring garbage. With
+// Options.Verify the factored tiles are re-scanned on the way out, which
+// catches data corruption the kernels cannot (e.g. an injected NaN).
+//
+// With Options.Faults set, injected faults are applied during execution
+// and task-retryable failures are retried under Options.Retry.
 func FactorContext(ctx context.Context, a *matrix.Matrix, opts Options) (*tiled.Factorization, error) {
 	if err := opts.Normalize(); err != nil {
 		return nil, err
@@ -24,26 +39,27 @@ func FactorContext(ctx context.Context, a *matrix.Matrix, opts Options) (*tiled.
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if i, j, ok := a.FindNonFinite(); ok {
+		return nil, fmt.Errorf("runtime: input element (%d,%d): %w", i, j, ErrNonFinite)
+	}
 	stop := opts.Metrics.StartTimer(MetricFactorUS)
 	opts.Metrics.Counter(MetricFactors).Inc()
 	l := tiled.NewLayout(a.Rows, a.Cols, opts.TileSize)
 	dag := tiled.BuildDAG(l, opts.Tree)
 	f := tiled.NewFactorization(tiled.FromDense(a, opts.TileSize), opts.Tree)
-	if ctx.Done() == nil {
-		// Not cancellable: run the plain executors, which dispatch without
-		// polling a context.
-		if opts.Priority == CriticalPath {
-			ExecutePriorityObserved(dag, f, opts.Workers, opts.Recorder, opts.Metrics)
-		} else {
-			ExecuteObserved(dag, f, opts.Workers, opts.Recorder, opts.Metrics)
-		}
-		stop()
-		return f, nil
-	}
-	errs := executeBatch(dag, []batchJob{{ctx: ctx, f: f}}, opts.Workers, opts.Priority, opts.Recorder, opts.Metrics)
+	errs, _ := executeBatch(dag, []batchJob{{ctx: ctx, f: f}}, BatchOptions{
+		Workers: opts.Workers, Priority: opts.Priority,
+		Recorder: opts.Recorder, Metrics: opts.Metrics,
+		Faults: opts.Faults, Retry: opts.Retry,
+	})
 	stop()
 	if errs[0] != nil {
 		return nil, errs[0]
+	}
+	if opts.Verify {
+		if err := verifyFinite(f); err != nil {
+			return nil, err
+		}
 	}
 	return f, nil
 }
@@ -58,6 +74,47 @@ type BatchItem struct {
 	F *tiled.Factorization
 }
 
+// BatchOptions configure one ExecuteBatchWith call.
+type BatchOptions struct {
+	// Workers is the computing goroutine count (min 1, capped at the
+	// total operation count).
+	Workers int
+	// Priority selects the dispatch order (FIFO or CriticalPath).
+	Priority Priority
+	// Recorder, when non-nil, receives one trace event per executed kernel.
+	Recorder *trace.Recorder
+	// Metrics, when non-nil, receives runtime.* and fault.* metrics.
+	Metrics *metrics.Registry
+	// Faults, when non-nil, injects faults into kernel executions and may
+	// drop a worker mid-batch (see internal/fault).
+	Faults *fault.Injector
+	// Retry bounds task-level retries of retryable kernel failures. The
+	// zero value selects fault.DefaultRetryPolicy when Faults is set and
+	// disables retries otherwise (real panics are never task-retried
+	// regardless — see fault.TaskRetryable).
+	Retry fault.RetryPolicy
+}
+
+// BatchReport summarizes the fault activity of one batch execution.
+type BatchReport struct {
+	// Injected is the number of kernel-site faults injected (panic,
+	// transient, latency, NaN — not drops).
+	Injected int64
+	// Retries is the number of task retries dispatched; Recovered the
+	// number of operations that failed at least once and then completed.
+	Retries   int
+	Recovered int
+	// Exhausted counts items failed on an exhausted retry budget.
+	Exhausted int
+	// WorkerDrops counts workers lost mid-batch; each one shrank the pool
+	// and redistributed the remaining work over the survivors.
+	// DroppedWorkers lists their worker ids, in drop order — callers that
+	// model workers as devices (internal/serve) map these to device indices
+	// when replanning.
+	WorkerDrops    int
+	DroppedWorkers []int
+}
+
 // ExecuteBatch runs one dependency DAG over several same-shape
 // factorizations in a single manager loop: all items' operations share one
 // ready pool and one worker set, so a batch of small matrices fills the
@@ -67,15 +124,23 @@ type BatchItem struct {
 // The returned slice has one entry per item: nil on success, or an error
 // wrapping the item's ctx.Err() if its context fired before the item's
 // last operation was dispatched (remaining operations of a cancelled item
-// are skipped, other items are unaffected). Operations of one item execute
-// in a DAG-legal order with deterministic kernels, so each successful
-// item's result is bit-identical to a direct Factor of the same input.
+// are skipped, other items are unaffected), or a typed fault error if one
+// of its kernels failed terminally. Operations of one item execute in a
+// DAG-legal order with deterministic kernels, so each successful item's
+// result is bit-identical to a direct Factor of the same input.
 func ExecuteBatch(dag *tiled.DAG, items []BatchItem, workers int, reg *metrics.Registry) []error {
+	errs, _ := ExecuteBatchWith(dag, items, BatchOptions{Workers: workers, Metrics: reg})
+	return errs
+}
+
+// ExecuteBatchWith is ExecuteBatch with full options (fault injection,
+// retries, priority dispatch, tracing) and a fault-activity report.
+func ExecuteBatchWith(dag *tiled.DAG, items []BatchItem, opt BatchOptions) ([]error, *BatchReport) {
 	jobs := make([]batchJob, len(items))
 	for i, it := range items {
 		jobs[i] = batchJob{ctx: it.Ctx, f: it.F}
 	}
-	return executeBatch(dag, jobs, workers, FIFO, nil, reg)
+	return executeBatch(dag, jobs, opt)
 }
 
 type batchJob struct {
@@ -114,48 +179,147 @@ func (q *heapQueue) push(id int) { q.h.pushID(id) }
 func (q *heapQueue) pop() int    { return q.h.popID() }
 func (q *heapQueue) size() int   { return q.h.Len() }
 
-// executeBatch is the context-aware manager loop shared by FactorContext
-// and ExecuteBatch. Global operation id g = item*len(dag.Ops) + localOp;
-// dependency structure is replicated per item, state is tracked flat.
+// dispatchMsg hands one operation attempt to a worker.
+type dispatchMsg struct {
+	gid     int
+	attempt int
+}
+
+// opResult reports one finished attempt back to the manager. dropped marks
+// the worker's exit: the attempt completed, then the device died.
+type opResult struct {
+	gid     int
+	worker  int
+	attempt int
+	err     error
+	dropped bool
+}
+
+// injectedPanic is the sentinel the injector's panic fault throws; the
+// recover barrier uses it to tell safe-to-retry injected panics from real
+// kernel panics (which may have left partial tile state).
+type injectedPanic struct{}
+
+// applyProtected runs one kernel attempt behind the containment barrier:
+// injected faults fire first (panic, transient, latency), the kernel runs
+// under pprof labels and latency accounting, and an injected NaN corrupts
+// the first output tile afterwards. Any panic — injected or real — is
+// recovered into a typed *fault.KernelPanicError.
+func applyProtected(in *instr, inj *fault.Injector, reg *metrics.Registry,
+	f *tiled.Factorization, op tiled.Op, worker, item, local, attempt int,
+	injected *atomic.Int64) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			_, isInjected := r.(injectedPanic)
+			val := r
+			if isInjected {
+				val = any("injected")
+			}
+			err = &fault.KernelPanicError{
+				Op: op.String(), Step: op.Kind.Step(),
+				Worker: worker, Value: val, Injected: isInjected,
+			}
+		}
+	}()
+	d := inj.Kernel(item, local, attempt)
+	if d.Kind != fault.KindNone {
+		injected.Add(1)
+		reg.Counter(metrics.With(fault.MetricInjected, "kind", d.Kind.String())).Inc()
+	}
+	switch d.Kind {
+	case fault.KindPanic:
+		panic(injectedPanic{})
+	case fault.KindTransient:
+		return &fault.TransientError{Op: op.String(), Worker: worker}
+	case fault.KindLatency:
+		time.Sleep(d.Sleep)
+	}
+	in.applyOp(f, op, worker)
+	if d.Kind == fault.KindNaN {
+		c := op.Tiles()[0]
+		f.A.Tile(c[0], c[1]).Data[0] = math.NaN()
+	}
+	return nil
+}
+
+// executeBatch is the contained, context-aware, self-healing manager loop
+// shared by FactorContext and ExecuteBatch. Global operation id
+// g = item*len(dag.Ops) + localOp; dependency structure is replicated per
+// item, state is tracked flat.
 //
 // Dispatch is gated (at most one queued op per idle worker) so a
 // cancellation takes effect after the kernels currently in flight, not
 // after everything already pushed to a buffered channel.
-func executeBatch(dag *tiled.DAG, items []batchJob, workers int, prio Priority, rec *trace.Recorder, reg *metrics.Registry) []error {
+//
+// Failure handling: a task-retryable failure (injected transient or
+// injected panic — both fire before the kernel touches tiles) is re-queued
+// after a capped-exponential backoff until its attempt cap or the item's
+// retry budget runs out; any other failure, or an exhausted budget, fails
+// the item (remaining operations are skipped, other items proceed). A
+// worker that drops mid-batch shrinks the pool and the shared ready queue
+// redistributes its work over the survivors; if the last worker drops, one
+// is respawned under the same id (the injector fires each drop once) so
+// the batch always finishes.
+func executeBatch(dag *tiled.DAG, items []batchJob, opt BatchOptions) ([]error, *BatchReport) {
 	n := len(dag.Ops)
 	k := len(items)
 	errs := make([]error, k)
+	rep := &BatchReport{}
 	total := n * k
 	if total == 0 {
-		return errs
+		return errs, rep
 	}
+	workers := opt.Workers
 	if workers < 1 {
 		workers = 1
 	}
 	if workers > total {
 		workers = total
 	}
+	rec, reg, inj := opt.Recorder, opt.Metrics, opt.Faults
+	retry := opt.Retry
+	if inj != nil && retry == (fault.RetryPolicy{}) {
+		retry = fault.DefaultRetryPolicy()
+	}
 	in := newInstr(reg, workers)
 
-	ready := make(chan int)
-	done := make(chan int, total)
-	for w := 0; w < workers; w++ {
-		go func(id int) {
+	ready := make(chan dispatchMsg)
+	done := make(chan opResult, total)
+	// Retry deliveries come from time.AfterFunc goroutines, which may block
+	// on a full channel without holding anything up; a small buffer absorbs
+	// the common case.
+	retryc := make(chan int, 64)
+	var wg sync.WaitGroup
+	var injected atomic.Int64
+
+	spawn := func(id int) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
 			name := workerName(id)
-			for gid := range ready {
-				op := dag.Ops[gid%n]
+			for msg := range ready {
+				op := dag.Ops[msg.gid%n]
 				start := rec.Now()
-				in.applyOp(items[gid/n].f, op, id)
-				if rec != nil {
+				err := applyProtected(in, inj, reg, items[msg.gid/n].f, op,
+					id, msg.gid/n, msg.gid%n, msg.attempt, &injected)
+				if rec != nil && err == nil {
 					rec.Add(trace.Event{
 						Label: op.String(), Step: op.Kind.Step(),
 						Worker: name, Start: start, End: rec.Now(),
 					})
 				}
-				done <- gid
+				dropped := inj.KernelDrop()
+				done <- opResult{gid: msg.gid, worker: id, attempt: msg.attempt, err: err, dropped: dropped}
+				if dropped {
+					return
+				}
 			}
-		}(w)
+		}()
 	}
+	for w := 0; w < workers; w++ {
+		spawn(w)
+	}
+	alive := workers
 
 	remaining := make([]int, total)
 	for j := 0; j < k; j++ {
@@ -165,7 +329,7 @@ func executeBatch(dag *tiled.DAG, items []batchJob, workers int, prio Priority, 
 		}
 	}
 	var q dispatchQueue
-	if prio == CriticalPath {
+	if opt.Priority == CriticalPath {
 		depth := remainingDepth(dag)
 		all := make([]int, total)
 		for g := range all {
@@ -181,9 +345,10 @@ func executeBatch(dag *tiled.DAG, items []batchJob, workers int, prio Priority, 
 		}
 	}
 
-	// aborted reports (and latches) whether item j's context has fired.
-	// This is the task-dispatch-point context check: it runs once per
-	// operation, before the operation is handed to a worker.
+	// aborted reports (and latches) whether item j has failed — its context
+	// fired or one of its kernels failed terminally. This is the
+	// task-dispatch-point check: it runs once per operation, before the
+	// operation is handed to a worker.
 	executed := make([]int, k)
 	aborted := func(j int) bool {
 		if errs[j] != nil {
@@ -210,10 +375,14 @@ func executeBatch(dag *tiled.DAG, items []batchJob, workers int, prio Priority, 
 			}
 		}
 	}
+	// attempts[g] is how many retries op g has consumed; budget[j] how many
+	// retries item j has spent across all its ops.
+	attempts := make([]int, total)
+	budget := make([]int, k)
 
 	inFlight, completed := 0, 0
 	for completed < total {
-		for inFlight < workers && q.size() > 0 {
+		for inFlight < alive && q.size() > 0 {
 			gid := q.pop()
 			if aborted(gid / n) {
 				// Skip the kernel but keep the bookkeeping: successors are
@@ -224,19 +393,72 @@ func executeBatch(dag *tiled.DAG, items []batchJob, workers int, prio Priority, 
 				continue
 			}
 			executed[gid/n]++
-			ready <- gid
+			ready <- dispatchMsg{gid: gid, attempt: attempts[gid]}
 			inFlight++
 		}
 		if completed == total {
 			break
 		}
 		in.queueDepth(q.size())
-		gid := <-done
-		completed++
-		inFlight--
-		release(gid)
+		select {
+		case res := <-done:
+			inFlight--
+			if res.dropped {
+				alive--
+				rep.WorkerDrops++
+				rep.DroppedWorkers = append(rep.DroppedWorkers, res.worker)
+				reg.Counter(metrics.With(fault.MetricInjected, "kind", fault.KindDrop.String())).Inc()
+				reg.Counter(metrics.With(fault.MetricReplans, "layer", "runtime")).Inc()
+				if alive == 0 {
+					// The pool must never die with work outstanding; the
+					// injector's once-latch keeps the respawn alive.
+					spawn(res.worker)
+					alive = 1
+				}
+			}
+			j := res.gid / n
+			if res.err == nil {
+				if attempts[res.gid] > 0 {
+					rep.Recovered++
+					reg.Counter(fault.MetricRecovered).Inc()
+				}
+				completed++
+				release(res.gid)
+				continue
+			}
+			if errs[j] == nil && fault.TaskRetryable(res.err) &&
+				attempts[res.gid]+1 < retry.MaxAttempts && budget[j] < retry.Budget {
+				attempts[res.gid]++
+				budget[j]++
+				rep.Retries++
+				delay := retry.Backoff(res.gid, attempts[res.gid])
+				reg.Histogram(fault.MetricRetryWaitUS).Observe(float64(delay) / float64(time.Microsecond))
+				gid := res.gid
+				time.AfterFunc(delay, func() { retryc <- gid })
+				continue
+			}
+			if errs[j] == nil {
+				if fault.TaskRetryable(res.err) {
+					errs[j] = &fault.BudgetExhaustedError{Op: dag.Ops[res.gid%n].String(), Retries: attempts[res.gid], Err: res.err}
+					rep.Exhausted++
+					reg.Counter(fault.MetricExhausted).Inc()
+				} else {
+					errs[j] = fmt.Errorf("runtime: %s failed: %w", dag.Ops[res.gid%n], res.err)
+				}
+			}
+			completed++
+			release(res.gid)
+		case gid := <-retryc:
+			// An op coming back from backoff re-enters the ready queue; if
+			// its item aborted meanwhile, dispatch will skip it.
+			q.push(gid)
+		}
 	}
 	close(ready)
+	// Drain the pool before returning: every worker has exited, so callers
+	// (and the goroutine-leak tests) observe no stragglers.
+	wg.Wait()
+	rep.Injected = injected.Load()
 	in.finish(workers, total)
-	return errs
+	return errs, rep
 }

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"repro/internal/fault"
 	"repro/internal/matrix"
 	"repro/internal/metrics"
 	"repro/internal/tiled"
@@ -43,6 +44,16 @@ type Options struct {
 	// Metrics, when non-nil, receives the runtime.* metrics and enables
 	// pprof kernel labels. Nil disables all instrumentation.
 	Metrics *metrics.Registry
+	// Faults, when non-nil, injects seeded faults (panics, transient
+	// errors, latency, NaN corruption, worker drops) into the execution;
+	// see internal/fault.
+	Faults *fault.Injector
+	// Retry bounds task-level retries of retryable injected failures; the
+	// zero value selects fault.DefaultRetryPolicy when Faults is set.
+	Retry fault.RetryPolicy
+	// Verify re-scans the factored tiles for NaN/Inf before returning,
+	// failing with an error wrapping ErrNonFinite on corruption.
+	Verify bool
 }
 
 // Normalize validates the options and fills defaults in place; Factor

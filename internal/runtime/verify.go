@@ -1,0 +1,35 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/tiled"
+)
+
+// ErrNonFinite marks a NaN or Inf where finite data was required: in the
+// input matrix (Factor pre-scans every element and fails fast instead of
+// silently factoring garbage) or in the factored tiles (the Options.Verify
+// post-check, which catches data corruption — e.g. an injected NaN — that
+// the kernels themselves cannot). Returned errors wrap this sentinel with
+// the offending position; test with errors.Is(err, ErrNonFinite).
+var ErrNonFinite = errors.New("non-finite value")
+
+// VerifyFinite re-scans every factored tile (R and the stored reflectors)
+// for NaN/Inf, returning an error wrapping ErrNonFinite at the first hit.
+// It is the Options.Verify post-check, exported for callers (internal/serve)
+// that run batches directly and want the same corruption detection.
+func VerifyFinite(f *tiled.Factorization) error { return verifyFinite(f) }
+
+// verifyFinite is the Options.Verify post-check: it re-scans every factored
+// tile (R and the stored reflectors) for NaN/Inf.
+func verifyFinite(f *tiled.Factorization) error {
+	for i := 0; i < f.A.Mt; i++ {
+		for j := 0; j < f.A.Nt; j++ {
+			if r, c, ok := f.A.Tile(i, j).FindNonFinite(); ok {
+				return fmt.Errorf("runtime: verify: tile (%d,%d) element (%d,%d): %w", i, j, r, c, ErrNonFinite)
+			}
+		}
+	}
+	return nil
+}

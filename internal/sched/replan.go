@@ -1,0 +1,48 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/metrics"
+)
+
+// Replan rebuilds the scheduling decision after losing one device: the
+// survivors form a reduced platform and the whole Algorithm 2–4 pipeline
+// runs again over it — a new main computing device may be selected
+// (Algorithm 2), a new participating-device count chosen over the p−1
+// survivors (Algorithm 3), and a fresh guide array built so the column
+// distribution matches the surviving speed mix (Algorithm 4).
+//
+// lost is the platform index of the failed device. The returned plan
+// indexes into the returned reduced platform, whose Devices slice omits
+// the lost device (positions shift down by one past it); the caller maps
+// indices back through that platform. When reg is non-nil the rebuilt
+// plan's decision trail is recorded like any BuildPlanObserved call.
+func Replan(plat *device.Platform, prob Problem, lost int, reg *metrics.Registry) (*device.Platform, *Plan, error) {
+	if lost < 0 || lost >= len(plat.Devices) {
+		return nil, nil, fmt.Errorf("sched: replan: lost device %d out of range (%d devices)", lost, len(plat.Devices))
+	}
+	if len(plat.Devices) < 2 {
+		return nil, nil, fmt.Errorf("sched: replan: no surviving devices")
+	}
+	reduced := &device.Platform{
+		Devices:   make([]*device.Profile, 0, len(plat.Devices)-1),
+		Link:      plat.Link,
+		ElemBytes: plat.ElemBytes,
+		Network:   plat.Network,
+	}
+	if plat.NodeOf != nil {
+		reduced.NodeOf = make([]int, 0, len(plat.Devices)-1)
+	}
+	for i, d := range plat.Devices {
+		if i == lost {
+			continue
+		}
+		reduced.Devices = append(reduced.Devices, d)
+		if plat.NodeOf != nil && i < len(plat.NodeOf) {
+			reduced.NodeOf = append(reduced.NodeOf, plat.NodeOf[i])
+		}
+	}
+	return reduced, BuildPlanObserved(reduced, prob, reg), nil
+}

@@ -1,0 +1,79 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/device"
+)
+
+// Replan after losing one device must re-run the full Algorithm 2–4
+// pipeline over the p−1 survivors: reduced platform, valid main, valid
+// column distribution over the reduced indices.
+func TestReplanDropsOneDevice(t *testing.T) {
+	plat := device.PaperPlatform()
+	prob := NewProblem(1280, 1280, 16)
+	full := BuildPlan(plat, prob)
+
+	for lost := 0; lost < len(plat.Devices); lost++ {
+		reduced, plan, err := Replan(plat, prob, lost, nil)
+		if err != nil {
+			t.Fatalf("lost=%d: %v", lost, err)
+		}
+		if got, want := len(reduced.Devices), len(plat.Devices)-1; got != want {
+			t.Fatalf("lost=%d: reduced platform has %d devices, want %d", lost, got, want)
+		}
+		for _, d := range reduced.Devices {
+			if d == plat.Devices[lost] {
+				t.Fatalf("lost=%d: lost device survived into the reduced platform", lost)
+			}
+		}
+		if plat.NodeOf != nil && len(reduced.NodeOf) != len(reduced.Devices) {
+			t.Fatalf("lost=%d: NodeOf length %d, devices %d", lost, len(reduced.NodeOf), len(reduced.Devices))
+		}
+		if plan.Main < 0 || plan.Main >= len(reduced.Devices) {
+			t.Fatalf("lost=%d: main %d out of reduced range", lost, plan.Main)
+		}
+		if plan.P < 1 || plan.P > len(reduced.Devices) {
+			t.Fatalf("lost=%d: p = %d with %d survivors", lost, plan.P, len(reduced.Devices))
+		}
+		for _, idx := range plan.Participants() {
+			if idx < 0 || idx >= len(reduced.Devices) {
+				t.Fatalf("lost=%d: participant %d outside reduced platform", lost, idx)
+			}
+		}
+		for j, o := range plan.ColumnOwner {
+			if o < 0 || o >= plan.P {
+				t.Fatalf("lost=%d: column %d owned by position %d (p=%d)", lost, j, o, plan.P)
+			}
+		}
+	}
+
+	// Losing a non-main device must not select more participants than the
+	// full platform did — there is one fewer to choose from.
+	_, plan, err := Replan(plat, prob, len(plat.Devices)-1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.P > full.P {
+		t.Fatalf("replan over survivors chose p=%d > original %d", plan.P, full.P)
+	}
+}
+
+func TestReplanErrors(t *testing.T) {
+	plat := device.PaperPlatform()
+	prob := NewProblem(640, 640, 16)
+	if _, _, err := Replan(plat, prob, -1, nil); err == nil {
+		t.Fatal("negative lost index accepted")
+	}
+	if _, _, err := Replan(plat, prob, len(plat.Devices), nil); err == nil {
+		t.Fatal("out-of-range lost index accepted")
+	}
+	single := &device.Platform{
+		Devices:   plat.Devices[:1],
+		Link:      plat.Link,
+		ElemBytes: plat.ElemBytes,
+	}
+	if _, _, err := Replan(single, prob, 0, nil); err == nil {
+		t.Fatal("replan with no survivors accepted")
+	}
+}

@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/metrics"
+	"repro/internal/runtime"
+	"repro/internal/tiled"
+	"repro/internal/workload"
+)
+
+func mustTree(t *testing.T, name string) tiled.Tree {
+	t.Helper()
+	tree, err := tiled.TreeByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+// The chaos selftest is the acceptance gate: the full load-generator run
+// under injected faults must lose zero jobs, keep every result
+// bit-identical, record a replan for the device drop, and reject NaN
+// input — while still passing every fault-free invariant.
+func TestChaosSelftest(t *testing.T) {
+	rep, err := RunSelftest(SelftestOptions{Jobs: 60, Chaos: true, ChaosSeed: 7})
+	if err != nil {
+		t.Fatalf("chaos selftest: %v\nreport: %+v", err, rep)
+	}
+	if !rep.Chaos || rep.FaultsInjected < 1 || rep.FaultsRecovered < 1 {
+		t.Fatalf("chaos activity missing: %+v", rep)
+	}
+	if rep.Replans < 1 {
+		t.Fatalf("device drop produced no replan: %+v", rep)
+	}
+	if !rep.NaNRejected {
+		t.Fatal("NaN submission was not rejected")
+	}
+	if rep.Mismatches != 0 || rep.DrainLost != 0 {
+		t.Fatalf("chaos run lost or corrupted jobs: %+v", rep)
+	}
+}
+
+// Submissions carrying NaN/Inf must fail fast with the typed sentinel.
+func TestSubmitRejectsNonFinite(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	a := workload.Uniform(1, 48, 48)
+	a.Set(2, 7, math.Inf(-1))
+	if _, err := s.Submit(context.Background(), a, SubmitOptions{}); !errors.Is(err, runtime.ErrNonFinite) {
+		t.Fatalf("want ErrNonFinite, got %v", err)
+	}
+}
+
+// An exhausted retry budget must surface as a typed RetryableError, and the
+// HTTP result endpoint must map it to 503 with a Retry-After header.
+func TestExhaustedBudgetIsRetryable(t *testing.T) {
+	s := New(Config{
+		Faults: fault.New(fault.Config{Seed: 3, TransientRate: 1}),
+		Retry:  fault.RetryPolicy{MaxAttempts: 2, BaseDelay: time.Microsecond, MaxDelay: 10 * time.Microsecond, Budget: 2},
+	})
+	defer s.Close()
+	j, err := s.Submit(context.Background(), workload.Uniform(5, 64, 64), SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, werr := j.Wait(waitCtx(t))
+	var re *RetryableError
+	if !errors.As(werr, &re) {
+		t.Fatalf("want RetryableError, got %v", werr)
+	}
+	var be *fault.BudgetExhaustedError
+	if !errors.As(werr, &be) {
+		t.Fatalf("RetryableError does not wrap the exhausted budget: %v", werr)
+	}
+
+	h := s.Handler("")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/jobs/1/result", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("result status %d, want 503; body %s", rec.Code, rec.Body)
+	}
+	if ra := rec.Header().Get("Retry-After"); ra == "" {
+		t.Fatal("503 response missing Retry-After")
+	}
+	if !strings.Contains(rec.Body.String(), "retryable") {
+		t.Fatalf("body does not mark the failure retryable: %s", rec.Body)
+	}
+}
+
+// A device drop mid-batch must replan the affected class over the
+// surviving devices while the dropped batch still completes correctly.
+func TestServeDropReplansClass(t *testing.T) {
+	reg := metrics.NewRegistry()
+	s := New(Config{
+		Metrics: reg,
+		Workers: 4,
+		Faults:  fault.New(fault.Config{Seed: 11, DropAfter: 3}),
+	})
+	defer s.Close()
+	a := workload.Uniform(9, 96, 96)
+	j, err := s.Submit(context.Background(), a, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := j.Wait(waitCtx(t))
+	if err != nil {
+		t.Fatalf("job failed under device drop: %v", err)
+	}
+	direct, err := runtime.Factor(a, runtime.Options{TileSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := f.R().MaxAbsDiff(direct.R()); d != 0 {
+		t.Fatalf("dropped-batch result differs from direct Factor by %g", d)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters[MetricDeviceDrops] != 1 {
+		t.Fatalf("serve.device_drops = %d, want 1", snap.Counters[MetricDeviceDrops])
+	}
+	if snap.Counters[MetricReplans] != 1 {
+		t.Fatalf("serve.replans = %d, want 1", snap.Counters[MetricReplans])
+	}
+	// The class's platform view shrank to the survivors.
+	cls, err := s.classes.get(96, 96, 16, mustTree(t, ""), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(cls.plat.Devices), len(s.cfg.Platform.Devices)-1; got != want {
+		t.Fatalf("class platform has %d devices after drop, want %d", got, want)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	gort "runtime"
 	"sync"
 
+	"repro/internal/device"
 	"repro/internal/metrics"
 	"repro/internal/sched"
 	"repro/internal/tiled"
@@ -22,16 +23,71 @@ type class struct {
 	// dag is the shared read-only dependency graph replicated across the
 	// jobs of a batch by runtime.ExecuteBatch.
 	dag *tiled.DAG
-	// plan is the class's scheduling decision on the modelled platform;
-	// workers is the batch parallelism derived from it (Algorithm 3's
-	// device count p, clamped to the host's cores) unless Config.Workers
-	// forces a value.
-	plan    *sched.Plan
-	workers int
 	// small marks the class as batching-eligible (tile grid within
 	// Config.SmallTiles).
 	small   bool
 	latency *metrics.Histogram
+
+	// mu guards the re-plannable placement state below: an injected device
+	// drop mid-batch shrinks the class's platform view to the survivors and
+	// re-runs the scheduling pipeline over them.
+	mu sync.Mutex
+	// plat is the class's current platform view — the configured platform
+	// minus any devices lost to drops.
+	plat *device.Platform
+	// plan is the class's scheduling decision on plat; workers is the batch
+	// parallelism derived from it (Algorithm 3's device count p, clamped to
+	// the host's cores) unless Config.Workers forces a value.
+	plan    *sched.Plan
+	workers int
+}
+
+// batchWorkers returns the class's current batch parallelism.
+func (c *class) batchWorkers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.workers
+}
+
+// replanAfterDrop maps a dropped batch worker onto the plan participant it
+// stood in for, removes that device from the class's platform view, and
+// re-runs Algorithms 2–4 over the p−1 survivors (sched.Replan). Reports
+// whether a replan happened (the last survivor is never dropped).
+func (c *class) replanAfterDrop(worker, forcedWorkers int, reg *metrics.Registry) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.plat.Devices) < 2 {
+		return false
+	}
+	pos := worker
+	if pos >= c.plan.P {
+		pos = c.plan.P - 1
+	}
+	if pos < 0 {
+		pos = 0
+	}
+	lost := c.plan.Participants()[pos]
+	reduced, plan, err := sched.Replan(c.plat, sched.NewProblem(c.m, c.n, c.tile), lost, reg)
+	if err != nil {
+		return false
+	}
+	c.plat, c.plan = reduced, plan
+	if forcedWorkers <= 0 {
+		c.workers = clampWorkers(plan.P)
+	}
+	reg.Gauge(metrics.With(MetricPlanP, "class", c.key)).Set(float64(plan.P))
+	return true
+}
+
+// clampWorkers bounds a plan's device count by the cores we actually have.
+func clampWorkers(p int) int {
+	if max := gort.GOMAXPROCS(0); p > max {
+		p = max
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
 }
 
 // classCache builds classes on first use and returns them by key.
@@ -70,13 +126,7 @@ func (c *classCache) get(m, n, tile int, tree tiled.Tree, reg *metrics.Registry)
 		// Scheduler-driven placement: one host worker stands in for each
 		// of the plan's participating devices, bounded by the cores we
 		// actually have.
-		workers = plan.P
-		if max := gort.GOMAXPROCS(0); workers > max {
-			workers = max
-		}
-		if workers < 1 {
-			workers = 1
-		}
+		workers = clampWorkers(plan.P)
 	}
 	cls := &class{
 		key:     key,
@@ -85,6 +135,7 @@ func (c *classCache) get(m, n, tile int, tree tiled.Tree, reg *metrics.Registry)
 		tile:    tile,
 		tree:    tree,
 		dag:     tiled.BuildDAG(l, tree),
+		plat:    c.cfg.Platform,
 		plan:    plan,
 		workers: workers,
 		small:   l.Mt*l.Nt <= c.cfg.SmallTiles,

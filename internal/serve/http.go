@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/matrix"
 	"repro/internal/metrics"
+	"repro/internal/runtime"
 	"repro/internal/workload"
 )
 
@@ -122,6 +123,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, ErrClosed):
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
+	case errors.Is(err, runtime.ErrNonFinite):
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
 	case err != nil:
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -156,6 +160,19 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 	f, err := j.Result()
 	if err != nil {
+		var re *RetryableError
+		if errors.As(err, &re) {
+			// The failure was the service's (exhausted retry budget, lost
+			// device) — tell the client when to resubmit, not that the
+			// request was bad.
+			secs := int(re.After / time.Second)
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		}
 		code := http.StatusConflict // still queued/running
 		if j.State() == StateFailed {
 			code = http.StatusUnprocessableEntity

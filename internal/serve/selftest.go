@@ -5,10 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"sync"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/matrix"
 	"repro/internal/metrics"
 	"repro/internal/runtime"
@@ -31,6 +33,14 @@ type SelftestOptions struct {
 	// Config overrides the server configuration; zero fields get selftest
 	// defaults tuned to exercise batching and admission control.
 	Config Config
+	// Chaos runs the whole selftest under deterministic fault injection
+	// (seeded by ChaosSeed): injected kernel panics, transient errors and
+	// latency spikes must recover through retries, a device drop mid-run
+	// must trigger a class replan over the survivors, and a NaN submission
+	// must be rejected up front — all while every fault-free invariant
+	// still holds (zero lost jobs, bit-identical results, no crash).
+	Chaos     bool
+	ChaosSeed int64
 }
 
 // SelftestReport is the outcome of one selftest run.
@@ -57,6 +67,13 @@ type SelftestReport struct {
 
 	DrainSubmitted int // jobs accepted just before Close
 	DrainLost      int // accepted jobs with no outcome after drain (must be 0)
+
+	// Chaos-mode fields (all zero when Chaos is off).
+	Chaos           bool
+	FaultsInjected  int64 // faults injected across all phases (must be ≥ 1)
+	FaultsRecovered int64 // ops that failed then completed (must be ≥ 1)
+	Replans         int64 // replans recorded after device drops (must be ≥ 1)
+	NaNRejected     bool  // the NaN submission failed with ErrNonFinite
 }
 
 // check returns the first violated invariant, or nil.
@@ -75,6 +92,14 @@ func (r *SelftestReport) check(wantJobs int) error {
 		return errors.New("selftest: deadline job did not fail with DeadlineExceeded")
 	case r.DrainLost > 0:
 		return fmt.Errorf("selftest: %d accepted jobs lost on drain", r.DrainLost)
+	case r.Chaos && r.FaultsInjected < 1:
+		return errors.New("selftest: chaos mode injected no faults")
+	case r.Chaos && r.FaultsRecovered < 1:
+		return errors.New("selftest: chaos faults injected but none recovered")
+	case r.Chaos && r.Replans < 1:
+		return errors.New("selftest: chaos device drop produced no replan")
+	case r.Chaos && !r.NaNRejected:
+		return errors.New("selftest: NaN submission was not rejected with ErrNonFinite")
 	default:
 		return nil
 	}
@@ -91,6 +116,10 @@ func (r *SelftestReport) Write(w io.Writer) {
 		r.BurstSubmitted, r.BurstAccepted, r.BurstRejected, r.RejectsMetric)
 	fmt.Fprintf(w, "deadline      exceeded as expected: %v\n", r.DeadlineOK)
 	fmt.Fprintf(w, "drain         %d accepted at shutdown, %d lost\n", r.DrainSubmitted, r.DrainLost)
+	if r.Chaos {
+		fmt.Fprintf(w, "chaos         %d faults injected, %d recovered, %d replans, NaN rejected: %v\n",
+			r.FaultsInjected, r.FaultsRecovered, r.Replans, r.NaNRejected)
+	}
 }
 
 // selftestShapes are the closed-loop job shapes: two small size classes so
@@ -133,6 +162,41 @@ func RunSelftest(opt SelftestOptions) (*SelftestReport, error) {
 	}
 	if opt.Burst <= 0 {
 		opt.Burst = 6 * cfg.QueueCapacity
+	}
+	if opt.Chaos {
+		seed := opt.ChaosSeed
+		if seed == 0 {
+			seed = 1
+		}
+		if cfg.Faults == nil {
+			// Non-corrupting kinds only: injected panics and transients fire
+			// before the kernel touches tiles, so every retried result must
+			// come out bit-identical — the directDiff verification doubles
+			// as the chaos acceptance check. The drop fires early (25th
+			// kernel) so the replan path runs in the first batches.
+			cfg.Faults = fault.New(fault.Config{
+				Seed:          seed,
+				PanicRate:     0.02,
+				TransientRate: 0.03,
+				LatencyRate:   0.01,
+				Latency:       20 * time.Microsecond,
+				DropAfter:     25,
+			})
+		}
+		if cfg.Retry == (fault.RetryPolicy{}) {
+			// Generous budgets: at these rates no job should ever exhaust
+			// them, so a budget failure is a real finding, not noise.
+			cfg.Retry = fault.RetryPolicy{
+				MaxAttempts: 5,
+				BaseDelay:   50 * time.Microsecond,
+				MaxDelay:    2 * time.Millisecond,
+				Budget:      256,
+			}
+		}
+		if cfg.Workers <= 0 {
+			cfg.Workers = 4 // a pool worth dropping a worker from
+		}
+		cfg.Verify = true
 	}
 	reg := cfg.Metrics
 	s := New(cfg)
@@ -242,6 +306,16 @@ func RunSelftest(opt SelftestOptions) (*SelftestReport, error) {
 		rep.DeadlineOK = true
 	}
 
+	// Chaos drill: corrupted input must be rejected at admission with the
+	// typed ErrNonFinite, never reach a kernel.
+	if opt.Chaos {
+		bad := workload.Uniform(9100, 64, 64)
+		bad.Set(3, 5, math.NaN())
+		if _, err := s.Submit(context.Background(), bad, SubmitOptions{}); errors.Is(err, runtime.ErrNonFinite) {
+			rep.NaNRejected = true
+		}
+	}
+
 	// Phase 4: graceful drain. Accept a final wave, close immediately, and
 	// require every accepted job to have an outcome.
 	var drainJobs []*Job
@@ -272,6 +346,12 @@ func RunSelftest(opt SelftestOptions) (*SelftestReport, error) {
 	if bs, ok := snap.Histograms[MetricBatchSize]; ok && bs.Count > 0 {
 		rep.Batches = bs.Count
 		rep.MeanBatch = bs.Mean
+	}
+	if opt.Chaos {
+		rep.Chaos = true
+		rep.FaultsInjected = snap.SumCounters(fault.MetricInjected + "{")
+		rep.FaultsRecovered = snap.Counters[fault.MetricRecovered]
+		rep.Replans = snap.SumCounters(fault.MetricReplans + "{")
 	}
 	return rep, rep.check(opt.Jobs)
 }

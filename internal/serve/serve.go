@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/device"
+	"repro/internal/fault"
 	"repro/internal/matrix"
 	"repro/internal/metrics"
 	"repro/internal/runtime"
@@ -49,6 +50,22 @@ var (
 	ErrOverloaded = errors.New("serve: overloaded, admission queue full")
 	ErrClosed     = errors.New("serve: server closed")
 )
+
+// RetryableError marks a job failure the client may retry as-is: the job's
+// retry budget was exhausted by transient faults, a kernel panicked, or a
+// device was lost mid-run — the input itself is fine and a resubmission is
+// expected to succeed. The HTTP layer maps it to 503 with a Retry-After of
+// After; test with errors.As.
+type RetryableError struct {
+	Err   error
+	After time.Duration
+}
+
+func (e *RetryableError) Error() string {
+	return fmt.Sprintf("serve: retryable failure (retry after %v): %v", e.After, e.Err)
+}
+
+func (e *RetryableError) Unwrap() error { return e.Err }
 
 // Metric names exported by the service.
 const (
@@ -80,6 +97,11 @@ const (
 	// that class's batch parallelism.
 	MetricClasses = "serve.classes"
 	MetricPlanP   = "serve.plan_p"
+	// MetricDeviceDrops counts batch workers lost to injected device drops;
+	// MetricReplans counts the class replans they triggered (Algorithms 2–4
+	// re-run over the surviving devices via sched.Replan).
+	MetricDeviceDrops = "serve.device_drops"
+	MetricReplans     = "serve.replans"
 )
 
 // Config configures a Server. The zero value is usable: every field has a
@@ -115,6 +137,17 @@ type Config struct {
 	// Retain bounds how many finished jobs stay queryable by ID (for the
 	// HTTP status endpoints). Default 1024.
 	Retain int
+	// Faults, when non-nil, injects faults into every batch execution (the
+	// chaos mode of qrserve -selftest -chaos); Retry bounds the task-level
+	// retries of the retryable ones (zero selects fault.DefaultRetryPolicy
+	// when Faults is set). A worker lost to an injected drop additionally
+	// replans its size class over the surviving devices.
+	Faults *fault.Injector
+	Retry  fault.RetryPolicy
+	// Verify re-scans every successful factorization for NaN/Inf before
+	// delivering it (runtime.VerifyFinite) — the post-check that catches
+	// data corruption the kernels cannot.
+	Verify bool
 }
 
 func (c *Config) normalize() {
@@ -288,6 +321,8 @@ type Server struct {
 	mDone      *metrics.Counter
 	mFailed    *metrics.Counter
 	mQueueWait *metrics.Histogram
+	mDrops     *metrics.Counter
+	mReplans   *metrics.Counter
 }
 
 // New starts a server: one batcher goroutine plus cfg.Executors batch
@@ -312,6 +347,8 @@ func New(cfg Config) *Server {
 		mDone:       reg.Counter(MetricJobsDone),
 		mFailed:     reg.Counter(MetricJobsFailed),
 		mQueueWait:  reg.Histogram(MetricQueueWaitUS),
+		mDrops:      reg.Counter(MetricDeviceDrops),
+		mReplans:    reg.Counter(MetricReplans),
 	}
 	s.classes.init(&s.cfg)
 	go s.batcher()
@@ -332,6 +369,9 @@ func (s *Server) Submit(ctx context.Context, a *matrix.Matrix, opts SubmitOption
 	s.mSubmitted.Inc()
 	if a == nil || a.Rows == 0 || a.Cols == 0 {
 		return nil, errors.New("serve: empty matrix")
+	}
+	if i, j, ok := a.FindNonFinite(); ok {
+		return nil, fmt.Errorf("serve: input element (%d,%d): %w", i, j, runtime.ErrNonFinite)
 	}
 	if ctx == nil {
 		ctx = context.Background()
@@ -527,10 +567,36 @@ func (s *Server) runBatch(b *batch) {
 			F:   tiled.NewFactorization(tiled.FromDense(j.a, cls.tile), cls.tree),
 		})
 	}
-	errs := runtime.ExecuteBatch(cls.dag, items, cls.workers, s.reg)
+	errs, frep := runtime.ExecuteBatchWith(cls.dag, items, runtime.BatchOptions{
+		Workers: cls.batchWorkers(),
+		Metrics: s.reg,
+		Faults:  s.cfg.Faults,
+		Retry:   s.cfg.Retry,
+	})
+	// Self-healing: a worker lost to an injected device drop replans the
+	// class — Algorithms 2–4 re-run over the p−1 surviving devices, and the
+	// survivors' plan drives every later batch of this class.
+	if frep.WorkerDrops > 0 {
+		s.mDrops.Add(int64(frep.WorkerDrops))
+		for _, w := range frep.DroppedWorkers {
+			if cls.replanAfterDrop(w, s.cfg.Workers, s.reg) {
+				s.mReplans.Inc()
+			}
+		}
+	}
 	for i, j := range live {
-		if errs[i] != nil {
-			j.finish(nil, errs[i])
+		err := errs[i]
+		if err == nil && s.cfg.Verify {
+			err = runtime.VerifyFinite(items[i].F)
+		}
+		if err != nil {
+			// An exhausted retry budget, contained panic or lost device is
+			// the job's bad luck, not the input's fault: surface it as
+			// retryable so clients resubmit instead of giving up.
+			if fault.IsRetryable(err) {
+				err = &RetryableError{Err: err, After: time.Second}
+			}
+			j.finish(nil, err)
 			s.mFailed.Inc()
 		} else {
 			j.finish(items[i].F, nil)

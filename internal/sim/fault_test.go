@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/fault"
+	"repro/internal/metrics"
+)
+
+// An injected device drop mid-run must complete the decomposition on the
+// survivors: the lost participant's columns are redistributed via a fresh
+// guide array, the migration is charged, and the makespan degrades.
+func TestSimDeviceDropDegradesButCompletes(t *testing.T) {
+	pl := device.PaperPlatform()
+	base := run(pl, gpuPlan(pl, 1280, 3))
+
+	reg := metrics.NewRegistry()
+	res := Run(Config{
+		Platform: pl,
+		Plan:     gpuPlan(pl, 1280, 3),
+		Metrics:  reg,
+		Faults:   fault.New(fault.Config{Seed: 1, DropWorker: 2, DropAfter: 3}),
+	})
+	if res.DevicesLost != 1 {
+		t.Fatalf("DevicesLost = %d, want 1", res.DevicesLost)
+	}
+	if res.MakespanUS <= base.MakespanUS {
+		t.Fatalf("makespan %v did not degrade vs fault-free %v", res.MakespanUS, base.MakespanUS)
+	}
+	if res.MakespanUS <= 0 || res.CalcUS <= 0 {
+		t.Fatalf("degenerate faulted result: %+v", res)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters[MetricDevicesDropped] != 1 {
+		t.Fatal("sim.devices_dropped not recorded")
+	}
+	if snap.Counters[metrics.With(fault.MetricReplans, "layer", "sim")] != 1 {
+		t.Fatal("fault.replans{layer=sim} not recorded")
+	}
+	if snap.Counters[metrics.With(fault.MetricInjected, "kind", "drop")] != 1 {
+		t.Fatal("fault.injected{kind=drop} not recorded")
+	}
+	// The dropped participant does no update work after its drop iteration,
+	// so its busy time must fall below its fault-free share.
+	if res.PerDevice[2].UpdUS >= base.PerDevice[2].UpdUS {
+		t.Fatalf("dropped device update time %v not reduced from %v",
+			res.PerDevice[2].UpdUS, base.PerDevice[2].UpdUS)
+	}
+}
+
+// The main computing device never drops in the simulator: a drop aimed at
+// position 0 must clamp to a non-main survivor and the run still completes.
+func TestSimMainNeverDrops(t *testing.T) {
+	pl := device.PaperPlatform()
+	res := Run(Config{
+		Platform: pl,
+		Plan:     gpuPlan(pl, 640, 3),
+		Faults:   fault.New(fault.Config{Seed: 2, DropWorker: 0, DropAfter: 1}),
+	})
+	if res.DevicesLost != 1 {
+		t.Fatalf("DevicesLost = %d, want 1 (clamped to non-main)", res.DevicesLost)
+	}
+	if res.PerDevice[0].PanelUS <= 0 {
+		t.Fatal("main stopped factorizing panels — it must never drop")
+	}
+	if res.MakespanUS <= 0 {
+		t.Fatalf("run did not complete: %+v", res)
+	}
+}
+
+// Dropping down to a single survivor must still finish: the whole trailing
+// matrix collapses onto the main device.
+func TestSimDropToSingleSurvivor(t *testing.T) {
+	pl := device.PaperPlatform()
+	res := Run(Config{
+		Platform: pl,
+		Plan:     gpuPlan(pl, 640, 2),
+		Faults:   fault.New(fault.Config{Seed: 3, DropWorker: 1, DropAfter: 2}),
+	})
+	if res.DevicesLost != 1 {
+		t.Fatalf("DevicesLost = %d, want 1", res.DevicesLost)
+	}
+	if res.MakespanUS <= 0 {
+		t.Fatalf("run did not complete: %+v", res)
+	}
+}
+
+// Latency stretches must slow the run down and be recorded, without
+// changing anything else about the simulation.
+func TestSimLatencyStretch(t *testing.T) {
+	pl := device.PaperPlatform()
+	base := run(pl, gpuPlan(pl, 1280, 3))
+
+	reg := metrics.NewRegistry()
+	res := Run(Config{
+		Platform: pl,
+		Plan:     gpuPlan(pl, 1280, 3),
+		Metrics:  reg,
+		Faults:   fault.New(fault.Config{Seed: 4, LatencyRate: 0.5, LatencyFactor: 3}),
+	})
+	if res.DevicesLost != 0 {
+		t.Fatalf("latency faults lost %d devices", res.DevicesLost)
+	}
+	if res.MakespanUS <= base.MakespanUS {
+		t.Fatalf("makespan %v not stretched vs %v", res.MakespanUS, base.MakespanUS)
+	}
+	if reg.Snapshot().Counters[metrics.With(fault.MetricInjected, "kind", "latency")] == 0 {
+		t.Fatal("fault.injected{kind=latency} not recorded")
+	}
+}
+
+// A fault injector must leave the simulation deterministic: same seed,
+// same result.
+func TestSimFaultedDeterministic(t *testing.T) {
+	pl := device.PaperPlatform()
+	cfg := func() Config {
+		return Config{
+			Platform: pl,
+			Plan:     gpuPlan(pl, 1280, 3),
+			Faults: fault.New(fault.Config{
+				Seed: 9, DropWorker: 1, DropAfter: 5, LatencyRate: 0.3, LatencyFactor: 2,
+			}),
+		}
+	}
+	a, b := Run(cfg()), Run(cfg())
+	if a.MakespanUS != b.MakespanUS || a.CommUS != b.CommUS || a.DevicesLost != b.DevicesLost {
+		t.Fatalf("faulted simulation not deterministic: %+v vs %+v", a, b)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/device"
+	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/sched"
 	"repro/internal/trace"
@@ -101,6 +102,14 @@ type Config struct {
 	// Metrics, when non-nil, receives the sim.* metrics for this run
 	// (falling back to DefaultMetrics when nil).
 	Metrics *metrics.Registry
+	// Faults, when non-nil, injects modeled faults: a whole-device drop at
+	// a configured iteration (the dropped participant's unfinished columns
+	// are redistributed over the survivors with a fresh Algorithm 4 guide
+	// array) and per-device latency stretches. The main computing device
+	// never drops in the simulator — losing the main requires a full
+	// sched.Replan, which the serving layer performs; drop positions are
+	// clamped to non-main participants.
+	Faults *fault.Injector
 }
 
 // IterationStat is the timing breakdown of one panel iteration.
@@ -135,6 +144,10 @@ type Result struct {
 	// Iterations holds per-panel breakdowns when requested via
 	// Config.CollectIterations.
 	Iterations []IterationStat
+	// DevicesLost counts participants removed by injected device drops
+	// (Config.Faults), each followed by a guide-array redistribution of
+	// its unfinished columns over the survivors.
+	DevicesLost int
 }
 
 // Utilization returns each participant's busy time divided by the
@@ -212,11 +225,20 @@ func Run(cfg Config) Result {
 	plan = &sched.Plan{Problem: plan.Problem, Main: plan.Main, Order: plan.Order,
 		P: plan.P, Ratios: plan.Ratios, Guide: plan.Guide, ColumnOwner: owner}
 
+	// alive tracks which participant positions are still in the run;
+	// adaptive re-planning and injected device drops retire positions.
+	alive := make([]bool, p)
+	for i := range alive {
+		alive[i] = true
+	}
+	aliveN := p
+
 	// ownerOf maps a column to a participant position; columns past the
-	// distribution (or with out-of-range owners) fall back to main.
+	// distribution (or with out-of-range or retired owners) fall back to
+	// main.
 	ownerOf := func(col int) int {
 		if col < len(plan.ColumnOwner) {
-			if o := plan.ColumnOwner[col]; o >= 0 && o < p {
+			if o := plan.ColumnOwner[col]; o >= 0 && o < p && alive[o] {
 				return o
 			}
 		}
@@ -235,23 +257,82 @@ func Run(cfg Config) Result {
 	}
 	colReady := 0.0 // when the panel column is updated & resident on its panel device
 	makespan := 0.0
-	active := p // participants currently enlisted (prefix of the order)
 	for k := 0; k < kt; k++ {
 		m := prob.Mt - k
 		var iter IterationStat
-		if cfg.Adaptive && active > 1 {
+
+		// Injected device drop: the configured participant position leaves
+		// the run for good at its configured iteration. Its unfinished
+		// columns are redistributed over the survivors with a fresh
+		// Algorithm 4 guide array built from the surviving update speeds,
+		// and one bulk migration of the moved tiles is charged.
+		if d, ok := cfg.Faults.SimDrop(k); ok {
+			if d <= 0 || d >= p || !alive[d] {
+				// Clamp to a droppable position: the last alive non-main
+				// participant (the main never drops in the simulator).
+				d = -1
+				for i := p - 1; i > 0; i-- {
+					if alive[i] {
+						d = i
+						break
+					}
+				}
+			}
+			if d > 0 {
+				alive[d] = false
+				aliveN--
+				res.DevicesLost++
+				surv := make([]int, 0, aliveN)
+				speeds := make([]float64, 0, aliveN)
+				for i := 0; i < p; i++ {
+					if alive[i] {
+						surv = append(surv, i)
+						speeds = append(speeds, plat.Devices[parts[i]].UpdateTilesPerUS(b))
+					}
+				}
+				guide := sched.GuideArray(sched.IntegerRatios(speeds, 32))
+				moved, idx := 0, 0
+				for j := k + 1; j < prob.Nt; j++ {
+					if plan.ColumnOwner[j] == d {
+						plan.ColumnOwner[j] = surv[guide[idx%len(guide)]]
+						idx++
+						moved += m
+					}
+				}
+				if moved > 0 {
+					x := plat.Link.TransferUS(float64(moved) * tileBytes)
+					res.CommUS += x
+					colReady += x
+					transfer("migrate", 0, x)
+					record("X", fmt.Sprintf("drop %s: migrate %d cols", stats[d].Name, idx), 0, colReady-x, colReady)
+				}
+				reg.Counter(MetricDevicesDropped).Inc()
+				reg.Counter(metrics.With(fault.MetricInjected, "kind", fault.KindDrop.String())).Inc()
+				reg.Counter(metrics.With(fault.MetricReplans, "layer", "sim")).Inc()
+			}
+		}
+
+		if cfg.Adaptive && aliveN > 1 {
 			rem := sched.Problem{Mt: prob.Mt - k, Nt: prob.Nt - k, B: b}
-			order := make([]int, active)
-			for i := 0; i < active; i++ {
-				order[i] = parts[i]
+			pos := make([]int, 0, aliveN)
+			order := make([]int, 0, aliveN)
+			for i := 0; i < p; i++ {
+				if alive[i] {
+					pos = append(pos, i)
+					order = append(order, parts[i])
+				}
 			}
 			want, _ := sched.SelectNumDevices(plat, rem, order)
-			if want < active {
-				// Migrate the dropped devices' remaining columns to main and
-				// hand their ownership over.
+			if want < len(order) {
+				// Retire the surplus tail, migrate its remaining columns to
+				// main and hand their ownership over.
+				for i := want; i < len(pos); i++ {
+					alive[pos[i]] = false
+					aliveN--
+				}
 				moved := 0
 				for j := k + 1; j < prob.Nt; j++ {
-					if o := ownerOf(j); o >= want {
+					if o := plan.ColumnOwner[j]; o >= 0 && o < p && !alive[o] {
 						moved += m
 						plan.ColumnOwner[j] = 0
 					}
@@ -262,8 +343,7 @@ func Run(cfg Config) Result {
 					colReady += x
 					transfer("migrate", 0, x)
 				}
-				reg.Counter(MetricDevicesDropped).Add(int64(active - want))
-				active = want
+				reg.Counter(MetricDevicesDropped).Add(int64(len(pos) - want))
 			}
 		}
 		panelDev := panelDevOf(k)
@@ -274,6 +354,10 @@ func Run(cfg Config) Result {
 			panelStart = colReady
 		}
 		panelDur := panelProf.PanelUS(b, m)
+		if s, hit := cfg.Faults.Stretch(parts[panelDev], k); hit {
+			panelDur *= s
+			reg.Counter(metrics.With(fault.MetricInjected, "kind", fault.KindLatency.String())).Inc()
+		}
 		panelEnd := panelStart + panelDur
 		devFree[panelDev] = panelEnd
 		stats[panelDev].PanelUS += panelDur
@@ -294,7 +378,7 @@ func Run(cfg Config) Result {
 		linkFree := panelEnd
 		for i := 0; i < p; i++ {
 			arrive[i] = panelEnd
-			if i != panelDev && prob.Nt-k > 1 {
+			if i != panelDev && alive[i] && prob.Nt-k > 1 {
 				x := plat.LinkBetween(parts[panelDev], parts[i]).TransferUS(3 * float64(m) * tileBytes)
 				arrive[i] = linkFree + x
 				linkFree = arrive[i]
@@ -324,6 +408,10 @@ func Run(cfg Config) Result {
 			updStart[i] = start
 			dur := prof.BatchUS(device.ClassUT, b, cols[i]) +
 				prof.BatchUS(device.ClassUE, b, (m-1)*cols[i])
+			if s, hit := cfg.Faults.Stretch(parts[i], k); hit {
+				dur *= s
+				reg.Counter(metrics.With(fault.MetricInjected, "kind", fault.KindLatency.String())).Inc()
+			}
 			devFree[i] = start + dur
 			stats[i].UpdUS += dur
 			if reg != nil {
