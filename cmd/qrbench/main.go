@@ -8,6 +8,7 @@
 //	qrbench -ext        # additionally run the extension experiments
 //	qrbench -exp fig6   # print one exhibit
 //	qrbench -list       # list exhibit IDs
+//	qrbench -kernels    # measure the host kernels, write BENCH_kernels.json
 package main
 
 import (
@@ -29,7 +30,17 @@ func main() {
 	doPlot := flag.Bool("plot", false, "render the exhibit as a text chart (-exp required)")
 	list := flag.Bool("list", false, "list experiment IDs")
 	withMet := flag.Bool("metrics", false, "collect simulator metrics across all exhibits and print a snapshot table")
+	kern := flag.Bool("kernels", false, "benchmark the host tile kernels (testing.Benchmark) and write a JSON snapshot")
+	kernOut := flag.String("o", "BENCH_kernels.json", "kernel snapshot destination (with -kernels); - for stdout")
 	flag.Parse()
+
+	if *kern {
+		if err := writeKernelBench(*kernOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var reg *metrics.Registry
 	if *withMet {
@@ -72,6 +83,30 @@ func main() {
 		fmt.Print(t.Format())
 		fmt.Println()
 	}
+}
+
+// writeKernelBench measures the host kernels and writes the JSON snapshot
+// (BENCH_kernels.json format), echoing a table to stderr so the run is
+// inspectable without opening the file.
+func writeKernelBench(out string) error {
+	rep := bench.RunKernelBench(nil)
+	rep.WriteTable(os.Stderr)
+	if out == "-" {
+		return rep.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", out)
+	return nil
 }
 
 // chart renders a table's numeric series (columns 2..) against its first

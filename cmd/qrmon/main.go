@@ -9,6 +9,10 @@
 //	/metrics?format=table    the same as a human-readable table
 //	/debug/vars              standard expvar (includes the registry under "hetqr")
 //	/healthz                 liveness probe
+//	/buildinfo               Go/module build metadata
+//	/traces                  end-to-end traces of the factor runs
+//	/traces/{id}             one run's span tree (?format=chrome for chrome://tracing)
+//	/drift                   model-vs-measured drift per workload
 //
 // Usage:
 //
@@ -32,6 +36,7 @@ import (
 
 	"repro/internal/device"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/runtime"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -65,19 +70,48 @@ func main() {
 		log.Fatalf("%v (valid: flat-ts, flat-tt, binary-tt, greedy-tt)", err)
 	}
 	reg := metrics.NewRegistry()
+	store := obs.NewStore(256, 1, reg)
 	runOnce := func() error {
 		if *mode == "factor" || *mode == "both" {
+			class := fmt.Sprintf("%dx%d/b%d/%s", *n, *n, *b, tree.Name())
+			// Each factor run is one end-to-end trace: the runtime opens the
+			// plan/execute spans, hangs a kernel span off every executed
+			// operation and attaches the realized critical path.
+			tr := obs.NewTrace(obs.NewTraceID())
+			tr.SetAttr("class", class)
 			a := workload.Uniform(*seed, *n, *n)
-			if _, err := runtime.Factor(a, runtime.Options{
-				TileSize: *b, Workers: *w, Tree: tree, Metrics: reg,
-			}); err != nil {
+			_, err := runtime.Factor(a, runtime.Options{
+				TileSize: *b, Workers: *w, Tree: tree, Metrics: reg, Trace: tr,
+			})
+			tr.Finish(err)
+			if err == nil {
+				// Drift: the paper platform's Eq. 10/11 model of this problem
+				// vs the measured host execute span. The ratio calibrates the
+				// model against the hardware qrmon actually ran on.
+				pl := device.PaperPlatform()
+				plan := sched.BuildPlan(pl, sched.NewProblem(*n, *n, *b))
+				pred := sched.PredictPlan(pl, plan)
+				var critUS float64
+				if cp := tr.CriticalPath(); cp != nil {
+					critUS = cp.TotalUS
+				}
+				store.RecordDrift(class, pred.TotalUS, tr.PhaseUS(obs.SpanExecute), critUS, nil)
+			}
+			store.Add(tr)
+			if err != nil {
 				return err
 			}
 		}
 		if *mode == "sim" || *mode == "both" {
 			pl := device.PaperPlatform()
 			plan := sched.BuildPlanObserved(pl, sched.NewProblem(*size, *size, *b), reg)
-			sim.Run(sim.Config{Platform: pl, Plan: plan, Metrics: reg})
+			res := sim.Run(sim.Config{Platform: pl, Plan: plan, Metrics: reg})
+			// Simulator drift: the closed-form model vs the event-driven
+			// simulation of the same plan — a near-1 ratio is the consistency
+			// check between the two model layers.
+			pred := sched.PredictPlan(pl, plan)
+			store.RecordDrift(fmt.Sprintf("sim/%dx%d/b%d", *size, *size, *b),
+				pred.TotalUS, res.MakespanUS, 0, nil)
 		}
 		return nil
 	}
@@ -102,13 +136,14 @@ func main() {
 		return
 	}
 	mux := metrics.NewServeMux(reg, "hetqr")
+	obs.RegisterHTTP(mux, store)
 	ln, err := net.Listen("tcp", *httpAddr)
 	if err != nil {
 		log.Fatal(err)
 	}
 	// The resolved address (not the flag value) so `-http 127.0.0.1:0`
 	// callers — tests, scripts probing for a free port — can find us.
-	fmt.Printf("serving on http://%s (/metrics, /debug/vars, /healthz)\n", ln.Addr())
+	fmt.Printf("serving on http://%s (/metrics, /debug/vars, /healthz, /buildinfo, /traces, /drift)\n", ln.Addr())
 	if *interval > 0 {
 		go func() {
 			for range time.Tick(*interval) {

@@ -5,10 +5,15 @@
 // Endpoints when serving:
 //
 //	POST /jobs               submit a factorization; 202 with the job id,
-//	                         429 (+Retry-After) when the admission queue is full
+//	                         429 (+Retry-After) when the admission queue is full.
+//	                         Every acceptance returns an X-Trace-Id header
+//	                         (client-proposed ids are honoured when sane)
 //	GET  /jobs/{id}          job status (queued|running|done|failed)
 //	GET  /jobs/{id}/result   the R factor of a completed job
-//	/metrics, /debug/vars, /healthz   shared observability endpoints (as qrmon)
+//	GET  /traces             recent job traces; /traces/{id} one span tree
+//	                         (?format=chrome for chrome://tracing)
+//	GET  /drift              per-class predicted-vs-measured drift report
+//	/metrics, /debug/vars, /healthz, /buildinfo   shared observability endpoints
 //
 // Usage:
 //
@@ -36,6 +41,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -44,6 +50,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -66,12 +73,16 @@ func main() {
 		verify    = flag.Int("verify", 1, "selftest: verify every Nth result against direct Factor")
 		chaos     = flag.Bool("chaos", false, "selftest: run under deterministic fault injection")
 		chaosSeed = flag.Int64("chaos-seed", 1, "selftest: fault injection seed")
+		traceCap  = flag.Int("trace-cap", 256, "finished job traces retained for /traces")
+		traceSmp  = flag.Int("trace-sample", 1, "keep 1 in N successful traces (failures always kept)")
+		logMode   = flag.String("log", "", "structured job logs to stderr: text|json (default off)")
 	)
 	flag.Parse()
 	if *chaos && !*selftest {
 		log.Fatal("-chaos requires -selftest")
 	}
 
+	reg := metrics.NewRegistry()
 	cfg := serve.Config{
 		QueueCapacity:   *queue,
 		Executors:       *executors,
@@ -81,7 +92,17 @@ func main() {
 		Workers:         *workers,
 		DefaultTileSize: *tile,
 		Retain:          *retain,
-		Metrics:         metrics.NewRegistry(),
+		Metrics:         reg,
+		Trace:           obs.NewStore(*traceCap, *traceSmp, reg),
+	}
+	switch *logMode {
+	case "":
+	case "text":
+		cfg.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	case "json":
+		cfg.Logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	default:
+		log.Fatalf("unknown -log %q (valid: text, json)", *logMode)
 	}
 
 	if *selftest {
@@ -109,7 +130,7 @@ func main() {
 	srv := &http.Server{Handler: s.Handler("hetqr")}
 	// The resolved address (not the flag value) so `-http 127.0.0.1:0`
 	// callers — tests, scripts probing for a free port — can find us.
-	fmt.Printf("serving on http://%s (POST /jobs, /metrics, /healthz) — queue %d, %d executor(s)\n",
+	fmt.Printf("serving on http://%s (POST /jobs, /traces, /drift, /metrics, /healthz) — queue %d, %d executor(s)\n",
 		ln.Addr(), *queue, *executors)
 
 	done := make(chan error, 1)

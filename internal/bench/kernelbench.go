@@ -1,0 +1,189 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	gort "runtime"
+	"testing"
+
+	"repro/internal/kernels"
+	"repro/internal/matrix"
+	"repro/internal/workload"
+)
+
+// Host-kernel benchmark snapshot (qrbench -kernels → BENCH_kernels.json):
+// per-kernel ns/op, allocs/op and GFLOP/s by tile size, measured with
+// testing.Benchmark so the figures match `go test -bench` output. The
+// committed snapshot is the baseline CI's benchmark-smoke step and future
+// optimization PRs compare against.
+
+// KernelBenchSizes are the tile sizes measured, matching the kernel
+// microbenchmarks in internal/kernels (the paper's b=16 plus neighbours).
+var KernelBenchSizes = []int{8, 16, 32}
+
+// KernelMeasurement is one kernel × tile-size data point.
+type KernelMeasurement struct {
+	Kernel string `json:"kernel"`
+	Tile   int    `json:"tile"`
+	// NsPerOp and AllocsPerOp come straight from testing.Benchmark.
+	NsPerOp     float64 `json:"nsPerOp"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp"`
+	// GFlops is the model flop count (see tiled's compact-WY accounting)
+	// divided by the measured time.
+	GFlops float64 `json:"gflops"`
+	// Iterations is the b.N testing.Benchmark settled on.
+	Iterations int `json:"iterations"`
+}
+
+// KernelBenchReport is the BENCH_kernels.json document.
+type KernelBenchReport struct {
+	// Regenerate documents the command that rewrites the snapshot.
+	Regenerate string              `json:"regenerate"`
+	GoVersion  string              `json:"goVersion"`
+	GoosGoarch string              `json:"goosGoarch"`
+	Results    []KernelMeasurement `json:"results"`
+}
+
+// kernelFlops is the per-call arithmetic of each kernel family on square
+// b×b tiles — the same compact-WY accounting as tiled.FlopCount, specialized
+// to r = c = cc = b.
+func kernelFlops(kernel string, b int) float64 {
+	n := float64(b)
+	switch kernel {
+	case "GEQRT":
+		return 2*n*n*(n-n/3) + n*n*n/3
+	case "UNMQR":
+		return 4 * n * n * n
+	case "TSQRT":
+		return 2*n*n*n + n*n*n/3
+	case "TSMQR":
+		return 4*n*n*n + n*n*n
+	default:
+		return 0
+	}
+}
+
+// RunKernelBench measures every kernel family at the given tile sizes
+// (KernelBenchSizes when nil) via testing.Benchmark.
+func RunKernelBench(sizes []int) KernelBenchReport {
+	if len(sizes) == 0 {
+		sizes = KernelBenchSizes
+	}
+	rep := KernelBenchReport{
+		Regenerate: "go run ./cmd/qrbench -kernels -o BENCH_kernels.json",
+		GoVersion:  gort.Version(),
+		GoosGoarch: gort.GOOS + "/" + gort.GOARCH,
+	}
+	for _, b := range sizes {
+		for _, k := range []struct {
+			name string
+			fn   func(b int) func(*testing.B)
+		}{
+			{"GEQRT", benchGEQRT},
+			{"UNMQR", benchUNMQR},
+			{"TSQRT", benchTSQRT},
+			{"TSMQR", benchTSMQR},
+		} {
+			r := testing.Benchmark(k.fn(b))
+			ns := float64(r.NsPerOp())
+			m := KernelMeasurement{
+				Kernel:      k.name,
+				Tile:        b,
+				NsPerOp:     ns,
+				AllocsPerOp: r.AllocsPerOp(),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+				Iterations:  r.N,
+			}
+			if ns > 0 {
+				m.GFlops = kernelFlops(k.name, b) / ns
+			}
+			rep.Results = append(rep.Results, m)
+		}
+	}
+	return rep
+}
+
+// WriteJSON renders the report as indented JSON (the BENCH_kernels.json
+// format).
+func (r KernelBenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteTable renders the report as a human-readable table.
+func (r KernelBenchReport) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "%-6s %5s %14s %10s %10s %9s\n",
+		"kernel", "tile", "ns/op", "B/op", "allocs/op", "GFLOP/s")
+	for _, m := range r.Results {
+		fmt.Fprintf(w, "%-6s %5d %14.0f %10d %10d %9.2f\n",
+			m.Kernel, m.Tile, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp, m.GFlops)
+	}
+}
+
+// The benchmark bodies mirror internal/kernels/bench_test.go exactly, so
+// the JSON snapshot and `go test -bench ./internal/kernels/...` measure the
+// same thing.
+
+func benchGEQRT(n int) func(*testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		src := workload.Normal(1, n, n)
+		a := matrix.New(n, n)
+		t := matrix.New(n, n)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			a.CopyFrom(src)
+			kernels.GEQRT(a, t)
+		}
+	}
+}
+
+func benchUNMQR(n int) func(*testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		v := workload.Normal(2, n, n)
+		t := matrix.New(n, n)
+		kernels.GEQRT(v, t)
+		c := workload.Normal(3, n, n)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			kernels.UNMQR(v, t, c, true)
+		}
+	}
+}
+
+func benchTSQRT(n int) func(*testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		r0 := matrix.UpperTriangular(workload.Normal(4, n, n))
+		a0 := workload.Normal(5, n, n)
+		r := matrix.New(n, n)
+		a := matrix.New(n, n)
+		t := matrix.New(n, n)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.CopyFrom(r0)
+			a.CopyFrom(a0)
+			kernels.TSQRT(r, a, t)
+		}
+	}
+}
+
+func benchTSMQR(n int) func(*testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		r := matrix.UpperTriangular(workload.Normal(6, n, n))
+		v := workload.Normal(7, n, n)
+		t := matrix.New(n, n)
+		kernels.TSQRT(r, v, t)
+		c1 := workload.Normal(8, n, n)
+		c2 := workload.Normal(9, n, n)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			kernels.TSMQR(v, t, c1, c2, true)
+		}
+	}
+}

@@ -1,9 +1,12 @@
 package metrics
 
 import (
+	"encoding/json"
 	"expvar"
 	"fmt"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 )
 
 // NewServeMux builds the standard observability mux shared by cmd/qrmon
@@ -13,6 +16,7 @@ import (
 //	/metrics?format=table    the same as a human-readable table
 //	/debug/vars              standard expvar
 //	/healthz                 liveness probe
+//	/buildinfo               Go/module build metadata (runtime/debug)
 //
 // When expvarName is non-empty the registry is also published under that
 // name in the process expvar tree (so /debug/vars includes a live
@@ -28,5 +32,53 @@ func NewServeMux(reg *Registry, expvarName string) *http.ServeMux {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("/buildinfo", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(buildInfo())
+	})
 	return mux
+}
+
+// BuildInfo is the /buildinfo response: enough to identify what binary is
+// answering (module path+version, VCS revision when stamped, toolchain).
+type BuildInfo struct {
+	GoVersion string            `json:"goVersion"`
+	Path      string            `json:"path,omitempty"`
+	Module    string            `json:"module,omitempty"`
+	Version   string            `json:"version,omitempty"`
+	Settings  map[string]string `json:"settings,omitempty"`
+	OSArch    string            `json:"osArch"`
+}
+
+// interesting build settings worth surfacing (VCS identity and build mode);
+// the full setting list is noise for a probe endpoint.
+var buildInfoSettings = map[string]bool{
+	"vcs": true, "vcs.revision": true, "vcs.time": true, "vcs.modified": true,
+	"-tags": true, "CGO_ENABLED": true, "GOARCH": true, "GOOS": true,
+}
+
+func buildInfo() BuildInfo {
+	bi := BuildInfo{
+		GoVersion: runtime.Version(),
+		OSArch:    runtime.GOOS + "/" + runtime.GOARCH,
+	}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return bi
+	}
+	bi.GoVersion = info.GoVersion
+	bi.Path = info.Path
+	bi.Module = info.Main.Path
+	bi.Version = info.Main.Version
+	for _, s := range info.Settings {
+		if buildInfoSettings[s.Key] && s.Value != "" {
+			if bi.Settings == nil {
+				bi.Settings = map[string]string{}
+			}
+			bi.Settings[s.Key] = s.Value
+		}
+	}
+	return bi
 }

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"strconv"
+	"time"
+)
+
+// Chrome-trace export of one job trace, renderable in chrome://tracing or
+// https://ui.perfetto.dev: phase spans on a "job" lane, kernel spans on
+// their worker lanes, and flow arrows (the s/f event pairs) stitching the
+// job together across lanes — execute → first critical-path kernel, then
+// along the critical path wherever it hops workers. The arrows make the
+// answer to "why was this job slow" visible as one connected line.
+
+type chromeEvent struct {
+	Name  string            `json:"name"`
+	Cat   string            `json:"cat"`
+	Phase string            `json:"ph"`
+	TS    int64             `json:"ts"` // microseconds from trace start
+	Dur   int64             `json:"dur,omitempty"`
+	PID   int               `json:"pid"`
+	TID   string            `json:"tid"`
+	ID    int               `json:"id,omitempty"`
+	BP    string            `json:"bp,omitempty"`
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+}
+
+// WriteChromeTrace renders the trace in Chrome tracing JSON. The critical
+// path, when attached via SetCriticalPath, is drawn as flow events.
+func (t *Trace) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	spans := t.Spans()
+	origin := t.StartTime()
+	us := func(at time.Time) int64 { return at.Sub(origin).Microseconds() }
+	out := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: make([]chromeEvent, 0, len(spans)+8)}
+
+	// Index kernel spans by (op name, worker) so critical-path steps can be
+	// matched back to their span for flow anchoring.
+	type key struct{ op, worker string }
+	kernel := map[key]*Span{}
+	for i := range spans {
+		s := &spans[i]
+		lane := "job"
+		if s.Kind == KindKernel {
+			lane = s.Worker
+			kernel[key{s.Name, s.Worker}] = s
+		}
+		args := map[string]string{"kind": s.Kind}
+		if s.Step != "" {
+			args["step"] = s.Step
+		}
+		if s.Attempt > 0 {
+			args["attempt"] = strconv.Itoa(s.Attempt)
+		}
+		if s.Err != "" {
+			args["err"] = s.Err
+		}
+		cat := s.Kind
+		if s.Step != "" {
+			cat = s.Step
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: s.Name, Cat: cat, Phase: "X",
+			TS: us(s.Start), Dur: s.End.Sub(s.Start).Microseconds(),
+			PID: 1, TID: lane, Args: args,
+		})
+	}
+
+	// Flow events along the critical path: one arrow per worker hop, plus
+	// an opening arrow from the execute phase span into the first chain op.
+	if cp := t.CriticalPath(); cp != nil && len(cp.Ops) > 0 {
+		flowID := 1
+		emit := func(ph, tid string, ts int64) {
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "critical-path", Cat: "critpath", Phase: ph,
+				TS: ts, PID: 1, TID: tid, ID: flowID, BP: "e",
+			})
+		}
+		if first, ok := kernel[key{cp.Ops[0].Op, cp.Ops[0].Worker}]; ok {
+			for i := range spans {
+				if spans[i].Kind == KindPhase && spans[i].Name == SpanExecute {
+					emit("s", "job", us(spans[i].Start))
+					emit("f", first.Worker, us(first.Start))
+					flowID++
+					break
+				}
+			}
+		}
+		for i := 1; i < len(cp.Ops); i++ {
+			prev, ok1 := kernel[key{cp.Ops[i-1].Op, cp.Ops[i-1].Worker}]
+			next, ok2 := kernel[key{cp.Ops[i].Op, cp.Ops[i].Worker}]
+			if !ok1 || !ok2 || prev.Worker == next.Worker {
+				continue
+			}
+			emit("s", prev.Worker, us(prev.End))
+			emit("f", next.Worker, us(next.Start))
+			flowID++
+		}
+	}
+	return json.NewEncoder(w).Encode(out)
+}

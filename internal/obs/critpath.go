@@ -1,0 +1,123 @@
+package obs
+
+// Critical-path extraction: the realized longest dependency chain of one
+// job's kernel spans. Bouwmeester et al. show critical-path length is the
+// quantity that decides tree/schedule choice for tiled QR; here we compute
+// it from what actually ran, so a slow job can be explained ("these 41
+// kernels were the chain") instead of guessed at from aggregate busy time.
+
+// CPStep is one operation on the realized critical path.
+type CPStep struct {
+	Op     string  `json:"op"`
+	Step   string  `json:"step"`
+	Worker string  `json:"worker"`
+	DurUS  float64 `json:"durUS"`
+}
+
+// CriticalPath is the realized longest chain through a job's executed
+// DAG: the sum of measured kernel durations along the heaviest dependency
+// path. TotalUS ≤ the execute span's wall time; the gap between them is
+// scheduling slack (queueing, worker contention), while TotalUS itself is
+// the floor no scheduler could beat with these measured kernel times.
+type CriticalPath struct {
+	TotalUS float64  `json:"totalUS"`
+	Ops     []CPStep `json:"ops"`
+}
+
+// ComputeCriticalPath walks the trace's kernel spans against the
+// operation DAG's dependency lists (deps[i] = DAG indices that must finish
+// before op i) and returns the heaviest chain under the measured durations.
+// Retried operations contribute the duration of their successful attempt;
+// operations with no successful span (skipped after a cancellation or a
+// terminal failure) contribute zero, so partial executions still yield a
+// well-defined chain. Returns nil when the trace has no kernel spans.
+func (t *Trace) ComputeCriticalPath(deps [][]int) *CriticalPath {
+	if t == nil || len(deps) == 0 {
+		return nil
+	}
+	n := len(deps)
+	// Duration and identity of the successful attempt per DAG op.
+	dur := make([]float64, n)
+	span := make([]int, n)
+	for i := range span {
+		span[i] = -1
+	}
+	spans := t.Spans()
+	seen := false
+	for i := range spans {
+		s := &spans[i]
+		if s.Kind != KindKernel || s.Op < 0 || s.Op >= n {
+			continue
+		}
+		seen = true
+		if s.Err == "" {
+			dur[s.Op] = s.DurationUS()
+			span[s.Op] = i
+		}
+	}
+	if !seen {
+		return nil
+	}
+	// finish[i] = dur[i] + max(finish[deps[i]]); from[i] remembers the
+	// argmax so the chain can be reconstructed. deps lists only reference
+	// earlier structure, but op order in the DAG is already topological
+	// (successors have larger indices in tiled.BuildDAG), so one forward
+	// pass suffices.
+	finish := make([]float64, n)
+	from := make([]int, n)
+	end, endT := -1, -1.0
+	for i := 0; i < n; i++ {
+		best, bestT := -1, 0.0
+		for _, d := range deps[i] {
+			if finish[d] > bestT {
+				best, bestT = d, finish[d]
+			}
+		}
+		from[i] = best
+		finish[i] = bestT + dur[i]
+		if finish[i] > endT {
+			end, endT = i, finish[i]
+		}
+	}
+	if end < 0 {
+		return nil
+	}
+	cp := &CriticalPath{TotalUS: endT}
+	for i := end; i >= 0; i = from[i] {
+		st := CPStep{DurUS: dur[i]}
+		if j := span[i]; j >= 0 {
+			st.Op = spans[j].Name
+			st.Step = spans[j].Step
+			st.Worker = spans[j].Worker
+		}
+		cp.Ops = append(cp.Ops, st)
+	}
+	// Reverse into execution order.
+	for i, j := 0, len(cp.Ops)-1; i < j; i, j = i+1, j-1 {
+		cp.Ops[i], cp.Ops[j] = cp.Ops[j], cp.Ops[i]
+	}
+	return cp
+}
+
+// SetCriticalPath attaches the extracted chain to the trace so exports
+// (/traces/{id}, Chrome flow events) can render it without re-deriving the
+// DAG. Typically called by the layer that owns the DAG (internal/serve,
+// qrmon) right before handing the trace to the Store.
+func (t *Trace) SetCriticalPath(cp *CriticalPath) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.cp = cp
+}
+
+// CriticalPath returns the attached chain (nil if never computed).
+func (t *Trace) CriticalPath() *CriticalPath {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.cp
+}

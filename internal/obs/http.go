@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+)
+
+// RegisterHTTP mounts the tracing endpoints on a mux (qrserve and qrmon
+// both call this on the shared observability mux):
+//
+//	GET /traces                    recent traces, most recent first
+//	GET /traces/{id}               one trace as a nested span tree
+//	GET /traces/{id}?format=chrome the same in Chrome tracing JSON
+//	GET /drift                     per-class model-vs-measured drift report
+func RegisterHTTP(mux *http.ServeMux, s *Store) {
+	mux.HandleFunc("GET /traces", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, s.List())
+	})
+	mux.HandleFunc("GET /traces/{id}", func(w http.ResponseWriter, r *http.Request) {
+		t, ok := s.Get(TraceID(r.PathValue("id")))
+		if !ok {
+			writeJSON(w, http.StatusNotFound, map[string]string{"error": "no such trace"})
+			return
+		}
+		if r.URL.Query().Get("format") == "chrome" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = t.WriteChromeTrace(w)
+			return
+		}
+		writeJSON(w, http.StatusOK, TreeOf(t))
+	})
+	mux.HandleFunc("GET /drift", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, s.Drift())
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// SpanNode is one node of the exported span tree.
+type SpanNode struct {
+	Name    string  `json:"name"`
+	Kind    string  `json:"kind"`
+	Step    string  `json:"step,omitempty"`
+	Worker  string  `json:"worker,omitempty"`
+	Attempt int     `json:"attempt,omitempty"`
+	StartUS float64 `json:"startUS"`
+	DurUS   float64 `json:"durUS"`
+	Err     string  `json:"err,omitempty"`
+	// Children are in span-creation order.
+	Children []*SpanNode `json:"children,omitempty"`
+}
+
+// Tree is the /traces/{id} response: the span tree plus the trace-level
+// annotations and the extracted critical path.
+type Tree struct {
+	ID           TraceID           `json:"id"`
+	Start        time.Time         `json:"start"`
+	DurationUS   float64           `json:"durationUS"`
+	Attrs        map[string]string `json:"attrs,omitempty"`
+	Root         *SpanNode         `json:"root"`
+	CriticalPath *CriticalPath     `json:"criticalPath,omitempty"`
+}
+
+// TreeOf reconstructs the nested span tree of a trace from its flat span
+// list. Orphaned parents (never possible through the Trace API, but
+// defensively) attach to the root.
+func TreeOf(t *Trace) *Tree {
+	if t == nil {
+		return nil
+	}
+	spans := t.Spans()
+	t.mu.Lock()
+	attrs := make(map[string]string, len(t.attrs))
+	for k, v := range t.attrs {
+		attrs[k] = v
+	}
+	t.mu.Unlock()
+	nodes := make([]*SpanNode, len(spans))
+	origin := t.StartTime()
+	for i := range spans {
+		s := &spans[i]
+		nodes[i] = &SpanNode{
+			Name: s.Name, Kind: s.Kind, Step: s.Step,
+			Worker: s.Worker, Attempt: s.Attempt,
+			StartUS: float64(s.Start.Sub(origin)) / float64(time.Microsecond),
+			DurUS:   s.DurationUS(),
+			Err:     s.Err,
+		}
+	}
+	for i := range spans {
+		if i == 0 {
+			continue
+		}
+		p := int(spans[i].Parent) - 1
+		if p < 0 || p >= len(nodes) || p == i {
+			p = 0
+		}
+		nodes[p].Children = append(nodes[p].Children, nodes[i])
+	}
+	return &Tree{
+		ID:           t.ID,
+		Start:        origin,
+		DurationUS:   t.DurationUS(),
+		Attrs:        attrs,
+		Root:         nodes[0],
+		CriticalPath: t.CriticalPath(),
+	}
+}

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// storedTrace builds a finished, stored trace with one cross-worker
+// critical path attached, as serve would.
+func storedTrace(s *Store, id TraceID) *Trace {
+	tr := NewTrace(id)
+	exec := tr.Start(tr.Root(), SpanExecute)
+	at := tr.StartTime()
+	kernelAt(tr, exec, "GEQRT[0]", "T", "worker-0", 0, at, 10, "")
+	kernelAt(tr, exec, "TSQRT[1,0]", "E", "worker-1", 1, at, 20, "")
+	tr.End(exec)
+	tr.Finish(nil)
+	tr.SetCriticalPath(tr.ComputeCriticalPath([][]int{{}, {0}}))
+	s.Add(tr)
+	return tr
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	s := NewStore(8, 1, nil)
+	storedTrace(s, "aaaa")
+	mux := http.NewServeMux()
+	RegisterHTTP(mux, s)
+
+	get := func(path string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec
+	}
+
+	rec := get("/traces")
+	var list []TraceSummary
+	if err := json.NewDecoder(rec.Body).Decode(&list); err != nil || len(list) != 1 || list[0].ID != "aaaa" {
+		t.Fatalf("/traces: %v %+v", err, list)
+	}
+
+	rec = get("/traces/aaaa")
+	var tree Tree
+	if err := json.NewDecoder(rec.Body).Decode(&tree); err != nil {
+		t.Fatalf("/traces/{id}: %v", err)
+	}
+	if tree.ID != "aaaa" || tree.Root == nil || tree.CriticalPath == nil {
+		t.Fatalf("tree = %+v", tree)
+	}
+
+	if rec = get("/traces/nope"); rec.Code != http.StatusNotFound {
+		t.Fatalf("missing trace status %d", rec.Code)
+	}
+
+	s.RecordDrift("c", 100, 150, 120, nil)
+	rec = get("/drift")
+	var drift []ClassDrift
+	if err := json.NewDecoder(rec.Body).Decode(&drift); err != nil || len(drift) != 1 {
+		t.Fatalf("/drift: %v %+v", err, drift)
+	}
+
+	rec = get("/traces/aaaa?format=chrome")
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("chrome content type %q", ct)
+	}
+	var ch struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(rec.Body).Decode(&ch); err != nil {
+		t.Fatalf("chrome json: %v", err)
+	}
+	if len(ch.TraceEvents) == 0 {
+		t.Fatal("no chrome events")
+	}
+}
+
+func TestChromeTraceFlowEvents(t *testing.T) {
+	s := NewStore(8, 1, nil)
+	tr := storedTrace(s, "flow")
+	var b strings.Builder
+	if err := tr.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var ch chromeTrace
+	if err := json.Unmarshal([]byte(b.String()), &ch); err != nil {
+		t.Fatal(err)
+	}
+	var phases []string
+	lanes := map[string]bool{}
+	for _, e := range ch.TraceEvents {
+		phases = append(phases, e.Phase)
+		lanes[e.TID] = true
+	}
+	// The chain hops worker-0 → worker-1, so beyond the X duration events
+	// there must be flow start/finish pairs, and both worker lanes plus the
+	// job lane must exist.
+	var starts, finishes int
+	for _, p := range phases {
+		switch p {
+		case "s":
+			starts++
+		case "f":
+			finishes++
+		}
+	}
+	if starts == 0 || starts != finishes {
+		t.Fatalf("flow events s=%d f=%d", starts, finishes)
+	}
+	for _, lane := range []string{"job", "worker-0", "worker-1"} {
+		if !lanes[lane] {
+			t.Fatalf("missing lane %s (have %v)", lane, lanes)
+		}
+	}
+	// Nil trace writes nothing and does not error.
+	var nilTrace *Trace
+	if err := nilTrace.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+}

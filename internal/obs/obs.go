@@ -1,0 +1,359 @@
+// Package obs is the end-to-end job tracing layer: it follows one
+// factorization job from HTTP admission down to individual kernel calls as
+// a tree of timed spans, extracts the realized critical path from the
+// kernel spans and the operation DAG, and compares measured makespans
+// against the scheduler's Eq. 10/11 cost model (drift reports — the
+// observable foundation for online self-calibration).
+//
+// Design points, in the spirit of trace.Recorder and metrics.Registry:
+//
+//   - A nil *Trace is fully usable: every method is a no-op, so traced code
+//     paths (runtime workers, the serve executor) need no branches on
+//     tracing being enabled.
+//   - Spans are identified by small integer ids handed out by Start; the
+//     caller keeps the id and closes the span with End/EndErr. Span trees
+//     are reconstructed from parent pointers at export time.
+//   - Traces are finalized once and then immutable: the Store only accepts
+//     finished traces, so readers never race writers.
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Span kinds. Phase spans mark the serving pipeline stages; kernel spans
+// are individual tile-kernel attempts recorded by the runtime.
+const (
+	KindJob    = "job"
+	KindPhase  = "phase"
+	KindKernel = "kernel"
+)
+
+// Canonical phase-span names, shared by serve, qrmon and the tests: the
+// acceptance contract is that a completed job's trace contains at least
+// admission, queue, plan and execute spans plus per-kernel children.
+const (
+	SpanAdmission = "admission"
+	SpanQueue     = "queue"
+	SpanPlan      = "plan"
+	SpanBatch     = "batch"
+	SpanExecute   = "execute"
+	SpanVerify    = "verify"
+)
+
+// TraceID identifies one traced job end to end. It is minted at admission
+// (or accepted from the client's X-Trace-Id header) and returned to the
+// client, so a job can be followed across the serve, runtime and store
+// layers by one opaque token.
+type TraceID string
+
+// NewTraceID mints a random 16-hex-digit trace id.
+func NewTraceID() TraceID {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; fall back to a
+		// constant rather than panicking an observability path.
+		return TraceID("0000000000000000")
+	}
+	return TraceID(hex.EncodeToString(b[:]))
+}
+
+// SanitizeTraceID validates a client-supplied trace id: non-empty,
+// reasonably short, printable ASCII without spaces. Anything else is
+// replaced by a freshly minted id, so a hostile header can neither inject
+// log/JSON content nor collide the store on purpose-built keys.
+func SanitizeTraceID(s string) TraceID {
+	if s == "" || len(s) > 64 {
+		return NewTraceID()
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c <= ' ' || c > '~' || c == '"' || c == '{' || c == '}' {
+			return NewTraceID()
+		}
+	}
+	return TraceID(s)
+}
+
+// SpanID identifies one span within its trace. 0 is "no span" (the parent
+// of the root, and the id nil traces hand out).
+type SpanID int
+
+// Span is one timed region of a traced job. Phase spans nest under the
+// root job span; kernel spans nest under the execute phase and carry the
+// operation's DAG index, step class, worker and attempt number, so the
+// critical-path extractor and the drift report can be computed from the
+// span set alone.
+type Span struct {
+	ID     SpanID `json:"id"`
+	Parent SpanID `json:"parent"`
+	Name   string `json:"name"`
+	Kind   string `json:"kind"`
+	// Step is the paper's step class (T, UT, E, UE) for kernel spans.
+	Step string `json:"step,omitempty"`
+	// Worker is the runtime worker that executed a kernel span.
+	Worker string `json:"worker,omitempty"`
+	// Op is the operation's index in the job's DAG (kernel spans; -1
+	// otherwise). Attempt counts retries: 0 is the first try.
+	Op      int `json:"op,omitempty"`
+	Attempt int `json:"attempt,omitempty"`
+	Start   time.Time
+	End     time.Time
+	// Err is the failure that closed the span ("" = success). Fault-layer
+	// errors carry their type in the text (fault: transient failure …,
+	// fault: retry budget exhausted …), so retry forensics need no extra
+	// fields.
+	Err string `json:"err,omitempty"`
+}
+
+// DurationUS returns the span length in microseconds (0 if still open).
+func (s *Span) DurationUS() float64 {
+	if s.End.IsZero() {
+		return 0
+	}
+	return float64(s.End.Sub(s.Start)) / float64(time.Microsecond)
+}
+
+// Trace accumulates the spans of one job. It is safe for concurrent use —
+// runtime workers add kernel spans while the serve executor owns the phase
+// spans. Create with NewTrace; a nil *Trace ignores every call.
+type Trace struct {
+	ID TraceID
+
+	mu    sync.Mutex
+	start time.Time
+	spans []Span // spans[i].ID == SpanID(i+1)
+	attrs map[string]string
+	cp    *CriticalPath
+	done  bool
+}
+
+// NewTrace starts a trace with a root job span. The root's id is always 1.
+func NewTrace(id TraceID) *Trace {
+	t := &Trace{ID: id, start: time.Now(), attrs: map[string]string{}}
+	t.spans = append(t.spans, Span{ID: 1, Name: "job", Kind: KindJob, Op: -1, Start: t.start})
+	return t
+}
+
+// Root returns the root span's id (1), or 0 on a nil trace.
+func (t *Trace) Root() SpanID {
+	if t == nil {
+		return 0
+	}
+	return 1
+}
+
+// Start opens a phase span under parent and returns its id.
+func (t *Trace) Start(parent SpanID, name string) SpanID {
+	return t.add(Span{Parent: parent, Name: name, Kind: KindPhase, Op: -1, Start: time.Now()})
+}
+
+// StartAt opens a phase span with an explicit start time — for phases whose
+// beginning was recorded before the span could be created (queue wait is
+// measured from the admission timestamp).
+func (t *Trace) StartAt(parent SpanID, name string, start time.Time) SpanID {
+	return t.add(Span{Parent: parent, Name: name, Kind: KindPhase, Op: -1, Start: start})
+}
+
+// StartKernel opens a kernel span: one attempt of DAG operation op (name is
+// the op's String, step its paper class) on the named worker.
+func (t *Trace) StartKernel(parent SpanID, name, step, worker string, op, attempt int) SpanID {
+	return t.add(Span{
+		Parent: parent, Name: name, Kind: KindKernel,
+		Step: step, Worker: worker, Op: op, Attempt: attempt, Start: time.Now(),
+	})
+}
+
+func (t *Trace) add(s Span) SpanID {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.done {
+		return 0
+	}
+	s.ID = SpanID(len(t.spans) + 1)
+	if s.Parent < 0 || int(s.Parent) > len(t.spans) {
+		s.Parent = 1
+	}
+	t.spans = append(t.spans, s)
+	return s.ID
+}
+
+// End closes a span successfully. Unknown (including 0) ids are ignored.
+func (t *Trace) End(id SpanID) { t.EndErr(id, nil) }
+
+// EndErr closes a span with an error (nil closes it successfully). A span
+// already closed keeps its first outcome.
+func (t *Trace) EndErr(id SpanID, err error) {
+	if t == nil || id < 1 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if int(id) > len(t.spans) {
+		return
+	}
+	s := &t.spans[id-1]
+	if !s.End.IsZero() {
+		return
+	}
+	s.End = time.Now()
+	if err != nil {
+		s.Err = err.Error()
+	}
+}
+
+// SetAttr attaches a key=value annotation to the whole trace (class key,
+// job id, batch size, …).
+func (t *Trace) SetAttr(k, v string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.attrs == nil {
+		t.attrs = map[string]string{}
+	}
+	t.attrs[k] = v
+}
+
+// Attr returns a trace annotation ("" when absent).
+func (t *Trace) Attr(k string) string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.attrs[k]
+}
+
+// Finish closes the root span (with err's outcome), closes any span left
+// open — a crash-robustness guarantee: a finished trace never contains
+// dangling open spans — and freezes the trace against further writes.
+// Calling Finish more than once is harmless.
+func (t *Trace) Finish(err error) {
+	if t == nil {
+		return
+	}
+	t.EndErr(1, err)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.done {
+		return
+	}
+	now := time.Now()
+	for i := range t.spans {
+		if t.spans[i].End.IsZero() {
+			t.spans[i].End = now
+			if err != nil && t.spans[i].Err == "" {
+				t.spans[i].Err = "unfinished: " + err.Error()
+			}
+		}
+	}
+	t.done = true
+}
+
+// Finished reports whether Finish has run.
+func (t *Trace) Finished() bool {
+	if t == nil {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.done
+}
+
+// Err returns the root span's outcome ("" = success or still open).
+func (t *Trace) Err() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.spans[0].Err
+}
+
+// Spans returns a copy of all spans (stable: creation order).
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// StartTime returns the trace origin.
+func (t *Trace) StartTime() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.start
+}
+
+// DurationUS returns the root span's length in microseconds.
+func (t *Trace) DurationUS() float64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	root := t.spans[0]
+	if root.End.IsZero() {
+		return float64(time.Since(root.Start)) / float64(time.Microsecond)
+	}
+	return root.DurationUS()
+}
+
+// PhaseUS returns the duration (µs) of the first phase span with the given
+// name, or 0 if absent — the accessor drift reports and tests use for the
+// execute span.
+func (t *Trace) PhaseUS(name string) float64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := range t.spans {
+		if t.spans[i].Kind == KindPhase && t.spans[i].Name == name {
+			return t.spans[i].DurationUS()
+		}
+	}
+	return 0
+}
+
+// WorkerBusyUS sums successful kernel-span time per worker — the measured
+// side of the per-device drift comparison.
+func (t *Trace) WorkerBusyUS() map[string]float64 {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	busy := map[string]float64{}
+	for i := range t.spans {
+		s := &t.spans[i]
+		if s.Kind == KindKernel && s.Err == "" {
+			busy[s.Worker] += s.DurationUS()
+		}
+	}
+	return busy
+}
+
+// String renders a one-line summary for logs and tests.
+func (t *Trace) String() string {
+	if t == nil {
+		return "trace(nil)"
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return fmt.Sprintf("trace %s: %d spans, %.0fµs", t.ID, len(t.spans), t.spans[0].DurationUS())
+}

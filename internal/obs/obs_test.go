@@ -1,0 +1,287 @@
+package obs
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Every method must be a no-op on a nil trace — traced code paths carry no
+// enabled/disabled branches.
+func TestNilTraceSafe(t *testing.T) {
+	var tr *Trace
+	if id := tr.Root(); id != 0 {
+		t.Fatalf("nil Root = %d", id)
+	}
+	sp := tr.Start(tr.Root(), SpanAdmission)
+	tr.StartAt(0, SpanQueue, time.Now())
+	tr.StartKernel(sp, "GEQRT[0]", "T", "worker-0", 0, 0)
+	tr.End(sp)
+	tr.EndErr(sp, errors.New("x"))
+	tr.SetAttr("k", "v")
+	tr.Finish(nil)
+	tr.SetCriticalPath(&CriticalPath{})
+	if tr.Spans() != nil || tr.CriticalPath() != nil || tr.Finished() ||
+		tr.Err() != "" || tr.Attr("k") != "" || tr.DurationUS() != 0 ||
+		tr.PhaseUS(SpanExecute) != 0 || tr.WorkerBusyUS() != nil ||
+		tr.ComputeCriticalPath([][]int{{}}) != nil {
+		t.Fatal("nil trace leaked state")
+	}
+	if got := tr.String(); got != "trace(nil)" {
+		t.Fatalf("nil String = %q", got)
+	}
+}
+
+func TestTraceLifecycle(t *testing.T) {
+	tr := NewTrace("t1")
+	if tr.Root() != 1 {
+		t.Fatalf("root id = %d", tr.Root())
+	}
+	adm := tr.Start(tr.Root(), SpanAdmission)
+	tr.End(adm)
+	q := tr.StartAt(tr.Root(), SpanQueue, tr.StartTime())
+	exec := tr.Start(tr.Root(), SpanExecute)
+	k := tr.StartKernel(exec, "GEQRT[0]", "T", "worker-0", 0, 0)
+	tr.End(k)
+	tr.EndErr(k, errors.New("second outcome must not win"))
+	// q and exec left open: Finish must close them.
+	_ = q
+	tr.SetAttr("class", "64x64/b16/flat-ts")
+	tr.Finish(errors.New("boom"))
+
+	if !tr.Finished() {
+		t.Fatal("not finished")
+	}
+	if tr.Err() != "boom" {
+		t.Fatalf("root err = %q", tr.Err())
+	}
+	spans := tr.Spans()
+	for _, s := range spans {
+		if s.End.IsZero() {
+			t.Fatalf("span %s left open after Finish", s.Name)
+		}
+	}
+	// The open spans got the unfinished marker; the closed kernel kept its
+	// first (successful) outcome.
+	byID := func(id SpanID) Span { return spans[id-1] }
+	if !strings.HasPrefix(byID(q).Err, "unfinished: ") {
+		t.Fatalf("queue span err = %q", byID(q).Err)
+	}
+	if byID(k).Err != "" {
+		t.Fatalf("kernel span err = %q, want first outcome kept", byID(k).Err)
+	}
+	if tr.Attr("class") != "64x64/b16/flat-ts" {
+		t.Fatal("attr lost")
+	}
+	// Frozen: further spans are refused.
+	if id := tr.Start(tr.Root(), SpanVerify); id != 0 {
+		t.Fatalf("post-Finish Start returned %d", id)
+	}
+}
+
+func TestSanitizeTraceID(t *testing.T) {
+	if got := SanitizeTraceID("abc-123_X"); got != "abc-123_X" {
+		t.Fatalf("valid id rewritten to %q", got)
+	}
+	for _, bad := range []string{"", "has space", "héllo", "a\nb", `x"y`, "{inj}", strings.Repeat("a", 65)} {
+		got := SanitizeTraceID(bad)
+		if string(got) == bad || len(got) != 16 {
+			t.Fatalf("SanitizeTraceID(%q) = %q, want fresh 16-hex id", bad, got)
+		}
+	}
+	if NewTraceID() == NewTraceID() {
+		t.Fatal("consecutive trace ids collide")
+	}
+}
+
+// kernelAt fabricates a closed kernel span with explicit times — the tests'
+// way of getting deterministic durations.
+func kernelAt(tr *Trace, parent SpanID, name, step, worker string, op int, start time.Time, durUS float64, err string) {
+	id := tr.add(Span{
+		Parent: parent, Name: name, Kind: KindKernel,
+		Step: step, Worker: worker, Op: op, Start: start,
+	})
+	tr.mu.Lock()
+	tr.spans[id-1].End = start.Add(time.Duration(durUS) * time.Microsecond)
+	tr.spans[id-1].Err = err
+	tr.mu.Unlock()
+}
+
+// Diamond DAG with known durations: the heaviest chain must be 0→2→3.
+func TestComputeCriticalPath(t *testing.T) {
+	deps := [][]int{{}, {0}, {0}, {1, 2}}
+	tr := NewTrace("cp")
+	exec := tr.Start(tr.Root(), SpanExecute)
+	at := tr.StartTime()
+	kernelAt(tr, exec, "GEQRT[0]", "T", "worker-0", 0, at, 10, "")
+	// A failed first attempt must not contribute its duration.
+	kernelAt(tr, exec, "UNMQR[0,1]", "UT", "worker-1", 1, at, 500, "fault: transient")
+	kernelAt(tr, exec, "UNMQR[0,1]", "UT", "worker-1", 1, at, 5, "")
+	kernelAt(tr, exec, "TSQRT[1,0]", "E", "worker-1", 2, at, 20, "")
+	kernelAt(tr, exec, "TSMQR[1,0,1]", "UE", "worker-0", 3, at, 7, "")
+	tr.Finish(nil)
+
+	cp := tr.ComputeCriticalPath(deps)
+	if cp == nil {
+		t.Fatal("nil critical path")
+	}
+	if cp.TotalUS != 37 {
+		t.Fatalf("TotalUS = %v, want 37", cp.TotalUS)
+	}
+	var ops []string
+	for _, s := range cp.Ops {
+		ops = append(ops, s.Op)
+	}
+	want := []string{"GEQRT[0]", "TSQRT[1,0]", "TSMQR[1,0,1]"}
+	if len(ops) != len(want) {
+		t.Fatalf("chain %v, want %v", ops, want)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Fatalf("chain %v, want %v", ops, want)
+		}
+	}
+	// A trace without kernel spans has no critical path.
+	empty := NewTrace("none")
+	empty.Finish(nil)
+	if empty.ComputeCriticalPath(deps) != nil {
+		t.Fatal("critical path from zero kernel spans")
+	}
+}
+
+func TestWorkerBusyAndPhaseUS(t *testing.T) {
+	tr := NewTrace("busy")
+	exec := tr.Start(tr.Root(), SpanExecute)
+	at := tr.StartTime()
+	kernelAt(tr, exec, "GEQRT[0]", "T", "worker-0", 0, at, 10, "")
+	kernelAt(tr, exec, "TSQRT[1,0]", "E", "worker-0", 1, at, 15, "")
+	kernelAt(tr, exec, "UNMQR[0,1]", "UT", "worker-1", 2, at, 9, "")
+	kernelAt(tr, exec, "UNMQR[0,2]", "UT", "worker-1", 3, at, 100, "failed")
+	tr.Finish(nil)
+	busy := tr.WorkerBusyUS()
+	if busy["worker-0"] != 25 || busy["worker-1"] != 9 {
+		t.Fatalf("busy = %v", busy)
+	}
+	if tr.PhaseUS(SpanExecute) <= 0 {
+		t.Fatalf("execute phase = %v", tr.PhaseUS(SpanExecute))
+	}
+	if tr.PhaseUS("no-such-phase") != 0 {
+		t.Fatal("phantom phase has duration")
+	}
+}
+
+func finished(id TraceID, err error) *Trace {
+	tr := NewTrace(id)
+	sp := tr.Start(tr.Root(), SpanExecute)
+	tr.EndErr(sp, err)
+	tr.Finish(err)
+	return tr
+}
+
+func TestStoreSamplingAndRetention(t *testing.T) {
+	s := NewStore(3, 2, nil)
+	s.Add(finished("a", nil))             // seq 1: sampled out
+	s.Add(finished("b", nil))             // seq 2: kept
+	s.Add(finished("c", errors.New("x"))) // failure: always kept
+	if _, ok := s.Get("a"); ok {
+		t.Fatal("sampled-out trace stored")
+	}
+	for _, id := range []TraceID{"b", "c"} {
+		if _, ok := s.Get(id); !ok {
+			t.Fatalf("trace %s missing", id)
+		}
+	}
+	// Ring retention: the oldest falls out past the cap.
+	s.Add(finished("d", nil)) // seq 4: kept
+	s.Add(finished("e", errors.New("y")))
+	if _, ok := s.Get("b"); ok {
+		t.Fatal("cap exceeded without eviction")
+	}
+	list := s.List()
+	if len(list) != 3 || list[0].ID != "e" {
+		t.Fatalf("list = %+v", list)
+	}
+	// An unfinished trace is finalized defensively on Add.
+	open := NewTrace("open")
+	open.Start(open.Root(), SpanQueue)
+	s.Add(open)
+	if !open.Finished() {
+		t.Fatal("Add stored an unfinished trace")
+	}
+}
+
+func TestRecordDrift(t *testing.T) {
+	reg := metrics.NewRegistry()
+	s := NewStore(8, 1, reg)
+	dev := []DeviceDrift{{Dev: "gtx285", Worker: "worker-0", ModelUS: 100, MeasuredUS: 200}}
+	s.RecordDrift("64x64/b16/flat-ts", 1000, 2000, 1500, dev)
+	d := s.Drift()
+	if len(d) != 1 || d[0].Jobs != 1 {
+		t.Fatalf("drift = %+v", d)
+	}
+	if d[0].DriftRatio != 2.0 {
+		t.Fatalf("ratio = %v, want 2", d[0].DriftRatio)
+	}
+	if d[0].Devices[0].Ratio != 2.0 {
+		t.Fatalf("device ratio = %v", d[0].Devices[0].Ratio)
+	}
+	// Second sample EWMA: 0.25·1000 + 0.75·2000 = 1750.
+	s.RecordDrift("64x64/b16/flat-ts", 1000, 1000, 1500, dev)
+	d = s.Drift()
+	if d[0].MeasuredUS != 1750 {
+		t.Fatalf("EWMA measured = %v, want 1750", d[0].MeasuredUS)
+	}
+	snap := reg.Snapshot()
+	name := metrics.With(MetricDriftRatio, "class", "64x64/b16/flat-ts")
+	if snap.Gauges[name] != 1.75 {
+		t.Fatalf("%s = %v, want 1.75", name, snap.Gauges[name])
+	}
+	devName := metrics.With(MetricDeviceDriftRatio, "class", "64x64/b16/flat-ts", "dev", "gtx285")
+	if snap.Gauges[devName] == 0 {
+		t.Fatalf("%s not exported", devName)
+	}
+	// Nil store and empty class are no-ops.
+	var nilStore *Store
+	nilStore.RecordDrift("x", 1, 1, 1, nil)
+	s.RecordDrift("", 1, 1, 1, nil)
+	if len(s.Drift()) != 1 {
+		t.Fatal("empty-class drift recorded")
+	}
+}
+
+func TestTreeOf(t *testing.T) {
+	tr := NewTrace("tree")
+	adm := tr.Start(tr.Root(), SpanAdmission)
+	tr.End(adm)
+	exec := tr.Start(tr.Root(), SpanExecute)
+	k := tr.StartKernel(exec, "GEQRT[0]", "T", "worker-0", 0, 1)
+	tr.End(k)
+	tr.End(exec)
+	tr.SetAttr("class", "c")
+	tr.Finish(nil)
+	tr.SetCriticalPath(&CriticalPath{TotalUS: 1})
+
+	tree := TreeOf(tr)
+	if tree.ID != "tree" || tree.Root.Name != "job" || tree.Attrs["class"] != "c" {
+		t.Fatalf("tree = %+v", tree)
+	}
+	if len(tree.Root.Children) != 2 {
+		t.Fatalf("root children = %d, want 2", len(tree.Root.Children))
+	}
+	ex := tree.Root.Children[1]
+	if ex.Name != SpanExecute || len(ex.Children) != 1 || ex.Children[0].Name != "GEQRT[0]" {
+		t.Fatalf("execute subtree = %+v", ex)
+	}
+	if ex.Children[0].Attempt != 1 || ex.Children[0].Worker != "worker-0" {
+		t.Fatalf("kernel node = %+v", ex.Children[0])
+	}
+	if tree.CriticalPath == nil || tree.CriticalPath.TotalUS != 1 {
+		t.Fatal("critical path not exported")
+	}
+	if TreeOf(nil) != nil {
+		t.Fatal("TreeOf(nil)")
+	}
+}

@@ -1,0 +1,267 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Metric names exported by the tracing layer.
+const (
+	// MetricTraces counts traces stored; MetricTraceDropped the ones the
+	// sampler skipped (successful traces beyond the 1-in-SampleEvery rate).
+	MetricTraces       = "obs.traces"
+	MetricTraceDropped = "obs.traces_sampled_out"
+	// MetricPredictedUS / MetricMeasuredUS are per-class gauges of the
+	// Eq. 10/11 model makespan and the (EWMA-smoothed) measured execute
+	// makespan; MetricDriftRatio is measured/predicted — the model-drift
+	// signal online self-calibration will consume.
+	MetricPredictedUS = "obs.predicted_us"
+	MetricMeasuredUS  = "obs.measured_us"
+	MetricDriftRatio  = "obs.drift_ratio"
+	// MetricCritPathUS is the per-class EWMA of the realized critical-path
+	// length (µs) — the scheduler-independent floor of the class.
+	MetricCritPathUS = "obs.critpath_us"
+	// MetricDeviceDriftRatio is the per-class, per-device measured-busy /
+	// modelled-busy ratio (`obs.device_drift_ratio{class=…,dev=…}`).
+	MetricDeviceDriftRatio = "obs.device_drift_ratio"
+)
+
+// ewmaAlpha is the smoothing factor of the drift report's measured figures:
+// new = α·sample + (1−α)·old. 0.25 settles in a handful of jobs while
+// riding out micro-batching noise.
+const ewmaAlpha = 0.25
+
+// DeviceDrift compares one modelled device's predicted busy time against
+// the measured busy time of the worker standing in for it.
+type DeviceDrift struct {
+	// Dev is the modelled device name; Worker the runtime worker mapped to
+	// it (position i of the plan's participant list ↔ worker-i).
+	Dev    string `json:"dev"`
+	Worker string `json:"worker"`
+	// ModelUS is the device's predicted busy time over the whole
+	// factorization (Eq. 10 summed over iterations); MeasuredUS the EWMA of
+	// the worker's kernel time; Ratio is measured/model.
+	ModelUS    float64 `json:"modelUS"`
+	MeasuredUS float64 `json:"measuredUS"`
+	Ratio      float64 `json:"ratio"`
+}
+
+// ClassDrift is the model-vs-measured record of one size class.
+type ClassDrift struct {
+	Class string `json:"class"`
+	// Jobs is how many finished jobs have contributed samples.
+	Jobs int64 `json:"jobs"`
+	// PredictedUS is the scheduler's full-factorization makespan model
+	// (Eq. 10 compute + Eq. 11 communication, summed over iterations, on
+	// the modelled platform).
+	PredictedUS float64 `json:"predictedUS"`
+	// MeasuredUS is the EWMA of the measured execute-phase wall clock;
+	// CritPathUS the EWMA of the realized critical-path length.
+	MeasuredUS float64 `json:"measuredUS"`
+	CritPathUS float64 `json:"critPathUS"`
+	// DriftRatio is MeasuredUS / PredictedUS: 1.0 means the model still
+	// describes reality; sustained drift is the replan/recalibrate signal.
+	DriftRatio float64       `json:"driftRatio"`
+	Devices    []DeviceDrift `json:"devices,omitempty"`
+}
+
+// TraceSummary is one row of the /traces listing.
+type TraceSummary struct {
+	ID         TraceID   `json:"id"`
+	Class      string    `json:"class,omitempty"`
+	Job        string    `json:"job,omitempty"`
+	Start      time.Time `json:"start"`
+	DurationUS float64   `json:"durationUS"`
+	Spans      int       `json:"spans"`
+	Err        string    `json:"err,omitempty"`
+}
+
+// Store is the sampled in-memory trace store plus the per-class drift
+// ledger behind the /traces and /drift endpoints. Finished traces enter
+// through Add (ring-buffer retention, 1-in-SampleEvery sampling with
+// failures always kept); drift samples enter through RecordDrift.
+type Store struct {
+	cap    int
+	sample int
+	reg    *metrics.Registry
+
+	mu    sync.Mutex
+	seq   int64
+	byID  map[TraceID]*Trace
+	order []TraceID
+	drift map[string]*ClassDrift
+}
+
+// NewStore builds a store retaining up to cap traces (default 256),
+// keeping 1 in sampleEvery successful traces (default 1 = all; failed
+// traces are always kept). reg, when non-nil, receives the obs.* metrics.
+func NewStore(cap, sampleEvery int, reg *metrics.Registry) *Store {
+	if cap <= 0 {
+		cap = 256
+	}
+	if sampleEvery <= 0 {
+		sampleEvery = 1
+	}
+	return &Store{
+		cap: cap, sample: sampleEvery, reg: reg,
+		byID:  map[TraceID]*Trace{},
+		drift: map[string]*ClassDrift{},
+	}
+}
+
+// Add offers a finished trace to the store. Unfinished traces are
+// finalized defensively. Successful traces beyond the sampling rate are
+// dropped (counted); failed traces always land. Nil stores ignore the call.
+func (s *Store) Add(t *Trace) {
+	if s == nil || t == nil {
+		return
+	}
+	if !t.Finished() {
+		t.Finish(nil)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	if t.Err() == "" && s.sample > 1 && s.seq%int64(s.sample) != 0 {
+		s.reg.Counter(MetricTraceDropped).Inc()
+		return
+	}
+	if _, dup := s.byID[t.ID]; !dup {
+		s.order = append(s.order, t.ID)
+	}
+	s.byID[t.ID] = t
+	for len(s.order) > s.cap {
+		delete(s.byID, s.order[0])
+		s.order = s.order[1:]
+	}
+	s.reg.Counter(MetricTraces).Inc()
+}
+
+// Get returns the stored trace with the given id.
+func (s *Store) Get(id TraceID) (*Trace, bool) {
+	if s == nil {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.byID[id]
+	return t, ok
+}
+
+// List summarizes the retained traces, most recent first.
+func (s *Store) List() []TraceSummary {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	ids := make([]TraceID, len(s.order))
+	copy(ids, s.order)
+	m := make(map[TraceID]*Trace, len(s.byID))
+	for k, v := range s.byID {
+		m[k] = v
+	}
+	s.mu.Unlock()
+	out := make([]TraceSummary, 0, len(ids))
+	for i := len(ids) - 1; i >= 0; i-- {
+		t := m[ids[i]]
+		if t == nil {
+			continue
+		}
+		out = append(out, TraceSummary{
+			ID:         t.ID,
+			Class:      t.Attr("class"),
+			Job:        t.Attr("job"),
+			Start:      t.StartTime(),
+			DurationUS: t.DurationUS(),
+			Spans:      len(t.Spans()),
+			Err:        t.Err(),
+		})
+	}
+	return out
+}
+
+// RecordDrift folds one finished job's measurements into the class's drift
+// record and publishes the obs.* gauges: predicted (model) vs measured
+// (EWMA) makespan, realized critical path, and per-device busy ratios.
+// measured and crit are µs; perDevice carries the model side pre-filled in
+// ModelUS and the sample in MeasuredUS (the store does the smoothing).
+func (s *Store) RecordDrift(class string, predictedUS, measuredUS, critUS float64, perDevice []DeviceDrift) {
+	if s == nil || class == "" {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := s.drift[class]
+	if d == nil {
+		d = &ClassDrift{Class: class, MeasuredUS: measuredUS, CritPathUS: critUS}
+		for _, pd := range perDevice {
+			d.Devices = append(d.Devices, pd)
+		}
+		s.drift[class] = d
+	} else {
+		d.MeasuredUS = ewmaAlpha*measuredUS + (1-ewmaAlpha)*d.MeasuredUS
+		if critUS > 0 {
+			if d.CritPathUS == 0 {
+				d.CritPathUS = critUS
+			} else {
+				d.CritPathUS = ewmaAlpha*critUS + (1-ewmaAlpha)*d.CritPathUS
+			}
+		}
+		for _, pd := range perDevice {
+			found := false
+			for i := range d.Devices {
+				if d.Devices[i].Dev == pd.Dev && d.Devices[i].Worker == pd.Worker {
+					d.Devices[i].ModelUS = pd.ModelUS
+					d.Devices[i].MeasuredUS = ewmaAlpha*pd.MeasuredUS + (1-ewmaAlpha)*d.Devices[i].MeasuredUS
+					found = true
+					break
+				}
+			}
+			if !found {
+				d.Devices = append(d.Devices, pd)
+			}
+		}
+	}
+	d.Jobs++
+	d.PredictedUS = predictedUS
+	if d.PredictedUS > 0 {
+		d.DriftRatio = d.MeasuredUS / d.PredictedUS
+	}
+	for i := range d.Devices {
+		if d.Devices[i].ModelUS > 0 {
+			d.Devices[i].Ratio = d.Devices[i].MeasuredUS / d.Devices[i].ModelUS
+		}
+	}
+	if s.reg != nil {
+		s.reg.Gauge(metrics.With(MetricPredictedUS, "class", class)).Set(d.PredictedUS)
+		s.reg.Gauge(metrics.With(MetricMeasuredUS, "class", class)).Set(d.MeasuredUS)
+		s.reg.Gauge(metrics.With(MetricDriftRatio, "class", class)).Set(d.DriftRatio)
+		if d.CritPathUS > 0 {
+			s.reg.Gauge(metrics.With(MetricCritPathUS, "class", class)).Set(d.CritPathUS)
+		}
+		for i := range d.Devices {
+			dd := &d.Devices[i]
+			s.reg.Gauge(metrics.With(MetricDeviceDriftRatio, "class", class, "dev", dd.Dev)).Set(dd.Ratio)
+		}
+	}
+}
+
+// Drift snapshots every class's drift record, sorted by class key.
+func (s *Store) Drift() []ClassDrift {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	out := make([]ClassDrift, 0, len(s.drift))
+	for _, d := range s.drift {
+		c := *d
+		c.Devices = append([]DeviceDrift(nil), d.Devices...)
+		out = append(out, c)
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Class < out[j].Class })
+	return out
+}

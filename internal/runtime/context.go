@@ -3,6 +3,7 @@ package runtime
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/matrix"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/tiled"
 	"repro/internal/trace"
 )
@@ -44,15 +46,23 @@ func FactorContext(ctx context.Context, a *matrix.Matrix, opts Options) (*tiled.
 	}
 	stop := opts.Metrics.StartTimer(MetricFactorUS)
 	opts.Metrics.Counter(MetricFactors).Inc()
+	tr := opts.Trace
+	planSpan := tr.Start(tr.Root(), obs.SpanPlan)
 	l := tiled.NewLayout(a.Rows, a.Cols, opts.TileSize)
 	dag := tiled.BuildDAG(l, opts.Tree)
 	f := tiled.NewFactorization(tiled.FromDense(a, opts.TileSize), opts.Tree)
-	errs, _ := executeBatch(dag, []batchJob{{ctx: ctx, f: f}}, BatchOptions{
+	tr.End(planSpan)
+	execSpan := tr.Start(tr.Root(), obs.SpanExecute)
+	errs, _ := executeBatch(dag, []batchJob{{ctx: ctx, f: f, trace: tr, span: execSpan}}, BatchOptions{
 		Workers: opts.Workers, Priority: opts.Priority,
 		Recorder: opts.Recorder, Metrics: opts.Metrics,
 		Faults: opts.Faults, Retry: opts.Retry,
 	})
+	tr.EndErr(execSpan, errs[0])
 	stop()
+	if tr != nil && errs[0] == nil {
+		tr.SetCriticalPath(tr.ComputeCriticalPath(dag.Deps))
+	}
 	if errs[0] != nil {
 		return nil, errs[0]
 	}
@@ -72,6 +82,14 @@ type BatchItem struct {
 	// F is the factorization the DAG's operations are applied to. Its
 	// layout must match the DAG's.
 	F *tiled.Factorization
+	// Trace, when non-nil, receives one kernel span per executed attempt
+	// of this item's operations (span name = op string, step class, worker,
+	// DAG index, attempt number, error), parented under Span — the
+	// end-to-end job tracing hook of internal/obs.
+	Trace *obs.Trace
+	// Span is the parent span id for this item's kernel spans (typically
+	// the job's execute-phase span). Ignored when Trace is nil.
+	Span obs.SpanID
 }
 
 // BatchOptions configure one ExecuteBatchWith call.
@@ -93,6 +111,10 @@ type BatchOptions struct {
 	// disables retries otherwise (real panics are never task-retried
 	// regardless — see fault.TaskRetryable).
 	Retry fault.RetryPolicy
+	// Logger, when non-nil, receives structured lifecycle events (kernel
+	// retries, worker drops, terminal item failures) tagged with each
+	// item's trace id, so service logs correlate with /traces/{id}.
+	Logger *slog.Logger
 }
 
 // BatchReport summarizes the fault activity of one batch execution.
@@ -138,14 +160,24 @@ func ExecuteBatch(dag *tiled.DAG, items []BatchItem, workers int, reg *metrics.R
 func ExecuteBatchWith(dag *tiled.DAG, items []BatchItem, opt BatchOptions) ([]error, *BatchReport) {
 	jobs := make([]batchJob, len(items))
 	for i, it := range items {
-		jobs[i] = batchJob{ctx: it.Ctx, f: it.F}
+		jobs[i] = batchJob{ctx: it.Ctx, f: it.F, trace: it.Trace, span: it.Span}
 	}
 	return executeBatch(dag, jobs, opt)
 }
 
 type batchJob struct {
-	ctx context.Context
-	f   *tiled.Factorization
+	ctx   context.Context
+	f     *tiled.Factorization
+	trace *obs.Trace
+	span  obs.SpanID
+}
+
+// traceID names the job in log records ("" when the item is untraced).
+func (j *batchJob) traceID() string {
+	if j.trace == nil {
+		return ""
+	}
+	return string(j.trace.ID)
 }
 
 // dispatchQueue orders ready operations: a FIFO ring by default, or a
@@ -299,9 +331,12 @@ func executeBatch(dag *tiled.DAG, items []batchJob, opt BatchOptions) ([]error, 
 			name := workerName(id)
 			for msg := range ready {
 				op := dag.Ops[msg.gid%n]
+				job := &items[msg.gid/n]
 				start := rec.Now()
-				err := applyProtected(in, inj, reg, items[msg.gid/n].f, op,
+				sp := job.trace.StartKernel(job.span, op.String(), op.Kind.Step(), name, msg.gid%n, msg.attempt)
+				err := applyProtected(in, inj, reg, job.f, op,
 					id, msg.gid/n, msg.gid%n, msg.attempt, &injected)
+				job.trace.EndErr(sp, err)
 				if rec != nil && err == nil {
 					rec.Add(trace.Event{
 						Label: op.String(), Step: op.Kind.Step(),
@@ -409,6 +444,10 @@ func executeBatch(dag *tiled.DAG, items []batchJob, opt BatchOptions) ([]error, 
 				rep.DroppedWorkers = append(rep.DroppedWorkers, res.worker)
 				reg.Counter(metrics.With(fault.MetricInjected, "kind", fault.KindDrop.String())).Inc()
 				reg.Counter(metrics.With(fault.MetricReplans, "layer", "runtime")).Inc()
+				if opt.Logger != nil {
+					opt.Logger.Warn("runtime: worker dropped mid-batch",
+						"worker", res.worker, "alive", alive)
+				}
 				if alive == 0 {
 					// The pool must never die with work outstanding; the
 					// injector's once-latch keeps the respawn alive.
@@ -433,6 +472,11 @@ func executeBatch(dag *tiled.DAG, items []batchJob, opt BatchOptions) ([]error, 
 				rep.Retries++
 				delay := retry.Backoff(res.gid, attempts[res.gid])
 				reg.Histogram(fault.MetricRetryWaitUS).Observe(float64(delay) / float64(time.Microsecond))
+				if opt.Logger != nil {
+					opt.Logger.Warn("runtime: kernel retry scheduled",
+						"trace_id", items[j].traceID(), "op", dag.Ops[res.gid%n].String(),
+						"attempt", attempts[res.gid], "delay", delay, "err", res.err)
+				}
 				gid := res.gid
 				time.AfterFunc(delay, func() { retryc <- gid })
 				continue
@@ -444,6 +488,11 @@ func executeBatch(dag *tiled.DAG, items []batchJob, opt BatchOptions) ([]error, 
 					reg.Counter(fault.MetricExhausted).Inc()
 				} else {
 					errs[j] = fmt.Errorf("runtime: %s failed: %w", dag.Ops[res.gid%n], res.err)
+				}
+				if opt.Logger != nil {
+					opt.Logger.Error("runtime: item failed terminally",
+						"trace_id", items[j].traceID(), "op", dag.Ops[res.gid%n].String(),
+						"err", errs[j])
 				}
 			}
 			completed++

@@ -24,6 +24,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/matrix"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/tiled"
 	"repro/internal/trace"
 )
@@ -54,6 +55,10 @@ type Options struct {
 	// Verify re-scans the factored tiles for NaN/Inf before returning,
 	// failing with an error wrapping ErrNonFinite on corruption.
 	Verify bool
+	// Trace, when non-nil, records the factorization as an end-to-end span
+	// tree (plan, execute, per-kernel children) into the given job trace;
+	// see internal/obs. The caller finalizes and stores the trace.
+	Trace *obs.Trace
 }
 
 // Normalize validates the options and fills defaults in place; Factor

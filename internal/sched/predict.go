@@ -1,0 +1,78 @@
+package sched
+
+import "repro/internal/device"
+
+// Full-factorization prediction: Algorithm 3's T(p) = Top(p) + Tcomm(p)
+// models only the first iteration — enough to *rank* device counts, but
+// not comparable to a measured end-to-end makespan. Predict extends the
+// same Eq. 10/11 cost structure over every iteration (iteration k factors
+// the (Mt−k)×(Nt−k) trailing grid with the same participant prefix), which
+// is what the drift reports in internal/obs compare reality against.
+
+// Prediction is the modelled cost of one full factorization.
+type Prediction struct {
+	// TotalUS is the predicted makespan: Σ_k [max_i Top_k(i) + Tcomm_k].
+	TotalUS float64
+	// PerDeviceUS is each participant's predicted compute-busy time
+	// (indexed like order[:p], position 0 = main device) — the model side
+	// of the per-device drift comparison.
+	PerDeviceUS []float64
+}
+
+// topTimes evaluates the Eq. 10 per-device operation times for one
+// iteration: each participating device's batched update time for its
+// guide-array column share, plus the whole panel for the main device
+// (position 0). Top is the max over this slice.
+func topTimes(pl *device.Platform, prob Problem, order []int, p int) []float64 {
+	devs := order[:p]
+	cols := firstIterationColumns(pl, prob, devs)
+	m := prob.Mt
+	times := make([]float64, p)
+	for i, idx := range devs {
+		d := pl.Devices[idx]
+		t := d.BatchUS(device.ClassUT, prob.B, cols[i]) +
+			d.BatchUS(device.ClassUE, prob.B, (m-1)*cols[i])
+		if i == 0 { // the main computing device also runs the whole panel
+			t += d.PanelUS(prob.B, m)
+		}
+		times[i] = t
+	}
+	return times
+}
+
+// Predict models the whole factorization for the given participant prefix:
+// per iteration, the Eq. 10 per-device compute times on the shrunk problem
+// plus the Eq. 11 communication term, accumulated into a makespan and
+// per-device busy totals.
+func Predict(pl *device.Platform, prob Problem, order []int, p int) Prediction {
+	if p < 1 {
+		p = 1
+	}
+	if p > len(order) {
+		p = len(order)
+	}
+	pred := Prediction{PerDeviceUS: make([]float64, p)}
+	iters := prob.Mt
+	if prob.Nt < iters {
+		iters = prob.Nt
+	}
+	for k := 0; k < iters; k++ {
+		sub := Problem{Mt: prob.Mt - k, Nt: prob.Nt - k, B: prob.B}
+		times := topTimes(pl, sub, order, p)
+		worst := 0.0
+		for i, t := range times {
+			pred.PerDeviceUS[i] += t
+			if t > worst {
+				worst = t
+			}
+		}
+		pred.TotalUS += worst + Tcomm(pl, sub, order, p)
+	}
+	return pred
+}
+
+// PredictPlan is Predict for a built plan: the model the plan itself was
+// chosen by, extended over all iterations.
+func PredictPlan(pl *device.Platform, plan *Plan) Prediction {
+	return Predict(pl, plan.Problem, plan.Order, plan.P)
+}

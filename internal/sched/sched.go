@@ -179,17 +179,8 @@ func UpdateShares(pl *device.Platform, prob Problem, devs []int) []float64 {
 // is the device's batched phase time for those tiles, so the model and the
 // execution it predicts share one cost structure.
 func Top(pl *device.Platform, prob Problem, order []int, p int) float64 {
-	devs := order[:p]
-	cols := firstIterationColumns(pl, prob, devs)
-	m := prob.Mt
 	var worst float64
-	for i, idx := range devs {
-		d := pl.Devices[idx]
-		t := d.BatchUS(device.ClassUT, prob.B, cols[i]) +
-			d.BatchUS(device.ClassUE, prob.B, (m-1)*cols[i])
-		if i == 0 { // the main computing device also runs the whole panel
-			t += d.PanelUS(prob.B, m)
-		}
+	for _, t := range topTimes(pl, prob, order, p) {
 		if t > worst {
 			worst = t
 		}

@@ -40,6 +40,11 @@ type class struct {
 	// the host's cores) unless Config.Workers forces a value.
 	plan    *sched.Plan
 	workers int
+	// pred is the full-factorization Eq. 10/11 model of the plan — the
+	// "predicted" side of the drift report; predNames are the participating
+	// device names aligned with pred.PerDeviceUS. Recomputed on replan.
+	pred      sched.Prediction
+	predNames []string
 }
 
 // batchWorkers returns the class's current batch parallelism.
@@ -47,6 +52,23 @@ func (c *class) batchWorkers() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.workers
+}
+
+// prediction returns the class's cached full-factorization model (total and
+// per-device µs) with the participating device names.
+func (c *class) prediction() (sched.Prediction, []string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pred, c.predNames
+}
+
+// participantNames resolves a plan's participating devices to names.
+func participantNames(plat *device.Platform, plan *sched.Plan) []string {
+	names := make([]string, 0, plan.P)
+	for _, idx := range plan.Participants() {
+		names = append(names, plat.Devices[idx].Name)
+	}
+	return names
 }
 
 // replanAfterDrop maps a dropped batch worker onto the plan participant it
@@ -72,6 +94,8 @@ func (c *class) replanAfterDrop(worker, forcedWorkers int, reg *metrics.Registry
 		return false
 	}
 	c.plat, c.plan = reduced, plan
+	c.pred = sched.PredictPlan(reduced, plan)
+	c.predNames = participantNames(reduced, plan)
 	if forcedWorkers <= 0 {
 		c.workers = clampWorkers(plan.P)
 	}
@@ -129,17 +153,19 @@ func (c *classCache) get(m, n, tile int, tree tiled.Tree, reg *metrics.Registry)
 		workers = clampWorkers(plan.P)
 	}
 	cls := &class{
-		key:     key,
-		m:       m,
-		n:       n,
-		tile:    tile,
-		tree:    tree,
-		dag:     tiled.BuildDAG(l, tree),
-		plat:    c.cfg.Platform,
-		plan:    plan,
-		workers: workers,
-		small:   l.Mt*l.Nt <= c.cfg.SmallTiles,
-		latency: reg.Histogram(metrics.With(MetricJobUS, "class", key)),
+		key:       key,
+		m:         m,
+		n:         n,
+		tile:      tile,
+		tree:      tree,
+		dag:       tiled.BuildDAG(l, tree),
+		plat:      c.cfg.Platform,
+		plan:      plan,
+		workers:   workers,
+		small:     l.Mt*l.Nt <= c.cfg.SmallTiles,
+		latency:   reg.Histogram(metrics.With(MetricJobUS, "class", key)),
+		pred:      sched.PredictPlan(c.cfg.Platform, plan),
+		predNames: participantNames(c.cfg.Platform, plan),
 	}
 	c.m[key] = cls
 	reg.Gauge(MetricClasses).Set(float64(len(c.m)))

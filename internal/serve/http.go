@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/matrix"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/runtime"
 	"repro/internal/workload"
 )
@@ -20,15 +21,20 @@ import (
 //	POST /jobs             submit a factorization (202, or 429 when overloaded)
 //	GET  /jobs/{id}        job status
 //	GET  /jobs/{id}/result the R factor of a completed job
+//	GET  /traces[/{id}]    end-to-end span trees (obs.RegisterHTTP)
+//	GET  /drift            per-class model-vs-measured drift report
 //
 // Submissions describe the matrix either inline ("data", row-major) or as
 // a reproducible workload ("seed"); see jobRequest. Jobs outlive their
-// submitting request — status is polled by ID.
+// submitting request — status is polled by ID. Every accepted submission
+// returns its trace id in the X-Trace-Id response header (a client may
+// propose one in the same request header); the id keys /traces/{id}.
 func (s *Server) Handler(expvarName string) http.Handler {
 	mux := metrics.NewServeMux(s.reg, expvarName)
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
 	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	obs.RegisterHTTP(mux, s.cfg.Trace)
 	return mux
 }
 
@@ -53,6 +59,7 @@ type jobStatus struct {
 	ID        string  `json:"id"`
 	Status    string  `json:"status"`
 	Class     string  `json:"class"`
+	TraceID   string  `json:"traceID,omitempty"`
 	Error     string  `json:"error,omitempty"`
 	ElapsedMS float64 `json:"elapsedMS"`
 }
@@ -69,9 +76,10 @@ func writeError(w http.ResponseWriter, code int, err error) {
 
 func statusOf(j *Job) jobStatus {
 	st := jobStatus{
-		ID:     strconv.FormatUint(j.ID(), 10),
-		Status: j.State().String(),
-		Class:  j.Class(),
+		ID:      strconv.FormatUint(j.ID(), 10),
+		Status:  j.State().String(),
+		Class:   j.Class(),
+		TraceID: j.TraceID(),
 	}
 	switch j.State() {
 	case StateDone, StateFailed:
@@ -114,6 +122,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		TileSize: req.Tile,
 		Tree:     req.Tree,
 		Timeout:  time.Duration(req.TimeoutMS) * time.Millisecond,
+		TraceID:  r.Header.Get("X-Trace-Id"),
 	})
 	switch {
 	case errors.Is(err, ErrOverloaded):
@@ -130,6 +139,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	w.Header().Set("X-Trace-Id", j.TraceID())
 	writeJSON(w, http.StatusAccepted, statusOf(j))
 }
 

@@ -13,6 +13,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/matrix"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/runtime"
 	"repro/internal/tiled"
 	"repro/internal/workload"
@@ -68,6 +69,14 @@ type SelftestReport struct {
 	DrainSubmitted int // jobs accepted just before Close
 	DrainLost      int // accepted jobs with no outcome after drain (must be 0)
 
+	// Tracing gate: TraceID is a completed closed-loop job's trace id (must
+	// be non-empty), TraceSpansOK that its stored span tree is finished and
+	// contains the admission/queue/plan/execute phases plus kernel spans,
+	// DriftClasses the size classes with drift records (must be ≥ 1).
+	TraceID      string
+	TraceSpansOK bool
+	DriftClasses int
+
 	// Chaos-mode fields (all zero when Chaos is off).
 	Chaos           bool
 	FaultsInjected  int64 // faults injected across all phases (must be ≥ 1)
@@ -92,6 +101,12 @@ func (r *SelftestReport) check(wantJobs int) error {
 		return errors.New("selftest: deadline job did not fail with DeadlineExceeded")
 	case r.DrainLost > 0:
 		return fmt.Errorf("selftest: %d accepted jobs lost on drain", r.DrainLost)
+	case r.TraceID == "":
+		return errors.New("selftest: no trace id captured from completed jobs")
+	case !r.TraceSpansOK:
+		return fmt.Errorf("selftest: trace %s is missing required spans or unfinished", r.TraceID)
+	case r.DriftClasses < 1:
+		return errors.New("selftest: no model-vs-measured drift records")
 	case r.Chaos && r.FaultsInjected < 1:
 		return errors.New("selftest: chaos mode injected no faults")
 	case r.Chaos && r.FaultsRecovered < 1:
@@ -116,6 +131,8 @@ func (r *SelftestReport) Write(w io.Writer) {
 		r.BurstSubmitted, r.BurstAccepted, r.BurstRejected, r.RejectsMetric)
 	fmt.Fprintf(w, "deadline      exceeded as expected: %v\n", r.DeadlineOK)
 	fmt.Fprintf(w, "drain         %d accepted at shutdown, %d lost\n", r.DrainSubmitted, r.DrainLost)
+	fmt.Fprintf(w, "tracing       trace %s spans complete: %v, drift classes: %d\n",
+		r.TraceID, r.TraceSpansOK, r.DriftClasses)
 	if r.Chaos {
 		fmt.Fprintf(w, "chaos         %d faults injected, %d recovered, %d replans, NaN rejected: %v\n",
 			r.FaultsInjected, r.FaultsRecovered, r.Replans, r.NaNRejected)
@@ -198,6 +215,11 @@ func RunSelftest(opt SelftestOptions) (*SelftestReport, error) {
 		}
 		cfg.Verify = true
 	}
+	if cfg.Trace == nil {
+		// Explicit store so the trace gate below can query it after the run
+		// (Config.normalize would otherwise build one the caller can't see).
+		cfg.Trace = obs.NewStore(512, 1, cfg.Metrics)
+	}
 	reg := cfg.Metrics
 	s := New(cfg)
 	rep := &SelftestReport{}
@@ -206,6 +228,7 @@ func RunSelftest(opt SelftestOptions) (*SelftestReport, error) {
 	var (
 		mu        sync.Mutex
 		latencies []float64
+		lastJob   *Job // most recent successful closed-loop job, for the trace gate
 		wg        sync.WaitGroup
 	)
 	next := make(chan int64, opt.Jobs)
@@ -241,6 +264,9 @@ func RunSelftest(opt SelftestOptions) (*SelftestReport, error) {
 				lat := float64(time.Since(t0)) / float64(time.Millisecond)
 				mu.Lock()
 				latencies = append(latencies, lat)
+				if err == nil {
+					lastJob = j
+				}
 				verify := err == nil && int(i)%opt.Verify == 0
 				if verify {
 					rep.Verified++
@@ -341,6 +367,17 @@ func RunSelftest(opt SelftestOptions) (*SelftestReport, error) {
 		return rep, fmt.Errorf("selftest: post-close submit returned %v, want ErrClosed", err)
 	}
 
+	// Tracing gate: a completed job must be followable end to end — its id
+	// resolves in the store to a finished span tree with every pipeline
+	// phase plus kernel spans, and the drift ledger has per-class records.
+	if lastJob != nil {
+		rep.TraceID = lastJob.TraceID()
+		if t, ok := cfg.Trace.Get(obs.TraceID(rep.TraceID)); ok {
+			rep.TraceSpansOK = traceComplete(t)
+		}
+	}
+	rep.DriftClasses = len(cfg.Trace.Drift())
+
 	snap := reg.Snapshot()
 	rep.RejectsMetric = snap.Counters[MetricRejects]
 	if bs, ok := snap.Histograms[MetricBatchSize]; ok && bs.Count > 0 {
@@ -354,6 +391,30 @@ func RunSelftest(opt SelftestOptions) (*SelftestReport, error) {
 		rep.Replans = snap.SumCounters(fault.MetricReplans + "{")
 	}
 	return rep, rep.check(opt.Jobs)
+}
+
+// traceComplete checks a stored trace for the acceptance contract: it is
+// finished, and contains the admission, queue, plan and execute phase spans
+// plus at least one kernel span — all closed.
+func traceComplete(t *obs.Trace) bool {
+	if t == nil || !t.Finished() {
+		return false
+	}
+	phases := map[string]bool{}
+	kernels := 0
+	for _, s := range t.Spans() {
+		if s.End.IsZero() {
+			return false
+		}
+		switch s.Kind {
+		case obs.KindPhase:
+			phases[s.Name] = true
+		case obs.KindKernel:
+			kernels++
+		}
+	}
+	return phases[obs.SpanAdmission] && phases[obs.SpanQueue] &&
+		phases[obs.SpanPlan] && phases[obs.SpanExecute] && kernels > 0
 }
 
 // directDiff compares the service's R factor against a direct

@@ -31,6 +31,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -39,6 +41,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/matrix"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/runtime"
 	"repro/internal/tiled"
 )
@@ -148,6 +151,20 @@ type Config struct {
 	// delivering it (runtime.VerifyFinite) — the post-check that catches
 	// data corruption the kernels cannot.
 	Verify bool
+	// Trace is the job-trace store behind the /traces and /drift endpoints.
+	// Every job is traced end to end (admission → queue → plan → execute →
+	// per-kernel spans → verify); finished traces are sampled into this
+	// store and fold their measurements into the per-class drift report.
+	// Nil gets a default store (256 traces, TraceSample sampling) wired to
+	// Metrics.
+	Trace *obs.Store
+	// TraceSample keeps 1 in N successful traces when the default store is
+	// built (failures are always kept). 0/1 keeps everything.
+	TraceSample int
+	// Logger, when non-nil, receives structured job-lifecycle logs
+	// (admission, completion, retries, drops) tagged with trace ids, so
+	// log lines correlate with /traces/{id}.
+	Logger *slog.Logger
 }
 
 func (c *Config) normalize() {
@@ -174,6 +191,9 @@ func (c *Config) normalize() {
 	}
 	if c.Retain <= 0 {
 		c.Retain = 1024
+	}
+	if c.Trace == nil {
+		c.Trace = obs.NewStore(256, c.TraceSample, c.Metrics)
 	}
 }
 
@@ -218,6 +238,11 @@ type Job struct {
 	cancel context.CancelFunc
 	enq    time.Time
 
+	// trace is the job's end-to-end span tree; queueSpan is the open
+	// queue-wait span between admission and batch pickup.
+	trace     *obs.Trace
+	queueSpan obs.SpanID
+
 	state atomic.Int32
 	done  chan struct{}
 	f     *tiled.Factorization
@@ -227,6 +252,15 @@ type Job struct {
 
 // ID is the server-assigned job identifier.
 func (j *Job) ID() uint64 { return j.id }
+
+// TraceID identifies the job's span tree in the trace store (the value of
+// the X-Trace-Id response header; query it at /traces/{id}).
+func (j *Job) TraceID() string {
+	if j.trace == nil {
+		return ""
+	}
+	return string(j.trace.ID)
+}
 
 // State reports the job's current lifecycle position.
 func (j *Job) State() State { return State(j.state.Load()) }
@@ -283,6 +317,10 @@ type SubmitOptions struct {
 	// Timeout, when positive, imposes a per-job deadline measured from
 	// admission (layered on top of whatever deadline ctx already carries).
 	Timeout time.Duration
+	// TraceID is a client-supplied trace id (the X-Trace-Id request
+	// header). Empty or invalid ids are replaced by a freshly minted one;
+	// the effective id is returned by Job.TraceID.
+	TraceID string
 }
 
 // batch is a group of same-class jobs executed as one tiled run.
@@ -367,11 +405,21 @@ func New(cfg Config) *Server {
 // must not be mutated until the job finishes.
 func (s *Server) Submit(ctx context.Context, a *matrix.Matrix, opts SubmitOptions) (*Job, error) {
 	s.mSubmitted.Inc()
+	// Every submission gets a trace from its first instruction; rejected
+	// submissions finish theirs immediately and are not stored (the trace
+	// store holds only admitted jobs).
+	tr := obs.NewTrace(obs.SanitizeTraceID(opts.TraceID))
+	adm := tr.Start(tr.Root(), obs.SpanAdmission)
+	reject := func(err error) (*Job, error) {
+		tr.EndErr(adm, err)
+		tr.Finish(err)
+		return nil, err
+	}
 	if a == nil || a.Rows == 0 || a.Cols == 0 {
-		return nil, errors.New("serve: empty matrix")
+		return reject(errors.New("serve: empty matrix"))
 	}
 	if i, j, ok := a.FindNonFinite(); ok {
-		return nil, fmt.Errorf("serve: input element (%d,%d): %w", i, j, runtime.ErrNonFinite)
+		return reject(fmt.Errorf("serve: input element (%d,%d): %w", i, j, runtime.ErrNonFinite))
 	}
 	if ctx == nil {
 		ctx = context.Background()
@@ -382,19 +430,27 @@ func (s *Server) Submit(ctx context.Context, a *matrix.Matrix, opts SubmitOption
 	}
 	tree, err := tiled.TreeByName(opts.Tree)
 	if err != nil {
-		return nil, fmt.Errorf("serve: %w", err)
+		return reject(fmt.Errorf("serve: %w", err))
 	}
+	// The plan span covers the size-class lookup: on a class's first sight
+	// this runs the paper's whole scheduling pipeline (Algorithms 2–4) plus
+	// the DAG build; afterwards it is a cache hit.
+	ps := tr.Start(tr.Root(), obs.SpanPlan)
 	cls, err := s.classes.get(a.Rows, a.Cols, tile, tree, s.reg)
+	tr.EndErr(ps, err)
 	if err != nil {
-		return nil, err
+		return reject(err)
 	}
 	j := &Job{
-		id:   s.nextID.Add(1),
-		cls:  cls,
-		a:    a,
-		enq:  time.Now(),
-		done: make(chan struct{}),
+		id:    s.nextID.Add(1),
+		cls:   cls,
+		a:     a,
+		enq:   time.Now(),
+		done:  make(chan struct{}),
+		trace: tr,
 	}
+	tr.SetAttr("job", strconv.FormatUint(j.id, 10))
+	tr.SetAttr("class", cls.key)
 	if opts.Timeout > 0 {
 		j.ctx, j.cancel = context.WithTimeout(ctx, opts.Timeout)
 	} else {
@@ -407,8 +463,14 @@ func (s *Server) Submit(ctx context.Context, a *matrix.Matrix, opts SubmitOption
 		if j.cancel != nil {
 			j.cancel()
 		}
-		return nil, ErrClosed
+		return reject(ErrClosed)
 	}
+	// Close the admission span and open (and publish via the job field) the
+	// queue span before the channel send: the moment the job is on the
+	// queue an executor may read j.queueSpan, so every write to j and to
+	// the trace must happen-before the send.
+	tr.End(adm)
+	j.queueSpan = tr.StartAt(tr.Root(), obs.SpanQueue, j.enq)
 	select {
 	case s.queue <- j:
 		s.mAccepted.Inc()
@@ -416,13 +478,18 @@ func (s *Server) Submit(ctx context.Context, a *matrix.Matrix, opts SubmitOption
 		s.mDepth.Set(depth)
 		s.mPeak.SetMax(depth)
 		s.remember(j)
+		if s.cfg.Logger != nil {
+			s.cfg.Logger.Info("job admitted",
+				"trace_id", j.TraceID(), "job", j.id, "class", cls.key)
+		}
 		return j, nil
 	default:
 		s.mRejects.Inc()
 		if j.cancel != nil {
 			j.cancel()
 		}
-		return nil, ErrOverloaded
+		tr.EndErr(j.queueSpan, ErrOverloaded)
+		return reject(ErrOverloaded)
 	}
 }
 
@@ -550,28 +617,47 @@ func (s *Server) runBatch(b *batch) {
 	now := time.Now()
 	var live []*Job
 	var items []runtime.BatchItem
+	var batchSpans []obs.SpanID
 	for _, j := range b.jobs {
 		s.mQueueWait.Observe(float64(now.Sub(j.enq)) / float64(time.Microsecond))
 		// A job whose context fired while it queued is finished without
 		// paying for tiling: its deadline budget covered the queue too.
 		if err := j.ctx.Err(); err != nil {
-			j.finish(nil, fmt.Errorf("serve: job %d expired in queue: %w", j.id, err))
+			err = fmt.Errorf("serve: job %d expired in queue: %w", j.id, err)
+			j.trace.EndErr(j.queueSpan, err)
+			j.finish(nil, err)
 			s.mFailed.Inc()
 			cls.latency.Observe(float64(j.fin.Sub(j.enq)) / float64(time.Microsecond))
+			s.finishJobTrace(j, err)
 			continue
 		}
+		j.trace.End(j.queueSpan)
 		j.state.Store(int32(StateRunning))
+		// The batch span covers micro-batch assembly for this job: tiling
+		// the input into the shared DAG's layout until dispatch.
+		batchSpans = append(batchSpans, j.trace.Start(j.trace.Root(), obs.SpanBatch))
+		j.trace.SetAttr("batch_size", strconv.Itoa(len(b.jobs)))
 		live = append(live, j)
 		items = append(items, runtime.BatchItem{
 			Ctx: j.ctx,
 			F:   tiled.NewFactorization(tiled.FromDense(j.a, cls.tile), cls.tree),
 		})
 	}
+	// Open each job's execute span just before dispatch; runtime workers
+	// hang kernel spans off it via BatchItem.Trace/Span.
+	execSpans := make([]obs.SpanID, len(live))
+	for i, j := range live {
+		j.trace.End(batchSpans[i])
+		execSpans[i] = j.trace.Start(j.trace.Root(), obs.SpanExecute)
+		items[i].Trace = j.trace
+		items[i].Span = execSpans[i]
+	}
 	errs, frep := runtime.ExecuteBatchWith(cls.dag, items, runtime.BatchOptions{
 		Workers: cls.batchWorkers(),
 		Metrics: s.reg,
 		Faults:  s.cfg.Faults,
 		Retry:   s.cfg.Retry,
+		Logger:  s.cfg.Logger,
 	})
 	// Self-healing: a worker lost to an injected device drop replans the
 	// class — Algorithms 2–4 re-run over the p−1 surviving devices, and the
@@ -586,8 +672,11 @@ func (s *Server) runBatch(b *batch) {
 	}
 	for i, j := range live {
 		err := errs[i]
+		j.trace.EndErr(execSpans[i], err)
 		if err == nil && s.cfg.Verify {
+			vs := j.trace.Start(j.trace.Root(), obs.SpanVerify)
 			err = runtime.VerifyFinite(items[i].F)
+			j.trace.EndErr(vs, err)
 		}
 		if err != nil {
 			// An exhausted retry budget, contained panic or lost device is
@@ -603,5 +692,55 @@ func (s *Server) runBatch(b *batch) {
 			s.mDone.Inc()
 		}
 		cls.latency.Observe(float64(j.fin.Sub(j.enq)) / float64(time.Microsecond))
+		s.finishJobTrace(j, j.err)
+	}
+}
+
+// finishJobTrace finalizes a finished job's span tree — closing every span,
+// extracting the realized critical path from the kernel spans and the
+// class's DAG — folds its measurements into the drift ledger (successful
+// jobs only), and offers the trace to the store.
+func (s *Server) finishJobTrace(j *Job, err error) {
+	tr := j.trace
+	if tr == nil {
+		return
+	}
+	tr.Finish(err)
+	cls := j.cls
+	cp := tr.ComputeCriticalPath(cls.dag.Deps)
+	tr.SetCriticalPath(cp)
+	if err == nil {
+		pred, names := cls.prediction()
+		var critUS float64
+		if cp != nil {
+			critUS = cp.TotalUS
+		}
+		busy := tr.WorkerBusyUS()
+		var devs []obs.DeviceDrift
+		for i, name := range names {
+			if i >= len(pred.PerDeviceUS) {
+				break
+			}
+			// Worker-i stands in for plan participant position i — the same
+			// mapping replanAfterDrop uses for device drops.
+			w := fmt.Sprintf("worker-%d", i)
+			devs = append(devs, obs.DeviceDrift{
+				Dev: name, Worker: w,
+				ModelUS: pred.PerDeviceUS[i], MeasuredUS: busy[w],
+			})
+		}
+		s.cfg.Trace.RecordDrift(cls.key, pred.TotalUS, tr.PhaseUS(obs.SpanExecute), critUS, devs)
+	}
+	s.cfg.Trace.Add(tr)
+	if s.cfg.Logger != nil {
+		if err != nil {
+			s.cfg.Logger.Warn("job failed",
+				"trace_id", j.TraceID(), "job", j.id, "class", cls.key,
+				"elapsed", j.fin.Sub(j.enq), "err", err)
+		} else {
+			s.cfg.Logger.Info("job done",
+				"trace_id", j.TraceID(), "job", j.id, "class", cls.key,
+				"elapsed", j.fin.Sub(j.enq))
+		}
 	}
 }

@@ -1,0 +1,238 @@
+package serve
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+func waitCtxTrace(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// mustStoredTrace fetches a job's trace from the store and asserts the
+// crash-robustness contract every finished trace must satisfy: finished,
+// with no span left open.
+func mustStoredTrace(t *testing.T, store *obs.Store, j *Job) *obs.Trace {
+	t.Helper()
+	tr, ok := store.Get(obs.TraceID(j.TraceID()))
+	if !ok {
+		t.Fatalf("trace %s not in store", j.TraceID())
+	}
+	if !tr.Finished() {
+		t.Fatalf("trace %s not finished", j.TraceID())
+	}
+	for _, s := range tr.Spans() {
+		if s.End.IsZero() {
+			t.Fatalf("span %q (kind %s) left open in finished trace", s.Name, s.Kind)
+		}
+	}
+	return tr
+}
+
+// A successful job must produce the full span pipeline with kernel children
+// under execute, an attached critical path, and a drift record.
+func TestTraceSuccessfulJobSpanTree(t *testing.T) {
+	store := obs.NewStore(16, 1, nil)
+	s := New(Config{Trace: store, Verify: true})
+	defer s.Close()
+	j, err := s.Submit(context.Background(), workload.Uniform(1, 64, 64), SubmitOptions{TraceID: "client-chosen-id"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.TraceID() != "client-chosen-id" {
+		t.Fatalf("client trace id not honoured: %q", j.TraceID())
+	}
+	if _, err := j.Wait(waitCtxTrace(t)); err != nil {
+		t.Fatal(err)
+	}
+	tr := mustStoredTrace(t, store, j)
+
+	phases := map[string]int{}
+	kernels := 0
+	for _, sp := range tr.Spans() {
+		switch sp.Kind {
+		case obs.KindPhase:
+			phases[sp.Name]++
+		case obs.KindKernel:
+			kernels++
+			if sp.Err != "" {
+				t.Fatalf("fault-free kernel span failed: %+v", sp)
+			}
+		}
+	}
+	for _, want := range []string{obs.SpanAdmission, obs.SpanQueue, obs.SpanPlan, obs.SpanBatch, obs.SpanExecute, obs.SpanVerify} {
+		if phases[want] != 1 {
+			t.Fatalf("phase %q count = %d (phases %v)", want, phases[want], phases)
+		}
+	}
+	// 64x64/b16 is a 4×4 grid: GEQRT+TSQRT panel plus updates — far more
+	// than one kernel.
+	if kernels < 10 {
+		t.Fatalf("kernels = %d, want ≥ 10", kernels)
+	}
+	cp := tr.CriticalPath()
+	if cp == nil || cp.TotalUS <= 0 || len(cp.Ops) == 0 {
+		t.Fatalf("critical path = %+v", cp)
+	}
+	// The realized chain cannot beat the execute wall clock.
+	if exec := tr.PhaseUS(obs.SpanExecute); cp.TotalUS > exec {
+		t.Fatalf("critical path %v µs exceeds execute span %v µs", cp.TotalUS, exec)
+	}
+	if tr.Attr("class") != j.Class() {
+		t.Fatalf("class attr %q != %q", tr.Attr("class"), j.Class())
+	}
+
+	drift := store.Drift()
+	if len(drift) != 1 || drift[0].Class != j.Class() || drift[0].Jobs < 1 {
+		t.Fatalf("drift = %+v", drift)
+	}
+	if drift[0].PredictedUS <= 0 || drift[0].MeasuredUS <= 0 || drift[0].DriftRatio <= 0 {
+		t.Fatalf("drift figures empty: %+v", drift[0])
+	}
+	if len(drift[0].Devices) == 0 {
+		t.Fatalf("no per-device drift: %+v", drift[0])
+	}
+}
+
+// A job that exhausts its retry budget must still produce a complete,
+// closed span tree whose root and failed kernel spans carry the typed
+// fault error.
+func TestTraceRetryBudgetExhaustedSpanTree(t *testing.T) {
+	store := obs.NewStore(16, 1, nil)
+	s := New(Config{
+		Trace:  store,
+		Faults: fault.New(fault.Config{Seed: 3, TransientRate: 1}),
+		Retry:  fault.RetryPolicy{MaxAttempts: 2, BaseDelay: time.Microsecond, MaxDelay: 10 * time.Microsecond, Budget: 2},
+	})
+	defer s.Close()
+	j, err := s.Submit(context.Background(), workload.Uniform(5, 64, 64), SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, werr := j.Wait(waitCtxTrace(t)); werr == nil {
+		t.Fatal("job with exhausted budget succeeded")
+	}
+	tr := mustStoredTrace(t, store, j)
+	if !strings.Contains(tr.Err(), "retry budget exhausted") {
+		t.Fatalf("root err %q does not carry the typed budget error", tr.Err())
+	}
+	// The failed attempts are in the tree, annotated with the fault error;
+	// retries bump the attempt counter.
+	failedKernels, retried := 0, false
+	for _, sp := range tr.Spans() {
+		if sp.Kind != obs.KindKernel {
+			continue
+		}
+		if sp.Err != "" {
+			failedKernels++
+			if !strings.Contains(sp.Err, "fault:") {
+				t.Fatalf("failed kernel span err %q is not a fault error", sp.Err)
+			}
+		}
+		if sp.Attempt > 0 {
+			retried = true
+		}
+	}
+	if failedKernels == 0 || !retried {
+		t.Fatalf("failed=%d retried=%v: retry forensics missing from trace", failedKernels, retried)
+	}
+	// Failed jobs contribute no drift samples but always land in the store.
+	if len(store.Drift()) != 0 {
+		t.Fatalf("failed job recorded drift: %+v", store.Drift())
+	}
+}
+
+// A job cancelled before execution must still finish its trace: every span
+// closed, the root tagged with the context error.
+func TestTraceCancelledJobSpanTree(t *testing.T) {
+	store := obs.NewStore(16, 1, nil)
+	s := New(Config{Trace: store})
+	defer s.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // expired before the batcher ever sees it
+	j, err := s.Submit(ctx, workload.Uniform(7, 64, 64), SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, werr := j.Wait(waitCtxTrace(t)); werr == nil {
+		t.Fatal("cancelled job succeeded")
+	}
+	tr := mustStoredTrace(t, store, j)
+	if !strings.Contains(tr.Err(), "context canceled") {
+		t.Fatalf("root err %q does not carry the context error", tr.Err())
+	}
+	// The queue span is the one that observed the cancellation.
+	for _, sp := range tr.Spans() {
+		if sp.Kind == obs.KindPhase && sp.Name == obs.SpanQueue && sp.Err == "" {
+			t.Fatalf("queue span unmarked on a queue-expired job: %+v", sp)
+		}
+	}
+}
+
+// X-Trace-Id must round-trip through the HTTP layer and key /traces/{id}.
+func TestHTTPTracePropagation(t *testing.T) {
+	store := obs.NewStore(16, 1, nil)
+	s := New(Config{Trace: store, Metrics: metrics.NewRegistry()})
+	defer s.Close()
+	h := s.Handler("")
+
+	body := `{"rows":64,"cols":64,"seed":42}`
+	req := httptest.NewRequest("POST", "/jobs", strings.NewReader(body))
+	req.Header.Set("X-Trace-Id", "req-7f3a")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != 202 {
+		t.Fatalf("submit status %d: %s", rec.Code, rec.Body)
+	}
+	traceID := rec.Header().Get("X-Trace-Id")
+	if traceID != "req-7f3a" {
+		t.Fatalf("X-Trace-Id = %q, want request id echoed", traceID)
+	}
+	if !strings.Contains(rec.Body.String(), `"traceID": "req-7f3a"`) &&
+		!strings.Contains(rec.Body.String(), `"traceID":"req-7f3a"`) {
+		t.Fatalf("submit body lacks traceID: %s", rec.Body)
+	}
+
+	j, ok := s.Lookup(1)
+	if !ok {
+		t.Fatal("job 1 not found")
+	}
+	if _, err := j.Wait(waitCtxTrace(t)); err != nil {
+		t.Fatal(err)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/traces/"+traceID, nil))
+	if rec.Code != 200 {
+		t.Fatalf("/traces/%s status %d: %s", traceID, rec.Code, rec.Body)
+	}
+	for _, want := range []string{`"admission"`, `"queue"`, `"execute"`, `"criticalPath"`} {
+		if !strings.Contains(rec.Body.String(), want) {
+			t.Fatalf("/traces/{id} missing %s: %s", want, rec.Body)
+		}
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/drift", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), `"driftRatio"`) {
+		t.Fatalf("/drift status %d: %s", rec.Code, rec.Body)
+	}
+	// A hostile header is replaced, not echoed.
+	req = httptest.NewRequest("POST", "/jobs", strings.NewReader(body))
+	req.Header.Set("X-Trace-Id", "evil{injection}\n")
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if got := rec.Header().Get("X-Trace-Id"); got == "" || strings.ContainsAny(got, "{}\n") {
+		t.Fatalf("hostile trace id echoed: %q", got)
+	}
+}

@@ -263,3 +263,56 @@ func TestWriteCSV(t *testing.T) {
 		t.Fatalf("row 2 = %v", rows[2])
 	}
 }
+
+// Every export path must be safe to run while workers are still recording:
+// exports snapshot the event slice under the lock (Events), so a live
+// qrmon/qrserve endpoint can render a trace mid-run. Run with -race.
+func TestExportWhileRecording(t *testing.T) {
+	r := NewRecorder()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				start := r.Now()
+				r.Add(Event{
+					Label: "GEQRT[0]", Step: "T",
+					Worker: "w" + string(rune('0'+w)),
+					Start:  start, End: start + time.Microsecond,
+				})
+			}
+		}(w)
+	}
+	for i := 0; i < 200; i++ {
+		if r.Events() == nil {
+			t.Fatal("nil events from live recorder")
+		}
+		_ = r.Summarize()
+		_ = r.Gantt(40)
+		var buf bytes.Buffer
+		if err := r.WriteChromeTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+		buf.Reset()
+		if err := r.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	// The snapshot invariant: exports sorted a copy, never the live slice,
+	// so a final Events call still sees a consistent, sorted view.
+	evs := r.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Start < evs[i-1].Start {
+			t.Fatalf("events unsorted at %d", i)
+		}
+	}
+}
