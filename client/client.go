@@ -1,0 +1,526 @@
+// Package client is the typed Go SDK for the QR job service: it speaks the
+// HTTP API of both qrserve workers and the qrrouter front end (the two are
+// wire-compatible), with the retry discipline a production caller needs
+// baked in — capped-exponential jittered backoff that honours Retry-After,
+// context-aware cancellation everywhere, idempotency keys on submission,
+// and X-Trace-Id propagation so a client-side id follows the job through
+// every server hop and into /traces.
+//
+// The verbs:
+//
+//	c, _ := client.New(client.Config{BaseURL: "http://localhost:8080"})
+//	job, err := c.Submit(ctx, client.JobSpec{Rows: 512, Cols: 512, Seed: 1})
+//	res, err := job.Wait(ctx)                  // poll to terminal, fetch R
+//	res, err := c.Factor(ctx, spec)            // Submit + Wait in one call
+//	out := c.Stream(ctx, specs, 8)             // bounded-concurrency pipeline
+//
+// Error taxonomy: sentinel errors (ErrDuplicate, ErrOverloaded, ErrNotFound,
+// ErrNotDone) match with errors.Is through the typed *APIError, and a job
+// that reached a terminal failure surfaces as *JobError with the server's
+// Retryable verdict (HTTP 503 + Retry-After on the result endpoint means
+// "resubmit", not "the input was bad").
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Sentinel errors, matched with errors.Is against everything the client
+// returns.
+var (
+	// ErrDuplicate: the submission's idempotency key is already taken (HTTP
+	// 409). Submit additionally returns a handle to the existing job.
+	ErrDuplicate = errors.New("client: duplicate job id")
+	// ErrOverloaded: admission kept refusing with 429 past the retry budget.
+	ErrOverloaded = errors.New("client: server overloaded")
+	// ErrNotFound: the job id is unknown to the server (HTTP 404).
+	ErrNotFound = errors.New("client: job not found")
+	// ErrNotDone: the result was requested before the job finished.
+	ErrNotDone = errors.New("client: job not finished")
+)
+
+// APIError is a non-2xx server response.
+type APIError struct {
+	// Code is the HTTP status.
+	Code int
+	// Message is the server's error body.
+	Message string
+	// RetryAfter is the parsed Retry-After hint (0 when absent).
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("client: server returned %d: %s", e.Code, e.Message)
+}
+
+// Is maps status codes onto the sentinel errors.
+func (e *APIError) Is(target error) bool {
+	switch target {
+	case ErrDuplicate:
+		return e.Code == http.StatusConflict
+	case ErrOverloaded:
+		return e.Code == http.StatusTooManyRequests
+	case ErrNotFound:
+		return e.Code == http.StatusNotFound
+	}
+	return false
+}
+
+// JobError is a job that reached a terminal failure on the server.
+type JobError struct {
+	ID      string
+	Message string
+	// Retryable: the server judged the failure transient (exhausted retry
+	// budget, lost device) — resubmitting the same input should succeed.
+	Retryable bool
+	// RetryAfter is the server's resubmission hint when Retryable.
+	RetryAfter time.Duration
+}
+
+func (e *JobError) Error() string {
+	if e.Retryable {
+		return fmt.Sprintf("client: job %s failed (retryable, resubmit after %v): %s", e.ID, e.RetryAfter, e.Message)
+	}
+	return fmt.Sprintf("client: job %s failed: %s", e.ID, e.Message)
+}
+
+// RetryPolicy is capped exponential backoff with full jitter. A server's
+// Retry-After always overrides the computed delay.
+type RetryPolicy struct {
+	// MaxAttempts bounds tries per request (first try included). Default 4.
+	MaxAttempts int
+	// BaseDelay seeds the exponential schedule (default 50ms); MaxDelay
+	// caps it (default 2s).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+}
+
+func (p RetryPolicy) normalize() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	return p
+}
+
+// delay computes the wait before attempt (0-based) number attempt+1.
+func (p RetryPolicy) delay(attempt int, hint time.Duration, rng *rand.Rand) time.Duration {
+	if hint > 0 {
+		if hint > p.MaxDelay {
+			return p.MaxDelay
+		}
+		return hint
+	}
+	d := p.BaseDelay << uint(attempt)
+	if d > p.MaxDelay || d <= 0 {
+		d = p.MaxDelay
+	}
+	// Full jitter: uniform in (0, d] — decorrelates a retrying fleet.
+	return time.Duration(rng.Int63n(int64(d))) + 1
+}
+
+// Config configures a Client.
+type Config struct {
+	// BaseURL roots the API, e.g. "http://localhost:8080" — a qrserve
+	// worker or a qrrouter front end.
+	BaseURL string
+	// HTTPClient overrides the transport (default: http.Client with a 30s
+	// overall timeout; per-call contexts cut it shorter).
+	HTTPClient *http.Client
+	// Retry tunes the backoff schedule for 429/503/transport errors.
+	Retry RetryPolicy
+	// PollInterval is Wait's initial status-poll spacing (default 5ms; it
+	// backs off to 50× that as the job keeps running).
+	PollInterval time.Duration
+}
+
+// Client is a QR job service client. Safe for concurrent use.
+type Client struct {
+	base  string
+	hc    *http.Client
+	retry RetryPolicy
+	poll  time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// New validates cfg and returns a client.
+func New(cfg Config) (*Client, error) {
+	base := strings.TrimRight(cfg.BaseURL, "/")
+	if base == "" {
+		return nil, errors.New("client: BaseURL required")
+	}
+	if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
+		return nil, fmt.Errorf("client: BaseURL %q must be http(s)", cfg.BaseURL)
+	}
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = &http.Client{Timeout: 30 * time.Second}
+	}
+	poll := cfg.PollInterval
+	if poll <= 0 {
+		poll = 5 * time.Millisecond
+	}
+	return &Client{
+		base:  base,
+		hc:    hc,
+		retry: cfg.Retry.normalize(),
+		poll:  poll,
+		rng:   rand.New(rand.NewSource(time.Now().UnixNano())),
+	}, nil
+}
+
+// JobSpec describes one factorization submission.
+type JobSpec struct {
+	// ID is an optional idempotency key: resubmitting the same key can
+	// never double-accept the job (the server answers 409, which Submit
+	// folds into ErrDuplicate + a handle to the existing job).
+	ID string
+	// Rows×Cols is the matrix shape; Tile and Tree default server-side.
+	Rows, Cols int
+	Tile       int
+	Tree       string
+	// Data is the row-major payload; when nil the server generates the
+	// reproducible workload.Uniform(Seed) matrix instead.
+	Data []float64
+	Seed int64
+	// Timeout imposes a per-job deadline measured from admission.
+	Timeout time.Duration
+	// TraceID proposes the X-Trace-Id (server mints one when empty or
+	// invalid; the effective id comes back on the Job handle).
+	TraceID string
+}
+
+// Status is a job's server-side view.
+type Status struct {
+	ID        string  `json:"id"`
+	ClientID  string  `json:"clientID"`
+	Status    string  `json:"status"`
+	Class     string  `json:"class"`
+	TraceID   string  `json:"traceID"`
+	Error     string  `json:"error"`
+	ElapsedMS float64 `json:"elapsedMS"`
+	Recovered bool    `json:"recovered"`
+}
+
+// Terminal reports whether the job has finished either way.
+func (s Status) Terminal() bool { return s.Status == "done" || s.Status == "failed" }
+
+// Result is a completed factorization's R factor.
+type Result struct {
+	ID   string      `json:"id"`
+	Rows int         `json:"rows"`
+	Cols int         `json:"cols"`
+	R    [][]float64 `json:"r"`
+}
+
+// Job is a submitted job's handle.
+type Job struct {
+	c *Client
+	// ID is the id the server knows the job by (the idempotency key when
+	// one was supplied, the server-assigned id otherwise).
+	ID string
+	// TraceID is the effective X-Trace-Id (follow it at /traces/{id}).
+	TraceID string
+	// Class is the server's size-class key for the job.
+	Class string
+}
+
+// Wait blocks until the job finishes, then returns its R factor.
+func (j *Job) Wait(ctx context.Context) (*Result, error) { return j.c.Wait(ctx, j.ID) }
+
+// Status fetches the job's current state.
+func (j *Job) Status(ctx context.Context) (Status, error) { return j.c.Status(ctx, j.ID) }
+
+// Submit sends one factorization request, retrying transparently through
+// overload (429 + Retry-After) and transport failures. On ErrDuplicate the
+// returned handle refers to the existing job with that id, so an idempotent
+// resubmission can switch straight to Wait.
+func (c *Client) Submit(ctx context.Context, spec JobSpec) (*Job, error) {
+	body := map[string]any{"rows": spec.Rows, "cols": spec.Cols}
+	if spec.ID != "" {
+		body["id"] = spec.ID
+	}
+	if spec.Tile > 0 {
+		body["tile"] = spec.Tile
+	}
+	if spec.Tree != "" {
+		body["tree"] = spec.Tree
+	}
+	if spec.Data != nil {
+		body["data"] = spec.Data
+	} else {
+		body["seed"] = spec.Seed
+	}
+	if spec.Timeout > 0 {
+		body["timeoutMS"] = int(spec.Timeout / time.Millisecond)
+	}
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return nil, fmt.Errorf("client: encode submission: %w", err)
+	}
+	hdr := http.Header{}
+	if spec.TraceID != "" {
+		hdr.Set("X-Trace-Id", spec.TraceID)
+	}
+	var st Status
+	resp, err := c.do(ctx, http.MethodPost, "/jobs", payload, hdr, &st)
+	if err != nil {
+		var apiErr *APIError
+		if errors.As(err, &apiErr) && apiErr.Code == http.StatusConflict {
+			// The id is taken — hand back the existing job so the caller
+			// can poll it. The 409 body carries its status when resolvable.
+			j := &Job{c: c, ID: spec.ID, TraceID: st.TraceID, Class: st.Class}
+			if j.ID == "" {
+				j.ID = st.ID
+			}
+			return j, fmt.Errorf("%w: %q", ErrDuplicate, spec.ID)
+		}
+		return nil, err
+	}
+	id := st.ClientID
+	if id == "" {
+		id = st.ID
+	}
+	return &Job{c: c, ID: id, TraceID: resp.Header.Get("X-Trace-Id"), Class: st.Class}, nil
+}
+
+// Status fetches a job's state by id.
+func (c *Client) Status(ctx context.Context, id string) (Status, error) {
+	var st Status
+	_, err := c.do(ctx, http.MethodGet, "/jobs/"+id, nil, nil, &st)
+	return st, err
+}
+
+// Result fetches a completed job's R factor. ErrNotDone while the job is
+// still queued or running; *JobError when it failed.
+func (c *Client) Result(ctx context.Context, id string) (*Result, error) {
+	var res Result
+	_, err := c.do(ctx, http.MethodGet, "/jobs/"+id+"/result", nil, nil, &res)
+	if err != nil {
+		var apiErr *APIError
+		if errors.As(err, &apiErr) {
+			switch apiErr.Code {
+			case http.StatusConflict:
+				return nil, fmt.Errorf("%w: %s", ErrNotDone, id)
+			case http.StatusUnprocessableEntity:
+				return nil, &JobError{ID: id, Message: apiErr.Message}
+			case http.StatusServiceUnavailable:
+				return nil, &JobError{ID: id, Message: apiErr.Message, Retryable: true, RetryAfter: apiErr.RetryAfter}
+			}
+		}
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Wait polls a job to a terminal state (context-bounded), then returns its
+// result. The poll spacing starts at Config.PollInterval and backs off.
+func (c *Client) Wait(ctx context.Context, id string) (*Result, error) {
+	interval := c.poll
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if st.Terminal() {
+			if st.Status == "failed" && st.Error != "" {
+				// The result endpoint distinguishes retryable failures;
+				// fetch it for the typed error.
+				_, rerr := c.Result(ctx, id)
+				var je *JobError
+				if errors.As(rerr, &je) {
+					return nil, je
+				}
+				return nil, &JobError{ID: id, Message: st.Error}
+			}
+			return c.Result(ctx, id)
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(interval):
+		}
+		if interval < 50*c.poll {
+			interval += interval / 2
+		}
+	}
+}
+
+// Factor is Submit + Wait: one call from matrix spec to R factor.
+func (c *Client) Factor(ctx context.Context, spec JobSpec) (*Result, error) {
+	j, err := c.Submit(ctx, spec)
+	if err != nil && !errors.Is(err, ErrDuplicate) {
+		return nil, err
+	}
+	return j.Wait(ctx)
+}
+
+// Outcome is one Stream element: the spec with its job's final disposition.
+type Outcome struct {
+	Spec   JobSpec
+	Job    *Job
+	Result *Result
+	Err    error
+}
+
+// Stream pushes a stream of specs through the service with bounded
+// concurrency, delivering one Outcome per spec (order not guaranteed). The
+// returned channel closes when specs is closed and every in-flight job has
+// finished, or when ctx fires.
+func (c *Client) Stream(ctx context.Context, specs <-chan JobSpec, concurrency int) <-chan Outcome {
+	if concurrency <= 0 {
+		concurrency = 4
+	}
+	out := make(chan Outcome)
+	var wg sync.WaitGroup
+	for i := 0; i < concurrency; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				var spec JobSpec
+				var ok bool
+				select {
+				case <-ctx.Done():
+					return
+				case spec, ok = <-specs:
+					if !ok {
+						return
+					}
+				}
+				o := Outcome{Spec: spec}
+				o.Job, o.Err = c.Submit(ctx, spec)
+				if o.Err == nil || errors.Is(o.Err, ErrDuplicate) {
+					o.Result, o.Err = o.Job.Wait(ctx)
+				}
+				select {
+				case out <- o:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() { wg.Wait(); close(out) }()
+	return out
+}
+
+// do performs one API call with the retry policy: 429 and 503 responses
+// (honouring Retry-After) and transport errors are retried with jittered
+// backoff; other failures return immediately as *APIError. On success the
+// body is decoded into v when v is non-nil.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, hdr http.Header, v any) (*http.Response, error) {
+	var lastErr error
+	for attempt := 0; attempt < c.retry.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			var hint time.Duration
+			var apiErr *APIError
+			if errors.As(lastErr, &apiErr) {
+				hint = apiErr.RetryAfter
+			}
+			c.mu.Lock()
+			d := c.retry.delay(attempt-1, hint, c.rng)
+			c.mu.Unlock()
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(d):
+			}
+		}
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+		if err != nil {
+			return nil, fmt.Errorf("client: build request: %w", err)
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		for k, vs := range hdr {
+			for _, h := range vs {
+				req.Header.Add(k, h)
+			}
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			lastErr = fmt.Errorf("client: %s %s: %w", method, path, err)
+			continue // transport error: retry
+		}
+		if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+			if v != nil {
+				err := json.NewDecoder(resp.Body).Decode(v)
+				resp.Body.Close()
+				if err != nil {
+					return nil, fmt.Errorf("client: decode %s %s: %w", method, path, err)
+				}
+			} else {
+				resp.Body.Close()
+			}
+			return resp, nil
+		}
+		apiErr := readAPIError(resp, v)
+		lastErr = apiErr
+		if apiErr.Code == http.StatusTooManyRequests || apiErr.Code == http.StatusServiceUnavailable {
+			continue // backpressure: honour Retry-After and try again
+		}
+		return nil, apiErr
+	}
+	var apiErr *APIError
+	if errors.As(lastErr, &apiErr) && apiErr.Code == http.StatusTooManyRequests {
+		return nil, fmt.Errorf("%w after %d attempts: %v", ErrOverloaded, c.retry.MaxAttempts, lastErr)
+	}
+	return nil, fmt.Errorf("client: giving up after %d attempts: %w", c.retry.MaxAttempts, lastErr)
+}
+
+// readAPIError drains a non-2xx response into an *APIError. When v is
+// non-nil the body is also decoded into it — some error responses (409)
+// carry the existing job's status alongside the refusal.
+func readAPIError(resp *http.Response, v any) *APIError {
+	defer resp.Body.Close()
+	apiErr := &APIError{Code: resp.StatusCode}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+			apiErr.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	b, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		apiErr.Message = "unreadable error body"
+		return apiErr
+	}
+	var em struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(b, &em) == nil && em.Error != "" {
+		apiErr.Message = em.Error
+	} else {
+		apiErr.Message = strings.TrimSpace(string(b))
+	}
+	if v != nil {
+		_ = json.Unmarshal(b, v)
+	}
+	return apiErr
+}

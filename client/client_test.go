@@ -1,0 +1,270 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/client"
+	"repro/internal/runtime"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+// newServer spins up a real serve.Server behind httptest and a client
+// pointed at it — the integration harness every test here shares.
+func newServer(t *testing.T, cfg serve.Config) (*httptest.Server, *client.Client) {
+	t.Helper()
+	s := serve.New(cfg)
+	ts := httptest.NewServer(s.Handler(""))
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	c, err := client.New(client.Config{BaseURL: ts.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts, c
+}
+
+func testCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestClientFactorMatchesDirect(t *testing.T) {
+	_, c := newServer(t, serve.Config{})
+	res, err := c.Factor(testCtx(t), client.JobSpec{Rows: 64, Cols: 48, Seed: 7})
+	if err != nil {
+		t.Fatalf("Factor: %v", err)
+	}
+	direct, err := runtime.Factor(workload.Uniform(7, 64, 48), runtime.Options{TileSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := direct.R()
+	if res.Rows != r.Rows || res.Cols != r.Cols {
+		t.Fatalf("shape %dx%d, want %dx%d", res.Rows, res.Cols, r.Rows, r.Cols)
+	}
+	for i := 0; i < r.Rows; i++ {
+		for j := 0; j < r.Cols; j++ {
+			if res.R[i][j] != r.At(i, j) {
+				t.Fatalf("R[%d][%d] = %g, want %g", i, j, res.R[i][j], r.At(i, j))
+			}
+		}
+	}
+}
+
+func TestClientSubmitStatusWait(t *testing.T) {
+	_, c := newServer(t, serve.Config{})
+	ctx := testCtx(t)
+	job, err := c.Submit(ctx, client.JobSpec{Rows: 32, Cols: 32, Seed: 3, TraceID: "trace-sdk-1"})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if job.TraceID != "trace-sdk-1" {
+		t.Fatalf("trace id %q not propagated", job.TraceID)
+	}
+	if job.Class == "" {
+		t.Fatal("class missing from submit response")
+	}
+	if _, err := job.Wait(ctx); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	st, err := c.Status(ctx, job.ID)
+	if err != nil {
+		t.Fatalf("Status: %v", err)
+	}
+	if !st.Terminal() || st.Status != "done" {
+		t.Fatalf("status = %+v, want done", st)
+	}
+	if st.TraceID != "trace-sdk-1" {
+		t.Fatalf("status trace id = %q", st.TraceID)
+	}
+}
+
+func TestClientInlineData(t *testing.T) {
+	_, c := newServer(t, serve.Config{})
+	data := make([]float64, 32*32)
+	for i := range data {
+		data[i] = float64(i%5) - 2
+	}
+	res, err := c.Factor(testCtx(t), client.JobSpec{Rows: 32, Cols: 32, Data: data})
+	if err != nil {
+		t.Fatalf("Factor with inline data: %v", err)
+	}
+	if res.Rows != 32 || res.Cols != 32 {
+		t.Fatalf("shape %dx%d", res.Rows, res.Cols)
+	}
+}
+
+func TestClientIdempotencyKey(t *testing.T) {
+	_, c := newServer(t, serve.Config{})
+	ctx := testCtx(t)
+	j1, err := c.Submit(ctx, client.JobSpec{ID: "idem-1", Rows: 32, Cols: 32, Seed: 1})
+	if err != nil {
+		t.Fatalf("first submit: %v", err)
+	}
+	// The resubmission is refused but still returns a usable handle to the
+	// existing job — the caller can go straight to Wait.
+	j2, err := c.Submit(ctx, client.JobSpec{ID: "idem-1", Rows: 32, Cols: 32, Seed: 99})
+	if !errors.Is(err, client.ErrDuplicate) {
+		t.Fatalf("second submit: got %v, want ErrDuplicate", err)
+	}
+	if j2 == nil || j2.ID != "idem-1" {
+		t.Fatalf("duplicate handle = %+v, want id idem-1", j2)
+	}
+	r1, err := j1.Wait(ctx)
+	if err != nil {
+		t.Fatalf("wait first: %v", err)
+	}
+	r2, err := j2.Wait(ctx)
+	if err != nil {
+		t.Fatalf("wait duplicate handle: %v", err)
+	}
+	// Both handles resolve to the one job: bit-identical results.
+	for i := range r1.R {
+		for k := range r1.R[i] {
+			if r1.R[i][k] != r2.R[i][k] {
+				t.Fatal("duplicate handle returned a different result")
+			}
+		}
+	}
+}
+
+func TestClientNotFound(t *testing.T) {
+	_, c := newServer(t, serve.Config{})
+	if _, err := c.Status(testCtx(t), "no-such-job"); !errors.Is(err, client.ErrNotFound) {
+		t.Fatalf("got %v, want ErrNotFound", err)
+	}
+	var apiErr *client.APIError
+	_, err := c.Result(testCtx(t), "no-such-job")
+	if !errors.As(err, &apiErr) || apiErr.Code != http.StatusNotFound {
+		t.Fatalf("result: got %v, want 404 APIError", err)
+	}
+}
+
+func TestClientResultNotDone(t *testing.T) {
+	// A job stuck behind a long one: its result request must say "not
+	// finished", not fabricate an answer.
+	_, c := newServer(t, serve.Config{Executors: 1, Workers: 1, QueueCapacity: 8})
+	ctx := testCtx(t)
+	if _, err := c.Submit(ctx, client.JobSpec{ID: "long", Rows: 512, Cols: 512, Seed: 1}); err != nil {
+		t.Fatalf("submit long: %v", err)
+	}
+	job, err := c.Submit(ctx, client.JobSpec{ID: "queued", Rows: 512, Cols: 512, Seed: 2})
+	if err != nil {
+		t.Fatalf("submit queued: %v", err)
+	}
+	if _, err := c.Result(ctx, "queued"); !errors.Is(err, client.ErrNotDone) {
+		t.Fatalf("got %v, want ErrNotDone", err)
+	}
+	if _, err := job.Wait(ctx); err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+}
+
+// TestClientRetriesBackpressure: the client absorbs 429s (honouring
+// Retry-After) without surfacing them to the caller, and gives up with
+// ErrOverloaded only past the attempt budget.
+func TestClientRetriesBackpressure(t *testing.T) {
+	var rejects atomic.Int64
+	upstream := serve.New(serve.Config{})
+	defer upstream.Close()
+	inner := upstream.Handler("")
+	// A shim that refuses the first two submissions the way an overloaded
+	// server would, then forwards — deterministic backpressure without
+	// having to time a real queue overflow.
+	shim := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && rejects.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, `{"error":"queue full"}`, http.StatusTooManyRequests)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(shim)
+	defer ts.Close()
+
+	c, err := client.New(client.Config{
+		BaseURL: ts.URL,
+		Retry:   client.RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Factor(testCtx(t), client.JobSpec{Rows: 32, Cols: 32, Seed: 4}); err != nil {
+		t.Fatalf("Factor through backpressure: %v", err)
+	}
+	if got := rejects.Load(); got < 3 {
+		t.Fatalf("shim saw %d submissions, want ≥ 3 (two rejected, one through)", got)
+	}
+
+	// An always-429 server exhausts the budget into ErrOverloaded.
+	always := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "0")
+		http.Error(w, `{"error":"queue full"}`, http.StatusTooManyRequests)
+	}))
+	defer always.Close()
+	c2, err := client.New(client.Config{
+		BaseURL: always.URL,
+		Retry:   client.RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Submit(testCtx(t), client.JobSpec{Rows: 8, Cols: 8}); !errors.Is(err, client.ErrOverloaded) {
+		t.Fatalf("got %v, want ErrOverloaded", err)
+	}
+}
+
+func TestClientContextCancellation(t *testing.T) {
+	_, c := newServer(t, serve.Config{Executors: 1, Workers: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	job, err := c.Submit(ctx, client.JobSpec{Rows: 512, Cols: 512, Seed: 9})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	cancel()
+	if _, err := job.Wait(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait after cancel: got %v, want context.Canceled", err)
+	}
+}
+
+func TestClientStream(t *testing.T) {
+	_, c := newServer(t, serve.Config{})
+	ctx := testCtx(t)
+	const n = 12
+	specs := make(chan client.JobSpec, n)
+	for i := 0; i < n; i++ {
+		specs <- client.JobSpec{ID: fmt.Sprintf("stream-%d", i), Rows: 32, Cols: 32, Seed: int64(i)}
+	}
+	close(specs)
+	got := map[string]bool{}
+	for out := range c.Stream(ctx, specs, 4) {
+		if out.Err != nil {
+			t.Fatalf("stream job %s: %v", out.Spec.ID, out.Err)
+		}
+		if out.Result == nil || out.Result.Rows != 32 {
+			t.Fatalf("stream job %s: bad result", out.Spec.ID)
+		}
+		got[out.Spec.ID] = true
+	}
+	if len(got) != n {
+		t.Fatalf("stream delivered %d outcomes, want %d", len(got), n)
+	}
+}
+
+func TestClientBadConfig(t *testing.T) {
+	if _, err := client.New(client.Config{}); err == nil {
+		t.Fatal("empty BaseURL accepted")
+	}
+	if _, err := client.New(client.Config{BaseURL: "ftp://x"}); err == nil {
+		t.Fatal("non-http BaseURL accepted")
+	}
+}

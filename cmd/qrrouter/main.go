@@ -1,0 +1,243 @@
+// Command qrrouter fronts a fleet of qrserve workers: one submission
+// endpoint that shards jobs across workers by size-class consistent
+// hashing, health-checks the fleet, walks past backpressured workers
+// (429 + Retry-After), and re-dispatches the jobs of a dead worker so an
+// accepted job is never lost.
+//
+// Endpoints (wire-compatible with a single qrserve, so clients need not
+// know they are talking to a fleet):
+//
+//	POST /jobs               submit; routed by the job's size class
+//	GET  /jobs/{id}          status, proxied from the owning worker
+//	GET  /jobs/{id}/result   the R factor, proxied from the owning worker
+//	GET  /workers            per-worker health and dispatch counts
+//	/metrics, /debug/vars, /healthz, /buildinfo   shared observability
+//
+// Usage:
+//
+//	qrrouter -workers http://h1:8080,http://h2:8080 -http :8090
+//	qrrouter -workers ... -selftest -jobs 200        # closed-loop load +
+//	                                                 # verification through
+//	                                                 # the client SDK
+//
+// The selftest drives seeded jobs through the router with repro/client,
+// waits for every one, and verifies results against a direct in-process
+// factorization — the zero-lost-jobs check used by the multi-process e2e
+// (scripts/router_e2e.sh), which SIGKILLs a worker mid-load.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/client"
+	"repro/internal/metrics"
+	"repro/internal/router"
+	"repro/internal/runtime"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("qrrouter: ")
+	var (
+		httpAddr = flag.String("http", ":8090", "serve the routing API on this address")
+		workers  = flag.String("workers", "", "comma-separated qrserve base URLs (required)")
+		vnodes   = flag.Int("vnodes", 64, "virtual nodes per worker on the hash ring")
+		health   = flag.Duration("health", 250*time.Millisecond, "worker health-probe interval")
+		deadN    = flag.Int("dead-after", 2, "consecutive probe failures before a worker is dead")
+		tile     = flag.Int("b", 16, "default tile size for class keys (must match the workers')")
+		retain   = flag.Int("retain", 8192, "tracked jobs kept for failover/lookup")
+		logMode  = flag.String("log", "", "structured routing logs to stderr: text|json (default off)")
+		selftest = flag.Bool("selftest", false, "drive a closed-loop verified load through the router, then exit")
+		jobs     = flag.Int("jobs", 200, "selftest: job count")
+		clients  = flag.Int("clients", 8, "selftest: concurrent submitters")
+		verify   = flag.Int("verify", 1, "selftest: verify every Nth result against direct Factor")
+	)
+	flag.Parse()
+
+	urls := splitWorkers(*workers)
+	if len(urls) == 0 {
+		log.Fatal("-workers is required (comma-separated qrserve URLs)")
+	}
+	reg := metrics.NewRegistry()
+	cfg := router.Config{
+		Workers:        urls,
+		VirtualNodes:   *vnodes,
+		HealthInterval: *health,
+		DeadAfter:      *deadN,
+		DefaultTile:    *tile,
+		Retain:         *retain,
+		Metrics:        reg,
+	}
+	switch *logMode {
+	case "":
+	case "text":
+		cfg.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	case "json":
+		cfg.Logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	default:
+		log.Fatalf("unknown -log %q (valid: text, json)", *logMode)
+	}
+
+	r, err := router.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", *httpAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: r.Handler("qrrouter")}
+	// The resolved address (not the flag value) so `-http 127.0.0.1:0`
+	// callers — tests, scripts probing for a free port — can find us.
+	fmt.Printf("routing on http://%s across %d worker(s) (POST /jobs, /workers, /metrics, /healthz)\n",
+		ln.Addr(), len(urls))
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	if *selftest {
+		err := runSelftest("http://"+ln.Addr().String(), *jobs, *clients, *verify, *tile)
+		_ = srv.Close()
+		r.Close()
+		fmt.Println("final metrics:")
+		_ = reg.WriteTable(os.Stdout)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("selftest ok")
+		return
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		log.Fatal(err)
+	case got := <-sig:
+		fmt.Printf("\n%s: shutting down\n", got)
+		_ = srv.Close()
+		r.Close()
+		fmt.Println("final metrics:")
+		_ = reg.WriteTable(os.Stdout)
+		fmt.Println("bye")
+	}
+}
+
+func splitWorkers(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, strings.TrimRight(part, "/"))
+		}
+	}
+	return out
+}
+
+// runSelftest pushes jobs seeded, mixed-class jobs through the router with
+// the client SDK and verifies every Nth result against a direct in-process
+// factorization. Any lost job, failed job, or result mismatch is fatal —
+// this is the invariant the multi-process kill test leans on.
+func runSelftest(baseURL string, jobs, clients, verify, tile int) error {
+	c, err := client.New(client.Config{
+		BaseURL: baseURL,
+		Retry:   client.RetryPolicy{MaxAttempts: 10, BaseDelay: 20 * time.Millisecond, MaxDelay: 2 * time.Second},
+	})
+	if err != nil {
+		return err
+	}
+	// A handful of classes so the load shards across workers while each
+	// worker still sees batchable repeats.
+	shapes := []struct{ rows, cols int }{{64, 64}, {96, 64}, {128, 128}, {192, 128}}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+
+	specs := make(chan client.JobSpec, clients)
+	go func() {
+		defer close(specs)
+		for i := 0; i < jobs; i++ {
+			sh := shapes[i%len(shapes)]
+			select {
+			case specs <- client.JobSpec{
+				ID:   fmt.Sprintf("st-%d", i),
+				Rows: sh.rows, Cols: sh.cols, Tile: tile, Seed: int64(i),
+			}:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	type verr struct {
+		id  string
+		err error
+	}
+	var (
+		mu        sync.Mutex
+		completed int
+		verified  int
+		failures  []verr
+	)
+	start := time.Now()
+	i := 0
+	for out := range c.Stream(ctx, specs, clients) {
+		i++
+		if out.Err != nil {
+			mu.Lock()
+			failures = append(failures, verr{out.Spec.ID, out.Err})
+			mu.Unlock()
+			continue
+		}
+		completed++
+		if verify > 0 && i%verify == 0 {
+			if err := verifyResult(out.Spec, out.Result); err != nil {
+				failures = append(failures, verr{out.Spec.ID, err})
+				continue
+			}
+			verified++
+		}
+	}
+	fmt.Printf("selftest: %d submitted, %d completed, %d verified in %v\n",
+		jobs, completed, verified, time.Since(start).Round(time.Millisecond))
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Printf("  LOST/FAILED %s: %v\n", f.id, f.err)
+		}
+		return fmt.Errorf("selftest: %d of %d jobs lost or wrong", len(failures), jobs)
+	}
+	if completed != jobs {
+		return fmt.Errorf("selftest: %d of %d jobs unaccounted for", jobs-completed, jobs)
+	}
+	return nil
+}
+
+func verifyResult(spec client.JobSpec, res *client.Result) error {
+	direct, err := runtime.Factor(workload.Uniform(spec.Seed, spec.Rows, spec.Cols),
+		runtime.Options{TileSize: spec.Tile})
+	if err != nil {
+		return fmt.Errorf("direct factor: %w", err)
+	}
+	r := direct.R()
+	if res.Rows != r.Rows || res.Cols != r.Cols {
+		return fmt.Errorf("result shape %dx%d, want %dx%d", res.Rows, res.Cols, r.Rows, r.Cols)
+	}
+	for i := 0; i < r.Rows; i++ {
+		for j := 0; j < r.Cols; j++ {
+			if res.R[i][j] != r.At(i, j) {
+				return fmt.Errorf("R[%d][%d] = %g, want %g (bit-identical)", i, j, res.R[i][j], r.At(i, j))
+			}
+		}
+	}
+	return nil
+}

@@ -19,6 +19,9 @@
 //
 //	qrserve -http :8080                    # serve until SIGINT/SIGTERM, then drain
 //	qrserve -http :8080 -queue 256 -executors 4
+//	qrserve -http :8080 -store /var/lib/qrserve
+//	                                       # durable: accepted jobs are fsynced to a
+//	                                       # WAL and replayed after a crash/restart
 //	qrserve -selftest                      # 200-job closed-loop run + invariant checks
 //	qrserve -selftest -jobs 1000 -clients 16
 //	qrserve -selftest -chaos               # the same run under injected faults:
@@ -52,6 +55,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/serve"
+	"repro/internal/store"
 )
 
 func main() {
@@ -76,10 +80,15 @@ func main() {
 		traceCap  = flag.Int("trace-cap", 256, "finished job traces retained for /traces")
 		traceSmp  = flag.Int("trace-sample", 1, "keep 1 in N successful traces (failures always kept)")
 		logMode   = flag.String("log", "", "structured job logs to stderr: text|json (default off)")
+		storeDir  = flag.String("store", "", "durable job store directory (empty = in-memory only)")
+		storeSync = flag.Bool("store-fsync", true, "fsync the store WAL on job acceptance")
 	)
 	flag.Parse()
 	if *chaos && !*selftest {
 		log.Fatal("-chaos requires -selftest")
+	}
+	if *storeDir != "" && *selftest {
+		log.Fatal("-store is for serving; the selftest is in-memory")
 	}
 
 	reg := metrics.NewRegistry()
@@ -122,7 +131,24 @@ func main() {
 		return
 	}
 
+	// With -store, accepted jobs are fsynced to an append-only WAL before
+	// admission returns, and a restart on the same directory replays every
+	// accepted-but-unfinished job — a crash costs a re-execution, never a
+	// lost job.
+	var fs store.FileStore
+	if *storeDir != "" {
+		var err error
+		fs, err = store.NewFile(*storeDir, store.FileOptions{Fsync: *storeSync, Metrics: reg})
+		if err != nil {
+			log.Fatalf("open job store: %v", err)
+		}
+		cfg.Store = fs
+	}
+
 	s := serve.New(cfg)
+	if fs != nil && len(s.RecoveredJobs()) > 0 {
+		fmt.Printf("recovered %d unfinished job(s) from %s\n", len(s.RecoveredJobs()), *storeDir)
+	}
 	ln, err := net.Listen("tcp", *httpAddr)
 	if err != nil {
 		log.Fatal(err)
@@ -151,6 +177,16 @@ func main() {
 		}()
 		_ = srv.Close() // stop admissions at the HTTP layer first
 		s.Close()       // then drain the service: every accepted job completes
+		if fs != nil {
+			// The drain left every record terminal: fold the WAL into a
+			// snapshot so the next start replays nothing and reads one file.
+			if err := fs.Compact(); err != nil {
+				log.Printf("store compaction failed: %v", err)
+			}
+			if err := fs.Close(); err != nil {
+				log.Printf("store close failed: %v", err)
+			}
+		}
 		fmt.Println("final metrics:")
 		_ = cfg.Metrics.WriteTable(os.Stdout)
 		fmt.Println("drained, bye")

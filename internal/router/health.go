@@ -1,0 +1,168 @@
+package router
+
+import (
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// healthLoop probes every worker's /healthz on HealthInterval. DeadAfter
+// consecutive failures declare a worker dead, which removes it from the
+// dispatch ring and triggers failover for its unfinished jobs; a
+// succeeding probe resurrects it. The loop also sweeps for stranded
+// entries each tick, so a failover that found no live worker (or a job
+// dispatched just as its worker died) is retried rather than forgotten.
+func (r *Router) healthLoop() {
+	defer r.stopped.Done()
+	t := time.NewTicker(r.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-t.C:
+		}
+		for widx := range r.workers {
+			r.probe(widx)
+		}
+		r.failoverStranded()
+	}
+}
+
+// probe checks one worker and applies the alive/dead transition.
+func (r *Router) probe(widx int) {
+	wk := r.workers[widx]
+	ok := r.healthy(wk.url)
+	wk.mu.Lock()
+	wasAlive := wk.alive
+	if ok {
+		wk.fails = 0
+		wk.alive = true
+	} else {
+		wk.fails++
+		if wk.fails >= r.cfg.DeadAfter {
+			wk.alive = false
+		}
+	}
+	nowAlive := wk.alive
+	wk.mu.Unlock()
+	if wasAlive != nowAlive {
+		r.mAlive.Add(boolDelta(nowAlive))
+		if r.cfg.Logger != nil {
+			state := "dead"
+			if nowAlive {
+				state = "alive"
+			}
+			r.cfg.Logger.Warn("worker state change", "worker", wk.url, "state", state)
+		}
+	}
+}
+
+func boolDelta(alive bool) float64 {
+	if alive {
+		return 1
+	}
+	return -1
+}
+
+func (r *Router) healthy(url string) bool {
+	req, err := http.NewRequest(http.MethodGet, url+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	// Bounded independently of the dispatch client's 30s timeout, but far
+	// above the probe interval: a dead worker fails instantly (connection
+	// refused), while a live one that is merely CPU-saturated by a large
+	// factorization may need tens of milliseconds to answer — that slowness
+	// must read as backpressure, not death.
+	to := 4 * r.cfg.HealthInterval
+	if to < time.Second {
+		to = time.Second
+	}
+	hc := &http.Client{Timeout: to, Transport: r.hc.Transport}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return false
+	}
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// isAlive reports the worker's current health verdict.
+func (r *Router) isAlive(widx int) bool {
+	wk := r.workers[widx]
+	wk.mu.Lock()
+	defer wk.mu.Unlock()
+	return wk.alive
+}
+
+// noteDispatchFailure records a transport failure seen on the dispatch
+// path — it counts toward the same dead threshold as a failed probe, so a
+// worker that drops mid-dispatch dies without waiting out probe rounds.
+func (r *Router) noteDispatchFailure(widx int) {
+	wk := r.workers[widx]
+	wk.mu.Lock()
+	wk.fails++
+	if wk.fails >= r.cfg.DeadAfter {
+		if wk.alive {
+			wk.alive = false
+			defer func() {
+				r.mAlive.Add(-1)
+				if r.cfg.Logger != nil {
+					r.cfg.Logger.Warn("worker state change", "worker", wk.url, "state", "dead")
+				}
+			}()
+		}
+	}
+	wk.mu.Unlock()
+}
+
+// failoverStranded re-dispatches every unfinished job whose worker is dead
+// (or that never got placed). The jobs carry their idempotency keys, so a
+// worker that already holds one answers 409 and the entry just re-homes
+// there; a worker that never saw it re-executes — deterministic kernels
+// make the re-execution bit-identical, and the worker's own terminal CAS
+// makes it single-completion, so the invariant is zero lost jobs.
+func (r *Router) failoverStranded() {
+	var stranded []*entry
+	r.mu.Lock()
+	for _, e := range r.jobs {
+		if e.isTerminal() || e.dispatching.Load() {
+			continue
+		}
+		if widx := e.workerIdx(); widx < 0 || !r.isAlive(widx) {
+			stranded = append(stranded, e)
+		}
+	}
+	r.mu.Unlock()
+	for _, e := range stranded {
+		resp, widx, err := r.dispatch(e)
+		if err != nil {
+			if r.cfg.Logger != nil {
+				r.cfg.Logger.Warn("failover re-dispatch pending", "job", e.id, "err", err)
+			}
+			continue // swept again next tick
+		}
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 64<<20))
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusAccepted, http.StatusConflict:
+			r.mRedis.Inc()
+			if r.cfg.Logger != nil {
+				r.cfg.Logger.Info("job re-dispatched after worker death",
+					"job", e.id, "class", e.class, "worker", r.workers[widx].url)
+			}
+		default:
+			// The replacement worker rejected the body outright (it was
+			// validated at first acceptance, so this is a worker-side
+			// failure, e.g. persist): leave the entry for the next sweep.
+			r.reg.Counter(metrics.With(MetricWorkerErrors, "worker", r.workers[widx].url)).Inc()
+			e.mu.Lock()
+			e.worker = -1
+			e.mu.Unlock()
+		}
+	}
+}

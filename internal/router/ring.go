@@ -1,0 +1,68 @@
+package router
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// ring is a consistent-hash ring over worker indices. Each worker owns
+// vnodes points on the ring (FNV-1a of "url#vnode"), which evens out the
+// per-worker share of the key space; a job's size class hashes to a point
+// and walks clockwise. Consistent hashing is what makes the placement
+// stable: adding or losing one worker only moves the classes that hashed
+// to it, so every other worker keeps its warm per-class plan/DAG caches
+// (the whole reason qrserve classes exist).
+type ring struct {
+	points  []ringPoint // sorted by hash
+	workers int
+}
+
+type ringPoint struct {
+	hash   uint32
+	worker int
+}
+
+func hash32(s string) uint32 {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(s))
+	return h.Sum32()
+}
+
+// newRing places each of n workers at vnodes points, identified by URL so
+// the layout is stable across router restarts with the same worker list.
+func newRing(urls []string, vnodes int) *ring {
+	if vnodes < 1 {
+		vnodes = 64
+	}
+	r := &ring{workers: len(urls)}
+	r.points = make([]ringPoint, 0, len(urls)*vnodes)
+	for i, u := range urls {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash32(u + "#" + strconv.Itoa(v)), i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+	return r
+}
+
+// sequence returns every worker index exactly once, in ring order starting
+// from key's position — the primary placement first, then the failover
+// candidates in the deterministic order every router instance agrees on.
+func (r *ring) sequence(key string) []int {
+	if len(r.points) == 0 {
+		return nil
+	}
+	h := hash32(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seq := make([]int, 0, r.workers)
+	seen := make([]bool, r.workers)
+	for i := 0; i < len(r.points) && len(seq) < r.workers; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.worker] {
+			seen[p.worker] = true
+			seq = append(seq, p.worker)
+		}
+	}
+	return seq
+}

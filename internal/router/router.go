@@ -1,0 +1,594 @@
+// Package router is the multi-node front end for qrserve workers: one HTTP
+// endpoint that shards factorization jobs across a fleet by size-class
+// consistent hashing, watches worker health, respects per-worker
+// backpressure, and re-dispatches the jobs of a dead worker so a crash in
+// the fleet never loses an accepted job.
+//
+// Placement is by size class, not by job: every job with the same
+// (rows, cols, tile, tree) hashes to the same worker, so each worker sees a
+// narrow set of classes and its per-class DAG/plan caches and micro-batcher
+// stay hot — the router is what makes the serve-layer batching work at
+// fleet scale. When the primary worker for a class is saturated (429) or
+// down, the job walks the ring to the next worker in the deterministic
+// failover order.
+//
+// Every job the router forwards carries an idempotency key (the client's
+// "id" when supplied, a router-minted one otherwise). That key is what
+// makes failover re-dispatch safe: resubmitting the same job to the same
+// worker cannot double-accept it, and the workers' durable stores guard
+// terminal states with a compare-and-swap, so a job completes effectively
+// once even when the router retries it across a crash.
+package router
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/tiled"
+)
+
+// Router metric names.
+const (
+	// MetricDispatches counts jobs successfully placed on a worker
+	// (labelled by worker).
+	MetricDispatches = "router.dispatches"
+	// MetricBackpressure counts 429 responses absorbed from workers — each
+	// one moved a job to the next ring candidate (labelled by worker).
+	MetricBackpressure = "router.backpressure_429"
+	// MetricWorkerErrors counts transport-level worker failures seen on
+	// dispatch or proxy (labelled by worker).
+	MetricWorkerErrors = "router.worker_errors"
+	// MetricRedispatches counts failover re-dispatches of jobs stranded on
+	// a dead worker.
+	MetricRedispatches = "router.failover_redispatches"
+	// MetricExhausted counts submissions refused because no live,
+	// non-backpressured worker remained.
+	MetricExhausted = "router.ring_exhausted"
+	// MetricWorkersAlive gauges the live worker count.
+	MetricWorkersAlive = "router.workers_alive"
+	// MetricJobs gauges the tracked (non-pruned) job count.
+	MetricJobs = "router.jobs_tracked"
+)
+
+// Config configures a Router.
+type Config struct {
+	// Workers are the qrserve base URLs, e.g. "http://10.0.0.1:8080".
+	Workers []string
+	// VirtualNodes per worker on the hash ring (default 64).
+	VirtualNodes int
+	// DefaultTile mirrors the workers' default tile size so the router's
+	// class keys (which drive placement) match theirs (default 16).
+	DefaultTile int
+	// HealthInterval spaces the /healthz probes (default 250ms).
+	HealthInterval time.Duration
+	// DeadAfter is the consecutive probe failures that declare a worker
+	// dead and trigger failover (default 2).
+	DeadAfter int
+	// Retain bounds the tracked-job table; the oldest terminal jobs are
+	// pruned past it (default 8192).
+	Retain int
+	// HTTPClient overrides the transport to workers (default 30s timeout).
+	HTTPClient *http.Client
+	// Metrics receives router.* metrics (nil = no-op).
+	Metrics *metrics.Registry
+	// Logger, when set, gets structured routing events.
+	Logger *slog.Logger
+}
+
+func (c Config) normalize() Config {
+	if c.VirtualNodes <= 0 {
+		c.VirtualNodes = 64
+	}
+	if c.DefaultTile <= 0 {
+		c.DefaultTile = 16
+	}
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = 250 * time.Millisecond
+	}
+	if c.DeadAfter <= 0 {
+		c.DeadAfter = 2
+	}
+	if c.Retain <= 0 {
+		c.Retain = 8192
+	}
+	if c.HTTPClient == nil {
+		c.HTTPClient = &http.Client{Timeout: 30 * time.Second}
+	}
+	return c
+}
+
+// worker is one backend's routing state.
+type worker struct {
+	url string
+
+	mu           sync.Mutex
+	alive        bool
+	fails        int       // consecutive health-probe failures
+	backoffUntil time.Time // 429 Retry-After horizon
+
+	dispatched atomic.Int64
+}
+
+// available reports whether the worker should receive a dispatch now.
+func (w *worker) available(now time.Time) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.alive && now.After(w.backoffUntil)
+}
+
+func (w *worker) backoff(d time.Duration) {
+	w.mu.Lock()
+	until := time.Now().Add(d)
+	if until.After(w.backoffUntil) {
+		w.backoffUntil = until
+	}
+	w.mu.Unlock()
+}
+
+// WorkerStatus is one backend's state as reported by GET /workers.
+type WorkerStatus struct {
+	URL        string `json:"url"`
+	Alive      bool   `json:"alive"`
+	BackingOff bool   `json:"backingOff"`
+	Dispatched int64  `json:"dispatched"`
+}
+
+// entry is one tracked job: everything needed to re-dispatch it if its
+// worker dies before it finishes.
+type entry struct {
+	id      string
+	class   string
+	body    []byte // the exact submission forwarded, idempotency id included
+	traceID string
+	seq     uint64 // admission order, for pruning
+
+	// dispatching marks the initial placement in flight, so the failover
+	// sweep does not race the submit path to a double dispatch.
+	dispatching atomic.Bool
+
+	mu       sync.Mutex
+	worker   int // index into Router.workers
+	terminal bool
+}
+
+func (e *entry) workerIdx() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.worker
+}
+
+func (e *entry) isTerminal() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.terminal
+}
+
+// Router shards jobs across qrserve workers. Create with New, serve its
+// Handler, Close to stop the health loop.
+type Router struct {
+	cfg     Config
+	reg     *metrics.Registry
+	ring    *ring
+	workers []*worker
+	hc      *http.Client
+
+	mu   sync.Mutex
+	jobs map[string]*entry
+
+	nextID  atomic.Uint64
+	seq     atomic.Uint64
+	mAlive  *metrics.Gauge
+	mJobs   *metrics.Gauge
+	mRedis  *metrics.Counter
+	mExhst  *metrics.Counter
+	stop    chan struct{}
+	stopped sync.WaitGroup
+}
+
+// New builds a router over cfg.Workers and starts its health loop. Workers
+// start presumed alive; the first probe round corrects that within
+// HealthInterval.
+func New(cfg Config) (*Router, error) {
+	cfg = cfg.normalize()
+	if len(cfg.Workers) == 0 {
+		return nil, errors.New("router: at least one worker required")
+	}
+	r := &Router{
+		cfg:  cfg,
+		reg:  cfg.Metrics,
+		ring: newRing(cfg.Workers, cfg.VirtualNodes),
+		hc:   cfg.HTTPClient,
+		jobs: map[string]*entry{},
+		stop: make(chan struct{}),
+	}
+	for _, u := range cfg.Workers {
+		r.workers = append(r.workers, &worker{url: u, alive: true})
+	}
+	r.mAlive = r.reg.Gauge(MetricWorkersAlive)
+	r.mJobs = r.reg.Gauge(MetricJobs)
+	r.mRedis = r.reg.Counter(MetricRedispatches)
+	r.mExhst = r.reg.Counter(MetricExhausted)
+	r.mAlive.Set(float64(len(r.workers)))
+	r.stopped.Add(1)
+	go r.healthLoop()
+	return r, nil
+}
+
+// Close stops the health loop. In-flight proxied requests are unaffected.
+func (r *Router) Close() {
+	select {
+	case <-r.stop:
+	default:
+		close(r.stop)
+	}
+	r.stopped.Wait()
+}
+
+// Workers snapshots every backend's routing state.
+func (r *Router) Workers() []WorkerStatus {
+	now := time.Now()
+	out := make([]WorkerStatus, len(r.workers))
+	for i, w := range r.workers {
+		w.mu.Lock()
+		out[i] = WorkerStatus{
+			URL:        w.url,
+			Alive:      w.alive,
+			BackingOff: now.Before(w.backoffUntil),
+			Dispatched: w.dispatched.Load(),
+		}
+		w.mu.Unlock()
+	}
+	return out
+}
+
+// Handler builds the router's HTTP API on the shared observability mux:
+// the same job endpoints the workers expose (so clients cannot tell a
+// router from a single worker), plus GET /workers for fleet state.
+func (r *Router) Handler(expvarName string) http.Handler {
+	mux := metrics.NewServeMux(r.reg, expvarName)
+	mux.HandleFunc("POST /jobs", r.handleSubmit)
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, req *http.Request) {
+		r.proxyRead(w, req, "")
+	})
+	mux.HandleFunc("GET /jobs/{id}/result", func(w http.ResponseWriter, req *http.Request) {
+		r.proxyRead(w, req, "/result")
+	})
+	mux.HandleFunc("GET /workers", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, r.Workers())
+	})
+	return mux
+}
+
+// submitRequest is the subset of the worker POST /jobs body the router
+// needs: identity and the class-key fields that drive placement. The raw
+// body is forwarded; only "id" is injected when absent.
+type submitRequest struct {
+	ID   string `json:"id,omitempty"`
+	Rows int    `json:"rows"`
+	Cols int    `json:"cols"`
+	Tile int    `json:"tile,omitempty"`
+	Tree string `json:"tree,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (r *Router) handleSubmit(w http.ResponseWriter, req *http.Request) {
+	raw, err := io.ReadAll(io.LimitReader(req.Body, 256<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("read body: %w", err))
+		return
+	}
+	var sub submitRequest
+	if err := json.Unmarshal(raw, &sub); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if sub.Rows <= 0 || sub.Cols <= 0 {
+		writeError(w, http.StatusBadRequest, errors.New("rows and cols must be positive"))
+		return
+	}
+	tree, err := tiled.TreeByName(sub.Tree)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	tile := sub.Tile
+	if tile <= 0 {
+		tile = r.cfg.DefaultTile
+	}
+	// The router's class key mirrors serve.classKey — placement and the
+	// workers' batching are keyed identically.
+	class := fmt.Sprintf("%dx%d/b%d/%s", sub.Rows, sub.Cols, tile, tree.Name())
+
+	body := raw
+	id := sub.ID
+	if id == "" {
+		// Mint the idempotency key the failover path depends on.
+		id = "rt-" + strconv.FormatUint(r.nextID.Add(1), 10)
+		body, err = injectID(raw, id)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+
+	e := &entry{id: id, class: class, body: body,
+		traceID: req.Header.Get("X-Trace-Id"), seq: r.seq.Add(1), worker: -1}
+	e.dispatching.Store(true)
+	r.mu.Lock()
+	if prev, ok := r.jobs[id]; ok {
+		r.mu.Unlock()
+		// Known duplicate: answer 409 with the job's current status from
+		// its worker, matching the single-worker contract.
+		r.conflict(w, prev)
+		return
+	}
+	r.jobs[id] = e
+	r.mJobs.Set(float64(len(r.jobs)))
+	r.mu.Unlock()
+
+	resp, widx, derr := r.dispatch(e)
+	e.dispatching.Store(false)
+	if derr != nil {
+		r.dropEntry(id)
+		r.mExhst.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, derr)
+		return
+	}
+	defer resp.Body.Close()
+	respBody, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if resp.StatusCode != http.StatusAccepted {
+		// The worker rejected the submission (validation, duplicate from a
+		// previous router incarnation, persist failure): pass its verdict
+		// through untouched and forget the entry — there is nothing to
+		// re-dispatch. 409 keeps the entry: the job exists on that worker.
+		if resp.StatusCode != http.StatusConflict {
+			r.dropEntry(id)
+		} else {
+			e.mu.Lock()
+			e.worker = widx
+			e.mu.Unlock()
+		}
+		copyResponse(w, resp, respBody)
+		return
+	}
+	copyResponse(w, resp, respBody)
+}
+
+// conflict renders a duplicate submission: 409 carrying the existing job's
+// status when its worker can produce one.
+func (r *Router) conflict(w http.ResponseWriter, e *entry) {
+	widx := e.workerIdx()
+	if widx >= 0 {
+		resp, err := r.hc.Get(r.workers[widx].url + "/jobs/" + e.id)
+		if err == nil {
+			defer resp.Body.Close()
+			if body, rerr := io.ReadAll(io.LimitReader(resp.Body, 64<<20)); rerr == nil && resp.StatusCode == http.StatusOK {
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusConflict)
+				_, _ = w.Write(body)
+				return
+			}
+		}
+	}
+	writeError(w, http.StatusConflict, fmt.Errorf("duplicate job id %q", e.id))
+}
+
+// dispatch walks the ring from the entry's class position, skipping dead
+// and backing-off workers, and places the job on the first one that takes
+// it. A 429 marks the worker's backoff horizon and moves on — per-worker
+// backpressure steers load to ring neighbours instead of queueing blindly.
+// A 409 means the worker already holds this id (a re-dispatch finding its
+// job, or a restart replaying) and counts as placement. Returns the
+// worker's response with its body unread.
+func (r *Router) dispatch(e *entry) (*http.Response, int, error) {
+	now := time.Now()
+	var lastErr error
+	tried := 0
+	for _, widx := range r.ring.sequence(e.class) {
+		wk := r.workers[widx]
+		if !wk.available(now) {
+			continue
+		}
+		tried++
+		req, err := http.NewRequest(http.MethodPost, wk.url+"/jobs", bytes.NewReader(e.body))
+		if err != nil {
+			return nil, -1, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if e.traceID != "" {
+			req.Header.Set("X-Trace-Id", e.traceID)
+		}
+		resp, err := r.hc.Do(req)
+		if err != nil {
+			lastErr = err
+			r.reg.Counter(metrics.With(MetricWorkerErrors, "worker", wk.url)).Inc()
+			r.noteDispatchFailure(widx)
+			continue
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			r.reg.Counter(metrics.With(MetricBackpressure, "worker", wk.url)).Inc()
+			wk.backoff(retryAfter(resp))
+			lastErr = fmt.Errorf("worker %s overloaded", wk.url)
+			resp.Body.Close()
+			continue
+		}
+		if resp.StatusCode == http.StatusAccepted || resp.StatusCode == http.StatusConflict {
+			e.mu.Lock()
+			e.worker = widx
+			e.mu.Unlock()
+			wk.dispatched.Add(1)
+			r.reg.Counter(metrics.With(MetricDispatches, "worker", wk.url)).Inc()
+			if r.cfg.Logger != nil {
+				r.cfg.Logger.Info("job dispatched",
+					"job", e.id, "class", e.class, "worker", wk.url, "status", resp.StatusCode)
+			}
+		}
+		return resp, widx, nil
+	}
+	if lastErr != nil {
+		return nil, -1, fmt.Errorf("router: no worker accepted the job (%d tried): %w", tried, lastErr)
+	}
+	return nil, -1, errors.New("router: no live worker available")
+}
+
+// proxyRead forwards a job read (status or result) to the job's current
+// worker. While the job is mid-failover (its worker just died), reads get
+// 503 + Retry-After so retrying clients land after the re-dispatch.
+func (r *Router) proxyRead(w http.ResponseWriter, req *http.Request, suffix string) {
+	id := req.PathValue("id")
+	r.mu.Lock()
+	e, ok := r.jobs[id]
+	r.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("router: no job %q", id))
+		return
+	}
+	widx := e.workerIdx()
+	if widx < 0 || !r.isAlive(widx) {
+		// Between the worker's death and the failover re-dispatch there is
+		// no one to ask; retrying clients land after the re-dispatch.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("router: job %q is being re-dispatched", id))
+		return
+	}
+	resp, err := r.hc.Get(r.workers[widx].url + "/jobs/" + id + suffix)
+	if err != nil {
+		r.reg.Counter(metrics.With(MetricWorkerErrors, "worker", r.workers[widx].url)).Inc()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("router: worker unreachable: %v", err))
+		return
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+	if err != nil {
+		writeError(w, http.StatusBadGateway, fmt.Errorf("router: worker read: %v", err))
+		return
+	}
+	r.observeTerminal(e, suffix, resp.StatusCode, body)
+	copyResponse(w, resp, body)
+}
+
+// observeTerminal marks an entry terminal once its worker reports a final
+// state, which removes it from the failover set and lets pruning reclaim it.
+func (r *Router) observeTerminal(e *entry, suffix string, code int, body []byte) {
+	terminal := false
+	switch suffix {
+	case "":
+		if code == http.StatusOK {
+			var st struct {
+				Status string `json:"status"`
+			}
+			if json.Unmarshal(body, &st) == nil {
+				terminal = st.Status == "done" || st.Status == "failed"
+			}
+		}
+	case "/result":
+		terminal = code == http.StatusOK || code == http.StatusUnprocessableEntity
+	}
+	if !terminal {
+		return
+	}
+	e.mu.Lock()
+	was := e.terminal
+	e.terminal = true
+	e.mu.Unlock()
+	if !was {
+		r.prune()
+	}
+}
+
+// prune evicts the oldest terminal entries past Retain, keeping the table
+// (and the failover scan) bounded under sustained load.
+func (r *Router) prune() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.jobs) <= r.cfg.Retain {
+		return
+	}
+	var victims []*entry
+	for _, e := range r.jobs {
+		if e.isTerminal() {
+			victims = append(victims, e)
+		}
+	}
+	over := len(r.jobs) - r.cfg.Retain
+	if over > len(victims) {
+		over = len(victims)
+	}
+	// Oldest first: selection by admission sequence.
+	for i := 0; i < over; i++ {
+		min := i
+		for j := i + 1; j < len(victims); j++ {
+			if victims[j].seq < victims[min].seq {
+				min = j
+			}
+		}
+		victims[i], victims[min] = victims[min], victims[i]
+		delete(r.jobs, victims[i].id)
+	}
+	r.mJobs.Set(float64(len(r.jobs)))
+}
+
+func (r *Router) dropEntry(id string) {
+	r.mu.Lock()
+	delete(r.jobs, id)
+	r.mJobs.Set(float64(len(r.jobs)))
+	r.mu.Unlock()
+}
+
+// injectID adds the router-minted idempotency key to a raw submission body.
+func injectID(raw []byte, id string) ([]byte, error) {
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("bad request body: %w", err)
+	}
+	idJSON, _ := json.Marshal(id)
+	m["id"] = idJSON
+	return json.Marshal(m)
+}
+
+// retryAfter parses a 429's Retry-After into the backoff horizon (default
+// 500ms when absent or unparseable — enough to drain a micro-batch).
+func retryAfter(resp *http.Response) time.Duration {
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs >= 0 {
+			if secs == 0 {
+				return 100 * time.Millisecond
+			}
+			return time.Duration(secs) * time.Second
+		}
+	}
+	return 500 * time.Millisecond
+}
+
+func copyResponse(w http.ResponseWriter, resp *http.Response, body []byte) {
+	for _, h := range []string{"Content-Type", "X-Trace-Id", "Retry-After"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = w.Write(body)
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/runtime"
+	"repro/internal/store"
 	"repro/internal/workload"
 )
 
@@ -40,8 +41,13 @@ func (s *Server) Handler(expvarName string) http.Handler {
 
 // jobRequest is the POST /jobs body.
 type jobRequest struct {
-	Rows int `json:"rows"`
-	Cols int `json:"cols"`
+	// ID is an optional client-supplied idempotency key. A second POST with
+	// the same id is rejected with 409 instead of creating a second job —
+	// which makes resubmission after an ambiguous network failure (and the
+	// router's failover re-dispatch) safe.
+	ID   string `json:"id,omitempty"`
+	Rows int    `json:"rows"`
+	Cols int    `json:"cols"`
 	// Tile and Tree default to the server's tile size and flat-ts.
 	Tile int    `json:"tile,omitempty"`
 	Tree string `json:"tree,omitempty"`
@@ -57,11 +63,14 @@ type jobRequest struct {
 // jobStatus is the status/submit response body.
 type jobStatus struct {
 	ID        string  `json:"id"`
+	ClientID  string  `json:"clientID,omitempty"`
 	Status    string  `json:"status"`
 	Class     string  `json:"class"`
 	TraceID   string  `json:"traceID,omitempty"`
 	Error     string  `json:"error,omitempty"`
 	ElapsedMS float64 `json:"elapsedMS"`
+	// Recovered marks a job replayed from the job store after a restart.
+	Recovered bool `json:"recovered,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -76,10 +85,12 @@ func writeError(w http.ResponseWriter, code int, err error) {
 
 func statusOf(j *Job) jobStatus {
 	st := jobStatus{
-		ID:      strconv.FormatUint(j.ID(), 10),
-		Status:  j.State().String(),
-		Class:   j.Class(),
-		TraceID: j.TraceID(),
+		ID:        strconv.FormatUint(j.ID(), 10),
+		ClientID:  j.ClientID(),
+		Status:    j.State().String(),
+		Class:     j.Class(),
+		TraceID:   j.TraceID(),
+		Recovered: j.Recovered(),
 	}
 	switch j.State() {
 	case StateDone, StateFailed:
@@ -104,6 +115,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var a *matrix.Matrix
+	seedOnly := false
 	if len(req.Data) > 0 {
 		if len(req.Data) != req.Rows*req.Cols {
 			writeError(w, http.StatusBadRequest,
@@ -114,6 +126,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		copy(a.Data, req.Data)
 	} else {
 		a = workload.Uniform(req.Seed, req.Rows, req.Cols)
+		seedOnly = true
 	}
 	// The job's context is deliberately NOT the request context: the job
 	// outlives this HTTP exchange and is cancelled only by its own
@@ -123,14 +136,33 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		Tree:     req.Tree,
 		Timeout:  time.Duration(req.TimeoutMS) * time.Millisecond,
 		TraceID:  r.Header.Get("X-Trace-Id"),
+		ClientID: req.ID,
+		Seed:     req.Seed,
+		SeedOnly: seedOnly,
 	})
 	switch {
 	case errors.Is(err, ErrOverloaded):
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, err)
 		return
+	case errors.Is(err, ErrDuplicateID):
+		// 409 carries the existing job's status when it is resolvable, so
+		// an idempotent retrier can switch straight to polling.
+		if prev, ok := s.LookupClientID(req.ID); ok {
+			writeJSON(w, http.StatusConflict, statusOf(prev))
+			return
+		}
+		if rec, ok := s.Record(req.ID); ok {
+			writeJSON(w, http.StatusConflict, statusOfRecord(rec))
+			return
+		}
+		writeError(w, http.StatusConflict, err)
+		return
 	case errors.Is(err, ErrClosed):
 		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case errors.Is(err, ErrPersist):
+		writeError(w, http.StatusInternalServerError, err)
 		return
 	case errors.Is(err, runtime.ErrNonFinite):
 		writeError(w, http.StatusUnprocessableEntity, err)
@@ -143,29 +175,68 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, statusOf(j))
 }
 
-func (s *Server) lookupFromPath(w http.ResponseWriter, r *http.Request) (*Job, bool) {
-	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad job id: %w", err))
-		return nil, false
+// statusOfRecord renders a persisted record the way statusOf renders a live
+// job — the restart-survivor view of a job.
+func statusOfRecord(rec store.JobRecord) jobStatus {
+	st := jobStatus{
+		ID:       rec.ID,
+		ClientID: rec.ClientID,
+		Class:    rec.Class,
+		TraceID:  rec.TraceID,
+		Error:    rec.Error,
 	}
-	j, ok := s.Lookup(id)
-	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("no job %d (finished jobs are retained up to %d deep)", id, s.cfg.Retain))
-		return nil, false
+	switch rec.State {
+	case store.StateAccepted:
+		st.Status = StateQueued.String()
+	case store.StateRunning:
+		st.Status = StateRunning.String()
+	case store.StateDone:
+		st.Status = StateDone.String()
+	case store.StateFailed:
+		st.Status = StateFailed.String()
+	default:
+		st.Status = string(rec.State)
 	}
-	return j, true
+	return st
+}
+
+// resolveJob finds a live job by path id: the server-assigned numeric id,
+// or a client-supplied idempotency key.
+func (s *Server) resolveJob(id string) (*Job, bool) {
+	if n, err := strconv.ParseUint(id, 10, 64); err == nil {
+		if j, ok := s.Lookup(n); ok {
+			return j, true
+		}
+	}
+	return s.LookupClientID(id)
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
-	if j, ok := s.lookupFromPath(w, r); ok {
+	id := r.PathValue("id")
+	if j, ok := s.resolveJob(id); ok {
 		writeJSON(w, http.StatusOK, statusOf(j))
+		return
 	}
+	// Not in memory: evicted, or finished before a restart — the store
+	// still knows it.
+	if rec, ok := s.Record(id); ok {
+		writeJSON(w, http.StatusOK, statusOfRecord(rec))
+		return
+	}
+	writeError(w, http.StatusNotFound,
+		fmt.Errorf("no job %q (finished jobs are retained up to %d deep)", id, s.cfg.Retain))
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.lookupFromPath(w, r)
+	id := r.PathValue("id")
+	j, ok := s.resolveJob(id)
 	if !ok {
+		if rec, found := s.Record(id); found {
+			s.writeRecordResult(w, rec)
+			return
+		}
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("no job %q (finished jobs are retained up to %d deep)", id, s.cfg.Retain))
 		return
 	}
 	f, err := j.Result()
@@ -201,4 +272,29 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		"cols": rFac.Cols,
 		"r":    rows,
 	})
+}
+
+// writeRecordResult serves a result straight from the job store — the path
+// that makes completed work fetchable across a process restart.
+func (s *Server) writeRecordResult(w http.ResponseWriter, rec store.JobRecord) {
+	switch {
+	case rec.State == store.StateDone && rec.Result != nil:
+		res := rec.Result
+		rows := make([][]float64, res.Rows)
+		for i := range rows {
+			rows[i] = res.Data[i*res.Cols : (i+1)*res.Cols]
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"id":   rec.ID,
+			"rows": res.Rows,
+			"cols": res.Cols,
+			"r":    rows,
+		})
+	case rec.State == store.StateFailed:
+		writeError(w, http.StatusUnprocessableEntity,
+			fmt.Errorf("job %s failed: %s", rec.ID, rec.Error))
+	default:
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("job %s still %s", rec.ID, rec.State))
+	}
 }

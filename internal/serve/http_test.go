@@ -168,8 +168,10 @@ func TestHTTPValidationAndLookupErrors(t *testing.T) {
 	if code := getJSON(t, ts.URL+"/jobs/999999", nil); code != http.StatusNotFound {
 		t.Fatalf("unknown job: %d, want 404", code)
 	}
-	if code := getJSON(t, ts.URL+"/jobs/notanumber", nil); code != http.StatusBadRequest {
-		t.Fatalf("bad id: %d, want 400", code)
+	// Non-numeric ids are legal (client-supplied idempotency keys), so an
+	// unknown one is 404, not 400.
+	if code := getJSON(t, ts.URL+"/jobs/notanumber", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown client id: %d, want 404", code)
 	}
 }
 

@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"time"
+
+	"repro/internal/matrix"
+	"repro/internal/obs"
+	"repro/internal/store"
+	"repro/internal/tiled"
+	"repro/internal/workload"
+)
+
+// recover replays the store at startup: every record that was accepted but
+// never reached a terminal state is re-admitted through the normal queue —
+// same store record, same trace id, same absolute deadline — so a crash
+// between acceptance and completion costs a re-execution, never a lost job.
+// Runs synchronously inside New (the batcher and executors are already
+// draining, so enqueueing here cannot deadlock); the recovered jobs finish
+// asynchronously.
+func (s *Server) recover() {
+	if s.cfg.Store == nil {
+		return
+	}
+	recs, err := s.cfg.Store.List()
+	if err != nil {
+		if s.cfg.Logger != nil {
+			s.cfg.Logger.Error("store unreadable, recovery skipped", "err", err)
+		}
+		return
+	}
+	// Seed the id counter past everything ever stored, so this
+	// incarnation's numeric ids (which double as store keys for jobs
+	// without a client id) never collide with persisted records.
+	var maxNum uint64
+	for _, rec := range recs {
+		if rec.NumID > maxNum {
+			maxNum = rec.NumID
+		}
+	}
+	s.nextID.Store(maxNum) // recover runs before the first Submit
+	for _, rec := range recs {
+		if rec.State.Terminal() {
+			continue
+		}
+		if j := s.replay(rec); j != nil {
+			s.recovered = append(s.recovered, j)
+			s.mRecovered.Inc()
+		}
+	}
+	if len(s.recovered) > 0 && s.cfg.Logger != nil {
+		s.cfg.Logger.Info("recovered unfinished jobs from store", "jobs", len(s.recovered))
+	}
+}
+
+// replay re-admits one accepted-but-unfinished record. Returns nil when the
+// record was instead finished in place (expired deadline, unusable record).
+func (s *Server) replay(rec store.JobRecord) *Job {
+	fail := func(err error) {
+		_ = s.cfg.Store.SetResult(rec.ID, nil, err.Error())
+		if s.cfg.Logger != nil {
+			s.cfg.Logger.Warn("stored job not replayable",
+				"trace_id", rec.TraceID, "store_id", rec.ID, "err", err)
+		}
+	}
+	// A job whose absolute deadline passed while the process was down gets
+	// its failure, not a fresh budget.
+	if !rec.Deadline.IsZero() && !time.Now().Before(rec.Deadline) {
+		fail(fmt.Errorf("serve: job %s: %w before recovery", rec.ID, context.DeadlineExceeded))
+		return nil
+	}
+	a, err := matrixOf(rec)
+	if err != nil {
+		fail(err)
+		return nil
+	}
+	tree, err := tiled.TreeByName(rec.Tree)
+	if err != nil {
+		fail(fmt.Errorf("serve: replay %s: %w", rec.ID, err))
+		return nil
+	}
+	cls, err := s.classes.get(rec.Rows, rec.Cols, rec.Tile, tree, s.reg)
+	if err != nil {
+		fail(fmt.Errorf("serve: replay %s: %w", rec.ID, err))
+		return nil
+	}
+
+	// The job keeps its persisted identity: store id, client id, and —
+	// critically for cross-restart followability — its trace id.
+	tr := obs.NewTrace(obs.SanitizeTraceID(rec.TraceID))
+	adm := tr.Start(tr.Root(), obs.SpanAdmission)
+	tr.SetAttr("recovered", "true")
+	j := &Job{
+		cls:       cls,
+		a:         a,
+		sid:       rec.ID,
+		cid:       rec.ClientID,
+		recovered: true,
+		enq:       time.Now(),
+		done:      make(chan struct{}),
+		trace:     tr,
+	}
+	j.id = s.nextID.Add(1)
+	tr.SetAttr("job", strconv.FormatUint(j.id, 10))
+	tr.SetAttr("class", cls.key)
+	if !rec.Deadline.IsZero() {
+		j.ctx, j.cancel = context.WithDeadline(context.Background(), rec.Deadline)
+	} else {
+		j.ctx = context.Background()
+	}
+	if j.cid != "" {
+		// Reclaim the idempotency key so a client retrying its submission
+		// against the restarted server still gets the duplicate answer.
+		if err := s.claimCID(j); err != nil {
+			fail(err)
+			return nil
+		}
+	}
+	// A record stuck in "running" died mid-execution; put it back to
+	// accepted before the queue send so the store mirrors the queue.
+	_ = s.cfg.Store.MarkState(rec.ID, "", store.StateAccepted)
+
+	tr.End(adm)
+	j.queueSpan = tr.StartAt(tr.Root(), obs.SpanQueue, j.enq)
+	// Blocking send, unlike Submit: recovery is not an admission-control
+	// decision — the jobs were already accepted, possibly by a process with
+	// a larger queue. The executors are live, so the queue drains.
+	s.queue <- j
+	s.mAccepted.Inc()
+	depth := float64(len(s.queue))
+	s.mDepth.Set(depth)
+	s.mPeak.SetMax(depth)
+	s.remember(j)
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Info("job recovered",
+			"trace_id", j.TraceID(), "job", j.id, "store_id", j.sid, "class", cls.key)
+	}
+	return j
+}
+
+// matrixOf rebuilds a record's input matrix: regenerate from the seed, or
+// reshape the persisted dense payload.
+func matrixOf(rec store.JobRecord) (*matrix.Matrix, error) {
+	if rec.Rows <= 0 || rec.Cols <= 0 {
+		return nil, fmt.Errorf("serve: replay %s: bad shape %dx%d", rec.ID, rec.Rows, rec.Cols)
+	}
+	if rec.SeedOnly {
+		return workload.Uniform(rec.Seed, rec.Rows, rec.Cols), nil
+	}
+	if len(rec.Data) != rec.Rows*rec.Cols {
+		return nil, fmt.Errorf("serve: replay %s: payload %d != %dx%d",
+			rec.ID, len(rec.Data), rec.Rows, rec.Cols)
+	}
+	a := matrix.New(rec.Rows, rec.Cols)
+	copy(a.Data, rec.Data)
+	return a, nil
+}

@@ -43,15 +43,22 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/runtime"
+	"repro/internal/store"
 	"repro/internal/tiled"
 )
 
 // Typed admission errors. Submit returns ErrOverloaded when the admission
-// queue is full and ErrClosed once Close has begun; both are sentinel
+// queue is full, ErrClosed once Close has begun, ErrDuplicateID when a
+// client-supplied job id is already taken (the idempotency-key contract:
+// the HTTP layer maps it to 409, and a retrying router interprets it as
+// "already accepted — poll instead of resubmitting"), and ErrPersist when
+// the job store could not make an accepted job durable. All are sentinel
 // values for errors.Is.
 var (
-	ErrOverloaded = errors.New("serve: overloaded, admission queue full")
-	ErrClosed     = errors.New("serve: server closed")
+	ErrOverloaded  = errors.New("serve: overloaded, admission queue full")
+	ErrClosed      = errors.New("serve: server closed")
+	ErrDuplicateID = errors.New("serve: duplicate job id")
+	ErrPersist     = errors.New("serve: job store write failed")
 )
 
 // RetryableError marks a job failure the client may retry as-is: the job's
@@ -105,6 +112,10 @@ const (
 	// re-run over the surviving devices via sched.Replan).
 	MetricDeviceDrops = "serve.device_drops"
 	MetricReplans     = "serve.replans"
+	// MetricDuplicates counts submissions rejected for reusing a client job
+	// id; MetricRecovered counts jobs replayed from the store at startup.
+	MetricDuplicates = "serve.duplicate_rejects"
+	MetricRecovered  = "serve.recovered_jobs"
 )
 
 // Config configures a Server. The zero value is usable: every field has a
@@ -165,6 +176,18 @@ type Config struct {
 	// (admission, completion, retries, drops) tagged with trace ids, so
 	// log lines correlate with /traces/{id}.
 	Logger *slog.Logger
+	// Store, when non-nil, makes accepted jobs durable: Submit writes the
+	// job through the store before acknowledging (file-backed stores fsync
+	// here), lifecycle transitions and results are mirrored into it, and New
+	// replays every accepted-but-unfinished record it finds — re-admission
+	// through the normal queue, with trace ids and absolute deadlines
+	// preserved. Nil serves from memory only (a restart forgets everything).
+	Store store.JobStore
+
+	// testMidBatch, when set, runs inside the executor after a batch's jobs
+	// are marked running and before the kernels dispatch — the hook the
+	// crash-recovery tests use to halt the store "mid-batch".
+	testMidBatch func()
 }
 
 func (c *Config) normalize() {
@@ -231,12 +254,19 @@ func (s State) String() string {
 // Job is one accepted factorization request. Wait (or Done + Result)
 // delivers the outcome.
 type Job struct {
-	id     uint64
-	cls    *class
-	a      *matrix.Matrix
-	ctx    context.Context
-	cancel context.CancelFunc
-	enq    time.Time
+	id  uint64
+	cls *class
+	a   *matrix.Matrix
+	// sid keys the job's store record (the client id when one was supplied,
+	// the numeric id in decimal otherwise); cid is the client-supplied
+	// idempotency key ("" if none); recovered marks a job replayed from the
+	// store at startup.
+	sid       string
+	cid       string
+	recovered bool
+	ctx       context.Context
+	cancel    context.CancelFunc
+	enq       time.Time
 
 	// trace is the job's end-to-end span tree; queueSpan is the open
 	// queue-wait span between admission and batch pickup.
@@ -252,6 +282,13 @@ type Job struct {
 
 // ID is the server-assigned job identifier.
 func (j *Job) ID() uint64 { return j.id }
+
+// ClientID is the client-supplied idempotency key ("" if none was given).
+func (j *Job) ClientID() string { return j.cid }
+
+// Recovered reports whether the job was replayed from the store at startup
+// rather than submitted in this process incarnation.
+func (j *Job) Recovered() bool { return j.recovered }
 
 // TraceID identifies the job's span tree in the trace store (the value of
 // the X-Trace-Id response header; query it at /traces/{id}).
@@ -321,6 +358,17 @@ type SubmitOptions struct {
 	// header). Empty or invalid ids are replaced by a freshly minted one;
 	// the effective id is returned by Job.TraceID.
 	TraceID string
+	// ClientID is a client-supplied idempotency key. When set, a second
+	// submission with the same key is rejected with ErrDuplicateID — across
+	// restarts too, when a store is configured — so a retrying client (or
+	// the fronting router) can never double-accept one logical job.
+	ClientID string
+	// Seed + SeedOnly mark a reproducible input: the store then persists the
+	// 8-byte seed instead of the dense payload, and recovery regenerates the
+	// matrix with workload.Uniform(Seed, rows, cols). The caller must have
+	// built the submitted matrix exactly that way.
+	Seed     int64
+	SeedOnly bool
 }
 
 // batch is a group of same-class jobs executed as one tiled run.
@@ -347,24 +395,33 @@ type Server struct {
 	nextID atomic.Uint64
 	jobsMu sync.Mutex
 	jobs   map[uint64]*Job
-	order  []uint64 // insertion order, for retention pruning
+	byCID  map[string]*Job // client-id index; entries claimed at admission
+	order  []uint64        // insertion order, for retention pruning
 
-	mSubmitted *metrics.Counter
-	mAccepted  *metrics.Counter
-	mRejects   *metrics.Counter
-	mDepth     *metrics.Gauge
-	mPeak      *metrics.Gauge
-	mBatches   *metrics.Counter
-	mBatchSize *metrics.Histogram
-	mDone      *metrics.Counter
-	mFailed    *metrics.Counter
-	mQueueWait *metrics.Histogram
-	mDrops     *metrics.Counter
-	mReplans   *metrics.Counter
+	// recovered is the set of jobs replayed from the store by New.
+	recovered []*Job
+
+	mSubmitted  *metrics.Counter
+	mAccepted   *metrics.Counter
+	mRejects    *metrics.Counter
+	mDepth      *metrics.Gauge
+	mPeak       *metrics.Gauge
+	mBatches    *metrics.Counter
+	mBatchSize  *metrics.Histogram
+	mDone       *metrics.Counter
+	mFailed     *metrics.Counter
+	mQueueWait  *metrics.Histogram
+	mDrops      *metrics.Counter
+	mReplans    *metrics.Counter
+	mDuplicates *metrics.Counter
+	mRecovered  *metrics.Counter
 }
 
 // New starts a server: one batcher goroutine plus cfg.Executors batch
-// executors.
+// executors. When a store is configured, New replays every
+// accepted-but-unfinished record it holds before returning — the recovered
+// jobs are re-admitted through the normal queue (already executing
+// asynchronously when New returns; see RecoveredJobs).
 func New(cfg Config) *Server {
 	cfg.normalize()
 	reg := cfg.Metrics
@@ -375,6 +432,7 @@ func New(cfg Config) *Server {
 		batches:     make(chan *batch, cfg.Executors),
 		batcherDone: make(chan struct{}),
 		jobs:        map[uint64]*Job{},
+		byCID:       map[string]*Job{},
 		mSubmitted:  reg.Counter(MetricSubmitted),
 		mAccepted:   reg.Counter(MetricAccepted),
 		mRejects:    reg.Counter(MetricRejects),
@@ -387,6 +445,8 @@ func New(cfg Config) *Server {
 		mQueueWait:  reg.Histogram(MetricQueueWaitUS),
 		mDrops:      reg.Counter(MetricDeviceDrops),
 		mReplans:    reg.Counter(MetricReplans),
+		mDuplicates: reg.Counter(MetricDuplicates),
+		mRecovered:  reg.Counter(MetricRecovered),
 	}
 	s.classes.init(&s.cfg)
 	go s.batcher()
@@ -394,7 +454,14 @@ func New(cfg Config) *Server {
 		s.execWG.Add(1)
 		go s.executor()
 	}
+	s.recover()
 	return s
+}
+
+// RecoveredJobs returns the jobs New replayed from the store (possibly
+// already finished by the time the caller looks).
+func (s *Server) RecoveredJobs() []*Job {
+	return append([]*Job(nil), s.recovered...)
 }
 
 // Submit validates and admits one factorization request. It never blocks:
@@ -445,9 +512,14 @@ func (s *Server) Submit(ctx context.Context, a *matrix.Matrix, opts SubmitOption
 		id:    s.nextID.Add(1),
 		cls:   cls,
 		a:     a,
+		cid:   opts.ClientID,
 		enq:   time.Now(),
 		done:  make(chan struct{}),
 		trace: tr,
+	}
+	j.sid = j.cid
+	if j.sid == "" {
+		j.sid = strconv.FormatUint(j.id, 10)
 	}
 	tr.SetAttr("job", strconv.FormatUint(j.id, 10))
 	tr.SetAttr("class", cls.key)
@@ -456,14 +528,44 @@ func (s *Server) Submit(ctx context.Context, a *matrix.Matrix, opts SubmitOption
 	} else {
 		j.ctx = ctx
 	}
+	// Claim the idempotency key before anything observable happens: two
+	// racing submissions with the same client id must see exactly one 202.
+	if j.cid != "" {
+		if err := s.claimCID(j); err != nil {
+			s.mDuplicates.Inc()
+			if j.cancel != nil {
+				j.cancel()
+			}
+			return reject(err)
+		}
+	}
 
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.closed {
+		s.releaseCID(j)
 		if j.cancel != nil {
 			j.cancel()
 		}
 		return reject(ErrClosed)
+	}
+	// Durability point: the record reaches the store (file stores fsync
+	// here) before the queue send, so an executor can never outrun the
+	// persist and an acknowledged job can never be lost. The store also
+	// backstops the idempotency check across restarts: a client id that was
+	// ever accepted still has a record, and Put refuses it.
+	if s.cfg.Store != nil {
+		if err := s.cfg.Store.Put(s.recordOf(j, opts)); err != nil {
+			s.releaseCID(j)
+			if j.cancel != nil {
+				j.cancel()
+			}
+			if errors.Is(err, store.ErrDuplicate) {
+				s.mDuplicates.Inc()
+				return reject(fmt.Errorf("%w: %q", ErrDuplicateID, j.sid))
+			}
+			return reject(fmt.Errorf("%w: %v", ErrPersist, err))
+		}
 	}
 	// Close the admission span and open (and publish via the job field) the
 	// queue span before the channel send: the moment the job is on the
@@ -485,12 +587,79 @@ func (s *Server) Submit(ctx context.Context, a *matrix.Matrix, opts SubmitOption
 		return j, nil
 	default:
 		s.mRejects.Inc()
+		s.releaseCID(j)
+		// Roll back the durable record: the client is told "overloaded",
+		// so a restart must not replay this job.
+		if s.cfg.Store != nil {
+			_ = s.cfg.Store.Delete(j.sid)
+		}
 		if j.cancel != nil {
 			j.cancel()
 		}
 		tr.EndErr(j.queueSpan, ErrOverloaded)
 		return reject(ErrOverloaded)
 	}
+}
+
+// claimCID reserves a client-supplied job id, failing with ErrDuplicateID
+// when a live job already holds it.
+func (s *Server) claimCID(j *Job) error {
+	s.jobsMu.Lock()
+	defer s.jobsMu.Unlock()
+	if _, ok := s.byCID[j.cid]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicateID, j.cid)
+	}
+	s.byCID[j.cid] = j
+	return nil
+}
+
+// releaseCID undoes claimCID after a failed admission.
+func (s *Server) releaseCID(j *Job) {
+	if j.cid == "" {
+		return
+	}
+	s.jobsMu.Lock()
+	defer s.jobsMu.Unlock()
+	if s.byCID[j.cid] == j {
+		delete(s.byCID, j.cid)
+	}
+}
+
+// recordOf builds the job's durable record. Reproducible inputs persist
+// their seed; everything else persists the dense payload.
+func (s *Server) recordOf(j *Job, opts SubmitOptions) store.JobRecord {
+	rec := store.JobRecord{
+		ID:       j.sid,
+		NumID:    j.id,
+		ClientID: j.cid,
+		TraceID:  j.TraceID(),
+		Class:    j.cls.key,
+		Rows:     j.a.Rows,
+		Cols:     j.a.Cols,
+		Tile:     j.cls.tile,
+		Tree:     j.cls.tree.Name(),
+		Accepted: j.enq,
+		State:    store.StateAccepted,
+	}
+	if opts.SeedOnly {
+		rec.SeedOnly, rec.Seed = true, opts.Seed
+	} else {
+		rec.Data = flattenMatrix(j.a)
+	}
+	if dl, ok := j.ctx.Deadline(); ok {
+		rec.Deadline = dl
+	}
+	return rec
+}
+
+// flattenMatrix copies a matrix row-major into a fresh slice (the backing
+// Data may be strided).
+func flattenMatrix(a *matrix.Matrix) []float64 {
+	out := make([]float64, 0, a.Rows*a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		out = append(out, a.Row(i)...)
+	}
+	return out
 }
 
 // remember indexes the job for ID lookups, pruning the oldest finished
@@ -505,6 +674,9 @@ func (s *Server) remember(j *Job) {
 		if ok && oldest.State() < StateDone {
 			break // never forget a live job
 		}
+		if ok && oldest.cid != "" && s.byCID[oldest.cid] == oldest {
+			delete(s.byCID, oldest.cid)
+		}
 		delete(s.jobs, s.order[0])
 		s.order = s.order[1:]
 	}
@@ -516,6 +688,27 @@ func (s *Server) Lookup(id uint64) (*Job, bool) {
 	defer s.jobsMu.Unlock()
 	j, ok := s.jobs[id]
 	return j, ok
+}
+
+// LookupClientID returns the live job holding the given client-supplied id,
+// if still retained. Terminal jobs evicted from memory may still be
+// resolvable through the store (see Record).
+func (s *Server) LookupClientID(cid string) (*Job, bool) {
+	s.jobsMu.Lock()
+	defer s.jobsMu.Unlock()
+	j, ok := s.byCID[cid]
+	return j, ok
+}
+
+// Record fetches a job's durable record straight from the store — the
+// fallback the HTTP layer uses when a job id is not in memory (evicted, or
+// finished in a previous process incarnation).
+func (s *Server) Record(id string) (store.JobRecord, bool) {
+	if s.cfg.Store == nil {
+		return store.JobRecord{}, false
+	}
+	rec, err := s.cfg.Store.Get(id)
+	return rec, err == nil
 }
 
 // Close drains the service gracefully: no new admissions, every already
@@ -534,6 +727,11 @@ func (s *Server) Close() {
 	s.mu.Unlock()
 	<-s.batcherDone
 	s.execWG.Wait()
+	if s.cfg.Store != nil {
+		// Every accepted job has an outcome now; push the terminal records
+		// to stable storage so a post-drain restart replays nothing.
+		_ = s.cfg.Store.Sync()
+	}
 }
 
 // batcher is the single routing goroutine: it groups queued jobs by size
@@ -626,6 +824,7 @@ func (s *Server) runBatch(b *batch) {
 			err = fmt.Errorf("serve: job %d expired in queue: %w", j.id, err)
 			j.trace.EndErr(j.queueSpan, err)
 			j.finish(nil, err)
+			s.persistOutcome(j)
 			s.mFailed.Inc()
 			cls.latency.Observe(float64(j.fin.Sub(j.enq)) / float64(time.Microsecond))
 			s.finishJobTrace(j, err)
@@ -633,6 +832,11 @@ func (s *Server) runBatch(b *batch) {
 		}
 		j.trace.End(j.queueSpan)
 		j.state.Store(int32(StateRunning))
+		if s.cfg.Store != nil {
+			// Mirror the transition (not fsynced: losing it merely replays
+			// the job, which the terminal CAS keeps exactly-once).
+			_ = s.cfg.Store.MarkState(j.sid, "", store.StateRunning)
+		}
 		// The batch span covers micro-batch assembly for this job: tiling
 		// the input into the shared DAG's layout until dispatch.
 		batchSpans = append(batchSpans, j.trace.Start(j.trace.Root(), obs.SpanBatch))
@@ -651,6 +855,9 @@ func (s *Server) runBatch(b *batch) {
 		execSpans[i] = j.trace.Start(j.trace.Root(), obs.SpanExecute)
 		items[i].Trace = j.trace
 		items[i].Span = execSpans[i]
+	}
+	if s.cfg.testMidBatch != nil {
+		s.cfg.testMidBatch()
 	}
 	errs, frep := runtime.ExecuteBatchWith(cls.dag, items, runtime.BatchOptions{
 		Workers: cls.batchWorkers(),
@@ -691,8 +898,35 @@ func (s *Server) runBatch(b *batch) {
 			j.finish(items[i].F, nil)
 			s.mDone.Inc()
 		}
+		s.persistOutcome(j)
 		cls.latency.Observe(float64(j.fin.Sub(j.enq)) / float64(time.Microsecond))
 		s.finishJobTrace(j, j.err)
+	}
+}
+
+// persistOutcome mirrors a finished job into the store via the terminal
+// CAS. An ErrConflict means another path (or a previous incarnation)
+// already finished the record — this outcome is then discarded, which is
+// exactly the exactly-once contract.
+func (s *Server) persistOutcome(j *Job) {
+	if s.cfg.Store == nil {
+		return
+	}
+	var res *store.Result
+	msg := ""
+	if j.err != nil {
+		msg = j.err.Error()
+		if msg == "" {
+			msg = "failed"
+		}
+	} else if j.f != nil {
+		r := j.f.R()
+		res = &store.Result{Rows: r.Rows, Cols: r.Cols, Data: flattenMatrix(r)}
+	}
+	err := s.cfg.Store.SetResult(j.sid, res, msg)
+	if err != nil && !errors.Is(err, store.ErrConflict) && !errors.Is(err, store.ErrHalted) && s.cfg.Logger != nil {
+		s.cfg.Logger.Warn("job outcome not persisted",
+			"trace_id", j.TraceID(), "job", j.id, "err", err)
 	}
 }
 

@@ -1,0 +1,429 @@
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// File-store metric names (registered when FileOptions.Metrics is set).
+const (
+	// MetricJobs is the number of records currently held (gauge).
+	MetricJobs = "store.jobs"
+	// MetricWALAppends counts WAL records appended this incarnation;
+	// MetricWALReplayed the WAL records replayed at open.
+	MetricWALAppends  = "store.wal_appends"
+	MetricWALReplayed = "store.wal_replayed"
+	// MetricFsyncs counts fsync calls (the durability points).
+	MetricFsyncs = "store.fsyncs"
+	// MetricCompactions counts snapshot+truncate cycles.
+	MetricCompactions = "store.compactions"
+)
+
+// WAL and snapshot file names inside the store directory.
+const (
+	walName      = "wal.jsonl"
+	snapshotName = "snapshot.json"
+)
+
+// walOp is one WAL record: a logical mutation, replayed in order at open.
+// Ops are appended only after their in-memory application succeeded, so
+// replay applies them without re-checking the CAS conditions.
+type walOp struct {
+	Op string `json:"op"` // put | state | result | del
+	// put
+	Rec *JobRecord `json:"rec,omitempty"`
+	// state / result / del
+	ID string `json:"id,omitempty"`
+	// state
+	To State `json:"to,omitempty"`
+	// result
+	Res *Result `json:"res,omitempty"`
+	Err string  `json:"err,omitempty"`
+}
+
+// snapshotFile is the periodic full-state checkpoint: everything the WAL
+// has established up to the moment of compaction.
+type snapshotFile struct {
+	Jobs []JobRecord `json:"jobs"`
+}
+
+// FileOptions tune a file store.
+type FileOptions struct {
+	// Fsync syncs the WAL on every Put — the accept-durability guarantee.
+	// State/result appends are flushed but not individually synced (a crash
+	// may lose the latest transitions; replay then re-runs those jobs, which
+	// the terminal CAS keeps exactly-once).
+	Fsync bool
+	// Metrics receives the store.* metrics; nil disables instrumentation.
+	Metrics *metrics.Registry
+}
+
+// fileStore is the durable backend: an in-memory map of records, an
+// append-only JSONL WAL capturing every mutation, and a snapshot written at
+// Compact. Open replays snapshot + WAL; a torn final WAL line (crash mid
+// append) is tolerated and discarded.
+type fileStore struct {
+	dir  string
+	opts FileOptions
+
+	mu     sync.Mutex
+	m      map[string]JobRecord
+	wal    *os.File
+	walW   *bufio.Writer
+	halted bool
+	closed bool
+
+	mJobs        *metrics.Gauge
+	mAppends     *metrics.Counter
+	mFsyncs      *metrics.Counter
+	mCompactions *metrics.Counter
+}
+
+// FileStore is the file-backed JobStore. Beyond the interface it exposes
+// Compact (snapshot + WAL truncation, run at graceful drain) and Halt (stop
+// touching the files — the crash-simulation hook used by the recovery
+// tests and safe teardown).
+type FileStore interface {
+	JobStore
+	// Compact writes a snapshot of the current state and truncates the WAL.
+	Compact() error
+	// Halt makes every subsequent write fail with ErrHalted without
+	// touching the files — from the on-disk state's point of view the
+	// process died at the moment of the call.
+	Halt()
+	// Dir returns the store directory.
+	Dir() string
+}
+
+// NewFile opens (or creates) the file store in dir, replaying any snapshot
+// and WAL found there. The caller owns the directory; two live processes
+// must not share one.
+func NewFile(dir string, opts FileOptions) (FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create dir: %w", err)
+	}
+	s := &fileStore{
+		dir:          dir,
+		opts:         opts,
+		m:            map[string]JobRecord{},
+		mJobs:        opts.Metrics.Gauge(MetricJobs),
+		mAppends:     opts.Metrics.Counter(MetricWALAppends),
+		mFsyncs:      opts.Metrics.Counter(MetricFsyncs),
+		mCompactions: opts.Metrics.Counter(MetricCompactions),
+	}
+	if err := s.load(); err != nil {
+		return nil, err
+	}
+	wal, err := os.OpenFile(s.walPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open wal: %w", err)
+	}
+	s.wal = wal
+	s.walW = bufio.NewWriter(wal)
+	s.mJobs.Set(float64(len(s.m)))
+	return s, nil
+}
+
+func (s *fileStore) walPath() string      { return filepath.Join(s.dir, walName) }
+func (s *fileStore) snapshotPath() string { return filepath.Join(s.dir, snapshotName) }
+
+// load rebuilds the in-memory state: snapshot first, then the WAL ops in
+// append order. A torn trailing WAL line is discarded (the mutation it
+// described was never acknowledged).
+func (s *fileStore) load() error {
+	if b, err := os.ReadFile(s.snapshotPath()); err == nil {
+		var snap snapshotFile
+		if err := json.Unmarshal(b, &snap); err != nil {
+			return fmt.Errorf("store: corrupt snapshot %s: %w", s.snapshotPath(), err)
+		}
+		for _, rec := range snap.Jobs {
+			s.m[rec.ID] = rec
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("store: read snapshot: %w", err)
+	}
+
+	f, err := os.Open(s.walPath())
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: read wal: %w", err)
+	}
+	defer f.Close()
+	replayed := 0
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 64<<20) // dense payloads make long lines
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var op walOp
+		if err := json.Unmarshal(line, &op); err != nil {
+			// A torn tail is the expected crash artifact; a torn middle would
+			// shadow later ops, so only the final line may be unparsable.
+			if sc.Scan() {
+				return fmt.Errorf("store: corrupt wal record (not at tail): %w", err)
+			}
+			break
+		}
+		s.apply(op)
+		replayed++
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("store: scan wal: %w", err)
+	}
+	s.opts.Metrics.Counter(MetricWALReplayed).Add(int64(replayed))
+	return nil
+}
+
+// apply replays one WAL op against the in-memory map. Ops were validated
+// before they were appended, so replay is unconditional; records that have
+// since been deleted are skipped.
+func (s *fileStore) apply(op walOp) {
+	switch op.Op {
+	case "put":
+		if op.Rec != nil {
+			s.m[op.Rec.ID] = *op.Rec
+		}
+	case "state":
+		if rec, ok := s.m[op.ID]; ok {
+			rec.State = op.To
+			s.m[op.ID] = rec
+		}
+	case "result":
+		if rec, ok := s.m[op.ID]; ok {
+			if next, err := finishRecord(rec, op.Res, op.Err); err == nil {
+				s.m[op.ID] = next
+			}
+		}
+	case "del":
+		delete(s.m, op.ID)
+	}
+}
+
+// append writes one WAL op and flushes it to the OS; sync additionally
+// fsyncs (the durability point). Callers hold s.mu.
+func (s *fileStore) append(op walOp, sync bool) error {
+	b, err := json.Marshal(op)
+	if err != nil {
+		return fmt.Errorf("store: encode wal op: %w", err)
+	}
+	if _, err := s.walW.Write(append(b, '\n')); err != nil {
+		return fmt.Errorf("store: append wal: %w", err)
+	}
+	if err := s.walW.Flush(); err != nil {
+		return fmt.Errorf("store: flush wal: %w", err)
+	}
+	s.mAppends.Inc()
+	if sync && s.opts.Fsync {
+		if err := s.wal.Sync(); err != nil {
+			return fmt.Errorf("store: fsync wal: %w", err)
+		}
+		s.mFsyncs.Inc()
+	}
+	return nil
+}
+
+func (s *fileStore) Put(rec JobRecord) error {
+	if !rec.State.Valid() {
+		return fmt.Errorf("store: put %q: invalid state %q", rec.ID, rec.State)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.halted {
+		return ErrHalted
+	}
+	if _, ok := s.m[rec.ID]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicate, rec.ID)
+	}
+	rec = cloneRecord(rec)
+	if err := s.append(walOp{Op: "put", Rec: &rec}, true); err != nil {
+		return err
+	}
+	s.m[rec.ID] = rec
+	s.mJobs.Set(float64(len(s.m)))
+	return nil
+}
+
+func (s *fileStore) Get(id string) (JobRecord, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.m[id]
+	if !ok {
+		return JobRecord{}, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	return cloneRecord(rec), nil
+}
+
+func (s *fileStore) List() ([]JobRecord, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return listRecords(s.m), nil
+}
+
+func (s *fileStore) MarkState(id string, from, to State) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.halted {
+		return ErrHalted
+	}
+	rec, ok := s.m[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	next, err := transition(rec, from, to)
+	if err != nil {
+		return err
+	}
+	if err := s.append(walOp{Op: "state", ID: id, To: to}, false); err != nil {
+		return err
+	}
+	s.m[id] = next
+	return nil
+}
+
+func (s *fileStore) SetResult(id string, res *Result, errMsg string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.halted {
+		return ErrHalted
+	}
+	rec, ok := s.m[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	next, err := finishRecord(rec, res, errMsg)
+	if err != nil {
+		return err
+	}
+	if err := s.append(walOp{Op: "result", ID: id, Res: next.Result, Err: errMsg}, false); err != nil {
+		return err
+	}
+	s.m[id] = next
+	return nil
+}
+
+func (s *fileStore) Delete(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.halted {
+		return ErrHalted
+	}
+	if _, ok := s.m[id]; !ok {
+		return nil
+	}
+	if err := s.append(walOp{Op: "del", ID: id}, false); err != nil {
+		return err
+	}
+	delete(s.m, id)
+	s.mJobs.Set(float64(len(s.m)))
+	return nil
+}
+
+func (s *fileStore) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.halted {
+		return ErrHalted
+	}
+	if err := s.walW.Flush(); err != nil {
+		return fmt.Errorf("store: flush wal: %w", err)
+	}
+	if err := s.wal.Sync(); err != nil {
+		return fmt.Errorf("store: fsync wal: %w", err)
+	}
+	s.mFsyncs.Inc()
+	return nil
+}
+
+// Compact checkpoints the current state into the snapshot and truncates the
+// WAL: recovery cost becomes proportional to the live job set, not to the
+// lifetime mutation count. Runs at graceful drain and is safe at any time.
+func (s *fileStore) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.halted {
+		return ErrHalted
+	}
+	snap := snapshotFile{Jobs: listRecords(s.m)}
+	b, err := json.MarshalIndent(&snap, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: encode snapshot: %w", err)
+	}
+	// Write-rename so a crash mid-compaction leaves the old snapshot (and
+	// the old WAL — it is only truncated after the rename) fully intact.
+	tmp := s.snapshotPath() + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: write snapshot: %w", err)
+	}
+	if _, err := f.Write(b); err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("store: write snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: close snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, s.snapshotPath()); err != nil {
+		return fmt.Errorf("store: install snapshot: %w", err)
+	}
+	s.mFsyncs.Inc()
+	// Truncate the WAL: everything it held is now in the snapshot.
+	if err := s.walW.Flush(); err != nil {
+		return fmt.Errorf("store: flush wal: %w", err)
+	}
+	if err := s.wal.Truncate(0); err != nil {
+		return fmt.Errorf("store: truncate wal: %w", err)
+	}
+	if _, err := s.wal.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("store: rewind wal: %w", err)
+	}
+	s.walW.Reset(s.wal)
+	s.mCompactions.Inc()
+	return nil
+}
+
+func (s *fileStore) Halt() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.halted = true
+}
+
+func (s *fileStore) Dir() string { return s.dir }
+
+func (s *fileStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.halted {
+		// A halted store simulated its death already; closing must not
+		// flush the writes it pretended to lose.
+		return s.wal.Close()
+	}
+	s.halted = true
+	if err := s.walW.Flush(); err != nil {
+		s.wal.Close()
+		return fmt.Errorf("store: flush wal: %w", err)
+	}
+	if err := s.wal.Sync(); err != nil {
+		s.wal.Close()
+		return fmt.Errorf("store: fsync wal: %w", err)
+	}
+	return s.wal.Close()
+}

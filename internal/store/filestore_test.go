@@ -1,0 +1,189 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func openFile(t *testing.T, dir string) FileStore {
+	t.Helper()
+	s, err := NewFile(dir, FileOptions{Fsync: true})
+	if err != nil {
+		t.Fatalf("NewFile(%s): %v", dir, err)
+	}
+	return s
+}
+
+func TestFileStoreReopenReplaysWAL(t *testing.T) {
+	dir := t.TempDir()
+	s := openFile(t, dir)
+	if err := s.Put(rec("a", 1)); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := s.Put(rec("b", 2)); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := s.MarkState("a", StateAccepted, StateRunning); err != nil {
+		t.Fatalf("MarkState: %v", err)
+	}
+	if err := s.SetResult("b", &Result{Rows: 1, Cols: 1, Data: []float64{7}}, ""); err != nil {
+		t.Fatalf("SetResult: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	re := openFile(t, dir)
+	defer re.Close()
+	a, err := re.Get("a")
+	if err != nil || a.State != StateRunning {
+		t.Fatalf("replayed a = %+v (%v), want running", a, err)
+	}
+	b, err := re.Get("b")
+	if err != nil || b.State != StateDone || b.Result == nil || b.Result.Data[0] != 7 {
+		t.Fatalf("replayed b = %+v (%v), want done with result", b, err)
+	}
+	// The terminal CAS survives the restart: b cannot finish twice.
+	if err := re.SetResult("b", nil, "again"); !errors.Is(err, ErrConflict) {
+		t.Fatalf("SetResult after replay: got %v, want ErrConflict", err)
+	}
+}
+
+func TestFileStoreToleratesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	s := openFile(t, dir)
+	if err := s.Put(rec("a", 1)); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Simulate a crash mid-append: half a JSON record at the WAL tail.
+	wal := filepath.Join(dir, walName)
+	f, err := os.OpenFile(wal, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatalf("open wal: %v", err)
+	}
+	if _, err := f.WriteString(`{"op":"put","rec":{"id":"torn","nu`); err != nil {
+		t.Fatalf("write torn tail: %v", err)
+	}
+	f.Close()
+
+	re := openFile(t, dir)
+	defer re.Close()
+	if _, err := re.Get("a"); err != nil {
+		t.Fatalf("record before the torn tail lost: %v", err)
+	}
+	if _, err := re.Get("torn"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("torn record visible: %v", err)
+	}
+	// The store stays writable after discarding the tail.
+	if err := re.Put(rec("c", 3)); err != nil {
+		t.Fatalf("Put after torn tail: %v", err)
+	}
+}
+
+func TestFileStoreRejectsCorruptMiddle(t *testing.T) {
+	dir := t.TempDir()
+	wal := filepath.Join(dir, walName)
+	body := `{"op":"put","rec":{"id":"a","numID":1,"rows":1,"cols":1,"tile":1,"accepted":"2026-01-01T00:00:00Z","state":"accepted"}}
+not json at all
+{"op":"state","id":"a","to":"running"}
+`
+	if err := os.WriteFile(wal, []byte(body), 0o644); err != nil {
+		t.Fatalf("write wal: %v", err)
+	}
+	if _, err := NewFile(dir, FileOptions{}); err == nil {
+		t.Fatal("NewFile accepted a WAL with a corrupt middle record")
+	}
+}
+
+func TestFileStoreCompact(t *testing.T) {
+	dir := t.TempDir()
+	reg := metrics.NewRegistry()
+	s, err := NewFile(dir, FileOptions{Fsync: true, Metrics: reg})
+	if err != nil {
+		t.Fatalf("NewFile: %v", err)
+	}
+	for i, id := range []string{"a", "b", "c"} {
+		if err := s.Put(rec(id, uint64(i+1))); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	if err := s.SetResult("a", nil, ""); err != nil {
+		t.Fatalf("SetResult: %v", err)
+	}
+	if err := s.Delete("c"); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	// The WAL is empty after compaction; the snapshot carries the state.
+	if fi, err := os.Stat(filepath.Join(dir, walName)); err != nil || fi.Size() != 0 {
+		t.Fatalf("wal after compact: size=%v err=%v, want empty", fi.Size(), err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapshotName)); err != nil {
+		t.Fatalf("snapshot missing after compact: %v", err)
+	}
+	// Post-compaction writes land in the fresh WAL and everything reopens.
+	if err := s.Put(rec("d", 4)); err != nil {
+		t.Fatalf("Put after compact: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	re := openFile(t, dir)
+	defer re.Close()
+	list, err := re.List()
+	if err != nil {
+		t.Fatalf("List: %v", err)
+	}
+	var ids []string
+	for _, r := range list {
+		ids = append(ids, r.ID)
+	}
+	if len(ids) != 3 || ids[0] != "a" || ids[1] != "b" || ids[2] != "d" {
+		t.Fatalf("reopened ids = %v, want [a b d]", ids)
+	}
+	if a, _ := re.Get("a"); a.State != StateDone {
+		t.Fatalf("a.State = %s after compact+reopen, want done", a.State)
+	}
+	if got := reg.Snapshot().Counters[MetricCompactions]; got != 1 {
+		t.Fatalf("%s = %d, want 1", MetricCompactions, got)
+	}
+}
+
+func TestFileStoreHaltLosesUnwrittenState(t *testing.T) {
+	// Halt simulates the process dying: mutations after it never reach the
+	// files, so a reopen sees the pre-halt state — exactly what crash
+	// recovery must handle.
+	dir := t.TempDir()
+	s := openFile(t, dir)
+	if err := s.Put(rec("a", 1)); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	s.Halt()
+	if err := s.SetResult("a", nil, ""); !errors.Is(err, ErrHalted) {
+		t.Fatalf("SetResult after halt: got %v, want ErrHalted", err)
+	}
+	if err := s.Put(rec("b", 2)); !errors.Is(err, ErrHalted) {
+		t.Fatalf("Put after halt: got %v, want ErrHalted", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	re := openFile(t, dir)
+	defer re.Close()
+	a, err := re.Get("a")
+	if err != nil || a.State != StateAccepted {
+		t.Fatalf("a after halt+reopen = %+v (%v), want accepted", a, err)
+	}
+	if _, err := re.Get("b"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("post-halt Put reached the files")
+	}
+}

@@ -1,0 +1,189 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// backends under test: every JobStore semantics test runs against both.
+func backends(t *testing.T) map[string]func(t *testing.T) JobStore {
+	return map[string]func(t *testing.T) JobStore{
+		"mem": func(t *testing.T) JobStore { return NewMem() },
+		"file": func(t *testing.T) JobStore {
+			s, err := NewFile(t.TempDir(), FileOptions{Fsync: true})
+			if err != nil {
+				t.Fatalf("NewFile: %v", err)
+			}
+			return s
+		},
+	}
+}
+
+func rec(id string, num uint64) JobRecord {
+	return JobRecord{
+		ID: id, NumID: num, TraceID: "t-" + id, Class: "64x64/b16/flat-ts",
+		Rows: 64, Cols: 64, Tile: 16, Tree: "flat-ts",
+		SeedOnly: true, Seed: int64(num),
+		Accepted: time.Now(), State: StateAccepted,
+	}
+}
+
+func TestStoreSemantics(t *testing.T) {
+	for name, mk := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk(t)
+			defer s.Close()
+
+			if err := s.Put(rec("a", 1)); err != nil {
+				t.Fatalf("Put: %v", err)
+			}
+			// Duplicate IDs are rejected — the idempotency-key contract.
+			if err := s.Put(rec("a", 9)); !errors.Is(err, ErrDuplicate) {
+				t.Fatalf("duplicate Put: got %v, want ErrDuplicate", err)
+			}
+			if _, err := s.Get("missing"); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("Get missing: got %v, want ErrNotFound", err)
+			}
+
+			// Non-terminal CAS: wrong "from" loses, "" matches any non-terminal.
+			if err := s.MarkState("a", StateRunning, StateRunning); !errors.Is(err, ErrConflict) {
+				t.Fatalf("CAS from wrong state: got %v, want ErrConflict", err)
+			}
+			if err := s.MarkState("a", StateAccepted, StateRunning); err != nil {
+				t.Fatalf("accepted→running: %v", err)
+			}
+			if err := s.MarkState("a", "", StateAccepted); err != nil {
+				t.Fatalf("any→accepted: %v", err)
+			}
+			// MarkState cannot reach a terminal state.
+			if err := s.MarkState("a", "", StateDone); err == nil {
+				t.Fatal("MarkState to terminal state succeeded")
+			}
+
+			// Terminal CAS: the first SetResult wins, every later one conflicts.
+			res := &Result{Rows: 2, Cols: 2, Data: []float64{1, 2, 0, 3}}
+			if err := s.SetResult("a", res, ""); err != nil {
+				t.Fatalf("SetResult: %v", err)
+			}
+			if err := s.SetResult("a", nil, "late failure"); !errors.Is(err, ErrConflict) {
+				t.Fatalf("second SetResult: got %v, want ErrConflict", err)
+			}
+			if err := s.MarkState("a", "", StateRunning); !errors.Is(err, ErrConflict) {
+				t.Fatalf("MarkState after terminal: got %v, want ErrConflict", err)
+			}
+			got, err := s.Get("a")
+			if err != nil {
+				t.Fatalf("Get: %v", err)
+			}
+			if got.State != StateDone || got.Result == nil || got.Result.Data[3] != 3 {
+				t.Fatalf("terminal record = %+v, want done with result", got)
+			}
+
+			// Failed terminal path.
+			if err := s.Put(rec("b", 2)); err != nil {
+				t.Fatalf("Put b: %v", err)
+			}
+			if err := s.SetResult("b", nil, "deadline exceeded"); err != nil {
+				t.Fatalf("SetResult failed-path: %v", err)
+			}
+			got, _ = s.Get("b")
+			if got.State != StateFailed || got.Error != "deadline exceeded" {
+				t.Fatalf("failed record = %+v", got)
+			}
+
+			// List is ordered by NumID; Delete removes.
+			if err := s.Put(rec("c", 3)); err != nil {
+				t.Fatalf("Put c: %v", err)
+			}
+			list, err := s.List()
+			if err != nil || len(list) != 3 {
+				t.Fatalf("List: %v (%d records)", err, len(list))
+			}
+			for i, want := range []string{"a", "b", "c"} {
+				if list[i].ID != want {
+					t.Fatalf("List[%d] = %q, want %q", i, list[i].ID, want)
+				}
+			}
+			if err := s.Delete("c"); err != nil {
+				t.Fatalf("Delete: %v", err)
+			}
+			if _, err := s.Get("c"); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("Get deleted: got %v, want ErrNotFound", err)
+			}
+			if err := s.Delete("c"); err != nil {
+				t.Fatalf("Delete absent: %v", err)
+			}
+		})
+	}
+}
+
+func TestStoreIsolation(t *testing.T) {
+	// Mutating a record after Put (or the slices of a Get result) must not
+	// leak into the store.
+	for name, mk := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk(t)
+			defer s.Close()
+			r := rec("a", 1)
+			r.SeedOnly = false
+			r.Data = []float64{1, 2, 3, 4}
+			if err := s.Put(r); err != nil {
+				t.Fatalf("Put: %v", err)
+			}
+			r.Data[0] = 99
+			got, _ := s.Get("a")
+			if got.Data[0] != 1 {
+				t.Fatal("Put aliased the caller's Data slice")
+			}
+			got.Data[1] = 99
+			again, _ := s.Get("a")
+			if again.Data[1] != 2 {
+				t.Fatal("Get aliased the stored Data slice")
+			}
+		})
+	}
+}
+
+func TestStoreConcurrentTerminalCAS(t *testing.T) {
+	// Many racers, one winner: exactly one SetResult may succeed per job.
+	for name, mk := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk(t)
+			defer s.Close()
+			const jobs, racers = 8, 8
+			for i := 0; i < jobs; i++ {
+				if err := s.Put(rec(fmt.Sprintf("j%d", i), uint64(i+1))); err != nil {
+					t.Fatalf("Put: %v", err)
+				}
+			}
+			wins := make(chan string, jobs*racers)
+			done := make(chan struct{})
+			for r := 0; r < racers; r++ {
+				go func(r int) {
+					for i := 0; i < jobs; i++ {
+						id := fmt.Sprintf("j%d", i)
+						if err := s.SetResult(id, nil, fmt.Sprintf("racer %d", r)); err == nil {
+							wins <- id
+						}
+					}
+					done <- struct{}{}
+				}(r)
+			}
+			for r := 0; r < racers; r++ {
+				<-done
+			}
+			close(wins)
+			won := map[string]int{}
+			for id := range wins {
+				won[id]++
+			}
+			for i := 0; i < jobs; i++ {
+				if n := won[fmt.Sprintf("j%d", i)]; n != 1 {
+					t.Fatalf("job j%d finished %d times, want exactly 1", i, n)
+				}
+			}
+		})
+	}
+}
