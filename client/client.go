@@ -2,9 +2,10 @@
 // HTTP API of both qrserve workers and the qrrouter front end (the two are
 // wire-compatible), with the retry discipline a production caller needs
 // baked in — capped-exponential jittered backoff that honours Retry-After,
-// context-aware cancellation everywhere, idempotency keys on submission,
-// and X-Trace-Id propagation so a client-side id follows the job through
-// every server hop and into /traces.
+// context-aware cancellation everywhere, idempotency keys on every
+// submission (auto-minted when the caller does not supply one, so retried
+// submits can never double-accept), and X-Trace-Id propagation so a
+// client-side id follows the job through every server hop and into /traces.
 //
 // The verbs:
 //
@@ -24,6 +25,8 @@ package client
 import (
 	"bytes"
 	"context"
+	cryptorand "crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -191,7 +194,11 @@ func New(cfg Config) (*Client, error) {
 type JobSpec struct {
 	// ID is an optional idempotency key: resubmitting the same key can
 	// never double-accept the job (the server answers 409, which Submit
-	// folds into ErrDuplicate + a handle to the existing job).
+	// folds into ErrDuplicate + a handle to the existing job). When empty,
+	// Submit mints a random key of its own ("cl-<hex>") before the first
+	// attempt, so its transparent retries after an ambiguous transport
+	// failure cannot double-accept the job either; the minted key comes
+	// back as Job.ID.
 	ID string
 	// Rows×Cols is the matrix shape; Tile and Tree default server-side.
 	Rows, Cols int
@@ -250,14 +257,20 @@ func (j *Job) Wait(ctx context.Context) (*Result, error) { return j.c.Wait(ctx, 
 func (j *Job) Status(ctx context.Context) (Status, error) { return j.c.Status(ctx, j.ID) }
 
 // Submit sends one factorization request, retrying transparently through
-// overload (429 + Retry-After) and transport failures. On ErrDuplicate the
-// returned handle refers to the existing job with that id, so an idempotent
-// resubmission can switch straight to Wait.
+// overload (429 + Retry-After) and transport failures. Every submission
+// carries an idempotency key — spec.ID, or a freshly minted one when the
+// caller left it empty — so a retry after a lost response can never
+// double-accept the job. On ErrDuplicate (a caller-supplied id already
+// taken) the returned handle refers to the existing job with that id, so an
+// idempotent resubmission can switch straight to Wait; a 409 against a
+// minted key just means an earlier attempt of this same call was accepted,
+// and is folded into success.
 func (c *Client) Submit(ctx context.Context, spec JobSpec) (*Job, error) {
-	body := map[string]any{"rows": spec.Rows, "cols": spec.Cols}
-	if spec.ID != "" {
-		body["id"] = spec.ID
+	id, minted := spec.ID, false
+	if id == "" {
+		id, minted = mintKey(), true
 	}
+	body := map[string]any{"rows": spec.Rows, "cols": spec.Cols, "id": id}
 	if spec.Tile > 0 {
 		body["tile"] = spec.Tile
 	}
@@ -287,19 +300,32 @@ func (c *Client) Submit(ctx context.Context, spec JobSpec) (*Job, error) {
 		if errors.As(err, &apiErr) && apiErr.Code == http.StatusConflict {
 			// The id is taken — hand back the existing job so the caller
 			// can poll it. The 409 body carries its status when resolvable.
-			j := &Job{c: c, ID: spec.ID, TraceID: st.TraceID, Class: st.Class}
-			if j.ID == "" {
-				j.ID = st.ID
+			j := &Job{c: c, ID: id, TraceID: st.TraceID, Class: st.Class}
+			if minted {
+				// Nobody else knows a minted key: the conflict is this
+				// call's own earlier attempt, accepted before the response
+				// was lost. That is the idempotent-retry path working.
+				return j, nil
 			}
-			return j, fmt.Errorf("%w: %q", ErrDuplicate, spec.ID)
+			return j, fmt.Errorf("%w: %q", ErrDuplicate, id)
 		}
 		return nil, err
 	}
-	id := st.ClientID
-	if id == "" {
-		id = st.ID
+	if st.ClientID != "" {
+		id = st.ClientID
 	}
 	return &Job{c: c, ID: id, TraceID: resp.Header.Get("X-Trace-Id"), Class: st.Class}, nil
+}
+
+// mintKey generates a client-side idempotency key for an id-less JobSpec:
+// minted once per Submit call, before the first attempt, so every retry of
+// that call presents the same key.
+func mintKey() string {
+	var b [9]byte
+	if _, err := cryptorand.Read(b[:]); err != nil {
+		return "cl-" + strconv.FormatInt(time.Now().UnixNano(), 36)
+	}
+	return "cl-" + hex.EncodeToString(b[:])
 }
 
 // Status fetches a job's state by id.

@@ -1,11 +1,16 @@
 package client_test
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -266,5 +271,101 @@ func TestClientBadConfig(t *testing.T) {
 	}
 	if _, err := client.New(client.Config{BaseURL: "ftp://x"}); err == nil {
 		t.Fatal("non-http BaseURL accepted")
+	}
+}
+
+// TestClientAutoMintsIdempotencyKey: an id-less JobSpec gets a client-minted
+// key before the first attempt, so a retry after an ambiguous transport
+// failure (response lost after the server accepted) re-presents the same key
+// and can never double-accept the job.
+func TestClientAutoMintsIdempotencyKey(t *testing.T) {
+	upstream := serve.New(serve.Config{})
+	defer upstream.Close()
+	inner := upstream.Handler("")
+
+	var mu sync.Mutex
+	var submittedIDs []string
+	var posts atomic.Int64
+	// The shim lets the first submission reach the server, then severs the
+	// connection before the 202 escapes — the exact ambiguous failure
+	// idempotency keys exist for.
+	shim := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			inner.ServeHTTP(w, r)
+			return
+		}
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		var req struct {
+			ID string `json:"id"`
+		}
+		_ = json.Unmarshal(body, &req)
+		mu.Lock()
+		submittedIDs = append(submittedIDs, req.ID)
+		mu.Unlock()
+		r.Body = io.NopCloser(bytes.NewReader(body))
+		if posts.Add(1) == 1 {
+			rec := httptest.NewRecorder()
+			inner.ServeHTTP(rec, r)
+			if rec.Code != http.StatusAccepted {
+				t.Errorf("first submission not accepted: %d", rec.Code)
+			}
+			conn, _, err := w.(http.Hijacker).Hijack()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			conn.Close() // lose the response on the wire
+			return
+		}
+		inner.ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(shim)
+	defer ts.Close()
+
+	c, err := client.New(client.Config{
+		BaseURL: ts.URL,
+		Retry:   client.RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := testCtx(t)
+	job, err := c.Submit(ctx, client.JobSpec{Rows: 32, Cols: 32, Seed: 11})
+	if err != nil {
+		t.Fatalf("submit through lost response: %v", err)
+	}
+	if !strings.HasPrefix(job.ID, "cl-") {
+		t.Fatalf("job id %q, want a client-minted cl- key", job.ID)
+	}
+	res, err := job.Wait(ctx)
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	direct, err := runtime.Factor(workload.Uniform(11, 32, 32), runtime.Options{TileSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr := direct.R()
+	for i := 0; i < dr.Rows; i++ {
+		for k := 0; k < dr.Cols; k++ {
+			if res.R[i][k] != dr.At(i, k) {
+				t.Fatalf("R[%d][%d] mismatch after retried submission", i, k)
+			}
+		}
+	}
+	// The retry presented the same minted key — one logical job, not two.
+	mu.Lock()
+	defer mu.Unlock()
+	if len(submittedIDs) < 2 {
+		t.Fatalf("shim saw %d submissions, want the original plus a retry", len(submittedIDs))
+	}
+	for _, id := range submittedIDs {
+		if id != submittedIDs[0] {
+			t.Fatalf("retry changed the idempotency key: %v", submittedIDs)
+		}
 	}
 }

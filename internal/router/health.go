@@ -120,20 +120,32 @@ func (r *Router) noteDispatchFailure(widx int) {
 	wk.mu.Unlock()
 }
 
-// failoverStranded re-dispatches every unfinished job whose worker is dead
+// failoverStranded re-dispatches every undelivered job whose worker is dead
 // (or that never got placed). The jobs carry their idempotency keys, so a
 // worker that already holds one answers 409 and the entry just re-homes
 // there; a worker that never saw it re-executes — deterministic kernels
 // make the re-execution bit-identical, and the worker's own terminal CAS
 // makes it single-completion, so the invariant is zero lost jobs.
+//
+// "Undelivered" rather than "non-terminal" is load-bearing: a status poll
+// can observe "done" moments before the worker dies with the result still
+// unfetched. Such an entry must be re-dispatched (the survivor re-executes
+// and the result becomes fetchable again); only an entry whose terminal
+// body was actually served to a client is safe to leave with the dead.
 func (r *Router) failoverStranded() {
 	var stranded []*entry
 	r.mu.Lock()
 	for _, e := range r.jobs {
-		if e.isTerminal() || e.dispatching.Load() {
+		if e.dispatching.Load() {
 			continue
 		}
-		if widx := e.workerIdx(); widx < 0 || !r.isAlive(widx) {
+		e.mu.Lock()
+		delivered, widx := e.delivered, e.worker
+		e.mu.Unlock()
+		if delivered {
+			continue
+		}
+		if widx < 0 || !r.isAlive(widx) {
 			stranded = append(stranded, e)
 		}
 	}
@@ -150,6 +162,12 @@ func (r *Router) failoverStranded() {
 		resp.Body.Close()
 		switch resp.StatusCode {
 		case http.StatusAccepted, http.StatusConflict:
+			// The job is live again on its new worker: clear any terminal
+			// verdict observed on the dead one so pruning and the next sweep
+			// treat it as in flight until it finishes (and is fetched) anew.
+			e.mu.Lock()
+			e.terminal = false
+			e.mu.Unlock()
 			r.mRedis.Inc()
 			if r.cfg.Logger != nil {
 				r.cfg.Logger.Info("job re-dispatched after worker death",

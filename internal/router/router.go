@@ -17,11 +17,16 @@
 // makes failover re-dispatch safe: resubmitting the same job to the same
 // worker cannot double-accept it, and the workers' durable stores guard
 // terminal states with a compare-and-swap, so a job completes effectively
-// once even when the router retries it across a crash.
+// once even when the router retries it across a crash. Minted keys embed a
+// per-incarnation random instance token ("rt-<instance>-<n>"): the workers'
+// stores outlive the router, so a restarted router must never re-mint a key
+// a previous incarnation already spent.
 package router
 
 import (
 	"bytes"
+	cryptorand "crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -159,6 +164,12 @@ type entry struct {
 	mu       sync.Mutex
 	worker   int // index into Router.workers
 	terminal bool
+	// delivered: the result (or terminal failure) body was actually served
+	// to a client. Only then is the job safe to forget on worker death —
+	// an entry that merely *looked* done in a status poll still needs
+	// failover re-dispatch, because the only copy of its result died with
+	// the worker before anyone fetched it.
+	delivered bool
 }
 
 func (e *entry) workerIdx() int {
@@ -185,14 +196,17 @@ type Router struct {
 	mu   sync.Mutex
 	jobs map[string]*entry
 
-	nextID  atomic.Uint64
-	seq     atomic.Uint64
-	mAlive  *metrics.Gauge
-	mJobs   *metrics.Gauge
-	mRedis  *metrics.Counter
-	mExhst  *metrics.Counter
-	stop    chan struct{}
-	stopped sync.WaitGroup
+	// instance tokens the keys this incarnation mints, so they cannot
+	// collide with keys a previous incarnation left in the workers' stores.
+	instance string
+	nextID   atomic.Uint64
+	seq      atomic.Uint64
+	mAlive   *metrics.Gauge
+	mJobs    *metrics.Gauge
+	mRedis   *metrics.Counter
+	mExhst   *metrics.Counter
+	stop     chan struct{}
+	stopped  sync.WaitGroup
 }
 
 // New builds a router over cfg.Workers and starts its health loop. Workers
@@ -204,12 +218,13 @@ func New(cfg Config) (*Router, error) {
 		return nil, errors.New("router: at least one worker required")
 	}
 	r := &Router{
-		cfg:  cfg,
-		reg:  cfg.Metrics,
-		ring: newRing(cfg.Workers, cfg.VirtualNodes),
-		hc:   cfg.HTTPClient,
-		jobs: map[string]*entry{},
-		stop: make(chan struct{}),
+		cfg:      cfg,
+		reg:      cfg.Metrics,
+		ring:     newRing(cfg.Workers, cfg.VirtualNodes),
+		hc:       cfg.HTTPClient,
+		jobs:     map[string]*entry{},
+		instance: randomToken(),
+		stop:     make(chan struct{}),
 	}
 	for _, u := range cfg.Workers {
 		r.workers = append(r.workers, &worker{url: u, alive: true})
@@ -321,8 +336,12 @@ func (r *Router) handleSubmit(w http.ResponseWriter, req *http.Request) {
 	body := raw
 	id := sub.ID
 	if id == "" {
-		// Mint the idempotency key the failover path depends on.
-		id = "rt-" + strconv.FormatUint(r.nextID.Add(1), 10)
+		// Mint the idempotency key the failover path depends on. The
+		// instance token keeps it unique across router incarnations: the
+		// workers' durable stores remember every key ever accepted, so a
+		// restarted counter alone would collide with a prior life's jobs and
+		// hand this client some old job's result.
+		id = "rt-" + r.instance + "-" + strconv.FormatUint(r.nextID.Add(1), 10)
 		body, err = injectID(raw, id)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err)
@@ -453,14 +472,18 @@ func (r *Router) dispatch(e *entry) (*http.Response, int, error) {
 
 // proxyRead forwards a job read (status or result) to the job's current
 // worker. While the job is mid-failover (its worker just died), reads get
-// 503 + Retry-After so retrying clients land after the re-dispatch.
+// 503 + Retry-After so retrying clients land after the re-dispatch. An id
+// the router does not remember (restart wiped the table, or the entry was
+// pruned) is fanned out to the workers before 404ing: their durable stores
+// outlive the router, so clients still cannot tell a router from a single
+// worker.
 func (r *Router) proxyRead(w http.ResponseWriter, req *http.Request, suffix string) {
 	id := req.PathValue("id")
 	r.mu.Lock()
 	e, ok := r.jobs[id]
 	r.mu.Unlock()
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("router: no job %q", id))
+		r.fanoutRead(w, id, suffix)
 		return
 	}
 	widx := e.workerIdx()
@@ -490,6 +513,42 @@ func (r *Router) proxyRead(w http.ResponseWriter, req *http.Request, suffix stri
 	copyResponse(w, resp, body)
 }
 
+// fanoutRead resolves a job id the router has no entry for by asking every
+// live worker in turn: the first answer that is not a 404 is authoritative
+// (at most one worker ever accepted a given idempotency key). Only when the
+// whole fleet disclaims the id does the client get 404.
+func (r *Router) fanoutRead(w http.ResponseWriter, id, suffix string) {
+	for pass := 0; pass < 2; pass++ {
+		for _, wk := range r.workers {
+			// First pass live workers only; second pass tries the rest in
+			// case the health loop is lagging a recovering worker.
+			wk.mu.Lock()
+			alive := wk.alive
+			wk.mu.Unlock()
+			if (pass == 0) != alive {
+				continue
+			}
+			resp, err := r.hc.Get(wk.url + "/jobs/" + id + suffix)
+			if err != nil {
+				r.reg.Counter(metrics.With(MetricWorkerErrors, "worker", wk.url)).Inc()
+				continue
+			}
+			if resp.StatusCode == http.StatusNotFound {
+				resp.Body.Close()
+				continue
+			}
+			body, rerr := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+			resp.Body.Close()
+			if rerr != nil {
+				continue
+			}
+			copyResponse(w, resp, body)
+			return
+		}
+	}
+	writeError(w, http.StatusNotFound, fmt.Errorf("router: no job %q", id))
+}
+
 // observeTerminal marks an entry terminal once its worker reports a final
 // state, which removes it from the failover set and lets pruning reclaim it.
 func (r *Router) observeTerminal(e *entry, suffix string, code int, body []byte) {
@@ -513,6 +572,11 @@ func (r *Router) observeTerminal(e *entry, suffix string, code int, body []byte)
 	e.mu.Lock()
 	was := e.terminal
 	e.terminal = true
+	if suffix == "/result" {
+		// The terminal body itself just went to a client: the job is fully
+		// delivered and worker death can no longer lose anything.
+		e.delivered = true
+	}
 	e.mu.Unlock()
 	if !was {
 		r.prune()
@@ -556,6 +620,18 @@ func (r *Router) dropEntry(id string) {
 	delete(r.jobs, id)
 	r.mJobs.Set(float64(len(r.jobs)))
 	r.mu.Unlock()
+}
+
+// randomToken returns a short random hex string — the per-incarnation
+// instance token embedded in minted idempotency keys.
+func randomToken() string {
+	var b [6]byte
+	if _, err := cryptorand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; degrade to a
+		// time-derived token rather than colliding deterministically.
+		return strconv.FormatInt(time.Now().UnixNano(), 36)
+	}
+	return hex.EncodeToString(b[:])
 }
 
 // injectID adds the router-minted idempotency key to a raw submission body.

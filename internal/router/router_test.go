@@ -2,6 +2,7 @@ package router
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/runtime"
 	"repro/internal/serve"
+	"repro/internal/store"
 	"repro/internal/workload"
 )
 
@@ -321,5 +323,169 @@ func TestRouterFailoverDeadWorker(t *testing.T) {
 	}
 	if snap.Gauges[MetricWorkersAlive] != 1 {
 		t.Fatalf("%s = %v, want 1", MetricWorkersAlive, snap.Gauges[MetricWorkersAlive])
+	}
+}
+
+// TestRouterMintedIDsUniqueAcrossIncarnations: the workers' stores remember
+// every idempotency key forever, but the router's mint counter restarts at 1
+// with the process. Without a per-incarnation instance token a restarted
+// router re-mints a previous life's key, the worker answers 409 with the OLD
+// job, and the client silently polls an unrelated result.
+func TestRouterMintedIDsUniqueAcrossIncarnations(t *testing.T) {
+	w0, _ := newWorker(t, serve.Config{Store: store.NewMem()})
+	postIDless := func(ts *httptest.Server) (int, string) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/jobs", "application/json",
+			strings.NewReader(`{"rows":32,"cols":32,"seed":1}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st struct {
+			ClientID string `json:"clientID"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&st)
+		return resp.StatusCode, st.ClientID
+	}
+
+	r1, err := New(Config{Workers: []string{w0.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(r1.Handler(""))
+	code1, id1 := postIDless(ts1)
+	ts1.Close()
+	r1.Close()
+	if code1 != http.StatusAccepted || id1 == "" {
+		t.Fatalf("first incarnation: status %d, minted id %q", code1, id1)
+	}
+
+	// Second incarnation, same worker: its counter starts over, so only the
+	// instance token keeps the fresh submission from colliding with id1.
+	r2, err := New(Config{Workers: []string{w0.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(r2.Handler(""))
+	defer ts2.Close()
+	defer r2.Close()
+	code2, id2 := postIDless(ts2)
+	if code2 != http.StatusAccepted {
+		t.Fatalf("restarted router collided with a previous incarnation's key: status %d", code2)
+	}
+	if id2 == id1 {
+		t.Fatalf("restarted router re-minted key %q", id1)
+	}
+}
+
+// TestRouterReadSurvivesRouterRestart: a restarted router has an empty job
+// table, but the workers still hold the jobs — reads must fan out to the
+// fleet instead of 404ing, so clients cannot tell a router from a worker.
+func TestRouterReadSurvivesRouterRestart(t *testing.T) {
+	w0, _ := newWorker(t, serve.Config{})
+	_, c1, _ := newRouterClient(t, Config{Workers: []string{w0.URL}})
+	ctx := testCtx(t)
+	j, err := c1.Submit(ctx, client.JobSpec{ID: "survivor", Rows: 32, Cols: 32, Seed: 3})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	want, err := j.Wait(ctx)
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+
+	// A fresh router over the same worker knows nothing about the job.
+	_, c2, _ := newRouterClient(t, Config{Workers: []string{w0.URL}})
+	st, err := c2.Status(ctx, "survivor")
+	if err != nil {
+		t.Fatalf("status through fresh router: %v", err)
+	}
+	if st.Status != "done" {
+		t.Fatalf("status = %+v, want done", st)
+	}
+	got, err := c2.Wait(ctx, "survivor")
+	if err != nil {
+		t.Fatalf("result through fresh router: %v", err)
+	}
+	for i := range want.R {
+		for k := range want.R[i] {
+			if got.R[i][k] != want.R[i][k] {
+				t.Fatal("fan-out read returned a different result")
+			}
+		}
+	}
+}
+
+// TestRouterFailoverTerminalUndelivered: a status poll can observe "done"
+// moments before the worker dies with the result still unfetched. The
+// failover sweep must re-dispatch such an entry anyway — "delivered"
+// (result body served to a client), not "terminal", is what makes a job
+// safe to leave with a dead worker. A sweep keyed on terminal strands the
+// job: every result read answers 503 "being re-dispatched" forever.
+func TestRouterFailoverTerminalUndelivered(t *testing.T) {
+	w0, _ := newWorker(t, serve.Config{})
+	w1, _ := newWorker(t, serve.Config{})
+	reg := metrics.NewRegistry()
+	r, c, _ := newRouterClient(t, Config{
+		Workers: []string{w0.URL, w1.URL}, Metrics: reg,
+		HealthInterval: 20 * time.Millisecond, DeadAfter: 2,
+	})
+	ctx := testCtx(t)
+
+	if _, err := c.Submit(ctx, client.JobSpec{ID: "tud-0", Rows: 96, Cols: 64, Seed: 3}); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	// Poll status through the router until the job is done — but never
+	// fetch the result, so the router's entry is terminal yet undelivered.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st, err := c.Status(ctx, "tud-0")
+		if err != nil {
+			t.Fatalf("status: %v", err)
+		}
+		if st.Status == "done" {
+			break
+		}
+		if st.Status == "failed" || time.Now().After(deadline) {
+			t.Fatalf("job stuck in %q", st.Status)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Kill the worker that holds the finished job, result still unfetched.
+	byURL := map[string]*httptest.Server{w0.URL: w0, w1.URL: w1}
+	var victimURL string
+	for _, ws := range r.Workers() {
+		if ws.Dispatched > 0 {
+			victimURL = ws.URL
+		}
+	}
+	if victimURL == "" {
+		t.Fatal("no worker received a dispatch")
+	}
+	victim := byURL[victimURL]
+	victim.CloseClientConnections()
+	victim.Close()
+
+	// The result must still arrive: the sweep re-dispatches to the
+	// survivor, which re-executes bit-identically.
+	got, err := c.Wait(ctx, "tud-0")
+	if err != nil {
+		t.Fatalf("terminal-but-undelivered job lost after worker death: %v", err)
+	}
+	direct, err := runtime.Factor(workload.Uniform(3, 96, 64), runtime.Options{TileSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr := direct.R()
+	for i := 0; i < dr.Rows; i++ {
+		for k := 0; k < dr.Cols; k++ {
+			if got.R[i][k] != dr.At(i, k) {
+				t.Fatal("re-executed result differs from direct factorization")
+			}
+		}
+	}
+	if reg.Snapshot().Counters[MetricRedispatches] == 0 {
+		t.Fatal("no failover re-dispatch recorded")
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/matrix"
@@ -179,7 +180,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 // job — the restart-survivor view of a job.
 func statusOfRecord(rec store.JobRecord) jobStatus {
 	st := jobStatus{
-		ID:       rec.ID,
+		ID:       wireID(rec),
 		ClientID: rec.ClientID,
 		Class:    rec.Class,
 		TraceID:  rec.TraceID,
@@ -211,6 +212,26 @@ func (s *Server) resolveJob(id string) (*Job, bool) {
 	return s.LookupClientID(id)
 }
 
+// wireID is the id a record is presented under on the wire: the store key,
+// minus the server-assigned namespace prefix — so a job submitted without a
+// client id is polled by the same bare numeric id the 202 response carried.
+func wireID(rec store.JobRecord) string {
+	return strings.TrimPrefix(rec.ID, srvIDPrefix)
+}
+
+// recordByPath resolves a path id against the store. Jobs without a client
+// id are keyed under the srv- namespace, so a bare numeric path id is also
+// tried with the prefix restored.
+func (s *Server) recordByPath(id string) (store.JobRecord, bool) {
+	if rec, ok := s.Record(id); ok {
+		return rec, true
+	}
+	if _, err := strconv.ParseUint(id, 10, 64); err == nil {
+		return s.Record(srvIDPrefix + id)
+	}
+	return store.JobRecord{}, false
+}
+
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if j, ok := s.resolveJob(id); ok {
@@ -219,7 +240,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	}
 	// Not in memory: evicted, or finished before a restart — the store
 	// still knows it.
-	if rec, ok := s.Record(id); ok {
+	if rec, ok := s.recordByPath(id); ok {
 		writeJSON(w, http.StatusOK, statusOfRecord(rec))
 		return
 	}
@@ -231,7 +252,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	j, ok := s.resolveJob(id)
 	if !ok {
-		if rec, found := s.Record(id); found {
+		if rec, found := s.recordByPath(id); found {
 			s.writeRecordResult(w, rec)
 			return
 		}
@@ -285,16 +306,16 @@ func (s *Server) writeRecordResult(w http.ResponseWriter, rec store.JobRecord) {
 			rows[i] = res.Data[i*res.Cols : (i+1)*res.Cols]
 		}
 		writeJSON(w, http.StatusOK, map[string]any{
-			"id":   rec.ID,
+			"id":   wireID(rec),
 			"rows": res.Rows,
 			"cols": res.Cols,
 			"r":    rows,
 		})
 	case rec.State == store.StateFailed:
 		writeError(w, http.StatusUnprocessableEntity,
-			fmt.Errorf("job %s failed: %s", rec.ID, rec.Error))
+			fmt.Errorf("job %s failed: %s", wireID(rec), rec.Error))
 	default:
 		writeError(w, http.StatusConflict,
-			fmt.Errorf("job %s still %s", rec.ID, rec.State))
+			fmt.Errorf("job %s still %s", wireID(rec), rec.State))
 	}
 }

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/runtime"
+	"repro/internal/store"
 	"repro/internal/workload"
 )
 
@@ -107,24 +108,27 @@ func TestHTTPSubmitStatusResult(t *testing.T) {
 
 func TestHTTPSaturationReturns429(t *testing.T) {
 	reg := metrics.NewRegistry()
-	// Workers: 1 keeps the executor's factorization on a single core so the
-	// HTTP client is never starved of CPU — the posts below land in
-	// milliseconds while the first job runs for hundreds.
+	// Gate the executor so saturation is deterministic on any machine: the
+	// first batch parks in the hook, nothing ever completes, and the
+	// pipeline can absorb at most executor + batches chan + in-flight flush
+	// + queue = 4 jobs before a POST must bounce. (Relying on big jobs to
+	// outrun the poster misfires on single-core runners, where the
+	// factorization starves the HTTP client and the queue drains between
+	// posts.)
+	gate := make(chan struct{})
 	s := New(Config{Metrics: reg, QueueCapacity: 1, Executors: 1, Workers: 1,
-		BatchWindow: 5 * time.Millisecond})
+		BatchWindow: 5 * time.Millisecond, testMidBatch: func() { <-gate }})
 	defer s.Close()
+	defer close(gate)
 	ts := httptest.NewServer(s.Handler(""))
 	defer ts.Close()
 
-	// Large jobs (32×32 tile grid > SmallTiles) are never batched, so each
-	// occupies the single executor for hundreds of milliseconds. The
-	// pipeline can absorb at most executor + batches chan + in-flight flush
-	// + queue = 4 of them before the next POST must bounce — no timing luck
-	// needed.
+	// Large jobs (16×16 tile grid > SmallTiles) are never batched, so each
+	// needs its own pipeline slot.
 	saw429 := 0
 	for i := 0; i < 12; i++ {
 		resp, err := http.Post(ts.URL+"/jobs", "application/json",
-			strings.NewReader(fmt.Sprintf(`{"rows":512,"cols":512,"seed":%d}`, i)))
+			strings.NewReader(fmt.Sprintf(`{"rows":256,"cols":256,"seed":%d}`, i)))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -224,4 +228,54 @@ func mustID(t *testing.T, s string) uint64 {
 		t.Fatal(err)
 	}
 	return id
+}
+
+// TestHTTPNumericIDResolvesAcrossRestart: a job submitted without a client
+// id is polled by its bare numeric id; after a restart that id must still
+// resolve through the store, where the record lives under the srv- namespace.
+func TestHTTPNumericIDResolvesAcrossRestart(t *testing.T) {
+	st := store.NewMem()
+	s := New(Config{Store: st})
+	ts := httptest.NewServer(s.Handler(""))
+	resp, jst := postJob(t, ts, `{"rows":32,"cols":32,"seed":5}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d", resp.StatusCode)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var cur jobStatus
+		if code := getJSON(t, ts.URL+"/jobs/"+jst.ID, &cur); code != http.StatusOK {
+			t.Fatalf("status code %d", code)
+		} else if cur.Status == "done" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never finished")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	ts.Close()
+	s.Close()
+
+	s2 := New(Config{Store: st})
+	defer s2.Close()
+	ts2 := httptest.NewServer(s2.Handler(""))
+	defer ts2.Close()
+	var got jobStatus
+	if code := getJSON(t, ts2.URL+"/jobs/"+jst.ID, &got); code != http.StatusOK {
+		t.Fatalf("numeric id lost across restart: status code %d", code)
+	}
+	if got.Status != "done" || got.ID != jst.ID {
+		t.Fatalf("restart status = %+v, want done under id %q", got, jst.ID)
+	}
+	var res struct {
+		ID string      `json:"id"`
+		R  [][]float64 `json:"r"`
+	}
+	if code := getJSON(t, ts2.URL+"/jobs/"+jst.ID+"/result", &res); code != http.StatusOK {
+		t.Fatalf("result across restart: status code %d", code)
+	}
+	if res.ID != jst.ID || len(res.R) == 0 {
+		t.Fatalf("result across restart = id %q with %d rows", res.ID, len(res.R))
+	}
 }

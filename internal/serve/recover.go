@@ -32,8 +32,8 @@ func (s *Server) recover() {
 		return
 	}
 	// Seed the id counter past everything ever stored, so this
-	// incarnation's numeric ids (which double as store keys for jobs
-	// without a client id) never collide with persisted records.
+	// incarnation's numeric ids (which key the srv- store namespace for
+	// jobs without a client id) never collide with persisted records.
 	var maxNum uint64
 	for _, rec := range recs {
 		if rec.NumID > maxNum {

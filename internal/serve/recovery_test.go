@@ -278,3 +278,35 @@ func TestRecoveryExpiredDeadline(t *testing.T) {
 		t.Fatalf("expired record = %+v (%v), want failed", got, err)
 	}
 }
+
+// TestServerStoreKeysNamespacedFromClientIDs: jobs without a client id are
+// keyed under the srv- store namespace, and the two wire namespaces are kept
+// disjoint at admission — client keys may not impersonate server-assigned ids
+// (purely numeric, previously a client holding id "2" made the second id-less
+// submission bounce with a spurious 409) or srv- store keys.
+func TestServerStoreKeysNamespacedFromClientIDs(t *testing.T) {
+	st := store.NewMem()
+	s := New(Config{Store: st})
+	defer s.Close()
+	ctx := context.Background()
+	// Bare decimals are the wire names of server-assigned ids: refused as
+	// client keys, so GET /jobs/{n} can never be ambiguous.
+	if _, err := s.Submit(ctx, workload.Uniform(1, 32, 32), SubmitOptions{ClientID: "2"}); err == nil {
+		t.Fatal("purely-numeric client id accepted")
+	}
+	// Id-less submissions own the decimal namespace outright.
+	for i := 0; i < 3; i++ {
+		if _, err := s.Submit(ctx, workload.Uniform(int64(i), 32, 32), SubmitOptions{}); err != nil {
+			t.Fatalf("id-less submission %d: %v", i, err)
+		}
+	}
+	// The store namespace itself is reserved too: a client key that could
+	// shadow a server-assigned store key is refused at admission.
+	if _, err := s.Submit(ctx, workload.Uniform(9, 32, 32), SubmitOptions{ClientID: "srv-1"}); err == nil {
+		t.Fatal("reserved-prefix client id accepted")
+	}
+	// Non-numeric keys with digits in them are ordinary idempotency keys.
+	if _, err := s.Submit(ctx, workload.Uniform(9, 32, 32), SubmitOptions{ClientID: "job-2"}); err != nil {
+		t.Fatalf("ordinary client id refused: %v", err)
+	}
+}

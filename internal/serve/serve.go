@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"log/slog"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -60,6 +61,12 @@ var (
 	ErrDuplicateID = errors.New("serve: duplicate job id")
 	ErrPersist     = errors.New("serve: job store write failed")
 )
+
+// srvIDPrefix namespaces server-assigned store keys ("srv-<n>") away from
+// client-supplied idempotency keys, so a purely-numeric client id can never
+// collide with the decimal counter of an id-less job. Client ids starting
+// with the prefix are rejected at admission to keep the namespaces disjoint.
+const srvIDPrefix = "srv-"
 
 // RetryableError marks a job failure the client may retry as-is: the job's
 // retry budget was exhausted by transient faults, a kernel panicked, or a
@@ -499,6 +506,18 @@ func (s *Server) Submit(ctx context.Context, a *matrix.Matrix, opts SubmitOption
 	if err != nil {
 		return reject(fmt.Errorf("serve: %w", err))
 	}
+	if strings.HasPrefix(opts.ClientID, srvIDPrefix) {
+		return reject(fmt.Errorf("serve: client id %q uses the reserved prefix %q", opts.ClientID, srvIDPrefix))
+	}
+	// Purely-numeric client ids are rejected too: bare decimals are the wire
+	// names of server-assigned ids, and a client that claimed one would make
+	// GET /jobs/{n} ambiguous — two jobs, one name, and whichever lookup path
+	// runs first silently answers with the other caller's job.
+	if opts.ClientID != "" {
+		if _, err := strconv.ParseUint(opts.ClientID, 10, 64); err == nil {
+			return reject(fmt.Errorf("serve: client id %q is purely numeric, which is reserved for server-assigned job ids", opts.ClientID))
+		}
+	}
 	// The plan span covers the size-class lookup: on a class's first sight
 	// this runs the paper's whole scheduling pipeline (Algorithms 2–4) plus
 	// the DAG build; afterwards it is a cache hit.
@@ -519,7 +538,7 @@ func (s *Server) Submit(ctx context.Context, a *matrix.Matrix, opts SubmitOption
 	}
 	j.sid = j.cid
 	if j.sid == "" {
-		j.sid = strconv.FormatUint(j.id, 10)
+		j.sid = srvIDPrefix + strconv.FormatUint(j.id, 10)
 	}
 	tr.SetAttr("job", strconv.FormatUint(j.id, 10))
 	tr.SetAttr("class", cls.key)
@@ -589,7 +608,12 @@ func (s *Server) Submit(ctx context.Context, a *matrix.Matrix, opts SubmitOption
 		s.mRejects.Inc()
 		s.releaseCID(j)
 		// Roll back the durable record: the client is told "overloaded",
-		// so a restart must not replay this job.
+		// so a restart must not replay this job. Known trade-off: a crash in
+		// the window between Put and this Delete leaves the record behind,
+		// and recovery will replay a job whose client saw 429. With a client
+		// id the resubmission dedupes against that record (the job runs
+		// once); an id-less job may execute once without anyone fetching the
+		// result — wasted work, never a double-acknowledged or lost job.
 		if s.cfg.Store != nil {
 			_ = s.cfg.Store.Delete(j.sid)
 		}

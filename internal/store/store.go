@@ -89,7 +89,9 @@ type Result struct {
 // deadline (so a restart cannot extend a job's budget).
 type JobRecord struct {
 	// ID keys the record: the client-supplied idempotency key when one was
-	// given, otherwise the server-assigned numeric id in decimal.
+	// given, otherwise the server-assigned id under its own namespace
+	// ("srv-<n>"), so a numeric client key can never collide with the
+	// server's counter.
 	ID string `json:"id"`
 	// NumID is the server-assigned numeric id at first acceptance; restarts
 	// seed their id counter past the stored maximum so ids never collide.

@@ -86,7 +86,20 @@ fi
 wait "$KILLER_PID" 2>/dev/null || true
 
 # The kill must actually have landed mid-run for the test to mean anything.
-if kill -0 "$W1_PID" 2>/dev/null; then
+# kill -0 is not the right probe here: after SIGKILL the worker lingers as
+# a zombie child of this shell until reaped, and kill -0 succeeds on
+# zombies — so judge by process state, with a short grace for the kernel
+# to deliver the signal on a loaded machine.
+dead=0
+for _ in $(seq 1 100); do
+    state="$(ps -o stat= -p "$W1_PID" 2>/dev/null | tr -d '[:space:]' || true)"
+    if [ -z "$state" ] || [ "${state:0:1}" = "Z" ]; then
+        dead=1
+        break
+    fi
+    sleep 0.1
+done
+if [ "$dead" != 1 ]; then
     echo "FAIL: worker 1 survived the SIGKILL" >&2
     exit 1
 fi
