@@ -9,6 +9,9 @@
 //	qrbench -exp fig6   # print one exhibit
 //	qrbench -list       # list exhibit IDs
 //	qrbench -kernels    # measure the host kernels, write BENCH_kernels.json
+//	qrbench -kernels -compare
+//	                    # measure and gate against the committed baseline
+//	                    # instead of writing a snapshot (CI's perf gate)
 package main
 
 import (
@@ -17,6 +20,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"testing"
 
 	"repro/internal/bench"
 	"repro/internal/metrics"
@@ -32,9 +36,30 @@ func main() {
 	withMet := flag.Bool("metrics", false, "collect simulator metrics across all exhibits and print a snapshot table")
 	kern := flag.Bool("kernels", false, "benchmark the host tile kernels (testing.Benchmark) and write a JSON snapshot")
 	kernOut := flag.String("o", "BENCH_kernels.json", "kernel snapshot destination (with -kernels); - for stdout")
+	compare := flag.Bool("compare", false, "with -kernels: diff the fresh run against -baseline and exit non-zero on regression instead of writing a snapshot")
+	baseline := flag.String("baseline", "BENCH_kernels.json", "committed snapshot the -compare gate diffs against")
+	tolerance := flag.Float64("tolerance", bench.DefaultCompareTolerance, "relative ns/op regression band for -compare (0.25 = 25%)")
+	benchtime := flag.String("benchtime", "", "per-benchmark measuring time for -kernels (testing -benchtime syntax, e.g. 0.2s or 100x); empty keeps the 1s default")
 	flag.Parse()
 
 	if *kern {
+		if *benchtime != "" {
+			// The testing package owns the benchtime knob; registering its
+			// flags (all under test.*) lets one binary serve both the smoke
+			// (-benchtime 0.2s) and snapshot (default 1s) cadences.
+			testing.Init()
+			if err := flag.Set("test.benchtime", *benchtime); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if *compare {
+			if err := compareKernelBench(*baseline, *tolerance); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			return
+		}
 		if err := writeKernelBench(*kernOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -106,6 +131,23 @@ func writeKernelBench(out string) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", out)
+	return nil
+}
+
+// compareKernelBench measures the host kernels and gates the result against
+// the committed baseline: any ns/op regression past the tolerance band, or
+// any allocs/op increase, is an error.
+func compareKernelBench(baselinePath string, tol float64) error {
+	base, err := bench.ReadKernelBaseline(baselinePath)
+	if err != nil {
+		return err
+	}
+	fresh := bench.RunKernelBench(nil)
+	res := bench.CompareReports(base, fresh, tol)
+	res.WriteTable(os.Stdout)
+	if !res.Ok() {
+		return fmt.Errorf("qrbench: %d kernel data point(s) regressed past the baseline (%s)", res.Failures, baselinePath)
+	}
 	return nil
 }
 

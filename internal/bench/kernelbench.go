@@ -60,6 +60,10 @@ func kernelFlops(kernel string, b int) float64 {
 		return 2*n*n*n + n*n*n/3
 	case "TSMQR":
 		return 4*n*n*n + n*n*n
+	case "TTQRT":
+		return n*n*n + n*n*n/3
+	case "TTMQR":
+		return 2*n*n*n + n*n*n
 	default:
 		return 0
 	}
@@ -85,6 +89,8 @@ func RunKernelBench(sizes []int) KernelBenchReport {
 			{"UNMQR", benchUNMQR},
 			{"TSQRT", benchTSQRT},
 			{"TSMQR", benchTSMQR},
+			{"TTQRT", benchTTQRT},
+			{"TTMQR", benchTTMQR},
 		} {
 			r := testing.Benchmark(k.fn(b))
 			ns := float64(r.NsPerOp())
@@ -184,6 +190,41 @@ func benchTSMQR(n int) func(*testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			kernels.TSMQR(v, t, c1, c2, true)
+		}
+	}
+}
+
+func benchTTQRT(n int) func(*testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		r1o := matrix.UpperTriangular(workload.Normal(10, n, n))
+		r2o := matrix.UpperTriangular(workload.Normal(11, n, n))
+		r1 := matrix.New(n, n)
+		r2 := matrix.New(n, n)
+		v2 := matrix.New(n, n)
+		t := matrix.New(n, n)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r1.CopyFrom(r1o)
+			r2.CopyFrom(r2o)
+			kernels.TTQRT(r1, r2, v2, t)
+		}
+	}
+}
+
+func benchTTMQR(n int) func(*testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		r1 := matrix.UpperTriangular(workload.Normal(12, n, n))
+		r2 := matrix.UpperTriangular(workload.Normal(13, n, n))
+		v2 := matrix.New(n, n)
+		t := matrix.New(n, n)
+		kernels.TTQRT(r1, r2, v2, t)
+		c1 := workload.Normal(14, n, n)
+		c2 := workload.Normal(15, n, n)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			kernels.TTMQR(v2, t, c1, c2, true)
 		}
 	}
 }

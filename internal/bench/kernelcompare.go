@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Kernel-bench regression gate (qrbench -kernels -compare): a fresh
+// measurement is diffed against the committed BENCH_kernels.json baseline
+// with a tolerance band on ns/op and a hard ceiling on allocs/op. CI runs
+// this so a PR that slows a kernel past the band — or reintroduces hot-path
+// allocations — fails before merge.
+
+// DefaultCompareTolerance is the relative ns/op slack a fresh run may carry
+// over the baseline before the comparison fails (benchmark noise on shared
+// CI runners is routinely tens of percent; a genuine optimization loss
+// shows up well past it in the committed trajectory).
+const DefaultCompareTolerance = 0.25
+
+// KernelComparison is the verdict for one kernel × tile data point.
+type KernelComparison struct {
+	Kernel string `json:"kernel"`
+	Tile   int    `json:"tile"`
+	// BaselineNs/FreshNs are ns/op; Delta is (fresh−baseline)/baseline.
+	BaselineNs float64 `json:"baselineNs"`
+	FreshNs    float64 `json:"freshNs"`
+	Delta      float64 `json:"delta"`
+	// BaselineAllocs/FreshAllocs are allocs/op; any increase fails.
+	BaselineAllocs int64 `json:"baselineAllocs"`
+	FreshAllocs    int64 `json:"freshAllocs"`
+	// Missing marks a point present in the fresh run but absent from the
+	// baseline (a newly benchmarked kernel): it passes and seeds the next
+	// baseline.
+	Missing bool `json:"missing,omitempty"`
+	// Failed is set when this point breaks the gate; Reason says how.
+	Failed bool   `json:"failed,omitempty"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// CompareResult is the full diff of one fresh run against a baseline.
+type CompareResult struct {
+	Tolerance float64            `json:"tolerance"`
+	Rows      []KernelComparison `json:"rows"`
+	Failures  int                `json:"failures"`
+}
+
+// Ok reports whether every data point passed the gate.
+func (r CompareResult) Ok() bool { return r.Failures == 0 }
+
+// CompareReports diffs fresh against baseline. A data point fails when its
+// ns/op exceeds baseline·(1+tol), or its allocs/op exceeds the baseline's.
+// Points absent from the baseline pass as Missing (so adding a kernel to the
+// bench does not require a lockstep baseline regeneration); points present
+// only in the baseline are ignored (the fresh run decides coverage).
+// tol ≤ 0 selects DefaultCompareTolerance.
+func CompareReports(baseline, fresh KernelBenchReport, tol float64) CompareResult {
+	if tol <= 0 {
+		tol = DefaultCompareTolerance
+	}
+	type key struct {
+		kernel string
+		tile   int
+	}
+	base := make(map[key]KernelMeasurement, len(baseline.Results))
+	for _, m := range baseline.Results {
+		base[key{m.Kernel, m.Tile}] = m
+	}
+	res := CompareResult{Tolerance: tol}
+	for _, m := range fresh.Results {
+		row := KernelComparison{
+			Kernel: m.Kernel, Tile: m.Tile,
+			FreshNs: m.NsPerOp, FreshAllocs: m.AllocsPerOp,
+		}
+		b, ok := base[key{m.Kernel, m.Tile}]
+		if !ok {
+			row.Missing = true
+			res.Rows = append(res.Rows, row)
+			continue
+		}
+		row.BaselineNs = b.NsPerOp
+		row.BaselineAllocs = b.AllocsPerOp
+		if b.NsPerOp > 0 {
+			row.Delta = (m.NsPerOp - b.NsPerOp) / b.NsPerOp
+		}
+		switch {
+		case m.AllocsPerOp > b.AllocsPerOp:
+			row.Failed = true
+			row.Reason = fmt.Sprintf("allocs/op grew %d → %d", b.AllocsPerOp, m.AllocsPerOp)
+		case row.Delta > tol:
+			row.Failed = true
+			row.Reason = fmt.Sprintf("ns/op regressed %.1f%% (tolerance %.0f%%)", row.Delta*100, tol*100)
+		}
+		if row.Failed {
+			res.Failures++
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	sort.SliceStable(res.Rows, func(i, j int) bool {
+		if res.Rows[i].Kernel != res.Rows[j].Kernel {
+			return res.Rows[i].Kernel < res.Rows[j].Kernel
+		}
+		return res.Rows[i].Tile < res.Rows[j].Tile
+	})
+	return res
+}
+
+// ReadKernelBaseline loads a committed BENCH_kernels.json.
+func ReadKernelBaseline(path string) (KernelBenchReport, error) {
+	var rep KernelBenchReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, fmt.Errorf("bench: reading baseline: %w", err)
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("bench: parsing baseline %s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// WriteTable renders the comparison as a human-readable verdict table.
+func (r CompareResult) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "%-6s %5s %12s %12s %8s %7s %7s  %s\n",
+		"kernel", "tile", "base ns/op", "fresh ns/op", "delta", "allocs", "allocs", "verdict")
+	for _, row := range r.Rows {
+		verdict := "ok"
+		switch {
+		case row.Failed:
+			verdict = "FAIL: " + row.Reason
+		case row.Missing:
+			verdict = "new (no baseline)"
+		}
+		fmt.Fprintf(w, "%-6s %5d %12.0f %12.0f %7.1f%% %7d %7d  %s\n",
+			row.Kernel, row.Tile, row.BaselineNs, row.FreshNs, row.Delta*100,
+			row.BaselineAllocs, row.FreshAllocs, verdict)
+	}
+	fmt.Fprintf(w, "%d data points, %d failures (tolerance %.0f%%)\n",
+		len(r.Rows), r.Failures, r.Tolerance*100)
+}

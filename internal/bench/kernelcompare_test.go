@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func mkReport(rows ...KernelMeasurement) KernelBenchReport {
+	return KernelBenchReport{Results: rows}
+}
+
+func TestCompareReportsPassWithinTolerance(t *testing.T) {
+	base := mkReport(
+		KernelMeasurement{Kernel: "GEQRT", Tile: 8, NsPerOp: 1000, AllocsPerOp: 2},
+		KernelMeasurement{Kernel: "TSQRT", Tile: 16, NsPerOp: 5000, AllocsPerOp: 0},
+	)
+	fresh := mkReport(
+		KernelMeasurement{Kernel: "GEQRT", Tile: 8, NsPerOp: 1200, AllocsPerOp: 2},
+		KernelMeasurement{Kernel: "TSQRT", Tile: 16, NsPerOp: 4000, AllocsPerOp: 0},
+	)
+	res := CompareReports(base, fresh, 0.25)
+	if !res.Ok() {
+		t.Fatalf("within-tolerance run failed: %+v", res.Rows)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+}
+
+func TestCompareReportsFailsOnRegression(t *testing.T) {
+	base := mkReport(KernelMeasurement{Kernel: "TSMQR", Tile: 32, NsPerOp: 1000, AllocsPerOp: 0})
+	fresh := mkReport(KernelMeasurement{Kernel: "TSMQR", Tile: 32, NsPerOp: 1300, AllocsPerOp: 0})
+	res := CompareReports(base, fresh, 0.25)
+	if res.Ok() {
+		t.Fatal("30% ns/op regression passed a 25% tolerance")
+	}
+	if !strings.Contains(res.Rows[0].Reason, "ns/op regressed") {
+		t.Fatalf("reason = %q", res.Rows[0].Reason)
+	}
+}
+
+func TestCompareReportsFailsOnAllocGrowth(t *testing.T) {
+	base := mkReport(KernelMeasurement{Kernel: "GEQRT", Tile: 8, NsPerOp: 1000, AllocsPerOp: 0})
+	// Faster but allocating: still a failure — the zero-alloc contract is
+	// absolute, not traded against speed.
+	fresh := mkReport(KernelMeasurement{Kernel: "GEQRT", Tile: 8, NsPerOp: 500, AllocsPerOp: 1})
+	res := CompareReports(base, fresh, 0.25)
+	if res.Ok() {
+		t.Fatal("allocs/op growth passed")
+	}
+	if !strings.Contains(res.Rows[0].Reason, "allocs/op grew") {
+		t.Fatalf("reason = %q", res.Rows[0].Reason)
+	}
+}
+
+func TestCompareReportsNewKernelPasses(t *testing.T) {
+	base := mkReport(KernelMeasurement{Kernel: "GEQRT", Tile: 8, NsPerOp: 1000})
+	fresh := mkReport(
+		KernelMeasurement{Kernel: "GEQRT", Tile: 8, NsPerOp: 900},
+		KernelMeasurement{Kernel: "TTQRT", Tile: 8, NsPerOp: 700, AllocsPerOp: 3},
+	)
+	res := CompareReports(base, fresh, 0.25)
+	if !res.Ok() {
+		t.Fatalf("new kernel failed the gate: %+v", res.Rows)
+	}
+	var found bool
+	for _, r := range res.Rows {
+		if r.Kernel == "TTQRT" {
+			found = true
+			if !r.Missing {
+				t.Fatal("TTQRT should be marked Missing")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("TTQRT row absent")
+	}
+}
+
+func TestCompareReportsDefaultTolerance(t *testing.T) {
+	base := mkReport(KernelMeasurement{Kernel: "GEQRT", Tile: 8, NsPerOp: 1000})
+	fresh := mkReport(KernelMeasurement{Kernel: "GEQRT", Tile: 8, NsPerOp: 1240})
+	if res := CompareReports(base, fresh, 0); !res.Ok() {
+		t.Fatal("24% should pass the 25% default tolerance")
+	}
+	fresh.Results[0].NsPerOp = 1260
+	if res := CompareReports(base, fresh, 0); res.Ok() {
+		t.Fatal("26% should fail the 25% default tolerance")
+	}
+}
+
+func TestCompareTableRenders(t *testing.T) {
+	base := mkReport(KernelMeasurement{Kernel: "GEQRT", Tile: 8, NsPerOp: 1000})
+	fresh := mkReport(KernelMeasurement{Kernel: "GEQRT", Tile: 8, NsPerOp: 2000})
+	var sb strings.Builder
+	CompareReports(base, fresh, 0.25).WriteTable(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "FAIL") || !strings.Contains(out, "1 failures") {
+		t.Fatalf("table output missing verdict:\n%s", out)
+	}
+}

@@ -1,0 +1,137 @@
+package kernels
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+// The workspace contract: after the first call has grown the scratch
+// buffers, every kernel runs with zero heap allocations. AllocsPerRun is the
+// regression gate; the race detector instruments allocations, so these
+// assertions only run in normal builds.
+
+func requireZeroAllocs(t *testing.T, name string, f func()) {
+	t.Helper()
+	f() // warm up: grow workspace buffers to their high-water mark
+	if raceEnabled {
+		t.Skipf("%s: alloc accounting is not meaningful under -race", name)
+	}
+	if n := testing.AllocsPerRun(100, f); n != 0 {
+		t.Errorf("%s: %v allocs/op in steady state, want 0", name, n)
+	}
+}
+
+func TestGEQRTWsZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ws := NewWorkspace()
+	a := randMat(rng, 16, 16)
+	tt := matrix.New(16, 16)
+	orig := a.Clone()
+	requireZeroAllocs(t, "GEQRTWs", func() {
+		a.CopyFrom(orig)
+		GEQRTWs(a, tt, ws)
+	})
+}
+
+func TestUNMQRWsZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ws := NewWorkspace()
+	v := randMat(rng, 16, 16)
+	tt := matrix.New(16, 16)
+	GEQRTWs(v, tt, ws)
+	c := randMat(rng, 16, 16)
+	requireZeroAllocs(t, "UNMQRWs", func() {
+		UNMQRWs(v, tt, c, true, ws)
+	})
+}
+
+func TestTSQRTWsZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ws := NewWorkspace()
+	r := randMat(rng, 16, 16)
+	a := randMat(rng, 16, 16)
+	tt := matrix.New(16, 16)
+	rOrig, aOrig := r.Clone(), a.Clone()
+	requireZeroAllocs(t, "TSQRTWs", func() {
+		r.CopyFrom(rOrig)
+		a.CopyFrom(aOrig)
+		TSQRTWs(r, a, tt, ws)
+	})
+}
+
+func TestTSMQRWsZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ws := NewWorkspace()
+	r := randMat(rng, 16, 16)
+	v := randMat(rng, 16, 16)
+	tt := matrix.New(16, 16)
+	TSQRTWs(r, v, tt, ws)
+	c1 := randMat(rng, 16, 16)
+	c2 := randMat(rng, 16, 16)
+	requireZeroAllocs(t, "TSMQRWs", func() {
+		TSMQRWs(v, tt, c1, c2, true, ws)
+	})
+}
+
+func TestTTQRTWsZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ws := NewWorkspace()
+	r1 := randMat(rng, 16, 16)
+	r2 := randMat(rng, 16, 16)
+	v2 := matrix.New(16, 16)
+	tt := matrix.New(16, 16)
+	r1Orig, r2Orig := r1.Clone(), r2.Clone()
+	requireZeroAllocs(t, "TTQRTWs", func() {
+		r1.CopyFrom(r1Orig)
+		r2.CopyFrom(r2Orig)
+		TTQRTWs(r1, r2, v2, tt, ws)
+	})
+}
+
+func TestTTMQRWsZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	ws := NewWorkspace()
+	r1 := randMat(rng, 16, 16)
+	r2 := randMat(rng, 16, 16)
+	v2 := matrix.New(16, 16)
+	tt := matrix.New(16, 16)
+	TTQRTWs(r1, r2, v2, tt, ws)
+	c1 := randMat(rng, 16, 16)
+	c2 := randMat(rng, 16, 16)
+	requireZeroAllocs(t, "TTMQRWs", func() {
+		TTMQRWs(v2, tt, c1, c2, true, ws)
+	})
+}
+
+// The compatibility wrappers borrow a pooled Workspace, so they too are
+// allocation-free once the pool is primed (single-goroutine steady state).
+func TestPooledWrappersZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randMat(rng, 16, 16)
+	tt := matrix.New(16, 16)
+	orig := a.Clone()
+	requireZeroAllocs(t, "GEQRT (pooled)", func() {
+		a.CopyFrom(orig)
+		GEQRT(a, tt)
+	})
+}
+
+// Rectangular edge tiles exercise the viewInto path (a.Cols != k) that the
+// square cases skip.
+func TestEdgeTileZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	ws := NewWorkspace()
+	a := randMat(rng, 9, 16)
+	tt := matrix.New(9, 9)
+	orig := a.Clone()
+	requireZeroAllocs(t, "GEQRTWs (edge)", func() {
+		a.CopyFrom(orig)
+		GEQRTWs(a, tt, ws)
+	})
+	c := randMat(rng, 9, 5)
+	requireZeroAllocs(t, "UNMQRWs (edge)", func() {
+		UNMQRWs(a, tt, c, true, ws)
+	})
+}

@@ -20,6 +20,11 @@
 // the reflector tails (the eliminated R entries are implicitly zero).
 // The T factors are produced into caller-supplied matrices so the runtime
 // can own their placement.
+//
+// Every kernel comes in two forms: a *Ws variant that takes a Workspace and
+// performs zero heap allocations in steady state, and a compatibility
+// wrapper under the original name that borrows a pooled Workspace. Long-
+// running callers (the parallel runtime's workers) own one Workspace each.
 package kernels
 
 import (
@@ -34,16 +39,27 @@ import (
 // on return, Q = I − V·T·Vᵀ where V is a's unit-lower reflector storage,
 // and the upper triangle of a holds R.
 func GEQRT(a, t *matrix.Matrix) {
+	ws := GetWorkspace()
+	GEQRTWs(a, t, ws)
+	ws.Release()
+}
+
+// GEQRTWs is GEQRT running entirely on Workspace scratch.
+func GEQRTWs(a, t *matrix.Matrix, ws *Workspace) {
 	k := min(a.Rows, a.Cols)
 	if t.Rows != k || t.Cols != k {
 		panic(fmt.Sprintf("kernels: GEQRT T is %dx%d, want %dx%d", t.Rows, t.Cols, k, k))
 	}
-	tau := lapack.QR2(a)
+	tau := grow(&ws.tau, k)
+	lapack.QR2Ws(a, tau, grow(&ws.col, a.Rows), grow(&ws.hw, a.Cols))
 	if k == 0 {
 		return
 	}
-	v := a.SubMatrix(0, 0, a.Rows, k)
-	t.CopyFrom(lapack.LarfT(v, tau))
+	v := a
+	if a.Cols != k {
+		v = viewInto(&ws.vkh, a, 0, 0, a.Rows, k)
+	}
+	lapack.LarfTInto(v, tau, t, grow(&ws.wv, k))
 }
 
 // UNMQR performs the update-for-triangulation step: it applies the
@@ -53,6 +69,13 @@ func GEQRT(a, t *matrix.Matrix) {
 //	c ← Qᵀ·c  if trans (the factorization direction)
 //	c ← Q·c   otherwise (used when forming Q explicitly).
 func UNMQR(v, t, c *matrix.Matrix, trans bool) {
+	ws := GetWorkspace()
+	UNMQRWs(v, t, c, trans, ws)
+	ws.Release()
+}
+
+// UNMQRWs is UNMQR running entirely on Workspace scratch.
+func UNMQRWs(v, t, c *matrix.Matrix, trans bool, ws *Workspace) {
 	k := t.Rows
 	if k == 0 || c.IsEmpty() {
 		return
@@ -60,7 +83,11 @@ func UNMQR(v, t, c *matrix.Matrix, trans bool) {
 	if v.Rows != c.Rows {
 		panic(fmt.Sprintf("kernels: UNMQR V has %d rows, C has %d", v.Rows, c.Rows))
 	}
-	lapack.LarfB(v.SubMatrix(0, 0, v.Rows, k), t, c, trans)
+	vv := v
+	if v.Cols != k {
+		vv = viewInto(&ws.vkh, v, 0, 0, v.Rows, k)
+	}
+	lapack.LarfBWs(vv, t, c, trans, ws.matW(k, c.Cols))
 }
 
 // TSQRT performs the triangle-on-top-of-square elimination step. It couples
@@ -76,6 +103,15 @@ func UNMQR(v, t, c *matrix.Matrix, trans bool) {
 // factor. Because every reflector's "top" component is a single diagonal
 // element of R, only the rows 0..a.Cols−1 of r at columns ≥ j are modified.
 func TSQRT(r, a, t *matrix.Matrix) {
+	ws := GetWorkspace()
+	TSQRTWs(r, a, t, ws)
+	ws.Release()
+}
+
+// TSQRTWs is TSQRT running entirely on Workspace scratch. Every entry of t
+// is written (explicit zeros where the block factor is structurally zero),
+// so t does not need to arrive zeroed.
+func TSQRTWs(r, a, t *matrix.Matrix, ws *Workspace) {
 	n := a.Cols
 	if r.Cols != n {
 		panic(fmt.Sprintf("kernels: TSQRT column mismatch R %d, A %d", r.Cols, n))
@@ -86,10 +122,10 @@ func TSQRT(r, a, t *matrix.Matrix) {
 	if t.Rows != n || t.Cols != n {
 		panic(fmt.Sprintf("kernels: TSQRT T is %dx%d, want %dx%d", t.Rows, t.Cols, n, n))
 	}
-	t.Zero()
+	clearLowerTriangle(t)
 	m := a.Rows
-	x := make([]float64, m+1)
-	w := make([]float64, n)
+	x := grow(&ws.x, m+1)
+	w := grow(&ws.wv, n)
 	for j := 0; j < n; j++ {
 		// Householder of [R[j,j]; A[:,j]].
 		x[0] = r.At(j, j)
@@ -114,13 +150,12 @@ func TSQRT(r, a, t *matrix.Matrix) {
 				if vi == 0 {
 					continue
 				}
-				for q, av := range ai[j+1 : n] {
-					wt[q] += vi * av
-				}
+				axpy(vi, ai[j+1:n], wt)
 			}
-			for q := range wt {
-				wt[q] *= tauJ
-				rj[j+1+q] -= wt[q]
+			for q, wv := range wt {
+				wv *= tauJ
+				wt[q] = wv
+				rj[j+1+q] -= wv
 			}
 			for i := 0; i < m; i++ {
 				ai := a.Row(i)
@@ -128,37 +163,41 @@ func TSQRT(r, a, t *matrix.Matrix) {
 				if vi == 0 {
 					continue
 				}
-				for q, wv := range wt {
-					ai[j+1+q] -= wv * vi
-				}
+				axpy(-vi, wt, ai[j+1:n])
 			}
 		}
 		// Block factor column: tops are orthogonal unit vectors, so only the
 		// bottom tails contribute: w[p] = A[:,p]ᵀ·A[:,j] for p < j — again
 		// accumulated row-wise.
 		t.Set(j, j, tauJ)
-		if j > 0 && tauJ != 0 {
-			wp := w[:j]
-			for q := range wp {
-				wp[q] = 0
-			}
-			for i := 0; i < m; i++ {
-				ai := a.Row(i)
-				vi := ai[j]
-				if vi == 0 {
-					continue
-				}
-				for q, av := range ai[:j] {
-					wp[q] += av * vi
-				}
-			}
+		if j == 0 {
+			continue
+		}
+		wp := w[:j]
+		if tauJ == 0 {
 			for p := 0; p < j; p++ {
-				var s float64
-				for q := p; q < j; q++ {
-					s += t.At(p, q) * wp[q]
-				}
-				t.Set(p, j, -tauJ*s)
+				t.Set(p, j, 0)
 			}
+			continue
+		}
+		for q := range wp {
+			wp[q] = 0
+		}
+		for i := 0; i < m; i++ {
+			ai := a.Row(i)
+			vi := ai[j]
+			if vi == 0 {
+				continue
+			}
+			axpy(vi, ai[:j], wp)
+		}
+		for p := 0; p < j; p++ {
+			tp := t.Row(p)
+			var s float64
+			for q := p; q < j; q++ {
+				s += tp[q] * wp[q]
+			}
+			t.Set(p, j, -tauJ*s)
 		}
 	}
 }
@@ -172,6 +211,18 @@ func TSQRT(r, a, t *matrix.Matrix) {
 // v is the (rows of c2)×k tail storage; only the first k rows of c1
 // participate (k = v.Cols), matching the e_j structure of the reflector tops.
 func TSMQR(v, t, c1, c2 *matrix.Matrix, trans bool) {
+	ws := GetWorkspace()
+	TSMQRWs(v, t, c1, c2, trans, ws)
+	ws.Release()
+}
+
+// TSMQRWs is TSMQR running entirely on Workspace scratch, with the three
+// stages fused: the W = C1 + VᵀC2 formation, the triangular T application
+// (fused with the C1 −= W subtraction, saving one pass over C1/W), and the
+// C2 −= V·W rank-k update. The W intermediate depends on every row of C2,
+// so C2 is necessarily streamed twice — once accumulating W, once applying
+// the update — which is the minimum the compact-WY form admits.
+func TSMQRWs(v, t, c1, c2 *matrix.Matrix, trans bool, ws *Workspace) {
 	k := v.Cols
 	if k == 0 || c1.IsEmpty() {
 		return
@@ -185,18 +236,7 @@ func TSMQR(v, t, c1, c2 *matrix.Matrix, trans bool) {
 	if c1.Cols != c2.Cols {
 		panic(fmt.Sprintf("kernels: TSMQR column mismatch C1 %d, C2 %d", c1.Cols, c2.Cols))
 	}
-	// W = C1[0:k] + VᵀC2  (k × cols)
-	w := matrix.New(k, c1.Cols)
-	w.CopyFrom(c1.SubMatrix(0, 0, k, c1.Cols))
-	matrix.GemmTA(1, v, c2, 1, w)
-	if trans {
-		matrix.TrmmUpperTransLeft(t, w)
-	} else {
-		matrix.TrmmUpperLeft(t, w)
-	}
-	// C1[0:k] −= W;  C2 −= V·W.
-	c1.SubMatrix(0, 0, k, c1.Cols).Sub(w)
-	matrix.Gemm(-1, v, w, 1, c2)
+	pairUpdate(v, t, c1, c2, trans, ws)
 }
 
 // TTQRT performs the triangle-on-top-of-triangle elimination step: both the
@@ -211,6 +251,16 @@ func TSMQR(v, t, c1, c2 *matrix.Matrix, trans bool) {
 // cheaper in flops yet "the same amount of arithmetic" as TS for full tiles
 // in the paper's accounting (both process one tile pair).
 func TTQRT(r1, r2, v2, t *matrix.Matrix) {
+	ws := GetWorkspace()
+	TTQRTWs(r1, r2, v2, t, ws)
+	ws.Release()
+}
+
+// TTQRTWs is TTQRT running entirely on Workspace scratch. Every entry of t
+// and v2 is written (the regions that are structurally zero get targeted
+// clears rather than full-matrix Zero passes), so neither needs to arrive
+// zeroed.
+func TTQRTWs(r1, r2, v2, t *matrix.Matrix, ws *Workspace) {
 	n := r1.Cols
 	if r2.Cols != n {
 		panic(fmt.Sprintf("kernels: TTQRT column mismatch R1 %d, R2 %d", n, r2.Cols))
@@ -224,11 +274,24 @@ func TTQRT(r1, r2, v2, t *matrix.Matrix) {
 	if t.Rows != n || t.Cols != n {
 		panic(fmt.Sprintf("kernels: TTQRT T is %dx%d, want %dx%d", t.Rows, t.Cols, n, n))
 	}
-	v2.Zero()
-	t.Zero()
 	m := r2.Rows
-	x := make([]float64, m+1)
-	w := make([]float64, n)
+	// Targeted clear of v2's strictly-lower region: column j's tail occupies
+	// rows 0..min(j, m−1), so row i is written at columns ≥ i and must be
+	// zero before them. The upper region is fully written by the loop below.
+	for i := 1; i < m; i++ {
+		vi := v2.Row(i)
+		c := i
+		if c > n {
+			c = n
+		}
+		vi = vi[:c]
+		for q := range vi {
+			vi[q] = 0
+		}
+	}
+	clearLowerTriangle(t)
+	x := grow(&ws.x, m+1)
+	w := grow(&ws.wv, n)
 	for j := 0; j < n; j++ {
 		lj := j + 1 // bottom tail length: rows 0..j of the triangular tile
 		if lj > m {
@@ -255,50 +318,52 @@ func TTQRT(r1, r2, v2, t *matrix.Matrix) {
 				if vi == 0 {
 					continue
 				}
-				for q, rv := range r2.Row(i)[j+1 : n] {
-					wt[q] += vi * rv
-				}
+				axpy(vi, r2.Row(i)[j+1:n], wt)
 			}
-			for q := range wt {
-				wt[q] *= tauJ
-				r1j[j+1+q] -= wt[q]
+			for q, wv := range wt {
+				wv *= tauJ
+				wt[q] = wv
+				r1j[j+1+q] -= wv
 			}
 			for i := 0; i < lj; i++ {
 				vi := v2.Row(i)[j]
 				if vi == 0 {
 					continue
 				}
-				ri := r2.Row(i)
-				for q, wv := range wt {
-					ri[j+1+q] -= wv * vi
-				}
+				axpy(-vi, wt, r2.Row(i)[j+1:n])
 			}
 		}
 		// Block factor column (tops orthogonal, bottoms overlap on rows
 		// 0..min(lp,lj)−1), accumulated row-wise over V2.
 		t.Set(j, j, tauJ)
-		if j > 0 && tauJ != 0 {
-			wp := w[:j]
-			for q := range wp {
-				wp[q] = 0
-			}
-			for i := 0; i < lj; i++ {
-				v2i := v2.Row(i)
-				vi := v2i[j]
-				if vi == 0 {
-					continue
-				}
-				for q, vv := range v2i[:j] {
-					wp[q] += vv * vi
-				}
-			}
+		if j == 0 {
+			continue
+		}
+		wp := w[:j]
+		if tauJ == 0 {
 			for p := 0; p < j; p++ {
-				var s float64
-				for q := p; q < j; q++ {
-					s += t.At(p, q) * wp[q]
-				}
-				t.Set(p, j, -tauJ*s)
+				t.Set(p, j, 0)
 			}
+			continue
+		}
+		for q := range wp {
+			wp[q] = 0
+		}
+		for i := 0; i < lj; i++ {
+			v2i := v2.Row(i)
+			vi := v2i[j]
+			if vi == 0 {
+				continue
+			}
+			axpy(vi, v2i[:j], wp)
+		}
+		for p := 0; p < j; p++ {
+			tp := t.Row(p)
+			var s float64
+			for q := p; q < j; q++ {
+				s += tp[q] * wp[q]
+			}
+			t.Set(p, j, -tauJ*s)
 		}
 	}
 }
@@ -311,6 +376,15 @@ func TTQRT(r1, r2, v2, t *matrix.Matrix) {
 //
 // Only the first k rows of c1 and the first v2.Rows rows of c2 participate.
 func TTMQR(v2, t, c1, c2 *matrix.Matrix, trans bool) {
+	ws := GetWorkspace()
+	TTMQRWs(v2, t, c1, c2, trans, ws)
+	ws.Release()
+}
+
+// TTMQRWs is TTMQR running entirely on Workspace scratch, sharing the fused
+// pair-update core with TSMQRWs (only the first v2.Rows rows of c2
+// participate, which the row-streaming loops honour directly).
+func TTMQRWs(v2, t, c1, c2 *matrix.Matrix, trans bool, ws *Workspace) {
 	k := v2.Cols
 	if k == 0 || c1.IsEmpty() {
 		return
@@ -324,23 +398,99 @@ func TTMQR(v2, t, c1, c2 *matrix.Matrix, trans bool) {
 	if c1.Cols != c2.Cols {
 		panic(fmt.Sprintf("kernels: TTMQR column mismatch C1 %d, C2 %d", c1.Cols, c2.Cols))
 	}
-	mv := v2.Rows
-	c2top := c2.SubMatrix(0, 0, mv, c2.Cols)
-	w := matrix.New(k, c1.Cols)
-	w.CopyFrom(c1.SubMatrix(0, 0, k, c1.Cols))
-	matrix.GemmTA(1, v2, c2top, 1, w)
-	if trans {
-		matrix.TrmmUpperTransLeft(t, w)
-	} else {
-		matrix.TrmmUpperLeft(t, w)
-	}
-	c1.SubMatrix(0, 0, k, c1.Cols).Sub(w)
-	matrix.Gemm(-1, v2, w, 1, c2top)
+	pairUpdate(v2, t, c1, c2, trans, ws)
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
+// pairUpdate is the shared fused core of TSMQR/TTMQR: apply the compact-WY
+// factor (tails v, block factor t) to the tile pair [c1; c2], streaming only
+// the first v.Rows rows of c2 (all of them for TS, the triangular span for
+// TT). The callers have validated shapes.
+func pairUpdate(v, t, c1, c2 *matrix.Matrix, trans bool, ws *Workspace) {
+	k := v.Cols
+	mv := v.Rows
+	w := ws.matW(k, c1.Cols)
+	// W = C1[0:k] + Vᵀ·C2[0:mv], streaming C2's rows once.
+	for i := 0; i < k; i++ {
+		copy(w.Row(i), c1.Row(i))
 	}
-	return b
+	for r := 0; r < mv; r++ {
+		vr := v.Row(r)
+		cr := c2.Row(r)
+		for j, vv := range vr {
+			if vv != 0 {
+				axpy(vv, cr, w.Row(j))
+			}
+		}
+	}
+	// W ← Tᵀ·W (trans) or T·W, fused with C1[0:k] −= W: each W row is final
+	// at its own iteration (the triangular recurrences only read rows not yet
+	// overwritten), so the subtraction rides along in the same pass.
+	if trans {
+		// (TᵀW)[i] = Σ_{p≤i} T[p][i]·W[p], processed bottom-up.
+		for i := k - 1; i >= 0; i-- {
+			wi := w.Row(i)
+			d := t.At(i, i)
+			for j := range wi {
+				wi[j] *= d
+			}
+			for p := 0; p < i; p++ {
+				tv := t.At(p, i)
+				if tv != 0 {
+					axpy(tv, w.Row(p), wi)
+				}
+			}
+			axpy(-1, wi, c1.Row(i))
+		}
+	} else {
+		// (TW)[i] = Σ_{p≥i} T[i][p]·W[p], processed top-down.
+		for i := 0; i < k; i++ {
+			ti := t.Row(i)
+			wi := w.Row(i)
+			d := ti[i]
+			for j := range wi {
+				wi[j] *= d
+			}
+			for p := i + 1; p < k; p++ {
+				tv := ti[p]
+				if tv != 0 {
+					axpy(tv, w.Row(p), wi)
+				}
+			}
+			axpy(-1, wi, c1.Row(i))
+		}
+	}
+	// C2[0:mv] −= V·W, the second and final pass over C2's rows.
+	for r := 0; r < mv; r++ {
+		vr := v.Row(r)
+		cr := c2.Row(r)
+		for j, vv := range vr {
+			if vv != 0 {
+				axpy(-vv, w.Row(j), cr)
+			}
+		}
+	}
+}
+
+// axpy computes y ← y + alpha·x over the first len(y) elements of x. It is
+// deliberately a plain range loop: small enough for the compiler to inline at
+// every call site (matrix.Axpy's unrolled body is not), which matters at tile
+// sizes where per-call overhead rivals the arithmetic (len ≈ 8). The reslice
+// hoists the bounds check out of the loop.
+func axpy(alpha float64, x, y []float64) {
+	x = x[:len(y)]
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// clearLowerTriangle zeroes the strictly-lower triangle of the square
+// matrix t — the targeted replacement for a full t.Zero() ahead of block-
+// factor computation, whose upper triangle the kernels overwrite entirely.
+func clearLowerTriangle(t *matrix.Matrix) {
+	for i := 1; i < t.Rows; i++ {
+		ti := t.Row(i)[:i]
+		for q := range ti {
+			ti[q] = 0
+		}
+	}
 }

@@ -1,0 +1,7 @@
+//go:build !race
+
+package kernels
+
+// raceEnabled reports whether the race detector instruments this build;
+// alloc-count assertions are skipped when it does.
+const raceEnabled = false

@@ -1,0 +1,108 @@
+package kernels
+
+import (
+	"sync"
+
+	"repro/internal/matrix"
+)
+
+// Workspace holds every scratch buffer the six tile kernels need, so the
+// steady-state hot path performs zero heap allocations. Buffers grow on
+// demand and are retained at high-water mark, which is how a worker that
+// processes many tiles of one size reaches a fixed memory footprint after
+// the first call.
+//
+// Ownership and reentrancy contract:
+//
+//   - A Workspace may be used by ONE goroutine at a time. The parallel
+//     runtime gives each computing worker its own Workspace; sharing one
+//     across concurrent kernel calls is a data race.
+//   - Kernel calls may be interleaved freely on the same Workspace — every
+//     kernel fully overwrites the scratch regions it reads — but scratch
+//     contents do not survive across calls.
+//   - Views handed out by View1/View2 alias the Workspace and are invalid
+//     after the next call that uses the same slot.
+//
+// The zero value is ready to use. For transient callers that cannot carry a
+// Workspace, GetWorkspace/Release recycle instances through a sync.Pool so
+// the package-level compatibility kernels (GEQRT, TSQRT, …) are also
+// allocation-free in steady state.
+type Workspace struct {
+	tau []float64 // reflector scalars (GEQRT)
+	col []float64 // QR2 column gather scratch
+	hw  []float64 // Householder row-update scratch
+	x   []float64 // TSQRT/TTQRT coupled-column scratch
+	wv  []float64 // trailing-update / block-factor accumulation scratch
+
+	wm   matrix.Matrix // header for the k×n W intermediate
+	wbuf []float64     // backing store for wm
+
+	v1h, v2h matrix.Matrix // caller-facing view headers (View1/View2)
+	vkh      matrix.Matrix // kernel-internal V view header (never caller-visible)
+}
+
+// NewWorkspace returns an empty Workspace. Buffers are grown lazily by the
+// first kernel calls.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+var wsPool = sync.Pool{New: func() any { return &Workspace{} }}
+
+// GetWorkspace borrows a Workspace from the package pool. Pair it with
+// Release. Long-lived workers should prefer owning a NewWorkspace instead,
+// which avoids any pool traffic on the hot path.
+func GetWorkspace() *Workspace { return wsPool.Get().(*Workspace) }
+
+// Release returns the Workspace to the package pool. The caller must not
+// use ws (or any view or slice obtained from it) afterwards.
+func (ws *Workspace) Release() { wsPool.Put(ws) }
+
+// grow returns (*buf)[:n], reallocating only when capacity is short.
+func grow(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	return (*buf)[:n]
+}
+
+// matW returns the workspace-owned r×c scratch matrix used for the W
+// intermediate of the update kernels. Contents are undefined on entry; the
+// kernels overwrite every element they read.
+func (ws *Workspace) matW(r, c int) *matrix.Matrix {
+	if cap(ws.wbuf) < r*c {
+		ws.wbuf = make([]float64, r*c)
+	}
+	ws.wm = matrix.Matrix{Rows: r, Cols: c, Stride: c, Data: ws.wbuf[:r*c]}
+	return &ws.wm
+}
+
+// viewInto points h at the (i, j, r, c) sub-block of m without allocating.
+// The caller guarantees the block is in range and r, c ≥ 1.
+func viewInto(h *matrix.Matrix, m *matrix.Matrix, i, j, r, c int) *matrix.Matrix {
+	off := i*m.Stride + j
+	*h = matrix.Matrix{Rows: r, Cols: c, Stride: m.Stride, Data: m.Data[off : off+(r-1)*m.Stride+c]}
+	return h
+}
+
+// View1 returns a workspace-owned view of the r×c block of m at (i, j) —
+// an allocation-free SubMatrix for hot-path callers (the runtime's dense
+// Q-application uses it for the C1 row block). The view is invalidated by
+// the next View1 call on the same Workspace.
+func (ws *Workspace) View1(m *matrix.Matrix, i, j, r, c int) *matrix.Matrix {
+	return ws.view(&ws.v1h, m, i, j, r, c)
+}
+
+// View2 is a second, independent view slot (for the C2 row block).
+func (ws *Workspace) View2(m *matrix.Matrix, i, j, r, c int) *matrix.Matrix {
+	return ws.view(&ws.v2h, m, i, j, r, c)
+}
+
+func (ws *Workspace) view(h *matrix.Matrix, m *matrix.Matrix, i, j, r, c int) *matrix.Matrix {
+	if i < 0 || j < 0 || r < 1 || c < 1 || i+r > m.Rows || j+c > m.Cols {
+		// Delegate to SubMatrix for the (cold) error path and degenerate
+		// shapes; it carries the descriptive panic.
+		sub := m.SubMatrix(i, j, r, c)
+		*h = *sub
+		return h
+	}
+	return viewInto(h, m, i, j, r, c)
+}

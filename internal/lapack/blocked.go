@@ -15,43 +15,66 @@ import (
 // T[j][j] = τ_j.
 func LarfT(v *matrix.Matrix, tau []float64) *matrix.Matrix {
 	k := len(tau)
+	t := matrix.New(k, k)
+	LarfTInto(v, tau, t, make([]float64, k))
+	return t
+}
+
+// LarfTInto is LarfT writing the block factor into the caller-supplied k×k
+// matrix t, with w (length ≥ k) as scratch — the allocation-free form the
+// tile kernels run on. Every entry of t is written (the strict lower
+// triangle is cleared, τ=0 columns get explicit zeros), so t does not need
+// to arrive zeroed.
+func LarfTInto(v *matrix.Matrix, tau []float64, t *matrix.Matrix, w []float64) {
+	k := len(tau)
 	if v.Cols != k {
 		panic(fmt.Sprintf("lapack: LarfT V has %d cols, %d taus", v.Cols, k))
 	}
-	t := matrix.New(k, k)
-	w := make([]float64, k)
+	if t.Rows != k || t.Cols != k {
+		panic(fmt.Sprintf("lapack: LarfT T is %dx%d, want %dx%d", t.Rows, t.Cols, k, k))
+	}
+	// Targeted clear of the strict lower triangle; the upper triangle is
+	// fully written by the column loop below.
+	for i := 1; i < k; i++ {
+		ti := t.Row(i)[:i]
+		for q := range ti {
+			ti[q] = 0
+		}
+	}
 	for j := 0; j < k; j++ {
 		tj := tau[j]
 		t.Set(j, j, tj)
-		if j == 0 || tj == 0 {
+		if j == 0 {
+			continue
+		}
+		if tj == 0 {
+			for i := 0; i < j; i++ {
+				t.Set(i, j, 0)
+			}
 			continue
 		}
 		// w[0:j] = V[:, 0:j]ᵀ · v_j, exploiting the unit-lower structure:
 		// v_j has implicit 1 at row j and zeros above.
-		for i := 0; i < j; i++ {
-			// Row j of V contributes V[j][i]·1; rows j+1.. contribute fully.
-			w[i] = v.At(j, i)
-		}
+		wj := w[:j]
+		copy(wj, v.Row(j)[:j])
 		for r := j + 1; r < v.Rows; r++ {
 			vr := v.Row(r)
 			vj := vr[j]
 			if vj == 0 {
 				continue
 			}
-			for i := 0; i < j; i++ {
-				w[i] += vr[i] * vj
-			}
+			matrix.Axpy(vj, vr[:j], wj)
 		}
 		// T[0:j, j] = −τ_j · T[0:j, 0:j] · w  (T block is upper triangular).
 		for i := 0; i < j; i++ {
+			ti := t.Row(i)
 			var s float64
 			for p := i; p < j; p++ {
-				s += t.At(i, p) * w[p]
+				s += ti[p] * wj[p]
 			}
 			t.Set(i, j, -tj*s)
 		}
 	}
-	return t
 }
 
 // LarfB applies the block reflector (I − V·T·Vᵀ) or its transpose to C from
@@ -62,6 +85,18 @@ func LarfT(v *matrix.Matrix, tau []float64) *matrix.Matrix {
 //
 // V is m×k with implicit unit diagonal and zeros above it; C is m×n.
 func LarfB(v, t *matrix.Matrix, c *matrix.Matrix, trans bool) {
+	if v.Cols == 0 || c.IsEmpty() {
+		return
+	}
+	LarfBWs(v, t, c, trans, matrix.New(v.Cols, c.Cols))
+}
+
+// LarfBWs is LarfB with the k×n intermediate W supplied by the caller — the
+// allocation-free form the tile kernels run on. w must be v.Cols × c.Cols;
+// its contents are overwritten. The dense halves of the split are streamed
+// row-by-row rather than through sub-matrix views, so the hot path allocates
+// nothing.
+func LarfBWs(v, t *matrix.Matrix, c *matrix.Matrix, trans bool, w *matrix.Matrix) {
 	m, k := v.Rows, v.Cols
 	if c.Rows != m {
 		panic(fmt.Sprintf("lapack: LarfB C has %d rows, V has %d", c.Rows, m))
@@ -69,10 +104,13 @@ func LarfB(v, t *matrix.Matrix, c *matrix.Matrix, trans bool) {
 	if k == 0 || c.IsEmpty() {
 		return
 	}
+	if w.Rows != k || w.Cols != c.Cols {
+		panic(fmt.Sprintf("lapack: LarfB W is %dx%d, want %dx%d", w.Rows, w.Cols, k, c.Cols))
+	}
 	// W = Vᵀ·C, with the unit-lower structure of V handled explicitly:
 	// W[j] = C[j] + Σ_{r>j} V[r][j]·C[r]  … computed densely via the split
 	// V = [V1 (unit lower k×k); V2 (dense (m−k)×k)].
-	w := matrix.New(k, c.Cols)
+	//
 	// W = V1ᵀ·C1 where V1 unit lower triangular.
 	for j := 0; j < k; j++ {
 		wj := w.Row(j)
@@ -81,11 +119,15 @@ func LarfB(v, t *matrix.Matrix, c *matrix.Matrix, trans bool) {
 			matrix.Axpy(v.At(r, j), c.Row(r), wj)
 		}
 	}
-	// W += V2ᵀ·C2.
-	if m > k {
-		v2 := v.SubMatrix(k, 0, m-k, k)
-		c2 := c.SubMatrix(k, 0, m-k, c.Cols)
-		matrix.GemmTA(1, v2, c2, 1, w)
+	// W += V2ᵀ·C2, streaming rows of the dense tail.
+	for r := k; r < m; r++ {
+		vr := v.Row(r)
+		cr := c.Row(r)
+		for j, vv := range vr {
+			if vv != 0 {
+				matrix.Axpy(vv, cr, w.Row(j))
+			}
+		}
 	}
 	// W ← Tᵀ·W or T·W.
 	if trans {
@@ -104,10 +146,14 @@ func LarfB(v, t *matrix.Matrix, c *matrix.Matrix, trans bool) {
 			}
 		}
 	}
-	if m > k {
-		v2 := v.SubMatrix(k, 0, m-k, k)
-		c2 := c.SubMatrix(k, 0, m-k, c.Cols)
-		matrix.Gemm(-1, v2, w, 1, c2)
+	for r := k; r < m; r++ {
+		vr := v.Row(r)
+		cr := c.Row(r)
+		for j, vv := range vr {
+			if vv != 0 {
+				matrix.Axpy(-vv, w.Row(j), cr)
+			}
+		}
 	}
 }
 

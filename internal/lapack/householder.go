@@ -10,6 +10,7 @@
 package lapack
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/matrix"
@@ -51,12 +52,13 @@ func GenHouseholder(x []float64) (tau, beta float64) {
 
 // applyHouseholderLeft applies H = I − τ·v·vᵀ to A (A ← H·A) where v has the
 // implicit leading 1 and its tail is supplied in vTail (length A.Rows−1).
-func applyHouseholderLeft(tau float64, vTail []float64, a *matrix.Matrix) {
+// w is caller scratch of length ≥ A.Cols; its contents are overwritten.
+func applyHouseholderLeft(tau float64, vTail []float64, a *matrix.Matrix, w []float64) {
 	if tau == 0 || a.IsEmpty() {
 		return
 	}
 	// w = vᵀ·A (row vector), then A ← A − τ·v·w.
-	w := make([]float64, a.Cols)
+	w = w[:a.Cols]
 	copy(w, a.Row(0))
 	for i := 1; i < a.Rows; i++ {
 		matrix.Axpy(vTail[i-1], a.Row(i), w)
@@ -76,9 +78,21 @@ func applyHouseholderLeft(tau float64, vTail []float64, a *matrix.Matrix) {
 // Householder matrices Qₖ are never materialised; each reflector is applied
 // to the trailing submatrix directly.
 func QR2(a *matrix.Matrix) (tau []float64) {
+	tau = make([]float64, min(a.Rows, a.Cols))
+	QR2Ws(a, tau, make([]float64, a.Rows), make([]float64, a.Cols))
+	return tau
+}
+
+// QR2Ws is QR2 with caller-supplied storage, the allocation-free form the
+// tile kernels run on: tau receives the min(m,n) reflector scalars (its
+// length must be exactly min(m,n)); col (length ≥ m) and hw (length ≥ n) are
+// scratch whose contents are overwritten.
+func QR2Ws(a *matrix.Matrix, tau, col, hw []float64) {
 	k := min(a.Rows, a.Cols)
-	tau = make([]float64, k)
-	col := make([]float64, a.Rows)
+	if len(tau) != k {
+		panic(fmt.Sprintf("lapack: QR2Ws tau length %d, want %d", len(tau), k))
+	}
+	var trailing matrix.Matrix // reused view header for the trailing update
 	for j := 0; j < k; j++ {
 		h := a.Rows - j
 		x := col[:h]
@@ -91,11 +105,14 @@ func QR2(a *matrix.Matrix) (tau []float64) {
 			a.Set(j+i, j, x[i])
 		}
 		if j+1 < a.Cols {
-			trailing := a.SubMatrix(j, j+1, h, a.Cols-j-1)
-			applyHouseholderLeft(t, x[1:], trailing)
+			off := j*a.Stride + j + 1
+			trailing = matrix.Matrix{
+				Rows: h, Cols: a.Cols - j - 1, Stride: a.Stride,
+				Data: a.Data[off : off+(h-1)*a.Stride+a.Cols-j-1],
+			}
+			applyHouseholderLeft(t, x[1:], &trailing, hw)
 		}
 	}
-	return tau
 }
 
 // FormQ builds the explicit m×k orthogonal factor Q (k = min(m, n)) from a
@@ -109,13 +126,14 @@ func FormQ(a *matrix.Matrix, tau []float64) *matrix.Matrix {
 	}
 	// Apply H_{k-1}···H_0 to I from the left in reverse order: Q = H_0···H_{k-1}·I.
 	vTail := make([]float64, m)
+	w := make([]float64, k)
 	for j := k - 1; j >= 0; j-- {
 		h := m - j
 		for i := 1; i < h; i++ {
 			vTail[i-1] = a.At(j+i, j)
 		}
 		sub := q.SubMatrix(j, j, h, k-j)
-		applyHouseholderLeft(tau[j], vTail[:h-1], sub)
+		applyHouseholderLeft(tau[j], vTail[:h-1], sub, w)
 	}
 	return q
 }
@@ -125,6 +143,7 @@ func FormQ(a *matrix.Matrix, tau []float64) *matrix.Matrix {
 func ApplyQT(a *matrix.Matrix, tau []float64, b *matrix.Matrix) {
 	m := a.Rows
 	vTail := make([]float64, m)
+	w := make([]float64, b.Cols)
 	// Qᵀ = H_{k-1}···H_0, applied in forward order.
 	for j := 0; j < len(tau); j++ {
 		h := m - j
@@ -132,7 +151,7 @@ func ApplyQT(a *matrix.Matrix, tau []float64, b *matrix.Matrix) {
 			vTail[i-1] = a.At(j+i, j)
 		}
 		sub := b.SubMatrix(j, 0, h, b.Cols)
-		applyHouseholderLeft(tau[j], vTail[:h-1], sub)
+		applyHouseholderLeft(tau[j], vTail[:h-1], sub, w)
 	}
 }
 
@@ -140,13 +159,14 @@ func ApplyQT(a *matrix.Matrix, tau []float64, b *matrix.Matrix) {
 func ApplyQ(a *matrix.Matrix, tau []float64, b *matrix.Matrix) {
 	m := a.Rows
 	vTail := make([]float64, m)
+	w := make([]float64, b.Cols)
 	for j := len(tau) - 1; j >= 0; j-- {
 		h := m - j
 		for i := 1; i < h; i++ {
 			vTail[i-1] = a.At(j+i, j)
 		}
 		sub := b.SubMatrix(j, 0, h, b.Cols)
-		applyHouseholderLeft(tau[j], vTail[:h-1], sub)
+		applyHouseholderLeft(tau[j], vTail[:h-1], sub, w)
 	}
 }
 
@@ -161,11 +181,4 @@ func ExtractR(a *matrix.Matrix) *matrix.Matrix {
 		}
 	}
 	return r
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -35,6 +35,7 @@ func QRP(a *matrix.Matrix) (tau []float64, perm []int) {
 		exact[j] = norms[j]
 	}
 	col := make([]float64, m)
+	hw := make([]float64, n)
 
 	for j := 0; j < k; j++ {
 		// Pivot: the remaining column with the largest partial norm.
@@ -63,7 +64,7 @@ func QRP(a *matrix.Matrix) (tau []float64, perm []int) {
 		}
 		if j+1 < n {
 			trailing := a.SubMatrix(j, j+1, h, n-j-1)
-			applyHouseholderLeft(t, x[1:], trailing)
+			applyHouseholderLeft(t, x[1:], trailing, hw)
 		}
 
 		// Downdate the partial norms of the trailing columns.

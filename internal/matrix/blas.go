@@ -13,6 +13,25 @@ func Mul(a, b *Matrix) *Matrix {
 	return c
 }
 
+// axpyTo computes dst[j] += s·x[j] for every j. x must be at least as long
+// as dst; only the first len(dst) elements are read. The body is the
+// bounds-check-free, 4-way-unrolled form shared by every BLAS inner loop in
+// this package: each element update is independent, so unrolling keeps
+// results bit-identical to the naive loop while cutting loop overhead.
+func axpyTo(dst []float64, s float64, x []float64) {
+	x = x[:len(dst)]
+	j := 0
+	for ; j+3 < len(dst); j += 4 {
+		dst[j] += s * x[j]
+		dst[j+1] += s * x[j+1]
+		dst[j+2] += s * x[j+2]
+		dst[j+3] += s * x[j+3]
+	}
+	for ; j < len(dst); j++ {
+		dst[j] += s * x[j]
+	}
+}
+
 // Gemm computes C = alpha·A·B + beta·C in place.
 //
 // The loop order (i, k, j) streams both B and C rows, which is the
@@ -28,7 +47,7 @@ func Gemm(alpha float64, a, b *Matrix, beta float64, c *Matrix) {
 			c.Scale(beta)
 		}
 	}
-	if alpha == 0 {
+	if alpha == 0 || c.IsEmpty() {
 		return
 	}
 	for i := 0; i < a.Rows; i++ {
@@ -38,11 +57,7 @@ func Gemm(alpha float64, a, b *Matrix, beta float64, c *Matrix) {
 			if av == 0 {
 				continue
 			}
-			s := alpha * av
-			br := b.Data[k*b.Stride : k*b.Stride+b.Cols]
-			for j, bv := range br {
-				cr[j] += s * bv
-			}
+			axpyTo(cr, alpha*av, b.Data[k*b.Stride:])
 		}
 	}
 }
@@ -59,7 +74,7 @@ func GemmTA(alpha float64, a, b *Matrix, beta float64, c *Matrix) {
 			c.Scale(beta)
 		}
 	}
-	if alpha == 0 {
+	if alpha == 0 || c.IsEmpty() {
 		return
 	}
 	// C[i][j] += alpha * sum_k A[k][i] * B[k][j]; stream rows of A and B.
@@ -70,11 +85,7 @@ func GemmTA(alpha float64, a, b *Matrix, beta float64, c *Matrix) {
 			if av == 0 {
 				continue
 			}
-			s := alpha * av
-			cr := c.Data[i*c.Stride : i*c.Stride+c.Cols]
-			for j, bv := range br {
-				cr[j] += s * bv
-			}
+			axpyTo(c.Data[i*c.Stride:i*c.Stride+c.Cols], alpha*av, br)
 		}
 	}
 }
@@ -99,6 +110,7 @@ func GemmTB(alpha float64, a, b *Matrix, beta float64, c *Matrix) {
 		cr := c.Data[i*c.Stride : i*c.Stride+c.Cols]
 		for j := 0; j < b.Rows; j++ {
 			br := b.Data[j*b.Stride : j*b.Stride+b.Cols]
+			br = br[:len(ar)]
 			var dot float64
 			for k, av := range ar {
 				dot += av * br[k]
@@ -120,18 +132,16 @@ func TrmmUpperLeft(t, b *Matrix) {
 		bi := b.Data[i*b.Stride : i*b.Stride+b.Cols]
 		// B[i] = sum_{k>=i} T[i][k] * B[k]; row i is consumed before
 		// being overwritten because k starts at i.
+		d := tr[i]
 		for j := range bi {
-			bi[j] *= tr[i]
+			bi[j] *= d
 		}
 		for k := i + 1; k < n; k++ {
 			tv := tr[k]
 			if tv == 0 {
 				continue
 			}
-			bk := b.Data[k*b.Stride : k*b.Stride+b.Cols]
-			for j := range bi {
-				bi[j] += tv * bk[j]
-			}
+			axpyTo(bi, tv, b.Data[k*b.Stride:])
 		}
 	}
 }
@@ -146,18 +156,16 @@ func TrmmUpperTransLeft(t, b *Matrix) {
 	// B[k] for k < i is still the original value when row i is formed.
 	for i := n - 1; i >= 0; i-- {
 		bi := b.Data[i*b.Stride : i*b.Stride+b.Cols]
+		d := t.Data[i*t.Stride+i]
 		for j := range bi {
-			bi[j] *= t.Data[i*t.Stride+i]
+			bi[j] *= d
 		}
 		for k := 0; k < i; k++ {
 			tv := t.Data[k*t.Stride+i]
 			if tv == 0 {
 				continue
 			}
-			bk := b.Data[k*b.Stride : k*b.Stride+b.Cols]
-			for j := range bi {
-				bi[j] += tv * bk[j]
-			}
+			axpyTo(bi, tv, b.Data[k*b.Stride:])
 		}
 	}
 }
@@ -177,10 +185,7 @@ func TrsmUpperLeft(t, b *Matrix) {
 			if tv == 0 {
 				continue
 			}
-			bk := b.Data[k*b.Stride : k*b.Stride+b.Cols]
-			for j := range bi {
-				bi[j] -= tv * bk[j]
-			}
+			axpyTo(bi, -tv, b.Data[k*b.Stride:])
 		}
 		d := tr[i]
 		for j := range bi {
@@ -204,10 +209,7 @@ func TrsmLowerLeft(l, b *Matrix) {
 			if lv == 0 {
 				continue
 			}
-			bk := b.Data[k*b.Stride : k*b.Stride+b.Cols]
-			for j := range bi {
-				bi[j] -= lv * bk[j]
-			}
+			axpyTo(bi, -lv, b.Data[k*b.Stride:])
 		}
 		d := lr[i]
 		for j := range bi {
@@ -316,9 +318,7 @@ func Axpy(alpha float64, x, y []float64) {
 	if alpha == 0 {
 		return
 	}
-	for i, v := range x {
-		y[i] += alpha * v
-	}
+	axpyTo(y, alpha, x)
 }
 
 // Nrm2 returns the Euclidean norm of x with overflow-safe scaling.

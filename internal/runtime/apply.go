@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/kernels"
 	"repro/internal/matrix"
 	"repro/internal/tiled"
 )
@@ -106,8 +107,9 @@ func applyParallel(f *tiled.Factorization, c *matrix.Matrix, workers int, revers
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			ws := kernels.NewWorkspace()
 			for id := range ready {
-				f.ApplyFactorOpTo(tasks[id].op, c, trans)
+				f.ApplyFactorOpToWs(tasks[id].op, c, trans, ws)
 				done <- id
 			}
 		}()

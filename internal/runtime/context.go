@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/fault"
+	"repro/internal/kernels"
 	"repro/internal/matrix"
 	"repro/internal/metrics"
 	"repro/internal/obs"
@@ -239,7 +240,7 @@ type injectedPanic struct{}
 // recovered into a typed *fault.KernelPanicError.
 func applyProtected(in *instr, inj *fault.Injector, reg *metrics.Registry,
 	f *tiled.Factorization, op tiled.Op, worker, item, local, attempt int,
-	injected *atomic.Int64) (err error) {
+	injected *atomic.Int64, ws *kernels.Workspace) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			_, isInjected := r.(injectedPanic)
@@ -266,7 +267,7 @@ func applyProtected(in *instr, inj *fault.Injector, reg *metrics.Registry,
 	case fault.KindLatency:
 		time.Sleep(d.Sleep)
 	}
-	in.applyOp(f, op, worker)
+	in.applyOp(f, op, worker, ws)
 	if d.Kind == fault.KindNaN {
 		c := op.Tiles()[0]
 		f.A.Tile(c[0], c[1]).Data[0] = math.NaN()
@@ -329,13 +330,14 @@ func executeBatch(dag *tiled.DAG, items []batchJob, opt BatchOptions) ([]error, 
 		go func() {
 			defer wg.Done()
 			name := workerName(id)
+			ws := kernels.NewWorkspace()
 			for msg := range ready {
 				op := dag.Ops[msg.gid%n]
 				job := &items[msg.gid/n]
 				start := rec.Now()
 				sp := job.trace.StartKernel(job.span, op.String(), op.Kind.Step(), name, msg.gid%n, msg.attempt)
 				err := applyProtected(in, inj, reg, job.f, op,
-					id, msg.gid/n, msg.gid%n, msg.attempt, &injected)
+					id, msg.gid/n, msg.gid%n, msg.attempt, &injected, ws)
 				job.trace.EndErr(sp, err)
 				if rec != nil && err == nil {
 					rec.Add(trace.Event{

@@ -3,9 +3,11 @@ package runtime
 import (
 	"context"
 	"fmt"
+	gometrics "runtime/metrics"
 	"runtime/pprof"
 	"time"
 
+	"repro/internal/kernels"
 	"repro/internal/metrics"
 	"repro/internal/tiled"
 )
@@ -40,6 +42,14 @@ const (
 	// Factor latency histogram (µs), including tiling and DAG construction.
 	MetricFactors  = "runtime.factors"
 	MetricFactorUS = "runtime.factor_us"
+	// MetricExecAllocObjects is the number of heap objects allocated
+	// process-wide during the latest Execute call (gauge, from the runtime's
+	// /gc/heap/allocs:objects counter). With workspace-owning workers the
+	// kernel loop contributes nothing, so on an otherwise-quiet process this
+	// stays at the small fixed cost of the manager's own bookkeeping
+	// regardless of DAG size — the observable form of the zero-alloc hot
+	// path. Concurrent non-runtime activity inflates it.
+	MetricExecAllocObjects = "runtime.exec_alloc_objects"
 )
 
 // stepNames indexes the paper's step classes in a fixed order so the hot
@@ -70,7 +80,19 @@ type instr struct {
 	depth     *metrics.Gauge
 	peak      *metrics.Gauge
 	start     time.Time
+	allocs0   uint64                           // heap objects allocated at start, for the exec gauge
 	labelSets [len(stepNames)][]pprof.LabelSet // [step][worker]
+}
+
+// allocObjects samples the runtime's cumulative heap-object allocation
+// counter (cheaper than runtime.ReadMemStats, which stops the world).
+func allocObjects() uint64 {
+	s := []gometrics.Sample{{Name: "/gc/heap/allocs:objects"}}
+	gometrics.Read(s)
+	if s[0].Value.Kind() == gometrics.KindUint64 {
+		return s[0].Value.Uint64()
+	}
+	return 0
 }
 
 // newInstr resolves all handles up front. Returns nil when reg is nil.
@@ -78,7 +100,7 @@ func newInstr(reg *metrics.Registry, workers int) *instr {
 	if reg == nil {
 		return nil
 	}
-	in := &instr{reg: reg, depth: reg.Gauge(MetricQueueDepth), peak: reg.Gauge(MetricQueuePeak), start: time.Now()}
+	in := &instr{reg: reg, depth: reg.Gauge(MetricQueueDepth), peak: reg.Gauge(MetricQueuePeak), start: time.Now(), allocs0: allocObjects()}
 	for s, name := range stepNames {
 		in.ops[s] = reg.Counter(metrics.With(MetricOps, "step", name))
 		in.lat[s] = reg.Histogram(metrics.With(MetricOpUS, "step", name))
@@ -107,16 +129,18 @@ func workerName(id int) string { return fmt.Sprintf("worker-%d", id) }
 
 // applyOp executes one kernel with instrumentation: pprof labels scoped to
 // the kernel body, latency observation, per-step count, per-worker busy
-// accounting. With a nil instr it is a plain ApplyOp.
-func (in *instr) applyOp(f *tiled.Factorization, op tiled.Op, worker int) {
+// accounting. The Workspace is the calling worker's own (one per worker, so
+// the kernel runs allocation-free). With a nil instr it is a plain
+// ApplyOpWs.
+func (in *instr) applyOp(f *tiled.Factorization, op tiled.Op, worker int, ws *kernels.Workspace) {
 	if in == nil {
-		f.ApplyOp(op)
+		f.ApplyOpWs(op, ws)
 		return
 	}
 	s := stepIndex(op.Kind)
 	t0 := time.Now()
 	pprof.Do(context.Background(), in.labelSets[s][worker], func(context.Context) {
-		f.ApplyOp(op)
+		f.ApplyOpWs(op, ws)
 	})
 	d := time.Since(t0)
 	us := float64(d) / float64(time.Microsecond)
@@ -142,6 +166,7 @@ func (in *instr) finish(workers, dagOps int) {
 	}
 	wallUS := float64(time.Since(in.start)) / float64(time.Microsecond)
 	in.reg.Histogram(MetricWallUS).Observe(wallUS)
+	in.reg.Gauge(MetricExecAllocObjects).Set(float64(allocObjects() - in.allocs0))
 	in.reg.Gauge(MetricWorkers).Set(float64(workers))
 	in.reg.Gauge(MetricDagOps).Set(float64(dagOps))
 	for w := 0; w < workers; w++ {

@@ -22,6 +22,7 @@ import (
 	"runtime"
 
 	"repro/internal/fault"
+	"repro/internal/kernels"
 	"repro/internal/matrix"
 	"repro/internal/metrics"
 	"repro/internal/obs"
@@ -119,9 +120,10 @@ func ExecuteObserved(dag *tiled.DAG, f *tiled.Factorization, workers int, rec *t
 	for w := 0; w < workers; w++ {
 		go func(id int) {
 			name := workerName(id)
+			ws := kernels.NewWorkspace()
 			for opID := range ready {
 				start := rec.Now()
-				in.applyOp(f, dag.Ops[opID], id)
+				in.applyOp(f, dag.Ops[opID], id, ws)
 				if rec != nil {
 					op := dag.Ops[opID]
 					rec.Add(trace.Event{
@@ -193,9 +195,10 @@ func ExecutePriorityObserved(dag *tiled.DAG, f *tiled.Factorization, workers int
 	for w := 0; w < workers; w++ {
 		go func(id int) {
 			name := workerName(id)
+			ws := kernels.NewWorkspace()
 			for opID := range ready {
 				start := rec.Now()
-				in.applyOp(f, dag.Ops[opID], id)
+				in.applyOp(f, dag.Ops[opID], id, ws)
 				if rec != nil {
 					op := dag.Ops[opID]
 					rec.Add(trace.Event{

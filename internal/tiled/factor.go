@@ -66,25 +66,35 @@ func NewFactorization(a *TiledMatrix, tree Tree) *Factorization {
 // ApplyOp executes one operation of the schedule against the tiled matrix.
 // Operations that are independent in the DAG may be applied concurrently.
 func (f *Factorization) ApplyOp(op Op) {
+	ws := kernels.GetWorkspace()
+	f.ApplyOpWs(op, ws)
+	ws.Release()
+}
+
+// ApplyOpWs is ApplyOp running on a caller-owned kernel Workspace: the
+// parallel runtime gives each worker its own, so the steady-state factor
+// loop performs zero heap allocations. A Workspace must not be shared by
+// concurrent ApplyOpWs calls.
+func (f *Factorization) ApplyOpWs(op Op, ws *kernels.Workspace) {
 	a := f.A
 	switch op.Kind {
 	case KindGEQRT:
-		kernels.GEQRT(a.Tile(op.Row, op.K), f.tGeqrt[[2]int{op.Row, op.K}])
+		kernels.GEQRTWs(a.Tile(op.Row, op.K), f.tGeqrt[[2]int{op.Row, op.K}], ws)
 	case KindUNMQR:
-		kernels.UNMQR(a.Tile(op.Row, op.K), f.tGeqrt[[2]int{op.Row, op.K}],
-			a.Tile(op.Row, op.Col), true)
+		kernels.UNMQRWs(a.Tile(op.Row, op.K), f.tGeqrt[[2]int{op.Row, op.K}],
+			a.Tile(op.Row, op.Col), true, ws)
 	case KindTSQRT:
-		kernels.TSQRT(a.Tile(op.Top, op.K), a.Tile(op.Row, op.K),
-			f.tElim[[2]int{op.Row, op.K}])
+		kernels.TSQRTWs(a.Tile(op.Top, op.K), a.Tile(op.Row, op.K),
+			f.tElim[[2]int{op.Row, op.K}], ws)
 	case KindTSMQR:
-		kernels.TSMQR(a.Tile(op.Row, op.K), f.tElim[[2]int{op.Row, op.K}],
-			a.Tile(op.Top, op.Col), a.Tile(op.Row, op.Col), true)
+		kernels.TSMQRWs(a.Tile(op.Row, op.K), f.tElim[[2]int{op.Row, op.K}],
+			a.Tile(op.Top, op.Col), a.Tile(op.Row, op.Col), true, ws)
 	case KindTTQRT:
-		kernels.TTQRT(a.Tile(op.Top, op.K), a.Tile(op.Row, op.K),
-			f.v2[[2]int{op.Row, op.K}], f.tElim[[2]int{op.Row, op.K}])
+		kernels.TTQRTWs(a.Tile(op.Top, op.K), a.Tile(op.Row, op.K),
+			f.v2[[2]int{op.Row, op.K}], f.tElim[[2]int{op.Row, op.K}], ws)
 	case KindTTMQR:
-		kernels.TTMQR(f.v2[[2]int{op.Row, op.K}], f.tElim[[2]int{op.Row, op.K}],
-			a.Tile(op.Top, op.Col), a.Tile(op.Row, op.Col), true)
+		kernels.TTMQRWs(f.v2[[2]int{op.Row, op.K}], f.tElim[[2]int{op.Row, op.K}],
+			a.Tile(op.Top, op.Col), a.Tile(op.Row, op.Col), true, ws)
 	default:
 		panic(fmt.Sprintf("tiled: unknown op %v", op))
 	}
@@ -95,8 +105,9 @@ func (f *Factorization) ApplyOp(op Op) {
 // sequentially. The input matrix is not modified.
 func Factor(a *matrix.Matrix, b int, tree Tree) *Factorization {
 	f := NewFactorization(FromDense(a, b), tree)
+	ws := kernels.NewWorkspace()
 	for _, op := range f.Journal {
-		f.ApplyOp(op)
+		f.ApplyOpWs(op, ws)
 	}
 	return f
 }
@@ -119,11 +130,4 @@ func (f *Factorization) R() *matrix.Matrix {
 		}
 	}
 	return out
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
