@@ -1,0 +1,70 @@
+// Command qrlint runs the repo's domain-aware static-analysis suite
+// (internal/analysis) over the module and exits non-zero on any
+// diagnostic. CI runs `go run ./cmd/qrlint ./...` as a required gate.
+//
+// Usage:
+//
+//	qrlint [-checks allocfree,lockhold] [-list] [packages]
+//
+// Packages default to ./... . Each diagnostic prints as
+// file:line:col: [check] message. //qr:allow directives in the source
+// suppress individual findings; see CONTRIBUTING.md for the directive
+// rules.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	checks := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	list := flag.Bool("list", false, "list available checks and exit")
+	flag.Parse()
+
+	all := analysis.All()
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	selected := all
+	if *checks != "" {
+		want := map[string]bool{}
+		for _, c := range strings.Split(*checks, ",") {
+			want[strings.TrimSpace(c)] = true
+		}
+		selected = nil
+		for _, a := range all {
+			if want[a.Name] {
+				selected = append(selected, a)
+				delete(want, a.Name)
+			}
+		}
+		for c := range want {
+			fmt.Fprintf(os.Stderr, "qrlint: unknown check %q (use -list)\n", c)
+			os.Exit(2)
+		}
+	}
+
+	patterns := flag.Args()
+	prog, err := analysis.Load("", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qrlint: %v\n", err)
+		os.Exit(2)
+	}
+	diags := analysis.Run(prog, selected)
+	for _, d := range diags {
+		fmt.Println(d.String())
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "qrlint: %d diagnostic(s) in %d package(s)\n", len(diags), len(prog.Pkgs))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,232 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AllocFree walks the static call graph from every //qr:hotpath-annotated
+// root and reports any reachable allocation site: make/new, append (may
+// grow), slice/map composite literals and &T{} (escape to heap), calls to
+// known allocating constructors (matrix.New*, fmt.Sprintf, errors.New, …),
+// function literals (closure allocation), and concrete-to-interface
+// argument conversions (boxing). Blocks that terminate in panic are treated
+// as cold error paths and skipped — a shape-check guard may format its
+// panic message freely.
+//
+// Intentional amortized allocations (a high-water-mark grow, a cold
+// degenerate-shape fallback) are waived with //qr:allow allocfree and a
+// reason.
+var AllocFree = &Analyzer{
+	Name: "allocfree",
+	Doc:  "no allocation site may be reachable from a //qr:hotpath root",
+	Run:  runAllocFree,
+}
+
+// knownAllocators are functions reported as allocating at the call site
+// (and not walked into): the matrix constructors and the usual fmt/errors
+// suspects. Matching is by types.Func.FullName.
+var knownAllocators = map[string]string{
+	"repro/internal/matrix.New":        "allocates a fresh matrix",
+	"repro/internal/matrix.NewStrided": "allocates a fresh matrix",
+	"repro/internal/matrix.Eye":        "allocates a fresh matrix",
+	"fmt.Sprintf":                      "formats into a fresh string",
+	"fmt.Sprint":                       "formats into a fresh string",
+	"fmt.Errorf":                       "allocates an error",
+	"errors.New":                       "allocates an error",
+	"strings.Repeat":                   "allocates a string",
+}
+
+func runAllocFree(pass *Pass) {
+	prog := pass.Prog
+	// Roots declared in this package; the walk itself is program-wide.
+	// (Each package's pass re-walks only from its own roots, and the
+	// driver dedupes sites reached from several roots.)
+	var rootsHere []*FuncInfo
+	for _, fd := range funcsOf(pass.Pkg) {
+		if pass.Pkg.Hotpath(fd) {
+			if obj, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func); ok {
+				rootsHere = append(rootsHere, prog.Func(obj))
+			}
+		}
+	}
+	for _, root := range rootsHere {
+		if root == nil {
+			continue
+		}
+		walkAllocs(pass, root)
+	}
+}
+
+// walkAllocs BFSes the call graph from root, scanning each reachable
+// module function body for allocation sites. via[f] records the discovery
+// path for diagnostics.
+func walkAllocs(pass *Pass, root *FuncInfo) {
+	type item struct {
+		fi   *FuncInfo
+		path string
+	}
+	seen := map[*FuncInfo]bool{root: true}
+	queue := []item{{root, root.Decl.Name.Name}}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		callees := scanFuncAllocs(pass, it.fi, it.path)
+		for _, c := range callees {
+			if !seen[c] {
+				seen[c] = true
+				queue = append(queue, item{c, it.path + " → " + c.Decl.Name.Name})
+			}
+		}
+	}
+}
+
+// scanFuncAllocs reports the allocation sites of one function body and
+// returns the module callees to walk into.
+func scanFuncAllocs(pass *Pass, fi *FuncInfo, path string) []*FuncInfo {
+	var callees []*FuncInfo
+	info := fi.Pkg.Info
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			if blockIsCold(n.List) {
+				return false
+			}
+		case *ast.CaseClause:
+			if blockIsCold(n.Body) {
+				return false
+			}
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure literal in hot path [%s]", path)
+			return false
+		case *ast.CompositeLit:
+			switch info.Types[n].Type.Underlying().(type) {
+			case *types.Slice, *types.Map:
+				pass.Reportf(n.Pos(), "slice/map literal allocates in hot path [%s]", path)
+			}
+		case *ast.UnaryExpr:
+			if n.Op.String() == "&" {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "&composite{} may escape to the heap in hot path [%s]", path)
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				switch id.Name {
+				case "make", "new":
+					if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+						pass.Reportf(n.Pos(), "%s allocates in hot path [%s]", id.Name, path)
+						return true
+					}
+				case "append":
+					if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+						pass.Reportf(n.Pos(), "append may grow its backing array in hot path [%s]", path)
+						return true
+					}
+				case "panic":
+					// Cold by definition; its argument may box/format.
+					return false
+				}
+			}
+			if fn := Callee(info, n); fn != nil {
+				if fi.Pkg.allowsAt(pass.Prog.Fset, pass.Check, n.Pos()) {
+					// //qr:allow allocfree on a call site cuts the
+					// call-graph edge: the callee is a declared cold path
+					// (a degenerate-shape fallback, an amortized grow).
+					return true
+				}
+				full := fn.FullName()
+				if why, ok := knownAllocators[full]; ok {
+					pass.Reportf(n.Pos(), "call to %s %s in hot path [%s]", shortName(full), why, path)
+					return true
+				}
+				if target := pass.Prog.Func(fn); target != nil {
+					callees = append(callees, target)
+				}
+				reportBoxedArgs(pass, info, n, fn, path)
+			}
+		}
+		return true
+	}
+	ast.Inspect(fi.Decl.Body, visit)
+	return callees
+}
+
+// blockIsCold reports whether a statement list is an error path: its last
+// statement is (or ends in) a panic call. Shape-check guards of the form
+// `if bad { panic(fmt.Sprintf(...)) }` are the canonical case.
+func blockIsCold(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	last := stmts[len(stmts)-1]
+	es, ok := last.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// reportBoxedArgs flags concrete values passed to interface parameters —
+// each such call boxes the argument on the heap.
+func reportBoxedArgs(pass *Pass, info *types.Info, call *ast.CallExpr, fn *types.Func, path string) {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case i < params.Len()-1 || (!sig.Variadic() && i < params.Len()):
+			pt = params.At(i).Type()
+		case sig.Variadic() && params.Len() > 0:
+			if s, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		}
+		if pt == nil {
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at := info.Types[arg].Type
+		if at == nil {
+			continue
+		}
+		if _, argIface := at.Underlying().(*types.Interface); argIface {
+			continue
+		}
+		if b, ok := at.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "argument boxed into interface parameter %s of %s in hot path [%s]",
+			paramName(params, i, sig), shortName(fn.FullName()), path)
+	}
+}
+
+func paramName(params *types.Tuple, i int, sig *types.Signature) string {
+	idx := i
+	if sig.Variadic() && i >= params.Len() {
+		idx = params.Len() - 1
+	}
+	if idx < params.Len() && params.At(idx).Name() != "" {
+		return params.At(idx).Name()
+	}
+	return fmt.Sprintf("#%d", i)
+}
+
+// shortName compresses "repro/internal/matrix.New" to "matrix.New" and
+// "(repro/internal/store.JobStore).Put" to "(store.JobStore).Put".
+func shortName(full string) string {
+	return strings.ReplaceAll(full, "repro/internal/", "")
+}

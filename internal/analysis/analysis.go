@@ -1,0 +1,159 @@
+// Package analysis is the repo's domain-aware static-analysis engine: a
+// small framework (module loader with full type information, //qr:
+// directives, diagnostic reporting, fixture test harness) plus the
+// analyzers that promote the runtime's dynamically-tested invariants —
+// allocation-free hot path, workspace pooling discipline, contained
+// goroutines, context propagation, lock scope hygiene — to build-time
+// checks. cmd/qrlint is the command-line driver; CI runs it over ./... and
+// fails on any diagnostic.
+//
+// The engine is dependency-free by construction: it uses only the stdlib
+// go/ast, go/parser, go/types and go/importer packages (plus the go
+// command itself for package and export-data resolution), matching the
+// module's zero-third-party-dependency policy.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: a position, the check that fired, and a
+// human-readable message.
+type Diagnostic struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+}
+
+// Pass is one analyzer's view of one package, with the whole program
+// available for cross-package walks.
+type Pass struct {
+	Check string
+	Prog  *Program
+	Pkg   *Package
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos. Suppression (//qr:allow) is applied
+// by the driver, not here, so analyzers stay oblivious to directives.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     p.Prog.Fset.Position(pos),
+		Check:   p.Check,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one named check.
+type Analyzer struct {
+	// Name is the check name, used in output and //qr:allow directives.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Scope restricts the analyzer to packages whose import path contains
+	// one of these substrings; empty means every package.
+	Scope []string
+	// Run analyzes one package.
+	Run func(*Pass)
+}
+
+func (a *Analyzer) applies(pkg *Package) bool {
+	if len(a.Scope) == 0 {
+		return true
+	}
+	for _, s := range a.Scope {
+		if strings.Contains(pkg.Path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// All returns the full analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		AllocFree,
+		WSRelease,
+		RecoverBarrier,
+		CtxDiscipline,
+		LockHold,
+	}
+}
+
+// Run executes the analyzers over every loaded package and returns the
+// surviving diagnostics: suppressed findings (//qr:allow) are dropped,
+// duplicates (one site reachable from several hot-path roots) are merged,
+// and the rest are sorted by position.
+func Run(prog *Program, analyzers []*Analyzer) []Diagnostic {
+	var raw []Diagnostic
+	for _, a := range analyzers {
+		for _, pkg := range prog.Pkgs {
+			if !a.applies(pkg) {
+				continue
+			}
+			pass := &Pass{Check: a.Name, Prog: prog, Pkg: pkg, diags: &raw}
+			a.Run(pass)
+		}
+	}
+
+	seen := map[string]bool{}
+	var out []Diagnostic
+	for _, d := range raw {
+		key := fmt.Sprintf("%s:%d:%d:%s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check)
+		if seen[key] || prog.suppressed(d) {
+			continue
+		}
+		seen[key] = true
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	return out
+}
+
+// suppressed consults the //qr:allow directives of the file the diagnostic
+// points into.
+func (p *Program) suppressed(d Diagnostic) bool {
+	for _, pkg := range p.Pkgs {
+		for i, name := range pkg.Filenames {
+			if name != d.Pos.Filename {
+				continue
+			}
+			return pkg.directives[pkg.Files[i]].allowed(d.Check, d.Pos.Line)
+		}
+	}
+	return false
+}
+
+// funcsOf yields every function declaration of the package, in file order.
+func funcsOf(pkg *Package) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,47 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// CtxDiscipline reports context.Background() and context.TODO() calls in
+// library packages. A fresh root context severs deadline, cancellation and
+// trace-id propagation — exactly the properties the serving path's
+// end-to-end tracing and fsync-before-ack recovery rely on — so new roots
+// may only be minted in package main, in tests (not analyzed: the loader
+// reads non-test sources only), or at sites explicitly waived with
+// //qr:allow ctxdiscipline and a reason (nil-ctx compatibility fallbacks,
+// pprof label roots, documented uncancellable APIs).
+var CtxDiscipline = &Analyzer{
+	Name: "ctxdiscipline",
+	Doc:  "no context.Background/TODO outside main, tests and allowed roots",
+	Run:  runCtxDiscipline,
+}
+
+var ctxRoots = map[string]string{
+	"context.Background": "context.Background",
+	"context.TODO":       "context.TODO",
+}
+
+func runCtxDiscipline(pass *Pass) {
+	if pass.Pkg.Name == "main" {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, fd := range funcsOf(pass.Pkg) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := Callee(info, call)
+			if fn == nil {
+				return true
+			}
+			if name, ok := ctxRoots[fn.FullName()]; ok {
+				pass.Reportf(call.Pos(), "%s() mints a fresh root context in a library package: thread the caller's ctx instead (deadlines and trace ids must propagate)", name)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,174 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The repo's analysis directives, written as //qr:... comments:
+//
+//	//qr:hotpath
+//	    On a function's doc comment: marks an allocation-free hot-path
+//	    root. The allocfree analyzer walks the static call graph from
+//	    every root and reports reachable allocation sites.
+//
+//	//qr:containedexec
+//	    On a function's doc comment: marks a recover wrapper that
+//	    contains panics (converts them to typed errors or re-panics on
+//	    the spawner's goroutine). The recoverbarrier analyzer accepts a
+//	    goroutine as contained when it calls such a function.
+//
+//	//qr:allow <check> [reason]
+//	    Suppresses diagnostics of one check. Placed on the offending
+//	    line, on the line directly above it, or in the doc comment of the
+//	    enclosing function (suppressing the whole function). The reason
+//	    is free text and should say why the invariant is intentionally
+//	    waived at this site.
+const (
+	directivePrefix   = "//qr:"
+	directiveHotpath  = "hotpath"
+	directiveContain  = "containedexec"
+	directiveAllow    = "allow"
+	directiveAllowAll = "*"
+)
+
+// allowSpan is one function-scope suppression: every line of the function
+// body is covered.
+type allowSpan struct {
+	start, end int // line range, inclusive
+	check      string
+}
+
+// fileDirectives indexes one file's //qr: comments for O(1) suppression
+// lookups and hot-path/contained function marking.
+type fileDirectives struct {
+	// allowLines maps a source line to the checks allowed on it (a
+	// directive also covers the line directly below itself, so a comment
+	// above the offending statement works).
+	allowLines map[int]map[string]bool
+	// allowFuncs holds function-scope suppressions from doc comments.
+	allowFuncs []allowSpan
+	// hotpath and contained record the directive-carrying functions by
+	// declaration position.
+	hotpath   map[*ast.FuncDecl]bool
+	contained map[*ast.FuncDecl]bool
+}
+
+// parseDirectives scans every comment of f once.
+func parseDirectives(fset *token.FileSet, f *ast.File) *fileDirectives {
+	d := &fileDirectives{
+		allowLines: map[int]map[string]bool{},
+		hotpath:    map[*ast.FuncDecl]bool{},
+		contained:  map[*ast.FuncDecl]bool{},
+	}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			name, arg, ok := splitDirective(c.Text)
+			if !ok || name != directiveAllow {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			for _, l := range []int{line, line + 1} {
+				m := d.allowLines[l]
+				if m == nil {
+					m = map[string]bool{}
+					d.allowLines[l] = m
+				}
+				m[arg] = true
+			}
+		}
+	}
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Doc == nil {
+			continue
+		}
+		for _, c := range fd.Doc.List {
+			name, arg, ok := splitDirective(c.Text)
+			if !ok {
+				continue
+			}
+			switch name {
+			case directiveHotpath:
+				d.hotpath[fd] = true
+			case directiveContain:
+				d.contained[fd] = true
+			case directiveAllow:
+				d.allowFuncs = append(d.allowFuncs, allowSpan{
+					start: fset.Position(fd.Pos()).Line,
+					end:   fset.Position(fd.End()).Line,
+					check: arg,
+				})
+			}
+		}
+	}
+	return d
+}
+
+// splitDirective decodes one comment: "//qr:allow lockhold fsync is the
+// durability point" → ("allow", "lockhold", true). The returned arg is the
+// first word after the directive name ("" when absent).
+func splitDirective(text string) (name, arg string, ok bool) {
+	if !strings.HasPrefix(text, directivePrefix) {
+		return "", "", false
+	}
+	rest := strings.TrimPrefix(text, directivePrefix)
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return "", "", false
+	}
+	name = fields[0]
+	if len(fields) > 1 {
+		arg = fields[1]
+	}
+	return name, arg, true
+}
+
+// allowed reports whether a diagnostic of check at pos is suppressed by a
+// //qr:allow directive in this file.
+func (d *fileDirectives) allowed(check string, line int) bool {
+	if m := d.allowLines[line]; m != nil && (m[check] || m[directiveAllowAll]) {
+		return true
+	}
+	for _, s := range d.allowFuncs {
+		if line >= s.start && line <= s.end && (s.check == check || s.check == directiveAllowAll) {
+			return true
+		}
+	}
+	return false
+}
+
+// allowsAt reports whether the file containing pos carries an
+// //qr:allow check directive covering pos's line. Analyzers use it to
+// honor allows structurally (e.g. cutting a call-graph edge at an allowed
+// call site); plain diagnostic suppression is applied by the driver.
+func (p *Package) allowsAt(fset *token.FileSet, check string, pos token.Pos) bool {
+	position := fset.Position(pos)
+	for i, name := range p.Filenames {
+		if name == position.Filename {
+			return p.directives[p.Files[i]].allowed(check, position.Line)
+		}
+	}
+	return false
+}
+
+// Hotpath reports whether fd carries the //qr:hotpath directive.
+func (p *Package) Hotpath(fd *ast.FuncDecl) bool {
+	for _, d := range p.directives {
+		if d.hotpath[fd] {
+			return true
+		}
+	}
+	return false
+}
+
+// Contained reports whether fd carries the //qr:containedexec directive.
+func (p *Package) Contained(fd *ast.FuncDecl) bool {
+	for _, d := range p.directives {
+		if d.contained[fd] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe matches the fixture expectation syntax: a trailing
+//
+//	// want `regex`
+//
+// comment on the offending line. The regex must match the diagnostic
+// message reported on that exact file:line.
+var wantRe = regexp.MustCompile("// want `([^`]*)`")
+
+type expectation struct {
+	file string // base name
+	line int
+	re   *regexp.Regexp
+	hits int
+}
+
+// parseWants extracts the expectations of one fixture file by scanning its
+// raw source line by line (comment positions in the AST would work too, but
+// the textual scan keeps the harness trivially debuggable).
+func parseWants(t *testing.T, path string) []*expectation {
+	t.Helper()
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []*expectation
+	for i, line := range strings.Split(string(src), "\n") {
+		m := wantRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		re, err := regexp.Compile(m[1])
+		if err != nil {
+			t.Fatalf("%s:%d: bad want regex %q: %v", path, i+1, m[1], err)
+		}
+		wants = append(wants, &expectation{file: filepath.Base(path), line: i + 1, re: re})
+	}
+	return wants
+}
+
+// runFixture loads testdata/src/<name>, runs the one analyzer over it, and
+// requires an exact match between diagnostics and the fixture's want
+// comments: every want fires exactly once and nothing else fires.
+func runFixture(t *testing.T, a *Analyzer) []Diagnostic {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", a.Name)
+	prog, err := Load(".", "./"+dir)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", dir, err)
+	}
+
+	var wants []*expectation
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".go") {
+			wants = append(wants, parseWants(t, filepath.Join(dir, e.Name()))...)
+		}
+	}
+	if len(wants) < 2 {
+		t.Fatalf("fixture %s has %d want comments, need at least 2", dir, len(wants))
+	}
+
+	diags := Run(prog, []*Analyzer{a})
+	for _, d := range diags {
+		if d.Check != a.Name {
+			t.Errorf("diagnostic from check %q, fixture runs only %q", d.Check, a.Name)
+		}
+		matched := false
+		for _, w := range wants {
+			if w.file == filepath.Base(d.Pos.Filename) && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hits++
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if w.hits == 0 {
+			t.Errorf("%s:%d: want %q never reported", w.file, w.line, w.re)
+		}
+		if w.hits > 1 {
+			t.Errorf("%s:%d: want %q reported %d times", w.file, w.line, w.re, w.hits)
+		}
+	}
+	return diags
+}
+
+func TestAllocFreeFixture(t *testing.T)      { runFixture(t, AllocFree) }
+func TestWSReleaseFixture(t *testing.T)      { runFixture(t, WSRelease) }
+func TestRecoverBarrierFixture(t *testing.T) { runFixture(t, RecoverBarrier) }
+func TestCtxDisciplineFixture(t *testing.T)  { runFixture(t, CtxDiscipline) }
+func TestLockHoldFixture(t *testing.T)       { runFixture(t, LockHold) }
+
+// TestFixturesStayInvisibleToWildcards guards the layout assumption the
+// fixtures rely on: the go tool skips "testdata" when expanding ./..., so
+// deliberately-broken fixture code never reaches go vet, go test, or a
+// production qrlint ./... run.
+func TestFixturesStayInvisibleToWildcards(t *testing.T) {
+	prog, err := Load("..", "./...")
+	if err != nil {
+		t.Fatalf("load ./... from internal/: %v", err)
+	}
+	for _, pkg := range prog.Pkgs {
+		if strings.Contains(pkg.Path, "testdata") {
+			t.Errorf("wildcard load picked up fixture package %s", pkg.Path)
+		}
+	}
+}
+
+// TestAllSuiteNames pins the check names the //qr:allow directives and CI
+// documentation refer to.
+func TestAllSuiteNames(t *testing.T) {
+	want := []string{"allocfree", "wsrelease", "recoverbarrier", "ctxdiscipline", "lockhold"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("All() has %d analyzers, want %d", len(all), len(want))
+	}
+	for i, a := range all {
+		if a.Name != want[i] {
+			t.Errorf("All()[%d] = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %q has no doc", a.Name)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked module package: the unit the analyzers walk.
+type Package struct {
+	// Path is the import path ("repro/internal/kernels").
+	Path string
+	// Name is the package name ("kernels", "main").
+	Name string
+	// Dir is the package directory on disk.
+	Dir string
+	// Files holds the parsed non-test sources, parallel to Filenames.
+	Files     []*ast.File
+	Filenames []string
+	// Types and Info carry the go/types results for the package.
+	Types *types.Package
+	Info  *types.Info
+
+	directives map[*ast.File]*fileDirectives
+}
+
+// Program is the full set of loaded packages plus the cross-package
+// function index the call-graph analyzers (allocfree) walk.
+type Program struct {
+	Fset *token.FileSet
+	// Pkgs are the loaded module packages, sorted by import path.
+	Pkgs []*Package
+
+	byPath map[string]*Package
+	funcs  map[string]*FuncInfo
+}
+
+// FuncInfo ties a function declaration to the package that holds it, keyed
+// program-wide by types.Func.FullName ("repro/internal/lapack.QR2Ws",
+// "(*repro/internal/kernels.Workspace).matW").
+type FuncInfo struct {
+	Decl *ast.FuncDecl
+	Pkg  *Package
+	Obj  *types.Func
+}
+
+// listPackage is the subset of `go list -json` output the loader reads.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	ForTest    string
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// Load resolves patterns ("./...", explicit directories) with the go
+// command, parses every matching module package, and type-checks it against
+// the gc export data `go list -export` produces for the full dependency
+// closure. Only the stdlib go/* toolchain packages are used — no external
+// modules — which keeps qrlint inside the repo's zero-dependency policy.
+//
+// dir is the working directory for the go command ("" = current).
+func Load(dir string, patterns ...string) (*Program, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Name,Dir,Export,GoFiles,Standard,ForTest,Module,Error", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	var all []listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decode go list output: %v", err)
+		}
+		all = append(all, p)
+	}
+
+	// Export data for every package in the closure feeds the importer; the
+	// module's own packages (everything non-standard) are additionally
+	// parsed and checked from source so the analyzers get their ASTs.
+	exports := map[string]string{}
+	var targets []listPackage
+	for _, p := range all {
+		if p.Error != nil {
+			return nil, fmt.Errorf("analysis: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.Standard && p.ForTest == "" && p.Name != "" {
+			targets = append(targets, p)
+		}
+	}
+
+	prog := &Program{
+		Fset:   token.NewFileSet(),
+		byPath: map[string]*Package{},
+		funcs:  map[string]*FuncInfo{},
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	imp := importer.ForCompiler(prog.Fset, "gc", lookup)
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+
+	for _, lp := range targets {
+		pkg := &Package{
+			Path: lp.ImportPath,
+			Name: lp.Name,
+			Dir:  lp.Dir,
+			Info: &types.Info{
+				Types:      map[ast.Expr]types.TypeAndValue{},
+				Defs:       map[*ast.Ident]types.Object{},
+				Uses:       map[*ast.Ident]types.Object{},
+				Selections: map[*ast.SelectorExpr]*types.Selection{},
+				Implicits:  map[ast.Node]types.Object{},
+				Scopes:     map[ast.Node]*types.Scope{},
+			},
+			directives: map[*ast.File]*fileDirectives{},
+		}
+		for _, name := range lp.GoFiles {
+			fn := filepath.Join(lp.Dir, name)
+			f, err := parser.ParseFile(prog.Fset, fn, nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: parse %s: %v", fn, err)
+			}
+			pkg.Files = append(pkg.Files, f)
+			pkg.Filenames = append(pkg.Filenames, fn)
+		}
+		tp, err := conf.Check(lp.ImportPath, prog.Fset, pkg.Files, pkg.Info)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: type-check %s: %v", lp.ImportPath, err)
+		}
+		pkg.Types = tp
+		for _, f := range pkg.Files {
+			pkg.directives[f] = parseDirectives(prog.Fset, f)
+		}
+		prog.Pkgs = append(prog.Pkgs, pkg)
+		prog.byPath[pkg.Path] = pkg
+	}
+	sort.Slice(prog.Pkgs, func(i, j int) bool { return prog.Pkgs[i].Path < prog.Pkgs[j].Path })
+
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Name == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				prog.funcs[obj.FullName()] = &FuncInfo{Decl: fd, Pkg: pkg, Obj: obj}
+			}
+		}
+	}
+	return prog, nil
+}
+
+// Func returns the declaration for a *types.Func resolved in any loaded
+// package, matching across separate type-checker runs by full name; nil
+// when the function lives outside the loaded set (stdlib, generated).
+func (p *Program) Func(obj *types.Func) *FuncInfo {
+	if obj == nil {
+		return nil
+	}
+	return p.funcs[obj.FullName()]
+}
+
+// FuncByName looks a function up by its types.Func.FullName.
+func (p *Program) FuncByName(full string) *FuncInfo { return p.funcs[full] }
+
+// Callee resolves the static callee of a call expression: a declared
+// function or method (possibly from another package), or nil for calls
+// through interfaces, function values and builtins.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			obj = sel.Obj()
+		} else {
+			obj = info.Uses[fun.Sel]
+		}
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}

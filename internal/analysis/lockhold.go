@@ -1,0 +1,278 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockHold keeps mutex critical sections free of blocking operations in
+// the serving-path packages: while a sync.Mutex/RWMutex is held, no
+// channel send/receive, channel range, time.Sleep, or I/O call (os, net,
+// net/http, io, bufio, and the durable store's JobStore methods) may run —
+// a blocked critical section stalls every other job sharing the lock.
+// Non-blocking selects (those with a default clause) are accepted.
+//
+// Intentional sites — the fsync-before-ack durability point runs file I/O
+// under the store mutex by design — are waived with //qr:allow lockhold
+// and a reason.
+//
+// The check is lexical and intraprocedural: it sees Lock/Unlock pairs
+// inside one function body, which matches how every critical section in
+// these packages is written.
+var LockHold = &Analyzer{
+	Name: "lockhold",
+	Doc:  "no blocking call while holding a mutex in serving-path packages",
+	Scope: []string{
+		"internal/metrics", "internal/serve", "internal/router",
+		"internal/store", "testdata/src/lockhold",
+	},
+	Run: runLockHold,
+}
+
+// ioPkgs are the packages whose functions and methods count as I/O.
+var ioPkgs = map[string]bool{
+	"os":       true,
+	"net":      true,
+	"net/http": true,
+	"io":       true,
+	"bufio":    true,
+}
+
+// storePkgPath marks the durable store: Put fsyncs and every method takes
+// the store lock, so calling it while holding another subsystem's mutex
+// serializes that subsystem behind disk latency. Store-internal helper
+// calls are exempt — the store's own critical sections are covered by the
+// direct os/bufio checks above.
+const storePkgPath = "repro/internal/store"
+
+func runLockHold(pass *Pass) {
+	for _, fd := range funcsOf(pass.Pkg) {
+		scanLockedScope(pass, fd.Body.List, map[string]bool{})
+	}
+}
+
+// scanLockedScope walks one statement list carrying the set of held mutex
+// expressions. Nested blocks get a copy of the set (an Unlock inside a
+// branch releases only that branch). Function literals are scanned with a
+// fresh empty set — their bodies run later, not under the current lock.
+func scanLockedScope(pass *Pass, stmts []ast.Stmt, held map[string]bool) {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if lockTarget, op, ok := mutexOp(pass.Pkg.Info, s.X); ok {
+				switch op {
+				case "Lock", "RLock":
+					held[lockTarget] = true
+				case "Unlock", "RUnlock":
+					delete(held, lockTarget)
+				}
+				continue
+			}
+			checkExprUnderLock(pass, s.X, held)
+		case *ast.DeferStmt:
+			if lockTarget, op, ok := mutexOp(pass.Pkg.Info, s.Call); ok {
+				// defer mu.Unlock(): the lock stays held to function end;
+				// keep it in the set so everything after is checked.
+				_ = lockTarget
+				_ = op
+				continue
+			}
+			// The deferred call itself runs at return; treat its arguments
+			// now but not its body.
+		case *ast.SendStmt:
+			reportIfHeld(pass, s.Pos(), held, "channel send")
+			checkExprUnderLock(pass, s.Value, held)
+		case *ast.SelectStmt:
+			if selectHasDefault(s) {
+				// Non-blocking; still scan clause bodies under the lock.
+				for _, c := range s.Body.List {
+					if cc, ok := c.(*ast.CommClause); ok {
+						scanLockedScope(pass, cc.Body, copyHeld(held))
+					}
+				}
+				continue
+			}
+			reportIfHeld(pass, s.Pos(), held, "blocking select")
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					scanLockedScope(pass, cc.Body, copyHeld(held))
+				}
+			}
+		case *ast.RangeStmt:
+			if t := pass.Pkg.Info.Types[s.X].Type; t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					reportIfHeld(pass, s.Pos(), held, "range over channel")
+				}
+			}
+			checkExprUnderLock(pass, s.X, held)
+			scanLockedScope(pass, s.Body.List, copyHeld(held))
+		case *ast.IfStmt:
+			if s.Init != nil {
+				scanLockedScope(pass, []ast.Stmt{s.Init}, held)
+			}
+			checkExprUnderLock(pass, s.Cond, held)
+			scanLockedScope(pass, s.Body.List, copyHeld(held))
+			switch e := s.Else.(type) {
+			case *ast.BlockStmt:
+				scanLockedScope(pass, e.List, copyHeld(held))
+			case *ast.IfStmt:
+				scanLockedScope(pass, []ast.Stmt{e}, copyHeld(held))
+			}
+		case *ast.ForStmt:
+			scanLockedScope(pass, s.Body.List, copyHeld(held))
+		case *ast.SwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					scanLockedScope(pass, cc.Body, copyHeld(held))
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					scanLockedScope(pass, cc.Body, copyHeld(held))
+				}
+			}
+		case *ast.BlockStmt:
+			scanLockedScope(pass, s.List, held)
+		case *ast.AssignStmt:
+			for _, r := range s.Rhs {
+				checkExprUnderLock(pass, r, held)
+			}
+		case *ast.ReturnStmt:
+			for _, r := range s.Results {
+				checkExprUnderLock(pass, r, held)
+			}
+		case *ast.GoStmt:
+			// The spawned body runs outside the critical section.
+		}
+	}
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(held))
+	for k, v := range held {
+		c[k] = v
+	}
+	return c
+}
+
+func reportIfHeld(pass *Pass, pos token.Pos, held map[string]bool, what string) {
+	if len(held) == 0 {
+		return
+	}
+	for tgt := range held {
+		pass.Reportf(pos, "%s while holding %s", what, tgt)
+		return // one report per site is enough
+	}
+}
+
+// checkExprUnderLock scans an expression tree for blocking operations:
+// channel receives, time.Sleep, and I/O calls. Function literals are
+// skipped (deferred/spawned bodies run outside the section).
+func checkExprUnderLock(pass *Pass, e ast.Expr, held map[string]bool) {
+	if e == nil || len(held) == 0 {
+		return
+	}
+	info := pass.Pkg.Info
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				reportIfHeld(pass, n.Pos(), held, "channel receive")
+			}
+		case *ast.CallExpr:
+			fn := Callee(info, n)
+			if fn == nil {
+				return true
+			}
+			full := fn.FullName()
+			if full == "time.Sleep" {
+				reportIfHeld(pass, n.Pos(), held, "time.Sleep")
+				return true
+			}
+			pkg := funcHomePkg(fn)
+			if ioPkgs[pkg] || (pkg == storePkgPath && pass.Pkg.Path != storePkgPath) {
+				reportIfHeld(pass, n.Pos(), held, "I/O call to "+shortName(full))
+			}
+		}
+		return true
+	})
+}
+
+// funcHomePkg returns the package the callee belongs to; for methods it is
+// the receiver type's package (an *os.File method is os I/O no matter
+// where the variable lives).
+func funcHomePkg(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil {
+			return named.Obj().Pkg().Path()
+		}
+		return ""
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Path()
+	}
+	return ""
+}
+
+// mutexOp matches expr against `x.Lock()` / `x.Unlock()` / `x.RLock()` /
+// `x.RUnlock()` where x's type is (or embeds) sync.Mutex or sync.RWMutex,
+// returning a stable textual key for x.
+func mutexOp(info *types.Info, expr ast.Expr) (target, op string, ok bool) {
+	call, isCall := ast.Unparen(expr).(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	fn := Callee(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	return exprKey(sel.X), sel.Sel.Name, true
+}
+
+// exprKey renders a lock expression ("s.mu", "wk.mu") textually so Lock
+// and Unlock on the same path match.
+func exprKey(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprKey(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprKey(e.X) + "[" + exprKey(e.Index) + "]"
+	case *ast.BasicLit:
+		return e.Value
+	case *ast.CallExpr:
+		return exprKey(e.Fun) + "()"
+	case *ast.StarExpr:
+		return "*" + exprKey(e.X)
+	default:
+		return "?"
+	}
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}

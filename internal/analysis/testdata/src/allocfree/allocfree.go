@@ -1,0 +1,47 @@
+// Package allocfree is a qrlint fixture. Every `// want "regex"` comment
+// states the diagnostic the allocfree analyzer must report on that line;
+// lines without one must stay silent.
+package allocfree
+
+import "fmt"
+
+// kernel is a hot-path root: every allocation reachable from here is a
+// finding.
+//
+//qr:hotpath
+func kernel(dst, src []float64) []float64 {
+	if len(src) == 0 {
+		// Cold error path: the panic guard may format freely.
+		panic(fmt.Sprintf("allocfree fixture: empty input %d", len(src)))
+	}
+	buf := make([]float64, len(src)) // want `make allocates in hot path`
+	copy(buf, src)
+	dst = append(dst, buf...) // want `append may grow its backing array in hot path`
+	helper(len(src))
+	sink(len(src))                  // want `argument boxed into interface parameter v`
+	cb := func() { copy(dst, buf) } // want `closure literal in hot path`
+	cb()
+	return dst
+}
+
+// helper is reached transitively from kernel: its allocations count too.
+func helper(n int) {
+	m := map[int]int{n: n} // want `slice/map literal allocates in hot path`
+	_ = m
+}
+
+func sink(v any) { _ = v }
+
+// waived shows the escape hatch: an //qr:allow with a reason silences the
+// finding on the next line.
+//
+//qr:hotpath
+func waived(n int) []float64 {
+	//qr:allow allocfree fixture: amortized growth stand-in
+	return make([]float64, n)
+}
+
+// unreached is not a hot-path root and calls no root: it may allocate.
+func unreached(n int) []float64 {
+	return make([]float64, n)
+}

@@ -1,0 +1,22 @@
+// Package ctxdiscipline is a qrlint fixture: library code must thread the
+// caller's context instead of minting fresh roots.
+package ctxdiscipline
+
+import "context"
+
+func mintsBackground() context.Context {
+	return context.Background() // want `context.Background\(\) mints a fresh root context`
+}
+
+func mintsTODO() context.Context {
+	return context.TODO() // want `context.TODO\(\) mints a fresh root context`
+}
+
+func threads(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithCancel(ctx)
+}
+
+func waived() context.Context {
+	//qr:allow ctxdiscipline fixture: the one sanctioned root of this package
+	return context.Background()
+}

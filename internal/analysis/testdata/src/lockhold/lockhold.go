@@ -1,0 +1,63 @@
+// Package lockhold is a qrlint fixture: no blocking operation while a
+// mutex is held.
+package lockhold
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+type box struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (b *box) sleepsUnderLock() {
+	b.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time.Sleep while holding b.mu`
+	b.mu.Unlock()
+}
+
+func (b *box) sendsUnderDefer() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.ch <- 1 // want `channel send while holding b.mu`
+}
+
+func (b *box) receivesUnderLock() {
+	b.mu.Lock()
+	<-b.ch // want `channel receive while holding b.mu`
+	b.mu.Unlock()
+}
+
+func (b *box) ioUnderLock() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	_, _ = os.ReadFile("state.json") // want `I/O call to os.ReadFile while holding b.mu`
+}
+
+func (b *box) unlockedIsFine() {
+	b.mu.Lock()
+	b.mu.Unlock()
+	time.Sleep(time.Millisecond)
+	b.ch <- 1
+}
+
+func (b *box) nonBlockingSendIsFine() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select {
+	case b.ch <- 1:
+	default:
+	}
+}
+
+// waived: the store's fsync-under-lock pattern, declared intentional.
+//
+//qr:allow lockhold fixture: fsync under the mutex is the durability point
+func (b *box) waived() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	_, _ = os.ReadFile("state.json")
+}

@@ -1,0 +1,48 @@
+// Package recoverbarrier is a qrlint fixture: goroutines in runtime-like
+// packages must route panics through a recover barrier.
+package recoverbarrier
+
+func uncontainedLit() {
+	go func() { // want `goroutine is not contained`
+		work()
+	}()
+}
+
+func uncontainedCall() {
+	go work() // want `goroutine is not contained`
+}
+
+func containedInline() {
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				_ = r
+			}
+		}()
+		work()
+	}()
+}
+
+// guard is the package's recover wrapper; deferring it contains the
+// goroutine.
+//
+//qr:containedexec
+func guard() {
+	if r := recover(); r != nil {
+		_ = r
+	}
+}
+
+func containedByWrapper() {
+	go func() {
+		defer guard()
+		work()
+	}()
+}
+
+func waived() {
+	//qr:allow recoverbarrier fixture: panic here is a deliberate process abort
+	go work()
+}
+
+func work() {}

@@ -1,0 +1,44 @@
+// Package wsrelease is a qrlint fixture for the workspace pooling
+// discipline: every kernels.GetWorkspace must be paired with Release on
+// all paths.
+package wsrelease
+
+import "repro/internal/kernels"
+
+func leaks() {
+	ws := kernels.GetWorkspace() // want `workspace "ws" from kernels.GetWorkspace may leak`
+	_ = ws
+}
+
+func leaksOnReturn(b bool) int {
+	ws := kernels.GetWorkspace()
+	if b {
+		return 1 // want `return without releasing workspace "ws"`
+	}
+	ws.Release()
+	return 0
+}
+
+func releasedByDefer() {
+	ws := kernels.GetWorkspace()
+	defer ws.Release()
+	_ = ws
+}
+
+func releasedExplicitly() {
+	ws := kernels.GetWorkspace()
+	_ = ws
+	ws.Release()
+}
+
+// transfer hands ownership to the caller: not a leak.
+func transfer() *kernels.Workspace {
+	ws := kernels.GetWorkspace()
+	return ws
+}
+
+func waived() {
+	//qr:allow wsrelease fixture: long-lived workspace owned by the process
+	ws := kernels.GetWorkspace()
+	_ = ws
+}

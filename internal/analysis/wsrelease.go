@@ -1,0 +1,255 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WSRelease enforces the kernel workspace pooling discipline: every
+// `ws := kernels.GetWorkspace()` must be paired with a `ws.Release()` on
+// every path out of the function — either a defer placed before the first
+// branch, or an explicit Release preceding each return (and the implicit
+// fall-through return). A Get whose workspace can leave the function
+// unreleased starves the pool and silently reintroduces steady-state
+// allocations, which is exactly the regression PR 8's zero-alloc work
+// guards against.
+//
+// Transferring ownership by returning the workspace itself is accepted;
+// passing it to another function is not a release (the *Ws kernels borrow,
+// they never release).
+var WSRelease = &Analyzer{
+	Name: "wsrelease",
+	Doc:  "kernels.GetWorkspace must be paired with Release on all paths",
+	Run:  runWSRelease,
+}
+
+const getWorkspaceFull = "repro/internal/kernels.GetWorkspace"
+
+func runWSRelease(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, fd := range funcsOf(pass.Pkg) {
+		// Every statement list in the function (including those of nested
+		// function literals) is checked independently: a workspace variable
+		// is scoped to the list that declares it, so its Release must appear
+		// in that same list or on paths leaving it.
+		ast.Inspect(fd, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BlockStmt:
+				checkWorkspaceList(pass, info, n.List)
+			case *ast.CaseClause:
+				checkWorkspaceList(pass, info, n.Body)
+			case *ast.CommClause:
+				checkWorkspaceList(pass, info, n.Body)
+			}
+			return true
+		})
+	}
+}
+
+// checkWorkspaceList finds every GetWorkspace acquisition declared
+// directly in the list and verifies release on all paths from the
+// acquisition out of the list.
+func checkWorkspaceList(pass *Pass, info *types.Info, stmts []ast.Stmt) {
+	for i, stmt := range stmts {
+		name, ok := acquiredName(info, stmt)
+		if !ok {
+			continue
+		}
+		rest := stmts[i+1:]
+		st := &wsState{pass: pass, info: info, name: name}
+		released := st.scan(rest, false)
+		if !released && !st.deferred && !terminates(rest) {
+			pass.Reportf(stmt.Pos(), "workspace %q from kernels.GetWorkspace may leak: control can fall through without %s.Release()", name, name)
+		}
+	}
+}
+
+// acquiredName matches `x := kernels.GetWorkspace()` (or = with a single
+// lhs) and returns x.
+func acquiredName(info *types.Info, stmt ast.Stmt) (string, bool) {
+	as, ok := stmt.(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return "", false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	fn := Callee(info, call)
+	if fn == nil || fn.FullName() != getWorkspaceFull {
+		return "", false
+	}
+	id, ok := as.Lhs[0].(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return "", false
+	}
+	return id.Name, true
+}
+
+type wsState struct {
+	pass     *Pass
+	info     *types.Info
+	name     string
+	deferred bool // a defer guarantees release on every path from here on
+}
+
+// scan walks a statement list with "released" tracking. It returns whether
+// the workspace is released when control falls off the end of the list.
+// Returns inside the list that are reached unreleased are reported.
+func (st *wsState) scan(stmts []ast.Stmt, released bool) bool {
+	for _, s := range stmts {
+		if st.deferred || released {
+			released = true
+			continue
+		}
+		switch s := s.(type) {
+		case *ast.DeferStmt:
+			if st.isReleaseCall(s.Call) || st.deferContainsRelease(s.Call) {
+				st.deferred = true
+			}
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok && st.isReleaseCall(call) {
+				released = true
+			}
+		case *ast.ReturnStmt:
+			if st.returnsWorkspace(s) {
+				return true // ownership transfer
+			}
+			st.pass.Reportf(s.Pos(), "return without releasing workspace %q (acquired from kernels.GetWorkspace)", st.name)
+			return false
+		case *ast.IfStmt:
+			st.scanIf(s, released)
+		case *ast.ForStmt:
+			st.scan(s.Body.List, released)
+		case *ast.RangeStmt:
+			st.scan(s.Body.List, released)
+		case *ast.SwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					st.scan(cc.Body, released)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					st.scan(cc.Body, released)
+				}
+			}
+		case *ast.SelectStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					st.scan(cc.Body, released)
+				}
+			}
+		case *ast.BlockStmt:
+			released = st.scan(s.List, released)
+		}
+	}
+	return released
+}
+
+// scanIf checks both arms; releases inside an arm do not release the
+// fall-through path (conservative), but returns inside an arm are checked
+// with the arm's own state.
+func (st *wsState) scanIf(s *ast.IfStmt, released bool) {
+	st.scan(s.Body.List, released)
+	switch e := s.Else.(type) {
+	case *ast.BlockStmt:
+		st.scan(e.List, released)
+	case *ast.IfStmt:
+		st.scanIf(e, released)
+	}
+}
+
+// isReleaseCall matches `name.Release()`.
+func (st *wsState) isReleaseCall(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Release" {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	return ok && id.Name == st.name
+}
+
+// deferContainsRelease matches `defer func() { ...; name.Release(); ... }()`.
+func (st *wsState) deferContainsRelease(call *ast.CallExpr) bool {
+	fl, ok := ast.Unparen(call.Fun).(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok && st.isReleaseCall(c) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// returnsWorkspace reports whether the return hands the workspace itself
+// to the caller.
+func (st *wsState) returnsWorkspace(s *ast.ReturnStmt) bool {
+	for _, r := range s.Results {
+		if id, ok := ast.Unparen(r).(*ast.Ident); ok && id.Name == st.name {
+			return true
+		}
+	}
+	return false
+}
+
+// terminates reports whether a statement list cannot fall through — its
+// last statement always transfers control away (return, panic, both-armed
+// terminating if, fully-terminating switch). Used so the fall-through leak
+// report does not double-fire after a reported return.
+func terminates(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	return terminatesStmt(stmts[len(stmts)-1])
+}
+
+func terminatesStmt(stmt ast.Stmt) bool {
+	switch s := stmt.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				return id.Name == "panic"
+			}
+		}
+	case *ast.BlockStmt:
+		return terminates(s.List)
+	case *ast.IfStmt:
+		if s.Else == nil {
+			return false
+		}
+		return terminates(s.Body.List) && terminatesStmt(s.Else)
+	case *ast.SwitchStmt:
+		return casesTerminate(s.Body.List)
+	case *ast.TypeSwitchStmt:
+		return casesTerminate(s.Body.List)
+	case *ast.ForStmt:
+		return s.Cond == nil // for{}; break detection is out of scope
+	}
+	return false
+}
+
+// casesTerminate requires a default clause and every clause terminating.
+func casesTerminate(clauses []ast.Stmt) bool {
+	hasDefault := false
+	for _, c := range clauses {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			return false
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		if !terminates(cc.Body) {
+			return false
+		}
+	}
+	return hasDefault
+}
