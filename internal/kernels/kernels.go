@@ -45,6 +45,8 @@ func GEQRT(a, t *matrix.Matrix) {
 }
 
 // GEQRTWs is GEQRT running entirely on Workspace scratch.
+//
+//qr:hotpath
 func GEQRTWs(a, t *matrix.Matrix, ws *Workspace) {
 	k := min(a.Rows, a.Cols)
 	if t.Rows != k || t.Cols != k {
@@ -75,6 +77,8 @@ func UNMQR(v, t, c *matrix.Matrix, trans bool) {
 }
 
 // UNMQRWs is UNMQR running entirely on Workspace scratch.
+//
+//qr:hotpath
 func UNMQRWs(v, t, c *matrix.Matrix, trans bool, ws *Workspace) {
 	k := t.Rows
 	if k == 0 || c.IsEmpty() {
@@ -111,6 +115,8 @@ func TSQRT(r, a, t *matrix.Matrix) {
 // TSQRTWs is TSQRT running entirely on Workspace scratch. Every entry of t
 // is written (explicit zeros where the block factor is structurally zero),
 // so t does not need to arrive zeroed.
+//
+//qr:hotpath
 func TSQRTWs(r, a, t *matrix.Matrix, ws *Workspace) {
 	n := a.Cols
 	if r.Cols != n {
@@ -222,6 +228,8 @@ func TSMQR(v, t, c1, c2 *matrix.Matrix, trans bool) {
 // C2 −= V·W rank-k update. The W intermediate depends on every row of C2,
 // so C2 is necessarily streamed twice — once accumulating W, once applying
 // the update — which is the minimum the compact-WY form admits.
+//
+//qr:hotpath
 func TSMQRWs(v, t, c1, c2 *matrix.Matrix, trans bool, ws *Workspace) {
 	k := v.Cols
 	if k == 0 || c1.IsEmpty() {
@@ -260,6 +268,8 @@ func TTQRT(r1, r2, v2, t *matrix.Matrix) {
 // and v2 is written (the regions that are structurally zero get targeted
 // clears rather than full-matrix Zero passes), so neither needs to arrive
 // zeroed.
+//
+//qr:hotpath
 func TTQRTWs(r1, r2, v2, t *matrix.Matrix, ws *Workspace) {
 	n := r1.Cols
 	if r2.Cols != n {
@@ -384,6 +394,8 @@ func TTMQR(v2, t, c1, c2 *matrix.Matrix, trans bool) {
 // TTMQRWs is TTMQR running entirely on Workspace scratch, sharing the fused
 // pair-update core with TSMQRWs (only the first v2.Rows rows of c2
 // participate, which the row-streaming loops honour directly).
+//
+//qr:hotpath
 func TTMQRWs(v2, t, c1, c2 *matrix.Matrix, trans bool, ws *Workspace) {
 	k := v2.Cols
 	if k == 0 || c1.IsEmpty() {

@@ -59,6 +59,7 @@ func (ws *Workspace) Release() { wsPool.Put(ws) }
 // grow returns (*buf)[:n], reallocating only when capacity is short.
 func grow(buf *[]float64, n int) []float64 {
 	if cap(*buf) < n {
+		//qr:allow allocfree amortized high-water-mark growth: zero allocations once the workspace has seen its largest tile
 		*buf = make([]float64, n)
 	}
 	return (*buf)[:n]
@@ -69,6 +70,7 @@ func grow(buf *[]float64, n int) []float64 {
 // kernels overwrite every element they read.
 func (ws *Workspace) matW(r, c int) *matrix.Matrix {
 	if cap(ws.wbuf) < r*c {
+		//qr:allow allocfree amortized high-water-mark growth, as in grow
 		ws.wbuf = make([]float64, r*c)
 	}
 	ws.wm = matrix.Matrix{Rows: r, Cols: c, Stride: c, Data: ws.wbuf[:r*c]}
@@ -100,6 +102,7 @@ func (ws *Workspace) view(h *matrix.Matrix, m *matrix.Matrix, i, j, r, c int) *m
 	if i < 0 || j < 0 || r < 1 || c < 1 || i+r > m.Rows || j+c > m.Cols {
 		// Delegate to SubMatrix for the (cold) error path and degenerate
 		// shapes; it carries the descriptive panic.
+		//qr:allow allocfree cold degenerate-shape fallback; every steady-state view takes the viewInto path below
 		sub := m.SubMatrix(i, j, r, c)
 		*h = *sub
 		return h

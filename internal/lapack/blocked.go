@@ -25,6 +25,8 @@ func LarfT(v *matrix.Matrix, tau []float64) *matrix.Matrix {
 // tile kernels run on. Every entry of t is written (the strict lower
 // triangle is cleared, τ=0 columns get explicit zeros), so t does not need
 // to arrive zeroed.
+//
+//qr:hotpath
 func LarfTInto(v *matrix.Matrix, tau []float64, t *matrix.Matrix, w []float64) {
 	k := len(tau)
 	if v.Cols != k {
@@ -96,6 +98,8 @@ func LarfB(v, t *matrix.Matrix, c *matrix.Matrix, trans bool) {
 // its contents are overwritten. The dense halves of the split are streamed
 // row-by-row rather than through sub-matrix views, so the hot path allocates
 // nothing.
+//
+//qr:hotpath
 func LarfBWs(v, t *matrix.Matrix, c *matrix.Matrix, trans bool, w *matrix.Matrix) {
 	m, k := v.Rows, v.Cols
 	if c.Rows != m {

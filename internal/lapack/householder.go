@@ -87,6 +87,8 @@ func QR2(a *matrix.Matrix) (tau []float64) {
 // tile kernels run on: tau receives the min(m,n) reflector scalars (its
 // length must be exactly min(m,n)); col (length ≥ m) and hw (length ≥ n) are
 // scratch whose contents are overwritten.
+//
+//qr:hotpath
 func QR2Ws(a *matrix.Matrix, tau, col, hw []float64) {
 	k := min(a.Rows, a.Cols)
 	if len(tau) != k {

@@ -40,6 +40,7 @@ func FactorContext(ctx context.Context, a *matrix.Matrix, opts Options) (*tiled.
 		return nil, err
 	}
 	if ctx == nil {
+		//qr:allow ctxdiscipline nil-ctx compatibility fallback for pre-context callers
 		ctx = context.Background()
 	}
 	if i, j, ok := a.FindNonFinite(); ok {
@@ -238,6 +239,8 @@ type injectedPanic struct{}
 // under pprof labels and latency accounting, and an injected NaN corrupts
 // the first output tile afterwards. Any panic — injected or real — is
 // recovered into a typed *fault.KernelPanicError.
+//
+//qr:containedexec
 func applyProtected(in *instr, inj *fault.Injector, reg *metrics.Registry,
 	f *tiled.Factorization, op tiled.Op, worker, item, local, attempt int,
 	injected *atomic.Int64, ws *kernels.Workspace) (err error) {

@@ -139,6 +139,7 @@ func (in *instr) applyOp(f *tiled.Factorization, op tiled.Op, worker int, ws *ke
 	}
 	s := stepIndex(op.Kind)
 	t0 := time.Now()
+	//qr:allow ctxdiscipline pprof label root only: the ctx carries profiler labels, never a deadline, and dies with the call
 	pprof.Do(context.Background(), in.labelSets[s][worker], func(context.Context) {
 		f.ApplyOpWs(op, ws)
 	})

@@ -75,6 +75,8 @@ func (f *Factorization) ApplyOp(op Op) {
 // parallel runtime gives each worker its own, so the steady-state factor
 // loop performs zero heap allocations. A Workspace must not be shared by
 // concurrent ApplyOpWs calls.
+//
+//qr:hotpath
 func (f *Factorization) ApplyOpWs(op Op, ws *kernels.Workspace) {
 	a := f.A
 	switch op.Kind {
