@@ -3,7 +3,9 @@ package runtime
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/fault"
 	"repro/internal/kernels"
 	"repro/internal/matrix"
 	"repro/internal/tiled"
@@ -102,17 +104,23 @@ func applyParallel(f *tiled.Factorization, c *matrix.Matrix, workers int, revers
 
 	ready := make(chan int, n)
 	done := make(chan int, n)
+	var panicked atomic.Pointer[fault.KernelPanicError]
+	opOf := func(id int) tiled.Op { return tasks[id].op }
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
+			cur := poisonedOp
+			defer guardWorker(&panicked, done, worker, &cur, opOf)
 			ws := kernels.NewWorkspace()
 			for id := range ready {
+				cur = id
 				f.ApplyFactorOpToWs(tasks[id].op, c, trans, ws)
 				done <- id
+				cur = poisonedOp
 			}
-		}()
+		}(w)
 	}
 	remaining := make([]int, n)
 	for i := range deps {
@@ -125,6 +133,13 @@ func applyParallel(f *tiled.Factorization, c *matrix.Matrix, workers int, revers
 	}
 	for completed := 0; completed < n; completed++ {
 		id := <-done
+		if id == poisonedOp {
+			// A worker contained a kernel panic: stop dispatching, wait for
+			// the survivors to drain, and re-raise on the caller's goroutine.
+			close(ready)
+			wg.Wait()
+			panic(panicked.Load())
+		}
 		for _, s := range succs[id] {
 			remaining[s]--
 			if remaining[s] == 0 {

@@ -1,0 +1,43 @@
+package runtime
+
+import (
+	"sync/atomic"
+
+	"repro/internal/fault"
+	"repro/internal/tiled"
+)
+
+// poisonedOp is the completion id a dying worker sends on its done channel
+// after containing a panic. Real operation ids are DAG indices and always
+// non-negative.
+const poisonedOp = -1
+
+// guardWorker is the recover barrier for the direct executors (Execute,
+// ExecutePriority, ApplyQT/ApplyQ), whose APIs carry no error return. A
+// kernel panic inside a worker goroutine is otherwise unrecoverable — it
+// kills the whole process, and the caller never gets a chance to react.
+// guardWorker converts the panic into a typed *fault.KernelPanicError
+// (first panic wins), and wakes the manager with a poisoned completion; the
+// manager stops dispatching and re-raises the panic on the calling
+// goroutine, where the caller may recover it. The factorization target is
+// in an unspecified, partially-updated state after such a panic.
+//
+// cur tracks the op the worker is executing (poisonedOp between ops) and
+// opName resolves it to its label and step class lazily, so the happy path
+// pays nothing for the attribution.
+//
+//qr:containedexec
+func guardWorker(pv *atomic.Pointer[fault.KernelPanicError], done chan<- int, worker int, cur *int, opName func(int) tiled.Op) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	err := &fault.KernelPanicError{Worker: worker, Value: r}
+	if *cur != poisonedOp {
+		op := opName(*cur)
+		err.Op = op.String()
+		err.Step = op.Kind.Step()
+	}
+	pv.CompareAndSwap(nil, err)
+	done <- poisonedOp
+}

@@ -1,0 +1,91 @@
+package runtime
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/tiled"
+	"repro/internal/workload"
+)
+
+// recoverKernelPanic runs fn and asserts it panics with a contained
+// *fault.KernelPanicError on the calling goroutine. Before the worker
+// recover barrier existed, a kernel panic fired on a worker goroutine and
+// killed the whole test binary — this helper could not have caught it.
+func recoverKernelPanic(t *testing.T, fn func()) (err *fault.KernelPanicError) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected a contained kernel panic, got a clean return")
+		}
+		var ok bool
+		err, ok = r.(*fault.KernelPanicError)
+		if !ok {
+			t.Fatalf("panic value is %T (%v), want *fault.KernelPanicError", r, r)
+		}
+	}()
+	fn()
+	return nil
+}
+
+// corruptDAG returns a valid factorization plan whose final op references a
+// tile far out of range, so the worker that executes it panics inside
+// TiledMatrix.Tile.
+func corruptDAG() (*tiled.DAG, *tiled.Factorization) {
+	const tile = 8
+	a := workload.Uniform(11, 32, 32)
+	dag := tiled.BuildDAG(tiled.NewLayout(32, 32, tile), tiled.FlatTS{})
+	f := tiled.NewFactorization(tiled.FromDense(a, tile), tiled.FlatTS{})
+	dag.Ops[len(dag.Ops)-1].Row = 1 << 20
+	return dag, f
+}
+
+func TestExecuteContainsWorkerPanic(t *testing.T) {
+	dag, f := corruptDAG()
+	err := recoverKernelPanic(t, func() { Execute(dag, f, 4, nil) })
+	if err.Op == "" || err.Step == "" {
+		t.Errorf("contained panic lost op attribution: %+v", err)
+	}
+	if err.Worker < 0 || err.Worker >= 4 {
+		t.Errorf("contained panic has worker %d, want 0..3", err.Worker)
+	}
+}
+
+func TestExecutePriorityContainsWorkerPanic(t *testing.T) {
+	dag, f := corruptDAG()
+	err := recoverKernelPanic(t, func() { ExecutePriority(dag, f, 4, nil) })
+	if err.Op == "" {
+		t.Errorf("contained panic lost op attribution: %+v", err)
+	}
+}
+
+func TestExecuteSingleWorkerContainsPanic(t *testing.T) {
+	// One worker exercises the manager path where the panicking worker was
+	// also the only receiver on the dispatch channel.
+	dag, f := corruptDAG()
+	recoverKernelPanic(t, func() { Execute(dag, f, 1, nil) })
+	recoverKernelPanic(t, func() { ExecutePriority(dag, f, 1, nil) })
+}
+
+func TestApplyParallelContainsWorkerPanic(t *testing.T) {
+	const tile = 8
+	a := workload.Uniform(12, 32, 32)
+	f, ferr := Factor(a, Options{TileSize: tile, Workers: 2})
+	if ferr != nil {
+		t.Fatal(ferr)
+	}
+	// Corrupt the journal the apply DAG is built from: the first
+	// triangulation op now names a row block far outside the target.
+	for i := range f.Journal {
+		if f.Journal[i].Kind == tiled.KindGEQRT {
+			f.Journal[i].Row = 1 << 20
+			break
+		}
+	}
+	c := workload.Uniform(13, 32, 4)
+	err := recoverKernelPanic(t, func() { ApplyQT(f, c, 4) })
+	if err.Op == "" {
+		t.Errorf("contained panic lost op attribution: %+v", err)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sync/atomic"
 
 	"repro/internal/fault"
 	"repro/internal/kernels"
@@ -85,6 +86,7 @@ func (o *Options) Normalize() error {
 // solves exactly as the sequential engine does. Factor is FactorContext
 // with context.Background(): it cannot be cancelled.
 func Factor(a *matrix.Matrix, opts Options) (*tiled.Factorization, error) {
+	//qr:allow ctxdiscipline Factor is the documented uncancellable wrapper; cancellable callers use FactorContext
 	return FactorContext(context.Background(), a, opts)
 }
 
@@ -117,11 +119,16 @@ func ExecuteObserved(dag *tiled.DAG, f *tiled.Factorization, workers int, rec *t
 	ready := make(chan int, n)
 	done := make(chan int, n)
 
+	var panicked atomic.Pointer[fault.KernelPanicError]
+	opOf := func(id int) tiled.Op { return dag.Ops[id] }
 	for w := 0; w < workers; w++ {
 		go func(id int) {
+			cur := poisonedOp
+			defer guardWorker(&panicked, done, id, &cur, opOf)
 			name := workerName(id)
 			ws := kernels.NewWorkspace()
 			for opID := range ready {
+				cur = opID
 				start := rec.Now()
 				in.applyOp(f, dag.Ops[opID], id, ws)
 				if rec != nil {
@@ -132,6 +139,7 @@ func ExecuteObserved(dag *tiled.DAG, f *tiled.Factorization, workers int, rec *t
 					})
 				}
 				done <- opID
+				cur = poisonedOp
 			}
 		}(w)
 	}
@@ -152,6 +160,12 @@ func ExecuteObserved(dag *tiled.DAG, f *tiled.Factorization, workers int, rec *t
 	completed := 0
 	for completed < n {
 		id := <-done
+		if id == poisonedOp {
+			// A worker contained a kernel panic: stop dispatching, release
+			// the surviving workers, and re-raise on the caller's goroutine.
+			close(ready)
+			panic(panicked.Load())
+		}
 		completed++
 		for _, s := range dag.Succs[id] {
 			remaining[s]--
@@ -192,11 +206,16 @@ func ExecutePriorityObserved(dag *tiled.DAG, f *tiled.Factorization, workers int
 	// idle worker, so heap order governs execution order.
 	ready := make(chan int)
 	done := make(chan int, n)
+	var panicked atomic.Pointer[fault.KernelPanicError]
+	opOf := func(id int) tiled.Op { return dag.Ops[id] }
 	for w := 0; w < workers; w++ {
 		go func(id int) {
+			cur := poisonedOp
+			defer guardWorker(&panicked, done, id, &cur, opOf)
 			name := workerName(id)
 			ws := kernels.NewWorkspace()
 			for opID := range ready {
+				cur = opID
 				start := rec.Now()
 				in.applyOp(f, dag.Ops[opID], id, ws)
 				if rec != nil {
@@ -207,6 +226,7 @@ func ExecutePriorityObserved(dag *tiled.DAG, f *tiled.Factorization, workers int
 					})
 				}
 				done <- opID
+				cur = poisonedOp
 			}
 		}(w)
 	}
@@ -223,15 +243,13 @@ func ExecutePriorityObserved(dag *tiled.DAG, f *tiled.Factorization, workers int
 	}
 	inFlight := 0
 	completed := 0
-	for completed < n {
-		// Dispatch as many ready ops as there are idle workers; block on a
-		// completion when either resource is exhausted.
-		for inFlight < workers && h.Len() > 0 {
-			ready <- h.popID()
-			inFlight++
-		}
-		in.queueDepth(h.Len())
-		id := <-done
+	// poison stops the manager and re-raises the contained worker panic on
+	// the caller's goroutine.
+	poison := func() {
+		close(ready)
+		panic(panicked.Load())
+	}
+	complete := func(id int) {
 		completed++
 		inFlight--
 		for _, s := range dag.Succs[id] {
@@ -240,6 +258,34 @@ func ExecutePriorityObserved(dag *tiled.DAG, f *tiled.Factorization, workers int
 				h.pushID(s)
 			}
 		}
+	}
+	for completed < n {
+		// Dispatch as many ready ops as there are idle workers; block on a
+		// completion when either resource is exhausted. The dispatch send is
+		// unbuffered, so it must also watch done — otherwise every worker
+		// dying on a contained panic would leave the send with no receiver.
+		for inFlight < workers && h.Len() > 0 {
+			id := h.popID()
+			select {
+			case ready <- id:
+				inFlight++
+			case rid := <-done:
+				h.pushID(id)
+				if rid == poisonedOp {
+					poison()
+				}
+				complete(rid)
+			}
+		}
+		if completed >= n {
+			break
+		}
+		in.queueDepth(h.Len())
+		id := <-done
+		if id == poisonedOp {
+			poison()
+		}
+		complete(id)
 	}
 	close(ready)
 	in.finish(workers, n)
