@@ -41,6 +41,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -115,7 +116,7 @@ func main() {
 	}
 
 	if *selftest {
-		rep, err := serve.RunSelftest(serve.SelftestOptions{
+		rep, err := serve.RunSelftest(context.Background(), serve.SelftestOptions{
 			Jobs: *jobs, Clients: *clients, Verify: *verify, Config: cfg,
 			Chaos: *chaos, ChaosSeed: *chaosSeed,
 		})

@@ -31,7 +31,7 @@ func mustTree(t *testing.T, name string) tiled.Tree {
 // bit-identical, record a replan for the device drop, and reject NaN
 // input — while still passing every fault-free invariant.
 func TestChaosSelftest(t *testing.T) {
-	rep, err := RunSelftest(SelftestOptions{Jobs: 60, Chaos: true, ChaosSeed: 7})
+	rep, err := RunSelftest(context.Background(), SelftestOptions{Jobs: 60, Chaos: true, ChaosSeed: 7})
 	if err != nil {
 		t.Fatalf("chaos selftest: %v\nreport: %+v", err, rep)
 	}

@@ -106,9 +106,9 @@ func (s *Server) replay(rec store.JobRecord) *Job {
 	tr.SetAttr("job", strconv.FormatUint(j.id, 10))
 	tr.SetAttr("class", cls.key)
 	if !rec.Deadline.IsZero() {
-		j.ctx, j.cancel = context.WithDeadline(context.Background(), rec.Deadline)
+		j.ctx, j.cancel = context.WithDeadline(s.cfg.BaseContext, rec.Deadline)
 	} else {
-		j.ctx = context.Background()
+		j.ctx = s.cfg.BaseContext
 	}
 	if j.cid != "" {
 		// Reclaim the idempotency key so a client retrying its submission

@@ -151,8 +151,9 @@ var selftestShapes = [...]struct{ rows, cols int }{
 // saturating burst, a deadline-exceeded job and a graceful drain, then
 // verifies the serving invariants (see SelftestReport). It returns the
 // report and the first violated invariant, if any — cmd/qrserve turns
-// that into a non-zero exit.
-func RunSelftest(opt SelftestOptions) (*SelftestReport, error) {
+// that into a non-zero exit. ctx bounds the whole drill: cancel it and
+// every in-flight submit and wait unwinds with the context error.
+func RunSelftest(ctx context.Context, opt SelftestOptions) (*SelftestReport, error) {
 	if opt.Jobs <= 0 {
 		opt.Jobs = 200
 	}
@@ -248,7 +249,7 @@ func RunSelftest(opt SelftestOptions) (*SelftestReport, error) {
 				var j *Job
 				for {
 					var err error
-					j, err = s.Submit(context.Background(), a, SubmitOptions{})
+					j, err = s.Submit(ctx, a, SubmitOptions{})
 					if err == nil {
 						break
 					}
@@ -260,7 +261,7 @@ func RunSelftest(opt SelftestOptions) (*SelftestReport, error) {
 					}
 					time.Sleep(200 * time.Microsecond) // closed-loop backoff
 				}
-				f, err := j.Wait(context.Background())
+				f, err := j.Wait(ctx)
 				lat := float64(time.Since(t0)) / float64(time.Millisecond)
 				mu.Lock()
 				latencies = append(latencies, lat)
@@ -305,7 +306,7 @@ func RunSelftest(opt SelftestOptions) (*SelftestReport, error) {
 	var burstJobs []*Job
 	for i := 0; i < opt.Burst; i++ {
 		a := workload.Uniform(5000+int64(i), 96, 96)
-		j, err := s.Submit(context.Background(), a, SubmitOptions{})
+		j, err := s.Submit(ctx, a, SubmitOptions{})
 		rep.BurstSubmitted++
 		switch {
 		case err == nil:
@@ -318,17 +319,17 @@ func RunSelftest(opt SelftestOptions) (*SelftestReport, error) {
 		}
 	}
 	for _, j := range burstJobs {
-		if _, err := j.Wait(context.Background()); err != nil {
+		if _, err := j.Wait(ctx); err != nil {
 			return rep, fmt.Errorf("selftest: burst job %d: %w", j.ID(), err)
 		}
 	}
 
 	// Phase 3: a job whose deadline has no chance.
-	dj, err := s.Submit(context.Background(), workload.Uniform(9000, 128, 128), SubmitOptions{Timeout: time.Nanosecond})
+	dj, err := s.Submit(ctx, workload.Uniform(9000, 128, 128), SubmitOptions{Timeout: time.Nanosecond})
 	if err != nil {
 		return rep, fmt.Errorf("selftest: deadline submit: %w", err)
 	}
-	if _, err := dj.Wait(context.Background()); errors.Is(err, context.DeadlineExceeded) {
+	if _, err := dj.Wait(ctx); errors.Is(err, context.DeadlineExceeded) {
 		rep.DeadlineOK = true
 	}
 
@@ -337,7 +338,7 @@ func RunSelftest(opt SelftestOptions) (*SelftestReport, error) {
 	if opt.Chaos {
 		bad := workload.Uniform(9100, 64, 64)
 		bad.Set(3, 5, math.NaN())
-		if _, err := s.Submit(context.Background(), bad, SubmitOptions{}); errors.Is(err, runtime.ErrNonFinite) {
+		if _, err := s.Submit(ctx, bad, SubmitOptions{}); errors.Is(err, runtime.ErrNonFinite) {
 			rep.NaNRejected = true
 		}
 	}
@@ -347,7 +348,7 @@ func RunSelftest(opt SelftestOptions) (*SelftestReport, error) {
 	var drainJobs []*Job
 	for i := 0; i < 12; i++ {
 		a := workload.Uniform(7000+int64(i), 64, 64)
-		if j, err := s.Submit(context.Background(), a, SubmitOptions{}); err == nil {
+		if j, err := s.Submit(ctx, a, SubmitOptions{}); err == nil {
 			drainJobs = append(drainJobs, j)
 		}
 	}
@@ -363,7 +364,7 @@ func RunSelftest(opt SelftestOptions) (*SelftestReport, error) {
 			rep.DrainLost++
 		}
 	}
-	if _, err := s.Submit(context.Background(), workload.Uniform(1, 32, 32), SubmitOptions{}); !errors.Is(err, ErrClosed) {
+	if _, err := s.Submit(ctx, workload.Uniform(1, 32, 32), SubmitOptions{}); !errors.Is(err, ErrClosed) {
 		return rep, fmt.Errorf("selftest: post-close submit returned %v, want ErrClosed", err)
 	}
 

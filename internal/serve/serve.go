@@ -190,6 +190,12 @@ type Config struct {
 	// through the normal queue, with trace ids and absolute deadlines
 	// preserved. Nil serves from memory only (a restart forgets everything).
 	Store store.JobStore
+	// BaseContext is the root context for work the server starts on its
+	// own behalf: replay of recovered jobs and submissions that pass a nil
+	// ctx. Nil selects context.Background(); a server embedded in a larger
+	// process should pass its lifecycle context so recovered jobs unwind
+	// when the host shuts down.
+	BaseContext context.Context
 
 	// testMidBatch, when set, runs inside the executor after a batch's jobs
 	// are marked running and before the kernels dispatch — the hook the
@@ -224,6 +230,10 @@ func (c *Config) normalize() {
 	}
 	if c.Trace == nil {
 		c.Trace = obs.NewStore(256, c.TraceSample, c.Metrics)
+	}
+	if c.BaseContext == nil {
+		//qr:allow ctxdiscipline the server's one default lifecycle root; embedders override it via Config.BaseContext
+		c.BaseContext = context.Background()
 	}
 }
 
@@ -496,7 +506,7 @@ func (s *Server) Submit(ctx context.Context, a *matrix.Matrix, opts SubmitOption
 		return reject(fmt.Errorf("serve: input element (%d,%d): %w", i, j, runtime.ErrNonFinite))
 	}
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = s.cfg.BaseContext
 	}
 	tile := opts.TileSize
 	if tile <= 0 {
@@ -574,6 +584,7 @@ func (s *Server) Submit(ctx context.Context, a *matrix.Matrix, opts SubmitOption
 	// backstops the idempotency check across restarts: a client id that was
 	// ever accepted still has a record, and Put refuses it.
 	if s.cfg.Store != nil {
+		//qr:allow lockhold fsync-before-ack: Put must complete under the admission read-lock so Close cannot interleave between persist and queue send
 		if err := s.cfg.Store.Put(s.recordOf(j, opts)); err != nil {
 			s.releaseCID(j)
 			if j.cancel != nil {
@@ -615,6 +626,7 @@ func (s *Server) Submit(ctx context.Context, a *matrix.Matrix, opts SubmitOption
 		// once); an id-less job may execute once without anyone fetching the
 		// result — wasted work, never a double-acknowledged or lost job.
 		if s.cfg.Store != nil {
+			//qr:allow lockhold rollback of the just-persisted record; same admission critical section as the Put above
 			_ = s.cfg.Store.Delete(j.sid)
 		}
 		if j.cancel != nil {

@@ -209,7 +209,7 @@ func TestSelftestSmall(t *testing.T) {
 	if testing.Short() {
 		t.Skip("selftest is a multi-phase load run")
 	}
-	rep, err := RunSelftest(SelftestOptions{Jobs: 48, Clients: 6, Verify: 4})
+	rep, err := RunSelftest(context.Background(), SelftestOptions{Jobs: 48, Clients: 6, Verify: 4})
 	if err != nil {
 		t.Fatalf("selftest failed: %v\nreport: %+v", err, rep)
 	}
