@@ -159,8 +159,22 @@ func (s *fileStore) load() error {
 		return fmt.Errorf("store: read wal: %w", err)
 	}
 	defer f.Close()
-	replayed := 0
-	sc := bufio.NewScanner(f)
+	replayed, err := decodeWAL(f, s.apply)
+	if err != nil {
+		return err
+	}
+	s.opts.Metrics.Counter(MetricWALReplayed).Add(int64(replayed))
+	return nil
+}
+
+// decodeWAL replays a JSONL WAL stream in append order, invoking apply for
+// every intact record, and returns how many were applied. A torn final
+// line — the expected artifact of a crash mid-append — is tolerated and
+// discarded: the mutation it described was never acknowledged. An
+// unparsable record anywhere else is corruption, because skipping it would
+// shadow every later op on the same record.
+func decodeWAL(r io.Reader, apply func(walOp)) (replayed int, err error) {
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 64<<20) // dense payloads make long lines
 	for sc.Scan() {
 		line := sc.Bytes()
@@ -168,22 +182,19 @@ func (s *fileStore) load() error {
 			continue
 		}
 		var op walOp
-		if err := json.Unmarshal(line, &op); err != nil {
-			// A torn tail is the expected crash artifact; a torn middle would
-			// shadow later ops, so only the final line may be unparsable.
+		if uerr := json.Unmarshal(line, &op); uerr != nil {
 			if sc.Scan() {
-				return fmt.Errorf("store: corrupt wal record (not at tail): %w", err)
+				return replayed, fmt.Errorf("store: corrupt wal record (not at tail): %w", uerr)
 			}
-			break
+			return replayed, nil
 		}
-		s.apply(op)
+		apply(op)
 		replayed++
 	}
 	if err := sc.Err(); err != nil {
-		return fmt.Errorf("store: scan wal: %w", err)
+		return replayed, fmt.Errorf("store: scan wal: %w", err)
 	}
-	s.opts.Metrics.Counter(MetricWALReplayed).Add(int64(replayed))
-	return nil
+	return replayed, nil
 }
 
 // apply replays one WAL op against the in-memory map. Ops were validated
@@ -330,6 +341,11 @@ func (s *fileStore) Delete(id string) error {
 	return nil
 }
 
+// Sync forces the WAL to stable storage. The flush+fsync happen under
+// s.mu by design: durability requires that no later append reorder ahead
+// of the fsync, and the mutex is the store's write-ordering point.
+//
+//qr:allow lockhold fsync under the store mutex IS the durability contract (fsync-before-ack)
 func (s *fileStore) Sync() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -349,6 +365,10 @@ func (s *fileStore) Sync() error {
 // Compact checkpoints the current state into the snapshot and truncates the
 // WAL: recovery cost becomes proportional to the live job set, not to the
 // lifetime mutation count. Runs at graceful drain and is safe at any time.
+// The whole write-rename-truncate sequence holds s.mu: a concurrent append
+// between snapshot and truncation would be lost forever.
+//
+//qr:allow lockhold snapshot+WAL-truncate must be atomic w.r.t. writers; the mutex is what makes it so
 func (s *fileStore) Compact() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -404,6 +424,10 @@ func (s *fileStore) Halt() {
 
 func (s *fileStore) Dir() string { return s.dir }
 
+// Close flushes and fsyncs the WAL before releasing it, under s.mu so no
+// write can slip in after the final fsync.
+//
+//qr:allow lockhold final flush+fsync must exclude concurrent writers
 func (s *fileStore) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
