@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -25,6 +26,16 @@ var ErrFormat = errors.New("mtxio: malformed MatrixMarket input")
 
 func formatErr(msg string, args ...any) error {
 	return fmt.Errorf("%w: %s", ErrFormat, fmt.Sprintf(msg, args...))
+}
+
+// checkDims rejects a declared shape whose element count rows*cols
+// overflows int: without this a crafted size line made matrix.New panic on
+// a negative make length, crashing any tool reading an untrusted file.
+func checkDims(rows, cols int) error {
+	if cols != 0 && rows > math.MaxInt/cols {
+		return formatErr("dimensions %dx%d overflow the element count", rows, cols)
+	}
+	return nil
 }
 
 // Read parses a MatrixMarket stream into a dense matrix. Supported headers
@@ -87,6 +98,9 @@ func Read(r io.Reader) (*matrix.Matrix, error) {
 		if err1 != nil || err2 != nil || rows < 0 || cols < 0 {
 			return nil, formatErr("array dimensions %q", sizeLine)
 		}
+		if err := checkDims(rows, cols); err != nil {
+			return nil, err
+		}
 		m := matrix.New(rows, cols)
 		// Column-major order; symmetric files carry the lower triangle only.
 		for j := 0; j < cols; j++ {
@@ -121,6 +135,9 @@ func Read(r io.Reader) (*matrix.Matrix, error) {
 	nnz, err3 := strconv.Atoi(sizes[2])
 	if err1 != nil || err2 != nil || err3 != nil || rows < 0 || cols < 0 || nnz < 0 {
 		return nil, formatErr("coordinate dimensions %q", sizeLine)
+	}
+	if err := checkDims(rows, cols); err != nil {
+		return nil, err
 	}
 	m := matrix.New(rows, cols)
 	for e := 0; e < nnz; e++ {
