@@ -7,6 +7,12 @@
 // submits can never double-accept), and X-Trace-Id propagation so a
 // client-side id follows the job through every server hop and into /traces.
 //
+// The client also speaks to highly-available router pairs: Config.Endpoints
+// lists every router, and the client sticks to whichever one answers,
+// rotating on transport failure or on an explicit standby refusal (503 +
+// "X-Router-Role: standby"). A standby hop is free — it does not burn the
+// retry budget — so a failover is one extra round trip, not a backoff.
+//
 // The verbs:
 //
 //	c, _ := client.New(client.Config{BaseURL: "http://localhost:8080"})
@@ -36,6 +42,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -138,11 +145,21 @@ func (p RetryPolicy) delay(attempt int, hint time.Duration, rng *rand.Rand) time
 	return time.Duration(rng.Int63n(int64(d))) + 1
 }
 
+// roleHeader is the router's HA-role response header: a standby refuses
+// job traffic with 503 and this header set to "standby", which tells the
+// client to rotate endpoints instead of backing off.
+const roleHeader = "X-Router-Role"
+
 // Config configures a Client.
 type Config struct {
 	// BaseURL roots the API, e.g. "http://localhost:8080" — a qrserve
 	// worker or a qrrouter front end.
 	BaseURL string
+	// Endpoints lists additional base URLs (an HA router pair, or several
+	// workers). The client is sticky: it keeps using the endpoint that
+	// answers, and rotates to the next on a transport failure or a standby
+	// refusal. BaseURL, when set, is simply the first endpoint.
+	Endpoints []string
 	// HTTPClient overrides the transport (default: http.Client with a 30s
 	// overall timeout; per-call contexts cut it shorter).
 	HTTPClient *http.Client
@@ -155,10 +172,13 @@ type Config struct {
 
 // Client is a QR job service client. Safe for concurrent use.
 type Client struct {
-	base  string
-	hc    *http.Client
-	retry RetryPolicy
-	poll  time.Duration
+	endpoints []string
+	// active indexes the endpoint in use. Rotation is a CAS, so concurrent
+	// callers observing the same failure advance it exactly once.
+	active atomic.Int32
+	hc     *http.Client
+	retry  RetryPolicy
+	poll   time.Duration
 
 	mu  sync.Mutex
 	rng *rand.Rand
@@ -166,12 +186,21 @@ type Client struct {
 
 // New validates cfg and returns a client.
 func New(cfg Config) (*Client, error) {
-	base := strings.TrimRight(cfg.BaseURL, "/")
-	if base == "" {
-		return nil, errors.New("client: BaseURL required")
+	raw := make([]string, 0, 1+len(cfg.Endpoints))
+	if cfg.BaseURL != "" {
+		raw = append(raw, cfg.BaseURL)
 	}
-	if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
-		return nil, fmt.Errorf("client: BaseURL %q must be http(s)", cfg.BaseURL)
+	raw = append(raw, cfg.Endpoints...)
+	if len(raw) == 0 {
+		return nil, errors.New("client: BaseURL or Endpoints required")
+	}
+	endpoints := make([]string, 0, len(raw))
+	for _, u := range raw {
+		base := strings.TrimRight(u, "/")
+		if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
+			return nil, fmt.Errorf("client: endpoint %q must be http(s)", u)
+		}
+		endpoints = append(endpoints, base)
 	}
 	hc := cfg.HTTPClient
 	if hc == nil {
@@ -182,12 +211,30 @@ func New(cfg Config) (*Client, error) {
 		poll = 5 * time.Millisecond
 	}
 	return &Client{
-		base:  base,
-		hc:    hc,
-		retry: cfg.Retry.normalize(),
-		poll:  poll,
-		rng:   rand.New(rand.NewSource(time.Now().UnixNano())),
+		endpoints: endpoints,
+		hc:        hc,
+		retry:     cfg.Retry.normalize(),
+		poll:      poll,
+		rng:       rand.New(rand.NewSource(time.Now().UnixNano())),
 	}, nil
+}
+
+// endpoint returns the base URL currently in use.
+func (c *Client) endpoint() string {
+	return c.endpoints[int(c.active.Load())%len(c.endpoints)]
+}
+
+// rotateFrom advances to the next endpoint — but only if base is still the
+// active one, so a fleet of goroutines that all saw the same dead endpoint
+// rotates once, not once each (which would orbit past the healthy one).
+func (c *Client) rotateFrom(base string) {
+	if len(c.endpoints) < 2 {
+		return
+	}
+	cur := c.active.Load()
+	if c.endpoints[int(cur)%len(c.endpoints)] == base {
+		c.active.CompareAndSwap(cur, (cur+1)%int32(len(c.endpoints)))
+	}
 }
 
 // JobSpec describes one factorization submission.
@@ -379,10 +426,8 @@ func (c *Client) Wait(ctx context.Context, id string) (*Result, error) {
 			}
 			return c.Result(ctx, id)
 		}
-		select {
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		case <-time.After(interval):
+		if err := c.sleep(ctx, interval); err != nil {
+			return nil, err
 		}
 		if interval < 50*c.poll {
 			interval += interval / 2
@@ -449,33 +494,43 @@ func (c *Client) Stream(ctx context.Context, specs <-chan JobSpec, concurrency i
 	return out
 }
 
+// sleep blocks for d or until ctx fires, whichever comes first — the
+// context-aware form of every backoff and poll wait in this package. A
+// stopped timer (rather than time.After) keeps a cancelled wait from
+// leaking its timer until it would have fired.
+func (c *Client) sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
 // do performs one API call with the retry policy: 429 and 503 responses
 // (honouring Retry-After) and transport errors are retried with jittered
 // backoff; other failures return immediately as *APIError. On success the
 // body is decoded into v when v is non-nil.
+//
+// With multiple endpoints configured, a transport failure rotates to the
+// next endpoint before the backed-off retry, and a standby refusal (503 +
+// X-Router-Role: standby) rotates and retries immediately — the standby
+// told us exactly where not to send traffic, so the hop is free rather
+// than charged against the attempt budget. At most len(endpoints)-1 free
+// hops per attempt: a full circle of standbys (mid-promotion) degrades to
+// the normal 503 backoff, which lands after the promotion.
 func (c *Client) do(ctx context.Context, method, path string, body []byte, hdr http.Header, v any) (*http.Response, error) {
 	var lastErr error
-	for attempt := 0; attempt < c.retry.MaxAttempts; attempt++ {
-		if attempt > 0 {
-			var hint time.Duration
-			var apiErr *APIError
-			if errors.As(lastErr, &apiErr) {
-				hint = apiErr.RetryAfter
-			}
-			c.mu.Lock()
-			d := c.retry.delay(attempt-1, hint, c.rng)
-			c.mu.Unlock()
-			select {
-			case <-ctx.Done():
-				return nil, ctx.Err()
-			case <-time.After(d):
-			}
-		}
+	freeHops := 0
+	for attempt := 0; attempt < c.retry.MaxAttempts; {
+		base := c.endpoint()
 		var rd io.Reader
 		if body != nil {
 			rd = bytes.NewReader(body)
 		}
-		req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+		req, err := http.NewRequestWithContext(ctx, method, base+path, rd)
 		if err != nil {
 			return nil, fmt.Errorf("client: build request: %w", err)
 		}
@@ -492,8 +547,12 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, hdr h
 			if ctx.Err() != nil {
 				return nil, ctx.Err()
 			}
+			c.rotateFrom(base)
 			lastErr = fmt.Errorf("client: %s %s: %w", method, path, err)
-			continue // transport error: retry
+			if err := c.backoff(ctx, &attempt, lastErr); err != nil {
+				return nil, err
+			}
+			continue // transport error: retry (on the next endpoint, if any)
 		}
 		if resp.StatusCode >= 200 && resp.StatusCode < 300 {
 			if v != nil {
@@ -507,9 +566,19 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, hdr h
 			}
 			return resp, nil
 		}
+		standby := resp.Header.Get(roleHeader) == "standby"
 		apiErr := readAPIError(resp, v)
 		lastErr = apiErr
+		if standby && freeHops < len(c.endpoints)-1 {
+			c.rotateFrom(base)
+			freeHops++
+			continue
+		}
 		if apiErr.Code == http.StatusTooManyRequests || apiErr.Code == http.StatusServiceUnavailable {
+			freeHops = 0
+			if err := c.backoff(ctx, &attempt, lastErr); err != nil {
+				return nil, err
+			}
 			continue // backpressure: honour Retry-After and try again
 		}
 		return nil, apiErr
@@ -519,6 +588,24 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, hdr h
 		return nil, fmt.Errorf("%w after %d attempts: %v", ErrOverloaded, c.retry.MaxAttempts, lastErr)
 	}
 	return nil, fmt.Errorf("client: giving up after %d attempts: %w", c.retry.MaxAttempts, lastErr)
+}
+
+// backoff charges one attempt and, if budget remains, sleeps the jittered
+// delay (or the server's Retry-After hint carried on lastErr).
+func (c *Client) backoff(ctx context.Context, attempt *int, lastErr error) error {
+	*attempt++
+	if *attempt >= c.retry.MaxAttempts {
+		return nil // the loop condition ends the call with lastErr
+	}
+	var hint time.Duration
+	var apiErr *APIError
+	if errors.As(lastErr, &apiErr) {
+		hint = apiErr.RetryAfter
+	}
+	c.mu.Lock()
+	d := c.retry.delay(*attempt-1, hint, c.rng)
+	c.mu.Unlock()
+	return c.sleep(ctx, d)
 }
 
 // readAPIError drains a non-2xx response into an *APIError. When v is

@@ -1,0 +1,152 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/client"
+)
+
+// TestClientCancelDuringBackoff: a canceled context must cut a backoff
+// sleep short, not wait it out. The server's Retry-After pushes the retry
+// delay well past the cancellation point, so a prompt return proves the
+// sleep is context-aware.
+func TestClientCancelDuringBackoff(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Retry-After", "30")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+	c, err := client.New(client.Config{BaseURL: ts.URL,
+		Retry: client.RetryPolicy{MaxAttempts: 5, BaseDelay: 10 * time.Millisecond, MaxDelay: time.Minute}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		// Land the cancel mid-backoff: after the first 429, the client is
+		// asleep for the full 30s hint unless cancellation interrupts it.
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = c.Wait(ctx, "whatever")
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait returned %v, want context.Canceled", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("canceled Wait took %v to return — the backoff sleep ignored the context", elapsed)
+	}
+}
+
+// TestClientRotatesOnStandby: a 503 carrying X-Router-Role: standby is a
+// redirection, not overload — the client must hop to the next endpoint
+// immediately and succeed without burning its retry budget.
+func TestClientRotatesOnStandby(t *testing.T) {
+	var standbyHits, primaryHits atomic.Int64
+	standby := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		standbyHits.Add(1)
+		w.Header().Set("X-Router-Role", "standby")
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer standby.Close()
+	primary := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		primaryHits.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte(`{"id":"j1","status":"running"}`))
+	}))
+	defer primary.Close()
+
+	// The standby is listed first, so the first request must hop.
+	c, err := client.New(client.Config{Endpoints: []string{standby.URL, primary.URL},
+		Retry: client.RetryPolicy{MaxAttempts: 2, BaseDelay: 5 * time.Millisecond, MaxDelay: 50 * time.Millisecond}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	st, err := c.Status(testCtx(t), "j1")
+	if err != nil {
+		t.Fatalf("Status through standby hop: %v", err)
+	}
+	if st.Status != "running" {
+		t.Fatalf("status = %q, want running", st.Status)
+	}
+	// MaxAttempts is 2 and the hop is free: one standby hit, one primary
+	// hit, no backoff sleep (the Retry-After was 1s — far above the
+	// observed latency if honoured).
+	if took := time.Since(start); took > 500*time.Millisecond {
+		t.Fatalf("standby hop took %v — it backed off instead of rotating", took)
+	}
+	if got := standbyHits.Load(); got != 1 {
+		t.Fatalf("standby hit %d times, want 1", got)
+	}
+	if got := primaryHits.Load(); got != 1 {
+		t.Fatalf("primary hit %d times, want 1", got)
+	}
+
+	// Stickiness: the next call goes straight to the endpoint that worked.
+	if _, err := c.Status(testCtx(t), "j1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := standbyHits.Load(); got != 1 {
+		t.Fatalf("second call hit the standby again (%d hits) — rotation is not sticky", got)
+	}
+}
+
+// TestClientRotatesOnTransportFailure: a dead endpoint (connection
+// refused) rotates to the next one on the retried attempt.
+func TestClientRotatesOnTransportFailure(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {}))
+	deadURL := dead.URL
+	dead.Close() // nothing listens here any more
+
+	live := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"id":"j2","status":"done"}`))
+	}))
+	defer live.Close()
+
+	c, err := client.New(client.Config{Endpoints: []string{deadURL, live.URL},
+		Retry: client.RetryPolicy{MaxAttempts: 3, BaseDelay: 5 * time.Millisecond, MaxDelay: 50 * time.Millisecond}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Status(testCtx(t), "j2")
+	if err != nil {
+		t.Fatalf("Status after dead endpoint: %v", err)
+	}
+	if st.Status != "done" {
+		t.Fatalf("status = %q, want done", st.Status)
+	}
+}
+
+// TestClientAllStandby: a full circle of standbys (both routers
+// mid-promotion) degrades to the normal 503 backoff and eventually errors
+// out rather than spinning.
+func TestClientAllStandby(t *testing.T) {
+	mk := func() *httptest.Server {
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("X-Router-Role", "standby")
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}))
+	}
+	a, b := mk(), mk()
+	defer a.Close()
+	defer b.Close()
+	c, err := client.New(client.Config{Endpoints: []string{a.URL, b.URL},
+		Retry: client.RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Status(testCtx(t), "j3"); err == nil {
+		t.Fatal("Status against an all-standby pair should fail after the retry budget")
+	}
+}

@@ -1,8 +1,8 @@
 // Command qrrouter fronts a fleet of qrserve workers: one submission
 // endpoint that shards jobs across workers by size-class consistent
-// hashing, health-checks the fleet, walks past backpressured workers
-// (429 + Retry-After), and re-dispatches the jobs of a dead worker so an
-// accepted job is never lost.
+// hashing, health-checks the fleet with a per-worker circuit breaker,
+// walks past backpressured workers (429 + Retry-After), and re-dispatches
+// the jobs of a quarantined worker so an accepted job is never lost.
 //
 // Endpoints (wire-compatible with a single qrserve, so clients need not
 // know they are talking to a fleet):
@@ -10,20 +10,35 @@
 //	POST /jobs               submit; routed by the job's size class
 //	GET  /jobs/{id}          status, proxied from the owning worker
 //	GET  /jobs/{id}/result   the R factor, proxied from the owning worker
-//	GET  /workers            per-worker health and dispatch counts
+//	GET  /workers            per-worker breaker state and dispatch counts
+//	GET  /role               HA role (primary/standby) and instance token
+//	GET  /peer/state         dispatch-table snapshot for a standby
+//	GET  /peer/journal       incremental dispatch-journal follow
 //	/metrics, /debug/vars, /healthz, /buildinfo   shared observability
 //
 // Usage:
 //
 //	qrrouter -workers http://h1:8080,http://h2:8080 -http :8090
+//	qrrouter -workers ... -state /var/lib/qrrouter   # durable dispatch
+//	                                                 # journal: a restart
+//	                                                 # resumes its sweep
+//	qrrouter -workers ... -peer http://primary:8090  # standby: mirror the
+//	                                                 # primary, promote on
+//	                                                 # its death
 //	qrrouter -workers ... -selftest -jobs 200        # closed-loop load +
 //	                                                 # verification through
 //	                                                 # the client SDK
+//	qrrouter -drive http://r1:8090,http://r2:8090    # the same verified
+//	                                                 # load, against an
+//	                                                 # already-running HA
+//	                                                 # pair (no router or
+//	                                                 # -workers needed)
 //
 // The selftest drives seeded jobs through the router with repro/client,
 // waits for every one, and verifies results against a direct in-process
 // factorization — the zero-lost-jobs check used by the multi-process e2e
-// (scripts/router_e2e.sh), which SIGKILLs a worker mid-load.
+// (scripts/router_e2e.sh), which SIGKILLs a worker — or, in its HA mode,
+// the primary router — mid-load.
 package main
 
 import (
@@ -45,6 +60,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/router"
 	"repro/internal/runtime"
+	"repro/internal/store"
 	"repro/internal/workload"
 )
 
@@ -52,20 +68,35 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("qrrouter: ")
 	var (
-		httpAddr = flag.String("http", ":8090", "serve the routing API on this address")
-		workers  = flag.String("workers", "", "comma-separated qrserve base URLs (required)")
-		vnodes   = flag.Int("vnodes", 64, "virtual nodes per worker on the hash ring")
-		health   = flag.Duration("health", 250*time.Millisecond, "worker health-probe interval")
-		deadN    = flag.Int("dead-after", 2, "consecutive probe failures before a worker is dead")
-		tile     = flag.Int("b", 16, "default tile size for class keys (must match the workers')")
-		retain   = flag.Int("retain", 8192, "tracked jobs kept for failover/lookup")
-		logMode  = flag.String("log", "", "structured routing logs to stderr: text|json (default off)")
-		selftest = flag.Bool("selftest", false, "drive a closed-loop verified load through the router, then exit")
-		jobs     = flag.Int("jobs", 200, "selftest: job count")
-		clients  = flag.Int("clients", 8, "selftest: concurrent submitters")
-		verify   = flag.Int("verify", 1, "selftest: verify every Nth result against direct Factor")
+		httpAddr  = flag.String("http", ":8090", "serve the routing API on this address")
+		workers   = flag.String("workers", "", "comma-separated qrserve base URLs (required)")
+		vnodes    = flag.Int("vnodes", 64, "virtual nodes per worker on the hash ring")
+		health    = flag.Duration("health", 250*time.Millisecond, "worker health-probe interval")
+		deadN     = flag.Int("dead-after", 2, "consecutive probe failures before a worker is dead")
+		tile      = flag.Int("b", 16, "default tile size for class keys (must match the workers')")
+		retain    = flag.Int("retain", 8192, "tracked jobs kept for failover/lookup")
+		stateDir  = flag.String("state", "", "durable dispatch-state directory (empty = in-memory only)")
+		stateSync = flag.Bool("state-fsync", true, "fsync the dispatch journal on job acceptance")
+		peer      = flag.String("peer", "", "run as standby: follow this primary router's journal, promote on its death")
+		peerIvl   = flag.Duration("peer-interval", 0, "standby journal-poll interval (default: -health)")
+		peerDeadN = flag.Int("peer-dead-after", 4, "consecutive failed sync rounds before the standby promotes")
+		logMode   = flag.String("log", "", "structured routing logs to stderr: text|json (default off)")
+		selftest  = flag.Bool("selftest", false, "drive a closed-loop verified load through the router, then exit")
+		drive     = flag.String("drive", "", "comma-separated router URLs: drive the selftest load against them (no local router)")
+		jobs      = flag.Int("jobs", 200, "selftest: job count")
+		clients   = flag.Int("clients", 8, "selftest: concurrent submitters")
+		verify    = flag.Int("verify", 1, "selftest: verify every Nth result against direct Factor")
 	)
 	flag.Parse()
+
+	if *drive != "" {
+		endpoints := splitWorkers(*drive)
+		if err := runSelftest(endpoints, *jobs, *clients, *verify, *tile); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("selftest ok")
+		return
+	}
 
 	urls := splitWorkers(*workers)
 	if len(urls) == 0 {
@@ -79,6 +110,9 @@ func main() {
 		DeadAfter:      *deadN,
 		DefaultTile:    *tile,
 		Retain:         *retain,
+		Peer:           strings.TrimRight(*peer, "/"),
+		PeerInterval:   *peerIvl,
+		PeerDeadAfter:  *peerDeadN,
 		Metrics:        reg,
 	}
 	switch *logMode {
@@ -89,6 +123,15 @@ func main() {
 		cfg.Logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	default:
 		log.Fatalf("unknown -log %q (valid: text, json)", *logMode)
+	}
+	var fs store.FileStore
+	if *stateDir != "" {
+		var err error
+		fs, err = store.NewFile(*stateDir, store.FileOptions{Fsync: *stateSync, Metrics: reg})
+		if err != nil {
+			log.Fatalf("open dispatch-state store: %v", err)
+		}
+		cfg.State = fs
 	}
 
 	r, err := router.New(cfg)
@@ -102,15 +145,16 @@ func main() {
 	srv := &http.Server{Handler: r.Handler("qrrouter")}
 	// The resolved address (not the flag value) so `-http 127.0.0.1:0`
 	// callers — tests, scripts probing for a free port — can find us.
-	fmt.Printf("routing on http://%s across %d worker(s) (POST /jobs, /workers, /metrics, /healthz)\n",
-		ln.Addr(), len(urls))
+	fmt.Printf("routing on http://%s across %d worker(s) as %s (POST /jobs, /workers, /role, /metrics, /healthz)\n",
+		ln.Addr(), len(urls), r.Role())
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()
 
 	if *selftest {
-		err := runSelftest("http://"+ln.Addr().String(), *jobs, *clients, *verify, *tile)
+		err := runSelftest([]string{"http://" + ln.Addr().String()}, *jobs, *clients, *verify, *tile)
 		_ = srv.Close()
 		r.Close()
+		closeState(fs)
 		fmt.Println("final metrics:")
 		_ = reg.WriteTable(os.Stdout)
 		if err != nil {
@@ -129,9 +173,24 @@ func main() {
 		fmt.Printf("\n%s: shutting down\n", got)
 		_ = srv.Close()
 		r.Close()
+		closeState(fs)
 		fmt.Println("final metrics:")
 		_ = reg.WriteTable(os.Stdout)
 		fmt.Println("bye")
+	}
+}
+
+// closeState compacts and closes the dispatch-state store on a graceful
+// exit, so the next start replays a snapshot instead of the whole WAL.
+func closeState(fs store.FileStore) {
+	if fs == nil {
+		return
+	}
+	if err := fs.Compact(); err != nil {
+		log.Printf("compact dispatch state: %v", err)
+	}
+	if err := fs.Close(); err != nil {
+		log.Printf("close dispatch state: %v", err)
 	}
 }
 
@@ -148,11 +207,13 @@ func splitWorkers(s string) []string {
 // runSelftest pushes jobs seeded, mixed-class jobs through the router with
 // the client SDK and verifies every Nth result against a direct in-process
 // factorization. Any lost job, failed job, or result mismatch is fatal —
-// this is the invariant the multi-process kill test leans on.
-func runSelftest(baseURL string, jobs, clients, verify, tile int) error {
+// this is the invariant the multi-process kill test leans on. With more
+// than one endpoint, the SDK's endpoint rotation is part of what is under
+// test: the load must survive a router failover transparently.
+func runSelftest(endpoints []string, jobs, clients, verify, tile int) error {
 	c, err := client.New(client.Config{
-		BaseURL: baseURL,
-		Retry:   client.RetryPolicy{MaxAttempts: 10, BaseDelay: 20 * time.Millisecond, MaxDelay: 2 * time.Second},
+		Endpoints: endpoints,
+		Retry:     client.RetryPolicy{MaxAttempts: 10, BaseDelay: 20 * time.Millisecond, MaxDelay: 2 * time.Second},
 	})
 	if err != nil {
 		return err

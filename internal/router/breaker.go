@@ -1,0 +1,150 @@
+package router
+
+import "time"
+
+// breakerState is a worker's position in the quarantine state machine.
+// The old model was binary (alive/dead); the breaker adds the third state
+// that makes recovery safe: a worker returning from quarantine is not
+// handed the full backlog at once — it is re-admitted on probation, with
+// its dispatch share ramping up as probes and dispatches keep succeeding.
+type breakerState int
+
+const (
+	// breakerClosed: healthy, full dispatch weight.
+	breakerClosed breakerState = iota
+	// breakerOpen: quarantined — no dispatches, jobs failed over. Entered
+	// after QuarantineAfter consecutive failures; left only through a
+	// successful probe once the worker has been quiet for HalfOpenAfter.
+	breakerOpen
+	// breakerHalfOpen: probation — dispatches admitted at a ramping
+	// fraction of the normal share. Any failure re-quarantines; sustained
+	// success closes the breaker.
+	breakerHalfOpen
+)
+
+// String renders the state the way /workers reports it.
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "quarantined"
+	case breakerHalfOpen:
+		return "probation"
+	}
+	return "ok"
+}
+
+// breakerConfig is the tuning shared by every worker's breaker.
+type breakerConfig struct {
+	// failThreshold: consecutive failures (probe or dispatch transport)
+	// that open the breaker.
+	failThreshold int
+	// halfOpenAfter: how long a quarantined worker must stay failure-free
+	// before a successful probe moves it to half-open. Every failure while
+	// open restarts the clock.
+	halfOpenAfter time.Duration
+	// rampLevels: half-open levels walked before the breaker closes. At
+	// level L of N the worker is admitted one dispatch in 2^(N-L); each
+	// level needs levelSuccesses successes to advance.
+	rampLevels int
+	// levelSuccesses: successes (probe or dispatch) per ramp level.
+	levelSuccesses int
+}
+
+// breaker is one worker's circuit state. Callers hold the owning worker's
+// mutex; the struct itself is not synchronized.
+type breaker struct {
+	state     breakerState
+	fails     int       // consecutive failures while closed/half-open
+	quietAt   time.Time // open: when the last failure landed
+	level     int       // half-open ramp level, 1..rampLevels
+	successes int       // successes at the current level
+	admitted  uint64    // half-open dispatch admission counter
+}
+
+// onSuccess records a healthy signal (probe OK, or a worker that answered
+// a dispatch at all). Returns true when the state changed.
+func (b *breaker) onSuccess(cfg breakerConfig, now time.Time) bool {
+	switch b.state {
+	case breakerClosed:
+		b.fails = 0
+		return false
+	case breakerOpen:
+		// A flapping worker must be quiet for halfOpenAfter before it is
+		// trusted with probation — a single lucky probe does not count.
+		if now.Sub(b.quietAt) < cfg.halfOpenAfter {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.level = 1
+		b.successes = 0
+		b.fails = 0
+		b.admitted = 0
+		return true
+	case breakerHalfOpen:
+		b.fails = 0
+		b.successes++
+		if b.successes >= cfg.levelSuccesses {
+			b.successes = 0
+			b.level++
+			if b.level > cfg.rampLevels {
+				b.state = breakerClosed
+				b.level = 0
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// onFailure records a probe or dispatch-transport failure. Returns true
+// when the breaker opened (the worker just entered quarantine).
+func (b *breaker) onFailure(cfg breakerConfig, now time.Time) bool {
+	switch b.state {
+	case breakerOpen:
+		// Still down: restart the quiet clock so halfOpenAfter measures
+		// from the most recent failure, not the original quarantine.
+		b.quietAt = now
+		return false
+	case breakerHalfOpen:
+		// Probation is unforgiving: one failure re-quarantines.
+		b.open(now)
+		return true
+	default:
+		b.fails++
+		if b.fails >= cfg.failThreshold {
+			b.open(now)
+			return true
+		}
+		return false
+	}
+}
+
+func (b *breaker) open(now time.Time) {
+	b.state = breakerOpen
+	b.quietAt = now
+	b.fails = 0
+	b.level = 0
+	b.successes = 0
+}
+
+// dispatchable reports whether the worker may receive dispatches at all
+// (closed or half-open — the half-open share is decided per-dispatch by
+// admit).
+func (b *breaker) dispatchable() bool { return b.state != breakerOpen }
+
+// admit decides one dispatch attempt. Closed admits everything; open
+// admits nothing; half-open admits one attempt in 2^(rampLevels-level),
+// so a recovering worker sees 1/2^(N-1) of its share at level 1 and the
+// full share again only at the top level.
+func (b *breaker) admit(cfg breakerConfig) bool {
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		return false
+	}
+	stride := uint64(1) << uint(cfg.rampLevels-b.level)
+	b.admitted++
+	return b.admitted%stride == 0
+}

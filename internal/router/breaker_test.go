@@ -1,0 +1,175 @@
+package router
+
+import (
+	"testing"
+	"time"
+)
+
+func testBreakerConfig() breakerConfig {
+	return breakerConfig{
+		failThreshold:  2,
+		halfOpenAfter:  100 * time.Millisecond,
+		rampLevels:     3,
+		levelSuccesses: 2,
+	}
+}
+
+// TestBreakerFullCycle walks the whole quarantine state machine:
+// closed → open on consecutive failures, open → half-open after quiet,
+// half-open → closed through the ramp.
+func TestBreakerFullCycle(t *testing.T) {
+	cfg := testBreakerConfig()
+	var b breaker
+	now := time.Unix(1000, 0)
+
+	if b.state != breakerClosed || !b.dispatchable() {
+		t.Fatalf("fresh breaker: state %v, want closed and dispatchable", b.state)
+	}
+	// One failure short of the threshold keeps it closed.
+	if b.onFailure(cfg, now) {
+		t.Fatal("first failure should not open the breaker")
+	}
+	if b.state != breakerClosed {
+		t.Fatalf("after 1 failure: state %v, want closed", b.state)
+	}
+	// The threshold failure opens it.
+	if !b.onFailure(cfg, now) {
+		t.Fatal("threshold failure should report a transition")
+	}
+	if b.state != breakerOpen || b.dispatchable() {
+		t.Fatalf("after threshold: state %v, want open and not dispatchable", b.state)
+	}
+
+	// A success before halfOpenAfter of quiet does not re-admit.
+	if b.onSuccess(cfg, now.Add(cfg.halfOpenAfter/2)) {
+		t.Fatal("early success should not leave quarantine")
+	}
+	if b.state != breakerOpen {
+		t.Fatalf("state %v, want still open", b.state)
+	}
+	// After the quiet period, a success moves to half-open.
+	now = now.Add(cfg.halfOpenAfter)
+	if !b.onSuccess(cfg, now) {
+		t.Fatal("success after quiet should transition to half-open")
+	}
+	if b.state != breakerHalfOpen || !b.dispatchable() {
+		t.Fatalf("state %v, want half-open and dispatchable", b.state)
+	}
+	if b.level != 1 {
+		t.Fatalf("probation starts at level %d, want 1", b.level)
+	}
+
+	// Ramp: levelSuccesses per level, rampLevels levels, then closed.
+	total := cfg.rampLevels * cfg.levelSuccesses
+	for i := 0; i < total-1; i++ {
+		if b.onSuccess(cfg, now) {
+			t.Fatalf("success %d/%d closed the breaker early (level %d)", i+1, total, b.level)
+		}
+	}
+	if !b.onSuccess(cfg, now) {
+		t.Fatal("final ramp success should close the breaker")
+	}
+	if b.state != breakerClosed {
+		t.Fatalf("state %v, want closed after full ramp", b.state)
+	}
+}
+
+// TestBreakerQuietClockSlides: failures while open restart the quiet clock,
+// so a flapping worker cannot reach probation on schedule.
+func TestBreakerQuietClockSlides(t *testing.T) {
+	cfg := testBreakerConfig()
+	var b breaker
+	now := time.Unix(1000, 0)
+	b.onFailure(cfg, now)
+	b.onFailure(cfg, now) // open
+
+	// Another failure 80ms in slides the clock.
+	now = now.Add(80 * time.Millisecond)
+	b.onFailure(cfg, now)
+	// 100ms after the ORIGINAL open would have qualified, but only 40ms
+	// have passed since the last failure.
+	if b.onSuccess(cfg, now.Add(40*time.Millisecond)) {
+		t.Fatal("success 40ms after the last failure should not re-admit")
+	}
+	if !b.onSuccess(cfg, now.Add(cfg.halfOpenAfter)) {
+		t.Fatal("success a full quiet period after the last failure should re-admit")
+	}
+}
+
+// TestBreakerProbationFailureReopens: probation is unforgiving — one
+// failure re-quarantines immediately.
+func TestBreakerProbationFailureReopens(t *testing.T) {
+	cfg := testBreakerConfig()
+	var b breaker
+	now := time.Unix(1000, 0)
+	b.onFailure(cfg, now)
+	b.onFailure(cfg, now)
+	now = now.Add(cfg.halfOpenAfter)
+	b.onSuccess(cfg, now) // half-open
+	if b.state != breakerHalfOpen {
+		t.Fatalf("state %v, want half-open", b.state)
+	}
+	if !b.onFailure(cfg, now) {
+		t.Fatal("probation failure should report the reopen transition")
+	}
+	if b.state != breakerOpen {
+		t.Fatalf("state %v, want reopened", b.state)
+	}
+}
+
+// TestBreakerAdmitStride: half-open admission ramps at 1/2^(N-L) — a
+// quarter of the share at level 1 of 3, the full share at the top level.
+func TestBreakerAdmitStride(t *testing.T) {
+	cfg := testBreakerConfig()
+	var b breaker
+	now := time.Unix(1000, 0)
+	b.onFailure(cfg, now)
+	b.onFailure(cfg, now)
+	b.onSuccess(cfg, now.Add(cfg.halfOpenAfter)) // half-open, level 1
+
+	admitted := 0
+	for i := 0; i < 32; i++ {
+		if b.admit(cfg) {
+			admitted++
+		}
+	}
+	// stride = 2^(3-1) = 4 → 8 of 32.
+	if admitted != 8 {
+		t.Fatalf("level-1 probation admitted %d of 32, want 8", admitted)
+	}
+
+	// Advance to the top level: stride 2^(3-3) = 1 → everything.
+	b.level = cfg.rampLevels
+	admitted = 0
+	for i := 0; i < 16; i++ {
+		if b.admit(cfg) {
+			admitted++
+		}
+	}
+	if admitted != 16 {
+		t.Fatalf("top-level probation admitted %d of 16, want 16", admitted)
+	}
+
+	// Open admits nothing; closed admits everything.
+	b.open(now)
+	if b.admit(cfg) {
+		t.Fatal("open breaker admitted a dispatch")
+	}
+	b.state = breakerClosed
+	if !b.admit(cfg) {
+		t.Fatal("closed breaker refused a dispatch")
+	}
+}
+
+// TestBreakerStateStrings pins the /workers wire vocabulary.
+func TestBreakerStateStrings(t *testing.T) {
+	if got := breakerClosed.String(); got != "ok" {
+		t.Fatalf("closed = %q, want ok", got)
+	}
+	if got := breakerOpen.String(); got != "quarantined" {
+		t.Fatalf("open = %q, want quarantined", got)
+	}
+	if got := breakerHalfOpen.String(); got != "probation" {
+		t.Fatalf("half-open = %q, want probation", got)
+	}
+}

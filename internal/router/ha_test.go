@@ -1,0 +1,290 @@
+package router
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/client"
+	"repro/internal/metrics"
+	"repro/internal/serve"
+	"repro/internal/store"
+)
+
+func jsonBody(t *testing.T, v any) *bytes.Reader {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewReader(b)
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestRouterResumesFromStateStore: a router with a dispatch-state store is
+// killed (Close without any cleanup) after accepting jobs; a new router on
+// the same store must serve those jobs' status and results from its own
+// resumed table — the fanout fallback must never fire.
+func TestRouterResumesFromStateStore(t *testing.T) {
+	w0, _ := newWorker(t, serve.Config{})
+	st := store.NewMem()
+
+	reg1 := metrics.NewRegistry()
+	r1, c1, ts1 := newRouterClient(t, Config{
+		Workers: []string{w0.URL}, Metrics: reg1, State: st,
+		HealthInterval: 20 * time.Millisecond,
+	})
+	var ids []string
+	for i := 0; i < 4; i++ {
+		id := fmt.Sprintf("resume-%d", i)
+		ids = append(ids, id)
+		if _, err := c1.Submit(testCtx(t), client.JobSpec{ID: id, Rows: 48, Cols: 32, Seed: int64(i)}); err != nil {
+			t.Fatalf("submit %s: %v", id, err)
+		}
+	}
+	// Deliver one result through the first router: that job must NOT be
+	// resumed (it is journaled delivered and its record deleted).
+	if _, err := c1.Wait(testCtx(t), ids[0]); err != nil {
+		t.Fatalf("wait %s: %v", ids[0], err)
+	}
+	ts1.Close()
+	r1.Close()
+
+	reg2 := metrics.NewRegistry()
+	r2, c2, _ := newRouterClient(t, Config{
+		Workers: []string{w0.URL}, Metrics: reg2, State: st,
+		HealthInterval: 20 * time.Millisecond,
+	})
+	if got := reg2.Snapshot().SumCounters(MetricResumed); got != 3 {
+		t.Fatalf("resumed %d jobs, want 3 (the delivered one must be dropped)", got)
+	}
+	// The undelivered jobs are served through the resumed table: the sweep
+	// re-places them (409 from the worker that still holds them) and reads
+	// proxy normally.
+	for _, id := range ids[1:] {
+		if _, err := c2.Wait(testCtx(t), id); err != nil {
+			t.Fatalf("wait %s after restart: %v", id, err)
+		}
+	}
+	if got := reg2.Snapshot().SumCounters(MetricFanoutReads); got != 0 {
+		t.Fatalf("restarted router fanned out %d reads, want 0 — state resume must make fanout unnecessary", got)
+	}
+	_ = r2
+}
+
+// TestRouterSubmitFailsWhenJournalCannotPersist: the journal write is the
+// durability point — a store that refuses the track op must fail the
+// submission rather than ack a job a restart would forget.
+func TestRouterSubmitFailsWhenJournalCannotPersist(t *testing.T) {
+	w0, _ := newWorker(t, serve.Config{})
+	st := store.NewMem()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := New(Config{Workers: []string{w0.URL}, State: st,
+		HealthInterval: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	ts := httptest.NewServer(r.Handler(""))
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/jobs", "application/json",
+		jsonBody(t, map[string]any{"id": "halted-1", "rows": 32, "cols": 32, "seed": 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("submit against a halted journal = %d, want 500", resp.StatusCode)
+	}
+}
+
+// TestRouterStandbyRefusesJobTraffic: a standby answers every job request
+// with 503 + the role header — the rotation signal the SDK keys on.
+func TestRouterStandbyRefusesJobTraffic(t *testing.T) {
+	w0, _ := newWorker(t, serve.Config{})
+	primary, _, pts := newRouterClient(t, Config{
+		Workers: []string{w0.URL}, HealthInterval: 20 * time.Millisecond,
+	})
+	standby, err := New(Config{
+		Workers: []string{w0.URL}, Peer: pts.URL,
+		HealthInterval: 20 * time.Millisecond, PeerInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer standby.Close()
+	sts := httptest.NewServer(standby.Handler(""))
+	defer sts.Close()
+
+	if got := standby.Role(); got != "standby" {
+		t.Fatalf("role = %q, want standby", got)
+	}
+	for _, path := range []string{"/jobs/x", "/jobs/x/result"} {
+		resp, err := http.Get(sts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("GET %s on standby = %d, want 503", path, resp.StatusCode)
+		}
+		if got := resp.Header.Get(RoleHeader); got != "standby" {
+			t.Fatalf("GET %s: %s = %q, want standby", path, RoleHeader, got)
+		}
+	}
+	_ = primary
+}
+
+// TestRouterStandbyPromotesAndServes is the failover story end to end in
+// one process group: jobs flow through the primary, the primary dies, the
+// standby (which has been following the journal) promotes and serves every
+// undelivered job's status and result from its mirrored table — without a
+// single fanout read.
+func TestRouterStandbyPromotesAndServes(t *testing.T) {
+	w0, _ := newWorker(t, serve.Config{})
+	w1, _ := newWorker(t, serve.Config{})
+	workers := []string{w0.URL, w1.URL}
+
+	regP := metrics.NewRegistry()
+	primary, cp, pts := newRouterClient(t, Config{
+		Workers: workers, Metrics: regP,
+		HealthInterval: 20 * time.Millisecond,
+	})
+	regS := metrics.NewRegistry()
+	standby, err := New(Config{
+		Workers: workers, Peer: pts.URL, Metrics: regS,
+		HealthInterval: 20 * time.Millisecond,
+		PeerInterval:   20 * time.Millisecond, PeerDeadAfter: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer standby.Close()
+	sts := httptest.NewServer(standby.Handler(""))
+	defer sts.Close()
+
+	var ids []string
+	for i := 0; i < 6; i++ {
+		id := fmt.Sprintf("ha-%d", i)
+		ids = append(ids, id)
+		if _, err := cp.Submit(testCtx(t), client.JobSpec{ID: id, Rows: 40 + 8*i, Cols: 32, Seed: int64(i)}); err != nil {
+			t.Fatalf("submit %s: %v", id, err)
+		}
+	}
+	// Let the standby catch up on the journal before the primary dies.
+	waitFor(t, 5*time.Second, "standby journal sync", func() bool {
+		return regS.Snapshot().Gauges[MetricJobs] >= float64(len(ids))
+	})
+
+	// Kill the primary (listener and loops — the worst case short of
+	// SIGKILL available in-process).
+	pts.Close()
+	primary.Close()
+
+	waitFor(t, 10*time.Second, "standby promotion", func() bool {
+		return standby.Role() == "primary"
+	})
+	if got := regS.Snapshot().SumCounters(MetricPromotions); got != 1 {
+		t.Fatalf("promotions = %d, want 1", got)
+	}
+
+	// The promoted router serves everything from its mirrored state.
+	cs, err := client.New(client.Config{BaseURL: sts.URL,
+		Retry: client.RetryPolicy{MaxAttempts: 8, BaseDelay: 5 * time.Millisecond, MaxDelay: 100 * time.Millisecond}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		if _, err := cs.Wait(testCtx(t), id); err != nil {
+			t.Fatalf("wait %s on promoted router: %v", id, err)
+		}
+	}
+	if got := regS.Snapshot().SumCounters(MetricFanoutReads); got != 0 {
+		t.Fatalf("promoted router fanned out %d reads, want 0 — the journal mirror must cover every job", got)
+	}
+	// Resubmitting a delivered id through the new primary must conflict,
+	// not double-run: idempotency holds across the failover.
+	_, err = cs.Submit(testCtx(t), client.JobSpec{ID: ids[0], Rows: 40, Cols: 32, Seed: 0})
+	if err == nil {
+		t.Fatal("resubmit of a known id after failover did not conflict")
+	}
+}
+
+// TestRouterPromotionReconciliation: journal follow can miss the last
+// window before the primary dies. Promotion must reconcile against the
+// workers' job lists, adopting the holes, so reads still avoid fanout.
+func TestRouterPromotionReconciliation(t *testing.T) {
+	w0, _ := newWorker(t, serve.Config{})
+
+	primary, cp, pts := newRouterClient(t, Config{
+		Workers: []string{w0.URL}, HealthInterval: 20 * time.Millisecond,
+	})
+	// A huge PeerInterval keeps the standby from ever syncing the jobs —
+	// every job becomes a "lost window" the reconciliation must adopt.
+	regS := metrics.NewRegistry()
+	standby, err := New(Config{
+		Workers: []string{w0.URL}, Peer: pts.URL, Metrics: regS,
+		HealthInterval: 20 * time.Millisecond,
+		PeerInterval:   50 * time.Millisecond, PeerDeadAfter: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer standby.Close()
+	sts := httptest.NewServer(standby.Handler(""))
+	defer sts.Close()
+
+	id := "hole-1"
+	if _, err := cp.Submit(testCtx(t), client.JobSpec{ID: id, Rows: 48, Cols: 32, Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cp.Wait(testCtx(t), id); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the primary immediately; the standby may or may not have seen
+	// the job via the journal, and PeerDeadAfter=1 promotes on the first
+	// failed round.
+	pts.Close()
+	primary.Close()
+	waitFor(t, 10*time.Second, "standby promotion", func() bool {
+		return standby.Role() == "primary"
+	})
+
+	// Status must resolve through the adopted entry, not fanout.
+	var st struct {
+		Status string `json:"status"`
+	}
+	waitFor(t, 5*time.Second, "adopted job readable", func() bool {
+		resp, err := http.Get(sts.URL + "/jobs/" + id)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			if resp != nil {
+				resp.Body.Close()
+			}
+			return false
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		return err == nil && st.Status == "done"
+	})
+	if got := regS.Snapshot().SumCounters(MetricFanoutReads); got != 0 {
+		t.Fatalf("promoted router fanned out %d reads, want 0 — reconciliation must adopt worker jobs", got)
+	}
+}

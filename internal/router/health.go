@@ -2,21 +2,38 @@ package router
 
 import (
 	"io"
+	"math/rand"
 	"net/http"
 	"time"
 
 	"repro/internal/metrics"
 )
 
-// healthLoop probes every worker's /healthz on HealthInterval. DeadAfter
-// consecutive failures declare a worker dead, which removes it from the
-// dispatch ring and triggers failover for its unfinished jobs; a
-// succeeding probe resurrects it. The loop also sweeps for stranded
-// entries each tick, so a failover that found no live worker (or a job
-// dispatched just as its worker died) is retried rather than forgotten.
+// probeBodyCap bounds how much of a /healthz response body is read: a
+// probe is a liveness signal, not a transfer, and a misbehaving (or
+// malicious) backend must not be able to stall the health loop behind an
+// unbounded body.
+const probeBodyCap = 1024
+
+// healthLoop probes every worker's /healthz and applies the circuit
+// breaker: QuarantineAfter consecutive failures open the breaker
+// (quarantine — the worker leaves the dispatch ring and its unfinished
+// jobs fail over), a success after HalfOpenAfter of quiet moves it to
+// half-open probation, and sustained success ramps its dispatch weight
+// back up until the breaker closes.
+//
+// Probe rounds are spaced with full jitter around the base interval
+// (uniform in [base/2, 3·base/2)): a large fleet of routers restarted
+// together must not synchronize into probe storms against the workers.
+//
+// The loop also sweeps for stranded entries each round, so a failover
+// that found no live worker (or a job dispatched just as its worker was
+// quarantined) is retried rather than forgotten. The sweep only runs
+// while this router is primary — a standby mirrors state but must not
+// dispatch.
 func (r *Router) healthLoop() {
 	defer r.stopped.Done()
-	t := time.NewTicker(r.cfg.HealthInterval)
+	t := time.NewTimer(r.jitteredInterval())
 	defer t.Stop()
 	for {
 		select {
@@ -27,44 +44,56 @@ func (r *Router) healthLoop() {
 		for widx := range r.workers {
 			r.probe(widx)
 		}
-		r.failoverStranded()
+		if r.isPrimary() {
+			r.failoverStranded()
+		}
+		t.Reset(r.jitteredInterval())
 	}
 }
 
-// probe checks one worker and applies the alive/dead transition.
+// jitteredInterval draws the next probe spacing: full jitter around the
+// configured base period.
+func (r *Router) jitteredInterval() time.Duration {
+	base := int64(r.cfg.HealthInterval)
+	return time.Duration(base/2 + rand.Int63n(base))
+}
+
+// probe checks one worker and applies the breaker transition.
 func (r *Router) probe(widx int) {
 	wk := r.workers[widx]
 	ok := r.healthy(wk.url)
+	now := time.Now()
 	wk.mu.Lock()
-	wasAlive := wk.alive
+	var changed bool
+	was := wk.cb.state
 	if ok {
-		wk.fails = 0
-		wk.alive = true
+		changed = wk.cb.onSuccess(r.cfg.breaker(), now)
 	} else {
-		wk.fails++
-		if wk.fails >= r.cfg.DeadAfter {
-			wk.alive = false
-		}
+		changed = wk.cb.onFailure(r.cfg.breaker(), now)
 	}
-	nowAlive := wk.alive
+	is := wk.cb.state
 	wk.mu.Unlock()
-	if wasAlive != nowAlive {
-		r.mAlive.Add(boolDelta(nowAlive))
-		if r.cfg.Logger != nil {
-			state := "dead"
-			if nowAlive {
-				state = "alive"
-			}
-			r.cfg.Logger.Warn("worker state change", "worker", wk.url, "state", state)
-		}
+	if changed {
+		r.noteTransition(wk, was, is)
 	}
 }
 
-func boolDelta(alive bool) float64 {
-	if alive {
-		return 1
+// noteTransition records a breaker state change in metrics and logs.
+// Dispatchability is what the workers_alive gauge tracks: open means out
+// of the ring, half-open and closed both mean "receiving dispatches".
+func (r *Router) noteTransition(wk *worker, was, is breakerState) {
+	if (was == breakerOpen) != (is == breakerOpen) {
+		if is == breakerOpen {
+			r.mAlive.Add(-1)
+			r.reg.Counter(metrics.With(MetricQuarantines, "worker", wk.url)).Inc()
+		} else {
+			r.mAlive.Add(1)
+		}
 	}
-	return -1
+	if r.cfg.Logger != nil {
+		r.cfg.Logger.Warn("worker breaker transition",
+			"worker", wk.url, "from", was.String(), "to", is.String())
+	}
 }
 
 func (r *Router) healthy(url string) bool {
@@ -86,52 +115,69 @@ func (r *Router) healthy(url string) bool {
 	if err != nil {
 		return false
 	}
-	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, probeBodyCap))
 	resp.Body.Close()
 	return resp.StatusCode == http.StatusOK
 }
 
-// isAlive reports the worker's current health verdict.
+// isAlive reports whether the worker is dispatchable (breaker not open).
 func (r *Router) isAlive(widx int) bool {
 	wk := r.workers[widx]
 	wk.mu.Lock()
 	defer wk.mu.Unlock()
-	return wk.alive
+	return wk.cb.dispatchable()
 }
 
 // noteDispatchFailure records a transport failure seen on the dispatch
-// path — it counts toward the same dead threshold as a failed probe, so a
-// worker that drops mid-dispatch dies without waiting out probe rounds.
+// path — it counts toward the same quarantine threshold as a failed
+// probe, so a worker that drops mid-dispatch opens its breaker without
+// waiting out probe rounds.
 func (r *Router) noteDispatchFailure(widx int) {
 	wk := r.workers[widx]
+	now := time.Now()
 	wk.mu.Lock()
-	wk.fails++
-	if wk.fails >= r.cfg.DeadAfter {
-		if wk.alive {
-			wk.alive = false
-			defer func() {
-				r.mAlive.Add(-1)
-				if r.cfg.Logger != nil {
-					r.cfg.Logger.Warn("worker state change", "worker", wk.url, "state", "dead")
-				}
-			}()
-		}
-	}
+	was := wk.cb.state
+	changed := wk.cb.onFailure(r.cfg.breaker(), now)
+	is := wk.cb.state
 	wk.mu.Unlock()
+	if changed {
+		r.noteTransition(wk, was, is)
+	}
 }
 
-// failoverStranded re-dispatches every undelivered job whose worker is dead
-// (or that never got placed). The jobs carry their idempotency keys, so a
-// worker that already holds one answers 409 and the entry just re-homes
-// there; a worker that never saw it re-executes — deterministic kernels
-// make the re-execution bit-identical, and the worker's own terminal CAS
-// makes it single-completion, so the invariant is zero lost jobs.
+// noteDispatchSuccess feeds a worker's answered dispatch (202/409/429 —
+// any response at all proves the process is there) back into the breaker,
+// so probation ramps on real traffic, not only on probes.
+func (r *Router) noteDispatchSuccess(widx int) {
+	wk := r.workers[widx]
+	now := time.Now()
+	wk.mu.Lock()
+	was := wk.cb.state
+	changed := wk.cb.onSuccess(r.cfg.breaker(), now)
+	is := wk.cb.state
+	wk.mu.Unlock()
+	if changed {
+		r.noteTransition(wk, was, is)
+	}
+}
+
+// failoverStranded re-dispatches every undelivered job whose worker is
+// quarantined (or that never got placed). The jobs carry their idempotency
+// keys, so a worker that already holds one answers 409 and the entry just
+// re-homes there; a worker that never saw it re-executes — deterministic
+// kernels make the re-execution bit-identical, and the worker's own
+// terminal CAS makes it single-completion, so the invariant is zero lost
+// jobs.
 //
 // "Undelivered" rather than "non-terminal" is load-bearing: a status poll
 // can observe "done" moments before the worker dies with the result still
 // unfetched. Such an entry must be re-dispatched (the survivor re-executes
 // and the result becomes fetchable again); only an entry whose terminal
 // body was actually served to a client is safe to leave with the dead.
+//
+// Entries without a submission body (adopted from a worker during
+// promotion reconciliation, never submitted through this router) cannot
+// be re-posted and are left to the fan-out read path.
 func (r *Router) failoverStranded() {
 	var stranded []*entry
 	r.mu.Lock()
@@ -140,9 +186,9 @@ func (r *Router) failoverStranded() {
 			continue
 		}
 		e.mu.Lock()
-		delivered, widx := e.delivered, e.worker
+		delivered, widx, hasBody := e.delivered, e.worker, len(e.body) > 0
 		e.mu.Unlock()
-		if delivered {
+		if delivered || !hasBody {
 			continue
 		}
 		if widx < 0 || !r.isAlive(widx) {
@@ -156,7 +202,7 @@ func (r *Router) failoverStranded() {
 			if r.cfg.Logger != nil {
 				r.cfg.Logger.Warn("failover re-dispatch pending", "job", e.id, "err", err)
 			}
-			continue // swept again next tick
+			continue // swept again next round
 		}
 		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 64<<20))
 		resp.Body.Close()
@@ -168,9 +214,10 @@ func (r *Router) failoverStranded() {
 			e.mu.Lock()
 			e.terminal = false
 			e.mu.Unlock()
+			r.logOp(journalOp{Kind: opPlace, ID: e.id, Worker: r.workers[widx].url})
 			r.mRedis.Inc()
 			if r.cfg.Logger != nil {
-				r.cfg.Logger.Info("job re-dispatched after worker death",
+				r.cfg.Logger.Info("job re-dispatched after worker quarantine",
 					"job", e.id, "class", e.class, "worker", r.workers[widx].url)
 			}
 		default:

@@ -9,8 +9,23 @@
 // narrow set of classes and its per-class DAG/plan caches and micro-batcher
 // stay hot — the router is what makes the serve-layer batching work at
 // fleet scale. When the primary worker for a class is saturated (429) or
-// down, the job walks the ring to the next worker in the deterministic
-// failover order.
+// quarantined, the job walks the ring to the next worker in the
+// deterministic failover order.
+//
+// Worker health is a circuit breaker, not a binary: consecutive probe (or
+// dispatch-transport) failures quarantine a worker and fail its jobs over;
+// once it has been quiet for a spell, half-open probes re-admit it on
+// probation, with its dispatch share ramping back up instead of slamming a
+// recovering process with the full backlog. See breaker.go.
+//
+// The router itself is crash-tolerant: every idempotency-key mint, dispatch
+// decision and delivered-result verdict is journaled — through a durable
+// JobStore (Config.State) before the proxied response is acked, and into a
+// bounded in-memory window a standby peer follows over HTTP (Config.Peer;
+// see peer.go and state.go). A restarted router reloads its failover table
+// and resumes its sweep; a standby promotes itself when the primary stops
+// answering. Either way, "kill any one process, lose nothing" holds across
+// the routing tier, not just the workers.
 //
 // Every job the router forwards carries an idempotency key (the client's
 // "id" when supplied, a router-minted one otherwise). That key is what
@@ -39,6 +54,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/store"
 	"repro/internal/tiled"
 )
 
@@ -54,15 +70,30 @@ const (
 	// dispatch or proxy (labelled by worker).
 	MetricWorkerErrors = "router.worker_errors"
 	// MetricRedispatches counts failover re-dispatches of jobs stranded on
-	// a dead worker.
+	// a quarantined worker.
 	MetricRedispatches = "router.failover_redispatches"
 	// MetricExhausted counts submissions refused because no live,
 	// non-backpressured worker remained.
 	MetricExhausted = "router.ring_exhausted"
-	// MetricWorkersAlive gauges the live worker count.
+	// MetricWorkersAlive gauges the dispatchable worker count (breaker not
+	// open).
 	MetricWorkersAlive = "router.workers_alive"
 	// MetricJobs gauges the tracked (non-pruned) job count.
 	MetricJobs = "router.jobs_tracked"
+	// MetricQuarantines counts breaker-open transitions (labelled by
+	// worker).
+	MetricQuarantines = "router.worker_quarantines"
+	// MetricFanoutReads counts reads resolved by fanning out across the
+	// fleet because the router had no entry for the id — the fallback a
+	// journal-backed or journal-following router should never need.
+	MetricFanoutReads = "router.fanout_reads"
+	// MetricPromotions counts standby→primary promotions (0 or 1 per
+	// process life).
+	MetricPromotions = "router.promotions"
+	// MetricResumed counts entries reloaded from the state store at start.
+	MetricResumed = "router.state_resumed"
+	// MetricRole gauges the role: 1 primary, 0 standby.
+	MetricRole = "router.role_primary"
 )
 
 // Config configures a Router.
@@ -74,14 +105,44 @@ type Config struct {
 	// DefaultTile mirrors the workers' default tile size so the router's
 	// class keys (which drive placement) match theirs (default 16).
 	DefaultTile int
-	// HealthInterval spaces the /healthz probes (default 250ms).
+	// HealthInterval is the base spacing of the /healthz probes (default
+	// 250ms); actual rounds get full jitter in [base/2, 3·base/2).
 	HealthInterval time.Duration
-	// DeadAfter is the consecutive probe failures that declare a worker
-	// dead and trigger failover (default 2).
+	// DeadAfter is the consecutive probe failures that open a worker's
+	// breaker (quarantine) and trigger failover (default 2).
 	DeadAfter int
+	// HalfOpenAfter is how long a quarantined worker must stay quiet
+	// before a successful probe moves it to half-open probation (default
+	// 2×HealthInterval).
+	HalfOpenAfter time.Duration
+	// RampLevels is the number of half-open ramp levels: at level L the
+	// worker receives one dispatch in 2^(RampLevels-L) (default 3).
+	RampLevels int
+	// LevelSuccesses is how many successes (probes or answered dispatches)
+	// advance one ramp level (default 2).
+	LevelSuccesses int
 	// Retain bounds the tracked-job table; the oldest terminal jobs are
 	// pruned past it (default 8192).
 	Retain int
+	// State, when set, persists the dispatch journal: every mint/dispatch/
+	// delivery is written through before the proxied response is acked,
+	// and a restarted router resumes its failover sweep from it. Use a
+	// store.NewFile directory the router owns.
+	State store.JobStore
+	// Peer, when set, starts this router as a standby following the
+	// primary at this base URL; it promotes itself when the primary stops
+	// answering. See peer.go.
+	Peer string
+	// PeerInterval is the base spacing of standby journal pulls (default
+	// HealthInterval); jittered like probes.
+	PeerInterval time.Duration
+	// PeerDeadAfter is the consecutive failed sync rounds before the
+	// standby promotes (default 4).
+	PeerDeadAfter int
+	// JournalWindow bounds the in-memory op window peers follow (default
+	// 8192 ops); a follower that falls further behind re-pulls the
+	// snapshot.
+	JournalWindow int
 	// HTTPClient overrides the transport to workers (default 30s timeout).
 	HTTPClient *http.Client
 	// Metrics receives router.* metrics (nil = no-op).
@@ -103,8 +164,26 @@ func (c Config) normalize() Config {
 	if c.DeadAfter <= 0 {
 		c.DeadAfter = 2
 	}
+	if c.HalfOpenAfter <= 0 {
+		c.HalfOpenAfter = 2 * c.HealthInterval
+	}
+	if c.RampLevels <= 0 {
+		c.RampLevels = 3
+	}
+	if c.LevelSuccesses <= 0 {
+		c.LevelSuccesses = 2
+	}
 	if c.Retain <= 0 {
 		c.Retain = 8192
+	}
+	if c.PeerInterval <= 0 {
+		c.PeerInterval = c.HealthInterval
+	}
+	if c.PeerDeadAfter <= 0 {
+		c.PeerDeadAfter = 4
+	}
+	if c.JournalWindow <= 0 {
+		c.JournalWindow = 8192
 	}
 	if c.HTTPClient == nil {
 		c.HTTPClient = &http.Client{Timeout: 30 * time.Second}
@@ -112,23 +191,37 @@ func (c Config) normalize() Config {
 	return c
 }
 
+// breaker returns the per-worker breaker tuning.
+func (c Config) breaker() breakerConfig {
+	return breakerConfig{
+		failThreshold:  c.DeadAfter,
+		halfOpenAfter:  c.HalfOpenAfter,
+		rampLevels:     c.RampLevels,
+		levelSuccesses: c.LevelSuccesses,
+	}
+}
+
 // worker is one backend's routing state.
 type worker struct {
 	url string
 
 	mu           sync.Mutex
-	alive        bool
-	fails        int       // consecutive health-probe failures
+	cb           breaker
 	backoffUntil time.Time // 429 Retry-After horizon
 
 	dispatched atomic.Int64
 }
 
-// available reports whether the worker should receive a dispatch now.
-func (w *worker) available(now time.Time) bool {
+// takeSlot decides one dispatch attempt against this worker: quarantined
+// and backing-off workers refuse, half-open workers admit their ramped
+// share, closed workers admit everything.
+func (w *worker) takeSlot(now time.Time, cfg breakerConfig) bool {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	return w.alive && now.After(w.backoffUntil)
+	if !w.cb.dispatchable() || now.Before(w.backoffUntil) {
+		return false
+	}
+	return w.cb.admit(cfg)
 }
 
 func (w *worker) backoff(d time.Duration) {
@@ -142,8 +235,11 @@ func (w *worker) backoff(d time.Duration) {
 
 // WorkerStatus is one backend's state as reported by GET /workers.
 type WorkerStatus struct {
-	URL        string `json:"url"`
-	Alive      bool   `json:"alive"`
+	URL string `json:"url"`
+	// Alive: dispatchable (breaker closed or half-open).
+	Alive bool `json:"alive"`
+	// State is the breaker position: "ok", "quarantined" or "probation".
+	State      string `json:"state"`
 	BackingOff bool   `json:"backingOff"`
 	Dispatched int64  `json:"dispatched"`
 }
@@ -155,7 +251,7 @@ type entry struct {
 	class   string
 	body    []byte // the exact submission forwarded, idempotency id included
 	traceID string
-	seq     uint64 // admission order, for pruning
+	seq     uint64 // journal seq of the track op, for pruning order
 
 	// dispatching marks the initial placement in flight, so the failover
 	// sweep does not race the submit path to a double dispatch.
@@ -196,22 +292,36 @@ type Router struct {
 	mu   sync.Mutex
 	jobs map[string]*entry
 
+	// journal is the bounded window of recent dispatch-state ops a standby
+	// follows; journalSeq the last seq issued. See state.go.
+	journalMu  sync.Mutex
+	journal    []journalOp
+	journalSeq uint64
+
+	// role: primary dispatches and serves job traffic; standby mirrors.
+	role atomic.Int32
+
 	// instance tokens the keys this incarnation mints, so they cannot
 	// collide with keys a previous incarnation left in the workers' stores.
 	instance string
 	nextID   atomic.Uint64
-	seq      atomic.Uint64
-	mAlive   *metrics.Gauge
-	mJobs    *metrics.Gauge
-	mRedis   *metrics.Counter
-	mExhst   *metrics.Counter
-	stop     chan struct{}
-	stopped  sync.WaitGroup
+
+	mAlive      *metrics.Gauge
+	mJobs       *metrics.Gauge
+	mRole       *metrics.Gauge
+	mRedis      *metrics.Counter
+	mExhst      *metrics.Counter
+	mFanout     *metrics.Counter
+	mPromotions *metrics.Counter
+	mResumed    *metrics.Counter
+	stop        chan struct{}
+	stopped     sync.WaitGroup
 }
 
-// New builds a router over cfg.Workers and starts its health loop. Workers
-// start presumed alive; the first probe round corrects that within
-// HealthInterval.
+// New builds a router over cfg.Workers, reloads any persisted dispatch
+// state, and starts its health loop (plus the standby follow loop when
+// cfg.Peer is set). Workers start presumed alive; the first probe round
+// corrects that within HealthInterval.
 func New(cfg Config) (*Router, error) {
 	cfg = cfg.normalize()
 	if len(cfg.Workers) == 0 {
@@ -227,19 +337,37 @@ func New(cfg Config) (*Router, error) {
 		stop:     make(chan struct{}),
 	}
 	for _, u := range cfg.Workers {
-		r.workers = append(r.workers, &worker{url: u, alive: true})
+		r.workers = append(r.workers, &worker{url: u})
 	}
 	r.mAlive = r.reg.Gauge(MetricWorkersAlive)
 	r.mJobs = r.reg.Gauge(MetricJobs)
+	r.mRole = r.reg.Gauge(MetricRole)
 	r.mRedis = r.reg.Counter(MetricRedispatches)
 	r.mExhst = r.reg.Counter(MetricExhausted)
+	r.mFanout = r.reg.Counter(MetricFanoutReads)
+	r.mPromotions = r.reg.Counter(MetricPromotions)
+	r.mResumed = r.reg.Counter(MetricResumed)
 	r.mAlive.Set(float64(len(r.workers)))
+	if cfg.State != nil {
+		if err := r.loadState(); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Peer != "" {
+		r.role.Store(roleStandby)
+		r.mRole.Set(0)
+		r.stopped.Add(1)
+		go r.peerLoop()
+	} else {
+		r.mRole.Set(1)
+	}
 	r.stopped.Add(1)
 	go r.healthLoop()
 	return r, nil
 }
 
-// Close stops the health loop. In-flight proxied requests are unaffected.
+// Close stops the health and peer loops. In-flight proxied requests are
+// unaffected.
 func (r *Router) Close() {
 	select {
 	case <-r.stop:
@@ -257,7 +385,8 @@ func (r *Router) Workers() []WorkerStatus {
 		w.mu.Lock()
 		out[i] = WorkerStatus{
 			URL:        w.url,
-			Alive:      w.alive,
+			Alive:      w.cb.dispatchable(),
+			State:      w.cb.state.String(),
 			BackingOff: now.Before(w.backoffUntil),
 			Dispatched: w.dispatched.Load(),
 		}
@@ -268,7 +397,9 @@ func (r *Router) Workers() []WorkerStatus {
 
 // Handler builds the router's HTTP API on the shared observability mux:
 // the same job endpoints the workers expose (so clients cannot tell a
-// router from a single worker), plus GET /workers for fleet state.
+// router from a single worker), plus GET /workers for fleet state, GET
+// /role for the HA role, and the /peer/* state-sync endpoints a standby
+// follows.
 func (r *Router) Handler(expvarName string) http.Handler {
 	mux := metrics.NewServeMux(r.reg, expvarName)
 	mux.HandleFunc("POST /jobs", r.handleSubmit)
@@ -281,6 +412,9 @@ func (r *Router) Handler(expvarName string) http.Handler {
 	mux.HandleFunc("GET /workers", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, r.Workers())
 	})
+	mux.HandleFunc("GET /role", r.handleRole)
+	mux.HandleFunc("GET /peer/state", r.handlePeerState)
+	mux.HandleFunc("GET /peer/journal", r.handlePeerJournal)
 	return mux
 }
 
@@ -306,6 +440,9 @@ func writeError(w http.ResponseWriter, code int, err error) {
 }
 
 func (r *Router) handleSubmit(w http.ResponseWriter, req *http.Request) {
+	if r.refuseStandby(w) {
+		return
+	}
 	raw, err := io.ReadAll(io.LimitReader(req.Body, 256<<20))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("read body: %w", err))
@@ -350,7 +487,7 @@ func (r *Router) handleSubmit(w http.ResponseWriter, req *http.Request) {
 	}
 
 	e := &entry{id: id, class: class, body: body,
-		traceID: req.Header.Get("X-Trace-Id"), seq: r.seq.Add(1), worker: -1}
+		traceID: req.Header.Get("X-Trace-Id"), worker: -1}
 	e.dispatching.Store(true)
 	r.mu.Lock()
 	if prev, ok := r.jobs[id]; ok {
@@ -363,6 +500,20 @@ func (r *Router) handleSubmit(w http.ResponseWriter, req *http.Request) {
 	r.jobs[id] = e
 	r.mJobs.Set(float64(len(r.jobs)))
 	r.mu.Unlock()
+
+	// Journal the mint + dispatch decision BEFORE placing or acking: this
+	// is the router's durability point. If the journal cannot be persisted
+	// the submission must fail — acking a job the restart would forget is
+	// exactly the window this journal closes.
+	seq, jerr := r.logOp(journalOp{Kind: opTrack, ID: id, Class: class,
+		TraceID: e.traceID, Body: body})
+	e.seq = seq
+	if jerr != nil {
+		r.dropEntry(id)
+		writeError(w, http.StatusInternalServerError,
+			fmt.Errorf("router: persist dispatch state: %v", jerr))
+		return
+	}
 
 	resp, widx, derr := r.dispatch(e)
 	e.dispatching.Store(false)
@@ -412,20 +563,22 @@ func (r *Router) conflict(w http.ResponseWriter, e *entry) {
 	writeError(w, http.StatusConflict, fmt.Errorf("duplicate job id %q", e.id))
 }
 
-// dispatch walks the ring from the entry's class position, skipping dead
-// and backing-off workers, and places the job on the first one that takes
-// it. A 429 marks the worker's backoff horizon and moves on — per-worker
+// dispatch walks the ring from the entry's class position, skipping
+// quarantined and backing-off workers (and taking only the ramped share of
+// half-open ones), and places the job on the first that takes it. A 429
+// marks the worker's backoff horizon and moves on — per-worker
 // backpressure steers load to ring neighbours instead of queueing blindly.
 // A 409 means the worker already holds this id (a re-dispatch finding its
-// job, or a restart replaying) and counts as placement. Returns the
-// worker's response with its body unread.
+// job, or a restart replaying) and counts as placement. Successful
+// placement is journaled. Returns the worker's response with its body
+// unread.
 func (r *Router) dispatch(e *entry) (*http.Response, int, error) {
 	now := time.Now()
 	var lastErr error
 	tried := 0
 	for _, widx := range r.ring.sequence(e.class) {
 		wk := r.workers[widx]
-		if !wk.available(now) {
+		if !wk.takeSlot(now, r.cfg.breaker()) {
 			continue
 		}
 		tried++
@@ -444,6 +597,9 @@ func (r *Router) dispatch(e *entry) (*http.Response, int, error) {
 			r.noteDispatchFailure(widx)
 			continue
 		}
+		// Any answer at all proves the process is there — feed the breaker
+		// so probation ramps on real traffic, not only on probes.
+		r.noteDispatchSuccess(widx)
 		if resp.StatusCode == http.StatusTooManyRequests {
 			r.reg.Counter(metrics.With(MetricBackpressure, "worker", wk.url)).Inc()
 			wk.backoff(retryAfter(resp))
@@ -457,6 +613,9 @@ func (r *Router) dispatch(e *entry) (*http.Response, int, error) {
 			e.mu.Unlock()
 			wk.dispatched.Add(1)
 			r.reg.Counter(metrics.With(MetricDispatches, "worker", wk.url)).Inc()
+			if _, err := r.logOp(journalOp{Kind: opPlace, ID: e.id, Worker: wk.url}); err != nil && r.cfg.Logger != nil {
+				r.cfg.Logger.Warn("journal placement", "job", e.id, "err", err)
+			}
 			if r.cfg.Logger != nil {
 				r.cfg.Logger.Info("job dispatched",
 					"job", e.id, "class", e.class, "worker", wk.url, "status", resp.StatusCode)
@@ -471,13 +630,16 @@ func (r *Router) dispatch(e *entry) (*http.Response, int, error) {
 }
 
 // proxyRead forwards a job read (status or result) to the job's current
-// worker. While the job is mid-failover (its worker just died), reads get
-// 503 + Retry-After so retrying clients land after the re-dispatch. An id
-// the router does not remember (restart wiped the table, or the entry was
-// pruned) is fanned out to the workers before 404ing: their durable stores
-// outlive the router, so clients still cannot tell a router from a single
-// worker.
+// worker. While the job is mid-failover (its worker was just quarantined),
+// reads get 503 + Retry-After so retrying clients land after the
+// re-dispatch. An id the router does not remember (restart without a state
+// store, or the entry was pruned) is fanned out to the workers before
+// 404ing: their durable stores outlive the router, so clients still cannot
+// tell a router from a single worker.
 func (r *Router) proxyRead(w http.ResponseWriter, req *http.Request, suffix string) {
+	if r.refuseStandby(w) {
+		return
+	}
 	id := req.PathValue("id")
 	r.mu.Lock()
 	e, ok := r.jobs[id]
@@ -488,8 +650,8 @@ func (r *Router) proxyRead(w http.ResponseWriter, req *http.Request, suffix stri
 	}
 	widx := e.workerIdx()
 	if widx < 0 || !r.isAlive(widx) {
-		// Between the worker's death and the failover re-dispatch there is
-		// no one to ask; retrying clients land after the re-dispatch.
+		// Between the worker's quarantine and the failover re-dispatch there
+		// is no one to ask; retrying clients land after the re-dispatch.
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable,
 			fmt.Errorf("router: job %q is being re-dispatched", id))
@@ -518,14 +680,12 @@ func (r *Router) proxyRead(w http.ResponseWriter, req *http.Request, suffix stri
 // (at most one worker ever accepted a given idempotency key). Only when the
 // whole fleet disclaims the id does the client get 404.
 func (r *Router) fanoutRead(w http.ResponseWriter, id, suffix string) {
+	r.mFanout.Inc()
 	for pass := 0; pass < 2; pass++ {
-		for _, wk := range r.workers {
+		for widx, wk := range r.workers {
 			// First pass live workers only; second pass tries the rest in
 			// case the health loop is lagging a recovering worker.
-			wk.mu.Lock()
-			alive := wk.alive
-			wk.mu.Unlock()
-			if (pass == 0) != alive {
+			if (pass == 0) != r.isAlive(widx) {
 				continue
 			}
 			resp, err := r.hc.Get(wk.url + "/jobs/" + id + suffix)
@@ -550,9 +710,14 @@ func (r *Router) fanoutRead(w http.ResponseWriter, id, suffix string) {
 }
 
 // observeTerminal marks an entry terminal once its worker reports a final
-// state, which removes it from the failover set and lets pruning reclaim it.
+// state, which removes it from the failover set and lets pruning reclaim
+// it. A delivered verdict is journaled BEFORE the body goes back to the
+// client (the caller acks after this returns): a crash between journal and
+// ack at worst re-dispatches a job the client will re-read — never the
+// reverse, a forgotten job whose client believes it delivered.
 func (r *Router) observeTerminal(e *entry, suffix string, code int, body []byte) {
 	terminal := false
+	failed := false
 	switch suffix {
 	case "":
 		if code == http.StatusOK {
@@ -565,12 +730,14 @@ func (r *Router) observeTerminal(e *entry, suffix string, code int, body []byte)
 		}
 	case "/result":
 		terminal = code == http.StatusOK || code == http.StatusUnprocessableEntity
+		failed = code == http.StatusUnprocessableEntity
 	}
 	if !terminal {
 		return
 	}
 	e.mu.Lock()
 	was := e.terminal
+	wasDelivered := e.delivered
 	e.terminal = true
 	if suffix == "/result" {
 		// The terminal body itself just went to a client: the job is fully
@@ -578,17 +745,28 @@ func (r *Router) observeTerminal(e *entry, suffix string, code int, body []byte)
 		e.delivered = true
 	}
 	e.mu.Unlock()
+	if suffix == "/result" && !wasDelivered {
+		op := journalOp{Kind: opDeliver, ID: e.id}
+		if failed {
+			op.Error = "failed"
+		}
+		if _, err := r.logOp(op); err != nil && r.cfg.Logger != nil {
+			r.cfg.Logger.Warn("journal delivery", "job", e.id, "err", err)
+		}
+	}
 	if !was {
 		r.prune()
 	}
 }
 
 // prune evicts the oldest terminal entries past Retain, keeping the table
-// (and the failover scan) bounded under sustained load.
+// (and the failover scan) bounded under sustained load. Evictions are
+// journaled after the map shrinks — the store mirror must not run under
+// r.mu.
 func (r *Router) prune() {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if len(r.jobs) <= r.cfg.Retain {
+		r.mu.Unlock()
 		return
 	}
 	var victims []*entry
@@ -613,13 +791,25 @@ func (r *Router) prune() {
 		delete(r.jobs, victims[i].id)
 	}
 	r.mJobs.Set(float64(len(r.jobs)))
+	evicted := victims[:over]
+	r.mu.Unlock()
+	for _, e := range evicted {
+		if _, err := r.logOp(journalOp{Kind: opForget, ID: e.id}); err != nil && r.cfg.Logger != nil {
+			r.cfg.Logger.Warn("journal eviction", "job", e.id, "err", err)
+		}
+	}
 }
 
+// dropEntry forgets a job whose admission ultimately failed, journaling
+// the eviction (outside the table lock).
 func (r *Router) dropEntry(id string) {
 	r.mu.Lock()
 	delete(r.jobs, id)
 	r.mJobs.Set(float64(len(r.jobs)))
 	r.mu.Unlock()
+	if _, err := r.logOp(journalOp{Kind: opForget, ID: id}); err != nil && r.cfg.Logger != nil {
+		r.cfg.Logger.Warn("journal eviction", "job", id, "err", err)
+	}
 }
 
 // randomToken returns a short random hex string — the per-incarnation

@@ -1,0 +1,186 @@
+package router
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/store"
+)
+
+// The router's dispatch state is journaled as a stream of small ops —
+// every idempotency-key mint, dispatch decision, delivered-result verdict
+// and table eviction. The stream has two consumers with one format:
+//
+//   - the local JobStore (Config.State, WAL + snapshot file backend):
+//     mirrored synchronously for "track" (the mint is durable before the
+//     proxied 202 is acked) and best-effort for the rest, so a restarted
+//     router reloads its failover table and resumes its sweep instead of
+//     fanning reads out across the fleet;
+//   - a standby peer (Config.Peer on the other side): the ops are kept in
+//     a bounded in-memory window that the standby follows over HTTP
+//     (snapshot pull + incremental journal reads — see peer.go).
+//
+// Worker placement is journaled with the worker's URL, not its index:
+// URLs stay meaningful across restarts and across routers with different
+// -workers orderings. Placement is advisory — an entry resumed with an
+// unknown or quarantined worker just re-enters the failover sweep, where
+// its idempotency key makes re-dispatch safe.
+const (
+	// opTrack: a submission was admitted and its idempotency key minted;
+	// carries everything needed to re-dispatch (class, body, trace id).
+	opTrack = "track"
+	// opPlace: the job landed on a worker (initial dispatch or failover).
+	opPlace = "place"
+	// opDeliver: a terminal body (result or terminal failure) was served
+	// to a client — the job is safe to forget on worker death.
+	opDeliver = "deliver"
+	// opForget: the entry left the table (prune, or a dispatch that never
+	// placed).
+	opForget = "forget"
+)
+
+// journalOp is one dispatch-state mutation. Seq is assigned by logOp and
+// is strictly increasing within a router incarnation (and across restarts
+// of a store-backed router, which resumes past the stored maximum).
+type journalOp struct {
+	Seq     uint64 `json:"seq"`
+	Kind    string `json:"kind"`
+	ID      string `json:"id"`
+	Class   string `json:"class,omitempty"`
+	TraceID string `json:"traceID,omitempty"`
+	Body    []byte `json:"body,omitempty"`
+	Worker  string `json:"worker,omitempty"` // URL, for opPlace
+	Error   string `json:"error,omitempty"`  // for opDeliver of a failed job
+}
+
+// logOp assigns the op its sequence number, appends it to the peer-follow
+// window, and mirrors it to the local store, returning the assigned seq.
+// Store mirroring happens outside every lock — the journal mutex orders
+// seq assignment only, and the store's own CAS keeps out-of-order mirrors
+// of one job harmless (a terminal record wins every later race). Mirror
+// errors for opPlace/opDeliver/opForget are swallowed after logging: they
+// cost a restarted router some re-dispatch work, never correctness. The
+// opTrack mirror is the durability point and its error must fail the
+// submission — handleSubmit checks it before acking.
+func (r *Router) logOp(op journalOp) (uint64, error) {
+	r.journalMu.Lock()
+	r.journalSeq++
+	op.Seq = r.journalSeq
+	r.journal = append(r.journal, op)
+	if over := len(r.journal) - r.cfg.JournalWindow; over > 0 {
+		r.journal = append(r.journal[:0], r.journal[over:]...)
+	}
+	r.journalMu.Unlock()
+	return op.Seq, r.mirrorOp(op)
+}
+
+// mirrorOp applies one journal op to the local JobStore, when configured.
+// Also used by the standby follow loop, with the primary's seqs.
+func (r *Router) mirrorOp(op journalOp) error {
+	st := r.cfg.State
+	if st == nil {
+		return nil
+	}
+	var err error
+	switch op.Kind {
+	case opTrack:
+		err = st.Put(store.JobRecord{
+			ID:       op.ID,
+			NumID:    op.Seq,
+			Class:    op.Class,
+			TraceID:  op.TraceID,
+			Body:     op.Body,
+			Accepted: time.Now(),
+			State:    store.StateAccepted,
+		})
+	case opPlace:
+		// Placement is not persisted beyond "the job left accepted": the
+		// worker URL would be stale on restart anyway, and the idempotency
+		// key makes the resumed re-dispatch find the job wherever it lives.
+		err = st.MarkState(op.ID, "", store.StateRunning)
+	case opDeliver:
+		err = st.SetResult(op.ID, nil, op.Error)
+	case opForget:
+		err = st.Delete(op.ID)
+	}
+	if err != nil && op.Kind != opTrack {
+		// Losing a non-track mirror only means extra re-dispatch work after
+		// a restart; a CAS conflict means a racing path already recorded a
+		// stronger state. Neither may fail the serving path.
+		if r.cfg.Logger != nil {
+			r.cfg.Logger.Warn("router state mirror", "op", op.Kind, "job", op.ID, "err", err)
+		}
+		return nil
+	}
+	return err
+}
+
+// journalAfter returns the ops with Seq > after, or resync=true when the
+// window no longer reaches back that far (the follower must re-pull the
+// snapshot). The returned slice is a copy.
+func (r *Router) journalAfter(after uint64) (ops []journalOp, seq uint64, resync bool) {
+	r.journalMu.Lock()
+	defer r.journalMu.Unlock()
+	seq = r.journalSeq
+	if after > seq {
+		// The follower is ahead of us — it followed a different incarnation.
+		return nil, seq, true
+	}
+	if after == seq {
+		return nil, seq, false
+	}
+	n := len(r.journal)
+	// The window holds seqs (journalSeq-n, journalSeq]; anything at or
+	// before journalSeq-n is gone.
+	if after < seq-uint64(n) {
+		return nil, seq, true
+	}
+	start := n - int(seq-after)
+	ops = append(ops, r.journal[start:]...)
+	return ops, seq, false
+}
+
+// loadState rebuilds the dispatch table from the local store at startup.
+// Terminal records were delivered in a previous life and are dropped;
+// everything else resumes with no worker binding, which routes it through
+// the failover sweep — the idempotency key re-homes it on whichever worker
+// already holds it (409), or re-executes it bit-identically. Called before
+// the health loop starts, so no locking is needed.
+func (r *Router) loadState() error {
+	recs, err := r.cfg.State.List()
+	if err != nil {
+		return fmt.Errorf("router: load state: %w", err)
+	}
+	var resumed int
+	for _, rec := range recs {
+		if rec.NumID > r.journalSeq {
+			r.journalSeq = rec.NumID
+		}
+		if rec.State.Terminal() {
+			// Delivered before the restart: safe to forget, and deleting it
+			// keeps the store bounded by the live table, not by history.
+			if err := r.cfg.State.Delete(rec.ID); err != nil {
+				return fmt.Errorf("router: drop delivered record %q: %w", rec.ID, err)
+			}
+			continue
+		}
+		e := &entry{
+			id:      rec.ID,
+			class:   rec.Class,
+			body:    rec.Body,
+			traceID: rec.TraceID,
+			seq:     rec.NumID,
+			worker:  -1,
+		}
+		r.jobs[rec.ID] = e
+		resumed++
+	}
+	r.mJobs.Set(float64(len(r.jobs)))
+	if resumed > 0 {
+		r.mResumed.Add(int64(resumed))
+		if r.cfg.Logger != nil {
+			r.cfg.Logger.Info("router state resumed", "jobs", resumed)
+		}
+	}
+	return nil
+}

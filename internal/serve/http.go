@@ -21,6 +21,7 @@ import (
 // mux (/metrics, /debug/vars, /healthz — see metrics.NewServeMux):
 //
 //	POST /jobs             submit a factorization (202, or 429 when overloaded)
+//	GET  /jobs             every job this worker knows (live + stored)
 //	GET  /jobs/{id}        job status
 //	GET  /jobs/{id}/result the R factor of a completed job
 //	GET  /traces[/{id}]    end-to-end span trees (obs.RegisterHTTP)
@@ -34,6 +35,7 @@ import (
 func (s *Server) Handler(expvarName string) http.Handler {
 	mux := metrics.NewServeMux(s.reg, expvarName)
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
 	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
 	obs.RegisterHTTP(mux, s.cfg.Trace)
@@ -103,6 +105,39 @@ func statusOf(j *Job) jobStatus {
 		st.ElapsedMS = float64(time.Since(j.enq)) / float64(time.Millisecond)
 	}
 	return st
+}
+
+// handleList enumerates every job this worker knows: the live in-memory
+// table plus store records that outlived eviction or a restart, deduped by
+// wire identity. A promoted standby router reconciles its dispatch table
+// against this list, so completeness is the contract — every accepted
+// idempotency key appears exactly once.
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	seen := map[string]bool{}
+	out := []jobStatus{}
+	for _, j := range s.Jobs() {
+		st := statusOf(j)
+		key := st.ClientID
+		if key == "" {
+			key = st.ID
+		}
+		seen[key] = true
+		out = append(out, st)
+	}
+	if s.cfg.Store != nil {
+		if recs, err := s.cfg.Store.List(); err == nil {
+			for _, rec := range recs {
+				key := rec.ClientID
+				if key == "" {
+					key = wireID(rec)
+				}
+				if !seen[key] {
+					out = append(out, statusOfRecord(rec))
+				}
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {

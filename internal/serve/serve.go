@@ -736,6 +736,17 @@ func (s *Server) LookupClientID(cid string) (*Job, bool) {
 	return j, ok
 }
 
+// Jobs snapshots every retained in-memory job, in no particular order.
+func (s *Server) Jobs() []*Job {
+	s.jobsMu.Lock()
+	defer s.jobsMu.Unlock()
+	out := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, j)
+	}
+	return out
+}
+
 // Record fetches a job's durable record straight from the store — the
 // fallback the HTTP layer uses when a job id is not in memory (evicted, or
 // finished in a previous process incarnation).

@@ -112,6 +112,11 @@ type JobRecord struct {
 	Seed     int64     `json:"seed,omitempty"`
 	Data     []float64 `json:"data,omitempty"`
 
+	// Body is an opaque payload for stores that journal requests rather
+	// than decoded jobs (the router's dispatch journal keeps the exact
+	// submission bytes here so a restart can re-post them verbatim).
+	Body []byte `json:"body,omitempty"`
+
 	Accepted time.Time `json:"accepted"`
 	// Deadline is the job's absolute deadline (zero = none). Replay honours
 	// the remainder; an already-expired record is marked failed, not rerun.
@@ -300,6 +305,9 @@ func listRecords(m map[string]JobRecord) []JobRecord {
 func cloneRecord(rec JobRecord) JobRecord {
 	if rec.Data != nil {
 		rec.Data = append([]float64(nil), rec.Data...)
+	}
+	if rec.Body != nil {
+		rec.Body = append([]byte(nil), rec.Body...)
 	}
 	rec.Result = cloneResult(rec.Result)
 	return rec

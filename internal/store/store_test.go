@@ -146,6 +146,119 @@ func TestStoreIsolation(t *testing.T) {
 	}
 }
 
+// TestStoreConcurrentMarkStateCAS: N goroutines race the same MarkState
+// transition on one job — the CAS admits exactly one winner, and every
+// loser sees ErrConflict, on both backends.
+func TestStoreConcurrentMarkStateCAS(t *testing.T) {
+	for name, mk := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk(t)
+			defer s.Close()
+			if err := s.Put(rec("cas", 1)); err != nil {
+				t.Fatalf("Put: %v", err)
+			}
+			const racers = 16
+			errs := make(chan error, racers)
+			start := make(chan struct{})
+			for r := 0; r < racers; r++ {
+				go func() {
+					<-start
+					errs <- s.MarkState("cas", StateAccepted, StateRunning)
+				}()
+			}
+			close(start)
+			var wins, conflicts int
+			for r := 0; r < racers; r++ {
+				switch err := <-errs; {
+				case err == nil:
+					wins++
+				case errors.Is(err, ErrConflict):
+					conflicts++
+				default:
+					t.Fatalf("racer error: %v", err)
+				}
+			}
+			if wins != 1 || conflicts != racers-1 {
+				t.Fatalf("accepted→running race: %d winners, %d conflicts; want 1 and %d", wins, conflicts, racers-1)
+			}
+			got, err := s.Get("cas")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.State != StateRunning {
+				t.Fatalf("state after race = %q, want running", got.State)
+			}
+		})
+	}
+}
+
+// TestStoreMarkStateRacesTerminal: MarkState writers hammering a job lose
+// permanently the moment a terminal SetResult lands — the terminal CAS is
+// the stronger claim and no later MarkState may resurrect the record.
+func TestStoreMarkStateRacesTerminal(t *testing.T) {
+	for name, mk := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk(t)
+			defer s.Close()
+			if err := s.Put(rec("term", 1)); err != nil {
+				t.Fatalf("Put: %v", err)
+			}
+			const markers, finishers = 8, 8
+			done := make(chan struct{})
+			terminalWins := make(chan int, finishers)
+			start := make(chan struct{})
+			for r := 0; r < markers; r++ {
+				go func() {
+					<-start
+					defer func() { done <- struct{}{} }()
+					for i := 0; i < 50; i++ {
+						// Wildcard CAS: legal on any non-terminal state, must
+						// conflict (never corrupt) once the record is terminal.
+						err := s.MarkState("term", "", StateRunning)
+						if err != nil && !errors.Is(err, ErrConflict) {
+							t.Errorf("MarkState: %v", err)
+							return
+						}
+					}
+				}()
+			}
+			for r := 0; r < finishers; r++ {
+				go func(r int) {
+					<-start
+					defer func() { done <- struct{}{} }()
+					if err := s.SetResult("term", nil, fmt.Sprintf("finisher %d", r)); err == nil {
+						terminalWins <- r
+					}
+				}(r)
+			}
+			close(start)
+			for i := 0; i < markers+finishers; i++ {
+				<-done
+			}
+			close(terminalWins)
+			var winner = -1
+			var wins int
+			for r := range terminalWins {
+				winner, wins = r, wins+1
+			}
+			if wins != 1 {
+				t.Fatalf("terminal race: %d winners, want exactly 1", wins)
+			}
+			got, err := s.Get("term")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.State != StateFailed || got.Error != fmt.Sprintf("finisher %d", winner) {
+				t.Fatalf("final record state=%q error=%q, want failed by finisher %d", got.State, got.Error, winner)
+			}
+			// The terminal verdict is final: every later CAS conflicts.
+			if err := s.MarkState("term", "", StateRunning); !errors.Is(err, ErrConflict) {
+				t.Fatalf("MarkState after terminal: %v, want ErrConflict", err)
+			}
+		})
+	}
+}
+
 func TestStoreConcurrentTerminalCAS(t *testing.T) {
 	// Many racers, one winner: exactly one SetResult may succeed per job.
 	for name, mk := range backends(t) {

@@ -12,10 +12,21 @@
 #      verified bit-identical against a direct factorization — and the
 #      router's /workers to show the victim dead.
 #
-# Usage: scripts/router_e2e.sh [jobs]   (default 300)
+# A second mode kills the ROUTING tier instead: an active/standby router
+# pair (each with a durable dispatch-state store, the standby following the
+# primary's journal) fronts the workers, the client load lists both
+# routers, and the PRIMARY ROUTER is SIGKILLed mid-dispatch. The drill
+# requires the standby to promote itself, the load to finish with zero
+# lost jobs and bit-identical results, and the promoted router to have
+# served every read from its journaled state — its fanout_reads counter
+# must end at 0.
+#
+# Usage: scripts/router_e2e.sh [jobs] [worker-kill|router-kill]
+#        (default: 300 worker-kill)
 set -euo pipefail
 
 JOBS="${1:-300}"
+MODE="${2:-worker-kill}"
 cd "$(dirname "$0")/.."
 
 WORK="$(mktemp -d)"
@@ -23,7 +34,7 @@ BIN="$WORK/bin"
 mkdir -p "$BIN" "$WORK/store1" "$WORK/store2"
 
 cleanup() {
-    kill "${W1_PID:-}" "${W2_PID:-}" 2>/dev/null || true
+    kill "${W1_PID:-}" "${W2_PID:-}" "${RA_PID:-}" "${RB_PID:-}" 2>/dev/null || true
     wait 2>/dev/null || true
     rm -rf "$WORK"
 }
@@ -53,6 +64,105 @@ read -r W1_URL W1_PID <<<"$(start_worker "$WORK/store1" "$WORK/w1.log")"
 read -r W2_URL W2_PID <<<"$(start_worker "$WORK/store2" "$WORK/w2.log")"
 echo "worker 1: $W1_URL (pid $W1_PID, store $WORK/store1)"
 echo "worker 2: $W2_URL (pid $W2_PID, store $WORK/store2)"
+
+# wait_dead <pid>: true once the process is gone. kill -0 is not the right
+# probe: after SIGKILL the victim lingers as a zombie child of this shell
+# until reaped, and kill -0 succeeds on zombies — so judge by process
+# state, with a short grace for signal delivery on a loaded machine.
+wait_dead() {
+    local pid="$1" state
+    for _ in $(seq 1 100); do
+        state="$(ps -o stat= -p "$pid" 2>/dev/null | tr -d '[:space:]' || true)"
+        if [ -z "$state" ] || [ "${state:0:1}" = "Z" ]; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    return 1
+}
+
+# start_router <args...>: starts qrrouter detached, prints "url pid". The
+# log file is the last argument.
+start_router() {
+    local logf="${*: -1}"
+    "$BIN/qrrouter" "${@:1:$#-1}" >"$logf" 2>&1 &
+    local pid=$!
+    local url=""
+    for _ in $(seq 1 100); do
+        url="$(sed -n 's#^routing on \(http://[^ ]*\).*#\1#p' "$logf" | head -n1)"
+        [ -n "$url" ] && break
+        kill -0 "$pid" 2>/dev/null || { cat "$logf"; echo "router died during startup" >&2; exit 1; }
+        sleep 0.1
+    done
+    [ -n "$url" ] || { cat "$logf"; echo "router never printed its address" >&2; exit 1; }
+    echo "$url $pid"
+}
+
+if [ "$MODE" = "router-kill" ]; then
+    echo "== starting active/standby router pair with dispatch-state stores =="
+    mkdir -p "$WORK/rstateA" "$WORK/rstateB"
+    read -r RA_URL RA_PID <<<"$(start_router -workers "$W1_URL,$W2_URL" -http 127.0.0.1:0 \
+        -health 100ms -state "$WORK/rstateA" -log text "$WORK/ra.log")"
+    echo "router A (primary): $RA_URL (pid $RA_PID)"
+    read -r RB_URL RB_PID <<<"$(start_router -workers "$W1_URL,$W2_URL" -http 127.0.0.1:0 \
+        -health 100ms -state "$WORK/rstateB" \
+        -peer "$RA_URL" -peer-interval 100ms -peer-dead-after 3 -log text "$WORK/rb.log")"
+    echo "router B (standby): $RB_URL (pid $RB_PID)"
+
+    echo "== client load against both routers, SIGKILL of the primary mid-dispatch =="
+    # The killer waits until the primary has dispatched at least one job,
+    # then SIGKILLs it — the standby must pick up from the journal it has
+    # been following, with no drain or handover of any kind.
+    (
+        for _ in $(seq 1 400); do
+            if curl -sf "$RA_URL/workers" 2>/dev/null | grep -q '"dispatched":[1-9]'; then
+                break
+            fi
+            sleep 0.05
+        done
+        echo "== SIGKILL primary router (pid $RA_PID) ==" >&2
+        kill -9 "$RA_PID" 2>/dev/null || true
+    ) &
+    KILLER_PID=$!
+
+    DRIVE_LOG="$WORK/drive.log"
+    if ! "$BIN/qrrouter" -drive "$RA_URL,$RB_URL" -jobs "$JOBS" -clients 8 -verify 1 | tee "$DRIVE_LOG"; then
+        echo "FAIL: client load lost or mis-verified jobs across the router failover" >&2
+        tail -n 40 "$WORK/rb.log" >&2
+        exit 1
+    fi
+    wait "$KILLER_PID" 2>/dev/null || true
+
+    if ! wait_dead "$RA_PID"; then
+        echo "FAIL: primary router survived the SIGKILL" >&2
+        exit 1
+    fi
+    if ! grep -q "selftest ok" "$DRIVE_LOG"; then
+        echo "FAIL: drive did not report ok" >&2
+        exit 1
+    fi
+    # The standby must have promoted itself...
+    if ! curl -sf "$RB_URL/role" | grep -q '"role":"primary"'; then
+        echo "FAIL: standby did not promote to primary" >&2
+        curl -s "$RB_URL/role" >&2 || true
+        exit 1
+    fi
+    # ...and served every read from its journaled/mirrored state: the
+    # fan-out fallback (asking every worker for an unknown id) must never
+    # have fired on the promoted router.
+    METRICS="$(curl -sf "$RB_URL/metrics?format=table")"
+    if ! grep -Eq 'router\.fanout_reads +0\b' <<<"$METRICS"; then
+        echo "FAIL: promoted router used fan-out reads instead of journaled state:" >&2
+        grep -E 'router\.' <<<"$METRICS" >&2 || true
+        exit 1
+    fi
+    if ! grep -Eq 'router\.promotions +1\b' <<<"$METRICS"; then
+        echo "FAIL: promoted router does not record its promotion" >&2
+        exit 1
+    fi
+    echo "== e2e ok: $JOBS jobs, primary router SIGKILLed, standby promoted, zero lost, no fan-out =="
+    exit 0
+fi
 
 echo "== router selftest with a mid-load SIGKILL of worker 1 =="
 # The killer watches the router's /workers until worker 1 has accepted at
@@ -86,20 +196,7 @@ fi
 wait "$KILLER_PID" 2>/dev/null || true
 
 # The kill must actually have landed mid-run for the test to mean anything.
-# kill -0 is not the right probe here: after SIGKILL the worker lingers as
-# a zombie child of this shell until reaped, and kill -0 succeeds on
-# zombies — so judge by process state, with a short grace for the kernel
-# to deliver the signal on a loaded machine.
-dead=0
-for _ in $(seq 1 100); do
-    state="$(ps -o stat= -p "$W1_PID" 2>/dev/null | tr -d '[:space:]' || true)"
-    if [ -z "$state" ] || [ "${state:0:1}" = "Z" ]; then
-        dead=1
-        break
-    fi
-    sleep 0.1
-done
-if [ "$dead" != 1 ]; then
+if ! wait_dead "$W1_PID"; then
     echo "FAIL: worker 1 survived the SIGKILL" >&2
     exit 1
 fi
